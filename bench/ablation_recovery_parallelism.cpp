@@ -1,0 +1,47 @@
+// Ablation: parallel recovery's sensitivity to the recovery-parallelism
+// factor P (how many helper nodes replay the failed node's work). The
+// paper takes its value from Meneses et al. [2]; this sweep shows the
+// Figure 1/2 conclusions hold for any P >= 1 and quantifies the gain.
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"ablation_recovery_parallelism — parallel recovery vs. P"};
+  cli.add_option("--trials", "trials per P", "60");
+  cli.add_option("--seed", "root RNG seed", "8");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+
+  std::printf("Ablation: parallel recovery efficiency vs. recovery parallelism P\n");
+  std::printf("application D64 @ 100%% of the exascale system, MTBF 10 y, %u trials\n\n",
+              trials);
+
+  Table table{{"P", "efficiency", "time recovering (mean)", "energy (node-s, mean)"}};
+  for (double p : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    SingleAppTrialConfig config;
+    config.app = AppSpec{app_type_by_name("D64"), 120000, 1440};
+    config.technique = TechniqueKind::kParallelRecovery;
+    config.resilience.recovery_parallelism = p;
+
+    RunningStats eff;
+    RunningStats recovering;
+    RunningStats energy;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const ExecutionResult r = run_single_app_trial(config, derive_seed(seed, t));
+      eff.add(r.efficiency);
+      recovering.add(r.time_recovering.to_minutes());
+      energy.add(r.node_seconds);
+    }
+    table.add_row({fmt_double(p, 0), fmt_mean_std(eff.mean(), eff.stddev()),
+                   fmt_double(recovering.mean(), 1) + " min",
+                   fmt_double(energy.mean(), 0)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}

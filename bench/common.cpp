@@ -1,0 +1,101 @@
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "util/barchart.hpp"
+
+namespace xres::bench {
+
+void add_common_options(CliParser& cli, std::uint32_t default_trials) {
+  cli.add_option("--trials", "trials per bar (paper: 200)",
+                 std::to_string(default_trials));
+  cli.add_option("--seed", "root RNG seed", "20170529");
+  cli.add_flag("--csv", "also emit raw CSV");
+  cli.add_flag("--chart", "also render ASCII bars");
+  cli.add_option("--csv-path", "write CSV to this file instead of stdout", "");
+  cli.add_option("--report", "write a markdown study report to this path", "");
+}
+
+HarnessOptions read_common_options(const CliParser& cli) {
+  HarnessOptions options;
+  options.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  options.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  options.csv = cli.flag("--csv");
+  options.chart = cli.flag("--chart");
+  options.csv_path = cli.str("--csv-path");
+  options.report_path = cli.str("--report");
+  return options;
+}
+
+int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
+                          const HarnessOptions& options) {
+  config.trials = options.trials;
+  config.seed = options.seed;
+
+  std::printf("%s\n", title.c_str());
+  std::printf("machine: %s\n", config.machine.describe().c_str());
+  std::printf("node MTBF: %s; baseline T_B: %s; %u trials per bar\n\n",
+              to_string(config.resilience.node_mtbf).c_str(),
+              to_string(config.baseline).c_str(), config.trials);
+
+  const auto start = std::chrono::steady_clock::now();
+  const EfficiencyStudyResult result =
+      run_efficiency_study(config, [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r  cell %zu/%zu", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+      });
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  std::printf("%s", result.to_table().to_text().c_str());
+  std::printf("(efficiency = baseline execution time / simulated execution time; "
+              "computed in %.1f s)\n",
+              elapsed);
+
+  if (options.chart) {
+    std::vector<std::string> series;
+    for (TechniqueKind kind : config.techniques) series.emplace_back(to_string(kind));
+    BarChart chart{series};
+    for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+      std::vector<double> values;
+      for (const Summary& s : result.efficiency[si]) values.push_back(s.mean);
+      chart.add_category(fmt_percent(config.size_fractions[si], 0), values);
+    }
+    std::printf("\n%s", chart.render(50, 1.0).c_str());
+  }
+
+  if (options.csv || !options.csv_path.empty()) {
+    const Table csv = result.to_csv_table();
+    if (options.csv_path.empty()) {
+      std::printf("\n%s", csv.to_csv().c_str());
+    } else {
+      csv.write_csv(options.csv_path);
+      std::printf("CSV written to %s\n", options.csv_path.c_str());
+    }
+  }
+
+  if (!options.report_path.empty()) {
+    StudyReport report{title};
+    report.add_config("machine", config.machine.describe());
+    report.add_config("node MTBF", to_string(config.resilience.node_mtbf));
+    report.add_config("application type", config.app_type.name);
+    report.add_config("baseline T_B", to_string(config.baseline));
+    report.add_config("trials per bar", std::to_string(config.trials));
+    report.add_config("seed", std::to_string(config.seed));
+    report.add_paragraph(
+        "Efficiency = delay-free baseline execution time divided by the "
+        "simulated execution time with failures and resilience overhead "
+        "(mean ± sample standard deviation across trials).");
+    report.add_table("Efficiency by system share", result.to_table());
+    report.add_table("Raw data", result.to_csv_table());
+    report.write(options.report_path);
+    std::printf("report written to %s\n", options.report_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace xres::bench

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared plumbing for the figure-reproduction harnesses: CLI wiring and
+/// the efficiency-figure runner used by Figures 1-3.
+
+#include <string>
+
+#include "core/single_app_study.hpp"
+#include "util/cli.hpp"
+
+namespace xres::bench {
+
+/// Options every harness shares.
+struct HarnessOptions {
+  std::uint32_t trials{200};
+  std::uint64_t seed{20170529};
+  bool csv{false};
+  bool chart{false};  ///< also render ASCII bars (the figure's visual shape)
+  std::string csv_path;  ///< empty: print CSV to stdout when csv is set
+  std::string report_path;  ///< non-empty: write a markdown StudyReport here
+};
+
+/// Registers --trials/--seed/--csv/--csv-path on \p cli.
+void add_common_options(CliParser& cli, std::uint32_t default_trials);
+
+/// Reads them back after parse().
+[[nodiscard]] HarnessOptions read_common_options(const CliParser& cli);
+
+/// Run one Figures-1-3 style efficiency figure and print it in the paper's
+/// layout (rows: % of system; columns: technique; cells: mean ± σ over
+/// trials). Returns 0.
+int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
+                          const HarnessOptions& options);
+
+}  // namespace xres::bench

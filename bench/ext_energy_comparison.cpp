@@ -1,0 +1,67 @@
+// Extension bench: energy comparison of the resilience techniques (the
+// paper's companion study [7], reproduced on this simulator). Parallel
+// recovery's signature property is that recovery engages only (1 + P)
+// nodes while the rest of the allocation idles at low power; redundancy
+// pays for extra always-on nodes.
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "runtime/power.hpp"
+#include "resilience/planner.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"ext_energy_comparison — energy per technique (companion study [7])"};
+  cli.add_option("--trials", "trials per technique", "40");
+  cli.add_option("--type", "application type (Table I)", "C64");
+  cli.add_option("--system-share", "fraction of machine used", "0.25");
+  cli.add_option("--seed", "root RNG seed", "11");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+
+  const MachineSpec machine = MachineSpec::exascale();
+  const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
+                                                machine.node_count);
+  const AppSpec app{app_type_by_name(cli.str("--type")), nodes, 1440};
+  const ResilienceConfig resilience;
+  const NodePowerSpec power;
+
+  std::printf("Extension: energy per resilience technique\n");
+  std::printf("application %s; node power %.0f W active / %.0f W idle; %u trials\n\n",
+              app.describe().c_str(), power.active_watts, power.idle_watts, trials);
+
+  Table table{{"technique", "efficiency", "energy (MWh)", "vs ideal", "idle share"}};
+  // Ideal baseline energy: all nodes active for the baseline.
+  const double ideal_mwh = static_cast<double>(app.nodes) *
+                           app.baseline_time().to_seconds() * power.active_watts /
+                           3.6e9;
+  for (TechniqueKind kind : evaluated_techniques()) {
+    const ExecutionPlan plan = make_plan(kind, app, machine, resilience);
+    if (!plan.feasible) {
+      table.add_row({to_string(kind), "0 (infeasible)", "-", "-", "-"});
+      continue;
+    }
+    RunningStats eff;
+    RunningStats mwh;
+    RunningStats idle_share;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const ExecutionResult r = run_plan_trial(
+          plan, resilience, FailureDistribution::exponential(), derive_seed(seed, t));
+      const EnergyReport energy = execution_energy(r, plan.physical_nodes, power);
+      eff.add(r.efficiency);
+      mwh.add(energy.kilowatt_hours() / 1000.0);
+      idle_share.add(energy.idle_node_seconds /
+                     (energy.active_node_seconds + energy.idle_node_seconds));
+    }
+    table.add_row({to_string(kind), fmt_mean_std(eff.mean(), eff.stddev()),
+                   fmt_double(mwh.mean(), 1), fmt_double(mwh.mean() / ideal_mwh, 2) + "x",
+                   fmt_percent(idle_share.mean(), 2)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("(ideal failure-free energy: %.1f MWh)\n", ideal_mwh);
+  return 0;
+}

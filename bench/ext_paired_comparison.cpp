@@ -1,0 +1,82 @@
+// Extension bench: paired technique comparison under common random
+// numbers. Every technique replays the SAME failure traces, so per-trace
+// deltas (and win rates) isolate the technique effect from failure-
+// sampling noise; a Welch test on the deltas quantifies significance with
+// far fewer trials than independent sampling needs.
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "failure/severity.hpp"
+#include "resilience/planner.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"ext_paired_comparison — common-random-number technique duel"};
+  cli.add_option("--traces", "failure traces (pairs) to replay", "30");
+  cli.add_option("--type", "application type (Table I)", "D64");
+  cli.add_option("--system-share", "fraction of machine used", "0.25");
+  cli.add_option("--seed", "root RNG seed", "13");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto traces = static_cast<std::uint32_t>(cli.integer("--traces"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+
+  const MachineSpec machine = MachineSpec::exascale();
+  const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
+                                                machine.node_count);
+  const AppSpec app{app_type_by_name(cli.str("--type")), nodes, 1440};
+  const ResilienceConfig resilience;
+  const SeverityModel severity{resilience.severity_weights};
+
+  const std::vector<TechniqueKind> kinds{TechniqueKind::kCheckpointRestart,
+                                         TechniqueKind::kMultilevel,
+                                         TechniqueKind::kParallelRecovery};
+  std::vector<ExecutionPlan> plans;
+  for (TechniqueKind kind : kinds) plans.push_back(make_plan(kind, app, machine, resilience));
+
+  std::printf("Extension: paired comparison on %u shared failure traces\n", traces);
+  std::printf("application %s, MTBF %s\n\n", app.describe().c_str(),
+              to_string(resilience.node_mtbf).c_str());
+
+  // Efficiency per technique per trace.
+  std::vector<std::vector<double>> eff(kinds.size());
+  for (std::uint32_t i = 0; i < traces; ++i) {
+    Pcg32 rng{derive_seed(seed, i)};
+    // The trace's rate must cover the highest-rate plan; all three use
+    // N_a nodes so the rates coincide.
+    const FailureTrace trace =
+        FailureTrace::generate(plans[0].failure_rate, Duration::days(60.0), severity,
+                               FailureDistribution::exponential(), rng);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      eff[k].push_back(
+          run_plan_trial_with_trace(plans[k], resilience, trace, derive_seed(seed, i, k))
+              .efficiency);
+    }
+  }
+
+  Table table{{"matchup", "mean delta", "win rate", "Welch t", "significant @95%"}};
+  for (std::size_t a = 0; a < kinds.size(); ++a) {
+    for (std::size_t b = a + 1; b < kinds.size(); ++b) {
+      RunningStats delta;
+      int wins = 0;
+      RunningStats sa;
+      RunningStats sb;
+      for (std::uint32_t i = 0; i < traces; ++i) {
+        delta.add(eff[a][i] - eff[b][i]);
+        if (eff[a][i] > eff[b][i]) ++wins;
+        sa.add(eff[a][i]);
+        sb.add(eff[b][i]);
+      }
+      const WelchResult welch = welch_t_test(sa.summary(), sb.summary());
+      table.add_row({std::string{to_string(kinds[a])} + " vs " + to_string(kinds[b]),
+                     fmt_mean_std(delta.mean(), delta.stddev()),
+                     fmt_percent(static_cast<double>(wins) / traces, 0),
+                     fmt_double(welch.t, 2), welch.significant_95 ? "yes" : "no"});
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension bench: blocking vs. semi-blocking checkpoint/restart across
+// application sizes (the improvement direction of the paper's related
+// work [11][12]). Sweeps the overlap rate to show how much of traditional
+// checkpointing's exascale collapse overlap recovers.
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"ext_semi_blocking — blocking vs semi-blocking checkpointing"};
+  cli.add_option("--trials", "trials per cell", "40");
+  cli.add_option("--type", "application type (Table I)", "A32");
+  cli.add_option("--seed", "root RNG seed", "19");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const AppType type = app_type_by_name(cli.str("--type"));
+
+  std::printf("Extension: semi-blocking checkpointing, application %s, MTBF 10 y\n\n",
+              type.name.c_str());
+
+  Table table{{"system share", "blocking CR", "overlap 50%", "overlap 90%"}};
+  for (double share : {0.10, 0.25, 0.50, 1.00}) {
+    const auto nodes = static_cast<std::uint32_t>(share * 120000.0);
+    std::vector<std::string> row{fmt_percent(share, 0)};
+    struct Cell {
+      TechniqueKind kind;
+      double rate;
+    };
+    int column = 0;
+    for (const Cell cell : {Cell{TechniqueKind::kCheckpointRestart, 0.0},
+                            Cell{TechniqueKind::kSemiBlockingCheckpoint, 0.5},
+                            Cell{TechniqueKind::kSemiBlockingCheckpoint, 0.9}}) {
+      SingleAppTrialConfig config;
+      config.app = AppSpec{type, nodes, 1440};
+      config.technique = cell.kind;
+      config.resilience.semi_blocking_work_rate = cell.rate;
+      RunningStats eff;
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        eff.add(run_single_app_trial(config, derive_seed(seed, column, t)).efficiency);
+      }
+      row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
+      ++column;
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("(overlap reduces the blocked fraction of each Eq.-3 checkpoint; at\n"
+              " 90%% overlap checkpointing costs little even at exascale)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension bench: the optimal-technique map. Generalizes Figure 2's
+// single crossover into a full (application type x system share) grid:
+// which technique wins each cell, by simulation. This is the lookup the
+// paper's Resilience Selection implicitly computes.
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "resilience/selector.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"ext_technique_map — simulated optimal technique per "
+                "(type x size) cell"};
+  cli.add_option("--trials", "trials per technique per cell", "20");
+  cli.add_option("--mtbf-years", "node MTBF", "10");
+  cli.add_option("--seed", "root RNG seed", "23");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+
+  ResilienceConfig resilience;
+  resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceSelector selector{machine, resilience};
+
+  const std::vector<double> shares{0.01, 0.05, 0.10, 0.25, 0.50, 1.00};
+  std::printf("Extension: optimal-technique map (simulated winner; '*' where the\n"
+              "analytic selector agrees), MTBF %.1f y, %u trials/cell\n\n",
+              cli.real("--mtbf-years"), trials);
+
+  std::vector<std::string> headers{"type"};
+  for (double s : shares) headers.push_back(fmt_percent(s, 0));
+  Table table{std::move(headers)};
+
+  std::uint32_t agreements = 0;
+  std::uint32_t cells = 0;
+  for (const AppType& type : all_app_types()) {
+    std::vector<std::string> row{type.name};
+    for (double share : shares) {
+      const auto nodes = static_cast<std::uint32_t>(share * machine.node_count);
+      const AppSpec app{type, nodes, 1440};
+
+      TechniqueKind best = TechniqueKind::kCheckpointRestart;
+      double best_eff = -1.0;
+      int column = 0;
+      for (TechniqueKind kind : workload_techniques()) {
+        SingleAppTrialConfig config;
+        config.app = app;
+        config.technique = kind;
+        config.resilience = resilience;
+        RunningStats eff;
+        for (std::uint32_t t = 0; t < trials; ++t) {
+          eff.add(run_single_app_trial(config, derive_seed(seed, column, t)).efficiency);
+        }
+        if (eff.mean() > best_eff) {
+          best_eff = eff.mean();
+          best = kind;
+        }
+        ++column;
+      }
+      const auto predicted = selector.select(app).kind;
+      ++cells;
+      if (predicted == best) ++agreements;
+      // Compact labels: CR / ML / PR.
+      const char* label = best == TechniqueKind::kCheckpointRestart ? "CR"
+                          : best == TechniqueKind::kMultilevel      ? "ML"
+                                                                    : "PR";
+      row.push_back(std::string{label} + (predicted == best ? "*" : ""));
+    }
+    table.add_row(std::move(row));
+    std::fprintf(stderr, "finished type %s\n", type.name.c_str());
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("selector agreement with simulation: %u/%u cells\n", agreements, cells);
+  return 0;
+}

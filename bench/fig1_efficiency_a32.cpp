@@ -1,0 +1,22 @@
+// Reproduces paper Figure 1: resilience-technique efficiency at increasing
+// percentages of total system use for the low-memory, low-communication
+// application A32, with a 10-year processor MTBF.
+
+#include "apps/app_type.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{
+      "fig1_efficiency_a32 — paper Figure 1: efficiency vs. application size "
+      "for A32 (low memory, no communication), node MTBF 10 years."};
+  bench::add_common_options(cli, 200);
+  if (!cli.parse(argc, argv)) return 0;
+
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("A32");
+  config.resilience.node_mtbf = Duration::years(10.0);
+  return bench::run_efficiency_figure(
+      "Figure 1: efficiency vs. system share, application A32, MTBF 10 y",
+      config, bench::read_common_options(cli));
+}

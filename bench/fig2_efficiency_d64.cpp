@@ -1,0 +1,24 @@
+// Reproduces paper Figure 2: resilience-technique efficiency at increasing
+// percentages of total system use for the high-memory, high-communication
+// application D64, with a 10-year processor MTBF. The headline feature is
+// the optimal-technique crossover from multilevel checkpointing to
+// parallel recovery around 25% of the system.
+
+#include "apps/app_type.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{
+      "fig2_efficiency_d64 — paper Figure 2: efficiency vs. application size "
+      "for D64 (high memory, 75% communication), node MTBF 10 years."};
+  bench::add_common_options(cli, 200);
+  if (!cli.parse(argc, argv)) return 0;
+
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("D64");
+  config.resilience.node_mtbf = Duration::years(10.0);
+  return bench::run_efficiency_figure(
+      "Figure 2: efficiency vs. system share, application D64, MTBF 10 y",
+      config, bench::read_common_options(cli));
+}

@@ -1,0 +1,23 @@
+// Reproduces paper Figure 3: the Figure-2 study under degraded component
+// reliability (node MTBF 2.5 years). Traditional checkpoint/restart
+// collapses — at exascale it spends so long checkpointing and restarting
+// that applications cannot complete.
+
+#include "apps/app_type.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{
+      "fig3_efficiency_d64_mtbf2p5 — paper Figure 3: efficiency vs. "
+      "application size for D64 with node MTBF reduced to 2.5 years."};
+  bench::add_common_options(cli, 200);
+  if (!cli.parse(argc, argv)) return 0;
+
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("D64");
+  config.resilience.node_mtbf = Duration::years(2.5);
+  return bench::run_efficiency_figure(
+      "Figure 3: efficiency vs. system share, application D64, MTBF 2.5 y",
+      config, bench::read_common_options(cli));
+}

@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the simulator substrates: event
+// queue, allocator, RNG/distributions, failure process, interval
+// optimizers, and end-to-end trial throughput. These guard the simulation
+// engine's performance (a full Figure 1-5 reproduction executes tens of
+// millions of events).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "failure/process.hpp"
+#include "platform/allocator.hpp"
+#include "resilience/multilevel.hpp"
+#include "resilience/planner.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xres;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  Pcg32 rng{1};
+  for (auto _ : state) {
+    EventQueue queue;
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      queue.schedule(TimePoint::at(Duration::seconds(rng.next_double() * 1e6)), [] {});
+    }
+    while (auto e = queue.pop()) benchmark::DoNotOptimize(e->time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // The runtime cancels its pending event on every failure; measure the
+  // lazy-deletion path.
+  Pcg32 rng{2};
+  for (auto _ : state) {
+    EventQueue queue;
+    std::vector<EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(
+          queue.schedule(TimePoint::at(Duration::seconds(rng.next_double())), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) queue.cancel(ids[i]);
+    while (auto e = queue.pop()) benchmark::DoNotOptimize(e->id);
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_SimulationSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    std::uint64_t remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_after(Duration::seconds(1.0), tick);
+    };
+    sim.schedule_after(Duration::seconds(1.0), tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_SimulationSelfScheduling);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  Pcg32 rng{3};
+  for (auto _ : state) {
+    NodeAllocator alloc{120000};
+    std::vector<NodeRange> held;
+    for (int i = 0; i < 5000; ++i) {
+      if (held.empty() || rng.bernoulli(0.6)) {
+        if (auto r = alloc.allocate(static_cast<std::uint32_t>(rng.uniform_int(100, 5000)))) {
+          held.push_back(*r);
+        }
+      } else {
+        const auto idx = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint32_t>(held.size())));
+        alloc.release(held[idx]);
+        held[idx] = held.back();
+        held.pop_back();
+      }
+    }
+    benchmark::DoNotOptimize(alloc.busy_count());
+  }
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_Pcg32Doubles(benchmark::State& state) {
+  Pcg32 rng{4};
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.next_double();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Pcg32Doubles);
+
+void BM_DiscreteDistributionSample(benchmark::State& state) {
+  const std::vector<double> weights{0.55, 0.35, 0.10};
+  DiscreteDistribution dist{weights};
+  Pcg32 rng{5};
+  std::size_t acc = 0;
+  for (auto _ : state) acc += dist.sample(rng);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DiscreteDistributionSample);
+
+void BM_MultilevelOptimizer(benchmark::State& state) {
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(0.2), Duration::seconds(0.2), 1},
+      CheckpointLevelSpec{Duration::seconds(0.8), Duration::seconds(0.8), 2},
+      CheckpointLevelSpec{Duration::seconds(1067.0), Duration::seconds(1067.0), 3}};
+  const Rate total = Rate::one_per(Duration::minutes(44.0));
+  const std::vector<Rate> rates{total * 0.55, total * 0.35, total * 0.10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_multilevel(levels, rates, 128));
+  }
+}
+BENCHMARK(BM_MultilevelOptimizer);
+
+void BM_MakePlan(benchmark::State& state) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const AppSpec app{app_type_by_name("D64"), 30000, 1440};
+  const auto kind = static_cast<TechniqueKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_plan(kind, app, machine, config));
+  }
+}
+BENCHMARK(BM_MakePlan)
+    ->Arg(static_cast<int>(TechniqueKind::kCheckpointRestart))
+    ->Arg(static_cast<int>(TechniqueKind::kMultilevel))
+    ->Arg(static_cast<int>(TechniqueKind::kRedundancyPartial));
+
+void BM_SingleAppTrial(benchmark::State& state) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("C64"), 30000, 1440};
+  config.technique = static_cast<TechniqueKind>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_single_app_trial(config, ++seed));
+  }
+}
+BENCHMARK(BM_SingleAppTrial)
+    ->Arg(static_cast<int>(TechniqueKind::kCheckpointRestart))
+    ->Arg(static_cast<int>(TechniqueKind::kMultilevel))
+    ->Arg(static_cast<int>(TechniqueKind::kParallelRecovery))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,42 @@
+// Reproduces paper Table I: the eight synthetic application types and
+// their communication/memory characteristics, plus the derived per-type
+// modeling constants.
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "platform/spec.hpp"
+#include "platform/transfer.hpp"
+#include "resilience/config.hpp"
+#include "resilience/planner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace xres;
+
+  std::printf("Table I: characteristics of application types\n\n");
+  Table table{{"type", "comm intensity T_C", "work T_W", "memory/node N_m",
+               "msg-log slowdown u"}};
+  const ResilienceConfig config;
+  for (const AppType& type : all_app_types()) {
+    table.add_row({type.name, fmt_percent(type.comm_fraction, 0),
+                   fmt_percent(type.work_fraction(), 0), to_string(type.memory_per_node),
+                   fmt_double(message_logging_slowdown(type, config), 4)});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  std::printf("\nDerived checkpoint costs on the exascale machine:\n\n");
+  const MachineSpec machine = MachineSpec::exascale();
+  Table costs{{"memory/node", "L1 RAM (Eq.5)", "L2 partner (Eq.6)",
+               "PFS @ 1% (Eq.3)", "PFS @ 100% (Eq.3)"}};
+  for (double gb : {32.0, 64.0}) {
+    const DataSize m = DataSize::gigabytes(gb);
+    costs.add_row({to_string(m),
+                   to_string(local_memory_checkpoint_time(m, machine.node)),
+                   to_string(partner_copy_checkpoint_time(m, machine.node, machine.network)),
+                   to_string(pfs_checkpoint_time(m, 1200, machine.network)),
+                   to_string(pfs_checkpoint_time(m, 120000, machine.network))});
+  }
+  std::printf("%s", costs.to_text().c_str());
+  return 0;
+}

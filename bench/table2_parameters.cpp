@@ -1,0 +1,54 @@
+// Reproduces paper Table II: the resilience-technique modeling parameters,
+// with the concrete values this reproduction resolves them to.
+
+#include <cstdio>
+
+#include "platform/spec.hpp"
+#include "resilience/config.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace xres;
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+
+  std::printf("Table II: resilience technique parameters\n\n");
+  Table table{{"parameter", "use in modeling", "value in this reproduction"}};
+  table.add_row({"T_S", "application length (time steps)",
+                 "360-2880 steps of 1 min (6 h - 2 d)"});
+  table.add_row({"T_C", "portion of each time step spent on communication",
+                 "0 / 0.25 / 0.5 / 0.75 (Table I)"});
+  table.add_row({"T_W", "portion of each time step spent on computation",
+                 "1 - T_C"});
+  table.add_row({"N_m", "memory used by the application (per node)", "32 or 64 GB"});
+  table.add_row({"N_a", "number of system nodes used by the application",
+                 "1% - 100% of 120,000"});
+  table.add_row({"L", "network latency", to_string(machine.network.latency)});
+  table.add_row({"B_N", "communication bandwidth",
+                 fmt_double(machine.network.bandwidth.to_gigabytes_per_second(), 0) +
+                     " GB/s"});
+  table.add_row({"B_M", "memory bandwidth",
+                 fmt_double(machine.node.memory_bandwidth.to_gigabytes_per_second(), 0) +
+                     " GB/s"});
+  table.add_row({"N_S", "number of network switch connections",
+                 std::to_string(machine.network.switch_connections)});
+  table.add_row({"lambda_a", "application failure rate", "N_a / M_n (Eq. 2 per app)"});
+  table.add_row({"M_n", "system component MTBF",
+                 to_string(config.node_mtbf) + " (2.5 y in Fig. 3)"});
+  table.add_row({"tau", "optimal checkpoint period",
+                 "Eq. 4 (Daly); multilevel/redundancy via numeric optimizer"});
+  table.add_row({"T_C_PFS", "time required to checkpoint to a PFS", "Eq. 3"});
+  table.add_row({"T_C_L1", "time required for a level one checkpoint", "Eq. 5"});
+  table.add_row({"T_C_L2", "time required for a level two checkpoint", "Eq. 6"});
+  table.add_row({"mu", "message logging slowdown",
+                 "1 + T_C x " + fmt_double(config.comm_slowdown_per_tc, 2) + " (Eq. 7)"});
+  table.add_row({"r", "degree of redundancy",
+                 fmt_double(config.partial_redundancy, 1) + " (partial) / " +
+                     fmt_double(config.full_redundancy, 1) + " (full)"});
+  std::printf("%s", table.to_text().c_str());
+
+  std::printf("\nSeverity PMF (BlueGene/L-informed, see DESIGN.md): ");
+  for (double w : config.severity_weights) std::printf("%.2f ", w);
+  std::printf("\nParallel-recovery parallelism P = %.0f\n", config.recovery_parallelism);
+  return 0;
+}

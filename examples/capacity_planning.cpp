@@ -1,0 +1,69 @@
+// Capacity planning: how reliable do exascale components need to be for
+// each resilience technique to stay viable? Sweeps the per-node MTBF and
+// reports each technique's efficiency for an exascale-sized application —
+// the Figure-3 sensitivity study generalized into a planning tool.
+//
+//   $ ./capacity_planning --type D64 --trials 20
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"capacity_planning — technique efficiency vs. component MTBF "
+                "for an exascale-sized application"};
+  cli.add_option("--type", "application type (Table I)", "D64");
+  cli.add_option("--trials", "simulated trials per cell", "20");
+  cli.add_option("--target", "viability threshold on efficiency", "0.5");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  const double target = cli.real("--target");
+  const AppSpec app{app_type_by_name(cli.str("--type")), 120000, 1440};
+
+  const std::vector<TechniqueKind> techniques{TechniqueKind::kCheckpointRestart,
+                                              TechniqueKind::kMultilevel,
+                                              TechniqueKind::kParallelRecovery};
+  const std::vector<double> mtbf_years{1.0, 2.5, 5.0, 10.0, 20.0, 50.0};
+
+  std::printf("capacity planning: efficiency of an exascale %s application "
+              "(123M cores) vs. node MTBF\n\n",
+              app.type.name.c_str());
+
+  Table table{{"node MTBF", "system MTBF", "checkpoint-restart", "multilevel",
+               "parallel-recovery"}};
+  std::vector<double> first_viable(techniques.size(), -1.0);
+  for (double years : mtbf_years) {
+    std::vector<std::string> row{fmt_double(years, 1) + " y"};
+    const Rate system_rate = Rate::one_per(Duration::years(years)) * 120000.0;
+    row.push_back(to_string(system_rate.mean_interval()));
+    for (std::size_t k = 0; k < techniques.size(); ++k) {
+      SingleAppTrialConfig config;
+      config.app = app;
+      config.technique = techniques[k];
+      config.resilience.node_mtbf = Duration::years(years);
+      RunningStats stats;
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        stats.add(run_single_app_trial(config, derive_seed(42, k, t)).efficiency);
+      }
+      row.push_back(fmt_mean_std(stats.mean(), stats.stddev()));
+      if (first_viable[k] < 0.0 && stats.mean() >= target) first_viable[k] = years;
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  for (std::size_t k = 0; k < techniques.size(); ++k) {
+    if (first_viable[k] >= 0.0) {
+      std::printf("%-20s viable (efficiency >= %.0f%%) from ~%.1f-year node MTBF\n",
+                  to_string(techniques[k]), target * 100.0, first_viable[k]);
+    } else {
+      std::printf("%-20s not viable at any swept MTBF\n", to_string(techniques[k]));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: simulate one application on the exascale machine under a
+// resilience technique, and inspect the planned schedule and the outcome.
+//
+//   $ ./quickstart
+//
+// Walks through the library's three core steps:
+//   1. describe the machine and the application,
+//   2. plan a resilient execution (make_plan),
+//   3. simulate it under failures (run_single_app_trial).
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "failure/severity.hpp"
+#include "resilience/analytic.hpp"
+#include "resilience/planner.hpp"
+#include "runtime/app_runtime.hpp"
+
+int main() {
+  using namespace xres;
+
+  // 1. The machine (the paper's TaihuLight-extrapolated exascale system)
+  //    and an application: type C64 (50% communication, 64 GB/node)
+  //    occupying 10% of the machine for one day of baseline execution.
+  const MachineSpec machine = MachineSpec::exascale();
+  const AppSpec app =
+      AppSpec::from_baseline(app_type_by_name("C64"), 12000, Duration::hours(24.0));
+  std::printf("machine: %s\n", machine.describe().c_str());
+  std::printf("application: %s\n\n", app.describe().c_str());
+
+  // 2. Plan a multilevel-checkpointing execution. The planner computes the
+  //    per-level checkpoint costs (Eqs. 3, 5, 6) and optimizes the
+  //    hierarchical schedule.
+  ResilienceConfig resilience;  // 10-year node MTBF, paper defaults
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kMultilevel, app, machine, resilience);
+  std::printf("planned schedule for %s:\n", to_string(plan.kind));
+  std::printf("  work quantum between checkpoints: %s\n",
+              to_string(plan.checkpoint_quantum).c_str());
+  for (std::size_t i = 0; i < plan.levels.size(); ++i) {
+    std::printf("  level %zu: save %s, restore %s, covers severity <= %d\n", i + 1,
+                to_string(plan.levels[i].save_cost).c_str(),
+                to_string(plan.levels[i].restore_cost).c_str(),
+                plan.levels[i].coverage);
+  }
+  std::printf("  nesting: every %d-th checkpoint is L2, every %d-th L2 is L3\n",
+              plan.nesting[0], plan.nesting[1]);
+  std::printf("  application failure rate: one failure every %s\n",
+              to_string(plan.failure_rate.mean_interval()).c_str());
+  std::printf("  predicted efficiency: %.3f\n\n",
+              predict_efficiency(plan, resilience));
+
+  // 3. Simulate a few trials under Poisson failures.
+  std::printf("simulated trials:\n");
+  RunningStats efficiency;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const ExecutionResult result =
+        run_plan_trial(plan, resilience, FailureDistribution::exponential(), seed);
+    std::printf("  seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                result.describe().c_str());
+    efficiency.add(result.efficiency);
+  }
+  std::printf("\nmean efficiency over 5 trials: %.3f (predicted %.3f)\n",
+              efficiency.mean(), predict_efficiency(plan, resilience));
+
+  // 4. Record and render one execution's timeline (= work, C checkpoint,
+  //    R restart, ! recovery).
+  {
+    Simulation sim;
+    ExecutionResult result;
+    ResilientAppRuntime runtime{sim, plan, /*seed=*/42,
+                                [&](const ExecutionResult& r) {
+                                  result = r;
+                                  sim.request_stop();
+                                }};
+    runtime.enable_timeline();
+    const SeverityModel severity{resilience.severity_weights};
+    AppFailureProcess failures{sim,
+                               plan.failure_rate,
+                               severity,
+                               FailureDistribution::exponential(),
+                               Pcg32{42},
+                               [&runtime](const Failure& f) { runtime.on_failure(f); }};
+    failures.start();
+    runtime.start();
+    sim.run();
+    std::printf("\ntimeline of one execution (%s wall time):\n%s\n",
+                to_string(result.wall_time).c_str(),
+                runtime.timeline()->render(76).c_str());
+  }
+  return 0;
+}

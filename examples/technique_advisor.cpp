@@ -1,0 +1,80 @@
+// Technique advisor: given an application's characteristics, compare every
+// resilience technique (predicted and simulated efficiency) and recommend
+// one — the paper's Resilience Selection (Section VII) as an interactive
+// tool.
+//
+//   $ ./technique_advisor --type D64 --system-share 0.25 --mtbf-years 10
+
+#include <cstdio>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "resilience/analytic.hpp"
+#include "resilience/planner.hpp"
+#include "resilience/selector.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xres;
+  CliParser cli{"technique_advisor — recommend a resilience technique for an "
+                "application on the exascale machine"};
+  cli.add_option("--type", "application type (A32..D64, Table I)", "C64");
+  cli.add_option("--system-share", "fraction of the machine used (0, 1]", "0.25");
+  cli.add_option("--baseline-hours", "delay-free execution time", "24");
+  cli.add_option("--mtbf-years", "per-node MTBF", "10");
+  cli.add_option("--trials", "simulated trials per technique", "20");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const MachineSpec machine = MachineSpec::exascale();
+  const double share = cli.real("--system-share");
+  XRES_CHECK(share > 0.0 && share <= 1.0, "--system-share must be in (0, 1]");
+  const auto nodes = static_cast<std::uint32_t>(share * machine.node_count);
+  const AppSpec app = AppSpec::from_baseline(
+      app_type_by_name(cli.str("--type")), std::max(1U, nodes),
+      Duration::hours(cli.real("--baseline-hours")));
+
+  ResilienceConfig resilience;
+  resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+
+  std::printf("application: %s (T_C = %.0f%%, N_m = %s)\n", app.describe().c_str(),
+              app.type.comm_fraction * 100.0, to_string(app.type.memory_per_node).c_str());
+  std::printf("node MTBF: %s -> application MTBF: %s\n\n",
+              to_string(resilience.node_mtbf).c_str(),
+              to_string((Rate::one_per(resilience.node_mtbf) *
+                         static_cast<double>(app.nodes))
+                            .mean_interval())
+                  .c_str());
+
+  Table table{{"technique", "predicted eff", "simulated eff", "nodes needed", "note"}};
+  for (TechniqueKind kind : evaluated_techniques()) {
+    const ExecutionPlan plan = make_plan(kind, app, machine, resilience);
+    const double predicted = predict_efficiency(plan, resilience);
+    std::string simulated = "-";
+    std::string note;
+    if (!plan.feasible) {
+      note = "infeasible: needs " + std::to_string(plan.physical_nodes) + " nodes";
+    } else {
+      RunningStats stats;
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        SingleAppTrialConfig config;
+        config.app = app;
+        config.technique = kind;
+        config.machine = machine;
+        config.resilience = resilience;
+        stats.add(run_single_app_trial(config, derive_seed(1337, t)).efficiency);
+      }
+      simulated = fmt_mean_std(stats.mean(), stats.stddev());
+      if (stats.mean() < 0.05) note = "fails to make progress";
+    }
+    table.add_row({to_string(kind), fmt_double(predicted, 3), simulated,
+                   std::to_string(plan.physical_nodes), note});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  const ResilienceSelector selector{machine, resilience};
+  const auto selection = selector.select(app);
+  std::printf("recommendation (workload candidates): %s (predicted efficiency %.3f)\n",
+              to_string(selection.kind), selection.predicted_efficiency);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "apps/app_type.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+
+constexpr double kCommFractions[] = {0.0, 0.25, 0.5, 0.75};
+constexpr double kMemoryGb[] = {32.0, 64.0};
+constexpr char kCommNames[] = {'A', 'B', 'C', 'D'};
+
+AppType make_type(CommClass comm, MemoryClass mem) {
+  const auto c = static_cast<std::size_t>(comm);
+  const auto m = static_cast<std::size_t>(mem);
+  AppType t;
+  t.name = std::string{kCommNames[c]} + (m == 0 ? "32" : "64");
+  t.comm_fraction = kCommFractions[c];
+  t.memory_per_node = DataSize::gigabytes(kMemoryGb[m]);
+  return t;
+}
+
+}  // namespace
+
+AppType app_type(CommClass comm, MemoryClass mem) { return make_type(comm, mem); }
+
+const std::array<AppType, 8>& all_app_types() {
+  static const std::array<AppType, 8> types = [] {
+    std::array<AppType, 8> out;
+    std::size_t i = 0;
+    for (CommClass c : {CommClass::kA, CommClass::kB, CommClass::kC, CommClass::kD}) {
+      for (MemoryClass m : {MemoryClass::k32GB, MemoryClass::k64GB}) {
+        out[i++] = make_type(c, m);
+      }
+    }
+    return out;
+  }();
+  return types;
+}
+
+AppType app_type_by_name(const std::string& name) {
+  for (const AppType& t : all_app_types()) {
+    if (t.name == name) return t;
+  }
+  XRES_CHECK(false, "unknown application type: " + name);
+}
+
+}  // namespace xres

@@ -1,0 +1,41 @@
+#include "apps/application.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+AppSpec AppSpec::from_baseline(AppType type, std::uint32_t nodes, Duration baseline) {
+  const double steps = baseline / time_step_length();
+  const double rounded = std::round(steps);
+  XRES_CHECK(std::abs(steps - rounded) < 1e-9,
+             "baseline must be a whole number of time steps");
+  AppSpec spec{type, nodes, static_cast<std::uint64_t>(rounded)};
+  spec.validate();
+  return spec;
+}
+
+void AppSpec::validate() const {
+  XRES_CHECK(nodes > 0, "application needs at least one node");
+  XRES_CHECK(time_steps > 0, "application needs at least one time step");
+  XRES_CHECK(type.comm_fraction >= 0.0 && type.comm_fraction < 1.0,
+             "communication fraction must be in [0, 1)");
+  XRES_CHECK(type.memory_per_node > DataSize::zero(), "per-node memory must be positive");
+}
+
+std::string AppSpec::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s x %u nodes, %s", type.name.c_str(), nodes,
+                to_string(baseline_time()).c_str());
+  return buf;
+}
+
+TimePoint assign_deadline(TimePoint arrival, Duration baseline, Pcg32& rng) {
+  XRES_CHECK(baseline > Duration::zero(), "baseline time must be positive");
+  const double slack_factor = rng.uniform(1.2, 2.0);
+  return arrival + baseline * slack_factor;
+}
+
+}  // namespace xres

@@ -1,0 +1,118 @@
+#include "apps/swf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+
+/// Table-I candidates under the import bias (mirrors workload.cpp).
+std::vector<AppType> candidate_types(WorkloadBias bias) {
+  std::vector<AppType> types;
+  for (const AppType& t : all_app_types()) {
+    switch (bias) {
+      case WorkloadBias::kUnbiased:
+      case WorkloadBias::kLargeApps:  // size bias does not apply to imports
+        types.push_back(t);
+        break;
+      case WorkloadBias::kHighMemory:
+        if (t.memory_per_node >= DataSize::gigabytes(64.0)) types.push_back(t);
+        break;
+      case WorkloadBias::kHighCommunication:
+        if (t.comm_fraction > 0.25) types.push_back(t);
+        break;
+    }
+  }
+  XRES_CHECK(!types.empty(), "bias produced an empty type set");
+  return types;
+}
+
+}  // namespace
+
+ArrivalPattern import_swf(const std::string& swf_text, const SwfImportConfig& config,
+                          SwfImportStats* stats) {
+  XRES_CHECK(config.node_scale > 0.0, "node scale must be positive");
+  XRES_CHECK(config.machine_nodes > 0, "machine must have nodes");
+
+  Pcg32 rng{derive_seed(config.seed, 0x737766ULL)};
+  const std::vector<AppType> types = candidate_types(config.bias);
+
+  SwfImportStats local;
+  ArrivalPattern pattern;
+  std::uint64_t next_id = 1;
+
+  std::istringstream in{swf_text};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++local.lines_total;
+    // Strip leading whitespace; skip blanks and ';' comments.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      ++local.comments;
+      continue;
+    }
+    if (line[first] == ';') {
+      ++local.comments;
+      continue;
+    }
+
+    std::istringstream fields{line};
+    long long job_number = 0;
+    double submit = 0.0;
+    double wait = 0.0;
+    double run_time = 0.0;
+    double processors = 0.0;
+    XRES_CHECK(static_cast<bool>(fields >> job_number >> submit >> wait >> run_time >>
+                                 processors),
+               "malformed SWF record: " + line);
+
+    // -1 marks unknown; cancelled jobs have non-positive run time.
+    if (run_time <= 0.0 || processors <= 0.0 || submit < 0.0) {
+      ++local.skipped_invalid;
+      continue;
+    }
+
+    const double scaled = processors * config.node_scale;
+    const auto nodes = static_cast<std::uint32_t>(std::clamp(
+        std::llround(std::max(scaled, 1.0)), 1LL,
+        static_cast<long long>(config.machine_nodes)));
+    // Round the run time up to whole time steps (>= 1 minute).
+    const auto steps = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(run_time / time_step_length().to_seconds())));
+
+    Job job;
+    job.id = JobId{next_id++};
+    job.spec.type = types[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint32_t>(types.size())))];
+    job.spec.nodes = nodes;
+    job.spec.time_steps = steps;
+    job.spec.validate();
+    job.arrival = TimePoint::at(Duration::seconds(submit));
+    job.deadline = assign_deadline(job.arrival, job.spec.baseline_time(), rng);
+    pattern.jobs.push_back(std::move(job));
+    ++local.imported;
+    if (config.max_jobs != 0 && local.imported >= config.max_jobs) break;
+  }
+
+  // SWF logs are submit-time ordered by convention, but do not rely on it.
+  std::stable_sort(pattern.jobs.begin(), pattern.jobs.end(),
+                   [](const Job& a, const Job& b) { return a.arrival < b.arrival; });
+  if (stats != nullptr) *stats = local;
+  return pattern;
+}
+
+ArrivalPattern load_swf(const std::string& path, const SwfImportConfig& config,
+                        SwfImportStats* stats) {
+  std::ifstream f{path};
+  XRES_CHECK(f.good(), "cannot open SWF file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return import_swf(buf.str(), config, stats);
+}
+
+}  // namespace xres

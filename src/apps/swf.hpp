@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file swf.hpp
+/// Import real cluster job logs in the Standard Workload Format (SWF,
+/// Feitelson's Parallel Workloads Archive) as arrival patterns.
+///
+/// The paper evaluates synthetic arrival patterns; replaying a real log is
+/// the natural validation extension. SWF records are whitespace-separated
+/// lines of 18 fields (';' starts a comment); we consume the fields the
+/// engine needs — submit time, run time, processor count — and synthesize
+/// the paper-specific attributes (Table-I type, Eq.-1 deadline) from a
+/// seeded stream. Unknown values are -1 per the SWF convention.
+
+#include <cstdint>
+#include <string>
+
+#include "apps/workload.hpp"
+
+namespace xres {
+
+struct SwfImportConfig {
+  /// Multiply the SWF processor count to get simulated nodes (logs often
+  /// count cores; e.g. use 1/1028 to map cores onto exascale nodes).
+  double node_scale{1.0};
+  /// Clamp node requests to the machine size.
+  std::uint32_t machine_nodes{120000};
+  /// Import at most this many valid jobs (0 = all).
+  std::uint32_t max_jobs{0};
+  /// Seed for drawing each job's Table-I type and Eq.-1 deadline factor.
+  std::uint64_t seed{1};
+  /// Restrict drawn types (same semantics as workload generation).
+  WorkloadBias bias{WorkloadBias::kUnbiased};
+};
+
+struct SwfImportStats {
+  std::uint32_t lines_total{0};
+  std::uint32_t comments{0};
+  std::uint32_t imported{0};
+  std::uint32_t skipped_invalid{0};  ///< non-positive run time or processors
+};
+
+/// Parse SWF text. Throws CheckError on malformed (non-comment,
+/// non-empty) lines that do not contain the mandatory numeric fields.
+[[nodiscard]] ArrivalPattern import_swf(const std::string& swf_text,
+                                        const SwfImportConfig& config,
+                                        SwfImportStats* stats = nullptr);
+
+/// Read and parse an SWF file from disk.
+[[nodiscard]] ArrivalPattern load_swf(const std::string& path,
+                                      const SwfImportConfig& config,
+                                      SwfImportStats* stats = nullptr);
+
+}  // namespace xres

@@ -1,0 +1,91 @@
+#include "core/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+void OccupancyLog::record_start(JobId id, NodeRange nodes, TimePoint start) {
+  XRES_CHECK(nodes.count > 0, "occupancy span needs nodes");
+  for (const Open& open : open_) {
+    XRES_CHECK(open.id != id, "job already has an open occupancy span");
+  }
+  open_.push_back(Open{id, nodes, start});
+}
+
+void OccupancyLog::record_end(JobId id, TimePoint end, bool completed) {
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [id](const Open& open) { return open.id == id; });
+  XRES_CHECK(it != open_.end(), "job has no open occupancy span");
+  XRES_CHECK(end >= it->start, "occupancy span ends before it starts");
+  spans_.push_back(JobSpan{id, it->nodes, it->start, end, completed});
+  open_.erase(it);
+  std::sort(spans_.begin(), spans_.end(),
+            [](const JobSpan& a, const JobSpan& b) { return a.start < b.start; });
+}
+
+double OccupancyLog::busy_node_seconds() const {
+  double total = 0.0;
+  for (const JobSpan& span : spans_) {
+    total += static_cast<double>(span.nodes.count) * span.length().to_seconds();
+  }
+  return total;
+}
+
+std::string OccupancyLog::render(std::uint32_t machine_nodes, TimePoint horizon,
+                                 std::size_t width, std::size_t rows) const {
+  XRES_CHECK(machine_nodes > 0, "machine must have nodes");
+  XRES_CHECK(width >= 8 && rows >= 2, "chart too small");
+  const double horizon_s = horizon.to_seconds();
+  XRES_CHECK(horizon_s > 0.0, "horizon must be positive");
+
+  const double nodes_per_row = static_cast<double>(machine_nodes) / static_cast<double>(rows);
+  const double seconds_per_col = horizon_s / static_cast<double>(width);
+
+  // coverage[row][col] = occupied node-seconds within the cell.
+  std::vector<std::vector<double>> coverage(rows, std::vector<double>(width, 0.0));
+  for (const JobSpan& span : spans_) {
+    const double t0 = span.start.to_seconds();
+    const double t1 = std::min(span.end.to_seconds(), horizon_s);
+    if (t1 <= t0) continue;
+    const auto col0 = static_cast<std::size_t>(t0 / seconds_per_col);
+    const auto col1 = std::min(
+        width - 1, static_cast<std::size_t>(t1 / seconds_per_col));
+    const double n0 = span.nodes.first;
+    const double n1 = span.nodes.end();
+    const auto row0 = static_cast<std::size_t>(n0 / nodes_per_row);
+    const auto row1 = std::min(rows - 1, static_cast<std::size_t>((n1 - 1e-9) / nodes_per_row));
+    for (std::size_t r = row0; r <= row1; ++r) {
+      const double band_lo = static_cast<double>(r) * nodes_per_row;
+      const double band_hi = band_lo + nodes_per_row;
+      const double nodes_in_band = std::min(n1, band_hi) - std::max(n0, band_lo);
+      if (nodes_in_band <= 0.0) continue;
+      for (std::size_t c = col0; c <= col1; ++c) {
+        const double cell_lo = static_cast<double>(c) * seconds_per_col;
+        const double cell_hi = cell_lo + seconds_per_col;
+        const double seconds_in_cell = std::min(t1, cell_hi) - std::max(t0, cell_lo);
+        if (seconds_in_cell > 0.0) coverage[r][c] += nodes_in_band * seconds_in_cell;
+      }
+    }
+  }
+
+  static constexpr char kRamp[] = " .:-=#";
+  const double cell_capacity = nodes_per_row * seconds_per_col;
+  std::string out;
+  out.reserve((width + 2) * rows + 64);
+  for (std::size_t r = 0; r < rows; ++r) {
+    out += '|';
+    for (std::size_t c = 0; c < width; ++c) {
+      const double fraction = std::clamp(coverage[r][c] / cell_capacity, 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(fraction * 5.0 + 0.5);
+      out += kRamp[idx];
+    }
+    out += "|\n";
+  }
+  out += "(rows: node bands 0.." + std::to_string(machine_nodes) +
+         "; columns: time 0.." + to_string(horizon) + ")\n";
+  return out;
+}
+
+}  // namespace xres

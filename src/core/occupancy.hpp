@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file occupancy.hpp
+/// Machine-occupancy recording for workload runs: which node range each
+/// job held and when. Powers an ASCII node×time occupancy chart (a
+/// Gantt-style view of the oversubscribed machine) and gives tests an
+/// independent way to audit the engine's allocation behavior.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "platform/allocator.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+/// One job's tenancy on the machine.
+struct JobSpan {
+  JobId id{};
+  NodeRange nodes{};
+  TimePoint start{};
+  TimePoint end{};
+  bool completed{false};  ///< false: aborted/dropped mid-run
+
+  [[nodiscard]] Duration length() const { return end - start; }
+};
+
+class OccupancyLog {
+ public:
+  /// Record a job starting on \p nodes now.
+  void record_start(JobId id, NodeRange nodes, TimePoint start);
+
+  /// Record the departure of a previously started job.
+  void record_end(JobId id, TimePoint end, bool completed);
+
+  /// Closed spans (jobs that have departed), in start order.
+  [[nodiscard]] const std::vector<JobSpan>& spans() const { return spans_; }
+
+  /// True if some job is recorded as still running.
+  [[nodiscard]] bool has_open_spans() const { return !open_.empty(); }
+
+  /// Node-seconds integral over all closed spans.
+  [[nodiscard]] double busy_node_seconds() const;
+
+  /// Render an ASCII node×time occupancy chart: rows are node bands,
+  /// columns are time buckets across [origin, horizon]; glyph density
+  /// encodes the band's occupied fraction in that bucket.
+  [[nodiscard]] std::string render(std::uint32_t machine_nodes, TimePoint horizon,
+                                   std::size_t width = 72, std::size_t rows = 16) const;
+
+ private:
+  struct Open {
+    JobId id{};
+    NodeRange nodes{};
+    TimePoint start{};
+  };
+  std::vector<JobSpan> spans_;
+  std::vector<Open> open_;
+};
+
+}  // namespace xres

@@ -1,0 +1,14 @@
+#include "core/policy.hpp"
+
+namespace xres {
+
+std::string TechniquePolicy::name() const {
+  switch (mode) {
+    case Mode::kIdealBaseline: return "ideal-baseline";
+    case Mode::kFixed: return to_string(fixed);
+    case Mode::kSelection: return "resilience-selection";
+  }
+  return "?";
+}
+
+}  // namespace xres

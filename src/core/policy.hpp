@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file policy.hpp
+/// How the workload engine assigns a resilience technique to each arriving
+/// application: a fixed technique (Figure 4), per-application Resilience
+/// Selection (Figure 5), or the failure-free Ideal Baseline.
+
+#include <string>
+
+#include "resilience/technique.hpp"
+
+namespace xres {
+
+struct TechniquePolicy {
+  enum class Mode { kIdealBaseline, kFixed, kSelection };
+
+  Mode mode{Mode::kFixed};
+  TechniqueKind fixed{TechniqueKind::kCheckpointRestart};
+
+  [[nodiscard]] static TechniquePolicy ideal_baseline() {
+    return TechniquePolicy{Mode::kIdealBaseline, TechniqueKind::kNone};
+  }
+  [[nodiscard]] static TechniquePolicy fixed_technique(TechniqueKind kind) {
+    return TechniquePolicy{Mode::kFixed, kind};
+  }
+  [[nodiscard]] static TechniquePolicy selection() {
+    return TechniquePolicy{Mode::kSelection, TechniqueKind::kNone};
+  }
+
+  [[nodiscard]] std::string name() const;
+};
+
+}  // namespace xres

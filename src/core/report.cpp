@@ -1,0 +1,52 @@
+#include "core/report.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+StudyReport::StudyReport(std::string title) : title_{std::move(title)} {
+  XRES_CHECK(!title_.empty(), "report needs a title");
+}
+
+void StudyReport::add_paragraph(const std::string& text) { paragraphs_.push_back(text); }
+
+void StudyReport::add_config(const std::string& key, const std::string& value) {
+  XRES_CHECK(!key.empty(), "config key must be non-empty");
+  config_.emplace_back(key, value);
+}
+
+void StudyReport::add_table(const std::string& caption, Table table) {
+  tables_.push_back(CaptionedTable{caption, std::move(table)});
+}
+
+std::string StudyReport::to_markdown() const {
+  std::string out = "# " + title_ + "\n\n";
+  if (!config_.empty()) {
+    out += "## Configuration\n\n";
+    for (const auto& [key, value] : config_) {
+      out += "* **" + key + "**: " + value + "\n";
+    }
+    out += '\n';
+  }
+  for (const std::string& paragraph : paragraphs_) {
+    out += paragraph;
+    out += "\n\n";
+  }
+  for (const CaptionedTable& entry : tables_) {
+    if (!entry.caption.empty()) out += "## " + entry.caption + "\n\n";
+    out += entry.table.to_markdown();
+    out += '\n';
+  }
+  return out;
+}
+
+void StudyReport::write(const std::string& path) const {
+  std::ofstream f{path};
+  XRES_CHECK(f.good(), "cannot open report file for writing: " + path);
+  f << to_markdown();
+  XRES_CHECK(f.good(), "failed writing report file: " + path);
+}
+
+}  // namespace xres

@@ -1,0 +1,174 @@
+#include "core/single_app_study.hpp"
+
+#include <cmath>
+
+#include "failure/process.hpp"
+#include "failure/replay.hpp"
+#include "failure/severity.hpp"
+#include "resilience/planner.hpp"
+#include "runtime/app_runtime.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+
+ExecutionResult run_plan_trial(const ExecutionPlan& plan,
+                               const ResilienceConfig& resilience,
+                               FailureDistribution failure_distribution,
+                               std::uint64_t seed) {
+  if (!plan.feasible) {
+    ExecutionResult result;
+    result.completed = false;
+    result.baseline = plan.baseline;
+    result.efficiency = 0.0;
+    return result;
+  }
+
+  Simulation sim;
+  const SeverityModel severity{resilience.severity_weights};
+
+  ExecutionResult final_result;
+  bool finished = false;
+
+  ResilientAppRuntime runtime{
+      sim, plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
+        final_result = r;
+        finished = true;
+        sim.request_stop();
+      }};
+
+  AppFailureProcess failures{
+      sim,
+      plan.failure_rate,
+      severity,
+      failure_distribution,
+      Pcg32{derive_seed(seed, 0x6661696c7321ULL)},
+      [&runtime](const Failure& f) { runtime.on_failure(f); }};
+
+  failures.start();
+  runtime.start();
+  sim.run();
+
+  XRES_CHECK(finished, "single-app trial ended without a completion callback");
+  return final_result;
+}
+
+ExecutionResult run_plan_trial_with_trace(const ExecutionPlan& plan,
+                                          const ResilienceConfig& resilience,
+                                          const FailureTrace& trace,
+                                          std::uint64_t seed) {
+  (void)resilience;  // severity already baked into the trace
+  if (!plan.feasible) {
+    ExecutionResult result;
+    result.completed = false;
+    result.baseline = plan.baseline;
+    result.efficiency = 0.0;
+    return result;
+  }
+
+  Simulation sim;
+  ExecutionResult final_result;
+  bool finished = false;
+
+  ResilientAppRuntime runtime{
+      sim, plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
+        final_result = r;
+        finished = true;
+        sim.request_stop();
+      }};
+
+  TraceFailureProcess failures{sim, trace,
+                               [&runtime](const Failure& f) { runtime.on_failure(f); }};
+  failures.start();
+  runtime.start();
+  sim.run();
+
+  XRES_CHECK(finished, "trace trial ended without a completion callback");
+  return final_result;
+}
+
+ExecutionResult run_single_app_trial(const SingleAppTrialConfig& config,
+                                     std::uint64_t seed) {
+  const ExecutionPlan plan =
+      make_plan(config.technique, config.app, config.machine, config.resilience);
+  return run_plan_trial(plan, config.resilience, config.failure_distribution, seed);
+}
+
+EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
+                                           const StudyProgress& progress) {
+  XRES_CHECK(config.trials > 0, "study needs at least one trial");
+  XRES_CHECK(!config.size_fractions.empty(), "study needs at least one size");
+  XRES_CHECK(!config.techniques.empty(), "study needs at least one technique");
+
+  EfficiencyStudyResult result;
+  result.config = config;
+  const std::size_t total_cells =
+      config.size_fractions.size() * config.techniques.size();
+  std::size_t done_cells = 0;
+
+  for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+    const double fraction = config.size_fractions[si];
+    XRES_CHECK(fraction > 0.0 && fraction <= 1.0, "size fraction must be in (0, 1]");
+    const auto nodes = static_cast<std::uint32_t>(std::llround(
+        fraction * static_cast<double>(config.machine.node_count)));
+    const AppSpec app = AppSpec::from_baseline(config.app_type, std::max(1U, nodes),
+                                               config.baseline);
+
+    result.efficiency.emplace_back();
+    result.mean_failures.emplace_back();
+    for (std::size_t ti = 0; ti < config.techniques.size(); ++ti) {
+      SingleAppTrialConfig trial;
+      trial.app = app;
+      trial.technique = config.techniques[ti];
+      trial.machine = config.machine;
+      trial.resilience = config.resilience;
+      trial.failure_distribution = config.failure_distribution;
+
+      RunningStats efficiency;
+      RunningStats failures;
+      for (std::uint32_t t = 0; t < config.trials; ++t) {
+        const std::uint64_t seed = derive_seed(config.seed, si, ti, t);
+        const ExecutionResult r = run_single_app_trial(trial, seed);
+        efficiency.add(r.efficiency);
+        failures.add(static_cast<double>(r.failures_seen));
+      }
+      result.efficiency[si].push_back(efficiency.summary());
+      result.mean_failures[si].push_back(failures.empty() ? 0.0 : failures.mean());
+      ++done_cells;
+      if (progress) progress(done_cells, total_cells);
+    }
+  }
+  return result;
+}
+
+Table EfficiencyStudyResult::to_table() const {
+  std::vector<std::string> headers{"system share"};
+  for (TechniqueKind kind : config.techniques) headers.emplace_back(to_string(kind));
+  Table table{std::move(headers)};
+  for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+    std::vector<std::string> row{fmt_percent(config.size_fractions[si], 0)};
+    for (std::size_t ti = 0; ti < config.techniques.size(); ++ti) {
+      const Summary& s = efficiency[si][ti];
+      row.push_back(fmt_mean_std(s.mean, s.stddev));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table EfficiencyStudyResult::to_csv_table() const {
+  Table table{{"size_fraction", "technique", "mean_efficiency", "stddev", "trials",
+               "mean_failures"}};
+  for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+    for (std::size_t ti = 0; ti < config.techniques.size(); ++ti) {
+      const Summary& s = efficiency[si][ti];
+      table.add_row({fmt_double(config.size_fractions[si], 4),
+                     to_string(config.techniques[ti]), fmt_double(s.mean, 6),
+                     fmt_double(s.stddev, 6), std::to_string(s.count),
+                     fmt_double(mean_failures[si][ti], 2)});
+    }
+  }
+  return table;
+}
+
+}  // namespace xres

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file single_app_study.hpp
+/// Application-scaling efficiency studies (paper Section V, Figures 1–3):
+/// one application at a time, scaled from 1% of the machine to the full
+/// machine, executed under each resilience technique for many seeded
+/// trials, reporting mean ± σ efficiency.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "failure/distribution.hpp"
+#include "failure/trace.hpp"
+#include "platform/spec.hpp"
+#include "resilience/config.hpp"
+#include "resilience/plan.hpp"
+#include "resilience/technique.hpp"
+#include "runtime/result.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace xres {
+
+/// One simulated execution of one application under one technique.
+struct SingleAppTrialConfig {
+  AppSpec app{};
+  TechniqueKind technique{TechniqueKind::kCheckpointRestart};
+  MachineSpec machine{};
+  ResilienceConfig resilience{};
+  FailureDistribution failure_distribution{FailureDistribution::exponential()};
+};
+
+/// Run one trial. Infeasible plans (redundancy larger than the machine)
+/// return a zero-efficiency result without simulating, as in the paper's
+/// zero-height bars.
+[[nodiscard]] ExecutionResult run_single_app_trial(const SingleAppTrialConfig& config,
+                                                   std::uint64_t seed);
+
+/// Lower-level entry point: execute an explicit (possibly hand-modified)
+/// plan under its own failure rate. Used by ablation harnesses that
+/// override planner decisions such as the checkpoint interval.
+[[nodiscard]] ExecutionResult run_plan_trial(const ExecutionPlan& plan,
+                                             const ResilienceConfig& resilience,
+                                             FailureDistribution failure_distribution,
+                                             std::uint64_t seed);
+
+/// Execute a plan against a *replayed* failure trace (common random
+/// numbers): every technique compared against the same trace sees
+/// byte-identical failure times and severities, which removes
+/// failure-sampling variance from technique deltas. \p seed still drives
+/// the runtime's internal randomness (redundancy victim classification).
+[[nodiscard]] ExecutionResult run_plan_trial_with_trace(const ExecutionPlan& plan,
+                                                        const ResilienceConfig& resilience,
+                                                        const FailureTrace& trace,
+                                                        std::uint64_t seed);
+
+/// A full figure: sweep application size × technique.
+struct EfficiencyStudyConfig {
+  MachineSpec machine{MachineSpec::exascale()};
+  ResilienceConfig resilience{};
+  AppType app_type{};
+  /// T_B = 1440 min (one day) in Figures 1–3.
+  Duration baseline{Duration::minutes(1440.0)};
+  /// Fractions of the machine the application occupies (figure x-axis).
+  std::vector<double> size_fractions{0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00};
+  std::vector<TechniqueKind> techniques{evaluated_techniques().begin(),
+                                        evaluated_techniques().end()};
+  std::uint32_t trials{200};
+  std::uint64_t seed{20170529};
+  FailureDistribution failure_distribution{FailureDistribution::exponential()};
+};
+
+struct EfficiencyStudyResult {
+  EfficiencyStudyConfig config{};
+  /// cell[size_index][technique_index]: efficiency summary over trials.
+  std::vector<std::vector<Summary>> efficiency;
+  /// Mean failures seen per trial, same indexing (diagnostics).
+  std::vector<std::vector<double>> mean_failures;
+
+  /// The figure's series as an aligned table (rows: size; columns:
+  /// technique "mean ± σ").
+  [[nodiscard]] Table to_table() const;
+  /// Raw CSV: size_fraction, technique, mean, stddev, trials.
+  [[nodiscard]] Table to_csv_table() const;
+};
+
+/// Progress callback: (completed cells, total cells).
+using StudyProgress = std::function<void(std::size_t, std::size_t)>;
+
+[[nodiscard]] EfficiencyStudyResult run_efficiency_study(
+    const EfficiencyStudyConfig& config, const StudyProgress& progress = {});
+
+}  // namespace xres

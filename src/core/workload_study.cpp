@@ -1,0 +1,98 @@
+#include "core/workload_study.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+std::string WorkloadCombo::name() const {
+  return std::string{to_string(scheduler)} + " + " + policy.name();
+}
+
+std::vector<WorkloadComboResult> run_workload_study(
+    const WorkloadStudyConfig& config, const std::vector<WorkloadCombo>& combos,
+    const WorkloadProgress& progress) {
+  XRES_CHECK(config.patterns > 0, "study needs at least one pattern");
+  XRES_CHECK(!combos.empty(), "study needs at least one combo");
+
+  // Generate the patterns once; every combo replays the identical
+  // workloads (paper Section VI).
+  std::vector<ArrivalPattern> patterns;
+  patterns.reserve(config.patterns);
+  for (std::uint32_t p = 0; p < config.patterns; ++p) {
+    patterns.push_back(generate_pattern(config.workload, config.seed, p));
+  }
+
+  const std::size_t total_runs = combos.size() * config.patterns;
+  std::size_t done_runs = 0;
+
+  std::vector<WorkloadComboResult> results;
+  results.reserve(combos.size());
+  for (const WorkloadCombo& combo : combos) {
+    WorkloadComboResult out;
+    out.combo = combo;
+    RunningStats dropped;
+    RunningStats utilization;
+    RunningStats failures;
+    for (std::uint32_t p = 0; p < config.patterns; ++p) {
+      WorkloadEngineConfig engine;
+      engine.machine = config.machine;
+      engine.resilience = config.resilience;
+      engine.policy = combo.policy;
+      engine.scheduler = combo.scheduler;
+      // The engine seed varies per pattern but NOT per combo: combos see
+      // identical failure sequences for a given pattern (variance
+      // reduction, mirroring the paper's shared arrival patterns).
+      engine.seed = derive_seed(config.seed, 0x656e67696eULL, p);
+      const WorkloadRunResult r = run_workload(engine, patterns[p]);
+      dropped.add(r.dropped_fraction);
+      utilization.add(r.mean_utilization);
+      failures.add(static_cast<double>(r.failures_injected));
+      for (const auto& [kind, count] : r.selection_counts) {
+        out.selection_counts[kind] += count;
+      }
+      ++done_runs;
+      if (progress) progress(done_runs, total_runs);
+    }
+    out.dropped_fraction = dropped.summary();
+    out.mean_utilization = utilization.summary();
+    out.mean_failures = failures.empty() ? 0.0 : failures.mean();
+    results.push_back(std::move(out));
+  }
+  return results;
+}
+
+std::vector<WorkloadCombo> figure4_combos() {
+  std::vector<WorkloadCombo> combos;
+  combos.push_back(WorkloadCombo{SchedulerKind::kFcfs, TechniquePolicy::ideal_baseline()});
+  for (SchedulerKind sched : all_schedulers()) {
+    for (TechniqueKind kind : workload_techniques()) {
+      combos.push_back(WorkloadCombo{sched, TechniquePolicy::fixed_technique(kind)});
+    }
+  }
+  return combos;
+}
+
+std::vector<WorkloadCombo> figure5_combos() {
+  std::vector<WorkloadCombo> combos;
+  for (SchedulerKind sched : all_schedulers()) {
+    combos.push_back(WorkloadCombo{
+        sched, TechniquePolicy::fixed_technique(TechniqueKind::kParallelRecovery)});
+    combos.push_back(WorkloadCombo{sched, TechniquePolicy::selection()});
+  }
+  return combos;
+}
+
+Table workload_results_table(const std::vector<WorkloadComboResult>& results) {
+  Table table{{"scheduler", "resilience", "dropped %", "std %", "utilization %",
+               "failures/pattern"}};
+  for (const WorkloadComboResult& r : results) {
+    table.add_row({to_string(r.combo.scheduler), r.combo.policy.name(),
+                   fmt_double(r.dropped_fraction.mean * 100.0, 2),
+                   fmt_double(r.dropped_fraction.stddev * 100.0, 2),
+                   fmt_double(r.mean_utilization.mean * 100.0, 1),
+                   fmt_double(r.mean_failures, 1)});
+  }
+  return table;
+}
+
+}  // namespace xres

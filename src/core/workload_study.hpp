@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file workload_study.hpp
+/// Orchestration of the workload experiments: run every (scheduler ×
+/// technique-policy) combination over the same set of seeded arrival
+/// patterns and summarize the dropped-application fraction (paper
+/// Figures 4 and 5).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "core/policy.hpp"
+#include "core/workload_engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace xres {
+
+struct WorkloadStudyConfig {
+  MachineSpec machine{MachineSpec::exascale()};
+  ResilienceConfig resilience{};
+  WorkloadConfig workload{};
+  /// 50 arrival patterns in the paper.
+  std::uint32_t patterns{50};
+  std::uint64_t seed{20170530};
+};
+
+/// One bar of Figure 4/5: a scheduler + technique policy evaluated over all
+/// patterns.
+struct WorkloadCombo {
+  SchedulerKind scheduler{SchedulerKind::kFcfs};
+  TechniquePolicy policy{};
+
+  [[nodiscard]] std::string name() const;
+};
+
+struct WorkloadComboResult {
+  WorkloadCombo combo{};
+  Summary dropped_fraction;     ///< over patterns
+  Summary mean_utilization;     ///< over patterns
+  double mean_failures{0.0};    ///< failures injected per pattern
+  std::map<TechniqueKind, std::uint32_t> selection_counts;  ///< summed
+};
+
+/// Progress callback: (completed pattern-runs, total pattern-runs).
+using WorkloadProgress = std::function<void(std::size_t, std::size_t)>;
+
+/// Evaluate each combo over the study's patterns. Pattern i is identical
+/// across combos (same generator seed), matching the paper's methodology.
+[[nodiscard]] std::vector<WorkloadComboResult> run_workload_study(
+    const WorkloadStudyConfig& config, const std::vector<WorkloadCombo>& combos,
+    const WorkloadProgress& progress = {});
+
+/// The Figure-4 combo set: Ideal Baseline plus each scheduler × each
+/// workload technique.
+[[nodiscard]] std::vector<WorkloadCombo> figure4_combos();
+
+/// The Figure-5 combo set for one bias: each scheduler with Parallel
+/// Recovery and with Resilience Selection.
+[[nodiscard]] std::vector<WorkloadCombo> figure5_combos();
+
+/// Render combo results as a table (rows: combos).
+[[nodiscard]] Table workload_results_table(const std::vector<WorkloadComboResult>& results);
+
+}  // namespace xres

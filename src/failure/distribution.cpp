@@ -1,0 +1,34 @@
+#include "failure/distribution.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+FailureDistribution FailureDistribution::exponential() {
+  return FailureDistribution{FailureDistributionKind::kExponential, 1.0};
+}
+
+FailureDistribution FailureDistribution::weibull(double shape) {
+  XRES_CHECK(shape > 0.0, "Weibull shape must be positive");
+  return FailureDistribution{FailureDistributionKind::kWeibull, shape};
+}
+
+Duration FailureDistribution::draw(Pcg32& rng, Rate rate) const {
+  XRES_CHECK(rate >= Rate::zero(), "failure rate must be non-negative");
+  if (rate == Rate::zero()) return Duration::infinity();
+  switch (kind_) {
+    case FailureDistributionKind::kExponential:
+      return rng.exponential(rate);
+    case FailureDistributionKind::kWeibull: {
+      // Choose scale so the mean equals 1/rate: mean = scale * Gamma(1 + 1/k).
+      const double gamma = std::tgamma(1.0 + 1.0 / shape_);
+      const Duration scale = rate.mean_interval() / gamma;
+      return rng.weibull(shape_, scale);
+    }
+  }
+  XRES_CHECK(false, "unhandled distribution kind");
+}
+
+}  // namespace xres

@@ -1,0 +1,142 @@
+#include "failure/process.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+AppFailureProcess::AppFailureProcess(Simulation& sim, Rate rate,
+                                     const SeverityModel& severity,
+                                     FailureDistribution dist, Pcg32 rng,
+                                     Callback on_failure)
+    : sim_{sim},
+      rate_{rate},
+      severity_{severity},
+      dist_{dist},
+      rng_{rng},
+      on_failure_{std::move(on_failure)} {
+  XRES_CHECK(static_cast<bool>(on_failure_), "failure callback must be non-empty");
+}
+
+AppFailureProcess::~AppFailureProcess() { stop(); }
+
+void AppFailureProcess::start() {
+  XRES_CHECK(!active_, "failure process already started");
+  active_ = true;
+  schedule_next();
+}
+
+void AppFailureProcess::stop() {
+  if (!active_) return;
+  active_ = false;
+  sim_.cancel(pending_);
+}
+
+void AppFailureProcess::schedule_next() {
+  const Duration gap = dist_.draw(rng_, rate_);
+  if (!gap.is_finite()) return;  // zero rate: no failures ever
+  pending_ = sim_.schedule_after(gap, [this] { deliver(); });
+}
+
+void AppFailureProcess::deliver() {
+  if (!active_) return;
+  ++delivered_;
+  const Failure failure{sim_.now(), severity_.sample(rng_)};
+  // Schedule the next arrival before delivering: the callback may stop us.
+  schedule_next();
+  on_failure_(failure);
+}
+
+void BurstFailureConfig::validate() const {
+  XRES_CHECK(probability >= 0.0 && probability <= 1.0,
+             "burst probability must be in [0, 1]");
+  XRES_CHECK(width > 0, "burst width must be positive");
+}
+
+SystemFailureProcess::SystemFailureProcess(Simulation& sim, const Machine& machine,
+                                           Duration node_mtbf,
+                                           const SeverityModel& severity, Pcg32 rng,
+                                           Callback on_failure,
+                                           BurstFailureConfig bursts)
+    : sim_{sim},
+      machine_{machine},
+      node_mtbf_{node_mtbf},
+      severity_{severity},
+      rng_{rng},
+      on_failure_{std::move(on_failure)},
+      bursts_config_{bursts} {
+  XRES_CHECK(node_mtbf_ > Duration::zero(), "node MTBF must be positive");
+  XRES_CHECK(static_cast<bool>(on_failure_), "failure callback must be non-empty");
+  bursts_config_.validate();
+}
+
+SystemFailureProcess::~SystemFailureProcess() { stop(); }
+
+Rate SystemFailureProcess::current_rate() const {
+  // Eq. 2: λ_s = N_s / M_n, with N_s the number of non-idle nodes.
+  return Rate::one_per(node_mtbf_) * static_cast<double>(machine_.busy_nodes());
+}
+
+void SystemFailureProcess::start() {
+  XRES_CHECK(!active_, "failure process already started");
+  active_ = true;
+  schedule_next();
+}
+
+void SystemFailureProcess::stop() {
+  if (!active_) return;
+  active_ = false;
+  sim_.cancel(pending_);
+}
+
+void SystemFailureProcess::notify_utilization_changed() {
+  if (!active_) return;
+  // Memoryless re-draw at the new rate (exponential gaps only; the system
+  // process intentionally does not support Weibull, see distribution.hpp).
+  sim_.cancel(pending_);
+  schedule_next();
+}
+
+void SystemFailureProcess::schedule_next() {
+  const Rate rate = current_rate();
+  if (rate == Rate::zero()) return;  // nothing busy: next draw on utilization change
+  const Duration gap = rng_.exponential(rate);
+  pending_ = sim_.schedule_after(gap, [this] { deliver(); });
+}
+
+void SystemFailureProcess::deliver() {
+  if (!active_) return;
+  auto victim = machine_.pick_random_busy_node(rng_);
+  // Utilization may have dropped to zero between scheduling and delivery
+  // only via notify_utilization_changed(), which re-draws; but guard anyway.
+  if (!victim.has_value()) {
+    schedule_next();
+    return;
+  }
+  ++delivered_;
+  schedule_next();
+  if (bursts_config_.probability > 0.0 && rng_.bernoulli(bursts_config_.probability)) {
+    deliver_burst(*victim);
+    return;
+  }
+  const Failure failure{sim_.now(), severity_.sample(rng_)};
+  on_failure_(failure, *victim);
+}
+
+void SystemFailureProcess::deliver_burst(const Machine::Victim& origin) {
+  ++bursts_;
+  // The block starts at the sampled victim and extends upward, clamped to
+  // the machine edge. Burst severities are node losses or worse.
+  const std::uint32_t width =
+      std::min(bursts_config_.width, machine_.capacity() - origin.node);
+  SeverityLevel severity = severity_.sample(rng_);
+  if (severity_.level_count() >= 2 && severity < 2) severity = 2;
+  const Failure failure{sim_.now(), severity};
+  for (OwnerId owner : machine_.owners_in_range(origin.node, width)) {
+    on_failure_(failure, Machine::Victim{origin.node, owner});
+  }
+}
+
+}  // namespace xres

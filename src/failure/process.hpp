@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file process.hpp
+/// Failure injection processes (paper Section III-E, Eq. 2).
+///
+/// Two drivers share the severity and inter-arrival models:
+///
+///  * AppFailureProcess — fixed-rate process for a single application
+///    occupying N_a nodes: λ_a = N_a / M_n. Used by the application-scaling
+///    studies (Figures 1–3) where one application owns the whole simulation.
+///
+///  * SystemFailureProcess — machine-wide process whose rate tracks the
+///    number of busy nodes: λ_s = N_s(t) / M_n. Each failure strikes a
+///    uniformly random busy node; the victim's owning application is
+///    resolved through the Machine allocation index. Because exponential
+///    gaps are memoryless, the pending arrival is simply re-drawn whenever
+///    utilization changes.
+
+#include <cstdint>
+#include <functional>
+
+#include "failure/distribution.hpp"
+#include "failure/severity.hpp"
+#include "platform/machine.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+/// One injected failure.
+struct Failure {
+  TimePoint time{};
+  SeverityLevel severity{1};
+};
+
+/// Fixed-rate per-application failure injector.
+class AppFailureProcess {
+ public:
+  using Callback = std::function<void(const Failure&)>;
+
+  /// \p rate is the application failure rate λ_a = N_a / M_n.
+  AppFailureProcess(Simulation& sim, Rate rate, const SeverityModel& severity,
+                    FailureDistribution dist, Pcg32 rng, Callback on_failure);
+
+  AppFailureProcess(const AppFailureProcess&) = delete;
+  AppFailureProcess& operator=(const AppFailureProcess&) = delete;
+  ~AppFailureProcess();
+
+  /// Begin injecting failures from the current simulation time.
+  void start();
+
+  /// Stop injecting (cancels the pending arrival).
+  void stop();
+
+  [[nodiscard]] Rate rate() const { return rate_; }
+  [[nodiscard]] std::uint64_t failures_delivered() const { return delivered_; }
+
+ private:
+  void schedule_next();
+  void deliver();
+
+  Simulation& sim_;
+  Rate rate_;
+  const SeverityModel& severity_;
+  FailureDistribution dist_;
+  Pcg32 rng_;
+  Callback on_failure_;
+  EventId pending_{};
+  bool active_{false};
+  std::uint64_t delivered_{0};
+};
+
+/// Extension: spatially correlated failures. With probability
+/// `probability`, a failure event is a *burst* striking `width` contiguous
+/// nodes starting at the sampled victim — modeling cabinet/PSU/switch
+/// faults that take out node blocks. Every application intersecting the
+/// block receives the failure; burst severities are clamped to at least
+/// level 2 (they are physical node losses, never L1-transients).
+struct BurstFailureConfig {
+  double probability{0.0};  ///< 0 disables bursts (the paper's model)
+  std::uint32_t width{64};  ///< nodes per burst
+
+  void validate() const;
+};
+
+/// Machine-wide failure injector whose rate follows utilization (Eq. 2).
+class SystemFailureProcess {
+ public:
+  /// Receives the failure and the victim (node + owning application).
+  /// Burst events invoke the callback once per affected application.
+  using Callback = std::function<void(const Failure&, const Machine::Victim&)>;
+
+  /// \p node_mtbf is M_n, the per-node mean time between failures.
+  SystemFailureProcess(Simulation& sim, const Machine& machine, Duration node_mtbf,
+                       const SeverityModel& severity, Pcg32 rng, Callback on_failure,
+                       BurstFailureConfig bursts = {});
+
+  SystemFailureProcess(const SystemFailureProcess&) = delete;
+  SystemFailureProcess& operator=(const SystemFailureProcess&) = delete;
+  ~SystemFailureProcess();
+
+  /// Begin injecting failures from the current simulation time.
+  void start();
+
+  /// Stop injecting.
+  void stop();
+
+  /// Must be called whenever the machine's busy-node count changes
+  /// (allocation or release). Re-draws the pending arrival at the new rate;
+  /// valid because exponential inter-arrivals are memoryless.
+  void notify_utilization_changed();
+
+  /// Current system failure rate λ_s = busy / M_n.
+  [[nodiscard]] Rate current_rate() const;
+
+  [[nodiscard]] std::uint64_t failures_delivered() const { return delivered_; }
+
+  /// Burst events injected so far (each may hit several applications).
+  [[nodiscard]] std::uint64_t bursts_delivered() const { return bursts_; }
+
+ private:
+  void schedule_next();
+  void deliver();
+  void deliver_burst(const Machine::Victim& origin);
+
+  Simulation& sim_;
+  const Machine& machine_;
+  Duration node_mtbf_;
+  const SeverityModel& severity_;
+  Pcg32 rng_;
+  Callback on_failure_;
+  BurstFailureConfig bursts_config_;
+  EventId pending_{};
+  bool active_{false};
+  std::uint64_t delivered_{0};
+  std::uint64_t bursts_{0};
+};
+
+}  // namespace xres

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file replay.hpp
+/// Replay a pre-generated FailureTrace into a simulation.
+///
+/// Replay enables *paired* comparisons: executing every resilience
+/// technique against byte-identical failure sequences removes the
+/// between-trial failure-sampling variance from the comparison, so
+/// technique deltas resolve with far fewer trials (common random numbers).
+
+#include <functional>
+
+#include "failure/process.hpp"
+#include "failure/trace.hpp"
+#include "sim/simulation.hpp"
+
+namespace xres {
+
+class TraceFailureProcess {
+ public:
+  using Callback = std::function<void(const Failure&)>;
+
+  /// Failures before the current simulation time are skipped (with a
+  /// warning counted in skipped()); the rest are delivered at their
+  /// recorded times. The trace must outlive this object.
+  TraceFailureProcess(Simulation& sim, const FailureTrace& trace, Callback on_failure);
+
+  TraceFailureProcess(const TraceFailureProcess&) = delete;
+  TraceFailureProcess& operator=(const TraceFailureProcess&) = delete;
+  ~TraceFailureProcess();
+
+  /// Schedule all deliveries.
+  void start();
+
+  /// Cancel all not-yet-delivered failures.
+  void stop();
+
+  [[nodiscard]] std::size_t delivered() const { return delivered_; }
+  [[nodiscard]] std::size_t skipped() const { return skipped_; }
+
+ private:
+  Simulation& sim_;
+  const FailureTrace& trace_;
+  Callback on_failure_;
+  std::vector<EventId> pending_;
+  bool active_{false};
+  std::size_t delivered_{0};
+  std::size_t skipped_{0};
+};
+
+}  // namespace xres

@@ -1,0 +1,53 @@
+#include "failure/severity.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+
+std::vector<double> normalize(std::vector<double> weights) {
+  XRES_CHECK(!weights.empty(), "severity model needs at least one level");
+  double total = 0.0;
+  for (double w : weights) {
+    XRES_CHECK(w >= 0.0, "severity weights must be non-negative");
+    total += w;
+  }
+  XRES_CHECK(total > 0.0, "severity weights must have positive sum");
+  XRES_CHECK(weights.back() > 0.0,
+             "highest severity level must have positive probability");
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+SeverityModel::SeverityModel(std::vector<double> level_weights)
+    : weights_{normalize(std::move(level_weights))},
+      dist_{std::span<const double>{weights_}} {}
+
+SeverityModel SeverityModel::bluegene_default() {
+  return SeverityModel{{0.55, 0.35, 0.10}};
+}
+
+SeverityModel SeverityModel::single_level() { return SeverityModel{{1.0}}; }
+
+double SeverityModel::probability(SeverityLevel level) const {
+  XRES_CHECK(level >= 1 && level <= level_count(), "severity level out of range");
+  return weights_[static_cast<std::size_t>(level - 1)];
+}
+
+double SeverityModel::probability_at_least(SeverityLevel level) const {
+  XRES_CHECK(level >= 1 && level <= level_count(), "severity level out of range");
+  double p = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(level - 1); i < weights_.size(); ++i) {
+    p += weights_[i];
+  }
+  return p;
+}
+
+SeverityLevel SeverityModel::sample(Pcg32& rng) const {
+  return static_cast<SeverityLevel>(dist_.sample(rng)) + 1;
+}
+
+}  // namespace xres

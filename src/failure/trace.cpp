@@ -1,0 +1,88 @@
+#include "failure/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+FailureTrace::FailureTrace(std::vector<Failure> failures)
+    : failures_{std::move(failures)} {
+  XRES_CHECK(std::is_sorted(failures_.begin(), failures_.end(),
+                            [](const Failure& a, const Failure& b) {
+                              return a.time < b.time;
+                            }),
+             "failure trace must be time-sorted");
+}
+
+FailureTrace FailureTrace::generate(Rate rate, Duration horizon,
+                                    const SeverityModel& severity,
+                                    FailureDistribution dist, Pcg32& rng) {
+  XRES_CHECK(horizon > Duration::zero(), "trace horizon must be positive");
+  std::vector<Failure> failures;
+  TimePoint t = TimePoint::origin();
+  for (;;) {
+    const Duration gap = dist.draw(rng, rate);
+    if (!gap.is_finite()) break;
+    t += gap;
+    if (t.since_origin() >= horizon) break;
+    failures.push_back(Failure{t, severity.sample(rng)});
+  }
+  return FailureTrace{std::move(failures)};
+}
+
+Rate FailureTrace::empirical_rate() const {
+  if (failures_.empty()) return Rate::zero();
+  const Duration span = failures_.back().time.since_origin();
+  if (span <= Duration::zero()) return Rate::zero();
+  return Rate::per_second(static_cast<double>(failures_.size()) / span.to_seconds());
+}
+
+std::string FailureTrace::to_csv() const {
+  std::string out = "time_seconds,severity\n";
+  char line[64];
+  for (const Failure& f : failures_) {
+    std::snprintf(line, sizeof line, "%.9f,%d\n", f.time.to_seconds(), f.severity);
+    out += line;
+  }
+  return out;
+}
+
+FailureTrace FailureTrace::from_csv(const std::string& csv) {
+  std::istringstream in{csv};
+  std::string line;
+  XRES_CHECK(static_cast<bool>(std::getline(in, line)), "empty trace CSV");
+  XRES_CHECK(line == "time_seconds,severity", "unexpected trace CSV header: " + line);
+  std::vector<Failure> failures;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double t = 0.0;
+    int severity = 0;
+    XRES_CHECK(std::sscanf(line.c_str(), "%lf,%d", &t, &severity) == 2,
+               "malformed trace CSV line: " + line);
+    XRES_CHECK(severity >= 1, "severity must be >= 1 in trace CSV");
+    failures.push_back(
+        Failure{TimePoint::at(Duration::seconds(t)), severity});
+  }
+  return FailureTrace{std::move(failures)};
+}
+
+void FailureTrace::save(const std::string& path) const {
+  std::ofstream f{path};
+  XRES_CHECK(f.good(), "cannot open trace file for writing: " + path);
+  f << to_csv();
+  XRES_CHECK(f.good(), "failed writing trace file: " + path);
+}
+
+FailureTrace FailureTrace::load(const std::string& path) {
+  std::ifstream f{path};
+  XRES_CHECK(f.good(), "cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return from_csv(buf.str());
+}
+
+}  // namespace xres

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file trace.hpp
+/// Pre-generated failure traces.
+///
+/// A trace is a time-sorted list of failures over a horizon. Traces let
+/// studies replay identical failure sequences across resilience techniques
+/// (variance reduction) and let tests assert against a fixed sequence.
+/// Traces round-trip through a small CSV format.
+
+#include <string>
+#include <vector>
+
+#include "failure/distribution.hpp"
+#include "failure/process.hpp"
+#include "failure/severity.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+
+class FailureTrace {
+ public:
+  FailureTrace() = default;
+  explicit FailureTrace(std::vector<Failure> failures);
+
+  /// Generate a trace at fixed \p rate over [0, horizon).
+  [[nodiscard]] static FailureTrace generate(Rate rate, Duration horizon,
+                                             const SeverityModel& severity,
+                                             FailureDistribution dist, Pcg32& rng);
+
+  [[nodiscard]] const std::vector<Failure>& failures() const { return failures_; }
+  [[nodiscard]] std::size_t size() const { return failures_.size(); }
+  [[nodiscard]] bool empty() const { return failures_.empty(); }
+
+  /// Failures per unit time over the trace horizon implied by the last
+  /// failure (zero-size traces report a zero rate).
+  [[nodiscard]] Rate empirical_rate() const;
+
+  /// Serialize as "time_seconds,severity" lines with a header.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parse the to_csv() format; throws CheckError on malformed input.
+  [[nodiscard]] static FailureTrace from_csv(const std::string& csv);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static FailureTrace load(const std::string& path);
+
+ private:
+  std::vector<Failure> failures_;  // sorted by time
+};
+
+}  // namespace xres

@@ -1,0 +1,99 @@
+#include "platform/allocator.hpp"
+
+#include <algorithm>
+
+namespace xres {
+
+NodeAllocator::NodeAllocator(std::uint32_t node_count)
+    : capacity_{node_count}, free_total_{node_count} {
+  XRES_CHECK(node_count > 0, "allocator needs at least one node");
+  free_blocks_.emplace(0U, node_count);
+}
+
+std::optional<NodeRange> NodeAllocator::allocate(std::uint32_t count) {
+  XRES_CHECK(count > 0, "cannot allocate zero nodes");
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second < count) continue;
+    const NodeRange range{it->first, count};
+    if (it->second == count) {
+      free_blocks_.erase(it);
+    } else {
+      const std::uint32_t new_first = it->first + count;
+      const std::uint32_t new_len = it->second - count;
+      free_blocks_.erase(it);
+      free_blocks_.emplace(new_first, new_len);
+    }
+    free_total_ -= count;
+    return range;
+  }
+  return std::nullopt;
+}
+
+void NodeAllocator::release(NodeRange range) {
+  XRES_CHECK(range.count > 0, "cannot release an empty range");
+  XRES_CHECK(range.end() <= capacity_, "release beyond machine capacity");
+
+  // Find the first free block at or after the released range and its
+  // predecessor, to detect overlap and coalesce.
+  auto next = free_blocks_.lower_bound(range.first);
+  if (next != free_blocks_.end()) {
+    XRES_CHECK(range.end() <= next->first, "release overlaps a free block");
+  }
+  auto prev = next;
+  if (prev != free_blocks_.begin()) {
+    --prev;
+    XRES_CHECK(prev->first + prev->second <= range.first,
+               "release overlaps a free block");
+  } else {
+    prev = free_blocks_.end();
+  }
+
+  std::uint32_t first = range.first;
+  std::uint32_t len = range.count;
+  if (prev != free_blocks_.end() && prev->first + prev->second == range.first) {
+    first = prev->first;
+    len += prev->second;
+    free_blocks_.erase(prev);
+  }
+  if (next != free_blocks_.end() && next->first == range.end()) {
+    len += next->second;
+    free_blocks_.erase(next);
+  }
+  free_blocks_.emplace(first, len);
+  free_total_ += range.count;
+  XRES_CHECK(free_total_ <= capacity_, "free count exceeds capacity (double free?)");
+}
+
+std::uint32_t NodeAllocator::largest_free_block() const {
+  std::uint32_t best = 0;
+  for (const auto& [first, len] : free_blocks_) best = std::max(best, len);
+  return best;
+}
+
+bool NodeAllocator::is_free(std::uint32_t node) const {
+  XRES_CHECK(node < capacity_, "node index out of range");
+  auto it = free_blocks_.upper_bound(node);
+  if (it == free_blocks_.begin()) return false;
+  --it;
+  return node < it->first + it->second;
+}
+
+void NodeAllocator::validate() const {
+  std::uint32_t total = 0;
+  std::uint32_t prev_end = 0;
+  bool first_block = true;
+  for (const auto& [first, len] : free_blocks_) {
+    XRES_CHECK(len > 0, "empty free block");
+    if (!first_block) {
+      // Strictly greater: adjacent blocks must have been coalesced.
+      XRES_CHECK(first > prev_end, "free blocks overlap or are uncoalesced");
+    }
+    prev_end = first + len;
+    XRES_CHECK(prev_end <= capacity_, "free block beyond capacity");
+    total += len;
+    first_block = false;
+  }
+  XRES_CHECK(total == free_total_, "free total out of sync");
+}
+
+}  // namespace xres

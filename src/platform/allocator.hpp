@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file allocator.hpp
+/// Contiguous first-fit node allocator.
+///
+/// The paper assumes application nodes are contiguous ("Application nodes
+/// are assumed to be contiguous allowing for minimum latency between
+/// checkpoints sent between nodes", Section IV-C), so the machine hands out
+/// contiguous node ranges. Free space is a sorted map of disjoint,
+/// coalesced blocks; allocation is lowest-address first fit.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+/// A contiguous range of node indices [first, first + count).
+struct NodeRange {
+  std::uint32_t first{0};
+  std::uint32_t count{0};
+
+  [[nodiscard]] std::uint32_t end() const { return first + count; }
+  [[nodiscard]] bool contains(std::uint32_t node) const {
+    return node >= first && node < end();
+  }
+  friend bool operator==(const NodeRange&, const NodeRange&) = default;
+};
+
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(std::uint32_t node_count);
+
+  /// Allocate a contiguous block of \p count nodes (first fit, lowest
+  /// address). Returns nullopt when no free block is large enough.
+  std::optional<NodeRange> allocate(std::uint32_t count);
+
+  /// Return a previously allocated range. Throws CheckError if the range
+  /// was not allocated (double free / overlap detection).
+  void release(NodeRange range);
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint32_t free_count() const { return free_total_; }
+  [[nodiscard]] std::uint32_t busy_count() const { return capacity_ - free_total_; }
+
+  /// Size of the largest allocatable contiguous block.
+  [[nodiscard]] std::uint32_t largest_free_block() const;
+
+  /// True if \p node is currently unallocated.
+  [[nodiscard]] bool is_free(std::uint32_t node) const;
+
+  /// Verify internal invariants (blocks disjoint, sorted, coalesced, total
+  /// matches). Throws CheckError on violation. Used by tests and debug runs.
+  void validate() const;
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t free_total_;
+  /// first-node -> block length; disjoint and fully coalesced.
+  std::map<std::uint32_t, std::uint32_t> free_blocks_;
+};
+
+}  // namespace xres

@@ -1,0 +1,79 @@
+#include "platform/machine.hpp"
+
+namespace xres {
+
+Machine::Machine(MachineSpec spec) : spec_{spec}, allocator_{spec.node_count} {
+  spec_.validate();
+}
+
+std::optional<NodeRange> Machine::allocate(std::uint32_t count, OwnerId owner) {
+  XRES_CHECK(!by_owner_.contains(owner), "owner already holds an allocation");
+  auto range = allocator_.allocate(count);
+  if (!range.has_value()) return std::nullopt;
+  by_first_node_.emplace(range->first, std::make_pair(range->count, owner));
+  by_owner_.emplace(owner, *range);
+  return range;
+}
+
+void Machine::release(OwnerId owner) {
+  auto it = by_owner_.find(owner);
+  XRES_CHECK(it != by_owner_.end(), "owner holds no allocation");
+  allocator_.release(it->second);
+  by_first_node_.erase(it->second.first);
+  by_owner_.erase(it);
+}
+
+std::optional<NodeRange> Machine::allocation_of(OwnerId owner) const {
+  auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Machine::Victim> Machine::pick_random_busy_node(Pcg32& rng) const {
+  const std::uint32_t busy = busy_nodes();
+  if (busy == 0) return std::nullopt;
+  // Uniform over busy nodes: draw the k-th busy node, then walk the
+  // allocation index (allocation counts are small: one per running app).
+  std::uint32_t k = rng.next_below(busy);
+  for (const auto& [first, entry] : by_first_node_) {
+    const auto& [count, owner] = entry;
+    if (k < count) return Victim{first + k, owner};
+    k -= count;
+  }
+  XRES_CHECK(false, "busy-node index out of sync with allocations");
+}
+
+std::vector<OwnerId> Machine::owners_in_range(std::uint32_t first,
+                                              std::uint32_t count) const {
+  XRES_CHECK(count > 0, "range must be non-empty");
+  const std::uint32_t end = first + count;
+  std::vector<OwnerId> owners;
+  // Start from the allocation at or before `first` (it may straddle it).
+  auto it = by_first_node_.upper_bound(first);
+  if (it != by_first_node_.begin()) --it;
+  for (; it != by_first_node_.end() && it->first < end; ++it) {
+    const auto& [alloc_count, owner] = it->second;
+    if (it->first + alloc_count > first) owners.push_back(owner);
+  }
+  return owners;
+}
+
+void Machine::validate() const {
+  allocator_.validate();
+  std::uint32_t total = 0;
+  XRES_CHECK(by_first_node_.size() == by_owner_.size(), "allocation indexes out of sync");
+  for (const auto& [first, entry] : by_first_node_) {
+    const auto& [count, owner] = entry;
+    auto it = by_owner_.find(owner);
+    XRES_CHECK(it != by_owner_.end(), "allocation owner missing from owner index");
+    XRES_CHECK(it->second.first == first && it->second.count == count,
+               "allocation indexes disagree");
+    for (std::uint32_t n = first; n < first + count; ++n) {
+      XRES_CHECK(!allocator_.is_free(n), "allocated node marked free");
+    }
+    total += count;
+  }
+  XRES_CHECK(total == allocator_.busy_count(), "busy count out of sync");
+}
+
+}  // namespace xres

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file machine.hpp
+/// The simulated machine: hardware spec + node allocation + the
+/// node-to-owner index that failure injection uses to find its victim.
+///
+/// "Owners" are opaque 64-bit identifiers (the workload layer uses
+/// application ids). Each owner holds at most one contiguous allocation,
+/// matching the paper's model of one node range per executing application.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "platform/allocator.hpp"
+#include "platform/spec.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+
+/// Identifier of an allocation owner (an executing application).
+enum class OwnerId : std::uint64_t {};
+
+class Machine {
+ public:
+  explicit Machine(MachineSpec spec);
+
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+
+  /// Allocate \p count contiguous nodes for \p owner. Returns nullopt when
+  /// the machine cannot satisfy the request. An owner may hold only one
+  /// allocation at a time.
+  std::optional<NodeRange> allocate(std::uint32_t count, OwnerId owner);
+
+  /// Release \p owner's allocation. Throws if the owner holds none.
+  void release(OwnerId owner);
+
+  /// The allocation currently held by \p owner, if any.
+  [[nodiscard]] std::optional<NodeRange> allocation_of(OwnerId owner) const;
+
+  [[nodiscard]] std::uint32_t busy_nodes() const { return allocator_.busy_count(); }
+  [[nodiscard]] std::uint32_t idle_nodes() const { return allocator_.free_count(); }
+  [[nodiscard]] std::uint32_t capacity() const { return allocator_.capacity(); }
+  [[nodiscard]] std::uint32_t largest_free_block() const {
+    return allocator_.largest_free_block();
+  }
+
+  /// Number of active allocations.
+  [[nodiscard]] std::size_t allocation_count() const { return by_owner_.size(); }
+
+  /// A failed node and the owner of the application running on it.
+  struct Victim {
+    std::uint32_t node{0};
+    OwnerId owner{};
+  };
+
+  /// Select a node uniformly at random among *busy* nodes (the paper's
+  /// failure-location model: idle nodes do not fail the workload). Returns
+  /// nullopt when no node is busy.
+  [[nodiscard]] std::optional<Victim> pick_random_busy_node(Pcg32& rng) const;
+
+  /// Owners whose allocations intersect the node range [first, first +
+  /// count). Used by the correlated-failure extension, where one physical
+  /// event (a cabinet or PSU failure) strikes a contiguous block of nodes.
+  [[nodiscard]] std::vector<OwnerId> owners_in_range(std::uint32_t first,
+                                                     std::uint32_t count) const;
+
+  /// Verify allocator and index invariants. Throws CheckError on violation.
+  void validate() const;
+
+ private:
+  MachineSpec spec_;
+  NodeAllocator allocator_;
+  /// Allocation index, ordered by first node (for victim lookup).
+  std::map<std::uint32_t, std::pair<std::uint32_t, OwnerId>> by_first_node_;
+  std::map<OwnerId, NodeRange> by_owner_;
+};
+
+}  // namespace xres

@@ -1,0 +1,42 @@
+#include "platform/spec.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+MachineSpec MachineSpec::exascale() { return MachineSpec{}; }
+
+MachineSpec MachineSpec::testbed(std::uint32_t nodes) {
+  MachineSpec spec;
+  spec.node_count = nodes;
+  spec.validate();
+  return spec;
+}
+
+void MachineSpec::validate() const {
+  XRES_CHECK(node_count > 0, "machine needs at least one node");
+  XRES_CHECK(node.tflops > 0.0, "node compute must be positive");
+  XRES_CHECK(node.cores > 0, "node core count must be positive");
+  XRES_CHECK(node.memory > DataSize::zero(), "node memory must be positive");
+  XRES_CHECK(node.memory_bandwidth > Bandwidth::bytes_per_second(0.0),
+             "memory bandwidth must be positive");
+  XRES_CHECK(network.latency >= Duration::zero(), "latency must be non-negative");
+  XRES_CHECK(network.bandwidth > Bandwidth::bytes_per_second(0.0),
+             "network bandwidth must be positive");
+  XRES_CHECK(network.switch_connections > 0, "switch connection count must be positive");
+}
+
+std::string MachineSpec::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%u nodes x %.1f TFLOPS (%u cores, %s RAM) = %.1f PFLOPS; "
+                "net %.0f GB/s, L=%s, N_S=%u",
+                node_count, node.tflops, node.cores, to_string(node.memory).c_str(),
+                total_pflops(), network.bandwidth.to_gigabytes_per_second(),
+                to_string(network.latency).c_str(), network.switch_connections);
+  return buf;
+}
+
+}  // namespace xres

@@ -1,0 +1,27 @@
+#include "platform/transfer.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+Duration pfs_checkpoint_time(DataSize memory_per_node, std::uint32_t app_nodes,
+                             const NetworkSpec& net) {
+  XRES_CHECK(app_nodes > 0, "application must use at least one node");
+  const Duration per_node = transfer_time(memory_per_node, net.bandwidth);
+  const double contention =
+      static_cast<double>(app_nodes) / static_cast<double>(net.switch_connections);
+  return per_node * contention;
+}
+
+Duration local_memory_checkpoint_time(DataSize memory_per_node, const NodeSpec& node) {
+  return transfer_time(memory_per_node, node.memory_bandwidth);
+}
+
+Duration partner_copy_checkpoint_time(DataSize memory_per_node, const NodeSpec& node,
+                                      const NetworkSpec& net) {
+  const Duration l1 = local_memory_checkpoint_time(memory_per_node, node);
+  const Duration store = transfer_time(memory_per_node, node.memory_bandwidth);
+  return 2.0 * (l1 + net.latency + store);
+}
+
+}  // namespace xres

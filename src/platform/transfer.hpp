@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file transfer.hpp
+/// Checkpoint data-movement cost model: the paper's Equations 3, 5 and 6.
+///
+/// All three costs take the *per-node* checkpoint image size N_m; the PFS
+/// path additionally scales with the application's node count N_a because
+/// the parallel file system serializes traffic across N_S switch
+/// connections (bandwidth contention), while RAM and partner-copy
+/// checkpoints proceed on every node in parallel.
+
+#include <cstdint>
+
+#include "platform/spec.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+/// Eq. 3: T_C_PFS = (N_m / B_N) * (N_a / N_S).
+/// Time to write (or read — costs are symmetric, Section IV-C) a
+/// coordinated checkpoint of an N_a-node application to the parallel file
+/// system.
+[[nodiscard]] Duration pfs_checkpoint_time(DataSize memory_per_node,
+                                           std::uint32_t app_nodes,
+                                           const NetworkSpec& net);
+
+/// Eq. 5: T_C_L1 = N_m / B_M. Level-1 checkpoint to node-local RAM.
+[[nodiscard]] Duration local_memory_checkpoint_time(DataSize memory_per_node,
+                                                    const NodeSpec& node);
+
+/// Eq. 6: T_C_L2 = 2 (T_C_L1 + L + N_m / B_M). Level-2 checkpoint to a
+/// contiguous partner node: each node both sends its image and stores its
+/// partner's (hence the factor of two).
+[[nodiscard]] Duration partner_copy_checkpoint_time(DataSize memory_per_node,
+                                                    const NodeSpec& node,
+                                                    const NetworkSpec& net);
+
+}  // namespace xres

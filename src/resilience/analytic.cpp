@@ -1,0 +1,100 @@
+#include "resilience/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resilience/interval.hpp"
+#include "resilience/multilevel.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+
+double overhead_checkpoint_restart(const ExecutionPlan& plan) {
+  const auto& level = plan.levels.front();
+  auto hazard = [&plan](Duration) { return plan.failure_rate; };
+  // Semi-blocking checkpoints only block (1 - σ) of their duration.
+  const Duration effective_save = level.save_cost * (1.0 - plan.checkpoint_work_rate);
+  return checkpoint_overhead(plan.checkpoint_quantum, effective_save,
+                             level.restore_cost, hazard);
+}
+
+double overhead_parallel_recovery(const ExecutionPlan& plan) {
+  // Rework is only the failed node's share, recomputed P-way parallel and
+  // without a global rollback: expected penalty per failure is
+  // τ/(2·P) + restore.
+  const auto& level = plan.levels.front();
+  const double tau = plan.checkpoint_quantum.to_seconds();
+  const double lambda = plan.failure_rate.per_second_value();
+  return level.save_cost.to_seconds() / tau +
+         lambda * (tau / (2.0 * plan.recovery_parallelism) +
+                   level.restore_cost.to_seconds());
+}
+
+double overhead_multilevel(const ExecutionPlan& plan, const ResilienceConfig& config) {
+  double weight_sum = 0.0;
+  for (double w : config.severity_weights) weight_sum += w;
+  std::vector<Rate> rates;
+  rates.reserve(plan.levels.size());
+  for (std::size_t i = 0; i < plan.levels.size(); ++i) {
+    rates.push_back(plan.failure_rate * (config.severity_weights[i] / weight_sum));
+  }
+  return multilevel_overhead(plan.checkpoint_quantum, plan.nesting, plan.levels, rates);
+}
+
+double overhead_redundancy(const ExecutionPlan& plan) {
+  const auto& level = plan.levels.front();
+  const double node_rate =
+      plan.failure_rate.per_second_value() / static_cast<double>(plan.physical_nodes);
+  const double duplicated = static_cast<double>(plan.physical_nodes - plan.app.nodes);
+  const double singles =
+      std::max(static_cast<double>(plan.app.nodes) - duplicated, 0.0);
+  auto hazard = [=](Duration tau) {
+    return Rate::per_second(singles * node_rate +
+                            duplicated * node_rate * node_rate * tau.to_seconds());
+  };
+  return checkpoint_overhead(plan.checkpoint_quantum, level.save_cost,
+                             level.restore_cost, hazard);
+}
+
+}  // namespace
+
+double predict_efficiency(const ExecutionPlan& plan, const ResilienceConfig& config) {
+  if (!plan.feasible) return 0.0;
+
+  double overhead = 0.0;
+  switch (plan.kind) {
+    case TechniqueKind::kNone:
+      overhead = 0.0;
+      break;
+    case TechniqueKind::kCheckpointRestart:
+    case TechniqueKind::kSemiBlockingCheckpoint:
+      overhead = overhead_checkpoint_restart(plan);
+      break;
+    case TechniqueKind::kMultilevel:
+      overhead = overhead_multilevel(plan, config);
+      break;
+    case TechniqueKind::kParallelRecovery:
+      overhead = overhead_parallel_recovery(plan);
+      break;
+    case TechniqueKind::kRedundancyPartial:
+    case TechniqueKind::kRedundancyFull:
+      overhead = overhead_redundancy(plan);
+      break;
+  }
+
+  const double stretch = plan.work_target / plan.baseline;
+  XRES_CHECK(stretch >= 1.0 - 1e-12, "stretch below one");
+  if (!std::isfinite(overhead) || overhead < 0.0) return 0.0;
+  const double efficiency = 1.0 / (stretch * (1.0 + overhead));
+  return std::clamp(efficiency, 0.0, 1.0);
+}
+
+Duration predict_wall_time(const ExecutionPlan& plan, const ResilienceConfig& config) {
+  const double eff = predict_efficiency(plan, config);
+  if (eff <= 0.0) return Duration::infinity();
+  return plan.baseline / eff;
+}
+
+}  // namespace xres

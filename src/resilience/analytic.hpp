@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file analytic.hpp
+/// Closed-form (first-order) efficiency prediction for a plan.
+///
+/// Used by Resilience Selection (paper Section VII): the resource manager
+/// needs a fast estimate of each technique's efficiency for an arriving
+/// application without simulating it. The prediction mirrors the overhead
+/// models the planners optimize, so it is consistent with the chosen
+/// checkpoint intervals; integration tests check it tracks simulated
+/// efficiency.
+
+#include "resilience/config.hpp"
+#include "resilience/plan.hpp"
+
+namespace xres {
+
+/// Predicted efficiency in [0, 1]: baseline time / expected wall time.
+/// Infeasible plans predict 0.
+[[nodiscard]] double predict_efficiency(const ExecutionPlan& plan,
+                                        const ResilienceConfig& config);
+
+/// Predicted expected wall time (baseline / efficiency; infinite when the
+/// prediction is 0).
+[[nodiscard]] Duration predict_wall_time(const ExecutionPlan& plan,
+                                         const ResilienceConfig& config);
+
+}  // namespace xres

@@ -1,0 +1,24 @@
+#include "resilience/config.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+void ResilienceConfig::validate() const {
+  XRES_CHECK(node_mtbf > Duration::zero(), "node MTBF must be positive");
+  XRES_CHECK(!severity_weights.empty(), "severity weights must be non-empty");
+  XRES_CHECK(comm_slowdown_per_tc >= 0.0, "comm slowdown must be non-negative");
+  XRES_CHECK(recovery_parallelism >= 1.0, "recovery parallelism must be >= 1");
+  XRES_CHECK(partial_redundancy > 1.0 && partial_redundancy <= 2.0,
+             "partial redundancy degree must be in (1, 2]");
+  XRES_CHECK(full_redundancy >= partial_redundancy,
+             "full redundancy must be >= partial redundancy");
+  XRES_CHECK(max_slowdown > 1.0, "max slowdown cap must exceed 1");
+  XRES_CHECK(max_nesting >= 1, "max nesting must be >= 1");
+  XRES_CHECK(checkpoint_compression > 0.0 && checkpoint_compression <= 1.0,
+             "checkpoint compression must be in (0, 1]");
+  XRES_CHECK(semi_blocking_work_rate >= 0.0 && semi_blocking_work_rate < 1.0,
+             "semi-blocking work rate must be in [0, 1)");
+}
+
+}  // namespace xres

@@ -1,0 +1,85 @@
+#include "resilience/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+Duration daly_interval(Duration checkpoint_cost, Rate failure_rate) {
+  XRES_CHECK(checkpoint_cost > Duration::zero(), "checkpoint cost must be positive");
+  XRES_CHECK(failure_rate > Rate::zero(), "failure rate must be positive");
+  const double c = checkpoint_cost.to_seconds();
+  const double lambda = failure_rate.per_second_value();
+  const double tau = std::sqrt(2.0 * c / lambda) - c;
+  const double floor_tau = c / 10.0;
+  return Duration::seconds(std::max(tau, floor_tau));
+}
+
+Duration daly_higher_order_interval(Duration checkpoint_cost, Rate failure_rate) {
+  XRES_CHECK(checkpoint_cost > Duration::zero(), "checkpoint cost must be positive");
+  XRES_CHECK(failure_rate > Rate::zero(), "failure rate must be positive");
+  const double delta = checkpoint_cost.to_seconds();
+  const double mtbf = failure_rate.mean_interval().to_seconds();
+  if (delta >= 2.0 * mtbf) return Duration::seconds(mtbf);
+  const double ratio = delta / (2.0 * mtbf);
+  const double tau = std::sqrt(2.0 * delta * mtbf) *
+                         (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+                     delta;
+  return Duration::seconds(std::max(tau, delta / 10.0));
+}
+
+double checkpoint_overhead(Duration tau, Duration save_cost, Duration restore_cost,
+                           const std::function<Rate(Duration)>& hazard) {
+  XRES_CHECK(tau > Duration::zero(), "interval must be positive");
+  const Rate lambda = hazard(tau);
+  const double rework = lambda.per_second_value() *
+                        (tau.to_seconds() / 2.0 + restore_cost.to_seconds());
+  return save_cost / tau + rework;
+}
+
+IntervalOptimum optimize_interval(Duration save_cost, Duration restore_cost,
+                                  const std::function<Rate(Duration)>& hazard) {
+  XRES_CHECK(save_cost > Duration::zero(), "save cost must be positive");
+  XRES_CHECK(restore_cost >= Duration::zero(), "restore cost must be non-negative");
+
+  const double lo = std::log(std::max(save_cost.to_seconds() / 100.0, 1e-3));
+  const double hi = std::log(Duration::days(365.0).to_seconds());
+  auto objective = [&](double log_tau) {
+    return checkpoint_overhead(Duration::seconds(std::exp(log_tau)), save_cost,
+                               restore_cost, hazard);
+  };
+
+  // Golden-section search; the objective is unimodal in log τ for every
+  // hazard we use (constant or affine in τ).
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - inv_phi * (b - a);
+  double d = a + inv_phi * (b - a);
+  double fc = objective(c);
+  double fd = objective(d);
+  for (int iter = 0; iter < 100 && (b - a) > 1e-10; ++iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - inv_phi * (b - a);
+      fc = objective(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + inv_phi * (b - a);
+      fd = objective(d);
+    }
+  }
+  const double log_tau = (a + b) / 2.0;
+  IntervalOptimum opt;
+  opt.interval = Duration::seconds(std::exp(log_tau));
+  opt.overhead = objective(log_tau);
+  return opt;
+}
+
+}  // namespace xres

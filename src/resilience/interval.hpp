@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file interval.hpp
+/// Optimal checkpoint-interval selection.
+///
+/// Two tools: the closed-form first-order optimum the paper uses (Eq. 4,
+/// after Daly/Young), and a generic numeric optimizer for techniques whose
+/// effective failure rate depends on the interval itself (redundancy's
+/// replica-exhaustion hazard grows with the interval; Section IV-E).
+
+#include <functional>
+
+#include "util/units.hpp"
+
+namespace xres {
+
+/// Eq. 4: τ = sqrt(2 T_C / λ) − T_C.
+///
+/// When the checkpoint cost approaches (or exceeds) the failure MTBF the
+/// closed form goes non-positive — checkpointing can no longer keep up. We
+/// clamp to a small positive interval (cost/10) so the simulation proceeds
+/// and exhibits the paper's observed behavior: the application thrashes
+/// between checkpoints and restarts and fails to make progress.
+[[nodiscard]] Duration daly_interval(Duration checkpoint_cost, Rate failure_rate);
+
+/// Daly's higher-order optimum (Daly 2006, the paper's reference [32]):
+/// for δ = checkpoint cost and M = 1/λ,
+///   τ = sqrt(2δM)·[1 + (1/3)√(δ/2M) + (1/9)(δ/2M)] − δ   when δ < 2M,
+///   τ = M                                                 otherwise.
+/// More accurate than Eq. 4 when the checkpoint cost is a sizable fraction
+/// of the MTBF (exactly the exascale regime); exposed for the
+/// interval-selection ablation bench.
+[[nodiscard]] Duration daly_higher_order_interval(Duration checkpoint_cost,
+                                                  Rate failure_rate);
+
+/// First-order expected overhead per unit of useful work for checkpointing
+/// with interval \p tau: cost/τ + λ(τ)·(τ/2 + restore). Exposed for tests
+/// and the analytic efficiency model.
+[[nodiscard]] double checkpoint_overhead(Duration tau, Duration save_cost,
+                                         Duration restore_cost,
+                                         const std::function<Rate(Duration)>& hazard);
+
+struct IntervalOptimum {
+  Duration interval{};
+  double overhead{0.0};  ///< predicted overhead fraction at the optimum
+};
+
+/// Minimize checkpoint_overhead over τ by golden-section search on log τ
+/// in [max(save_cost/100, 1 ms), 365 d]. \p hazard maps a candidate
+/// interval to the effective failure rate the application experiences with
+/// that interval (constant λ_a for CR; interval-dependent for redundancy).
+[[nodiscard]] IntervalOptimum optimize_interval(
+    Duration save_cost, Duration restore_cost,
+    const std::function<Rate(Duration)>& hazard);
+
+}  // namespace xres

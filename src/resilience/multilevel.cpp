@@ -1,0 +1,116 @@
+#include "resilience/multilevel.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+
+/// Decompose g(w) = A/w + B·w + K for a fixed nesting vector.
+struct OverheadTerms {
+  double a{0.0};  // per-work checkpoint cost numerator (seconds)
+  double b{0.0};  // rework slope (per second)
+  double k{0.0};  // interval-independent restart expectation
+};
+
+OverheadTerms decompose(const std::vector<int>& nesting,
+                        const std::vector<CheckpointLevelSpec>& levels,
+                        const std::vector<Rate>& level_rates) {
+  const std::size_t m = levels.size();
+  // prod[i] = n_1 · ... · n_i (prod[0] = 1).
+  std::vector<double> prod(m + 1, 1.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    prod[i + 1] = prod[i] * static_cast<double>(nesting[i]);
+  }
+  const double total = prod[m - 1] > 0 ? prod[m - 1] : 1.0;  // checkpoints per top period
+
+  OverheadTerms t;
+  for (std::size_t i = 0; i < m; ++i) {
+    // Number of level-(i+1) checkpoints in one top period.
+    const double count = (i + 1 < m) ? total / prod[i] - total / prod[i + 1]
+                                     : total / prod[m - 1];
+    t.a += count * levels[i].save_cost.to_seconds() / total;
+    const double lambda = level_rates[i].per_second_value();
+    t.b += lambda * prod[i] / 2.0;
+    t.k += lambda * levels[i].restore_cost.to_seconds();
+  }
+  return t;
+}
+
+}  // namespace
+
+double multilevel_overhead(Duration quantum, const std::vector<int>& nesting,
+                           const std::vector<CheckpointLevelSpec>& levels,
+                           const std::vector<Rate>& level_rates) {
+  XRES_CHECK(!levels.empty(), "need at least one level");
+  XRES_CHECK(nesting.size() == levels.size(), "nesting size mismatch");
+  XRES_CHECK(level_rates.size() == levels.size(), "rate size mismatch");
+  XRES_CHECK(quantum > Duration::zero(), "quantum must be positive");
+  const OverheadTerms t = decompose(nesting, levels, level_rates);
+  const double w = quantum.to_seconds();
+  return t.a / w + t.b * w + t.k;
+}
+
+MultilevelSchedule optimize_multilevel(const std::vector<CheckpointLevelSpec>& levels,
+                                       const std::vector<Rate>& level_rates,
+                                       int max_nesting) {
+  XRES_CHECK(!levels.empty(), "need at least one level");
+  XRES_CHECK(level_rates.size() == levels.size(), "rate size mismatch");
+  XRES_CHECK(max_nesting >= 1, "max nesting must be >= 1");
+
+  // Geometric candidate grid for each nesting count.
+  std::vector<int> candidates;
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}) {
+    if (n <= max_nesting) candidates.push_back(n);
+  }
+
+  const std::size_t dims = levels.size() - 1;
+  std::vector<std::size_t> choice(dims, 0);
+  MultilevelSchedule best;
+  best.overhead = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&] {
+    std::vector<int> nesting(levels.size(), 1);
+    for (std::size_t i = 0; i < dims; ++i) nesting[i] = candidates[choice[i]];
+    const OverheadTerms t = decompose(nesting, levels, level_rates);
+    double w;
+    if (t.b > 0.0) {
+      w = std::sqrt(t.a / t.b);
+    } else {
+      // No failures: checkpoint as rarely as possible.
+      w = Duration::days(365.0).to_seconds();
+    }
+    // Keep the quantum meaningful relative to the cheapest checkpoint.
+    w = std::max(w, levels.front().save_cost.to_seconds() / 10.0);
+    w = std::max(w, 1e-3);
+    const double g = t.a / w + t.b * w + t.k;
+    if (g < best.overhead) {
+      best.overhead = g;
+      best.quantum = Duration::seconds(w);
+      best.nesting = nesting;
+    }
+  };
+
+  // Odometer enumeration over the candidate grid (dims is at most 2 for the
+  // paper's three-level scheme; the loop generalizes to any depth).
+  if (dims == 0) {
+    evaluate();
+    return best;
+  }
+  for (;;) {
+    evaluate();
+    std::size_t d = 0;
+    while (d < dims) {
+      if (++choice[d] < candidates.size()) break;
+      choice[d] = 0;
+      ++d;
+    }
+    if (d == dims) break;
+  }
+  return best;
+}
+
+}  // namespace xres

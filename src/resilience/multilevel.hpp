@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file multilevel.hpp
+/// Per-level checkpoint-schedule optimization for multilevel checkpointing
+/// (paper Section IV-C, after the Markov model of Moody et al. [3]).
+///
+/// The schedule is hierarchical: work proceeds in quanta of length w; a
+/// checkpoint is taken after every quantum; every n_1-th checkpoint is
+/// level 2 instead of level 1, every (n_1·n_2)-th is level 3, and so on.
+/// We pick (w, n_1, ..., n_{m-1}) to minimize first-order expected overhead
+/// per unit of useful work:
+///
+///   g = Σ_i count_i·C_i / (N·w)            (checkpoint cost)
+///     + Σ_i λ_i · (P_i / 2 + R_i)          (expected rework + restart)
+///
+/// where P_i = w·Π_{j<i} n_j is the level-i coverage period, λ_i the rate
+/// of severity-i failures, and C_i/R_i the save/restore costs. For fixed
+/// nesting the optimal w has the closed form sqrt(A/B) (g = A/w + B·w +
+/// const), so the search is exhaustive over a geometric nesting grid and
+/// exact in w. With a single level this degenerates to the Daly optimum of
+/// Eq. 4 (property-tested).
+
+#include <vector>
+
+#include "resilience/plan.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+struct MultilevelSchedule {
+  Duration quantum{};         ///< w
+  std::vector<int> nesting;   ///< size == level count; last entry fixed at 1
+  double overhead{0.0};       ///< predicted overhead g at the optimum
+};
+
+/// Expected overhead per unit work of a given schedule (exposed for tests
+/// and the analytic model). \p level_rates[i] is the rate of failures whose
+/// severity maps to level i.
+[[nodiscard]] double multilevel_overhead(Duration quantum, const std::vector<int>& nesting,
+                                         const std::vector<CheckpointLevelSpec>& levels,
+                                         const std::vector<Rate>& level_rates);
+
+/// Find the minimum-overhead schedule. \p max_nesting bounds each n_i.
+[[nodiscard]] MultilevelSchedule optimize_multilevel(
+    const std::vector<CheckpointLevelSpec>& levels,
+    const std::vector<Rate>& level_rates, int max_nesting);
+
+}  // namespace xres

@@ -1,0 +1,55 @@
+#include "resilience/plan.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+std::size_t ExecutionPlan::level_index_for_checkpoint(std::uint64_t k) const {
+  XRES_CHECK(!levels.empty(), "plan has no checkpoint levels");
+  XRES_CHECK(k >= 1, "checkpoint index counts from 1");
+  // Odometer: the k-th checkpoint is the highest level i such that k is a
+  // multiple of the product of nesting counts below i.
+  std::size_t best = 0;
+  std::uint64_t period = 1;
+  for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+    period *= static_cast<std::uint64_t>(nesting[i]);
+    if (k % period == 0) best = i + 1;
+  }
+  return best;
+}
+
+std::size_t ExecutionPlan::recovery_level_for(SeverityLevel severity) const {
+  XRES_CHECK(!levels.empty(), "plan has no checkpoint levels");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].coverage >= severity) return i;
+  }
+  XRES_CHECK(false, "no checkpoint level covers severity " + std::to_string(severity));
+}
+
+void ExecutionPlan::validate() const {
+  app.validate();
+  XRES_CHECK(physical_nodes >= app.nodes, "physical nodes below application nodes");
+  XRES_CHECK(baseline > Duration::zero(), "baseline must be positive");
+  XRES_CHECK(work_target >= baseline, "stretched work target below baseline");
+  XRES_CHECK(recovery_parallelism >= 1.0, "recovery parallelism must be >= 1");
+  XRES_CHECK(replication_degree >= 1.0, "replication degree must be >= 1");
+  XRES_CHECK(checkpoint_work_rate >= 0.0 && checkpoint_work_rate < 1.0,
+             "checkpoint work rate must be in [0, 1)");
+  XRES_CHECK(nesting.size() == levels.size(), "nesting size must match level count");
+  if (kind != TechniqueKind::kNone) {
+    XRES_CHECK(!levels.empty(), "resilient plan needs at least one checkpoint level");
+    XRES_CHECK(checkpoint_quantum > Duration::zero(), "checkpoint quantum must be positive");
+    for (const auto& level : levels) {
+      XRES_CHECK(level.save_cost >= Duration::zero(), "negative save cost");
+      XRES_CHECK(level.restore_cost >= Duration::zero(), "negative restore cost");
+      XRES_CHECK(level.coverage >= 1, "level coverage must be >= 1");
+    }
+    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+      XRES_CHECK(levels[i].coverage <= levels[i + 1].coverage,
+                 "levels must be ordered by increasing coverage");
+      XRES_CHECK(nesting[i] >= 1, "nesting counts must be >= 1");
+    }
+  }
+}
+
+}  // namespace xres

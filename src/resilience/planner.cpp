@@ -1,0 +1,233 @@
+#include "resilience/planner.hpp"
+
+#include <cmath>
+
+#include "platform/transfer.hpp"
+#include "resilience/interval.hpp"
+#include "resilience/multilevel.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+
+double message_logging_slowdown(const AppType& type, const ResilienceConfig& config) {
+  return 1.0 + config.comm_slowdown_per_tc * type.comm_fraction;
+}
+
+std::uint32_t replicated_node_count(std::uint32_t app_nodes, double degree) {
+  XRES_CHECK(degree >= 1.0, "replication degree must be >= 1");
+  return static_cast<std::uint32_t>(
+      std::ceil(degree * static_cast<double>(app_nodes) - 1e-9));
+}
+
+DataSize checkpoint_image(const AppSpec& app, const ResilienceConfig& config) {
+  return app.type.memory_per_node * config.checkpoint_compression;
+}
+
+namespace {
+
+/// Highest severity level in the configuration (what a PFS checkpoint
+/// covers).
+SeverityLevel max_severity(const ResilienceConfig& config) {
+  return static_cast<SeverityLevel>(config.severity_weights.size());
+}
+
+ExecutionPlan base_plan(TechniqueKind kind, const AppSpec& app,
+                        const ResilienceConfig& config) {
+  ExecutionPlan plan;
+  plan.kind = kind;
+  plan.app = app;
+  plan.physical_nodes = app.nodes;
+  plan.baseline = app.baseline_time();
+  plan.work_target = plan.baseline;
+  plan.failure_rate =
+      Rate::one_per(config.node_mtbf) * static_cast<double>(app.nodes);
+  plan.max_wall_time = plan.baseline * config.max_slowdown;
+  return plan;
+}
+
+ExecutionPlan plan_none(const AppSpec& app, const ResilienceConfig& config) {
+  ExecutionPlan plan = base_plan(TechniqueKind::kNone, app, config);
+  plan.failure_rate = Rate::zero();  // the ideal baseline assumes no failures
+  plan.max_wall_time = Duration::infinity();
+  return plan;
+}
+
+ExecutionPlan plan_checkpoint_restart(const AppSpec& app, const MachineSpec& machine,
+                                      const ResilienceConfig& config) {
+  ExecutionPlan plan = base_plan(TechniqueKind::kCheckpointRestart, app, config);
+  const Duration cost =
+      pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+  plan.levels = {
+      CheckpointLevelSpec{cost, cost, max_severity(config), /*uses_shared_pfs=*/true}};
+  plan.nesting = {1};
+  plan.checkpoint_quantum = daly_interval(cost, plan.failure_rate);
+  plan.adaptive_interval = config.adaptive_interval;
+  return plan;
+}
+
+ExecutionPlan plan_semi_blocking(const AppSpec& app, const MachineSpec& machine,
+                                 const ResilienceConfig& config) {
+  // Like checkpoint/restart, but execution continues at rate σ while the
+  // checkpoint drains: the effective blocked time per checkpoint is
+  // C·(1 − σ), which is what Eq. 4 should optimize against.
+  ExecutionPlan plan = base_plan(TechniqueKind::kSemiBlockingCheckpoint, app, config);
+  const Duration cost =
+      pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+  plan.levels = {
+      CheckpointLevelSpec{cost, cost, max_severity(config), /*uses_shared_pfs=*/true}};
+  plan.nesting = {1};
+  plan.checkpoint_work_rate = config.semi_blocking_work_rate;
+  const Duration effective_cost = cost * (1.0 - plan.checkpoint_work_rate);
+  plan.checkpoint_quantum = daly_interval(effective_cost, plan.failure_rate);
+  plan.adaptive_interval = config.adaptive_interval;
+  return plan;
+}
+
+ExecutionPlan plan_multilevel(const AppSpec& app, const MachineSpec& machine,
+                              const ResilienceConfig& config) {
+  ExecutionPlan plan = base_plan(TechniqueKind::kMultilevel, app, config);
+
+  // Level costs: RAM (Eq. 5), partner copy (Eq. 6), PFS (Eq. 3), matched to
+  // however many severity levels are configured (highest levels first when
+  // fewer than three are in play).
+  const Duration l1 = local_memory_checkpoint_time(checkpoint_image(app, config), machine.node);
+  const Duration l2 =
+      partner_copy_checkpoint_time(checkpoint_image(app, config), machine.node, machine.network);
+  const Duration l3 = pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+  const int severity_levels = max_severity(config);
+  XRES_CHECK(severity_levels <= 3, "multilevel planner supports at most 3 severity levels");
+  std::vector<Duration> costs;
+  if (severity_levels >= 3) costs.push_back(l1);
+  if (severity_levels >= 2) costs.push_back(l2);
+  costs.push_back(l3);
+
+  plan.levels.clear();
+  std::vector<Rate> level_rates;
+  for (int i = 0; i < severity_levels; ++i) {
+    const double weight_sum = [&] {
+      double s = 0.0;
+      for (double w : config.severity_weights) s += w;
+      return s;
+    }();
+    const double pmf = config.severity_weights[static_cast<std::size_t>(i)] / weight_sum;
+    // The highest level is the PFS write (Eq. 3); lower levels stay within
+    // node RAM / partner memory and never touch the shared file system.
+    const bool is_pfs_level = (i + 1 == severity_levels);
+    plan.levels.push_back(
+        CheckpointLevelSpec{costs[static_cast<std::size_t>(i)],
+                            costs[static_cast<std::size_t>(i)],
+                            static_cast<SeverityLevel>(i + 1), is_pfs_level});
+    level_rates.push_back(plan.failure_rate * pmf);
+  }
+
+  const MultilevelSchedule schedule =
+      optimize_multilevel(plan.levels, level_rates, config.max_nesting);
+  plan.checkpoint_quantum = schedule.quantum;
+  plan.nesting = schedule.nesting;
+  return plan;
+}
+
+ExecutionPlan plan_parallel_recovery(const AppSpec& app, const MachineSpec& machine,
+                                     const ResilienceConfig& config) {
+  ExecutionPlan plan = base_plan(TechniqueKind::kParallelRecovery, app, config);
+  // Eq. 7: message logging stretches the baseline by µ.
+  const double mu = message_logging_slowdown(app.type, config);
+  plan.work_target = plan.baseline * mu;
+  plan.max_wall_time = plan.work_target * config.max_slowdown;
+
+  // In-memory double checkpoint (Zheng et al. [33]) behaves like the
+  // level-2 partner copy (Section IV-D).
+  const Duration cost =
+      partner_copy_checkpoint_time(checkpoint_image(app, config), machine.node, machine.network);
+  plan.levels = {CheckpointLevelSpec{cost, cost, max_severity(config)}};
+  plan.nesting = {1};
+  plan.checkpoint_quantum = daly_interval(cost, plan.failure_rate);
+  plan.rollback_on_failure = false;
+  plan.recovery_parallelism = config.recovery_parallelism;
+  plan.adaptive_interval = config.adaptive_interval;
+  return plan;
+}
+
+ExecutionPlan plan_redundancy(TechniqueKind kind, const AppSpec& app,
+                              const MachineSpec& machine, const ResilienceConfig& config) {
+  const double degree = kind == TechniqueKind::kRedundancyFull
+                            ? config.full_redundancy
+                            : config.partial_redundancy;
+  ExecutionPlan plan = base_plan(kind, app, config);
+  plan.replication_degree = degree;
+  plan.physical_nodes = replicated_node_count(app.nodes, degree);
+  plan.feasible = plan.physical_nodes <= machine.node_count;
+
+  // Eq. 8: duplicated communication stretches each time step to
+  // T_W + r·T_C.
+  const double stretch = app.type.work_fraction() + degree * app.type.comm_fraction;
+  plan.work_target = plan.baseline * stretch;
+  plan.max_wall_time = plan.work_target * config.max_slowdown;
+
+  // Raw failures arrive over all physical nodes.
+  plan.failure_rate =
+      Rate::one_per(config.node_mtbf) * static_cast<double>(plan.physical_nodes);
+
+  const Duration cost =
+      pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+  plan.levels = {
+      CheckpointLevelSpec{cost, cost, max_severity(config), /*uses_shared_pfs=*/true}};
+  plan.nesting = {1};
+
+  // Only replica-exhausting failures force a rollback, so the optimal
+  // interval comes from the effective fatal hazard, which grows with the
+  // interval (the longer replicas stay unhealed, the likelier a pair dies):
+  //   λ_eff(τ) ≈ s·µ_n + d·µ_n²·τ
+  // with µ_n the per-node rate, d duplicated and s unduplicated processes.
+  const double node_rate = Rate::one_per(config.node_mtbf).per_second_value();
+  const double duplicated = static_cast<double>(plan.physical_nodes - app.nodes);
+  const double singles = static_cast<double>(app.nodes) - duplicated;
+  XRES_CHECK(singles >= -1e-9, "replication degree above 2 is not modeled");
+  auto hazard = [node_rate, duplicated, singles](Duration tau) {
+    return Rate::per_second(std::max(singles, 0.0) * node_rate +
+                            duplicated * node_rate * node_rate * tau.to_seconds());
+  };
+  plan.checkpoint_quantum = optimize_interval(cost, cost, hazard).interval;
+  return plan;
+}
+
+}  // namespace
+
+ExecutionPlan make_plan(TechniqueKind kind, const AppSpec& app, const MachineSpec& machine,
+                        const ResilienceConfig& config) {
+  app.validate();
+  machine.validate();
+  config.validate();
+  XRES_CHECK(app.nodes <= machine.node_count || kind == TechniqueKind::kNone ||
+                 kind == TechniqueKind::kRedundancyPartial ||
+                 kind == TechniqueKind::kRedundancyFull,
+             "application larger than machine");
+
+  ExecutionPlan plan;
+  switch (kind) {
+    case TechniqueKind::kNone:
+      plan = plan_none(app, config);
+      break;
+    case TechniqueKind::kCheckpointRestart:
+      plan = plan_checkpoint_restart(app, machine, config);
+      break;
+    case TechniqueKind::kSemiBlockingCheckpoint:
+      plan = plan_semi_blocking(app, machine, config);
+      break;
+    case TechniqueKind::kMultilevel:
+      plan = plan_multilevel(app, machine, config);
+      break;
+    case TechniqueKind::kParallelRecovery:
+      plan = plan_parallel_recovery(app, machine, config);
+      break;
+    case TechniqueKind::kRedundancyPartial:
+    case TechniqueKind::kRedundancyFull:
+      plan = plan_redundancy(kind, app, machine, config);
+      break;
+  }
+  if (app.nodes > machine.node_count) plan.feasible = false;
+  plan.validate();
+  return plan;
+}
+
+}  // namespace xres

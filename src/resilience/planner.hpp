@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file planner.hpp
+/// Builds an ExecutionPlan for (technique, application, machine, config):
+/// the concrete realization of the paper's Section-IV models.
+
+#include "apps/application.hpp"
+#include "platform/spec.hpp"
+#include "resilience/config.hpp"
+#include "resilience/plan.hpp"
+#include "resilience/technique.hpp"
+
+namespace xres {
+
+/// Message-logging slowdown µ = 1 + comm_slowdown_per_tc × T_C (Section
+/// IV-D; the paper's µ = 1 + T_C/10).
+[[nodiscard]] double message_logging_slowdown(const AppType& type,
+                                              const ResilienceConfig& config);
+
+/// Physical nodes required at replication degree r: ⌈r · N_a⌉.
+[[nodiscard]] std::uint32_t replicated_node_count(std::uint32_t app_nodes, double degree);
+
+/// Per-node checkpoint image size: N_m scaled by the compression/
+/// incremental-checkpointing factor (1.0 = the paper's full images).
+[[nodiscard]] DataSize checkpoint_image(const AppSpec& app, const ResilienceConfig& config);
+
+/// Build the execution plan. Always returns a structurally valid plan;
+/// check `plan.feasible` before simulating (redundancy on more than
+/// machine-capacity nodes is infeasible and must be scored as efficiency 0,
+/// as in Figures 1–2).
+[[nodiscard]] ExecutionPlan make_plan(TechniqueKind kind, const AppSpec& app,
+                                      const MachineSpec& machine,
+                                      const ResilienceConfig& config);
+
+}  // namespace xres

@@ -1,0 +1,55 @@
+#include "resilience/renewal.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+Duration expected_restart_time(Duration restore, Rate lambda) {
+  XRES_CHECK(restore >= Duration::zero(), "restore cost must be non-negative");
+  if (lambda == Rate::zero()) return restore;
+  const double l = lambda.per_second_value();
+  return Duration::seconds(std::expm1(l * restore.to_seconds()) / l);
+}
+
+Duration expected_segment_time(Duration d, Duration restore, Rate lambda) {
+  XRES_CHECK(d >= Duration::zero(), "segment length must be non-negative");
+  if (lambda == Rate::zero()) return d;
+  const double l = lambda.per_second_value();
+  const Duration cycle = Duration::seconds(1.0 / l) + expected_restart_time(restore, lambda);
+  return cycle * std::expm1(l * d.to_seconds());
+}
+
+Duration expected_completion_time_exact(Duration work, Duration tau, Duration save,
+                                        Duration restore, Rate lambda) {
+  XRES_CHECK(work > Duration::zero(), "work must be positive");
+  XRES_CHECK(tau > Duration::zero(), "interval must be positive");
+  // Full segments of (τ + C), then a trailing segment of the leftover work
+  // with no checkpoint. When τ does not divide the work evenly, the last
+  // full-interval segment is followed by the remainder.
+  const double segments = work / tau;
+  const auto full = static_cast<std::uint64_t>(segments);
+  const Duration remainder = work - tau * static_cast<double>(full);
+
+  Duration total = Duration::zero();
+  std::uint64_t checkpointed_segments = full;
+  Duration tail = remainder;
+  if (remainder <= Duration::zero() && full > 0) {
+    // Work divides evenly: the final interval runs without a checkpoint.
+    checkpointed_segments = full - 1;
+    tail = tau;
+  }
+  total += expected_segment_time(tau + save, restore, lambda) *
+           static_cast<double>(checkpointed_segments);
+  total += expected_segment_time(tail, restore, lambda);
+  return total;
+}
+
+double expected_efficiency_exact(Duration work, Duration tau, Duration save,
+                                 Duration restore, Rate lambda) {
+  const Duration expected = expected_completion_time_exact(work, tau, save, restore, lambda);
+  return work / expected;
+}
+
+}  // namespace xres

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file renewal.hpp
+/// Exact renewal-theory expectations for single-level checkpointing under
+/// exponential failures.
+///
+/// The first-order overhead model of interval.hpp (C/τ + λ(τ/2 + R)) is
+/// what the paper's Eq. 4 optimizes, but it is an approximation: it
+/// ignores failures that strike during checkpoints, restarts, and rework.
+/// For exponential (memoryless) failures the exact expectation has a
+/// closed form. For an attempt of length d executed under failure rate λ,
+/// where every failure costs a restart of length R (itself failure-prone)
+/// before retrying from the segment start, the expected time to get
+/// through d successfully is
+///
+///   E[segment(d)] = (1/λ + E[restart]) · (e^{λ d} − 1)
+///   E[restart]    = (e^{λ R} − 1) / λ        (restart retried on failure)
+///
+/// (first attempt pays no restart, hence the (e^{λd} − 1) factor applies
+/// to the full "cycle cost" 1/λ + E[restart]). A run of total work W with
+/// interval τ and checkpoint cost C is N = ⌈W/τ⌉ segments of length
+/// τ + C (the last one shortened), giving an exact expected wall time and
+/// efficiency. These formulas anchor property tests: the event-driven
+/// simulator's mean must converge to them.
+
+#include "util/units.hpp"
+
+namespace xres {
+
+/// Expected time for one failure-prone restart of nominal length
+/// \p restore under rate \p lambda (retried from scratch on each failure).
+[[nodiscard]] Duration expected_restart_time(Duration restore, Rate lambda);
+
+/// Expected time to complete an atomic segment of length \p d (work +
+/// checkpoint) with restart cost \p restore on every failure.
+[[nodiscard]] Duration expected_segment_time(Duration d, Duration restore, Rate lambda);
+
+/// Exact expected wall time to complete \p work of useful work with
+/// checkpoints of cost \p save every \p tau of work, restore cost
+/// \p restore, under exponential failures at \p lambda. The final segment
+/// omits the checkpoint (matching the runtime, which completes at the
+/// work target without a trailing checkpoint).
+[[nodiscard]] Duration expected_completion_time_exact(Duration work, Duration tau,
+                                                      Duration save, Duration restore,
+                                                      Rate lambda);
+
+/// Exact expected efficiency: work / expected_completion_time_exact.
+[[nodiscard]] double expected_efficiency_exact(Duration work, Duration tau,
+                                               Duration save, Duration restore,
+                                               Rate lambda);
+
+}  // namespace xres

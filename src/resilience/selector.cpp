@@ -1,0 +1,45 @@
+#include "resilience/selector.hpp"
+
+#include "resilience/analytic.hpp"
+#include "resilience/planner.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+
+ResilienceSelector::ResilienceSelector(MachineSpec machine, ResilienceConfig config,
+                                       std::vector<TechniqueKind> candidates)
+    : machine_{machine}, config_{std::move(config)}, candidates_{std::move(candidates)} {
+  machine_.validate();
+  config_.validate();
+  if (candidates_.empty()) {
+    candidates_.assign(workload_techniques().begin(), workload_techniques().end());
+  }
+  for (TechniqueKind kind : candidates_) {
+    XRES_CHECK(kind != TechniqueKind::kNone,
+               "kNone is a baseline mode, not a selectable technique");
+  }
+}
+
+double ResilienceSelector::predicted_efficiency(const AppSpec& app,
+                                                TechniqueKind kind) const {
+  return predict_efficiency(make_plan(kind, app, machine_, config_), config_);
+}
+
+ResilienceSelector::Selection ResilienceSelector::select(const AppSpec& app) const {
+  Selection best;
+  bool first = true;
+  for (TechniqueKind kind : candidates_) {
+    ExecutionPlan plan = make_plan(kind, app, machine_, config_);
+    const double eff = predict_efficiency(plan, config_);
+    if (first || eff > best.predicted_efficiency) {
+      best.kind = kind;
+      best.predicted_efficiency = eff;
+      best.plan = std::move(plan);
+      first = false;
+    }
+  }
+  XRES_CHECK(!first, "selector has no candidates");
+  return best;
+}
+
+}  // namespace xres

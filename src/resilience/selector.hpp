@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file selector.hpp
+/// Resilience Selection (paper Section VII): pick, per application, the
+/// technique with the best predicted efficiency. The paper's selector
+/// chooses among the workload techniques (checkpoint/restart, multilevel,
+/// parallel recovery); the candidate set is configurable.
+
+#include <vector>
+
+#include "apps/application.hpp"
+#include "platform/spec.hpp"
+#include "resilience/config.hpp"
+#include "resilience/plan.hpp"
+#include "resilience/technique.hpp"
+
+namespace xres {
+
+class ResilienceSelector {
+ public:
+  /// \p candidates defaults to the paper's workload set when empty.
+  ResilienceSelector(MachineSpec machine, ResilienceConfig config,
+                     std::vector<TechniqueKind> candidates = {});
+
+  /// Predicted efficiency of one technique for \p app.
+  [[nodiscard]] double predicted_efficiency(const AppSpec& app, TechniqueKind kind) const;
+
+  struct Selection {
+    TechniqueKind kind{TechniqueKind::kCheckpointRestart};
+    double predicted_efficiency{0.0};
+    ExecutionPlan plan{};
+  };
+
+  /// Choose the best technique for \p app and return its ready-to-run plan.
+  [[nodiscard]] Selection select(const AppSpec& app) const;
+
+  [[nodiscard]] const std::vector<TechniqueKind>& candidates() const { return candidates_; }
+
+ private:
+  MachineSpec machine_;
+  ResilienceConfig config_;
+  std::vector<TechniqueKind> candidates_;
+};
+
+}  // namespace xres

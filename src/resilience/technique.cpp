@@ -1,0 +1,45 @@
+#include "resilience/technique.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+const char* to_string(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kNone: return "none";
+    case TechniqueKind::kCheckpointRestart: return "checkpoint-restart";
+    case TechniqueKind::kMultilevel: return "multilevel";
+    case TechniqueKind::kParallelRecovery: return "parallel-recovery";
+    case TechniqueKind::kRedundancyPartial: return "redundancy-1.5";
+    case TechniqueKind::kRedundancyFull: return "redundancy-2";
+    case TechniqueKind::kSemiBlockingCheckpoint: return "semi-blocking-checkpoint";
+  }
+  return "?";
+}
+
+TechniqueKind technique_from_string(const std::string& name) {
+  for (TechniqueKind kind :
+       {TechniqueKind::kNone, TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+        TechniqueKind::kParallelRecovery, TechniqueKind::kRedundancyPartial,
+        TechniqueKind::kRedundancyFull, TechniqueKind::kSemiBlockingCheckpoint}) {
+    if (name == to_string(kind)) return kind;
+  }
+  XRES_CHECK(false, "unknown resilience technique: " + name);
+}
+
+const std::array<TechniqueKind, 5>& evaluated_techniques() {
+  static const std::array<TechniqueKind, 5> kinds{
+      TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+      TechniqueKind::kParallelRecovery, TechniqueKind::kRedundancyPartial,
+      TechniqueKind::kRedundancyFull};
+  return kinds;
+}
+
+const std::array<TechniqueKind, 3>& workload_techniques() {
+  static const std::array<TechniqueKind, 3> kinds{
+      TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+      TechniqueKind::kParallelRecovery};
+  return kinds;
+}
+
+}  // namespace xres

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file technique.hpp
+/// The resilience techniques compared by the paper (Section IV), plus the
+/// no-resilience "ideal" mode used for baseline runs.
+
+#include <array>
+#include <string>
+
+namespace xres {
+
+enum class TechniqueKind {
+  kNone,               ///< ideal baseline: no checkpoints, assumes no failures
+  kCheckpointRestart,  ///< blocking uncoordinated PFS checkpointing (IV-B)
+  kMultilevel,         ///< three-level checkpointing after Moody et al. (IV-C)
+  kParallelRecovery,   ///< message logging + parallelized restart (IV-D)
+  kRedundancyPartial,  ///< checkpointing + r = 1.5 replication (IV-E)
+  kRedundancyFull,     ///< checkpointing + r = 2.0 replication (IV-E)
+  /// Extension: semi-blocking PFS checkpointing (the paper's related work
+  /// [12], Ni et al.): execution continues at a reduced rate while the
+  /// checkpoint drains to the file system.
+  kSemiBlockingCheckpoint,
+};
+
+/// Display name as used in the paper's figures.
+[[nodiscard]] const char* to_string(TechniqueKind kind);
+
+/// Parse a display or CLI name ("checkpoint-restart", "multilevel",
+/// "parallel-recovery", "redundancy-1.5", "redundancy-2", "none").
+[[nodiscard]] TechniqueKind technique_from_string(const std::string& name);
+
+/// The five techniques evaluated in Figures 1–3 (everything except kNone).
+[[nodiscard]] const std::array<TechniqueKind, 5>& evaluated_techniques();
+
+/// The three techniques carried into the workload studies (Sections VI–VII
+/// exclude redundancy based on the Section-V results).
+[[nodiscard]] const std::array<TechniqueKind, 3>& workload_techniques();
+
+}  // namespace xres

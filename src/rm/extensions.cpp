@@ -1,0 +1,27 @@
+#include <algorithm>
+
+#include "rm/scheduler.hpp"
+
+namespace xres {
+
+void FirstFitScheduler::map(const std::vector<const Job*>& pending,
+                            SchedulerContext& ctx, Pcg32& /*rng*/) {
+  // Arrival order with greedy backfilling: every pending job gets one
+  // attempt regardless of earlier misfits.
+  for (const Job* job : pending) {
+    ctx.try_start(*job);
+  }
+}
+
+void SjfScheduler::map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+                       Pcg32& /*rng*/) {
+  std::vector<const Job*> order = pending;
+  std::stable_sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    return a->spec.baseline_time() < b->spec.baseline_time();
+  });
+  for (const Job* job : order) {
+    ctx.try_start(*job);
+  }
+}
+
+}  // namespace xres

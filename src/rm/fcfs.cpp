@@ -1,0 +1,14 @@
+#include "rm/scheduler.hpp"
+
+namespace xres {
+
+void FcfsScheduler::map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+                        Pcg32& /*rng*/) {
+  // Strict arrival order; the first job that does not fit blocks everything
+  // behind it until a future mapping event (Section III-D1).
+  for (const Job* job : pending) {
+    if (!ctx.try_start(*job)) break;
+  }
+}
+
+}  // namespace xres

@@ -1,0 +1,20 @@
+#include "rm/scheduler.hpp"
+
+namespace xres {
+
+void RandomScheduler::map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+                          Pcg32& rng) {
+  // Attempt every unmapped job once, in uniformly random order; jobs that
+  // do not fit return to the unmapped set (Section III-D2).
+  std::vector<const Job*> order = pending;
+  while (!order.empty()) {
+    const auto pick = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint32_t>(order.size())));
+    const Job* job = order[pick];
+    order[pick] = order.back();
+    order.pop_back();
+    ctx.try_start(*job);
+  }
+}
+
+}  // namespace xres

@@ -1,0 +1,49 @@
+#include "rm/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return "FCFS";
+    case SchedulerKind::kRandom: return "Random";
+    case SchedulerKind::kSlack: return "Slack";
+    case SchedulerKind::kFirstFit: return "FirstFit";
+    case SchedulerKind::kSjf: return "SJF";
+  }
+  return "?";
+}
+
+SchedulerKind scheduler_from_string(const std::string& name) {
+  for (SchedulerKind kind : extended_schedulers()) {
+    if (name == to_string(kind)) return kind;
+  }
+  XRES_CHECK(false, "unknown scheduler: " + name);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kRandom: return std::make_unique<RandomScheduler>();
+    case SchedulerKind::kSlack: return std::make_unique<SlackScheduler>();
+    case SchedulerKind::kFirstFit: return std::make_unique<FirstFitScheduler>();
+    case SchedulerKind::kSjf: return std::make_unique<SjfScheduler>();
+  }
+  XRES_CHECK(false, "unhandled scheduler kind");
+}
+
+const std::vector<SchedulerKind>& all_schedulers() {
+  static const std::vector<SchedulerKind> kinds{
+      SchedulerKind::kFcfs, SchedulerKind::kRandom, SchedulerKind::kSlack};
+  return kinds;
+}
+
+const std::vector<SchedulerKind>& extended_schedulers() {
+  static const std::vector<SchedulerKind> kinds{
+      SchedulerKind::kFcfs, SchedulerKind::kRandom, SchedulerKind::kSlack,
+      SchedulerKind::kFirstFit, SchedulerKind::kSjf};
+  return kinds;
+}
+
+}  // namespace xres

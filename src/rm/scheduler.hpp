@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Resource-management heuristics (paper Section III-D).
+///
+/// A mapping event fires when an application arrives or finishes. The
+/// scheduler sees the set of unmapped applications and decides which to
+/// start through the SchedulerContext; applications it cannot (or chooses
+/// not to) start remain unmapped for future mapping events.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+/// The engine-side interface a scheduler drives during one mapping event.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  /// Current simulated time.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Idle nodes available right now.
+  [[nodiscard]] virtual std::uint32_t free_nodes() const = 0;
+
+  /// Try to start \p job immediately. Returns false when the machine cannot
+  /// host it right now (the job stays unmapped).
+  virtual bool try_start(const Job& job) = 0;
+
+  /// Remove \p job from the system without executing it (deadline
+  /// infeasible). Counted as dropped.
+  virtual void drop(const Job& job) = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Map as many of \p pending (in arrival order) as the policy allows.
+  /// \p rng is the study's scheduler stream (used by the random policy).
+  virtual void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+                   Pcg32& rng) = 0;
+};
+
+/// First come, first served: start jobs strictly in arrival order; stop at
+/// the first job that does not fit (no backfilling).
+class FcfsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "FCFS"; }
+  void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+           Pcg32& rng) override;
+};
+
+/// Random: repeatedly pick a random unmapped job and try to start it;
+/// jobs that do not fit return to the unmapped set (every job is attempted
+/// once per mapping event).
+class RandomScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "Random"; }
+  void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+           Pcg32& rng) override;
+};
+
+/// Slack-based: drop jobs whose remaining slack (deadline − now − baseline)
+/// is negative, then start jobs in order of increasing slack; jobs that do
+/// not fit return to the unmapped set.
+///
+/// Note: the paper defines slack against the arrival time (T_D − T_B −
+/// T_A), which is non-negative by construction of Eq. 1; the drop rule
+/// ("negative slack indicates the application cannot complete before its
+/// deadline") only bites when slack is measured from the current time, so
+/// that is what we implement.
+class SlackScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "Slack"; }
+  void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+           Pcg32& rng) override;
+
+  /// Remaining slack of a job at time \p now.
+  [[nodiscard]] static Duration slack(const Job& job, TimePoint now);
+};
+
+/// Extension beyond the paper: FCFS with greedy backfilling — jobs are
+/// attempted in arrival order but a misfit does not block later jobs
+/// (contrast with the paper's strict FCFS).
+class FirstFitScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "FirstFit"; }
+  void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+           Pcg32& rng) override;
+};
+
+/// Extension beyond the paper: shortest job (by baseline execution time)
+/// first; ties broken by arrival order.
+class SjfScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "SJF"; }
+  void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+           Pcg32& rng) override;
+};
+
+enum class SchedulerKind { kFcfs, kRandom, kSlack, kFirstFit, kSjf };
+
+[[nodiscard]] const char* to_string(SchedulerKind kind);
+[[nodiscard]] SchedulerKind scheduler_from_string(const std::string& name);
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+/// The paper's three heuristics, in its presentation order (Figures 4–5).
+[[nodiscard]] const std::vector<SchedulerKind>& all_schedulers();
+
+/// The paper's heuristics plus this library's extensions.
+[[nodiscard]] const std::vector<SchedulerKind>& extended_schedulers();
+
+}  // namespace xres

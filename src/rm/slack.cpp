@@ -1,0 +1,33 @@
+#include "rm/scheduler.hpp"
+
+#include <algorithm>
+
+namespace xres {
+
+Duration SlackScheduler::slack(const Job& job, TimePoint now) {
+  const TimePoint effective_start = std::max(now, job.arrival);
+  return (job.deadline - effective_start) - job.spec.baseline_time();
+}
+
+void SlackScheduler::map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+                         Pcg32& /*rng*/) {
+  // Drop infeasible jobs, then greedily start in increasing-slack order;
+  // jobs that do not fit stay unmapped (Section III-D3).
+  std::vector<std::pair<Duration, const Job*>> queue;
+  queue.reserve(pending.size());
+  for (const Job* job : pending) {
+    const Duration s = slack(*job, ctx.now());
+    if (s < Duration::zero()) {
+      ctx.drop(*job);
+    } else {
+      queue.emplace_back(s, job);
+    }
+  }
+  std::stable_sort(queue.begin(), queue.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [s, job] : queue) {
+    ctx.try_start(*job);
+  }
+}
+
+}  // namespace xres

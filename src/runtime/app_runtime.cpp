@@ -1,0 +1,406 @@
+#include "runtime/app_runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "resilience/interval.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace xres {
+
+ResilientAppRuntime::ResilientAppRuntime(Simulation& sim, ExecutionPlan plan,
+                                         std::uint64_t seed,
+                                         CompletionCallback on_complete)
+    : sim_{sim},
+      plan_{std::move(plan)},
+      rng_{derive_seed(seed, 0x617070727421ULL)},
+      on_complete_{std::move(on_complete)} {
+  plan_.validate();
+  XRES_CHECK(static_cast<bool>(on_complete_), "completion callback must be non-empty");
+}
+
+ResilientAppRuntime::~ResilientAppRuntime() { cancel_pending(); }
+
+const char* ResilientAppRuntime::phase_name() const {
+  switch (phase_) {
+    case Phase::kIdle: return "idle";
+    case Phase::kWorking: return "working";
+    case Phase::kCheckpointing: return "checkpointing";
+    case Phase::kRestarting: return "restarting";
+    case Phase::kRecovering: return "recovering";
+    case Phase::kDone: return "done";
+    case Phase::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+void ResilientAppRuntime::start() {
+  XRES_CHECK(phase_ == Phase::kIdle, "runtime already started");
+  XRES_CHECK(plan_.feasible, "cannot execute an infeasible plan");
+  start_time_ = sim_.now();
+  phase_start_ = start_time_;
+  result_.baseline = plan_.baseline;
+
+  saved_.assign(plan_.levels.size(), Duration::zero());
+  quantum_ = plan_.checkpoint_quantum;
+  next_checkpoint_at_ = plan_.levels.empty() ? Duration::infinity() : quantum_;
+
+  if (plan_.replication_degree > 1.0) {
+    const std::uint32_t duplicated = plan_.physical_nodes - plan_.app.nodes;
+    XRES_CHECK(duplicated <= plan_.app.nodes,
+               "replication degree above 2 is not modeled");
+    dup_healthy_ = duplicated;
+    dup_degraded_ = 0;
+    singles_ = plan_.app.nodes - duplicated;
+  }
+
+  if (plan_.max_wall_time.is_finite()) {
+    timeout_event_ =
+        sim_.schedule_after(plan_.max_wall_time, [this] { abort_on_timeout(); });
+    has_timeout_ = true;
+  }
+  enter_working();
+}
+
+void ResilientAppRuntime::set_pfs_transfer_service(TransferService* service) {
+  XRES_CHECK(phase_ == Phase::kIdle, "transfer service must be set before start");
+  pfs_service_ = service;
+}
+
+void ResilientAppRuntime::cancel_pending() {
+  if (!has_pending_) return;
+  if (pending_is_transfer_) {
+    pfs_service_->cancel(pending_transfer_);
+  } else {
+    sim_.cancel(pending_);
+  }
+  has_pending_ = false;
+}
+
+void ResilientAppRuntime::schedule_phase(Duration nominal, bool shared_pfs,
+                                         std::function<void()> done) {
+  XRES_CHECK(!has_pending_, "phase scheduled while another is pending");
+  auto wrapped = [this, done = std::move(done)] {
+    has_pending_ = false;
+    done();
+  };
+  if (shared_pfs && pfs_service_ != nullptr) {
+    pending_transfer_ = pfs_service_->begin(nominal, std::move(wrapped));
+    pending_is_transfer_ = true;
+  } else {
+    pending_ = sim_.schedule_after(nominal, std::move(wrapped));
+    pending_is_transfer_ = false;
+  }
+  has_pending_ = true;
+}
+
+double ResilientAppRuntime::active_nodes() const {
+  if (phase_ == Phase::kRecovering) {
+    // Only the restarted node plus its recovery helpers compute; the rest
+    // of the allocation idles (Section IV-D).
+    return std::min(1.0 + plan_.recovery_parallelism,
+                    static_cast<double>(plan_.app.nodes));
+  }
+  return static_cast<double>(plan_.physical_nodes);
+}
+
+void ResilientAppRuntime::enable_timeline() {
+  XRES_CHECK(phase_ == Phase::kIdle, "enable_timeline must precede start");
+  timeline_.emplace();
+}
+
+void ResilientAppRuntime::accrue(Duration elapsed) {
+  XRES_CHECK(elapsed >= Duration::zero(), "negative phase time");
+  std::optional<SpanKind> span;
+  switch (phase_) {
+    case Phase::kWorking:
+      result_.time_working += elapsed;
+      span = SpanKind::kWork;
+      break;
+    case Phase::kCheckpointing:
+      result_.time_checkpointing += elapsed;
+      span = SpanKind::kCheckpoint;
+      break;
+    case Phase::kRestarting:
+      result_.time_restarting += elapsed;
+      span = SpanKind::kRestart;
+      break;
+    case Phase::kRecovering:
+      result_.time_recovering += elapsed;
+      span = SpanKind::kRecovery;
+      break;
+    case Phase::kIdle:
+    case Phase::kDone:
+    case Phase::kAborted:
+      break;
+  }
+  result_.node_seconds += active_nodes() * elapsed.to_seconds();
+  if (timeline_.has_value() && span.has_value()) {
+    timeline_->add(*span, phase_start_, elapsed);
+  }
+}
+
+void ResilientAppRuntime::enter_working() {
+  if (progress_ >= plan_.work_target) {
+    complete();
+    return;
+  }
+  phase_ = Phase::kWorking;
+  phase_start_ = sim_.now();
+  const Duration target = std::min(next_checkpoint_at_, plan_.work_target);
+  const Duration length = target - progress_;
+  XRES_CHECK(length > Duration::zero(), "empty work segment");
+  schedule_phase(length, /*shared_pfs=*/false,
+                 [this, target] { on_segment_done(target); });
+}
+
+void ResilientAppRuntime::on_segment_done(Duration target) {
+  accrue(sim_.now() - phase_start_);
+  progress_ = target;
+  if (progress_ >= plan_.work_target) {
+    complete();
+  } else {
+    enter_checkpointing();
+  }
+}
+
+void ResilientAppRuntime::enter_checkpointing() {
+  phase_ = Phase::kCheckpointing;
+  phase_start_ = sim_.now();
+  // Semi-blocking checkpoints snapshot the state at phase entry; work done
+  // concurrently is not covered by the in-flight image.
+  checkpoint_snapshot_ = progress_;
+  const std::size_t idx = plan_.level_index_for_checkpoint(checkpoint_counter_ + 1);
+  const CheckpointLevelSpec& level = plan_.levels[idx];
+  schedule_phase(level.save_cost, level.uses_shared_pfs,
+                 [this, idx] { on_checkpoint_done(idx, plan_.levels[idx].save_cost); });
+}
+
+void ResilientAppRuntime::on_checkpoint_done(std::size_t level_index, Duration) {
+  const Duration elapsed = sim_.now() - phase_start_;
+  accrue(elapsed);
+  ++checkpoint_counter_;
+  ++result_.checkpoints_completed;
+  // The image covers progress as of phase entry (identical to progress_
+  // for blocking techniques, where checkpoint_work_rate is 0).
+  saved_[level_index] = checkpoint_snapshot_;
+  progress_ = std::min(progress_ + elapsed * plan_.checkpoint_work_rate,
+                       plan_.work_target);
+  // A completed checkpoint is the consistency point at which failed
+  // replicas are re-provisioned (DESIGN.md §4).
+  dup_healthy_ += dup_degraded_;
+  dup_degraded_ = 0;
+  if (plan_.adaptive_interval) retune_quantum();
+  next_checkpoint_at_ = progress_ + quantum_;
+  enter_working();
+}
+
+void ResilientAppRuntime::retune_quantum() {
+  // Gamma-prior rate estimate: the planned rate contributes two pseudo-
+  // failures of prior weight, so early in the run the planner's interval
+  // dominates and the estimate converges to the empirical rate later. The
+  // prior window is capped at the work target so a wildly optimistic plan
+  // (tiny planned rate → huge 2/λ window) cannot drown out the evidence.
+  const Duration elapsed = sim_.now() - start_time_;
+  if (elapsed <= Duration::zero()) return;
+  constexpr double kPriorFailures = 2.0;
+  double prior_window_s = plan_.work_target.to_seconds();
+  if (plan_.failure_rate > Rate::zero()) {
+    prior_window_s = std::min(prior_window_s,
+                              kPriorFailures / plan_.failure_rate.per_second_value());
+  }
+  const double prior_failures =
+      prior_window_s * (plan_.failure_rate > Rate::zero()
+                            ? plan_.failure_rate.per_second_value()
+                            : 0.0);
+  const double rate = (static_cast<double>(result_.failures_seen) + prior_failures) /
+                      (elapsed.to_seconds() + prior_window_s);
+  if (rate <= 0.0) return;
+  quantum_ = daly_interval(plan_.levels.front().save_cost, Rate::per_second(rate));
+}
+
+void ResilientAppRuntime::enter_restarting(Duration restore_cost, bool shared_pfs) {
+  phase_ = Phase::kRestarting;
+  phase_start_ = sim_.now();
+  schedule_phase(restore_cost, shared_pfs,
+                 [this, restore_cost] { on_restart_done(restore_cost); });
+}
+
+void ResilientAppRuntime::on_restart_done(Duration) {
+  accrue(sim_.now() - phase_start_);
+  enter_working();
+}
+
+void ResilientAppRuntime::enter_recovering(Duration lost_work) {
+  phase_ = Phase::kRecovering;
+  phase_start_ = sim_.now();
+  recovery_lost_ = lost_work;
+  const Duration duration = plan_.levels.front().restore_cost +
+                            lost_work / plan_.recovery_parallelism;
+  // Parallel recovery restores from in-memory partner copies, never the
+  // shared PFS.
+  schedule_phase(duration, /*shared_pfs=*/false,
+                 [this, duration] { on_recovery_done(duration); });
+}
+
+void ResilientAppRuntime::on_recovery_done(Duration) {
+  accrue(sim_.now() - phase_start_);
+  recovery_lost_ = Duration::zero();
+  if (progress_ >= next_checkpoint_at_ && progress_ < plan_.work_target) {
+    // The failure interrupted a checkpoint at this boundary: retake it.
+    enter_checkpointing();
+  } else {
+    enter_working();
+  }
+}
+
+void ResilientAppRuntime::complete() {
+  cancel_pending();
+  if (has_timeout_) {
+    sim_.cancel(timeout_event_);
+    has_timeout_ = false;
+  }
+  phase_ = Phase::kDone;
+  result_.completed = true;
+  result_.wall_time = sim_.now() - start_time_;
+  result_.efficiency =
+      result_.wall_time > Duration::zero() ? plan_.baseline / result_.wall_time : 1.0;
+  result_.efficiency = std::min(result_.efficiency, 1.0);
+  on_complete_(result_);
+}
+
+void ResilientAppRuntime::abort_on_timeout() {
+  has_timeout_ = false;
+  if (finished()) return;
+  accrue(sim_.now() - phase_start_);
+  cancel_pending();
+  phase_ = Phase::kAborted;
+  result_.completed = false;
+  result_.wall_time = sim_.now() - start_time_;
+  result_.efficiency = 0.0;
+  XRES_LOG_DEBUG("application aborted by wall-time cap after " +
+                 to_string(result_.wall_time));
+  on_complete_(result_);
+}
+
+void ResilientAppRuntime::abort() {
+  if (finished() || phase_ == Phase::kIdle) return;
+  accrue(sim_.now() - phase_start_);
+  cancel_pending();
+  if (has_timeout_) {
+    sim_.cancel(timeout_event_);
+    has_timeout_ = false;
+  }
+  phase_ = Phase::kAborted;
+  result_.completed = false;
+  result_.wall_time = sim_.now() - start_time_;
+  result_.efficiency = 0.0;
+}
+
+bool ResilientAppRuntime::redundancy_masks_failure() {
+  // Classify which physical node the failure hit, weighted by replica
+  // population: an unduplicated process (fatal), one of a healthy pair
+  // (masked: the pair degrades), or the survivor of a degraded pair
+  // (fatal).
+  const double w_single = static_cast<double>(singles_);
+  const double w_healthy = 2.0 * static_cast<double>(dup_healthy_);
+  const double w_degraded = static_cast<double>(dup_degraded_);
+  const double total = w_single + w_healthy + w_degraded;
+  if (total <= 0.0) return false;
+  const double u = rng_.uniform(0.0, total);
+  if (u < w_healthy) {
+    XRES_CHECK(dup_healthy_ > 0, "replica accounting underflow");
+    --dup_healthy_;
+    ++dup_degraded_;
+    return true;
+  }
+  return false;
+}
+
+void ResilientAppRuntime::handle_rollback_failure(SeverityLevel severity) {
+  // Best recovery point: the newest saved progress among levels that cover
+  // this severity; ties broken toward the cheaper restore.
+  std::size_t best_idx = std::numeric_limits<std::size_t>::max();
+  Duration best = -Duration::infinity();
+  for (std::size_t i = 0; i < plan_.levels.size(); ++i) {
+    if (plan_.levels[i].coverage < severity) continue;
+    if (saved_[i] > best ||
+        (best_idx != std::numeric_limits<std::size_t>::max() && saved_[i] == best &&
+         plan_.levels[i].restore_cost < plan_.levels[best_idx].restore_cost)) {
+      best = saved_[i];
+      best_idx = i;
+    }
+  }
+  XRES_CHECK(best_idx != std::numeric_limits<std::size_t>::max(),
+             "no checkpoint level covers the failure severity");
+
+  result_.rework += progress_ - best;
+  ++result_.rollbacks;
+  progress_ = best;
+  // Retune on rollbacks too: an application thrashing under a badly
+  // misspecified interval may never complete a checkpoint, and rollback
+  // is exactly when fresh failure evidence arrives.
+  if (plan_.adaptive_interval) retune_quantum();
+  next_checkpoint_at_ = progress_ + quantum_;
+
+  // Restarting re-provisions failed replicas.
+  dup_healthy_ += dup_degraded_;
+  dup_degraded_ = 0;
+
+  enter_restarting(plan_.levels[best_idx].restore_cost,
+                   plan_.levels[best_idx].uses_shared_pfs);
+}
+
+void ResilientAppRuntime::handle_parallel_recovery_failure() {
+  // Only the failed node's work since the last in-memory checkpoint must
+  // be replayed; global progress is retained (message logging).
+  const Duration lost = progress_ - saved_.front();
+  XRES_CHECK(lost >= Duration::zero(), "negative lost work");
+  enter_recovering(lost);
+}
+
+void ResilientAppRuntime::on_failure(const Failure& failure) {
+  if (finished() || phase_ == Phase::kIdle) return;
+  if (plan_.levels.empty()) return;  // ideal-baseline mode is failure-oblivious
+  ++result_.failures_seen;
+
+  // Parallel recovery idles all but (1 + P) nodes while recovering; a
+  // failure landing on an idle node has nothing to destroy (its state is
+  // protected by the double in-memory checkpoint). Thin accordingly.
+  if (!plan_.rollback_on_failure && phase_ == Phase::kRecovering) {
+    const double active_fraction =
+        std::min(1.0, (1.0 + plan_.recovery_parallelism) /
+                          static_cast<double>(plan_.app.nodes));
+    if (!rng_.bernoulli(active_fraction)) {
+      ++result_.failures_masked;
+      return;
+    }
+  }
+
+  if (plan_.replication_degree > 1.0 && redundancy_masks_failure()) {
+    ++result_.failures_masked;
+    return;  // execution continues undisturbed
+  }
+
+  // The failure interrupts the current phase. Work performed up to the
+  // failure instant counts as progress — at full rate in the Working
+  // phase, at the semi-blocking rate during an overlapped checkpoint.
+  const Duration elapsed = sim_.now() - phase_start_;
+  if (phase_ == Phase::kWorking) {
+    progress_ += elapsed;
+  } else if (phase_ == Phase::kCheckpointing) {
+    progress_ = std::min(progress_ + elapsed * plan_.checkpoint_work_rate,
+                         plan_.work_target);
+  }
+  accrue(elapsed);
+  cancel_pending();
+
+  if (plan_.rollback_on_failure) {
+    handle_rollback_failure(failure.severity);
+  } else {
+    handle_parallel_recovery_failure();
+  }
+}
+
+}  // namespace xres

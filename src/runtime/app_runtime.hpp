@@ -1,0 +1,188 @@
+#pragma once
+
+/// \file app_runtime.hpp
+/// ResilientAppRuntime: the per-application state machine that executes an
+/// ExecutionPlan inside a Simulation under injected failures.
+///
+/// Phases:
+///
+///   Working ──quantum──▶ Checkpointing ──▶ Working ... ──▶ Done
+///      │                      │
+///      └────── failure ───────┘
+///              │
+///              ├─ masked (redundant replica absorbed it) → phase continues
+///              ├─ rollback techniques → Restarting → Working (recompute)
+///              └─ parallel recovery → Recovering → resume (no rollback)
+///
+/// The runtime is driven entirely by its owning Simulation: it schedules
+/// one pending phase-completion event at a time; `on_failure` cancels it
+/// and transitions. Progress is measured in stretched-work seconds against
+/// plan.work_target; a per-level ledger records the progress captured by
+/// the last completed checkpoint of each level.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <optional>
+
+#include "failure/process.hpp"
+#include "resilience/plan.hpp"
+#include "runtime/result.hpp"
+#include "runtime/timeline.hpp"
+#include "runtime/transfer_service.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+
+class ResilientAppRuntime {
+ public:
+  enum class Phase { kIdle, kWorking, kCheckpointing, kRestarting, kRecovering, kDone, kAborted };
+
+  /// Invoked exactly once, on completion or wall-time-cap abort (not on an
+  /// external abort()).
+  using CompletionCallback = std::function<void(const ExecutionResult&)>;
+
+  /// \p seed drives the runtime's internal randomness (redundancy victim
+  /// classification, parallel-recovery idle-node thinning).
+  ResilientAppRuntime(Simulation& sim, ExecutionPlan plan, std::uint64_t seed,
+                      CompletionCallback on_complete);
+
+  ResilientAppRuntime(const ResilientAppRuntime&) = delete;
+  ResilientAppRuntime& operator=(const ResilientAppRuntime&) = delete;
+  ~ResilientAppRuntime();
+
+  /// Begin executing at the current simulation time.
+  void start();
+
+  /// Deliver a failure to this application (from either failure process).
+  void on_failure(const Failure& failure);
+
+  /// Externally stop the execution (deadline drop). No callback is fired;
+  /// the caller already knows. Safe to call in any phase.
+  void abort();
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] bool finished() const {
+    return phase_ == Phase::kDone || phase_ == Phase::kAborted;
+  }
+  [[nodiscard]] const ExecutionPlan& plan() const { return plan_; }
+
+  /// Stretched work completed so far.
+  [[nodiscard]] Duration progress() const { return progress_; }
+
+  /// The checkpoint interval currently in force (equals the plan's
+  /// quantum unless adaptive_interval has retuned it).
+  [[nodiscard]] Duration current_quantum() const { return quantum_; }
+
+  /// Fraction of the stretched work target completed, in [0, 1].
+  [[nodiscard]] double progress_fraction() const {
+    return progress_ / plan_.work_target;
+  }
+
+  /// Statistics accumulated so far (final values after completion).
+  [[nodiscard]] const ExecutionResult& result() const { return result_; }
+
+  [[nodiscard]] const char* phase_name() const;
+
+  /// Record every phase span for later inspection/rendering. Must be
+  /// called before start(); costs one vector append per phase transition.
+  void enable_timeline();
+
+  /// Route PFS-backed checkpoint/restart phases through \p service (e.g. a
+  /// contended SharedChannelTransferService shared across applications).
+  /// Must be called before start(); the service must outlive the runtime.
+  /// Without it, nominal Eq.-3 durations are taken literally.
+  void set_pfs_transfer_service(TransferService* service);
+
+  /// The recorded timeline, or nullptr when recording was not enabled.
+  [[nodiscard]] const Timeline* timeline() const {
+    return timeline_.has_value() ? &*timeline_ : nullptr;
+  }
+
+ private:
+  void enter_working();
+  void enter_checkpointing();
+  void enter_restarting(Duration restore_cost, bool shared_pfs);
+  void enter_recovering(Duration lost_work);
+
+  /// Schedule the current phase's completion: a plain timer, or a shared
+  /// PFS transfer when the phase moves data through the file system and a
+  /// service is attached.
+  void schedule_phase(Duration nominal, bool shared_pfs, std::function<void()> done);
+  void complete();
+  void abort_on_timeout();
+
+  void on_segment_done(Duration length);
+  void on_checkpoint_done(std::size_t level_index, Duration cost);
+  void on_restart_done(Duration cost);
+  void on_recovery_done(Duration duration);
+
+  /// Book elapsed phase time into the result buckets + energy integral.
+  void accrue(Duration elapsed);
+
+  /// Active node count in the current phase (energy model).
+  [[nodiscard]] double active_nodes() const;
+
+  /// Handle a non-masked failure for rollback techniques (CR/ML/Red).
+  void handle_rollback_failure(SeverityLevel severity);
+
+  /// Handle a failure under parallel recovery.
+  void handle_parallel_recovery_failure();
+
+  /// Redundancy replica classification: returns true when the failure was
+  /// absorbed by a healthy replica (execution continues undisturbed).
+  bool redundancy_masks_failure();
+
+  /// Adaptive-interval extension: re-derive the Eq.-4 interval from the
+  /// observed failure count (Gamma-prior estimate anchored on the planned
+  /// rate). Called after each completed checkpoint.
+  void retune_quantum();
+
+  void cancel_pending();
+
+  Simulation& sim_;
+  ExecutionPlan plan_;
+  Pcg32 rng_;
+  CompletionCallback on_complete_;
+
+  Phase phase_{Phase::kIdle};
+  TimePoint start_time_{};
+  TimePoint phase_start_{};
+  Duration progress_{Duration::zero()};
+  Duration quantum_{Duration::infinity()};
+  Duration next_checkpoint_at_{Duration::infinity()};
+  std::uint64_t checkpoint_counter_{0};
+
+  /// Progress captured by the newest completed checkpoint of each level
+  /// (index aligned with plan_.levels). Starts at zero: recovering with no
+  /// checkpoint restarts the application from the beginning.
+  std::vector<Duration> saved_;
+
+  /// Parallel recovery: stretched work being replayed.
+  Duration recovery_lost_{Duration::zero()};
+
+  /// Progress value captured by the in-flight checkpoint (semi-blocking
+  /// checkpoints advance progress_ past it during the phase).
+  Duration checkpoint_snapshot_{Duration::zero()};
+
+  /// Redundancy replica health (counts of virtual processes).
+  std::uint32_t dup_healthy_{0};
+  std::uint32_t dup_degraded_{0};
+  std::uint32_t singles_{0};
+
+  std::optional<Timeline> timeline_;
+  TransferService* pfs_service_{nullptr};
+
+  EventId pending_{};
+  TransferService::TransferHandle pending_transfer_{};
+  bool pending_is_transfer_{false};
+  bool has_pending_{false};
+  EventId timeout_event_{};
+  bool has_timeout_{false};
+
+  ExecutionResult result_{};
+};
+
+}  // namespace xres

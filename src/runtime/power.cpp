@@ -1,0 +1,39 @@
+#include "runtime/power.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+void NodePowerSpec::validate() const {
+  XRES_CHECK(active_watts > 0.0, "active power must be positive");
+  XRES_CHECK(idle_watts >= 0.0, "idle power must be non-negative");
+  XRES_CHECK(idle_watts <= active_watts, "idle power above active power");
+}
+
+EnergyReport execution_energy(const ExecutionResult& result,
+                              std::uint32_t physical_nodes,
+                              const NodePowerSpec& power) {
+  power.validate();
+  XRES_CHECK(physical_nodes > 0, "need at least one node");
+  const double allocation_seconds =
+      static_cast<double>(physical_nodes) * result.wall_time.to_seconds();
+  EnergyReport report;
+  report.active_node_seconds = std::min(result.node_seconds, allocation_seconds);
+  report.idle_node_seconds = allocation_seconds - report.active_node_seconds;
+  report.joules = report.active_node_seconds * power.active_watts +
+                  report.idle_node_seconds * power.idle_watts;
+  return report;
+}
+
+std::string EnergyReport::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%.2f MWh (%.3e active + %.3e idle node-seconds)",
+                kilowatt_hours() / 1000.0, active_node_seconds, idle_node_seconds);
+  return buf;
+}
+
+}  // namespace xres

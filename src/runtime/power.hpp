@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file power.hpp
+/// Node power model and execution energy accounting.
+///
+/// The paper's companion study [7] compares the *energy* of fault
+/// tolerance techniques; the key effect is parallel recovery's ability to
+/// idle all but a handful of nodes while a failed node replays (Section
+/// II-D). The runtime already integrates active node-seconds; this module
+/// converts that integral plus the idle remainder of the allocation into
+/// joules. Default wattages extrapolate the Sunway TaihuLight power
+/// envelope (15.4 MW / 40,960 nodes ≈ 375 W per node at load).
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/result.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+struct NodePowerSpec {
+  double active_watts{375.0};  ///< node under computational load
+  double idle_watts{125.0};    ///< allocated but idle (e.g. during recovery)
+
+  void validate() const;
+};
+
+struct EnergyReport {
+  double active_node_seconds{0.0};
+  double idle_node_seconds{0.0};
+  double joules{0.0};
+
+  [[nodiscard]] double megajoules() const { return joules / 1e6; }
+  [[nodiscard]] double kilowatt_hours() const { return joules / 3.6e6; }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Energy consumed by one execution: active node-seconds at active power,
+/// plus the allocation's idle remainder (physical_nodes × wall −
+/// active) at idle power.
+[[nodiscard]] EnergyReport execution_energy(const ExecutionResult& result,
+                                            std::uint32_t physical_nodes,
+                                            const NodePowerSpec& power = {});
+
+}  // namespace xres

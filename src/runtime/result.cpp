@@ -1,0 +1,27 @@
+#include "runtime/result.hpp"
+
+#include <cstdio>
+
+namespace xres {
+
+std::string ExecutionResult::describe() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s in %s (baseline %s, efficiency %.3f)\n"
+      "  failures: %llu seen, %llu masked, %llu rollbacks; checkpoints: %llu\n"
+      "  time: work %s, checkpoint %s, restart %s, recovery %s, rework %s\n"
+      "  energy proxy: %.3e node-seconds",
+      completed ? "completed" : "aborted", to_string(wall_time).c_str(),
+      to_string(baseline).c_str(), efficiency,
+      static_cast<unsigned long long>(failures_seen),
+      static_cast<unsigned long long>(failures_masked),
+      static_cast<unsigned long long>(rollbacks),
+      static_cast<unsigned long long>(checkpoints_completed),
+      to_string(time_working).c_str(), to_string(time_checkpointing).c_str(),
+      to_string(time_restarting).c_str(), to_string(time_recovering).c_str(),
+      to_string(rework).c_str(), node_seconds);
+  return buf;
+}
+
+}  // namespace xres

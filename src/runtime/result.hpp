@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file result.hpp
+/// Outcome of one resilient application execution.
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace xres {
+
+struct ExecutionResult {
+  /// True when the application finished all of its work (false: aborted by
+  /// the wall-time cap or dropped externally).
+  bool completed{false};
+
+  /// Wall-clock execution time (start to completion or abort).
+  Duration wall_time{};
+
+  /// Unstretched baseline T_B.
+  Duration baseline{};
+
+  /// T_B / wall_time when completed, else 0 (the Figures 1–3 metric).
+  double efficiency{0.0};
+
+  std::uint64_t failures_seen{0};    ///< failures delivered to the application
+  std::uint64_t failures_masked{0};  ///< absorbed by redundancy / idle-node hits
+  std::uint64_t rollbacks{0};        ///< failures that forced a restart
+  std::uint64_t checkpoints_completed{0};
+
+  Duration time_working{};        ///< forward progress + recomputation
+  Duration time_checkpointing{};  ///< blocked saving checkpoints
+  Duration time_restarting{};     ///< restoring checkpoints
+  Duration time_recovering{};     ///< parallel-recovery replay (PR only)
+  Duration rework{};              ///< work redone after rollbacks
+
+  /// Energy proxy: active node-seconds integrated over all phases. Parallel
+  /// recovery idles all but (1 + P) nodes while recovering, which is its
+  /// energy advantage (Section II-D).
+  double node_seconds{0.0};
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace xres

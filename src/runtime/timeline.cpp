@@ -1,0 +1,91 @@
+#include "runtime/timeline.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kWork: return "work";
+    case SpanKind::kCheckpoint: return "checkpoint";
+    case SpanKind::kRestart: return "restart";
+    case SpanKind::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+void Timeline::add(SpanKind kind, TimePoint start, Duration length) {
+  XRES_CHECK(length >= Duration::zero(), "span length must be non-negative");
+  if (length == Duration::zero()) return;
+  if (!spans_.empty()) {
+    const double gap = std::abs((start - spans_.back().end()).to_seconds());
+    XRES_CHECK(gap < 1e-6, "timeline spans must be contiguous");
+  }
+  // Merge adjacent same-kind spans (e.g. work resumed after a masked
+  // failure) to keep the record compact.
+  if (!spans_.empty() && spans_.back().kind == kind) {
+    spans_.back().length += length;
+    return;
+  }
+  spans_.push_back(PhaseSpan{kind, start, length});
+}
+
+Duration Timeline::total(SpanKind kind) const {
+  Duration sum = Duration::zero();
+  for (const PhaseSpan& span : spans_) {
+    if (span.kind == kind) sum += span.length;
+  }
+  return sum;
+}
+
+Duration Timeline::total() const {
+  Duration sum = Duration::zero();
+  for (const PhaseSpan& span : spans_) sum += span.length;
+  return sum;
+}
+
+std::string Timeline::render(std::size_t width) const {
+  XRES_CHECK(width >= 2, "render width too small");
+  if (spans_.empty()) return "(empty timeline)";
+
+  constexpr std::array<char, 4> kGlyphs{'=', 'C', 'R', '!'};
+  const TimePoint origin = spans_.front().start;
+  const Duration window = total();
+  const double column = window.to_seconds() / static_cast<double>(width);
+
+  std::string chart;
+  chart.reserve(width + 2);
+  chart += '|';
+  std::size_t span_index = 0;
+  double consumed_in_span = 0.0;
+  for (std::size_t col = 0; col < width; ++col) {
+    // Pick the kind occupying the majority of this column.
+    std::array<double, 4> share{};
+    double remaining = column;
+    while (remaining > 0.0 && span_index < spans_.size()) {
+      const PhaseSpan& span = spans_[span_index];
+      const double left = span.length.to_seconds() - consumed_in_span;
+      const double take = std::min(left, remaining);
+      share[static_cast<std::size_t>(span.kind)] += take;
+      consumed_in_span += take;
+      remaining -= take;
+      if (consumed_in_span >= span.length.to_seconds() - 1e-12) {
+        ++span_index;
+        consumed_in_span = 0.0;
+      }
+    }
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < share.size(); ++k) {
+      if (share[k] > share[best]) best = k;
+    }
+    chart += kGlyphs[best];
+  }
+  chart += '|';
+  (void)origin;
+  return chart;
+}
+
+}  // namespace xres

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Execution timeline recording and rendering.
+///
+/// When enabled on a ResilientAppRuntime, every phase transition is
+/// recorded as a contiguous span. The spans reconstruct exactly how an
+/// execution spent its wall-clock time (work / checkpoint / restart /
+/// recovery), power the quickstart example's visualization, and give tests
+/// a strong invariant: spans are contiguous and sum to the wall time.
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace xres {
+
+/// Phase kind mirrored from ResilientAppRuntime::Phase (kept as a distinct
+/// small enum so the timeline module does not depend on the runtime
+/// header).
+enum class SpanKind { kWork, kCheckpoint, kRestart, kRecovery };
+
+[[nodiscard]] const char* to_string(SpanKind kind);
+
+struct PhaseSpan {
+  SpanKind kind{SpanKind::kWork};
+  TimePoint start{};
+  Duration length{};
+
+  [[nodiscard]] TimePoint end() const { return start + length; }
+};
+
+class Timeline {
+ public:
+  /// Append a span; must begin exactly where the previous span ended
+  /// (checked). Zero-length spans are dropped.
+  void add(SpanKind kind, TimePoint start, Duration length);
+
+  [[nodiscard]] const std::vector<PhaseSpan>& spans() const { return spans_; }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+
+  /// Total recorded time per kind.
+  [[nodiscard]] Duration total(SpanKind kind) const;
+
+  /// Sum of all spans.
+  [[nodiscard]] Duration total() const;
+
+  /// Render an ASCII strip chart, e.g.
+  ///   |====C====C==R!==C====| (= work, C checkpoint, R restart, ! recovery)
+  /// \p width columns cover the whole recorded window; each column shows
+  /// the kind that dominates it.
+  [[nodiscard]] std::string render(std::size_t width = 80) const;
+
+ private:
+  std::vector<PhaseSpan> spans_;
+};
+
+}  // namespace xres

@@ -1,0 +1,35 @@
+#include "runtime/transfer_service.hpp"
+
+#include "util/check.hpp"
+
+namespace xres {
+
+TransferService::TransferHandle FixedTransferService::begin(
+    Duration nominal, CompletionCallback on_complete) {
+  XRES_CHECK(nominal >= Duration::zero(), "transfer duration must be non-negative");
+  const EventId id = sim_.schedule_after(nominal, std::move(on_complete));
+  return static_cast<TransferHandle>(id);
+}
+
+void FixedTransferService::cancel(TransferHandle handle) {
+  sim_.cancel(static_cast<EventId>(handle));
+}
+
+SharedChannelTransferService::SharedChannelTransferService(SharedChannel& channel,
+                                                           Bandwidth per_stream_cap)
+    : channel_{channel}, per_stream_cap_bps_{per_stream_cap.to_bytes_per_second()} {
+  XRES_CHECK(per_stream_cap_bps_ > 0.0, "per-stream cap must be positive");
+}
+
+TransferService::TransferHandle SharedChannelTransferService::begin(
+    Duration nominal, CompletionCallback on_complete) {
+  XRES_CHECK(nominal >= Duration::zero(), "transfer duration must be non-negative");
+  const DataSize size = DataSize::bytes(nominal.to_seconds() * per_stream_cap_bps_);
+  return channel_.begin_transfer(size, std::move(on_complete));
+}
+
+void SharedChannelTransferService::cancel(TransferHandle handle) {
+  channel_.cancel(handle);
+}
+
+}  // namespace xres

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file transfer_service.hpp
+/// How the runtime executes checkpoint/restart data movement.
+///
+/// The base plan gives every checkpoint level a fixed nominal duration
+/// (Eqs. 3, 5, 6). By default those durations are taken literally
+/// (FixedTransferService). When the workload engine models PFS contention,
+/// PFS-backed phases are routed through a SharedChannelTransferService
+/// instead: the nominal duration is converted back into bytes at the
+/// per-stream cap and pushed through a processor-sharing SharedChannel,
+/// so concurrent checkpoints from different applications slow each other
+/// down.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/shared_channel.hpp"
+#include "sim/simulation.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+class TransferService {
+ public:
+  using TransferHandle = std::uint64_t;
+  using CompletionCallback = std::function<void()>;
+
+  virtual ~TransferService() = default;
+
+  /// Start a transfer whose uncontended duration is \p nominal; the
+  /// callback fires when it completes (possibly later under load).
+  virtual TransferHandle begin(Duration nominal, CompletionCallback on_complete) = 0;
+
+  /// Abort an in-flight transfer (no-op if already complete).
+  virtual void cancel(TransferHandle handle) = 0;
+};
+
+/// Takes nominal durations literally (no cross-application contention).
+class FixedTransferService final : public TransferService {
+ public:
+  explicit FixedTransferService(Simulation& sim) : sim_{sim} {}
+
+  TransferHandle begin(Duration nominal, CompletionCallback on_complete) override;
+  void cancel(TransferHandle handle) override;
+
+ private:
+  Simulation& sim_;
+};
+
+/// Routes transfers through a processor-sharing SharedChannel.
+class SharedChannelTransferService final : public TransferService {
+ public:
+  /// \p channel must outlive the service. Nominal durations are converted
+  /// to bytes at the channel's uncontended (per-stream-cap) rate so a lone
+  /// transfer takes exactly its nominal time.
+  SharedChannelTransferService(SharedChannel& channel, Bandwidth per_stream_cap);
+
+  TransferHandle begin(Duration nominal, CompletionCallback on_complete) override;
+  void cancel(TransferHandle handle) override;
+
+ private:
+  SharedChannel& channel_;
+  double per_stream_cap_bps_;
+};
+
+}  // namespace xres

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+EventId EventQueue::schedule(TimePoint when, EventCallback callback) {
+  XRES_CHECK(static_cast<bool>(callback), "event callback must be non-empty");
+  const auto id = EventId{next_id_++};
+  heap_.push(Entry{when, next_seq_++, id});
+  live_.emplace(id, std::move(callback));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+
+bool EventQueue::pending(EventId id) const { return live_.contains(id); }
+
+void EventQueue::skip_dead() const {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) heap_.pop();
+}
+
+std::optional<TimePoint> EventQueue::next_time() const {
+  skip_dead();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+std::optional<FiredEvent> EventQueue::pop() {
+  skip_dead();
+  if (heap_.empty()) return std::nullopt;
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.id);
+  XRES_CHECK(it != live_.end(), "live map out of sync with heap");
+  FiredEvent fired{top.id, top.time, std::move(it->second)};
+  live_.erase(it);
+  return fired;
+}
+
+void EventQueue::clear() {
+  live_.clear();
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace xres

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// The pending-event set of the discrete-event simulator.
+///
+/// Requirements that shaped the design:
+///  * deterministic total order: ties in time are broken by insertion
+///    sequence so that a seeded simulation replays identically,
+///  * O(log n) schedule/pop and O(1) cancel — resilience runtimes cancel
+///    their pending phase-completion event on every failure, so cancel is on
+///    the hot path (lazy deletion: cancelled entries are skipped at pop).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace xres {
+
+/// Handle identifying a scheduled event; unique within one queue's lifetime.
+enum class EventId : std::uint64_t {};
+
+}  // namespace xres
+
+template <>
+struct std::hash<xres::EventId> {
+  std::size_t operator()(xres::EventId id) const noexcept {
+    return std::hash<std::uint64_t>{}(static_cast<std::uint64_t>(id));
+  }
+};
+
+namespace xres {
+
+/// Action executed when an event fires.
+using EventCallback = std::function<void()>;
+
+/// An event popped from the queue, ready to execute.
+struct FiredEvent {
+  EventId id{};
+  TimePoint time{};
+  EventCallback callback;
+};
+
+class EventQueue {
+ public:
+  /// Schedule \p callback at absolute time \p when.
+  EventId schedule(TimePoint when, EventCallback callback);
+
+  /// Cancel a pending event. Returns true if the event was still pending
+  /// (false if it already fired or was already cancelled).
+  bool cancel(EventId id);
+
+  /// True if \p id is still pending.
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Time of the earliest pending event, if any.
+  [[nodiscard]] std::optional<TimePoint> next_time() const;
+
+  /// Remove and return the earliest pending event. Empty optional when the
+  /// queue has no live events.
+  std::optional<FiredEvent> pop();
+
+  /// Number of live (non-cancelled) pending events.
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  /// Drop every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop heap entries that were cancelled (lazy deletion).
+  void skip_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_map<EventId, EventCallback> live_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+};
+
+}  // namespace xres

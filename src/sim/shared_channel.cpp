@@ -1,0 +1,128 @@
+#include "sim/shared_channel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+// Sub-byte residues from floating-point progress accounting count as done.
+constexpr double kRemainingEpsilonBytes = 1e-6;
+}  // namespace
+
+SharedChannel::SharedChannel(Simulation& sim, Bandwidth capacity,
+                             Bandwidth per_stream_cap)
+    : sim_{sim},
+      capacity_bps_{capacity.to_bytes_per_second()},
+      per_stream_cap_bps_{per_stream_cap.to_bytes_per_second()},
+      last_update_s_{sim.now().to_seconds()} {
+  XRES_CHECK(capacity_bps_ > 0.0, "channel capacity must be positive");
+  XRES_CHECK(per_stream_cap_bps_ > 0.0, "per-stream cap must be positive");
+}
+
+SharedChannel::~SharedChannel() {
+  if (has_pending_) sim_.cancel(pending_);
+}
+
+Bandwidth SharedChannel::current_per_transfer_rate() const {
+  if (transfers_.empty()) return Bandwidth::bytes_per_second(per_stream_cap_bps_);
+  const double share = capacity_bps_ / static_cast<double>(transfers_.size());
+  return Bandwidth::bytes_per_second(std::min(per_stream_cap_bps_, share));
+}
+
+DataSize SharedChannel::remaining(TransferId id) const {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return DataSize::zero();
+  // Remaining is as of the last update; advance virtually for accuracy.
+  const double rate = current_per_transfer_rate().to_bytes_per_second();
+  const double elapsed = sim_.now().to_seconds() - last_update_s_;
+  return DataSize::bytes(std::max(0.0, it->second.remaining_bytes - rate * elapsed));
+}
+
+void SharedChannel::advance_to_now() {
+  const double now_s = sim_.now().to_seconds();
+  const double elapsed = now_s - last_update_s_;
+  last_update_s_ = now_s;
+  if (elapsed <= 0.0 || transfers_.empty()) return;
+  const double rate = current_per_transfer_rate().to_bytes_per_second();
+  for (auto& [id, transfer] : transfers_) {
+    transfer.remaining_bytes = std::max(0.0, transfer.remaining_bytes - rate * elapsed);
+  }
+}
+
+void SharedChannel::reschedule() {
+  if (has_pending_) {
+    sim_.cancel(pending_);
+    has_pending_ = false;
+  }
+  if (transfers_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, transfer] : transfers_) {
+    min_remaining = std::min(min_remaining, transfer.remaining_bytes);
+  }
+  const double rate = current_per_transfer_rate().to_bytes_per_second();
+  const double eta_s = std::max(0.0, min_remaining) / rate;
+  pending_ = sim_.schedule_after(Duration::seconds(eta_s), [this] {
+    has_pending_ = false;
+    on_completion_event();
+  });
+  has_pending_ = true;
+}
+
+void SharedChannel::on_completion_event() {
+  advance_to_now();
+  // Complete exactly one finished transfer per event; if several finished
+  // simultaneously, reschedule() fires again at a zero delay. "Finished"
+  // must tolerate floating-point residue: when the simulation clock is
+  // large, an ETA below its representable resolution can no longer advance
+  // time, so any transfer within a nanosecond of completion at the current
+  // rate counts as done (otherwise the event would re-fire at the same
+  // timestamp forever).
+  const double rate = current_per_transfer_rate().to_bytes_per_second();
+  // The smallest time step the clock can represent grows with the absolute
+  // time (double ulp); anything finishing within a few ulps is "now".
+  const double clock_resolution =
+      std::max(1e-9, sim_.now().to_seconds() * 8.0 * std::numeric_limits<double>::epsilon());
+  const double done_threshold = std::max(kRemainingEpsilonBytes, rate * clock_resolution);
+  auto best = transfers_.end();
+  for (auto it = transfers_.begin(); it != transfers_.end(); ++it) {
+    if (best == transfers_.end() ||
+        it->second.remaining_bytes < best->second.remaining_bytes) {
+      best = it;
+    }
+  }
+  if (best != transfers_.end() && best->second.remaining_bytes <= done_threshold) {
+    CompletionCallback callback = std::move(best->second.on_complete);
+    transfers_.erase(best);
+    ++completed_;
+    reschedule();
+    callback();
+    return;
+  }
+  // Numeric corner: nothing quite finished; try again at the new ETA.
+  reschedule();
+}
+
+SharedChannel::TransferId SharedChannel::begin_transfer(DataSize size,
+                                                        CompletionCallback on_complete) {
+  XRES_CHECK(static_cast<bool>(on_complete), "completion callback must be non-empty");
+  XRES_CHECK(size >= DataSize::zero(), "transfer size must be non-negative");
+  advance_to_now();
+  const TransferId id = next_id_++;
+  transfers_.emplace(id, Transfer{size.to_bytes(), std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+bool SharedChannel::cancel(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return false;
+  advance_to_now();
+  transfers_.erase(it);
+  reschedule();
+  return true;
+}
+
+}  // namespace xres

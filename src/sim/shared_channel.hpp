@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file shared_channel.hpp
+/// A processor-sharing bandwidth resource for discrete-event simulations.
+///
+/// Models a shared I/O path (e.g. the parallel file system's front end):
+/// the channel has a total capacity and a per-stream cap; n concurrent
+/// transfers each progress at rate min(per_stream_cap, capacity / n).
+/// Whenever the active set changes, all remaining sizes are advanced at
+/// the old rate and the single pending completion event is rescheduled for
+/// the new earliest finisher. This realizes the classic egalitarian
+/// processor-sharing queue exactly (no time-stepping).
+///
+/// Eq. 3's per-application PFS bandwidth is B_N · N_S independent of
+/// application size, so a machine-level PFS is a SharedChannel with
+/// per_stream_cap = B_N · N_S and capacity = gateways × B_N · N_S
+/// (contention appears beyond `gateways` concurrent checkpoints).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/simulation.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+class SharedChannel {
+ public:
+  using TransferId = std::uint64_t;
+  using CompletionCallback = std::function<void()>;
+
+  SharedChannel(Simulation& sim, Bandwidth capacity, Bandwidth per_stream_cap);
+
+  SharedChannel(const SharedChannel&) = delete;
+  SharedChannel& operator=(const SharedChannel&) = delete;
+  ~SharedChannel();
+
+  /// Start moving \p size through the channel; \p on_complete fires when
+  /// it finishes (timing depends on concurrent load).
+  TransferId begin_transfer(DataSize size, CompletionCallback on_complete);
+
+  /// Abort a transfer. Returns false when it already completed or was
+  /// already cancelled.
+  bool cancel(TransferId id);
+
+  [[nodiscard]] std::size_t active_transfers() const { return transfers_.size(); }
+
+  /// Rate currently granted to each active transfer.
+  [[nodiscard]] Bandwidth current_per_transfer_rate() const;
+
+  /// Bytes still pending for \p id (0 if unknown).
+  [[nodiscard]] DataSize remaining(TransferId id) const;
+
+  [[nodiscard]] std::uint64_t completed_transfers() const { return completed_; }
+
+ private:
+  struct Transfer {
+    double remaining_bytes{0.0};
+    CompletionCallback on_complete;
+  };
+
+  /// Advance all remaining sizes to the current time at the rate in force
+  /// since the last update.
+  void advance_to_now();
+
+  /// (Re)schedule the completion event for the earliest finisher.
+  void reschedule();
+
+  void on_completion_event();
+
+  Simulation& sim_;
+  double capacity_bps_;
+  double per_stream_cap_bps_;
+  std::map<TransferId, Transfer> transfers_;
+  TransferId next_id_{1};
+  double last_update_s_{0.0};
+  EventId pending_{};
+  bool has_pending_{false};
+  std::uint64_t completed_{0};
+};
+
+}  // namespace xres

@@ -1,0 +1,59 @@
+#include "util/barchart.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+BarChart::BarChart(std::vector<std::string> series_names)
+    : series_{std::move(series_names)} {
+  XRES_CHECK(!series_.empty(), "bar chart needs at least one series");
+}
+
+void BarChart::add_category(const std::string& name, const std::vector<double>& values) {
+  XRES_CHECK(values.size() == series_.size(), "value count must match series count");
+  for (double v : values) XRES_CHECK(v >= 0.0, "bar values must be non-negative");
+  categories_.push_back(Category{name, values});
+}
+
+std::string BarChart::render(std::size_t bar_width, double max_value) const {
+  XRES_CHECK(bar_width >= 4, "bar width too small");
+  double scale_max = max_value;
+  if (scale_max <= 0.0) {
+    scale_max = 1.0;
+    for (const Category& cat : categories_) {
+      for (double v : cat.values) scale_max = std::max(scale_max, v);
+    }
+  }
+
+  std::size_t cat_width = 0;
+  for (const Category& cat : categories_) cat_width = std::max(cat_width, cat.name.size());
+  std::size_t series_width = 0;
+  for (const std::string& s : series_) series_width = std::max(series_width, s.size());
+
+  std::string out;
+  char value_buf[32];
+  for (const Category& cat : categories_) {
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      // Category label only on the group's first row.
+      out += s == 0 ? cat.name : std::string(cat.name.size(), ' ');
+      out.append(cat_width - cat.name.size() + 1, ' ');
+      out += series_[s];
+      out.append(series_width - series_[s].size() + 1, ' ');
+      out += '|';
+      const double clamped = std::min(cat.values[s], scale_max);
+      const auto bar = static_cast<std::size_t>(
+          clamped / scale_max * static_cast<double>(bar_width) + 0.5);
+      out.append(bar, '#');
+      std::snprintf(value_buf, sizeof value_buf, " %.3f", cat.values[s]);
+      out += value_buf;
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xres

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file barchart.hpp
+/// ASCII grouped horizontal bar charts — terminal rendering of the
+/// paper's figures. Each category (x-axis group, e.g. a system share)
+/// holds one bar per series (e.g. per resilience technique).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xres {
+
+class BarChart {
+ public:
+  /// \p series_names label the bars within each category, in order.
+  explicit BarChart(std::vector<std::string> series_names);
+
+  /// Append a category; \p values must have one entry per series.
+  /// Negative values are invalid.
+  void add_category(const std::string& name, const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t category_count() const { return categories_.size(); }
+
+  /// Render with bars scaled so \p max_value spans \p bar_width columns.
+  /// Pass max_value <= 0 to auto-scale to the largest value (1.0 minimum,
+  /// so efficiency charts keep an absolute scale).
+  [[nodiscard]] std::string render(std::size_t bar_width = 50,
+                                   double max_value = 0.0) const;
+
+ private:
+  struct Category {
+    std::string name;
+    std::vector<double> values;
+  };
+  std::vector<std::string> series_;
+  std::vector<Category> categories_;
+};
+
+}  // namespace xres

@@ -1,0 +1,20 @@
+#include "util/check.hpp"
+
+namespace xres::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::string what = "check failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw CheckError{what};
+}
+
+}  // namespace xres::detail

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file check.hpp
+/// Runtime precondition / invariant checking that stays active in release
+/// builds. Simulation correctness depends on model invariants (allocator
+/// consistency, non-negative durations, probability mass sums); violating
+/// them silently would corrupt every downstream statistic, so checks throw.
+
+#include <stdexcept>
+#include <string>
+
+namespace xres {
+
+/// Thrown when an XRES_CHECK condition is violated. Indicates a programming
+/// or configuration error, never an expected runtime condition.
+class CheckError final : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace xres
+
+/// Verify \p cond; on failure throw xres::CheckError with location info.
+/// The optional second argument is a std::string-convertible message.
+#define XRES_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::xres::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                   ::std::string{__VA_ARGS__});            \
+    }                                                                      \
+  } while (false)

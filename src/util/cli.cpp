@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+CliParser::CliParser(std::string program_summary) : summary_{std::move(program_summary)} {
+  add_flag("--help", "print this help text and exit");
+}
+
+void CliParser::add_flag(const std::string& key, const std::string& help) {
+  XRES_CHECK(find(key) == nullptr, "duplicate option: " + key);
+  options_.push_back(Option{key, help, "", /*is_flag=*/true, false});
+}
+
+void CliParser::add_option(const std::string& key, const std::string& help,
+                           const std::string& default_value) {
+  XRES_CHECK(find(key) == nullptr, "duplicate option: " + key);
+  options_.push_back(Option{key, help, default_value, /*is_flag=*/false, false});
+}
+
+CliParser::Option* CliParser::find(const std::string& key) {
+  for (auto& opt : options_) {
+    if (opt.key == key) return &opt;
+  }
+  return nullptr;
+}
+
+const CliParser::Option& CliParser::get(const std::string& key) const {
+  for (const auto& opt : options_) {
+    if (opt.key == key) return opt;
+  }
+  XRES_CHECK(false, "undeclared option queried: " + key);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string key = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    Option* opt = find(key);
+    XRES_CHECK(opt != nullptr, "unknown option: " + key + " (try --help)");
+    if (opt->is_flag) {
+      XRES_CHECK(!inline_value.has_value(), "flag does not take a value: " + key);
+      opt->flag_set = true;
+    } else if (inline_value.has_value()) {
+      opt->value = *inline_value;
+    } else {
+      XRES_CHECK(i + 1 < argc, "option needs a value: " + key);
+      opt->value = argv[++i];
+    }
+  }
+  if (flag("--help")) {
+    std::fputs(help_text().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+bool CliParser::flag(const std::string& key) const {
+  const Option& opt = get(key);
+  XRES_CHECK(opt.is_flag, "option is not a flag: " + key);
+  return opt.flag_set;
+}
+
+std::string CliParser::str(const std::string& key) const {
+  const Option& opt = get(key);
+  XRES_CHECK(!opt.is_flag, "flag has no value: " + key);
+  return opt.value;
+}
+
+std::int64_t CliParser::integer(const std::string& key) const {
+  const std::string v = str(key);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  XRES_CHECK(end != nullptr && *end == '\0' && !v.empty(),
+             "option " + key + " expects an integer, got '" + v + "'");
+  return parsed;
+}
+
+double CliParser::real(const std::string& key) const {
+  const std::string v = str(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  XRES_CHECK(end != nullptr && *end == '\0' && !v.empty(),
+             "option " + key + " expects a number, got '" + v + "'");
+  return parsed;
+}
+
+std::string CliParser::help_text() const {
+  std::string out = summary_ + "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    out += "  " + opt.key;
+    if (!opt.is_flag) out += " <value> (default: " + (opt.value.empty() ? "''" : opt.value) + ")";
+    out += "\n      " + opt.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace xres

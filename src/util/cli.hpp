@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line option parser for the bench harnesses and examples.
+/// Supports `--key value`, `--key=value` and boolean flags `--flag`, plus
+/// self-documenting `--help` output. Unknown options are an error so typos
+/// in sweep parameters cannot silently run the wrong experiment.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xres {
+
+/// Declarative option set + parsed values.
+class CliParser {
+ public:
+  /// \p program_summary is printed at the top of --help.
+  explicit CliParser(std::string program_summary);
+
+  /// Declare options before parse(). \p key includes the dashes ("--trials").
+  void add_flag(const std::string& key, const std::string& help);
+  void add_option(const std::string& key, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv. Returns false if --help was requested (help text already
+  /// printed to stdout); throws CheckError on unknown/malformed options.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& key) const;
+  [[nodiscard]] std::string str(const std::string& key) const;
+  [[nodiscard]] std::int64_t integer(const std::string& key) const;
+  [[nodiscard]] double real(const std::string& key) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string key;
+    std::string help;
+    std::string value;
+    bool is_flag{false};
+    bool flag_set{false};
+  };
+
+  Option* find(const std::string& key);
+  const Option& get(const std::string& key) const;
+
+  std::string summary_;
+  std::vector<Option> options_;
+};
+
+}  // namespace xres

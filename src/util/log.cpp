@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (LogLevel l : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError, LogLevel::kOff}) {
+    if (lower == to_string(l)) return l;
+  }
+  XRES_CHECK(false, "unknown log level: " + name);
+}
+
+Logger::Logger() : level_{LogLevel::kWarn} {
+  if (const char* env = std::getenv("XRES_LOG")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[xres %-5s] %s\n", to_string(level), message.c_str());
+}
+
+}  // namespace xres

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging. Studies run hundreds of thousands of simulated
+/// events; logging must be cheap when disabled (level check before
+/// formatting) and redirectable (tests capture a sink).
+
+#include <functional>
+#include <string>
+
+namespace xres {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the canonical lowercase name ("trace", ..., "off").
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Parses a level name (case-insensitive); throws CheckError on unknown names.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+/// Process-wide logger. Defaults to kWarn on stderr; honors the XRES_LOG
+/// environment variable ("debug", "info", ...) at first use.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// The global logger instance.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default sink.
+  void set_sink(Sink sink);
+
+  /// Emit a message if \p level is enabled.
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  Sink sink_;
+};
+
+}  // namespace xres
+
+#define XRES_LOG(level, msg)                                        \
+  do {                                                              \
+    if (::xres::Logger::global().enabled(level)) {                  \
+      ::xres::Logger::global().log(level, (msg));                   \
+    }                                                               \
+  } while (false)
+
+#define XRES_LOG_DEBUG(msg) XRES_LOG(::xres::LogLevel::kDebug, msg)
+#define XRES_LOG_INFO(msg) XRES_LOG(::xres::LogLevel::kInfo, msg)
+#define XRES_LOG_WARN(msg) XRES_LOG(::xres::LogLevel::kWarn, msg)
+#define XRES_LOG_ERROR(msg) XRES_LOG(::xres::LogLevel::kError, msg)

@@ -1,0 +1,170 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+
+namespace xres {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  XRES_CHECK(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  XRES_CHECK(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  XRES_CHECK(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+Summary RunningStats::summary() const {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  if (count_ > 1) {
+    s.ci95_halfwidth = 1.959963985 * s.stddev / std::sqrt(static_cast<double>(count_));
+  }
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, width_{(hi - lo) / static_cast<double>(bins)}, counts_(bins, 0) {
+  XRES_CHECK(hi > lo, "histogram range must be non-empty");
+  XRES_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+std::size_t Histogram::count_in_bin(std::size_t i) const {
+  XRES_CHECK(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lower_edge(std::size_t i) const {
+  XRES_CHECK(i < counts_.size(), "bin index out of range");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::string Histogram::to_text(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(label, sizeof label, "[%10.3g, %10.3g) %8zu |",
+                  bin_lower_edge(i), bin_lower_edge(i) + width_, counts_[i]);
+    out += label;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+WelchResult welch_t_test(const Summary& a, const Summary& b) {
+  XRES_CHECK(a.count >= 2 && b.count >= 2, "Welch test needs >= 2 samples per side");
+  const double va = a.stddev * a.stddev / static_cast<double>(a.count);
+  const double vb = b.stddev * b.stddev / static_cast<double>(b.count);
+  XRES_CHECK(va + vb > 0.0, "Welch test needs positive combined variance");
+
+  WelchResult result;
+  result.t = (a.mean - b.mean) / std::sqrt(va + vb);
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / static_cast<double>(a.count - 1) +
+                     vb * vb / static_cast<double>(b.count - 1);
+  result.degrees_of_freedom = den > 0.0 ? num / den : 1.0;
+
+  // Two-sided 5% critical values of Student's t, interpolated on a coarse
+  // dof grid (exact enough for a significance flag).
+  constexpr double dof_grid[] = {1, 2, 3, 4, 5, 7, 10, 15, 20, 30, 60, 120, 1e9};
+  constexpr double crit_grid[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.365, 2.228,
+                                  2.131,  2.086, 2.042, 2.000, 1.980, 1.960};
+  double critical = crit_grid[0];
+  for (std::size_t i = 0; i + 1 < std::size(dof_grid); ++i) {
+    if (result.degrees_of_freedom >= dof_grid[i + 1]) {
+      critical = crit_grid[i + 1];
+      continue;
+    }
+    const double frac = (result.degrees_of_freedom - dof_grid[i]) /
+                        (dof_grid[i + 1] - dof_grid[i]);
+    critical = crit_grid[i] + frac * (crit_grid[i + 1] - crit_grid[i]);
+    break;
+  }
+  result.significant_95 = std::abs(result.t) > critical;
+  return result;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  XRES_CHECK(!samples.empty(), "quantile of empty sample");
+  XRES_CHECK(q >= 0.0 && q <= 1.0, "quantile fraction outside [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= samples.size()) return samples.back();
+  return samples[lower] * (1.0 - frac) + samples[lower + 1] * frac;
+}
+
+}  // namespace xres

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics used to aggregate simulation trials. Every bar in
+/// the paper's figures is "mean of N trials with a standard-deviation error
+/// bar", so the core abstraction is a numerically stable running accumulator
+/// (Welford's algorithm) that never stores the samples.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+/// Point summary of a sample set.
+struct Summary {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};  ///< sample standard deviation (n-1 denominator)
+  double min{0.0};
+  double max{0.0};
+  double ci95_halfwidth{0.0};  ///< normal-approximation 95% CI half-width
+};
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  /// Incorporate one observation.
+  void add(double x);
+
+  /// Merge another accumulator (parallel aggregation; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Mean of observations. Requires at least one observation.
+  [[nodiscard]] double mean() const;
+
+  /// Sample variance (n-1). Zero when fewer than two observations.
+  [[nodiscard]] double variance() const;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Full summary including the 95% confidence half-width.
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Fixed-width histogram over [lo, hi); observations outside the range are
+/// clamped into the first/last bin and counted as underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_lower_edge(std::size_t i) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Multi-line ASCII rendering, useful in example programs.
+  [[nodiscard]] std::string to_text(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+};
+
+/// Exact quantile of a sample vector (linear interpolation between order
+/// statistics). \p q in [0, 1]. The input is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+/// Welch's unequal-variance t-test for the difference of two sample means.
+/// Used when comparing technique efficiencies or dropped fractions across
+/// trial sets: a paper-style "A beats B" claim should clear significance,
+/// not just point estimates.
+struct WelchResult {
+  double t{0.0};                  ///< t statistic (mean_a - mean_b direction)
+  double degrees_of_freedom{0.0};  ///< Welch–Satterthwaite approximation
+  bool significant_95{false};      ///< |t| above the two-sided 5% critical value
+};
+
+/// Requires at least two observations on each side and a positive combined
+/// variance (throws CheckError otherwise).
+[[nodiscard]] WelchResult welch_t_test(const Summary& a, const Summary& b);
+
+}  // namespace xres

@@ -1,0 +1,138 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  XRES_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  XRES_CHECK(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  XRES_CHECK(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    out += '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += ' ';
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string rule = "+";
+  for (std::size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule;
+  emit_row(out, headers_);
+  out += rule;
+  for (const auto& r : rows_) emit_row(out, r);
+  out += rule;
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += ',';
+      out += csv_escape(cells[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  auto escape = [](const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (char ch : cell) {
+      if (ch == '|') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out += '|';
+    for (const std::string& cell : cells) {
+      out += ' ';
+      out += escape(cell);
+      out += " |";
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f{path};
+  XRES_CHECK(f.good(), "cannot open CSV output file: " + path);
+  f << to_csv();
+  XRES_CHECK(f.good(), "failed writing CSV output file: " + path);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_mean_std(double mean, double stddev, int precision) {
+  return fmt_double(mean, precision) + " ± " + fmt_double(stddev, precision);
+}
+
+}  // namespace xres

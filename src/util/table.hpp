@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table / CSV emission for study results. Every figure-reproduction
+/// harness prints an aligned text table (the "rows/series the paper
+/// reports") and can also dump CSV for plotting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xres {
+
+/// A rectangular table of strings with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Aligned, boxed plain-text rendering.
+  [[nodiscard]] std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// GitHub-flavored markdown table (pipes escaped in cells).
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Write CSV to \p path, throwing CheckError on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering, e.g. fmt_double(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+/// Percentage rendering: fmt_percent(0.1234) == "12.3%". Input is a fraction.
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+/// "mean ± std" rendering used for figure bars.
+[[nodiscard]] std::string fmt_mean_std(double mean, double stddev, int precision = 3);
+
+}  // namespace xres

@@ -1,0 +1,57 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xres {
+
+Duration transfer_time(DataSize size, Bandwidth bw) {
+  XRES_CHECK(bw.to_bytes_per_second() > 0.0, "bandwidth must be positive");
+  XRES_CHECK(size.to_bytes() >= 0.0, "data size must be non-negative");
+  return Duration::seconds(size.to_bytes() / bw.to_bytes_per_second());
+}
+
+Rate Rate::one_per(Duration mean) {
+  XRES_CHECK(mean > Duration::zero(), "mean interval must be positive");
+  if (!mean.is_finite()) return Rate::zero();
+  return Rate::per_second(1.0 / mean.to_seconds());
+}
+
+Duration Rate::mean_interval() const {
+  if (per_second_ <= 0.0) return Duration::infinity();
+  return Duration::seconds(1.0 / per_second_);
+}
+
+namespace {
+
+std::string format_with(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) {
+  const double s = d.to_seconds();
+  if (!d.is_finite()) return s > 0 ? "inf" : "-inf";
+  if (s < 0) return "-" + to_string(-d);
+  if (s < 1e-3) return format_with("%.2f us", s * 1e6);
+  if (s < 1.0) return format_with("%.2f ms", s * 1e3);
+  if (s < 60.0) return format_with("%.2f s", s);
+  if (s < 3600.0) return format_with("%.2f min", s / 60.0);
+  if (s < 86400.0) return format_with("%.2f h", s / 3600.0);
+  return format_with("%.2f d", s / 86400.0);
+}
+
+std::string to_string(TimePoint t) { return to_string(t.since_origin()); }
+
+std::string to_string(DataSize size) {
+  const double b = size.to_bytes();
+  if (b < 1e6) return format_with("%.0f B", b);
+  if (b < 1e9) return format_with("%.2f MB", b / 1e6);
+  if (b < 1e12) return format_with("%.2f GB", b / 1e9);
+  return format_with("%.2f TB", b / 1e12);
+}
+
+}  // namespace xres

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file units.hpp
+/// Strongly typed physical quantities used throughout the simulator.
+///
+/// The paper's model mixes seconds (network latency), minutes (time steps),
+/// hours (arrival processes), days (baseline execution times) and years
+/// (component MTBF), plus gigabytes and GB/s. Mixing those as raw doubles is
+/// the classic source of silent unit bugs, so each quantity is a distinct
+/// type with explicit named constructors and accessors. All quantities are
+/// stored in SI base units (seconds, bytes, bytes/second, events/second).
+
+#include <compare>
+#include <limits>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+/// A span of simulated time. May be zero or positive; negative durations are
+/// representable (subtraction results) but most model boundaries check for
+/// non-negativity explicitly.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration seconds(double s) { return Duration{s}; }
+  [[nodiscard]] static constexpr Duration milliseconds(double ms) { return Duration{ms * 1e-3}; }
+  [[nodiscard]] static constexpr Duration microseconds(double us) { return Duration{us * 1e-6}; }
+  [[nodiscard]] static constexpr Duration minutes(double m) { return Duration{m * 60.0}; }
+  [[nodiscard]] static constexpr Duration hours(double h) { return Duration{h * 3600.0}; }
+  [[nodiscard]] static constexpr Duration days(double d) { return Duration{d * 86400.0}; }
+  /// Julian year (365.25 days), the convention used for MTBF figures.
+  [[nodiscard]] static constexpr Duration years(double y) { return Duration{y * 365.25 * 86400.0}; }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0.0}; }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double to_seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double to_minutes() const { return seconds_ / 60.0; }
+  [[nodiscard]] constexpr double to_hours() const { return seconds_ / 3600.0; }
+  [[nodiscard]] constexpr double to_days() const { return seconds_ / 86400.0; }
+  [[nodiscard]] constexpr double to_years() const { return seconds_ / (365.25 * 86400.0); }
+
+  [[nodiscard]] constexpr bool is_finite() const {
+    return seconds_ < std::numeric_limits<double>::infinity() &&
+           seconds_ > -std::numeric_limits<double>::infinity();
+  }
+
+  constexpr Duration& operator+=(Duration d) { seconds_ += d.seconds_; return *this; }
+  constexpr Duration& operator-=(Duration d) { seconds_ -= d.seconds_; return *this; }
+  constexpr Duration& operator*=(double k) { seconds_ *= k; return *this; }
+  constexpr Duration& operator/=(double k) { seconds_ /= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.seconds_ + b.seconds_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.seconds_ - b.seconds_}; }
+  friend constexpr Duration operator*(Duration a, double k) { return Duration{a.seconds_ * k}; }
+  friend constexpr Duration operator*(double k, Duration a) { return Duration{a.seconds_ * k}; }
+  friend constexpr Duration operator/(Duration a, double k) { return Duration{a.seconds_ / k}; }
+  /// Ratio of two durations (dimensionless).
+  friend constexpr double operator/(Duration a, Duration b) { return a.seconds_ / b.seconds_; }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.seconds_}; }
+
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+ private:
+  constexpr explicit Duration(double s) : seconds_{s} {}
+  double seconds_{0.0};
+};
+
+/// An absolute instant on the simulation clock. Simulations start at
+/// TimePoint::origin() (t = 0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0.0}; }
+  [[nodiscard]] static constexpr TimePoint at(Duration since_origin) {
+    return TimePoint{since_origin.to_seconds()};
+  }
+  [[nodiscard]] static constexpr TimePoint infinity() {
+    return TimePoint{std::numeric_limits<double>::infinity()};
+  }
+
+  /// Elapsed time since the simulation origin.
+  [[nodiscard]] constexpr Duration since_origin() const { return Duration::seconds(seconds_); }
+  [[nodiscard]] constexpr double to_seconds() const { return seconds_; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.seconds_ + d.to_seconds()};
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.seconds_ - d.to_seconds()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::seconds(a.seconds_ - b.seconds_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { seconds_ += d.to_seconds(); return *this; }
+
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+ private:
+  constexpr explicit TimePoint(double s) : seconds_{s} {}
+  double seconds_{0.0};
+};
+
+/// An amount of data (checkpoint images, message logs). Stored in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bytes(double b) { return DataSize{b}; }
+  [[nodiscard]] static constexpr DataSize megabytes(double mb) { return DataSize{mb * 1e6}; }
+  [[nodiscard]] static constexpr DataSize gigabytes(double gb) { return DataSize{gb * 1e9}; }
+  [[nodiscard]] static constexpr DataSize terabytes(double tb) { return DataSize{tb * 1e12}; }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize{0.0}; }
+
+  [[nodiscard]] constexpr double to_bytes() const { return bytes_; }
+  [[nodiscard]] constexpr double to_gigabytes() const { return bytes_ / 1e9; }
+  [[nodiscard]] constexpr double to_terabytes() const { return bytes_ / 1e12; }
+
+  friend constexpr DataSize operator+(DataSize a, DataSize b) { return DataSize{a.bytes_ + b.bytes_}; }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) { return DataSize{a.bytes_ - b.bytes_}; }
+  friend constexpr DataSize operator*(DataSize a, double k) { return DataSize{a.bytes_ * k}; }
+  friend constexpr DataSize operator*(double k, DataSize a) { return DataSize{a.bytes_ * k}; }
+  friend constexpr DataSize operator/(DataSize a, double k) { return DataSize{a.bytes_ / k}; }
+  friend constexpr double operator/(DataSize a, DataSize b) { return a.bytes_ / b.bytes_; }
+  constexpr DataSize& operator+=(DataSize d) { bytes_ += d.bytes_; return *this; }
+
+  friend constexpr auto operator<=>(DataSize a, DataSize b) = default;
+
+ private:
+  constexpr explicit DataSize(double b) : bytes_{b} {}
+  double bytes_{0.0};
+};
+
+/// Data transfer rate. Stored in bytes/second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_second(double bps) { return Bandwidth{bps}; }
+  [[nodiscard]] static constexpr Bandwidth gigabytes_per_second(double gbps) {
+    return Bandwidth{gbps * 1e9};
+  }
+
+  [[nodiscard]] constexpr double to_bytes_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double to_gigabytes_per_second() const { return bps_ / 1e9; }
+
+  friend constexpr Bandwidth operator*(Bandwidth b, double k) { return Bandwidth{b.bps_ * k}; }
+  friend constexpr Bandwidth operator/(Bandwidth b, double k) { return Bandwidth{b.bps_ / k}; }
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) = default;
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_{bps} {}
+  double bps_{0.0};
+};
+
+/// Time to move \p size at \p bw. Checks bw > 0.
+[[nodiscard]] Duration transfer_time(DataSize size, Bandwidth bw);
+
+/// An event rate (failures per unit time). Stored in events/second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate per_second(double r) { return Rate{r}; }
+  [[nodiscard]] static constexpr Rate per_hour(double r) { return Rate{r / 3600.0}; }
+  [[nodiscard]] static constexpr Rate per_year(double r) { return Rate{r / (365.25 * 86400.0)}; }
+  [[nodiscard]] static constexpr Rate zero() { return Rate{0.0}; }
+
+  /// Rate corresponding to one event per \p mean interval.
+  [[nodiscard]] static Rate one_per(Duration mean);
+
+  [[nodiscard]] constexpr double per_second_value() const { return per_second_; }
+  [[nodiscard]] constexpr double per_hour_value() const { return per_second_ * 3600.0; }
+
+  /// Mean interval between events (infinite for a zero rate).
+  [[nodiscard]] Duration mean_interval() const;
+
+  /// Expected event count over \p window (rate × time, dimensionless).
+  [[nodiscard]] constexpr double expected_events(Duration window) const {
+    return per_second_ * window.to_seconds();
+  }
+
+  friend constexpr Rate operator*(Rate r, double k) { return Rate{r.per_second_ * k}; }
+  friend constexpr Rate operator*(double k, Rate r) { return Rate{r.per_second_ * k}; }
+  friend constexpr Rate operator/(Rate r, double k) { return Rate{r.per_second_ / k}; }
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.per_second_ + b.per_second_}; }
+  friend constexpr double operator/(Rate a, Rate b) { return a.per_second_ / b.per_second_; }
+  friend constexpr auto operator<=>(Rate a, Rate b) = default;
+
+ private:
+  constexpr explicit Rate(double r) : per_second_{r} {}
+  double per_second_{0.0};
+};
+
+/// Human-readable rendering, e.g. "2d 03:14:05" or "1.50 ms".
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+[[nodiscard]] std::string to_string(DataSize s);
+
+}  // namespace xres

@@ -1,0 +1,155 @@
+// Tests for the adaptive checkpoint-interval extension: the runtime
+// re-estimates the failure rate online and retunes the Eq.-4 interval.
+
+#include <gtest/gtest.h>
+
+#include "core/single_app_study.hpp"
+#include "resilience/interval.hpp"
+#include "resilience/planner.hpp"
+#include "runtime/app_runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace xres {
+namespace {
+
+ExecutionPlan adaptive_plan(Rate planned_rate) {
+  ExecutionPlan plan;
+  plan.kind = TechniqueKind::kCheckpointRestart;
+  plan.app = AppSpec{app_type_by_name("A32"), 100, 2000};
+  plan.physical_nodes = 100;
+  plan.baseline = Duration::minutes(2000.0);
+  plan.work_target = plan.baseline;
+  plan.levels = {
+      CheckpointLevelSpec{Duration::minutes(2.0), Duration::minutes(2.0), 3}};
+  plan.nesting = {1};
+  plan.failure_rate = planned_rate;
+  plan.checkpoint_quantum = daly_interval(plan.levels[0].save_cost, planned_rate);
+  plan.adaptive_interval = true;
+  plan.max_wall_time = Duration::infinity();
+  return plan;
+}
+
+TEST(AdaptiveInterval, QuantumGrowsWhenNoFailuresObserved) {
+  // Planner assumed a 30-minute MTBF, but no failures ever arrive: the
+  // estimated rate decays and the interval grows past the planned one.
+  const Rate planned = Rate::one_per(Duration::minutes(30.0));
+  ExecutionPlan plan = adaptive_plan(planned);
+  const Duration planned_quantum = plan.checkpoint_quantum;
+
+  Simulation sim;
+  ExecutionResult result;
+  ResilientAppRuntime runtime{sim, std::move(plan), 1,
+                              [&](const ExecutionResult& r) { result = r; }};
+  runtime.start();
+  sim.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(runtime.current_quantum(), planned_quantum * 2.0);
+}
+
+TEST(AdaptiveInterval, QuantumShrinksUnderHeavyFailures) {
+  // Planner assumed a quiet machine (MTBF 10 d); reality delivers a
+  // failure every 30 minutes: the interval must shrink toward the true
+  // Daly optimum.
+  const Rate planned = Rate::one_per(Duration::days(10.0));
+  const Rate actual = Rate::one_per(Duration::minutes(30.0));
+  ExecutionPlan plan = adaptive_plan(planned);
+  const Duration planned_quantum = plan.checkpoint_quantum;
+  plan.failure_rate = planned;  // the plan still believes the quiet rate
+
+  const ResilienceConfig resilience;
+  Simulation sim;
+  ExecutionResult result;
+  ResilientAppRuntime runtime{sim, plan, 1,
+                              [&](const ExecutionResult& r) {
+                                result = r;
+                                sim.request_stop();
+                              }};
+  const SeverityModel severity = SeverityModel::single_level();
+  AppFailureProcess failures{sim,
+                             actual,
+                             severity,
+                             FailureDistribution::exponential(),
+                             Pcg32{99},
+                             [&runtime](const Failure& f) { runtime.on_failure(f); }};
+  failures.start();
+  runtime.start();
+  sim.run();
+
+  ASSERT_TRUE(result.completed);
+  EXPECT_LT(runtime.current_quantum(), planned_quantum);
+  // Converged near the true optimum (within 2x).
+  const Duration optimum = daly_interval(Duration::minutes(2.0), actual);
+  EXPECT_LT(runtime.current_quantum(), optimum * 2.0);
+  EXPECT_GT(runtime.current_quantum(), optimum * 0.5);
+}
+
+TEST(AdaptiveInterval, StaticPlanNeverRetunes) {
+  ExecutionPlan plan = adaptive_plan(Rate::one_per(Duration::minutes(30.0)));
+  plan.adaptive_interval = false;
+  const Duration planned_quantum = plan.checkpoint_quantum;
+  Simulation sim;
+  ExecutionResult result;
+  ResilientAppRuntime runtime{sim, std::move(plan), 1,
+                              [&](const ExecutionResult& r) { result = r; }};
+  runtime.start();
+  sim.run();
+  EXPECT_EQ(runtime.current_quantum(), planned_quantum);
+}
+
+TEST(AdaptiveInterval, PlannerWiresConfigFlag) {
+  const MachineSpec machine = MachineSpec::exascale();
+  ResilienceConfig config;
+  config.adaptive_interval = true;
+  const AppSpec app{app_type_by_name("B32"), 12000, 1440};
+  EXPECT_TRUE(make_plan(TechniqueKind::kCheckpointRestart, app, machine, config)
+                  .adaptive_interval);
+  EXPECT_TRUE(make_plan(TechniqueKind::kParallelRecovery, app, machine, config)
+                  .adaptive_interval);
+  // Multilevel keeps its optimizer-driven hierarchical schedule.
+  EXPECT_FALSE(make_plan(TechniqueKind::kMultilevel, app, machine, config)
+                   .adaptive_interval);
+  config.adaptive_interval = false;
+  EXPECT_FALSE(make_plan(TechniqueKind::kCheckpointRestart, app, machine, config)
+                   .adaptive_interval);
+}
+
+TEST(AdaptiveInterval, RecoversEfficiencyUnderMisspecifiedMtbf) {
+  // End-to-end: the machine is 4x less reliable than the planner assumed.
+  // Adaptive retuning must beat the misspecified static interval on mean
+  // efficiency.
+  const MachineSpec machine = MachineSpec::exascale();
+  const AppSpec app{app_type_by_name("B32"), 60000, 1440};
+
+  ResilienceConfig assumed;  // 10-year MTBF assumption
+  ResilienceConfig actual;
+  actual.node_mtbf = Duration::years(2.5);
+
+  // Plans built under the *assumed* reliability...
+  ExecutionPlan static_plan =
+      make_plan(TechniqueKind::kCheckpointRestart, app, machine, assumed);
+  ExecutionPlan adaptive = static_plan;
+  adaptive.adaptive_interval = true;
+  // ...executed under the *actual* failure rate.
+  const Rate true_rate =
+      Rate::one_per(actual.node_mtbf) * static_cast<double>(app.nodes);
+  static_plan.failure_rate = true_rate;
+  adaptive.failure_rate = true_rate;
+  // Keep the planner's (misspecified) quantum in both; only one may adapt.
+
+  RunningStats static_eff;
+  RunningStats adaptive_eff;
+  for (std::uint64_t t = 0; t < 25; ++t) {
+    static_eff.add(run_plan_trial(static_plan, actual,
+                                  FailureDistribution::exponential(),
+                                  derive_seed(3, t))
+                       .efficiency);
+    adaptive_eff.add(run_plan_trial(adaptive, actual,
+                                    FailureDistribution::exponential(),
+                                    derive_seed(3, t))
+                         .efficiency);
+  }
+  EXPECT_GT(adaptive_eff.mean(), static_eff.mean());
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,216 @@
+// Unit tests for the synthetic application model (Table I) and the
+// workload arrival-pattern generator (Sections VI-VII).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/app_type.hpp"
+#include "apps/application.hpp"
+#include "apps/workload.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+TEST(AppType, TableOneHasAllEightTypes) {
+  const auto& types = all_app_types();
+  ASSERT_EQ(types.size(), 8U);
+  std::set<std::string> names;
+  for (const AppType& t : types) names.insert(t.name);
+  const std::set<std::string> expected{"A32", "A64", "B32", "B64",
+                                       "C32", "C64", "D32", "D64"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(AppType, CommunicationAndMemoryLevels) {
+  EXPECT_DOUBLE_EQ(app_type_by_name("A32").comm_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(app_type_by_name("B64").comm_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(app_type_by_name("C32").comm_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(app_type_by_name("D64").comm_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(app_type_by_name("A32").memory_per_node.to_gigabytes(), 32.0);
+  EXPECT_DOUBLE_EQ(app_type_by_name("D64").memory_per_node.to_gigabytes(), 64.0);
+  EXPECT_DOUBLE_EQ(app_type_by_name("D32").work_fraction(), 0.25);
+  EXPECT_THROW(app_type_by_name("E32"), CheckError);
+}
+
+TEST(AppType, LookupByClassesMatchesNames) {
+  EXPECT_EQ(app_type(CommClass::kC, MemoryClass::k64GB).name, "C64");
+  EXPECT_EQ(app_type(CommClass::kA, MemoryClass::k32GB).name, "A32");
+}
+
+TEST(AppType, TimeStepIsOneMinute) {
+  EXPECT_DOUBLE_EQ(time_step_length().to_minutes(), 1.0);
+}
+
+TEST(AppSpec, BaselineAndSplits) {
+  // T_B = T_S minutes regardless of size (weak scaling).
+  const AppSpec spec{app_type_by_name("C32"), 5000, 1440};
+  EXPECT_DOUBLE_EQ(spec.baseline_time().to_hours(), 24.0);
+  EXPECT_DOUBLE_EQ(spec.total_work_time().to_hours(), 12.0);
+  EXPECT_DOUBLE_EQ(spec.total_comm_time().to_hours(), 12.0);
+  EXPECT_DOUBLE_EQ(spec.total_memory().to_terabytes(), 160.0);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(AppSpec, FromBaselineRoundTrips) {
+  const AppSpec spec =
+      AppSpec::from_baseline(app_type_by_name("A64"), 1200, Duration::hours(6.0));
+  EXPECT_EQ(spec.time_steps, 360U);
+  EXPECT_THROW(AppSpec::from_baseline(app_type_by_name("A64"), 1200,
+                                      Duration::seconds(90.0)),
+               CheckError);
+}
+
+TEST(AppSpec, ValidationCatchesBadSpecs) {
+  AppSpec spec{app_type_by_name("A32"), 0, 100};
+  EXPECT_THROW(spec.validate(), CheckError);
+  spec.nodes = 10;
+  spec.time_steps = 0;
+  EXPECT_THROW(spec.validate(), CheckError);
+}
+
+TEST(Deadline, EquationOneBounds) {
+  // T_D = T_A + U(1.2, 2.0) * T_B.
+  Pcg32 rng{17};
+  const TimePoint arrival = TimePoint::at(Duration::hours(5.0));
+  const Duration baseline = Duration::hours(10.0);
+  for (int i = 0; i < 2000; ++i) {
+    const TimePoint deadline = assign_deadline(arrival, baseline, rng);
+    const double factor = (deadline - arrival) / baseline;
+    EXPECT_GE(factor, 1.2);
+    EXPECT_LT(factor, 2.0);
+  }
+}
+
+TEST(Workload, PatternIsReproducible) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  const ArrivalPattern a = generate_pattern(config, 99, 3);
+  const ArrivalPattern b = generate_pattern(config, 99, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].spec.type.name, b.jobs[i].spec.type.name);
+    EXPECT_EQ(a.jobs[i].spec.nodes, b.jobs[i].spec.nodes);
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_EQ(a.jobs[i].deadline, b.jobs[i].deadline);
+  }
+  const ArrivalPattern c = generate_pattern(config, 99, 4);
+  EXPECT_FALSE(a.size() == c.size() &&
+               std::equal(a.jobs.begin(), a.jobs.end(), c.jobs.begin(),
+                          [](const Job& x, const Job& y) {
+                            return x.arrival == y.arrival && x.spec.nodes == y.spec.nodes;
+                          }));
+}
+
+TEST(Workload, InitialFillSaturatesMachine) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  const ArrivalPattern pattern = generate_pattern(config, 7, 0);
+  std::uint32_t fill_nodes = 0;
+  std::uint32_t fill_jobs = 0;
+  for (const Job& job : pattern.jobs) {
+    if (job.arrival == TimePoint::origin()) {
+      fill_nodes += job.spec.nodes;
+      ++fill_jobs;
+    }
+  }
+  EXPECT_GT(fill_jobs, 0U);
+  EXPECT_LE(fill_nodes, 120000U);
+  // Remaining gap is smaller than the smallest size option (1%).
+  EXPECT_GT(fill_nodes, 120000U - 1200U);
+}
+
+TEST(Workload, ArrivalsMatchConfiguration) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  config.arrival_count = 100;
+  const ArrivalPattern pattern = generate_pattern(config, 11, 0);
+  std::uint32_t arrivals = 0;
+  TimePoint prev = TimePoint::origin();
+  for (const Job& job : pattern.jobs) {
+    if (job.arrival > TimePoint::origin()) {
+      ++arrivals;
+      EXPECT_GE(job.arrival, prev);
+      prev = job.arrival;
+      // Sizes come from the configured percentage menu.
+      const double fraction = static_cast<double>(job.spec.nodes) / 120000.0;
+      const std::vector<double> menu{0.01, 0.02, 0.03, 0.06, 0.12, 0.25, 0.50};
+      const bool on_menu = std::any_of(menu.begin(), menu.end(), [&](double m) {
+        return std::abs(fraction - m) < 1e-6;
+      });
+      EXPECT_TRUE(on_menu) << fraction;
+      // Baselines from {6, 12, 24, 48} h.
+      const double hours = job.spec.baseline_time().to_hours();
+      EXPECT_TRUE(hours == 6.0 || hours == 12.0 || hours == 24.0 || hours == 48.0);
+    }
+    EXPECT_GT(job.deadline, job.arrival);
+  }
+  EXPECT_EQ(arrivals, 100U);
+}
+
+TEST(Workload, MeanInterarrivalIsTwoHours) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  config.arrival_count = 400;
+  double total_hours = 0.0;
+  int gaps = 0;
+  TimePoint prev = TimePoint::origin();
+  const ArrivalPattern pattern = generate_pattern(config, 23, 0);
+  for (const Job& job : pattern.jobs) {
+    if (job.arrival > TimePoint::origin()) {
+      total_hours += (job.arrival - prev).to_hours();
+      prev = job.arrival;
+      ++gaps;
+    }
+  }
+  EXPECT_NEAR(total_hours / gaps, 2.0, 0.35);
+}
+
+TEST(Workload, HighMemoryBiasOnlyUses64GB) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  config.bias = WorkloadBias::kHighMemory;
+  const ArrivalPattern pattern = generate_pattern(config, 5, 0);
+  for (const Job& job : pattern.jobs) {
+    EXPECT_DOUBLE_EQ(job.spec.type.memory_per_node.to_gigabytes(), 64.0);
+  }
+}
+
+TEST(Workload, HighCommunicationBiasOnlyUsesCAndD) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  config.bias = WorkloadBias::kHighCommunication;
+  const ArrivalPattern pattern = generate_pattern(config, 5, 0);
+  for (const Job& job : pattern.jobs) {
+    EXPECT_GT(job.spec.type.comm_fraction, 0.25);
+  }
+}
+
+TEST(Workload, LargeAppsBiasOnlyUsesLargeSizes) {
+  WorkloadConfig config;
+  config.machine_nodes = 120000;
+  config.bias = WorkloadBias::kLargeApps;
+  const ArrivalPattern pattern = generate_pattern(config, 5, 0);
+  for (const Job& job : pattern.jobs) {
+    EXPECT_GE(job.spec.nodes, 14400U);  // >= 12% of the machine
+  }
+}
+
+TEST(Workload, BiasNamesRoundTrip) {
+  EXPECT_STREQ(to_string(WorkloadBias::kUnbiased), "unbiased");
+  EXPECT_STREQ(to_string(WorkloadBias::kLargeApps), "large-apps");
+}
+
+TEST(Workload, ConfigValidation) {
+  WorkloadConfig config;
+  config.size_fractions = {1.5};
+  EXPECT_THROW(config.validate(), CheckError);
+  config = WorkloadConfig{};
+  config.arrival_count = 0;
+  EXPECT_THROW(config.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

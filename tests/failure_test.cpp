@@ -1,0 +1,251 @@
+// Unit tests for the failure subsystem: severity PMF, inter-arrival
+// distributions, both failure processes, and traces.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "failure/distribution.hpp"
+#include "failure/process.hpp"
+#include "failure/severity.hpp"
+#include "failure/trace.hpp"
+#include "platform/machine.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace xres {
+namespace {
+
+TEST(SeverityModel, DefaultsNormalizeAndQuery) {
+  const SeverityModel model = SeverityModel::bluegene_default();
+  EXPECT_EQ(model.level_count(), 3);
+  EXPECT_DOUBLE_EQ(model.probability(1), 0.55);
+  EXPECT_DOUBLE_EQ(model.probability(2), 0.35);
+  EXPECT_DOUBLE_EQ(model.probability(3), 0.10);
+  EXPECT_DOUBLE_EQ(model.probability_at_least(1), 1.0);
+  EXPECT_NEAR(model.probability_at_least(2), 0.45, 1e-12);
+  EXPECT_DOUBLE_EQ(model.probability_at_least(3), 0.10);
+}
+
+TEST(SeverityModel, UnnormalizedWeightsAccepted) {
+  const SeverityModel model{{11.0, 7.0, 2.0}};
+  EXPECT_DOUBLE_EQ(model.probability(1), 0.55);
+}
+
+TEST(SeverityModel, RejectsZeroTopLevel) {
+  EXPECT_THROW(SeverityModel({0.5, 0.5, 0.0}), CheckError);
+  EXPECT_THROW(SeverityModel({}), CheckError);
+  EXPECT_THROW(SeverityModel({-1.0, 2.0}), CheckError);
+  EXPECT_THROW((void)SeverityModel::bluegene_default().probability(4), CheckError);
+}
+
+TEST(SeverityModel, SamplingMatchesPmf) {
+  const SeverityModel model = SeverityModel::bluegene_default();
+  Pcg32 rng{77};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const SeverityLevel level = model.sample(rng);
+    ASSERT_GE(level, 1);
+    ASSERT_LE(level, 3);
+    counts[static_cast<std::size_t>(level)]++;
+  }
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.55, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.35, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.10, 0.01);
+}
+
+TEST(SeverityModel, SingleLevelAlwaysSamplesOne) {
+  const SeverityModel model = SeverityModel::single_level();
+  Pcg32 rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), 1);
+}
+
+TEST(FailureDistribution, ExponentialIsMemorylessFlagged) {
+  EXPECT_TRUE(FailureDistribution::exponential().memoryless());
+  EXPECT_FALSE(FailureDistribution::weibull(0.7).memoryless());
+}
+
+TEST(FailureDistribution, MeansMatchAcrossKinds) {
+  // The Weibull parameterization must preserve the target mean.
+  Pcg32 rng{5};
+  const Rate rate = Rate::per_hour(4.0);
+  for (const FailureDistribution dist :
+       {FailureDistribution::exponential(), FailureDistribution::weibull(0.7),
+        FailureDistribution::weibull(2.0)}) {
+    RunningStats stats;
+    for (int i = 0; i < 60000; ++i) stats.add(dist.draw(rng, rate).to_minutes());
+    EXPECT_NEAR(stats.mean(), 15.0, 0.6) << "shape " << dist.shape();
+  }
+}
+
+TEST(FailureDistribution, ZeroRateNeverFails) {
+  Pcg32 rng{5};
+  EXPECT_FALSE(FailureDistribution::exponential().draw(rng, Rate::zero()).is_finite());
+}
+
+TEST(AppFailureProcess, DeliversAtExpectedRate) {
+  Simulation sim;
+  const SeverityModel severity = SeverityModel::bluegene_default();
+  int delivered = 0;
+  AppFailureProcess process{sim,
+                            Rate::per_hour(1.0),
+                            severity,
+                            FailureDistribution::exponential(),
+                            Pcg32{42},
+                            [&](const Failure& f) {
+                              ++delivered;
+                              EXPECT_GE(f.severity, 1);
+                              EXPECT_LE(f.severity, 3);
+                            }};
+  process.start();
+  sim.run_until(TimePoint::at(Duration::hours(1000.0)));
+  process.stop();
+  // ~1000 expected; Poisson sd ~32.
+  EXPECT_NEAR(delivered, 1000, 150);
+  EXPECT_EQ(process.failures_delivered(), static_cast<std::uint64_t>(delivered));
+}
+
+TEST(AppFailureProcess, StopHaltsDelivery) {
+  Simulation sim;
+  const SeverityModel severity = SeverityModel::single_level();
+  int delivered = 0;
+  AppFailureProcess process{sim,
+                            Rate::per_hour(100.0),
+                            severity,
+                            FailureDistribution::exponential(),
+                            Pcg32{1},
+                            [&](const Failure&) { ++delivered; }};
+  process.start();
+  sim.run_until(TimePoint::at(Duration::hours(1.0)));
+  const int count_at_stop = delivered;
+  EXPECT_GT(count_at_stop, 0);
+  process.stop();
+  sim.run_until(TimePoint::at(Duration::hours(2.0)));
+  EXPECT_EQ(delivered, count_at_stop);
+}
+
+TEST(AppFailureProcess, ZeroRateProducesNoEvents) {
+  Simulation sim;
+  const SeverityModel severity = SeverityModel::single_level();
+  AppFailureProcess process{sim,
+                            Rate::zero(),
+                            severity,
+                            FailureDistribution::exponential(),
+                            Pcg32{1},
+                            [&](const Failure&) { FAIL() << "unexpected failure"; }};
+  process.start();
+  sim.run();
+  EXPECT_EQ(process.failures_delivered(), 0U);
+}
+
+TEST(SystemFailureProcess, RateTracksUtilization) {
+  Simulation sim;
+  Machine machine{MachineSpec::testbed(1000)};
+  const SeverityModel severity = SeverityModel::bluegene_default();
+  int delivered = 0;
+  SystemFailureProcess process{sim,
+                               machine,
+                               Duration::years(1.0),
+                               severity,
+                               Pcg32{9},
+                               [&](const Failure&, const Machine::Victim& victim) {
+                                 ++delivered;
+                                 EXPECT_EQ(victim.owner, OwnerId{5});
+                               }};
+  // Eq. 2: with nothing busy the rate is zero.
+  EXPECT_EQ(process.current_rate(), Rate::zero());
+  process.start();
+  sim.run_until(TimePoint::at(Duration::days(100.0)));
+  EXPECT_EQ(delivered, 0);
+
+  ASSERT_TRUE(machine.allocate(500, OwnerId{5}).has_value());
+  process.notify_utilization_changed();
+  EXPECT_NEAR(process.current_rate().per_second_value(),
+              500.0 / Duration::years(1.0).to_seconds(), 1e-15);
+  // 500 node-years per year -> ~137 failures in 100 days.
+  sim.run_until(TimePoint::at(Duration::days(200.0)));
+  EXPECT_NEAR(delivered, 137, 50);
+
+  machine.release(OwnerId{5});
+  process.notify_utilization_changed();
+  const int before = delivered;
+  sim.run_until(TimePoint::at(Duration::days(300.0)));
+  EXPECT_EQ(delivered, before);
+  process.stop();
+}
+
+TEST(SystemFailureProcess, VictimsDistributedAcrossOwners) {
+  Simulation sim;
+  Machine machine{MachineSpec::testbed(100)};
+  ASSERT_TRUE(machine.allocate(25, OwnerId{1}).has_value());
+  ASSERT_TRUE(machine.allocate(75, OwnerId{2}).has_value());
+  const SeverityModel severity = SeverityModel::single_level();
+  int owner1 = 0;
+  int total = 0;
+  SystemFailureProcess process{sim,
+                               machine,
+                               Duration::days(10.0),
+                               severity,
+                               Pcg32{4},
+                               [&](const Failure&, const Machine::Victim& victim) {
+                                 ++total;
+                                 if (victim.owner == OwnerId{1}) ++owner1;
+                               }};
+  process.start();
+  sim.run_until(TimePoint::at(Duration::days(400.0)));
+  process.stop();
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(static_cast<double>(owner1) / total, 0.25, 0.04);
+}
+
+TEST(FailureTrace, GenerateSortsAndRespectsHorizon) {
+  Pcg32 rng{3};
+  const SeverityModel severity = SeverityModel::bluegene_default();
+  const FailureTrace trace =
+      FailureTrace::generate(Rate::per_hour(10.0), Duration::days(2.0), severity,
+                             FailureDistribution::exponential(), rng);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NEAR(static_cast<double>(trace.size()), 480.0, 150.0);
+  TimePoint prev = TimePoint::origin();
+  for (const Failure& f : trace.failures()) {
+    EXPECT_GE(f.time, prev);
+    EXPECT_LT(f.time.since_origin(), Duration::days(2.0));
+    prev = f.time;
+  }
+  EXPECT_NEAR(trace.empirical_rate().per_hour_value(), 10.0, 2.0);
+}
+
+TEST(FailureTrace, CsvRoundTrip) {
+  Pcg32 rng{8};
+  const SeverityModel severity = SeverityModel::bluegene_default();
+  const FailureTrace trace =
+      FailureTrace::generate(Rate::per_hour(5.0), Duration::hours(20.0), severity,
+                             FailureDistribution::exponential(), rng);
+  const FailureTrace round = FailureTrace::from_csv(trace.to_csv());
+  ASSERT_EQ(round.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(round.failures()[i].time.to_seconds(),
+                trace.failures()[i].time.to_seconds(), 1e-6);
+    EXPECT_EQ(round.failures()[i].severity, trace.failures()[i].severity);
+  }
+}
+
+TEST(FailureTrace, RejectsMalformedCsv) {
+  EXPECT_THROW(FailureTrace::from_csv(""), CheckError);
+  EXPECT_THROW(FailureTrace::from_csv("wrong,header\n1,2\n"), CheckError);
+  EXPECT_THROW(FailureTrace::from_csv("time_seconds,severity\nnot-a-number\n"),
+               CheckError);
+  EXPECT_THROW(FailureTrace::from_csv("time_seconds,severity\n1.0,0\n"), CheckError);
+}
+
+TEST(FailureTrace, UnsortedConstructionRejected) {
+  std::vector<Failure> out_of_order{
+      Failure{TimePoint::at(Duration::seconds(10.0)), 1},
+      Failure{TimePoint::at(Duration::seconds(5.0)), 1}};
+  EXPECT_THROW(FailureTrace{out_of_order}, CheckError);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,216 @@
+// End-to-end integration tests: miniature versions of the paper's
+// headline results with fixed seeds and tolerance bands on the *shape*
+// claims (Sections V-VII). Trial counts are reduced from the paper's 200
+// to keep the suite fast; the bench harnesses run the full configuration.
+
+#include <gtest/gtest.h>
+
+#include "core/single_app_study.hpp"
+#include "core/workload_engine.hpp"
+#include "core/workload_study.hpp"
+#include "resilience/analytic.hpp"
+#include "resilience/planner.hpp"
+
+namespace xres {
+namespace {
+
+SingleAppTrialConfig trial_config(const std::string& type, std::uint32_t nodes,
+                                  TechniqueKind technique,
+                                  Duration mtbf = Duration::years(10.0)) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name(type), nodes, 1440};
+  config.technique = technique;
+  config.machine = MachineSpec::exascale();
+  config.resilience.node_mtbf = mtbf;
+  return config;
+}
+
+double mean_efficiency(const SingleAppTrialConfig& config, int trials,
+                       std::uint64_t seed = 99) {
+  RunningStats stats;
+  for (int t = 0; t < trials; ++t) {
+    stats.add(run_single_app_trial(config, derive_seed(seed, t)).efficiency);
+  }
+  return stats.mean();
+}
+
+TEST(Integration, TrialIsDeterministicPerSeed) {
+  const SingleAppTrialConfig config =
+      trial_config("C64", 30000, TechniqueKind::kMultilevel);
+  const ExecutionResult a = run_single_app_trial(config, 1234);
+  const ExecutionResult b = run_single_app_trial(config, 1234);
+  EXPECT_DOUBLE_EQ(a.wall_time.to_seconds(), b.wall_time.to_seconds());
+  EXPECT_EQ(a.failures_seen, b.failures_seen);
+  EXPECT_EQ(a.checkpoints_completed, b.checkpoints_completed);
+  const ExecutionResult c = run_single_app_trial(config, 1235);
+  EXPECT_NE(a.wall_time.to_seconds(), c.wall_time.to_seconds());
+}
+
+TEST(Integration, EfficiencyIsAlwaysAProbability) {
+  for (TechniqueKind kind : evaluated_techniques()) {
+    const ExecutionResult r =
+        run_single_app_trial(trial_config("B64", 12000, kind), 5);
+    EXPECT_GE(r.efficiency, 0.0) << to_string(kind);
+    EXPECT_LE(r.efficiency, 1.0) << to_string(kind);
+  }
+}
+
+TEST(Integration, TimeBucketsSumToWallTime) {
+  for (TechniqueKind kind :
+       {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+        TechniqueKind::kParallelRecovery}) {
+    const ExecutionResult r =
+        run_single_app_trial(trial_config("C32", 60000, kind), 17);
+    ASSERT_TRUE(r.completed);
+    const double buckets = r.time_working.to_seconds() +
+                           r.time_checkpointing.to_seconds() +
+                           r.time_restarting.to_seconds() +
+                           r.time_recovering.to_seconds();
+    EXPECT_NEAR(buckets, r.wall_time.to_seconds(), 1e-6) << to_string(kind);
+  }
+}
+
+TEST(Integration, Figure1ShapeParallelRecoveryDominatesLowComm) {
+  // A32 at exascale: parallel recovery clearly beats every alternative
+  // (Figure 1's headline claim at the largest sizes).
+  const int trials = 12;
+  const double pr =
+      mean_efficiency(trial_config("A32", 120000, TechniqueKind::kParallelRecovery), trials);
+  for (TechniqueKind other :
+       {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+        TechniqueKind::kRedundancyPartial, TechniqueKind::kRedundancyFull}) {
+    const double eff = mean_efficiency(trial_config("A32", 120000, other), trials);
+    EXPECT_GT(pr, eff + 0.02) << to_string(other);
+  }
+  EXPECT_GT(pr, 0.9);
+}
+
+TEST(Integration, Figure1ShapeCheckpointRestartDegradesFastest) {
+  const int trials = 10;
+  double prev = 1.0;
+  for (std::uint32_t nodes : {1200U, 30000U, 120000U}) {
+    const double eff =
+        mean_efficiency(trial_config("A32", nodes, TechniqueKind::kCheckpointRestart), trials);
+    EXPECT_LT(eff, prev);
+    prev = eff;
+  }
+  EXPECT_LT(prev, 0.6);  // heavily degraded at exascale
+}
+
+TEST(Integration, Figure1ShapeRedundancyInfeasibleAtScale) {
+  // Zero-efficiency bars: r=2 above 50%, r=1.5 above ~67%.
+  EXPECT_DOUBLE_EQ(
+      mean_efficiency(trial_config("A32", 120000, TechniqueKind::kRedundancyFull), 3), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mean_efficiency(trial_config("A32", 90000, TechniqueKind::kRedundancyPartial), 3), 0.0);
+  EXPECT_GT(
+      mean_efficiency(trial_config("A32", 30000, TechniqueKind::kRedundancyFull), 3), 0.3);
+}
+
+TEST(Integration, Figure2ShapeMultilevelToParallelRecoveryCrossover) {
+  // D64: multilevel wins at small sizes, parallel recovery at exascale
+  // (the paper's crossover near 25% of the system).
+  const int trials = 12;
+  const double ml_small =
+      mean_efficiency(trial_config("D64", 1200, TechniqueKind::kMultilevel), trials);
+  const double pr_small =
+      mean_efficiency(trial_config("D64", 1200, TechniqueKind::kParallelRecovery), trials);
+  EXPECT_GT(ml_small, pr_small + 0.02);
+
+  const double ml_big =
+      mean_efficiency(trial_config("D64", 120000, TechniqueKind::kMultilevel), trials);
+  const double pr_big =
+      mean_efficiency(trial_config("D64", 120000, TechniqueKind::kParallelRecovery), trials);
+  EXPECT_GT(pr_big, ml_big + 0.02);
+}
+
+TEST(Integration, Figure3ShapeLowerMtbfHurtsEveryone) {
+  const int trials = 8;
+  for (TechniqueKind kind :
+       {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+        TechniqueKind::kParallelRecovery}) {
+    const double at_10y =
+        mean_efficiency(trial_config("D64", 60000, kind, Duration::years(10.0)), trials);
+    const double at_2p5y =
+        mean_efficiency(trial_config("D64", 60000, kind, Duration::years(2.5)), trials);
+    EXPECT_LT(at_2p5y, at_10y + 1e-9) << to_string(kind);
+  }
+}
+
+TEST(Integration, Figure3ShapeCheckpointRestartCollapsesAtExascale) {
+  // With a 2.5-year node MTBF the traditional technique barely progresses
+  // (the paper: applications "unable to even complete execution").
+  const double eff = mean_efficiency(
+      trial_config("D64", 120000, TechniqueKind::kCheckpointRestart, Duration::years(2.5)),
+      5);
+  EXPECT_LT(eff, 0.15);
+  const double pr = mean_efficiency(
+      trial_config("D64", 120000, TechniqueKind::kParallelRecovery, Duration::years(2.5)),
+      5);
+  EXPECT_GT(pr, eff + 0.3);
+}
+
+TEST(Integration, AnalyticModelTracksSimulation) {
+  // The selector's closed-form prediction must be close to the simulated
+  // mean: it is what makes Resilience Selection credible.
+  const ResilienceConfig resilience;
+  const MachineSpec machine = MachineSpec::exascale();
+  for (TechniqueKind kind :
+       {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+        TechniqueKind::kParallelRecovery}) {
+    const SingleAppTrialConfig config = trial_config("B32", 12000, kind);
+    const double simulated = mean_efficiency(config, 20);
+    const double predicted =
+        predict_efficiency(make_plan(kind, config.app, machine, resilience), resilience);
+    EXPECT_NEAR(simulated, predicted, 0.05) << to_string(kind);
+  }
+}
+
+TEST(Integration, EfficiencyStudySweepsGrid) {
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("A32");
+  config.size_fractions = {0.01, 0.50};
+  config.techniques = {TechniqueKind::kCheckpointRestart,
+                       TechniqueKind::kParallelRecovery};
+  config.trials = 4;
+  std::size_t last_done = 0;
+  const EfficiencyStudyResult result =
+      run_efficiency_study(config, [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 4U);
+        last_done = done;
+      });
+  EXPECT_EQ(last_done, 4U);
+  ASSERT_EQ(result.efficiency.size(), 2U);
+  ASSERT_EQ(result.efficiency[0].size(), 2U);
+  EXPECT_EQ(result.efficiency[0][0].count, 4U);
+
+  const Table table = result.to_table();
+  EXPECT_EQ(table.row_count(), 2U);
+  const Table csv = result.to_csv_table();
+  EXPECT_EQ(csv.row_count(), 4U);
+}
+
+TEST(Integration, WorkloadMiniFigure4Ordering) {
+  // Tiny Figure-4: the ideal baseline never drops more than the same
+  // scheduler under failures + resilience overhead.
+  WorkloadStudyConfig study;
+  study.machine = MachineSpec::exascale();
+  study.workload.machine_nodes = study.machine.node_count;
+  study.workload.arrival_count = 15;
+  study.patterns = 2;
+
+  const auto results = run_workload_study(
+      study,
+      {WorkloadCombo{SchedulerKind::kFcfs, TechniquePolicy::ideal_baseline()},
+       WorkloadCombo{SchedulerKind::kFcfs,
+                     TechniquePolicy::fixed_technique(TechniqueKind::kCheckpointRestart)},
+       WorkloadCombo{SchedulerKind::kFcfs,
+                     TechniquePolicy::fixed_technique(TechniqueKind::kParallelRecovery)}});
+  ASSERT_EQ(results.size(), 3U);
+  const double ideal = results[0].dropped_fraction.mean;
+  EXPECT_LE(ideal, results[1].dropped_fraction.mean + 1e-9);
+  EXPECT_LE(ideal, results[2].dropped_fraction.mean + 1e-9);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,94 @@
+// Tests for the occupancy log and its integration with the workload
+// engine.
+
+#include <gtest/gtest.h>
+
+#include "core/occupancy.hpp"
+#include "core/workload_engine.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+TimePoint at_h(double hours) { return TimePoint::at(Duration::hours(hours)); }
+
+TEST(OccupancyLog, RecordsAndClosesSpans) {
+  OccupancyLog log;
+  log.record_start(JobId{1}, NodeRange{0, 100}, at_h(0.0));
+  log.record_start(JobId{2}, NodeRange{100, 50}, at_h(1.0));
+  EXPECT_TRUE(log.has_open_spans());
+  log.record_end(JobId{1}, at_h(3.0), /*completed=*/true);
+  log.record_end(JobId{2}, at_h(2.0), /*completed=*/false);
+  EXPECT_FALSE(log.has_open_spans());
+
+  ASSERT_EQ(log.spans().size(), 2U);
+  EXPECT_EQ(log.spans()[0].id, JobId{1});  // sorted by start
+  EXPECT_TRUE(log.spans()[0].completed);
+  EXPECT_FALSE(log.spans()[1].completed);
+  EXPECT_DOUBLE_EQ(log.spans()[0].length().to_hours(), 3.0);
+  // 100 nodes x 3 h + 50 nodes x 1 h.
+  EXPECT_DOUBLE_EQ(log.busy_node_seconds(), (300.0 + 50.0) * 3600.0);
+}
+
+TEST(OccupancyLog, RejectsBadUsage) {
+  OccupancyLog log;
+  log.record_start(JobId{1}, NodeRange{0, 10}, at_h(1.0));
+  EXPECT_THROW(log.record_start(JobId{1}, NodeRange{10, 10}, at_h(2.0)), CheckError);
+  EXPECT_THROW(log.record_end(JobId{2}, at_h(2.0), true), CheckError);
+  EXPECT_THROW(log.record_end(JobId{1}, at_h(0.5), true), CheckError);
+  EXPECT_THROW(log.record_start(JobId{3}, NodeRange{0, 0}, at_h(1.0)), CheckError);
+}
+
+TEST(OccupancyLog, RenderShowsLoadGradient) {
+  OccupancyLog log;
+  // Full machine for the first half of the window, empty after.
+  log.record_start(JobId{1}, NodeRange{0, 100}, at_h(0.0));
+  log.record_end(JobId{1}, at_h(5.0), true);
+  const std::string chart = log.render(100, at_h(10.0), /*width=*/10, /*rows=*/2);
+  // First half columns are solid '#', second half blank.
+  const std::size_t first_row = chart.find('\n');
+  const std::string row = chart.substr(0, first_row);
+  EXPECT_EQ(row, "|#####     |");
+}
+
+TEST(OccupancyLog, EmptyRenderIsBlank) {
+  OccupancyLog log;
+  const std::string chart = log.render(10, at_h(1.0), 8, 2);
+  EXPECT_NE(chart.find("|        |"), std::string::npos);
+}
+
+TEST(OccupancyLog, EngineRecordsWhenEnabled) {
+  ArrivalPattern pattern;
+  Job job;
+  job.id = JobId{1};
+  job.spec = AppSpec::from_baseline(app_type_by_name("A32"), 100, Duration::hours(3.0));
+  job.arrival = TimePoint::origin();
+  job.deadline = at_h(100.0);
+  pattern.jobs.push_back(job);
+
+  WorkloadEngineConfig config;
+  config.machine = MachineSpec::testbed(1000);
+  config.policy = TechniquePolicy::ideal_baseline();
+  config.record_occupancy = true;
+  const WorkloadRunResult result = run_workload(config, pattern);
+  ASSERT_EQ(result.occupancy.spans().size(), 1U);
+  const JobSpan& span = result.occupancy.spans()[0];
+  EXPECT_EQ(span.nodes.count, 100U);
+  EXPECT_TRUE(span.completed);
+  EXPECT_DOUBLE_EQ(span.length().to_hours(), 3.0);
+  EXPECT_FALSE(result.occupancy.has_open_spans());
+
+  // The occupancy integral must agree with the engine's utilization.
+  const double machine_seconds =
+      static_cast<double>(config.machine.node_count) * result.makespan.to_seconds();
+  EXPECT_NEAR(result.occupancy.busy_node_seconds() / machine_seconds,
+              result.mean_utilization, 1e-9);
+
+  // Disabled by default.
+  WorkloadEngineConfig quiet = config;
+  quiet.record_occupancy = false;
+  EXPECT_TRUE(run_workload(quiet, pattern).occupancy.spans().empty());
+}
+
+}  // namespace
+}  // namespace xres

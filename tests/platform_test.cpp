@@ -1,0 +1,231 @@
+// Unit and property tests for the platform model: machine spec, the
+// paper's transfer-time equations (Eqs. 3, 5, 6), the contiguous
+// allocator, and the machine allocation index.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/allocator.hpp"
+#include "platform/machine.hpp"
+#include "platform/spec.hpp"
+#include "platform/transfer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+namespace {
+
+TEST(MachineSpec, ExascaleDefaultsMatchPaper) {
+  const MachineSpec spec = MachineSpec::exascale();
+  EXPECT_EQ(spec.node_count, 120000U);
+  EXPECT_DOUBLE_EQ(spec.node.tflops, 12.0);
+  EXPECT_EQ(spec.node.cores, 1028U);
+  EXPECT_DOUBLE_EQ(spec.node.memory.to_gigabytes(), 128.0);
+  EXPECT_DOUBLE_EQ(spec.node.memory_bandwidth.to_gigabytes_per_second(), 320.0);
+  EXPECT_DOUBLE_EQ(spec.network.latency.to_seconds(), 5e-7);
+  EXPECT_DOUBLE_EQ(spec.network.bandwidth.to_gigabytes_per_second(), 600.0);
+  EXPECT_EQ(spec.network.switch_connections, 12U);
+  // 120,000 × 12 TFLOPS = 1.44 EFLOPS; ~123 M cores.
+  EXPECT_NEAR(spec.total_pflops(), 1440.0, 1e-9);
+  EXPECT_EQ(spec.total_cores(), 123360000ULL);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(MachineSpec, ValidationCatchesBadValues) {
+  MachineSpec spec = MachineSpec::exascale();
+  spec.node_count = 0;
+  EXPECT_THROW(spec.validate(), CheckError);
+  spec = MachineSpec::exascale();
+  spec.network.switch_connections = 0;
+  EXPECT_THROW(spec.validate(), CheckError);
+}
+
+TEST(Transfer, Equation3PfsCheckpointTime) {
+  // T_C_PFS = (N_m/B_N)(N_a/N_S): 32 GB, full machine -> 533.3 s;
+  // 64 GB -> 1066.7 s (the paper's "17-35 min" scale).
+  const MachineSpec spec = MachineSpec::exascale();
+  const Duration t32 =
+      pfs_checkpoint_time(DataSize::gigabytes(32.0), 120000, spec.network);
+  EXPECT_NEAR(t32.to_seconds(), 32.0 / 600.0 * 120000.0 / 12.0, 1e-9);
+  const Duration t64 =
+      pfs_checkpoint_time(DataSize::gigabytes(64.0), 120000, spec.network);
+  EXPECT_NEAR(t64.to_minutes(), 17.78, 0.01);
+  // Linear in application size (PFS contention).
+  const Duration half = pfs_checkpoint_time(DataSize::gigabytes(64.0), 60000, spec.network);
+  EXPECT_NEAR(t64 / half, 2.0, 1e-12);
+}
+
+TEST(Transfer, Equation5LocalMemoryCheckpointTime) {
+  const MachineSpec spec = MachineSpec::exascale();
+  // 32 GB at 320 GB/s = 0.1 s, independent of application size.
+  EXPECT_NEAR(
+      local_memory_checkpoint_time(DataSize::gigabytes(32.0), spec.node).to_seconds(),
+      0.1, 1e-12);
+  EXPECT_NEAR(
+      local_memory_checkpoint_time(DataSize::gigabytes(64.0), spec.node).to_seconds(),
+      0.2, 1e-12);
+}
+
+TEST(Transfer, Equation6PartnerCopyCheckpointTime) {
+  const MachineSpec spec = MachineSpec::exascale();
+  // 2 × (0.1 + 0.5 µs + 0.1) s.
+  const Duration t =
+      partner_copy_checkpoint_time(DataSize::gigabytes(32.0), spec.node, spec.network);
+  EXPECT_NEAR(t.to_seconds(), 2.0 * (0.1 + 5e-7 + 0.1), 1e-12);
+}
+
+TEST(Allocator, FirstFitLowestAddress) {
+  NodeAllocator alloc{100};
+  const auto a = alloc.allocate(10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->first, 0U);
+  const auto b = alloc.allocate(20);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->first, 10U);
+  alloc.release(*a);
+  // A 10-node hole exists at 0; an 8-node request takes it (first fit).
+  const auto c = alloc.allocate(8);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->first, 0U);
+  // An 11-node request skips the remaining 2-node hole.
+  const auto d = alloc.allocate(11);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->first, 30U);
+  alloc.validate();
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt) {
+  NodeAllocator alloc{10};
+  EXPECT_TRUE(alloc.allocate(10).has_value());
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+  EXPECT_EQ(alloc.free_count(), 0U);
+  EXPECT_EQ(alloc.busy_count(), 10U);
+}
+
+TEST(Allocator, CoalescingMergesNeighbors) {
+  NodeAllocator alloc{30};
+  const auto a = alloc.allocate(10);
+  const auto b = alloc.allocate(10);
+  const auto c = alloc.allocate(10);
+  ASSERT_TRUE(a && b && c);
+  alloc.release(*a);
+  alloc.release(*c);
+  EXPECT_EQ(alloc.largest_free_block(), 10U);
+  alloc.release(*b);  // merges all three into one block
+  EXPECT_EQ(alloc.largest_free_block(), 30U);
+  alloc.validate();
+}
+
+TEST(Allocator, DoubleFreeAndOverlapDetected) {
+  NodeAllocator alloc{20};
+  const auto a = alloc.allocate(10);
+  ASSERT_TRUE(a.has_value());
+  alloc.release(*a);
+  EXPECT_THROW(alloc.release(*a), CheckError);
+  EXPECT_THROW(alloc.release(NodeRange{15, 10}), CheckError);  // beyond capacity
+}
+
+TEST(Allocator, IsFreeTracksState) {
+  NodeAllocator alloc{10};
+  const auto a = alloc.allocate(4);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(alloc.is_free(0));
+  EXPECT_FALSE(alloc.is_free(3));
+  EXPECT_TRUE(alloc.is_free(4));
+  EXPECT_THROW((void)alloc.is_free(10), CheckError);
+}
+
+class AllocatorRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorRandomOps, InvariantsHoldUnderRandomWorkload) {
+  // Property test: random allocate/release sequences preserve the
+  // allocator invariants and never hand out overlapping ranges.
+  Pcg32 rng{GetParam()};
+  NodeAllocator alloc{500};
+  std::vector<NodeRange> held;
+  for (int step = 0; step < 2000; ++step) {
+    if (held.empty() || rng.bernoulli(0.55)) {
+      const auto count = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+      const auto range = alloc.allocate(count);
+      if (range.has_value()) {
+        for (const NodeRange& other : held) {
+          EXPECT_TRUE(range->end() <= other.first || other.end() <= range->first)
+              << "overlapping allocation";
+        }
+        held.push_back(*range);
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint32_t>(held.size())));
+      alloc.release(held[idx]);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+    alloc.validate();
+    std::uint32_t held_total = 0;
+    for (const NodeRange& r : held) held_total += r.count;
+    EXPECT_EQ(alloc.busy_count(), held_total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorRandomOps,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL));
+
+TEST(Machine, AllocateReleaseAndIndexes) {
+  Machine machine{MachineSpec::testbed(100)};
+  const auto r1 = machine.allocate(30, OwnerId{1});
+  const auto r2 = machine.allocate(50, OwnerId{2});
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(machine.busy_nodes(), 80U);
+  EXPECT_EQ(machine.allocation_count(), 2U);
+  EXPECT_EQ(machine.allocation_of(OwnerId{1}), r1);
+  EXPECT_FALSE(machine.allocation_of(OwnerId{3}).has_value());
+  EXPECT_FALSE(machine.allocate(30, OwnerId{3}).has_value());
+  machine.validate();
+  machine.release(OwnerId{1});
+  EXPECT_EQ(machine.busy_nodes(), 50U);
+  EXPECT_THROW(machine.release(OwnerId{1}), CheckError);
+  machine.validate();
+}
+
+TEST(Machine, OwnerCannotDoubleAllocate) {
+  Machine machine{MachineSpec::testbed(100)};
+  ASSERT_TRUE(machine.allocate(10, OwnerId{7}).has_value());
+  EXPECT_THROW(machine.allocate(10, OwnerId{7}), CheckError);
+}
+
+TEST(Machine, VictimSelectionUniformOverBusyNodes) {
+  Machine machine{MachineSpec::testbed(100)};
+  ASSERT_TRUE(machine.allocate(20, OwnerId{1}).has_value());  // nodes 0-19
+  ASSERT_TRUE(machine.allocate(60, OwnerId{2}).has_value());  // nodes 20-79
+  Pcg32 rng{11};
+  int hits_owner1 = 0;
+  std::set<std::uint32_t> nodes_seen;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto victim = machine.pick_random_busy_node(rng);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_LT(victim->node, 80U);
+    nodes_seen.insert(victim->node);
+    if (victim->owner == OwnerId{1}) {
+      EXPECT_LT(victim->node, 20U);
+      ++hits_owner1;
+    } else {
+      EXPECT_EQ(victim->owner, OwnerId{2});
+      EXPECT_GE(victim->node, 20U);
+    }
+  }
+  // Owner 1 holds 25% of busy nodes.
+  EXPECT_NEAR(static_cast<double>(hits_owner1) / n, 0.25, 0.02);
+  EXPECT_GT(nodes_seen.size(), 70U);  // nearly every busy node gets hit
+}
+
+TEST(Machine, NoVictimWhenIdle) {
+  Machine machine{MachineSpec::testbed(10)};
+  Pcg32 rng{1};
+  EXPECT_FALSE(machine.pick_random_busy_node(rng).has_value());
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,190 @@
+// Unit and property tests for checkpoint-interval optimization: Daly's
+// closed form (Eq. 4), the generic golden-section optimizer, and the
+// multilevel schedule optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resilience/interval.hpp"
+#include "resilience/multilevel.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+TEST(Daly, MatchesEquationFour) {
+  // τ = sqrt(2 T_C / λ) − T_C with T_C = 600 s, MTBF = 1 h.
+  const Duration cost = Duration::seconds(600.0);
+  const Rate lambda = Rate::one_per(Duration::hours(1.0));
+  const double expected = std::sqrt(2.0 * 600.0 / lambda.per_second_value()) - 600.0;
+  EXPECT_NEAR(daly_interval(cost, lambda).to_seconds(), expected, 1e-9);
+}
+
+TEST(Daly, ClampsWhenCheckpointDominates) {
+  // When T_C is comparable to the MTBF, Eq. 4 goes non-positive; we clamp
+  // to a small positive interval so the simulation can proceed (and
+  // predictably thrash, as the paper observes at exascale).
+  const Duration cost = Duration::hours(2.0);
+  const Rate lambda = Rate::one_per(Duration::hours(1.0));
+  const Duration tau = daly_interval(cost, lambda);
+  EXPECT_GT(tau, Duration::zero());
+  EXPECT_DOUBLE_EQ(tau.to_seconds(), cost.to_seconds() / 10.0);
+}
+
+TEST(Daly, RejectsBadInputs) {
+  EXPECT_THROW((void)daly_interval(Duration::zero(), Rate::per_hour(1.0)), CheckError);
+  EXPECT_THROW((void)daly_interval(Duration::seconds(10.0), Rate::zero()), CheckError);
+}
+
+TEST(CheckpointOverhead, FirstOrderFormula) {
+  // g(τ) = C/τ + λ(τ/2 + R).
+  const auto hazard = [](Duration) { return Rate::per_hour(1.0); };
+  const double g = checkpoint_overhead(Duration::minutes(30.0), Duration::minutes(5.0),
+                                       Duration::minutes(10.0), hazard);
+  const double lambda = 1.0 / 3600.0;
+  EXPECT_NEAR(g, 300.0 / 1800.0 + lambda * (900.0 + 600.0), 1e-12);
+}
+
+struct DalyCase {
+  double cost_seconds;
+  double mtbf_hours;
+};
+
+class IntervalOptimality : public ::testing::TestWithParam<DalyCase> {};
+
+TEST_P(IntervalOptimality, NumericOptimumBeatsNeighborsAndMatchesTheory) {
+  // With a constant hazard, g(τ) = C/τ + λ(τ/2 + R) is minimized exactly at
+  // τ* = sqrt(2C/λ). The numeric optimizer must find it, and it must be a
+  // local (in fact global) minimum.
+  const auto [cost_s, mtbf_h] = GetParam();
+  const Duration cost = Duration::seconds(cost_s);
+  const Rate lambda = Rate::one_per(Duration::hours(mtbf_h));
+  const auto hazard = [lambda](Duration) { return lambda; };
+
+  const IntervalOptimum opt = optimize_interval(cost, cost, hazard);
+  const double theory = std::sqrt(2.0 * cost_s / lambda.per_second_value());
+  EXPECT_NEAR(opt.interval.to_seconds() / theory, 1.0, 1e-3);
+
+  const double at_opt = checkpoint_overhead(opt.interval, cost, cost, hazard);
+  EXPECT_LE(at_opt, checkpoint_overhead(opt.interval * 0.7, cost, cost, hazard));
+  EXPECT_LE(at_opt, checkpoint_overhead(opt.interval * 1.4, cost, cost, hazard));
+  EXPECT_NEAR(opt.overhead, at_opt, 1e-12);
+
+  // Daly's closed form (which subtracts C) is near-optimal under this
+  // model: within a few percent of the numeric optimum's overhead.
+  const Duration daly = daly_interval(cost, lambda);
+  const double at_daly = checkpoint_overhead(daly, cost, cost, hazard);
+  EXPECT_LE(at_opt, at_daly * (1.0 + 1e-9));
+  if (cost_s < Duration::hours(mtbf_h).to_seconds() / 10.0) {
+    EXPECT_LT(at_daly / at_opt, 1.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntervalOptimality,
+    ::testing::Values(DalyCase{30.0, 24.0}, DalyCase{600.0, 1.0},
+                      DalyCase{600.0, 24.0}, DalyCase{1067.0, 0.73},
+                      DalyCase{5.0, 100.0}, DalyCase{3600.0, 2000.0}));
+
+TEST(IntervalOptimizer, GrowingHazardShortensInterval) {
+  // Redundancy-style hazard λ(τ) = a + b·τ must yield a shorter interval
+  // than the constant hazard λ = a + b·τ*_const evaluated at the constant
+  // optimum — sanity of the direction of the effect.
+  const Duration cost = Duration::seconds(500.0);
+  const double a = 1e-6;
+  const double b = 1e-9;
+  const auto affine = [&](Duration tau) {
+    return Rate::per_second(a + b * tau.to_seconds());
+  };
+  const auto constant = [&](Duration) { return Rate::per_second(a); };
+  const IntervalOptimum with_growth = optimize_interval(cost, cost, affine);
+  const IntervalOptimum without = optimize_interval(cost, cost, constant);
+  EXPECT_LT(with_growth.interval, without.interval);
+  EXPECT_GT(with_growth.overhead, without.overhead);
+}
+
+TEST(Multilevel, SingleLevelDegeneratesToConstantHazardOptimum) {
+  // One level with rate λ: optimal quantum must equal sqrt(2C/λ).
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(600.0), Duration::seconds(600.0), 1}};
+  const Rate lambda = Rate::one_per(Duration::hours(10.0));
+  const MultilevelSchedule schedule = optimize_multilevel(levels, {lambda}, 128);
+  const double theory = std::sqrt(2.0 * 600.0 / lambda.per_second_value());
+  EXPECT_NEAR(schedule.quantum.to_seconds() / theory, 1.0, 1e-9);
+  EXPECT_EQ(schedule.nesting, (std::vector<int>{1}));
+}
+
+TEST(Multilevel, OverheadFormulaMatchesHandComputation) {
+  // Two levels, nesting {2,1}: per top period of 2 quanta there is one L1
+  // and one L2 checkpoint; P_1 = w, P_2 = 2w.
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(10.0), Duration::seconds(20.0), 1},
+      CheckpointLevelSpec{Duration::seconds(100.0), Duration::seconds(200.0), 2}};
+  const std::vector<Rate> rates{Rate::per_second(1e-5), Rate::per_second(1e-6)};
+  const Duration w = Duration::seconds(1000.0);
+  const double g = multilevel_overhead(w, {2, 1}, levels, rates);
+  const double expected = (10.0 + 100.0) / 2000.0          // checkpoint cost per work
+                          + 1e-5 * (500.0 + 20.0)          // L1 rework + restart
+                          + 1e-6 * (1000.0 + 200.0);       // L2 rework + restart
+  EXPECT_NEAR(g, expected, 1e-12);
+}
+
+TEST(Multilevel, OptimizerBeatsTopLevelOnlySchedule) {
+  // The optimized 3-level schedule must not be worse than checkpointing
+  // exclusively at the most durable level (the CR-style degenerate
+  // schedule with nesting {1,1,1} and the Daly quantum).
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(0.1), Duration::seconds(0.1), 1},
+      CheckpointLevelSpec{Duration::seconds(0.4), Duration::seconds(0.4), 2},
+      CheckpointLevelSpec{Duration::seconds(533.0), Duration::seconds(533.0), 3}};
+  const Rate total = Rate::one_per(Duration::minutes(44.0));
+  const std::vector<Rate> rates{total * 0.55, total * 0.35, total * 0.10};
+
+  const MultilevelSchedule best = optimize_multilevel(levels, rates, 128);
+
+  const Duration daly_w = daly_interval(levels[2].save_cost, total);
+  const double cr_style = multilevel_overhead(daly_w, {1, 1, 1}, levels, rates);
+  EXPECT_LT(best.overhead, cr_style);
+  // With cheap low levels absorbing 90% of failures, the win is large.
+  EXPECT_LT(best.overhead, 0.5 * cr_style);
+  // The optimizer should actually use the hierarchy.
+  EXPECT_GT(best.nesting[0] * best.nesting[1], 1);
+}
+
+TEST(Multilevel, OptimizerQuantumIsLocallyOptimal) {
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(0.2), Duration::seconds(0.2), 1},
+      CheckpointLevelSpec{Duration::seconds(0.8), Duration::seconds(0.8), 2},
+      CheckpointLevelSpec{Duration::seconds(1000.0), Duration::seconds(1000.0), 3}};
+  const Rate total = Rate::per_hour(1.0);
+  const std::vector<Rate> rates{total * 0.6, total * 0.3, total * 0.1};
+  const MultilevelSchedule best = optimize_multilevel(levels, rates, 128);
+  const double at_best =
+      multilevel_overhead(best.quantum, best.nesting, levels, rates);
+  EXPECT_LE(at_best,
+            multilevel_overhead(best.quantum * 0.8, best.nesting, levels, rates));
+  EXPECT_LE(at_best,
+            multilevel_overhead(best.quantum * 1.25, best.nesting, levels, rates));
+  EXPECT_NEAR(best.overhead, at_best, 1e-12);
+}
+
+TEST(Multilevel, NoFailuresMeansRareCheckpoints) {
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(1.0), Duration::seconds(1.0), 1}};
+  const MultilevelSchedule schedule =
+      optimize_multilevel(levels, {Rate::zero()}, 16);
+  EXPECT_GT(schedule.quantum, Duration::days(300.0));
+}
+
+TEST(Multilevel, RejectsMismatchedInputs) {
+  const std::vector<CheckpointLevelSpec> levels{
+      CheckpointLevelSpec{Duration::seconds(1.0), Duration::seconds(1.0), 1}};
+  EXPECT_THROW(optimize_multilevel(levels, {}, 16), CheckError);
+  EXPECT_THROW(optimize_multilevel({}, {}, 16), CheckError);
+  EXPECT_THROW((void)multilevel_overhead(Duration::zero(), {1}, levels, {Rate::zero()}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace xres

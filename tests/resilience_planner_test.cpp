@@ -1,0 +1,280 @@
+// Unit tests for the per-technique planners (Section IV models), the plan
+// odometer, the analytic efficiency predictor, and Resilience Selection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/app_type.hpp"
+#include "platform/transfer.hpp"
+#include "resilience/analytic.hpp"
+#include "resilience/planner.hpp"
+#include "resilience/selector.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+AppSpec make_app(const std::string& type, std::uint32_t nodes,
+                 std::uint64_t steps = 1440) {
+  return AppSpec{app_type_by_name(type), nodes, steps};
+}
+
+// Local helper mirroring Eq. 4 (with the planner's clamp).
+double daly_interval_expected(double c, double lambda) {
+  return std::max(std::sqrt(2.0 * c / lambda) - c, c / 10.0);
+}
+
+TEST(Planner, CheckpointRestartUsesEquations3And4) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const AppSpec app = make_app("A32", 120000);
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kCheckpointRestart, app, machine, config);
+
+  ASSERT_EQ(plan.levels.size(), 1U);
+  const Duration expected_cost =
+      pfs_checkpoint_time(DataSize::gigabytes(32.0), 120000, machine.network);
+  EXPECT_DOUBLE_EQ(plan.levels[0].save_cost.to_seconds(), expected_cost.to_seconds());
+  EXPECT_DOUBLE_EQ(plan.levels[0].restore_cost.to_seconds(), expected_cost.to_seconds());
+  EXPECT_EQ(plan.levels[0].coverage, 3);
+
+  // λ_a = N_a / M_n; τ from Eq. 4.
+  const Rate lambda = Rate::one_per(Duration::years(10.0)) * 120000.0;
+  EXPECT_DOUBLE_EQ(plan.failure_rate.per_second_value(), lambda.per_second_value());
+  EXPECT_NEAR(plan.checkpoint_quantum.to_seconds(),
+              daly_interval_expected(expected_cost.to_seconds(),
+                                     lambda.per_second_value()),
+              1e-6);
+  EXPECT_DOUBLE_EQ(plan.work_target.to_seconds(), plan.baseline.to_seconds());
+  EXPECT_TRUE(plan.rollback_on_failure);
+  EXPECT_TRUE(plan.feasible);
+}
+
+TEST(Planner, MultilevelBuildsThreeOrderedLevels) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const AppSpec app = make_app("D64", 30000);
+  const ExecutionPlan plan = make_plan(TechniqueKind::kMultilevel, app, machine, config);
+
+  ASSERT_EQ(plan.levels.size(), 3U);
+  // L1 (RAM) < L2 (partner) < L3 (PFS) in cost; coverage 1 < 2 < 3.
+  EXPECT_LT(plan.levels[0].save_cost, plan.levels[1].save_cost);
+  EXPECT_LT(plan.levels[1].save_cost, plan.levels[2].save_cost);
+  EXPECT_EQ(plan.levels[0].coverage, 1);
+  EXPECT_EQ(plan.levels[1].coverage, 2);
+  EXPECT_EQ(plan.levels[2].coverage, 3);
+  EXPECT_NEAR(plan.levels[0].save_cost.to_seconds(), 0.2, 1e-9);  // 64 GB / 320 GB/s
+  // The optimizer nests multiple cheap checkpoints per expensive one.
+  EXPECT_GE(plan.nesting[0], 1);
+  EXPECT_GE(plan.nesting[1], 1);
+  EXPECT_GT(plan.nesting[0] * plan.nesting[1], 1);
+}
+
+TEST(Planner, ParallelRecoveryAppliesEquations6And7) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const AppSpec app = make_app("D64", 10000);
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kParallelRecovery, app, machine, config);
+
+  // µ = 1 + 0.75/10 = 1.075 (Eq. 7).
+  EXPECT_NEAR(message_logging_slowdown(app.type, config), 1.075, 1e-12);
+  EXPECT_NEAR(plan.work_target / plan.baseline, 1.075, 1e-12);
+
+  // In-memory partner-copy checkpoints (Eq. 6), NOT PFS.
+  const Duration expected_cost =
+      partner_copy_checkpoint_time(DataSize::gigabytes(64.0), machine.node, machine.network);
+  EXPECT_DOUBLE_EQ(plan.levels.at(0).save_cost.to_seconds(), expected_cost.to_seconds());
+  EXPECT_FALSE(plan.rollback_on_failure);
+  EXPECT_DOUBLE_EQ(plan.recovery_parallelism, 4.0);
+}
+
+TEST(Planner, ParallelRecoverySlowdownGrowsWithCommunication) {
+  const ResilienceConfig config;
+  EXPECT_DOUBLE_EQ(message_logging_slowdown(app_type_by_name("A32"), config), 1.0);
+  EXPECT_DOUBLE_EQ(message_logging_slowdown(app_type_by_name("B32"), config), 1.025);
+  EXPECT_DOUBLE_EQ(message_logging_slowdown(app_type_by_name("C32"), config), 1.05);
+  EXPECT_DOUBLE_EQ(message_logging_slowdown(app_type_by_name("D32"), config), 1.075);
+}
+
+TEST(Planner, RedundancyNodeCountsAndStretch) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const AppSpec app = make_app("C32", 10000);
+
+  const ExecutionPlan partial =
+      make_plan(TechniqueKind::kRedundancyPartial, app, machine, config);
+  EXPECT_EQ(partial.physical_nodes, 15000U);
+  EXPECT_DOUBLE_EQ(partial.replication_degree, 1.5);
+  // Eq. 8 stretch: T_W + r·T_C = 0.5 + 1.5 × 0.5 = 1.25.
+  EXPECT_NEAR(partial.work_target / partial.baseline, 1.25, 1e-12);
+  // Raw failures arrive over all physical nodes.
+  EXPECT_DOUBLE_EQ(partial.failure_rate.per_second_value(),
+                   15000.0 / Duration::years(10.0).to_seconds());
+
+  const ExecutionPlan full = make_plan(TechniqueKind::kRedundancyFull, app, machine, config);
+  EXPECT_EQ(full.physical_nodes, 20000U);
+  EXPECT_NEAR(full.work_target / full.baseline, 1.5, 1e-12);
+  // Full duplication tolerates longer intervals than partial (its fatal
+  // hazard lacks the constant singles term).
+  EXPECT_GT(full.checkpoint_quantum, partial.checkpoint_quantum);
+}
+
+TEST(Planner, RedundancyInfeasibleAboveMachineCapacity) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  // 100% of the machine cannot be duplicated.
+  const ExecutionPlan full =
+      make_plan(TechniqueKind::kRedundancyFull, make_app("A32", 120000), machine, config);
+  EXPECT_FALSE(full.feasible);
+  // 75% cannot be hosted at r = 1.5 either (needs 135,000 nodes).
+  const ExecutionPlan partial = make_plan(TechniqueKind::kRedundancyPartial,
+                                          make_app("A32", 90000), machine, config);
+  EXPECT_FALSE(partial.feasible);
+  // 50% at r = 1.5 fits exactly at 90,000 physical nodes.
+  const ExecutionPlan fits = make_plan(TechniqueKind::kRedundancyPartial,
+                                       make_app("A32", 60000), machine, config);
+  EXPECT_TRUE(fits.feasible);
+  EXPECT_EQ(fits.physical_nodes, 90000U);
+}
+
+TEST(Planner, NonePlanHasNoOverheadMachinery) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kNone, make_app("B64", 5000), machine, config);
+  EXPECT_TRUE(plan.levels.empty());
+  EXPECT_EQ(plan.failure_rate, Rate::zero());
+  EXPECT_FALSE(plan.checkpoint_quantum.is_finite());
+  EXPECT_DOUBLE_EQ(plan.work_target.to_seconds(), plan.baseline.to_seconds());
+}
+
+TEST(Plan, OdometerSchedulesLevels) {
+  ExecutionPlan plan;
+  plan.levels = {CheckpointLevelSpec{Duration::seconds(1.0), Duration::seconds(1.0), 1},
+                 CheckpointLevelSpec{Duration::seconds(2.0), Duration::seconds(2.0), 2},
+                 CheckpointLevelSpec{Duration::seconds(3.0), Duration::seconds(3.0), 3}};
+  plan.nesting = {3, 2, 1};
+  // Pattern with n1=3, n2=2: checkpoints 1,2 -> L1; 3 -> L2; 4,5 -> L1;
+  // 6 -> L3; repeats.
+  EXPECT_EQ(plan.level_index_for_checkpoint(1), 0U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(2), 0U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(3), 1U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(4), 0U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(5), 0U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(6), 2U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(7), 0U);
+  EXPECT_EQ(plan.level_index_for_checkpoint(12), 2U);
+}
+
+TEST(Plan, RecoveryLevelRespectsCoverage) {
+  ExecutionPlan plan;
+  plan.levels = {CheckpointLevelSpec{Duration::seconds(1.0), Duration::seconds(1.0), 1},
+                 CheckpointLevelSpec{Duration::seconds(2.0), Duration::seconds(2.0), 3}};
+  plan.nesting = {2, 1};
+  EXPECT_EQ(plan.recovery_level_for(1), 0U);
+  EXPECT_EQ(plan.recovery_level_for(2), 1U);
+  EXPECT_EQ(plan.recovery_level_for(3), 1U);
+  EXPECT_THROW((void)plan.recovery_level_for(4), CheckError);
+}
+
+TEST(Analytic, PredictionsAreProbabilities) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  for (const AppType& type : all_app_types()) {
+    for (TechniqueKind kind : evaluated_techniques()) {
+      for (std::uint32_t nodes : {1200U, 30000U, 120000U}) {
+        const ExecutionPlan plan =
+            make_plan(kind, AppSpec{type, nodes, 1440}, machine, config);
+        const double eff = predict_efficiency(plan, config);
+        EXPECT_GE(eff, 0.0) << type.name << " " << to_string(kind);
+        EXPECT_LE(eff, 1.0) << type.name << " " << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Analytic, EfficiencyDegradesWithScaleForCheckpointRestart) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  double prev = 1.0;
+  for (std::uint32_t nodes : {1200U, 12000U, 60000U, 120000U}) {
+    const ExecutionPlan plan = make_plan(TechniqueKind::kCheckpointRestart,
+                                         make_app("A32", nodes), machine, config);
+    const double eff = predict_efficiency(plan, config);
+    EXPECT_LT(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Analytic, InfeasiblePlansPredictZero) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const ExecutionPlan plan = make_plan(TechniqueKind::kRedundancyFull,
+                                       make_app("A32", 120000), machine, config);
+  EXPECT_DOUBLE_EQ(predict_efficiency(plan, config), 0.0);
+  EXPECT_FALSE(predict_wall_time(plan, config).is_finite());
+}
+
+TEST(Analytic, WallTimePredictionConsistent) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const ExecutionPlan plan = make_plan(TechniqueKind::kMultilevel,
+                                       make_app("B32", 12000), machine, config);
+  const double eff = predict_efficiency(plan, config);
+  const Duration wall = predict_wall_time(plan, config);
+  EXPECT_NEAR(plan.baseline / wall, eff, 1e-9);
+}
+
+TEST(Selector, PicksParallelRecoveryForLowCommAtScale) {
+  // Figure 1's headline: PR dominates for A-class applications at every
+  // size, so the selector must pick it at exascale.
+  const ResilienceSelector selector{MachineSpec::exascale(), ResilienceConfig{}};
+  const auto selection = selector.select(make_app("A32", 120000));
+  EXPECT_EQ(selection.kind, TechniqueKind::kParallelRecovery);
+  EXPECT_GT(selection.predicted_efficiency, 0.0);
+  EXPECT_TRUE(selection.plan.feasible);
+}
+
+TEST(Selector, DefaultsToWorkloadTechniques) {
+  const ResilienceSelector selector{MachineSpec::exascale(), ResilienceConfig{}};
+  ASSERT_EQ(selector.candidates().size(), 3U);
+  for (TechniqueKind kind : selector.candidates()) {
+    EXPECT_NE(kind, TechniqueKind::kRedundancyPartial);
+    EXPECT_NE(kind, TechniqueKind::kRedundancyFull);
+    EXPECT_NE(kind, TechniqueKind::kNone);
+  }
+}
+
+TEST(Selector, SelectionNeverWorseThanAnyFixedCandidate) {
+  const ResilienceSelector selector{MachineSpec::exascale(), ResilienceConfig{}};
+  for (const AppType& type : all_app_types()) {
+    for (std::uint32_t nodes : {1200U, 30000U, 120000U}) {
+      const AppSpec app{type, nodes, 1440};
+      const auto selection = selector.select(app);
+      for (TechniqueKind kind : selector.candidates()) {
+        EXPECT_GE(selection.predicted_efficiency + 1e-12,
+                  selector.predicted_efficiency(app, kind))
+            << type.name << " @ " << nodes << " vs " << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Selector, RejectsNoneCandidate) {
+  EXPECT_THROW(ResilienceSelector(MachineSpec::exascale(), ResilienceConfig{},
+                                  {TechniqueKind::kNone}),
+               CheckError);
+}
+
+TEST(TechniqueNames, RoundTrip) {
+  for (TechniqueKind kind : evaluated_techniques()) {
+    EXPECT_EQ(technique_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)technique_from_string("raid0"), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

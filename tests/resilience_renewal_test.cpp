@@ -1,0 +1,138 @@
+// Tests for the exact renewal-theory expectations and the higher-order
+// Daly interval, including convergence of the event-driven simulator to
+// the closed-form expectation (a strong end-to-end correctness check).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/single_app_study.hpp"
+#include "resilience/interval.hpp"
+#include "resilience/renewal.hpp"
+#include "util/stats.hpp"
+
+namespace xres {
+namespace {
+
+TEST(Renewal, NoFailuresIsDeterministic) {
+  EXPECT_DOUBLE_EQ(
+      expected_restart_time(Duration::seconds(30.0), Rate::zero()).to_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      expected_segment_time(Duration::seconds(100.0), Duration::seconds(30.0), Rate::zero())
+          .to_seconds(),
+      100.0);
+  // 100 s of work, τ = 10 s, save 2 s: 9 checkpointed segments + tail.
+  EXPECT_DOUBLE_EQ(
+      expected_completion_time_exact(Duration::seconds(100.0), Duration::seconds(10.0),
+                                     Duration::seconds(2.0), Duration::seconds(3.0),
+                                     Rate::zero())
+          .to_seconds(),
+      118.0);
+}
+
+TEST(Renewal, RestartExpectationMatchesFormula) {
+  const Rate lambda = Rate::per_second(0.01);
+  const Duration restore = Duration::seconds(50.0);
+  // E = (e^{λR} - 1)/λ.
+  EXPECT_NEAR(expected_restart_time(restore, lambda).to_seconds(),
+              (std::exp(0.01 * 50.0) - 1.0) / 0.01, 1e-9);
+  // For λR << 1 this approaches R.
+  EXPECT_NEAR(expected_restart_time(Duration::seconds(1.0), Rate::per_second(1e-6))
+                  .to_seconds(),
+              1.0, 1e-5);
+}
+
+TEST(Renewal, SegmentExpectationGrowsExponentially) {
+  const Rate lambda = Rate::per_second(0.01);
+  const Duration d1 = expected_segment_time(Duration::seconds(50.0),
+                                            Duration::seconds(10.0), lambda);
+  const Duration d2 = expected_segment_time(Duration::seconds(100.0),
+                                            Duration::seconds(10.0), lambda);
+  // Super-linear growth: doubling the segment more than doubles the cost.
+  EXPECT_GT(d2.to_seconds(), 2.0 * d1.to_seconds());
+}
+
+TEST(Renewal, ExactDominatesFirstOrderAtHighRisk) {
+  // The first-order model underestimates when λτ is not small, because it
+  // ignores failures during checkpoints/restarts and repeated failures
+  // within one rework window.
+  const Duration work = Duration::hours(24.0);
+  const Duration tau = Duration::minutes(20.0);
+  const Duration save = Duration::minutes(10.0);
+  const Rate lambda = Rate::one_per(Duration::hours(1.0));
+
+  const double exact_eff = expected_efficiency_exact(work, tau, save, save, lambda);
+  const auto hazard = [lambda](Duration) { return lambda; };
+  const double first_order = 1.0 / (1.0 + checkpoint_overhead(tau, save, save, hazard));
+  EXPECT_LT(exact_eff, first_order);
+  EXPECT_GT(exact_eff, 0.0);
+}
+
+TEST(Renewal, SimulatorConvergesToExactExpectation) {
+  // The event-driven runtime's mean completion time must converge to the
+  // closed form. Single-level plan, exponential failures.
+  ExecutionPlan plan;
+  plan.kind = TechniqueKind::kCheckpointRestart;
+  plan.app = AppSpec{app_type_by_name("A32"), 100, 600};
+  plan.physical_nodes = 100;
+  plan.baseline = Duration::minutes(600.0);
+  plan.work_target = plan.baseline;
+  plan.checkpoint_quantum = Duration::minutes(45.0);
+  plan.levels = {
+      CheckpointLevelSpec{Duration::minutes(8.0), Duration::minutes(8.0), 3}};
+  plan.nesting = {1};
+  plan.failure_rate = Rate::one_per(Duration::hours(3.0));
+  plan.max_wall_time = Duration::infinity();
+
+  const ResilienceConfig resilience;
+  RunningStats wall;
+  for (std::uint64_t t = 0; t < 400; ++t) {
+    const ExecutionResult r = run_plan_trial(
+        plan, resilience, FailureDistribution::exponential(), derive_seed(5, t));
+    ASSERT_TRUE(r.completed);
+    wall.add(r.wall_time.to_hours());
+  }
+
+  const Duration exact = expected_completion_time_exact(
+      plan.work_target, plan.checkpoint_quantum, plan.levels[0].save_cost,
+      plan.levels[0].restore_cost, plan.failure_rate);
+  const double ci = wall.summary().ci95_halfwidth;
+  EXPECT_NEAR(wall.mean(), exact.to_hours(), 3.0 * ci + 0.05)
+      << "simulated mean " << wall.mean() << " h vs exact " << exact.to_hours() << " h";
+}
+
+TEST(DalyHigherOrder, RefinesFirstOrder) {
+  const Duration cost = Duration::minutes(10.0);
+  const Rate lambda = Rate::one_per(Duration::hours(2.0));
+  const Duration first = daly_interval(cost, lambda);
+  const Duration higher = daly_higher_order_interval(cost, lambda);
+  // The correction terms are positive, so the higher-order interval is
+  // longer, and closer to the exact-model optimum.
+  EXPECT_GT(higher, first);
+
+  const Duration work = Duration::hours(24.0);
+  const double eff_first = expected_efficiency_exact(work, first, cost, cost, lambda);
+  const double eff_higher = expected_efficiency_exact(work, higher, cost, cost, lambda);
+  EXPECT_GE(eff_higher, eff_first - 1e-6);
+}
+
+TEST(DalyHigherOrder, CapsAtMtbfWhenCheckpointDominates) {
+  const Rate lambda = Rate::one_per(Duration::minutes(30.0));
+  const Duration tau =
+      daly_higher_order_interval(Duration::hours(2.0), lambda);
+  EXPECT_DOUBLE_EQ(tau.to_minutes(), 30.0);
+}
+
+TEST(Renewal, RejectsBadInputs) {
+  EXPECT_THROW((void)expected_completion_time_exact(Duration::zero(), Duration::seconds(1.0),
+                                              Duration::seconds(1.0),
+                                              Duration::seconds(1.0), Rate::zero()),
+               CheckError);
+  EXPECT_THROW((void)expected_completion_time_exact(Duration::seconds(1.0), Duration::zero(),
+                                              Duration::seconds(1.0),
+                                              Duration::seconds(1.0), Rate::zero()),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,193 @@
+// Unit tests for the resource-management heuristics against a mock
+// scheduler context (paper Section III-D semantics).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rm/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+Job make_job(std::uint64_t id, std::uint32_t nodes, double baseline_hours,
+             double arrival_hours, double deadline_hours) {
+  Job job;
+  job.id = JobId{id};
+  job.spec = AppSpec::from_baseline(app_type_by_name("A32"), nodes,
+                                    Duration::hours(baseline_hours));
+  job.arrival = TimePoint::at(Duration::hours(arrival_hours));
+  job.deadline = TimePoint::at(Duration::hours(deadline_hours));
+  return job;
+}
+
+/// Mock context: fixed node budget, records starts and drops.
+class MockContext final : public SchedulerContext {
+ public:
+  explicit MockContext(std::uint32_t free, TimePoint now = TimePoint::origin())
+      : free_{free}, now_{now} {}
+
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  [[nodiscard]] std::uint32_t free_nodes() const override { return free_; }
+
+  bool try_start(const Job& job) override {
+    attempts.push_back(job.id);
+    if (job.spec.nodes > free_) return false;
+    free_ -= job.spec.nodes;
+    started.push_back(job.id);
+    return true;
+  }
+
+  void drop(const Job& job) override { dropped.push_back(job.id); }
+
+  std::vector<JobId> attempts;
+  std::vector<JobId> started;
+  std::vector<JobId> dropped;
+
+ private:
+  std::uint32_t free_;
+  TimePoint now_;
+};
+
+std::vector<const Job*> pointers(const std::vector<Job>& jobs) {
+  std::vector<const Job*> out;
+  for (const Job& j : jobs) out.push_back(&j);
+  return out;
+}
+
+TEST(Fcfs, StopsAtFirstMisfit) {
+  // 100 free nodes; jobs of 40, 80, 10: FCFS starts 40, blocks on 80, and
+  // must NOT backfill the 10.
+  const std::vector<Job> jobs{make_job(1, 40, 6, 0, 12), make_job(2, 80, 6, 0, 12),
+                              make_job(3, 10, 6, 0, 12)};
+  MockContext ctx{100};
+  Pcg32 rng{1};
+  FcfsScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.started, (std::vector<JobId>{JobId{1}}));
+  EXPECT_EQ(ctx.attempts.size(), 2U);
+  EXPECT_TRUE(ctx.dropped.empty());
+}
+
+TEST(Fcfs, StartsAllWhenTheyFit) {
+  const std::vector<Job> jobs{make_job(1, 30, 6, 0, 12), make_job(2, 30, 6, 0, 12),
+                              make_job(3, 40, 6, 0, 12)};
+  MockContext ctx{100};
+  Pcg32 rng{1};
+  FcfsScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.started.size(), 3U);
+}
+
+TEST(Random, AttemptsEveryJobOnce) {
+  // Unlike FCFS, the random policy continues past misfits.
+  const std::vector<Job> jobs{make_job(1, 90, 6, 0, 12), make_job(2, 90, 6, 0, 12),
+                              make_job(3, 10, 6, 0, 12), make_job(4, 10, 6, 0, 12)};
+  MockContext ctx{100};
+  Pcg32 rng{7};
+  RandomScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.attempts.size(), 4U);
+  // Whatever the order, at least one big-or-two-small combination starts.
+  EXPECT_GE(ctx.started.size(), 1U);
+  EXPECT_TRUE(ctx.dropped.empty());
+}
+
+TEST(Random, OrderVariesWithSeed) {
+  const std::vector<Job> jobs{make_job(1, 1, 6, 0, 12), make_job(2, 1, 6, 0, 12),
+                              make_job(3, 1, 6, 0, 12), make_job(4, 1, 6, 0, 12),
+                              make_job(5, 1, 6, 0, 12)};
+  std::map<std::vector<JobId>, int> orders;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    MockContext ctx{100};
+    Pcg32 rng{seed};
+    RandomScheduler{}.map(pointers(jobs), ctx, rng);
+    orders[ctx.attempts]++;
+  }
+  EXPECT_GT(orders.size(), 1U);
+}
+
+TEST(Slack, ComputesRemainingSlack) {
+  // slack = deadline - max(now, arrival) - baseline.
+  const Job job = make_job(1, 10, 6.0, 2.0, 12.0);
+  EXPECT_DOUBLE_EQ(
+      SlackScheduler::slack(job, TimePoint::origin()).to_hours(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      SlackScheduler::slack(job, TimePoint::at(Duration::hours(5.0))).to_hours(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SlackScheduler::slack(job, TimePoint::at(Duration::hours(7.0))).to_hours(), -1.0);
+}
+
+TEST(Slack, DropsNegativeSlackJobs) {
+  // At t=10h, job 1 (deadline 12h, baseline 6h) can no longer finish.
+  const std::vector<Job> jobs{make_job(1, 10, 6, 0, 12), make_job(2, 10, 6, 0, 24)};
+  MockContext ctx{100, TimePoint::at(Duration::hours(10.0))};
+  Pcg32 rng{1};
+  SlackScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.dropped, (std::vector<JobId>{JobId{1}}));
+  EXPECT_EQ(ctx.started, (std::vector<JobId>{JobId{2}}));
+}
+
+TEST(Slack, StartsInIncreasingSlackOrder) {
+  // Slacks at t=0: job1 = 18h, job2 = 2h, job3 = 6h.
+  const std::vector<Job> jobs{make_job(1, 10, 6, 0, 24), make_job(2, 10, 6, 0, 8),
+                              make_job(3, 10, 6, 0, 12)};
+  MockContext ctx{100};
+  Pcg32 rng{1};
+  SlackScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.attempts,
+            (std::vector<JobId>{JobId{2}, JobId{3}, JobId{1}}));
+  EXPECT_EQ(ctx.started.size(), 3U);
+}
+
+TEST(Slack, ContinuesPastMisfits) {
+  // 50 free nodes; tightest job needs 60 (misfit), next needs 40 (starts).
+  const std::vector<Job> jobs{make_job(1, 60, 6, 0, 8), make_job(2, 40, 6, 0, 24)};
+  MockContext ctx{50};
+  Pcg32 rng{1};
+  SlackScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.attempts.size(), 2U);
+  EXPECT_EQ(ctx.started, (std::vector<JobId>{JobId{2}}));
+}
+
+TEST(FirstFit, BackfillsPastMisfits) {
+  // Same scenario where strict FCFS blocks: FirstFit starts the 40 and
+  // backfills the 10 past the 80-node misfit.
+  const std::vector<Job> jobs{make_job(1, 40, 6, 0, 12), make_job(2, 80, 6, 0, 12),
+                              make_job(3, 10, 6, 0, 12)};
+  MockContext ctx{100};
+  Pcg32 rng{1};
+  FirstFitScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.started, (std::vector<JobId>{JobId{1}, JobId{3}}));
+  EXPECT_EQ(ctx.attempts.size(), 3U);
+}
+
+TEST(Sjf, StartsShortestBaselinesFirst) {
+  const std::vector<Job> jobs{make_job(1, 10, 24, 0, 72), make_job(2, 10, 6, 0, 72),
+                              make_job(3, 10, 12, 0, 72)};
+  MockContext ctx{100};
+  Pcg32 rng{1};
+  SjfScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.attempts, (std::vector<JobId>{JobId{2}, JobId{3}, JobId{1}}));
+}
+
+TEST(Sjf, TiesKeepArrivalOrder) {
+  const std::vector<Job> jobs{make_job(1, 10, 6, 0, 72), make_job(2, 10, 6, 0, 72)};
+  MockContext ctx{100};
+  Pcg32 rng{1};
+  SjfScheduler{}.map(pointers(jobs), ctx, rng);
+  EXPECT_EQ(ctx.attempts, (std::vector<JobId>{JobId{1}, JobId{2}}));
+}
+
+TEST(SchedulerFactory, KindsRoundTrip) {
+  for (SchedulerKind kind : extended_schedulers()) {
+    const auto scheduler = make_scheduler(kind);
+    EXPECT_STREQ(scheduler->name(), to_string(kind));
+    EXPECT_EQ(scheduler_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)scheduler_from_string("LIFO"), CheckError);
+  EXPECT_EQ(all_schedulers().size(), 3U);
+  EXPECT_EQ(extended_schedulers().size(), 5U);
+}
+
+}  // namespace
+}  // namespace xres

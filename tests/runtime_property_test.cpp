@@ -1,0 +1,118 @@
+// Property tests: the runtime's accounting invariants must survive
+// arbitrary failure storms for every technique. Parameterized over seeds
+// and techniques; failures are injected at an aggressive rate relative to
+// the plan's checkpoint costs.
+
+#include <gtest/gtest.h>
+
+#include "core/single_app_study.hpp"
+#include "resilience/planner.hpp"
+#include "util/barchart.hpp"
+
+namespace xres {
+namespace {
+
+struct StormCase {
+  TechniqueKind technique;
+  std::uint64_t seed;
+
+  friend void PrintTo(const StormCase& c, std::ostream* os) {
+    *os << to_string(c.technique) << "/seed" << c.seed;
+  }
+};
+
+class RuntimeFailureStorm : public ::testing::TestWithParam<StormCase> {};
+
+TEST_P(RuntimeFailureStorm, AccountingInvariantsHold) {
+  const auto [technique, seed] = GetParam();
+
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("C64"), 30000, 360};  // 6 h baseline
+  config.technique = technique;
+  // Very unreliable machine: MTBF 6 months per node.
+  config.resilience.node_mtbf = Duration::years(0.5);
+  config.resilience.max_slowdown = 50.0;
+
+  const ExecutionResult r = run_single_app_trial(config, seed);
+  const ExecutionPlan plan =
+      make_plan(technique, config.app, config.machine, config.resilience);
+
+  // 1. Phase buckets partition the wall time.
+  const double buckets = r.time_working.to_seconds() + r.time_checkpointing.to_seconds() +
+                         r.time_restarting.to_seconds() + r.time_recovering.to_seconds();
+  EXPECT_NEAR(buckets, r.wall_time.to_seconds(), 1e-6);
+
+  // 2. Efficiency is a probability; completion implies positive efficiency.
+  EXPECT_GE(r.efficiency, 0.0);
+  EXPECT_LE(r.efficiency, 1.0);
+  if (r.completed) {
+    EXPECT_GT(r.efficiency, 0.0);
+    // Wall time is at least the stretched work target.
+    EXPECT_GE(r.wall_time.to_seconds() + 1e-6, plan.work_target.to_seconds());
+  } else {
+    EXPECT_DOUBLE_EQ(r.efficiency, 0.0);
+    // Abort must come from the wall-time cap.
+    EXPECT_NEAR(r.wall_time.to_seconds(), plan.max_wall_time.to_seconds(), 1e-6);
+  }
+
+  // 3. Rework never exceeds total working time, and only rollback
+  //    techniques accumulate it.
+  EXPECT_LE(r.rework.to_seconds(), r.time_working.to_seconds() + 1e-6);
+  if (!plan.rollback_on_failure) {
+    EXPECT_EQ(r.rollbacks, 0U);
+    EXPECT_DOUBLE_EQ(r.rework.to_seconds(), 0.0);
+  }
+
+  // 4. Masked failures only exist for redundancy / recovery thinning.
+  EXPECT_LE(r.failures_masked, r.failures_seen);
+  EXPECT_LE(r.rollbacks, r.failures_seen);
+  if (plan.replication_degree == 1.0 && plan.rollback_on_failure) {
+    EXPECT_EQ(r.failures_masked, 0U);
+    EXPECT_EQ(r.rollbacks, r.failures_seen);
+  }
+
+  // 5. Energy integral is bounded by the allocation.
+  EXPECT_LE(r.node_seconds,
+            static_cast<double>(plan.physical_nodes) * r.wall_time.to_seconds() + 1e-3);
+  EXPECT_GT(r.node_seconds, 0.0);
+}
+
+std::vector<StormCase> storm_cases() {
+  std::vector<StormCase> cases;
+  for (TechniqueKind kind : {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+                             TechniqueKind::kParallelRecovery,
+                             TechniqueKind::kRedundancyPartial,
+                             TechniqueKind::kRedundancyFull}) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+      cases.push_back(StormCase{kind, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, RuntimeFailureStorm, ::testing::ValuesIn(storm_cases()));
+
+TEST(BarChart, RendersGroupedBars) {
+  BarChart chart{{"CR", "PR"}};
+  chart.add_category("10%", {0.5, 1.0});
+  chart.add_category("50%", {0.25, 0.75});
+  const std::string out = chart.render(8, 1.0);
+  // Full-scale bar has 8 columns, half-scale 4.
+  EXPECT_NE(out.find("CR |#### 0.500"), std::string::npos);
+  EXPECT_NE(out.find("PR |######## 1.000"), std::string::npos);
+  EXPECT_NE(out.find("50% CR |## 0.250"), std::string::npos);
+  EXPECT_EQ(chart.category_count(), 2U);
+}
+
+TEST(BarChart, AutoScaleAndValidation) {
+  BarChart chart{{"a"}};
+  chart.add_category("x", {5.0});
+  const std::string out = chart.render(10);  // auto-scale to 5.0
+  EXPECT_NE(out.find("########## 5.000"), std::string::npos);
+  EXPECT_THROW(chart.add_category("bad", {1.0, 2.0}), CheckError);
+  EXPECT_THROW(chart.add_category("neg", {-1.0}), CheckError);
+  EXPECT_THROW(BarChart{std::vector<std::string>{}}, CheckError);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,168 @@
+// Tests for timeline recording/rendering and the energy model.
+
+#include <gtest/gtest.h>
+
+#include "runtime/app_runtime.hpp"
+#include "runtime/power.hpp"
+#include "runtime/timeline.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+TEST(Timeline, SpansMustBeContiguous) {
+  Timeline tl;
+  tl.add(SpanKind::kWork, TimePoint::origin(), Duration::seconds(10.0));
+  tl.add(SpanKind::kCheckpoint, TimePoint::at(Duration::seconds(10.0)),
+         Duration::seconds(2.0));
+  EXPECT_THROW(tl.add(SpanKind::kWork, TimePoint::at(Duration::seconds(20.0)),
+                      Duration::seconds(1.0)),
+               CheckError);
+}
+
+TEST(Timeline, AdjacentSameKindSpansMerge) {
+  Timeline tl;
+  tl.add(SpanKind::kWork, TimePoint::origin(), Duration::seconds(5.0));
+  tl.add(SpanKind::kWork, TimePoint::at(Duration::seconds(5.0)), Duration::seconds(5.0));
+  EXPECT_EQ(tl.spans().size(), 1U);
+  EXPECT_DOUBLE_EQ(tl.spans()[0].length.to_seconds(), 10.0);
+}
+
+TEST(Timeline, ZeroLengthSpansDropped) {
+  Timeline tl;
+  tl.add(SpanKind::kRestart, TimePoint::origin(), Duration::zero());
+  EXPECT_TRUE(tl.empty());
+}
+
+TEST(Timeline, TotalsByKind) {
+  Timeline tl;
+  tl.add(SpanKind::kWork, TimePoint::origin(), Duration::seconds(10.0));
+  tl.add(SpanKind::kCheckpoint, TimePoint::at(Duration::seconds(10.0)),
+         Duration::seconds(2.0));
+  tl.add(SpanKind::kWork, TimePoint::at(Duration::seconds(12.0)), Duration::seconds(8.0));
+  EXPECT_DOUBLE_EQ(tl.total(SpanKind::kWork).to_seconds(), 18.0);
+  EXPECT_DOUBLE_EQ(tl.total(SpanKind::kCheckpoint).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(tl.total(SpanKind::kRecovery).to_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(tl.total().to_seconds(), 20.0);
+}
+
+TEST(Timeline, RenderShowsDominantKindPerColumn) {
+  Timeline tl;
+  tl.add(SpanKind::kWork, TimePoint::origin(), Duration::seconds(50.0));
+  tl.add(SpanKind::kRestart, TimePoint::at(Duration::seconds(50.0)),
+         Duration::seconds(50.0));
+  const std::string chart = tl.render(10);
+  EXPECT_EQ(chart, "|=====RRRRR|");
+  EXPECT_EQ(tl.render(2), "|=R|");
+}
+
+TEST(Timeline, SpanKindNames) {
+  EXPECT_STREQ(to_string(SpanKind::kWork), "work");
+  EXPECT_STREQ(to_string(SpanKind::kRecovery), "recovery");
+}
+
+ExecutionPlan timeline_plan() {
+  ExecutionPlan plan;
+  plan.kind = TechniqueKind::kCheckpointRestart;
+  plan.app = AppSpec{app_type_by_name("A32"), 10, 100};
+  plan.physical_nodes = 10;
+  plan.baseline = Duration::seconds(100.0);
+  plan.work_target = Duration::seconds(100.0);
+  plan.checkpoint_quantum = Duration::seconds(10.0);
+  plan.levels = {CheckpointLevelSpec{Duration::seconds(2.0), Duration::seconds(3.0), 3}};
+  plan.nesting = {1};
+  plan.failure_rate = Rate::zero();
+  return plan;
+}
+
+TEST(Timeline, RuntimeRecordsConsistentTimeline) {
+  Simulation sim;
+  ExecutionResult result;
+  ResilientAppRuntime runtime{sim, timeline_plan(), 1,
+                              [&](const ExecutionResult& r) { result = r; }};
+  runtime.enable_timeline();
+  sim.schedule_at(TimePoint::at(Duration::seconds(25.0)),
+                  [&] { runtime.on_failure(Failure{sim.now(), 1}); });
+  runtime.start();
+  sim.run();
+
+  const Timeline* tl = runtime.timeline();
+  ASSERT_NE(tl, nullptr);
+  // Timeline totals must match the result's per-phase buckets exactly.
+  EXPECT_DOUBLE_EQ(tl->total(SpanKind::kWork).to_seconds(),
+                   result.time_working.to_seconds());
+  EXPECT_DOUBLE_EQ(tl->total(SpanKind::kCheckpoint).to_seconds(),
+                   result.time_checkpointing.to_seconds());
+  EXPECT_DOUBLE_EQ(tl->total(SpanKind::kRestart).to_seconds(),
+                   result.time_restarting.to_seconds());
+  EXPECT_DOUBLE_EQ(tl->total().to_seconds(), result.wall_time.to_seconds());
+  // One restart span from the injected failure.
+  EXPECT_DOUBLE_EQ(tl->total(SpanKind::kRestart).to_seconds(), 3.0);
+}
+
+TEST(Timeline, DisabledByDefault) {
+  Simulation sim;
+  ResilientAppRuntime runtime{sim, timeline_plan(), 1, [](const ExecutionResult&) {}};
+  runtime.start();
+  sim.run();
+  EXPECT_EQ(runtime.timeline(), nullptr);
+}
+
+TEST(Timeline, EnableAfterStartThrows) {
+  Simulation sim;
+  ResilientAppRuntime runtime{sim, timeline_plan(), 1, [](const ExecutionResult&) {}};
+  runtime.start();
+  EXPECT_THROW(runtime.enable_timeline(), CheckError);
+}
+
+TEST(Power, EnergySplitsActiveAndIdle) {
+  ExecutionResult result;
+  result.wall_time = Duration::seconds(100.0);
+  result.node_seconds = 800.0;  // of 10 nodes x 100 s = 1000 allocated
+  NodePowerSpec power;
+  power.active_watts = 300.0;
+  power.idle_watts = 100.0;
+  const EnergyReport report = execution_energy(result, 10, power);
+  EXPECT_DOUBLE_EQ(report.active_node_seconds, 800.0);
+  EXPECT_DOUBLE_EQ(report.idle_node_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(report.joules, 800.0 * 300.0 + 200.0 * 100.0);
+  EXPECT_NEAR(report.kilowatt_hours(), report.joules / 3.6e6, 1e-12);
+}
+
+TEST(Power, ValidationCatchesBadSpecs) {
+  NodePowerSpec power;
+  power.idle_watts = power.active_watts + 1.0;
+  EXPECT_THROW(power.validate(), CheckError);
+  power = NodePowerSpec{};
+  power.active_watts = 0.0;
+  EXPECT_THROW(power.validate(), CheckError);
+}
+
+TEST(Power, ParallelRecoveryIdlesNodesDuringRecovery) {
+  // PR plan with one failure: during recovery only (1 + P) of the 10 nodes
+  // are active, so energy is strictly below the all-active alternative.
+  ExecutionPlan plan = timeline_plan();
+  plan.kind = TechniqueKind::kParallelRecovery;
+  plan.rollback_on_failure = false;
+  plan.recovery_parallelism = 2.0;
+
+  Simulation sim;
+  ExecutionResult result;
+  ResilientAppRuntime runtime{sim, std::move(plan), 1,
+                              [&](const ExecutionResult& r) { result = r; }};
+  sim.schedule_at(TimePoint::at(Duration::seconds(25.0)),
+                  [&] { runtime.on_failure(Failure{sim.now(), 1}); });
+  runtime.start();
+  sim.run();
+
+  ASSERT_TRUE(result.completed);
+  const EnergyReport report = execution_energy(result, 10);
+  // Recovery lasted 3.5 s with 3 active nodes -> 7 x 3.5 idle node-seconds.
+  EXPECT_NEAR(report.idle_node_seconds, 7.0 * 3.5, 1e-9);
+  EXPECT_LT(report.active_node_seconds,
+            10.0 * result.wall_time.to_seconds());
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,144 @@
+// Tests for the semi-blocking checkpointing extension (paper related work
+// [12]): execution continues at a reduced rate while a checkpoint drains,
+// and the in-flight image covers only the progress at phase entry.
+
+#include <gtest/gtest.h>
+
+#include "core/single_app_study.hpp"
+#include "resilience/analytic.hpp"
+#include "resilience/planner.hpp"
+#include "runtime/app_runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace xres {
+namespace {
+
+/// 100 s of work, checkpoint every 10 s of work at a cost of 2 s with
+/// work continuing at half rate, restore 3 s.
+ExecutionPlan semi_plan() {
+  ExecutionPlan plan;
+  plan.kind = TechniqueKind::kSemiBlockingCheckpoint;
+  plan.app = AppSpec{app_type_by_name("A32"), 10, 100};
+  plan.physical_nodes = 10;
+  plan.baseline = Duration::seconds(100.0);
+  plan.work_target = Duration::seconds(100.0);
+  plan.checkpoint_quantum = Duration::seconds(10.0);
+  plan.levels = {CheckpointLevelSpec{Duration::seconds(2.0), Duration::seconds(3.0), 3}};
+  plan.nesting = {1};
+  plan.checkpoint_work_rate = 0.5;
+  plan.failure_rate = Rate::zero();
+  return plan;
+}
+
+struct Harness {
+  Simulation sim;
+  ExecutionResult result;
+  bool finished{false};
+
+  std::unique_ptr<ResilientAppRuntime> make(ExecutionPlan plan) {
+    return std::make_unique<ResilientAppRuntime>(
+        sim, std::move(plan), 1, [this](const ExecutionResult& r) {
+          result = r;
+          finished = true;
+        });
+  }
+
+  void inject_at(ResilientAppRuntime& rt, double seconds) {
+    sim.schedule_at(TimePoint::at(Duration::seconds(seconds)), [&rt, this] {
+      rt.on_failure(Failure{sim.now(), 1});
+    });
+  }
+};
+
+TEST(SemiBlocking, OverlapShortensFailureFreeRun) {
+  // Each cycle: 10 s work + 2 s checkpoint gaining 1 s of overlapped
+  // progress = 11 progress / 12 s wall. After 8 cycles (t=96, p=88,
+  // boundary 98): work 10 (t=106, p=98), checkpoint (t=108, p=99), work 1
+  // (t=109, p=100). Blocking CR takes 118 s on the same plan.
+  Harness h;
+  auto rt = h.make(semi_plan());
+  rt->start();
+  h.sim.run();
+  ASSERT_TRUE(h.finished);
+  EXPECT_TRUE(h.result.completed);
+  EXPECT_DOUBLE_EQ(h.result.wall_time.to_seconds(), 109.0);
+  EXPECT_EQ(h.result.checkpoints_completed, 9U);
+  EXPECT_GT(h.result.efficiency, 100.0 / 118.0);
+}
+
+TEST(SemiBlocking, InFlightImageExcludesOverlappedWork) {
+  // Failure at t=13 (1 s after the first checkpoint committed at t=12):
+  // progress is 11 + 1 = 12 but the image covers only the snapshot (10).
+  // Rework must therefore be 2, not 1.
+  Harness h;
+  auto rt = h.make(semi_plan());
+  h.inject_at(*rt, 13.0);
+  rt->start();
+  h.sim.run();
+  ASSERT_TRUE(h.finished);
+  EXPECT_DOUBLE_EQ(h.result.rework.to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(h.result.time_restarting.to_seconds(), 3.0);
+}
+
+TEST(SemiBlocking, FailureDuringCheckpointLosesOverlapToo) {
+  // Failure at t=11 (1 s into the first checkpoint): progress = 10 + 0.5,
+  // nothing saved yet -> everything is rework; restart 3 s then a fresh
+  // 109 s run: wall = 11 + 3 + 109 = 123 s.
+  Harness h;
+  auto rt = h.make(semi_plan());
+  h.inject_at(*rt, 11.0);
+  rt->start();
+  h.sim.run();
+  ASSERT_TRUE(h.finished);
+  EXPECT_DOUBLE_EQ(h.result.rework.to_seconds(), 10.5);
+  EXPECT_DOUBLE_EQ(h.result.wall_time.to_seconds(), 123.0);
+}
+
+TEST(SemiBlocking, PlannerWiresTechnique) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig config;
+  const AppSpec app{app_type_by_name("A32"), 120000, 1440};
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kSemiBlockingCheckpoint, app, machine, config);
+  EXPECT_DOUBLE_EQ(plan.checkpoint_work_rate, 0.5);
+  EXPECT_TRUE(plan.levels[0].uses_shared_pfs);
+  // Same PFS image cost as blocking CR…
+  const ExecutionPlan cr =
+      make_plan(TechniqueKind::kCheckpointRestart, app, machine, config);
+  EXPECT_DOUBLE_EQ(plan.levels[0].save_cost.to_seconds(),
+                   cr.levels[0].save_cost.to_seconds());
+  // …but a shorter interval (Eq. 4 on the effective blocked cost).
+  EXPECT_LT(plan.checkpoint_quantum, cr.checkpoint_quantum);
+  EXPECT_GT(predict_efficiency(plan, config), predict_efficiency(cr, config));
+}
+
+TEST(SemiBlocking, BeatsBlockingCheckpointRestartAtExascale) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("A32"), 120000, 1440};
+  RunningStats semi;
+  RunningStats blocking;
+  for (std::uint64_t t = 0; t < 15; ++t) {
+    config.technique = TechniqueKind::kSemiBlockingCheckpoint;
+    semi.add(run_single_app_trial(config, derive_seed(9, t)).efficiency);
+    config.technique = TechniqueKind::kCheckpointRestart;
+    blocking.add(run_single_app_trial(config, derive_seed(9, t)).efficiency);
+  }
+  EXPECT_GT(semi.mean(), blocking.mean() + 0.05);
+}
+
+TEST(SemiBlocking, RoundTripsName) {
+  EXPECT_EQ(technique_from_string("semi-blocking-checkpoint"),
+            TechniqueKind::kSemiBlockingCheckpoint);
+}
+
+TEST(SemiBlocking, InvalidWorkRateRejected) {
+  ExecutionPlan plan = semi_plan();
+  plan.checkpoint_work_rate = 1.0;  // would never finish a checkpoint cycle
+  EXPECT_THROW(plan.validate(), CheckError);
+  ResilienceConfig config;
+  config.semi_blocking_work_rate = -0.1;
+  EXPECT_THROW(config.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

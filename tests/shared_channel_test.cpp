@@ -1,0 +1,231 @@
+// Tests for the processor-sharing SharedChannel, the transfer services,
+// and PFS-contention integration with the runtime and workload engine.
+
+#include <gtest/gtest.h>
+
+#include "core/workload_engine.hpp"
+#include "runtime/app_runtime.hpp"
+#include "runtime/transfer_service.hpp"
+#include "sim/shared_channel.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+Bandwidth bps(double v) { return Bandwidth::bytes_per_second(v); }
+
+TEST(SharedChannel, LoneTransferRunsAtPerStreamCap) {
+  Simulation sim;
+  SharedChannel channel{sim, bps(100.0), bps(10.0)};
+  double done_at = -1.0;
+  channel.begin_transfer(DataSize::bytes(50.0), [&] { done_at = sim.now().to_seconds(); });
+  EXPECT_EQ(channel.active_transfers(), 1U);
+  EXPECT_DOUBLE_EQ(channel.current_per_transfer_rate().to_bytes_per_second(), 10.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);  // 50 bytes at 10 B/s
+  EXPECT_EQ(channel.completed_transfers(), 1U);
+}
+
+TEST(SharedChannel, CapacitySharedBeyondSaturation) {
+  // Capacity 20, cap 10: two transfers still run at 10 each; four run at 5.
+  Simulation sim;
+  SharedChannel channel{sim, bps(20.0), bps(10.0)};
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    channel.begin_transfer(DataSize::bytes(100.0),
+                           [&] { done.push_back(sim.now().to_seconds()); });
+  }
+  EXPECT_DOUBLE_EQ(channel.current_per_transfer_rate().to_bytes_per_second(), 5.0);
+  sim.run();
+  ASSERT_EQ(done.size(), 4U);
+  // All four start together and share equally throughout: 4 x 100 bytes /
+  // 20 B/s = 20 s each.
+  for (double t : done) EXPECT_NEAR(t, 20.0, 1e-9);
+}
+
+TEST(SharedChannel, RatesRecomputeOnCompletion) {
+  // Two transfers of different sizes at capacity 10 (cap 10): both run at
+  // 5 until the small one finishes, then the big one speeds to 10.
+  // Small: 50 bytes -> t = 10. Big: 150 bytes: 50 done by t=10, remaining
+  // 100 at 10 B/s -> t = 20.
+  Simulation sim;
+  SharedChannel channel{sim, bps(10.0), bps(10.0)};
+  double small_done = -1.0;
+  double big_done = -1.0;
+  channel.begin_transfer(DataSize::bytes(150.0), [&] { big_done = sim.now().to_seconds(); });
+  channel.begin_transfer(DataSize::bytes(50.0), [&] { small_done = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(small_done, 10.0, 1e-9);
+  EXPECT_NEAR(big_done, 20.0, 1e-9);
+}
+
+TEST(SharedChannel, LateArrivalSlowsInFlightTransfer) {
+  // Transfer A (100 bytes) alone at 10 B/s; at t=5 transfer B (25 bytes)
+  // arrives, both drop to 5 B/s. B finishes at t=10; A has 25 left ->
+  // finishes at t=12.5.
+  Simulation sim;
+  SharedChannel channel{sim, bps(10.0), bps(10.0)};
+  double a_done = -1.0;
+  double b_done = -1.0;
+  channel.begin_transfer(DataSize::bytes(100.0), [&] { a_done = sim.now().to_seconds(); });
+  sim.schedule_at(TimePoint::at(Duration::seconds(5.0)), [&] {
+    channel.begin_transfer(DataSize::bytes(25.0), [&] { b_done = sim.now().to_seconds(); });
+  });
+  sim.run();
+  EXPECT_NEAR(b_done, 10.0, 1e-9);
+  EXPECT_NEAR(a_done, 12.5, 1e-9);
+}
+
+TEST(SharedChannel, CancelFreesBandwidth) {
+  // A and B share 10 B/s; at t=5, B is cancelled and A speeds back up.
+  // A: 100 bytes; 25 done by t=5, 75 at 10 B/s -> t = 12.5.
+  Simulation sim;
+  SharedChannel channel{sim, bps(10.0), bps(10.0)};
+  double a_done = -1.0;
+  bool b_done = false;
+  channel.begin_transfer(DataSize::bytes(100.0), [&] { a_done = sim.now().to_seconds(); });
+  const auto b = channel.begin_transfer(DataSize::bytes(500.0), [&] { b_done = true; });
+  sim.schedule_at(TimePoint::at(Duration::seconds(5.0)), [&] {
+    EXPECT_TRUE(channel.cancel(b));
+    EXPECT_FALSE(channel.cancel(b));  // second cancel is a no-op
+  });
+  sim.run();
+  EXPECT_NEAR(a_done, 12.5, 1e-9);
+  EXPECT_FALSE(b_done);
+}
+
+TEST(SharedChannel, RemainingQueryTracksProgress) {
+  Simulation sim;
+  SharedChannel channel{sim, bps(10.0), bps(10.0)};
+  const auto id = channel.begin_transfer(DataSize::bytes(100.0), [] {});
+  sim.run_until(TimePoint::at(Duration::seconds(4.0)));
+  EXPECT_NEAR(channel.remaining(id).to_bytes(), 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(channel.remaining(SharedChannel::TransferId{999}).to_bytes(), 0.0);
+}
+
+TEST(SharedChannel, ZeroSizeTransferCompletesImmediately) {
+  Simulation sim;
+  SharedChannel channel{sim, bps(10.0), bps(10.0)};
+  bool done = false;
+  channel.begin_transfer(DataSize::zero(), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 0.0);
+}
+
+TEST(FixedTransferService, BehavesLikeTimer) {
+  Simulation sim;
+  FixedTransferService service{sim};
+  double done_at = -1.0;
+  service.begin(Duration::seconds(7.0), [&] { done_at = sim.now().to_seconds(); });
+  const auto cancelled = service.begin(Duration::seconds(3.0), [] { FAIL(); });
+  service.cancel(cancelled);
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 7.0);
+}
+
+TEST(SharedChannelTransferService, NominalDurationHoldsUncontended) {
+  Simulation sim;
+  SharedChannel channel{sim, bps(400.0), bps(100.0)};
+  SharedChannelTransferService service{channel, bps(100.0)};
+  double done_at = -1.0;
+  service.begin(Duration::seconds(9.0), [&] { done_at = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 9.0, 1e-9);
+}
+
+/// Two runtimes checkpointing simultaneously through a single-gateway PFS:
+/// both checkpoints take twice their nominal time.
+TEST(PfsContention, ConcurrentCheckpointsStretch) {
+  Simulation sim;
+  SharedChannel channel{sim, bps(100.0), bps(100.0)};  // one gateway
+  SharedChannelTransferService service{channel, bps(100.0)};
+
+  auto make_plan_local = [] {
+    ExecutionPlan plan;
+    plan.kind = TechniqueKind::kCheckpointRestart;
+    plan.app = AppSpec{app_type_by_name("A32"), 10, 100};
+    plan.physical_nodes = 10;
+    plan.baseline = Duration::seconds(100.0);
+    plan.work_target = Duration::seconds(100.0);
+    plan.checkpoint_quantum = Duration::seconds(10.0);
+    plan.levels = {CheckpointLevelSpec{Duration::seconds(2.0), Duration::seconds(3.0), 3,
+                                       /*uses_shared_pfs=*/true}};
+    plan.nesting = {1};
+    plan.failure_rate = Rate::zero();
+    return plan;
+  };
+
+  ExecutionResult r1;
+  ExecutionResult r2;
+  ResilientAppRuntime a{sim, make_plan_local(), 1, [&](const ExecutionResult& r) { r1 = r; }};
+  ResilientAppRuntime b{sim, make_plan_local(), 2, [&](const ExecutionResult& r) { r2 = r; }};
+  a.set_pfs_transfer_service(&service);
+  b.set_pfs_transfer_service(&service);
+  a.start();
+  b.start();
+  sim.run();
+
+  // In lockstep, every checkpoint is contended: 9 checkpoints x 4 s
+  // instead of x 2 s -> wall 136 s for both.
+  ASSERT_TRUE(r1.completed);
+  ASSERT_TRUE(r2.completed);
+  EXPECT_DOUBLE_EQ(r1.wall_time.to_seconds(), 136.0);
+  EXPECT_DOUBLE_EQ(r2.wall_time.to_seconds(), 136.0);
+  EXPECT_DOUBLE_EQ(r1.time_checkpointing.to_seconds(), 36.0);
+}
+
+TEST(PfsContention, SoloRuntimeUnaffected) {
+  Simulation sim;
+  SharedChannel channel{sim, bps(100.0), bps(100.0)};
+  SharedChannelTransferService service{channel, bps(100.0)};
+  ExecutionPlan plan;
+  plan.kind = TechniqueKind::kCheckpointRestart;
+  plan.app = AppSpec{app_type_by_name("A32"), 10, 100};
+  plan.physical_nodes = 10;
+  plan.baseline = Duration::seconds(100.0);
+  plan.work_target = Duration::seconds(100.0);
+  plan.checkpoint_quantum = Duration::seconds(10.0);
+  plan.levels = {CheckpointLevelSpec{Duration::seconds(2.0), Duration::seconds(3.0), 3, true}};
+  plan.nesting = {1};
+  plan.failure_rate = Rate::zero();
+
+  ExecutionResult result;
+  ResilientAppRuntime runtime{sim, std::move(plan), 1,
+                              [&](const ExecutionResult& r) { result = r; }};
+  runtime.set_pfs_transfer_service(&service);
+  runtime.start();
+  sim.run();
+  EXPECT_DOUBLE_EQ(result.wall_time.to_seconds(), 118.0);  // same as uncontended
+}
+
+TEST(PfsContention, WorkloadEngineTogglesCleanly) {
+  // The same pattern with contention modeling on cannot drop fewer jobs,
+  // and accounting invariants must hold either way.
+  WorkloadConfig wconfig;
+  wconfig.machine_nodes = 1000;
+  wconfig.arrival_count = 15;
+  wconfig.mean_interarrival = Duration::hours(1.0);
+  wconfig.size_fractions = {0.10, 0.20};
+  wconfig.baseline_hours = {3.0, 6.0};
+  const ArrivalPattern pattern = generate_pattern(wconfig, 21, 0);
+
+  WorkloadEngineConfig config;
+  config.machine = MachineSpec::testbed(1000);
+  config.policy = TechniquePolicy::fixed_technique(TechniqueKind::kCheckpointRestart);
+  config.resilience.node_mtbf = Duration::years(1.0);
+
+  const WorkloadRunResult without = run_workload(config, pattern);
+  config.model_pfs_contention = true;
+  config.pfs_gateways = 1;
+  const WorkloadRunResult with = run_workload(config, pattern);
+
+  EXPECT_EQ(with.completed + with.dropped, with.total_jobs);
+  EXPECT_GE(with.dropped, without.dropped);
+  if (with.completed_slowdown.count > 0 && without.completed_slowdown.count > 0) {
+    EXPECT_GE(with.completed_slowdown.mean, without.completed_slowdown.mean - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace xres

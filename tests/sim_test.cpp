@@ -1,0 +1,166 @@
+// Unit tests for the event queue and simulation engine.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at(Duration::seconds(s)); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(3.0), [&] { order.push_back(3); });
+  q.schedule(at(1.0), [&] { order.push_back(1); });
+  q.schedule(at(2.0), [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(5.0), [&] { order.push_back(1); });
+  q.schedule(at(5.0), [&] { order.push_back(2); });
+  q.schedule(at(5.0), [&] { order.push_back(3); });
+  while (auto e = q.pop()) e->callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(1.0), [&] { order.push_back(1); });
+  const EventId doomed = q.schedule(at(2.0), [&] { order.push_back(2); });
+  q.schedule(at(3.0), [&] { order.push_back(3); });
+  EXPECT_TRUE(q.pending(doomed));
+  EXPECT_TRUE(q.cancel(doomed));
+  EXPECT_FALSE(q.pending(doomed));
+  EXPECT_FALSE(q.cancel(doomed));  // second cancel is a no-op
+  while (auto e = q.pop()) e->callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(at(1.0), [] {});
+  q.schedule(at(2.0), [] {});
+  EXPECT_EQ(q.size(), 2U);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1U);
+  EXPECT_EQ(q.next_time(), at(2.0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.next_time().has_value());
+}
+
+TEST(EventQueue, RejectsEmptyCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(at(1.0), EventCallback{}), CheckError);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  std::vector<double> times;
+  sim.schedule_after(Duration::seconds(10.0), [&] { times.push_back(sim.now().to_seconds()); });
+  sim.schedule_at(at(5.0), [&] { times.push_back(sim.now().to_seconds()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{5.0, 10.0}));
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 10.0);
+  EXPECT_EQ(sim.events_processed(), 2U);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(at(5.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(at(1.0), [] {}), CheckError);
+  EXPECT_THROW(sim.schedule_after(Duration::seconds(-1.0), [] {}), CheckError);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(at(1.0), [&] {
+    ++fired;
+    sim.schedule_after(Duration::seconds(1.0), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.0);
+}
+
+TEST(Simulation, RunUntilAdvancesClockPastLastEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(at(3.0), [&] { ++fired; });
+  sim.schedule_at(at(8.0), [&] { ++fired; });
+  sim.run_until(at(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1U);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RequestStopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(at(1.0), [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(at(2.0), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1U);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, MaxEventsGuard) {
+  Simulation sim;
+  int fired = 0;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    ++fired;
+    sim.schedule_after(Duration::seconds(1.0), tick);
+  };
+  sim.schedule_after(Duration::seconds(1.0), tick);
+  sim.run(/*max_events=*/25);
+  EXPECT_EQ(fired, 25);
+}
+
+TEST(Simulation, CancelScheduledEvent) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(at(4.0), [&] { ++fired; });
+  sim.schedule_at(at(1.0), [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 1.0);
+}
+
+TEST(Simulation, DeterministicTieOrderWithCancellation) {
+  // A cancelled event between two live ones at the same time must not
+  // disturb the deterministic order.
+  Simulation sim;
+  std::string log;
+  sim.schedule_at(at(1.0), [&] { log += 'a'; });
+  const EventId b = sim.schedule_at(at(1.0), [&] { log += 'b'; });
+  sim.schedule_at(at(1.0), [&] { log += 'c'; });
+  sim.cancel(b);
+  sim.run();
+  EXPECT_EQ(log, "ac");
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,130 @@
+// Tests for the Standard Workload Format importer.
+
+#include <gtest/gtest.h>
+
+#include "apps/swf.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+// A small hand-written SWF fragment: header comments, valid jobs, a
+// cancelled job (run time -1) and a zero-processor record.
+constexpr const char* kSampleSwf = R"(; SWF test fragment
+; MaxNodes: 1024
+;
+1   0     10  3600  64   64  -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1
+2   120   5   600   128 128  -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1
+3   500   0   -1    32   32  -1 -1 -1 -1 0 1 1 1 -1 -1 -1 -1
+4   900   7   90    0    0   -1 -1 -1 -1 0 1 1 1 -1 -1 -1 -1
+5   1000  2   7200  512 512  -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1
+)";
+
+TEST(Swf, ImportsValidJobsAndSkipsInvalid) {
+  SwfImportConfig config;
+  config.machine_nodes = 10000;
+  SwfImportStats stats;
+  const ArrivalPattern pattern = import_swf(kSampleSwf, config, &stats);
+
+  EXPECT_EQ(stats.comments, 3U);
+  EXPECT_EQ(stats.imported, 3U);
+  EXPECT_EQ(stats.skipped_invalid, 2U);
+  ASSERT_EQ(pattern.size(), 3U);
+
+  EXPECT_DOUBLE_EQ(pattern.jobs[0].arrival.to_seconds(), 0.0);
+  EXPECT_EQ(pattern.jobs[0].spec.nodes, 64U);
+  EXPECT_EQ(pattern.jobs[0].spec.time_steps, 60U);  // 3600 s = 60 min
+
+  EXPECT_DOUBLE_EQ(pattern.jobs[1].arrival.to_seconds(), 120.0);
+  EXPECT_EQ(pattern.jobs[1].spec.time_steps, 10U);
+
+  EXPECT_EQ(pattern.jobs[2].spec.nodes, 512U);
+  EXPECT_EQ(pattern.jobs[2].spec.time_steps, 120U);
+}
+
+TEST(Swf, DeadlinesFollowEquationOne) {
+  SwfImportConfig config;
+  config.machine_nodes = 10000;
+  const ArrivalPattern pattern = import_swf(kSampleSwf, config);
+  for (const Job& job : pattern.jobs) {
+    const double factor = (job.deadline - job.arrival) / job.spec.baseline_time();
+    EXPECT_GE(factor, 1.2);
+    EXPECT_LT(factor, 2.0);
+  }
+}
+
+TEST(Swf, NodeScalingAndClamping) {
+  SwfImportConfig config;
+  config.machine_nodes = 100;
+  config.node_scale = 0.5;
+  const ArrivalPattern pattern = import_swf(kSampleSwf, config);
+  ASSERT_EQ(pattern.size(), 3U);
+  EXPECT_EQ(pattern.jobs[0].spec.nodes, 32U);   // 64 x 0.5
+  EXPECT_EQ(pattern.jobs[2].spec.nodes, 100U);  // 512 x 0.5 clamped to machine
+}
+
+TEST(Swf, SubMinuteRunTimesRoundUpToOneStep) {
+  const std::string tiny = "1 0 0 30 4 4 -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1\n";
+  SwfImportConfig config;
+  const ArrivalPattern pattern = import_swf(tiny, config);
+  ASSERT_EQ(pattern.size(), 1U);
+  EXPECT_EQ(pattern.jobs[0].spec.time_steps, 1U);
+}
+
+TEST(Swf, MaxJobsLimit) {
+  SwfImportConfig config;
+  config.max_jobs = 2;
+  const ArrivalPattern pattern = import_swf(kSampleSwf, config);
+  EXPECT_EQ(pattern.size(), 2U);
+}
+
+TEST(Swf, ImportIsDeterministicPerSeed) {
+  SwfImportConfig config;
+  config.seed = 5;
+  const ArrivalPattern a = import_swf(kSampleSwf, config);
+  const ArrivalPattern b = import_swf(kSampleSwf, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].spec.type.name, b.jobs[i].spec.type.name);
+    EXPECT_EQ(a.jobs[i].deadline, b.jobs[i].deadline);
+  }
+  config.seed = 6;
+  const ArrivalPattern c = import_swf(kSampleSwf, config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference |= a.jobs[i].deadline != c.jobs[i].deadline;
+    any_difference |= a.jobs[i].spec.type.name != c.jobs[i].spec.type.name;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Swf, BiasRestrictsTypes) {
+  SwfImportConfig config;
+  config.bias = WorkloadBias::kHighMemory;
+  const ArrivalPattern pattern = import_swf(kSampleSwf, config);
+  for (const Job& job : pattern.jobs) {
+    EXPECT_DOUBLE_EQ(job.spec.type.memory_per_node.to_gigabytes(), 64.0);
+  }
+}
+
+TEST(Swf, MalformedRecordThrows) {
+  EXPECT_THROW(import_swf("not a number line\n", SwfImportConfig{}), CheckError);
+  EXPECT_THROW(import_swf("1 2\n", SwfImportConfig{}), CheckError);
+}
+
+TEST(Swf, UnsortedSubmitTimesAreSorted) {
+  const std::string unsorted =
+      "1 500 0 600 4 4 -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "2 100 0 600 4 4 -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1\n";
+  const ArrivalPattern pattern = import_swf(unsorted, SwfImportConfig{});
+  ASSERT_EQ(pattern.size(), 2U);
+  EXPECT_LE(pattern.jobs[0].arrival, pattern.jobs[1].arrival);
+  EXPECT_EQ(pattern.jobs[0].id, JobId{2});
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(load_swf("/nonexistent/path.swf", SwfImportConfig{}), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,32 @@
+// Compile-and-link check for the umbrella header plus a tiny end-to-end
+// exercise going only through it.
+
+#include "xres.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xres {
+namespace {
+
+TEST(Umbrella, VersionIsConsistent) {
+  EXPECT_EQ(kVersionMajor, 1);
+  const std::string v = std::to_string(kVersionMajor) + "." +
+                        std::to_string(kVersionMinor) + "." +
+                        std::to_string(kVersionPatch);
+  EXPECT_EQ(v, kVersionString);
+}
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const AppSpec app{app_type_by_name("B32"), 12000, 360};
+  const ResilienceConfig resilience;
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kMultilevel, app, machine, resilience);
+  const ExecutionResult result =
+      run_plan_trial(plan, resilience, FailureDistribution::exponential(), 1);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.efficiency, 0.5);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,174 @@
+// Unit tests for streaming statistics, histogram and quantiles.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+namespace {
+
+TEST(RunningStats, EmptyStateAndErrors) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.min(), CheckError);
+  EXPECT_THROW(s.max(), CheckError);
+  EXPECT_EQ(s.summary().count, 0U);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i * i % 17) - 4.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, SummaryConfidenceInterval) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 2));  // mean .5, sd ~.5
+  const Summary sum = s.summary();
+  EXPECT_EQ(sum.count, 100U);
+  EXPECT_DOUBLE_EQ(sum.mean, 0.5);
+  EXPECT_NEAR(sum.ci95_halfwidth, 1.96 * sum.stddev / 10.0, 1e-3);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-1.0);  // underflow -> bin 0
+  h.add(10.0);  // overflow -> bin 4
+  EXPECT_EQ(h.total(), 6U);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_EQ(h.count_in_bin(0), 3U);
+  EXPECT_EQ(h.count_in_bin(1), 1U);
+  EXPECT_EQ(h.count_in_bin(4), 2U);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, TextRenderingIsNonEmpty) {
+  Histogram h{0.0, 1.0, 4};
+  for (int i = 0; i < 10; ++i) h.add(0.3);
+  const std::string text = h.to_text();
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{1.0, 0.0, 4}), CheckError);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), CheckError);
+}
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadFraction) {
+  EXPECT_THROW(quantile({}, 0.5), CheckError);
+  EXPECT_THROW(quantile({1.0}, 1.5), CheckError);
+}
+
+TEST(Welch, ClearlySeparatedMeansAreSignificant) {
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 30; ++i) {
+    a.add(10.0 + 0.1 * (i % 3));
+    b.add(12.0 + 0.1 * (i % 3));
+  }
+  const WelchResult r = welch_t_test(a.summary(), b.summary());
+  EXPECT_LT(r.t, 0.0);  // mean_a < mean_b
+  EXPECT_TRUE(r.significant_95);
+}
+
+TEST(Welch, OverlappingSamplesAreNotSignificant) {
+  RunningStats a;
+  RunningStats b;
+  Pcg32 rng{12};
+  for (int i = 0; i < 30; ++i) {
+    a.add(rng.uniform(0.0, 10.0));
+    b.add(rng.uniform(0.0, 10.0));
+  }
+  const WelchResult r = welch_t_test(a.summary(), b.summary());
+  EXPECT_FALSE(r.significant_95);
+}
+
+TEST(Welch, EqualVarianceEqualCountDofIsClassic) {
+  // With equal variances and counts n, Welch dof == 2n - 2.
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i % 2 == 0 ? 1.0 : 3.0);
+    b.add(i % 2 == 0 ? 5.0 : 7.0);
+  }
+  const WelchResult r = welch_t_test(a.summary(), b.summary());
+  EXPECT_NEAR(r.degrees_of_freedom, 18.0, 1e-9);
+}
+
+TEST(Welch, RejectsDegenerateInputs) {
+  RunningStats single;
+  single.add(1.0);
+  RunningStats pairc;
+  pairc.add(1.0);
+  pairc.add(1.0);
+  EXPECT_THROW(welch_t_test(single.summary(), pairc.summary()), CheckError);
+  // Zero variance on both sides.
+  EXPECT_THROW(welch_t_test(pairc.summary(), pairc.summary()), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

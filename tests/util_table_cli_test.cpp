@@ -1,0 +1,133 @@
+// Unit tests for table/CSV output, formatting helpers, the CLI parser and
+// the check/logging utilities.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace xres {
+namespace {
+
+TEST(Check, ThrowsWithLocationAndMessage) {
+  try {
+    XRES_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("util_table_cli_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(XRES_CHECK(2 + 2 == 4, "math"));
+  EXPECT_NO_THROW(XRES_CHECK(true));
+}
+
+TEST(Table, AlignedTextRendering) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+  EXPECT_EQ(t.column_count(), 2U);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t{{"a", "b"}};
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.1234), "12.3%");
+  EXPECT_EQ(fmt_mean_std(0.5, 0.012, 3), "0.500 ± 0.012");
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli{"test program"};
+  cli.add_option("--trials", "number of trials", "200");
+  cli.add_option("--mtbf-years", "node MTBF", "10.0");
+  cli.add_flag("--csv", "emit CSV");
+  const char* argv[] = {"prog", "--trials", "50", "--mtbf-years=2.5", "--csv"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.integer("--trials"), 50);
+  EXPECT_DOUBLE_EQ(cli.real("--mtbf-years"), 2.5);
+  EXPECT_TRUE(cli.flag("--csv"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli{"test"};
+  cli.add_option("--trials", "n", "200");
+  cli.add_flag("--csv", "csv");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.integer("--trials"), 200);
+  EXPECT_FALSE(cli.flag("--csv"));
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  CliParser cli{"test"};
+  cli.add_option("--n", "n", "1");
+  const char* bad1[] = {"prog", "--unknown", "3"};
+  EXPECT_THROW((void)cli.parse(3, bad1), CheckError);
+
+  CliParser cli2{"test"};
+  cli2.add_option("--n", "n", "1");
+  const char* bad2[] = {"prog", "--n", "abc"};
+  ASSERT_TRUE(cli2.parse(3, bad2));
+  EXPECT_THROW((void)cli2.integer("--n"), CheckError);
+
+  CliParser cli3{"test"};
+  cli3.add_option("--n", "n", "1");
+  const char* bad3[] = {"prog", "--n"};
+  EXPECT_THROW((void)cli3.parse(2, bad3), CheckError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli{"test"};
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Log, LevelsAndSink) {
+  Logger& log = Logger::global();
+  const LogLevel old = log.level();
+  std::vector<std::string> captured;
+  log.set_sink([&captured](LogLevel, const std::string& msg) { captured.push_back(msg); });
+  log.set_level(LogLevel::kInfo);
+
+  XRES_LOG_DEBUG("hidden");
+  XRES_LOG_INFO("visible");
+  XRES_LOG_ERROR("also visible");
+
+  EXPECT_EQ(captured.size(), 2U);
+  EXPECT_EQ(captured[0], "visible");
+
+  log.set_sink(nullptr);
+  log.set_level(old);
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_THROW((void)parse_log_level("loud"), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,124 @@
+// Unit tests for the strongly typed quantities in util/units.hpp.
+
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+TEST(Duration, NamedConstructorsConvertCorrectly) {
+  EXPECT_DOUBLE_EQ(Duration::seconds(90.0).to_minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::minutes(2.0).to_seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(1.0).to_seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(Duration::days(2.0).to_hours(), 48.0);
+  EXPECT_DOUBLE_EQ(Duration::years(1.0).to_days(), 365.25);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(1500.0).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::microseconds(0.5).to_seconds(), 5e-7);
+}
+
+TEST(Duration, ArithmeticBehavesLikeSeconds) {
+  const Duration a = Duration::seconds(10.0);
+  const Duration b = Duration::seconds(4.0);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.5).to_seconds(), 25.0);
+  EXPECT_DOUBLE_EQ((2.5 * a).to_seconds(), 25.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_DOUBLE_EQ((-a).to_seconds(), -10.0);
+}
+
+TEST(Duration, ComparisonAndInfinity) {
+  EXPECT_LT(Duration::seconds(1.0), Duration::seconds(2.0));
+  EXPECT_TRUE(Duration::seconds(5.0).is_finite());
+  EXPECT_FALSE(Duration::infinity().is_finite());
+  EXPECT_LT(Duration::years(1000.0), Duration::infinity());
+  EXPECT_EQ(Duration::zero().to_seconds(), 0.0);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::seconds(1.0);
+  d += Duration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 3.0);
+  d -= Duration::seconds(1.0);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 2.0);
+  d *= 3.0;
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 6.0);
+  d /= 2.0;
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 3.0);
+}
+
+TEST(TimePoint, OriginAndOffsets) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::minutes(3.0);
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 180.0);
+  EXPECT_DOUBLE_EQ((t1 - t0).to_seconds(), 180.0);
+  EXPECT_DOUBLE_EQ((t1 - Duration::seconds(60.0)).to_seconds(), 120.0);
+  EXPECT_LT(t0, t1);
+  TimePoint t = t0;
+  t += Duration::seconds(5.0);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 5.0);
+}
+
+TEST(DataSize, ConversionsAndArithmetic) {
+  EXPECT_DOUBLE_EQ(DataSize::gigabytes(32.0).to_bytes(), 32e9);
+  EXPECT_DOUBLE_EQ(DataSize::terabytes(1.0).to_gigabytes(), 1000.0);
+  EXPECT_DOUBLE_EQ((DataSize::gigabytes(2.0) * 3.0).to_gigabytes(), 6.0);
+  EXPECT_DOUBLE_EQ(DataSize::gigabytes(64.0) / DataSize::gigabytes(32.0), 2.0);
+}
+
+TEST(Bandwidth, TransferTime) {
+  // 600 GB at 600 GB/s takes one second.
+  const Duration t =
+      transfer_time(DataSize::gigabytes(600.0), Bandwidth::gigabytes_per_second(600.0));
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.0);
+}
+
+TEST(Bandwidth, TransferTimeRejectsZeroBandwidth) {
+  EXPECT_THROW(
+      transfer_time(DataSize::gigabytes(1.0), Bandwidth::bytes_per_second(0.0)),
+      CheckError);
+}
+
+TEST(Rate, ConversionsRoundTrip) {
+  const Rate r = Rate::per_hour(6.0);
+  EXPECT_DOUBLE_EQ(r.per_hour_value(), 6.0);
+  EXPECT_DOUBLE_EQ(r.mean_interval().to_minutes(), 10.0);
+  EXPECT_DOUBLE_EQ(Rate::one_per(Duration::minutes(10.0)).per_hour_value(), 6.0);
+  EXPECT_DOUBLE_EQ(Rate::per_year(365.25).mean_interval().to_days(), 1.0);
+}
+
+TEST(Rate, ZeroRateHasInfiniteInterval) {
+  EXPECT_FALSE(Rate::zero().mean_interval().is_finite());
+  EXPECT_EQ(Rate::one_per(Duration::infinity()), Rate::zero());
+}
+
+TEST(Rate, ExpectedEvents) {
+  // Eq. 2 shape: 120,000 nodes at a 10-year MTBF fail about every 44 min.
+  const Rate system = Rate::one_per(Duration::years(10.0)) * 120000.0;
+  EXPECT_NEAR(system.mean_interval().to_minutes(), 43.83, 0.01);
+  EXPECT_NEAR(system.expected_events(Duration::days(1.0)), 32.85, 0.01);
+}
+
+TEST(Rate, Arithmetic) {
+  const Rate a = Rate::per_second(2.0);
+  const Rate b = Rate::per_second(3.0);
+  EXPECT_DOUBLE_EQ((a + b).per_second_value(), 5.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).per_second_value(), 4.0);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);
+}
+
+TEST(UnitsFormatting, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::seconds(90.0)), "1.50 min");
+  EXPECT_EQ(to_string(Duration::microseconds(0.5)), "0.50 us");
+  EXPECT_EQ(to_string(Duration::hours(30.0)), "1.25 d");
+  EXPECT_EQ(to_string(Duration::infinity()), "inf");
+  EXPECT_EQ(to_string(DataSize::gigabytes(32.0)), "32.00 GB");
+  EXPECT_EQ(to_string(-Duration::seconds(30.0)), "-30.00 s");
+}
+
+}  // namespace
+}  // namespace xres

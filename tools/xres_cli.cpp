@@ -1,0 +1,214 @@
+// xres — unified command-line driver for the library's studies.
+//
+//   xres efficiency --type D64 --mtbf-years 10 --trials 50
+//   xres workload  --scheduler Slack --technique selection --patterns 10
+//   xres advise    --type C64 --system-share 0.25
+//   xres trace     --mtbf-years 10 --days 7 --out failures.csv
+//   xres info
+//
+// Each subcommand accepts --help. The figure benches in bench/ remain the
+// canonical paper-reproduction entry points; this tool is the ad-hoc
+// exploration surface.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "xres.hpp"
+
+namespace {
+
+using namespace xres;
+
+int cmd_info() {
+  std::printf("xres %s — exascale resilience simulation library\n", kVersionString);
+  std::printf("machine: %s\n", MachineSpec::exascale().describe().c_str());
+  std::printf("application types:");
+  for (const AppType& t : all_app_types()) std::printf(" %s", t.name.c_str());
+  std::printf("\ntechniques:");
+  for (TechniqueKind kind : evaluated_techniques()) std::printf(" %s", to_string(kind));
+  std::printf(" %s", to_string(TechniqueKind::kSemiBlockingCheckpoint));
+  std::printf("\nschedulers:");
+  for (SchedulerKind kind : extended_schedulers()) std::printf(" %s", to_string(kind));
+  std::printf("\nsee README.md and bench/ for the paper-reproduction harnesses\n");
+  return 0;
+}
+
+int cmd_efficiency(int argc, const char* const* argv) {
+  CliParser cli{"xres efficiency — technique-efficiency sweep over application sizes"};
+  cli.add_option("--type", "application type (Table I)", "C64");
+  cli.add_option("--mtbf-years", "per-node MTBF", "10");
+  cli.add_option("--trials", "trials per cell", "50");
+  cli.add_option("--baseline-hours", "delay-free execution time", "24");
+  cli.add_option("--seed", "root RNG seed", "20170529");
+  cli.add_flag("--chart", "render ASCII bars");
+  if (!cli.parse(argc, argv)) return 0;
+
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name(cli.str("--type"));
+  config.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+  config.baseline = Duration::hours(cli.real("--baseline-hours"));
+  config.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  config.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+
+  const EfficiencyStudyResult result = run_efficiency_study(config);
+  std::printf("%s", result.to_table().to_text().c_str());
+  if (cli.flag("--chart")) {
+    std::vector<std::string> series;
+    for (TechniqueKind kind : config.techniques) series.emplace_back(to_string(kind));
+    BarChart chart{series};
+    for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+      std::vector<double> values;
+      for (const Summary& s : result.efficiency[si]) values.push_back(s.mean);
+      chart.add_category(fmt_percent(config.size_fractions[si], 0), values);
+    }
+    std::printf("\n%s", chart.render(50, 1.0).c_str());
+  }
+  return 0;
+}
+
+int cmd_workload(int argc, const char* const* argv) {
+  CliParser cli{"xres workload — oversubscribed-machine study"};
+  cli.add_option("--scheduler", "FCFS | Random | Slack | FirstFit | SJF", "Slack");
+  cli.add_option("--technique", "technique name, 'selection' or 'none'",
+                 "parallel-recovery");
+  cli.add_option("--patterns", "arrival patterns to average", "10");
+  cli.add_option("--mtbf-years", "per-node MTBF", "10");
+  cli.add_option("--bias",
+                 "unbiased | high-memory | high-communication | large-apps",
+                 "unbiased");
+  cli.add_option("--seed", "root RNG seed", "20170530");
+  if (!cli.parse(argc, argv)) return 0;
+
+  WorkloadStudyConfig study;
+  study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
+  study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  study.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+  const std::string bias = cli.str("--bias");
+  for (WorkloadBias b : {WorkloadBias::kUnbiased, WorkloadBias::kHighMemory,
+                         WorkloadBias::kHighCommunication, WorkloadBias::kLargeApps}) {
+    if (bias == to_string(b)) study.workload.bias = b;
+  }
+
+  WorkloadCombo combo;
+  combo.scheduler = scheduler_from_string(cli.str("--scheduler"));
+  const std::string technique = cli.str("--technique");
+  combo.policy = technique == "selection" ? TechniquePolicy::selection()
+                 : technique == "none"    ? TechniquePolicy::ideal_baseline()
+                 : TechniquePolicy::fixed_technique(technique_from_string(technique));
+
+  const auto results = run_workload_study(
+      study, {combo}, [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r  pattern %zu/%zu", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      });
+  std::printf("%s", workload_results_table(results).to_text().c_str());
+  return 0;
+}
+
+int cmd_advise(int argc, const char* const* argv) {
+  CliParser cli{"xres advise — recommend a resilience technique"};
+  cli.add_option("--type", "application type (Table I)", "C64");
+  cli.add_option("--system-share", "fraction of the machine used", "0.25");
+  cli.add_option("--baseline-hours", "delay-free execution time", "24");
+  cli.add_option("--mtbf-years", "per-node MTBF", "10");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const MachineSpec machine = MachineSpec::exascale();
+  ResilienceConfig resilience;
+  resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+  const auto nodes = static_cast<std::uint32_t>(
+      cli.real("--system-share") * machine.node_count);
+  const AppSpec app = AppSpec::from_baseline(app_type_by_name(cli.str("--type")),
+                                             std::max(1U, nodes),
+                                             Duration::hours(cli.real("--baseline-hours")));
+
+  Table table{{"technique", "predicted efficiency", "expected wall time"}};
+  for (TechniqueKind kind : evaluated_techniques()) {
+    const ExecutionPlan plan = make_plan(kind, app, machine, resilience);
+    const double eff = predict_efficiency(plan, resilience);
+    table.add_row({to_string(kind), fmt_double(eff, 3),
+                   plan.feasible ? to_string(predict_wall_time(plan, resilience))
+                                 : "infeasible"});
+  }
+  std::printf("application: %s\n%s", app.describe().c_str(), table.to_text().c_str());
+
+  const ResilienceSelector selector{machine, resilience};
+  const auto selection = selector.select(app);
+  std::printf("recommendation: %s (predicted %.3f)\n", to_string(selection.kind),
+              selection.predicted_efficiency);
+  return 0;
+}
+
+int cmd_trace(int argc, const char* const* argv) {
+  CliParser cli{"xres trace — generate a failure trace CSV"};
+  cli.add_option("--mtbf-years", "per-node MTBF", "10");
+  cli.add_option("--system-share", "fraction of the machine busy", "1.0");
+  cli.add_option("--days", "horizon in days", "7");
+  cli.add_option("--weibull-shape", "0 = exponential, else Weibull shape", "0");
+  cli.add_option("--seed", "RNG seed", "1");
+  cli.add_option("--out", "output path (empty: stdout)", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Rate rate = Rate::one_per(Duration::years(cli.real("--mtbf-years"))) *
+                    (cli.real("--system-share") * 120000.0);
+  const double shape = cli.real("--weibull-shape");
+  const FailureDistribution dist = shape > 0.0 ? FailureDistribution::weibull(shape)
+                                               : FailureDistribution::exponential();
+  Pcg32 rng{static_cast<std::uint64_t>(cli.integer("--seed"))};
+  const SeverityModel severity = SeverityModel::bluegene_default();
+  const FailureTrace trace = FailureTrace::generate(
+      rate, Duration::days(cli.real("--days")), severity, dist, rng);
+
+  const std::string out = cli.str("--out");
+  if (out.empty()) {
+    std::fputs(trace.to_csv().c_str(), stdout);
+  } else {
+    trace.save(out);
+    std::printf("%zu failures written to %s\n", trace.size(), out.c_str());
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::fputs(
+      "usage: xres <command> [options]\n\n"
+      "commands:\n"
+      "  info        library, machine and model summary\n"
+      "  efficiency  technique-efficiency sweep over application sizes\n"
+      "  workload    oversubscribed-machine dropped-applications study\n"
+      "  advise      recommend a resilience technique for an application\n"
+      "  trace       generate a failure trace CSV\n\n"
+      "run 'xres <command> --help' for per-command options\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "info") return cmd_info();
+    if (command == "efficiency") return cmd_efficiency(sub_argc, sub_argv);
+    if (command == "workload") return cmd_workload(sub_argc, sub_argv);
+    if (command == "advise") return cmd_advise(sub_argc, sub_argv);
+    if (command == "trace") return cmd_trace(sub_argc, sub_argv);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    print_usage();
+    return 1;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
