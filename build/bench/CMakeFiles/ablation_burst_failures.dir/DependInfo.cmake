@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_burst_failures.cpp" "bench/CMakeFiles/ablation_burst_failures.dir/ablation_burst_failures.cpp.o" "gcc" "bench/CMakeFiles/ablation_burst_failures.dir/ablation_burst_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/xres_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xres_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/xres_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/xres_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/xres_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xres_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burst_failures.dir/ablation_burst_failures.cpp.o"
+  "CMakeFiles/ablation_burst_failures.dir/ablation_burst_failures.cpp.o.d"
+  "ablation_burst_failures"
+  "ablation_burst_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint_compression.dir/ablation_checkpoint_compression.cpp.o"
+  "CMakeFiles/ablation_checkpoint_compression.dir/ablation_checkpoint_compression.cpp.o.d"
+  "ablation_checkpoint_compression"
+  "ablation_checkpoint_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

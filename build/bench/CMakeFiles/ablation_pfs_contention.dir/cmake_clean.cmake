@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pfs_contention.dir/ablation_pfs_contention.cpp.o"
+  "CMakeFiles/ablation_pfs_contention.dir/ablation_pfs_contention.cpp.o.d"
+  "ablation_pfs_contention"
+  "ablation_pfs_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfs_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

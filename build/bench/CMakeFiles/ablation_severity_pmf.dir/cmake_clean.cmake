@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_severity_pmf.dir/ablation_severity_pmf.cpp.o"
+  "CMakeFiles/ablation_severity_pmf.dir/ablation_severity_pmf.cpp.o.d"
+  "ablation_severity_pmf"
+  "ablation_severity_pmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_severity_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy_comparison.dir/ext_energy_comparison.cpp.o"
+  "CMakeFiles/ext_energy_comparison.dir/ext_energy_comparison.cpp.o.d"
+  "ext_energy_comparison"
+  "ext_energy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_paired_comparison.dir/ext_paired_comparison.cpp.o"
+  "CMakeFiles/ext_paired_comparison.dir/ext_paired_comparison.cpp.o.d"
+  "ext_paired_comparison"
+  "ext_paired_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_paired_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_semi_blocking.dir/ext_semi_blocking.cpp.o"
+  "CMakeFiles/ext_semi_blocking.dir/ext_semi_blocking.cpp.o.d"
+  "ext_semi_blocking"
+  "ext_semi_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_semi_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

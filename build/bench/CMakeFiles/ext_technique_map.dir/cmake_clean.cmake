@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_technique_map.dir/ext_technique_map.cpp.o"
+  "CMakeFiles/ext_technique_map.dir/ext_technique_map.cpp.o.d"
+  "ext_technique_map"
+  "ext_technique_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_technique_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

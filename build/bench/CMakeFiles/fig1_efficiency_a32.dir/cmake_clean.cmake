@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_efficiency_a32.dir/fig1_efficiency_a32.cpp.o"
+  "CMakeFiles/fig1_efficiency_a32.dir/fig1_efficiency_a32.cpp.o.d"
+  "fig1_efficiency_a32"
+  "fig1_efficiency_a32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_efficiency_a32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

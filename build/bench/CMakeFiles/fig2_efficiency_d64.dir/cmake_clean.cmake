@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_efficiency_d64.dir/fig2_efficiency_d64.cpp.o"
+  "CMakeFiles/fig2_efficiency_d64.dir/fig2_efficiency_d64.cpp.o.d"
+  "fig2_efficiency_d64"
+  "fig2_efficiency_d64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_efficiency_d64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

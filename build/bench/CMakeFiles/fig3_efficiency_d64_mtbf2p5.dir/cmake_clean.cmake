@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_efficiency_d64_mtbf2p5.dir/fig3_efficiency_d64_mtbf2p5.cpp.o"
+  "CMakeFiles/fig3_efficiency_d64_mtbf2p5.dir/fig3_efficiency_d64_mtbf2p5.cpp.o.d"
+  "fig3_efficiency_d64_mtbf2p5"
+  "fig3_efficiency_d64_mtbf2p5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_efficiency_d64_mtbf2p5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

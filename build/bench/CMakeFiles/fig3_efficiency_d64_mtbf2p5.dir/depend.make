@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_efficiency_d64_mtbf2p5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_resource_management.dir/fig4_resource_management.cpp.o"
+  "CMakeFiles/fig4_resource_management.dir/fig4_resource_management.cpp.o.d"
+  "fig4_resource_management"
+  "fig4_resource_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_resource_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

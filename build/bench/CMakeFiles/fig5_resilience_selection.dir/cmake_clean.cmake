@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_resilience_selection.dir/fig5_resilience_selection.cpp.o"
+  "CMakeFiles/fig5_resilience_selection.dir/fig5_resilience_selection.cpp.o.d"
+  "fig5_resilience_selection"
+  "fig5_resilience_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_resilience_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

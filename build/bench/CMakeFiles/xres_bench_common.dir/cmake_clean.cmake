@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_bench_common.dir/common.cpp.o"
+  "CMakeFiles/xres_bench_common.dir/common.cpp.o.d"
+  "libxres_bench_common.a"
+  "libxres_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

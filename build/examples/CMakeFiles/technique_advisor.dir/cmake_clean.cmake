@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technique_advisor.dir/technique_advisor.cpp.o"
+  "CMakeFiles/technique_advisor.dir/technique_advisor.cpp.o.d"
+  "technique_advisor"
+  "technique_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technique_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_type.cpp" "src/apps/CMakeFiles/xres_apps.dir/app_type.cpp.o" "gcc" "src/apps/CMakeFiles/xres_apps.dir/app_type.cpp.o.d"
+  "/root/repo/src/apps/application.cpp" "src/apps/CMakeFiles/xres_apps.dir/application.cpp.o" "gcc" "src/apps/CMakeFiles/xres_apps.dir/application.cpp.o.d"
+  "/root/repo/src/apps/swf.cpp" "src/apps/CMakeFiles/xres_apps.dir/swf.cpp.o" "gcc" "src/apps/CMakeFiles/xres_apps.dir/swf.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/xres_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/xres_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_apps.dir/app_type.cpp.o"
+  "CMakeFiles/xres_apps.dir/app_type.cpp.o.d"
+  "CMakeFiles/xres_apps.dir/application.cpp.o"
+  "CMakeFiles/xres_apps.dir/application.cpp.o.d"
+  "CMakeFiles/xres_apps.dir/swf.cpp.o"
+  "CMakeFiles/xres_apps.dir/swf.cpp.o.d"
+  "CMakeFiles/xres_apps.dir/workload.cpp.o"
+  "CMakeFiles/xres_apps.dir/workload.cpp.o.d"
+  "libxres_apps.a"
+  "libxres_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

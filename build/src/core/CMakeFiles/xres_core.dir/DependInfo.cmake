@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/occupancy.cpp" "src/core/CMakeFiles/xres_core.dir/occupancy.cpp.o" "gcc" "src/core/CMakeFiles/xres_core.dir/occupancy.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/xres_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/xres_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/xres_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/xres_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/single_app_study.cpp" "src/core/CMakeFiles/xres_core.dir/single_app_study.cpp.o" "gcc" "src/core/CMakeFiles/xres_core.dir/single_app_study.cpp.o.d"
+  "/root/repo/src/core/workload_engine.cpp" "src/core/CMakeFiles/xres_core.dir/workload_engine.cpp.o" "gcc" "src/core/CMakeFiles/xres_core.dir/workload_engine.cpp.o.d"
+  "/root/repo/src/core/workload_study.cpp" "src/core/CMakeFiles/xres_core.dir/workload_study.cpp.o" "gcc" "src/core/CMakeFiles/xres_core.dir/workload_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/xres_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xres_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/xres_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xres_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/xres_rm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_core.dir/occupancy.cpp.o"
+  "CMakeFiles/xres_core.dir/occupancy.cpp.o.d"
+  "CMakeFiles/xres_core.dir/policy.cpp.o"
+  "CMakeFiles/xres_core.dir/policy.cpp.o.d"
+  "CMakeFiles/xres_core.dir/report.cpp.o"
+  "CMakeFiles/xres_core.dir/report.cpp.o.d"
+  "CMakeFiles/xres_core.dir/single_app_study.cpp.o"
+  "CMakeFiles/xres_core.dir/single_app_study.cpp.o.d"
+  "CMakeFiles/xres_core.dir/workload_engine.cpp.o"
+  "CMakeFiles/xres_core.dir/workload_engine.cpp.o.d"
+  "CMakeFiles/xres_core.dir/workload_study.cpp.o"
+  "CMakeFiles/xres_core.dir/workload_study.cpp.o.d"
+  "libxres_core.a"
+  "libxres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/distribution.cpp" "src/failure/CMakeFiles/xres_failure.dir/distribution.cpp.o" "gcc" "src/failure/CMakeFiles/xres_failure.dir/distribution.cpp.o.d"
+  "/root/repo/src/failure/process.cpp" "src/failure/CMakeFiles/xres_failure.dir/process.cpp.o" "gcc" "src/failure/CMakeFiles/xres_failure.dir/process.cpp.o.d"
+  "/root/repo/src/failure/replay.cpp" "src/failure/CMakeFiles/xres_failure.dir/replay.cpp.o" "gcc" "src/failure/CMakeFiles/xres_failure.dir/replay.cpp.o.d"
+  "/root/repo/src/failure/severity.cpp" "src/failure/CMakeFiles/xres_failure.dir/severity.cpp.o" "gcc" "src/failure/CMakeFiles/xres_failure.dir/severity.cpp.o.d"
+  "/root/repo/src/failure/trace.cpp" "src/failure/CMakeFiles/xres_failure.dir/trace.cpp.o" "gcc" "src/failure/CMakeFiles/xres_failure.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_failure.dir/distribution.cpp.o"
+  "CMakeFiles/xres_failure.dir/distribution.cpp.o.d"
+  "CMakeFiles/xres_failure.dir/process.cpp.o"
+  "CMakeFiles/xres_failure.dir/process.cpp.o.d"
+  "CMakeFiles/xres_failure.dir/replay.cpp.o"
+  "CMakeFiles/xres_failure.dir/replay.cpp.o.d"
+  "CMakeFiles/xres_failure.dir/severity.cpp.o"
+  "CMakeFiles/xres_failure.dir/severity.cpp.o.d"
+  "CMakeFiles/xres_failure.dir/trace.cpp.o"
+  "CMakeFiles/xres_failure.dir/trace.cpp.o.d"
+  "libxres_failure.a"
+  "libxres_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

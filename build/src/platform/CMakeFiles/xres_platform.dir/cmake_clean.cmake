@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_platform.dir/allocator.cpp.o"
+  "CMakeFiles/xres_platform.dir/allocator.cpp.o.d"
+  "CMakeFiles/xres_platform.dir/machine.cpp.o"
+  "CMakeFiles/xres_platform.dir/machine.cpp.o.d"
+  "CMakeFiles/xres_platform.dir/spec.cpp.o"
+  "CMakeFiles/xres_platform.dir/spec.cpp.o.d"
+  "CMakeFiles/xres_platform.dir/transfer.cpp.o"
+  "CMakeFiles/xres_platform.dir/transfer.cpp.o.d"
+  "libxres_platform.a"
+  "libxres_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/analytic.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/analytic.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/analytic.cpp.o.d"
+  "/root/repo/src/resilience/config.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/config.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/config.cpp.o.d"
+  "/root/repo/src/resilience/interval.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/interval.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/interval.cpp.o.d"
+  "/root/repo/src/resilience/multilevel.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/multilevel.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/multilevel.cpp.o.d"
+  "/root/repo/src/resilience/plan.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/plan.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/plan.cpp.o.d"
+  "/root/repo/src/resilience/planner.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/planner.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/planner.cpp.o.d"
+  "/root/repo/src/resilience/renewal.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/renewal.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/renewal.cpp.o.d"
+  "/root/repo/src/resilience/selector.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/selector.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/selector.cpp.o.d"
+  "/root/repo/src/resilience/technique.cpp" "src/resilience/CMakeFiles/xres_resilience.dir/technique.cpp.o" "gcc" "src/resilience/CMakeFiles/xres_resilience.dir/technique.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/xres_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xres_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_resilience.dir/analytic.cpp.o"
+  "CMakeFiles/xres_resilience.dir/analytic.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/config.cpp.o"
+  "CMakeFiles/xres_resilience.dir/config.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/interval.cpp.o"
+  "CMakeFiles/xres_resilience.dir/interval.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/multilevel.cpp.o"
+  "CMakeFiles/xres_resilience.dir/multilevel.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/plan.cpp.o"
+  "CMakeFiles/xres_resilience.dir/plan.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/planner.cpp.o"
+  "CMakeFiles/xres_resilience.dir/planner.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/renewal.cpp.o"
+  "CMakeFiles/xres_resilience.dir/renewal.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/selector.cpp.o"
+  "CMakeFiles/xres_resilience.dir/selector.cpp.o.d"
+  "CMakeFiles/xres_resilience.dir/technique.cpp.o"
+  "CMakeFiles/xres_resilience.dir/technique.cpp.o.d"
+  "libxres_resilience.a"
+  "libxres_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/extensions.cpp" "src/rm/CMakeFiles/xres_rm.dir/extensions.cpp.o" "gcc" "src/rm/CMakeFiles/xres_rm.dir/extensions.cpp.o.d"
+  "/root/repo/src/rm/fcfs.cpp" "src/rm/CMakeFiles/xres_rm.dir/fcfs.cpp.o" "gcc" "src/rm/CMakeFiles/xres_rm.dir/fcfs.cpp.o.d"
+  "/root/repo/src/rm/random_order.cpp" "src/rm/CMakeFiles/xres_rm.dir/random_order.cpp.o" "gcc" "src/rm/CMakeFiles/xres_rm.dir/random_order.cpp.o.d"
+  "/root/repo/src/rm/scheduler.cpp" "src/rm/CMakeFiles/xres_rm.dir/scheduler.cpp.o" "gcc" "src/rm/CMakeFiles/xres_rm.dir/scheduler.cpp.o.d"
+  "/root/repo/src/rm/slack.cpp" "src/rm/CMakeFiles/xres_rm.dir/slack.cpp.o" "gcc" "src/rm/CMakeFiles/xres_rm.dir/slack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xres_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

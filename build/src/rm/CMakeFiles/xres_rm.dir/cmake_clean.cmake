@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_rm.dir/extensions.cpp.o"
+  "CMakeFiles/xres_rm.dir/extensions.cpp.o.d"
+  "CMakeFiles/xres_rm.dir/fcfs.cpp.o"
+  "CMakeFiles/xres_rm.dir/fcfs.cpp.o.d"
+  "CMakeFiles/xres_rm.dir/random_order.cpp.o"
+  "CMakeFiles/xres_rm.dir/random_order.cpp.o.d"
+  "CMakeFiles/xres_rm.dir/scheduler.cpp.o"
+  "CMakeFiles/xres_rm.dir/scheduler.cpp.o.d"
+  "CMakeFiles/xres_rm.dir/slack.cpp.o"
+  "CMakeFiles/xres_rm.dir/slack.cpp.o.d"
+  "libxres_rm.a"
+  "libxres_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/app_runtime.cpp" "src/runtime/CMakeFiles/xres_runtime.dir/app_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/xres_runtime.dir/app_runtime.cpp.o.d"
+  "/root/repo/src/runtime/power.cpp" "src/runtime/CMakeFiles/xres_runtime.dir/power.cpp.o" "gcc" "src/runtime/CMakeFiles/xres_runtime.dir/power.cpp.o.d"
+  "/root/repo/src/runtime/result.cpp" "src/runtime/CMakeFiles/xres_runtime.dir/result.cpp.o" "gcc" "src/runtime/CMakeFiles/xres_runtime.dir/result.cpp.o.d"
+  "/root/repo/src/runtime/timeline.cpp" "src/runtime/CMakeFiles/xres_runtime.dir/timeline.cpp.o" "gcc" "src/runtime/CMakeFiles/xres_runtime.dir/timeline.cpp.o.d"
+  "/root/repo/src/runtime/transfer_service.cpp" "src/runtime/CMakeFiles/xres_runtime.dir/transfer_service.cpp.o" "gcc" "src/runtime/CMakeFiles/xres_runtime.dir/transfer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/xres_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/xres_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xres_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

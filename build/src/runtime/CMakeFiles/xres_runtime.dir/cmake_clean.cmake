@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_runtime.dir/app_runtime.cpp.o"
+  "CMakeFiles/xres_runtime.dir/app_runtime.cpp.o.d"
+  "CMakeFiles/xres_runtime.dir/power.cpp.o"
+  "CMakeFiles/xres_runtime.dir/power.cpp.o.d"
+  "CMakeFiles/xres_runtime.dir/result.cpp.o"
+  "CMakeFiles/xres_runtime.dir/result.cpp.o.d"
+  "CMakeFiles/xres_runtime.dir/timeline.cpp.o"
+  "CMakeFiles/xres_runtime.dir/timeline.cpp.o.d"
+  "CMakeFiles/xres_runtime.dir/transfer_service.cpp.o"
+  "CMakeFiles/xres_runtime.dir/transfer_service.cpp.o.d"
+  "libxres_runtime.a"
+  "libxres_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/xres_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/xres_sim.dir/shared_channel.cpp.o"
+  "CMakeFiles/xres_sim.dir/shared_channel.cpp.o.d"
+  "CMakeFiles/xres_sim.dir/simulation.cpp.o"
+  "CMakeFiles/xres_sim.dir/simulation.cpp.o.d"
+  "libxres_sim.a"
+  "libxres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

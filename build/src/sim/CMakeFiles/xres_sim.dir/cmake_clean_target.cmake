@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxres_sim.a"
+)

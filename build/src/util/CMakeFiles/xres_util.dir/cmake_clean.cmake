@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_util.dir/barchart.cpp.o"
+  "CMakeFiles/xres_util.dir/barchart.cpp.o.d"
+  "CMakeFiles/xres_util.dir/check.cpp.o"
+  "CMakeFiles/xres_util.dir/check.cpp.o.d"
+  "CMakeFiles/xres_util.dir/cli.cpp.o"
+  "CMakeFiles/xres_util.dir/cli.cpp.o.d"
+  "CMakeFiles/xres_util.dir/log.cpp.o"
+  "CMakeFiles/xres_util.dir/log.cpp.o.d"
+  "CMakeFiles/xres_util.dir/rng.cpp.o"
+  "CMakeFiles/xres_util.dir/rng.cpp.o.d"
+  "CMakeFiles/xres_util.dir/stats.cpp.o"
+  "CMakeFiles/xres_util.dir/stats.cpp.o.d"
+  "CMakeFiles/xres_util.dir/table.cpp.o"
+  "CMakeFiles/xres_util.dir/table.cpp.o.d"
+  "CMakeFiles/xres_util.dir/units.cpp.o"
+  "CMakeFiles/xres_util.dir/units.cpp.o.d"
+  "libxres_util.a"
+  "libxres_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptive_interval_test.cpp" "tests/CMakeFiles/xres_tests.dir/adaptive_interval_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/adaptive_interval_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/xres_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/burst_failure_test.cpp" "tests/CMakeFiles/xres_tests.dir/burst_failure_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/burst_failure_test.cpp.o.d"
+  "/root/repo/tests/failure_replay_test.cpp" "tests/CMakeFiles/xres_tests.dir/failure_replay_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/failure_replay_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/xres_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/xres_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/occupancy_test.cpp" "tests/CMakeFiles/xres_tests.dir/occupancy_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/occupancy_test.cpp.o.d"
+  "/root/repo/tests/platform_test.cpp" "tests/CMakeFiles/xres_tests.dir/platform_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/platform_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/xres_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/resilience_interval_test.cpp" "tests/CMakeFiles/xres_tests.dir/resilience_interval_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/resilience_interval_test.cpp.o.d"
+  "/root/repo/tests/resilience_planner_test.cpp" "tests/CMakeFiles/xres_tests.dir/resilience_planner_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/resilience_planner_test.cpp.o.d"
+  "/root/repo/tests/resilience_renewal_test.cpp" "tests/CMakeFiles/xres_tests.dir/resilience_renewal_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/resilience_renewal_test.cpp.o.d"
+  "/root/repo/tests/rm_test.cpp" "tests/CMakeFiles/xres_tests.dir/rm_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/rm_test.cpp.o.d"
+  "/root/repo/tests/runtime_property_test.cpp" "tests/CMakeFiles/xres_tests.dir/runtime_property_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/runtime_property_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/xres_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/runtime_timeline_test.cpp" "tests/CMakeFiles/xres_tests.dir/runtime_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/runtime_timeline_test.cpp.o.d"
+  "/root/repo/tests/semi_blocking_test.cpp" "tests/CMakeFiles/xres_tests.dir/semi_blocking_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/semi_blocking_test.cpp.o.d"
+  "/root/repo/tests/shared_channel_test.cpp" "tests/CMakeFiles/xres_tests.dir/shared_channel_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/shared_channel_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/xres_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/swf_test.cpp" "tests/CMakeFiles/xres_tests.dir/swf_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/swf_test.cpp.o.d"
+  "/root/repo/tests/umbrella_test.cpp" "tests/CMakeFiles/xres_tests.dir/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/umbrella_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/xres_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/xres_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_cli_test.cpp" "tests/CMakeFiles/xres_tests.dir/util_table_cli_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/util_table_cli_test.cpp.o.d"
+  "/root/repo/tests/util_units_test.cpp" "tests/CMakeFiles/xres_tests.dir/util_units_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/util_units_test.cpp.o.d"
+  "/root/repo/tests/workload_engine_test.cpp" "tests/CMakeFiles/xres_tests.dir/workload_engine_test.cpp.o" "gcc" "tests/CMakeFiles/xres_tests.dir/workload_engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xres_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/xres_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/xres_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/xres_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xres_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xres_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xres_cli.dir/xres_cli.cpp.o"
+  "CMakeFiles/xres_cli.dir/xres_cli.cpp.o.d"
+  "xres"
+  "xres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xres_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
