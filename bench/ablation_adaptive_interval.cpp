@@ -19,9 +19,11 @@ int main(int argc, char** argv) {
                 "under misspecified MTBF"};
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--seed", "root RNG seed", "15");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   const MachineSpec machine = MachineSpec::exascale();
   const AppSpec app{app_type_by_name("B32"), 60000, 1440};
@@ -46,15 +48,24 @@ int main(int argc, char** argv) {
     static_plan.failure_rate = true_rate;
     adaptive_plan.failure_rate = true_rate;
 
+    // Both plans replay the same per-trial seeds (paired comparison).
+    std::vector<TrialSpec> st_specs;
+    std::vector<TrialSpec> ad_specs;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      st_specs.push_back(TrialSpec{
+          PlanTrialSpec{static_plan, actual, FailureDistribution::exponential()},
+          {0, t}});
+      ad_specs.push_back(TrialSpec{
+          PlanTrialSpec{adaptive_plan, actual, FailureDistribution::exponential()},
+          {0, t}});
+    }
     RunningStats st;
     RunningStats ad;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      st.add(run_plan_trial(static_plan, actual, FailureDistribution::exponential(),
-                            derive_seed(seed, 0, t))
-                 .efficiency);
-      ad.add(run_plan_trial(adaptive_plan, actual, FailureDistribution::exponential(),
-                            derive_seed(seed, 0, t))
-                 .efficiency);
+    for (const ExecutionResult& r : executor.run_batch(seed, st_specs)) {
+      st.add(r.efficiency);
+    }
+    for (const ExecutionResult& r : executor.run_batch(seed, ad_specs)) {
+      ad.add(r.efficiency);
     }
     table.add_row({fmt_double(true_years, 1) + " y",
                    fmt_mean_std(st.mean(), st.stddev()),

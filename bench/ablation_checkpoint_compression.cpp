@@ -18,9 +18,11 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--mtbf-years", "node MTBF", "2.5");
   cli.add_option("--seed", "root RNG seed", "17");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   std::printf("Ablation: checkpoint image compression at exascale\n");
   std::printf("application D64 @ 100%% of the machine, MTBF %.1f y, %u trials\n\n",
@@ -37,9 +39,14 @@ int main(int argc, char** argv) {
       config.technique = kind;
       config.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
       config.resilience.checkpoint_compression = ratio;
-      RunningStats eff;
+      std::vector<TrialSpec> specs;
+      specs.reserve(trials);
       for (std::uint32_t t = 0; t < trials; ++t) {
-        eff.add(run_single_app_trial(config, derive_seed(seed, column, t)).efficiency);
+        specs.push_back(TrialSpec{config, {static_cast<std::uint64_t>(column), t}});
+      }
+      RunningStats eff;
+      for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+        eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
       ++column;

@@ -16,9 +16,11 @@ int main(int argc, char** argv) {
                 "checkpoint-interval multiplier"};
   cli.add_option("--trials", "trials per multiplier", "80");
   cli.add_option("--seed", "root RNG seed", "10");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   const MachineSpec machine = MachineSpec::exascale();
   const ResilienceConfig resilience;
@@ -37,12 +39,16 @@ int main(int argc, char** argv) {
   for (double mult : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0}) {
     ExecutionPlan plan = base;
     plan.checkpoint_quantum = base.checkpoint_quantum * mult;
+    std::vector<TrialSpec> specs;
+    specs.reserve(trials);
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      specs.push_back(TrialSpec{
+          PlanTrialSpec{plan, resilience, FailureDistribution::exponential()}, {t}});
+    }
     RunningStats eff;
     RunningStats checkpoints;
     RunningStats rollbacks;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      const ExecutionResult r = run_plan_trial(
-          plan, resilience, FailureDistribution::exponential(), derive_seed(seed, t));
+    for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
       eff.add(r.efficiency);
       checkpoints.add(static_cast<double>(r.checkpoints_completed));
       rollbacks.add(static_cast<double>(r.rollbacks));

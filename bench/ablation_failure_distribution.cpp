@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
                 "failure inter-arrival shape"};
   cli.add_option("--trials", "trials per cell", "60");
   cli.add_option("--seed", "root RNG seed", "9");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   std::printf("Ablation: failure inter-arrival distribution (fixed mean rate)\n");
   std::printf("application C32 @ 25%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -42,10 +44,15 @@ int main(int argc, char** argv) {
       config.app = AppSpec{app_type_by_name("C32"), 30000, 1440};
       config.technique = kind;
       config.failure_distribution = dist;
-      RunningStats eff;
+      std::vector<TrialSpec> specs;
+      specs.reserve(trials);
       for (std::uint32_t t = 0; t < trials; ++t) {
-        eff.add(run_single_app_trial(config, derive_seed(seed, technique_index, t))
-                    .efficiency);
+        specs.push_back(TrialSpec{
+            config, {static_cast<std::uint64_t>(technique_index), t}});
+      }
+      RunningStats eff;
+      for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+        eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
       ++technique_index;

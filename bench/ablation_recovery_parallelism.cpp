@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
   CliParser cli{"ablation_recovery_parallelism — parallel recovery vs. P"};
   cli.add_option("--trials", "trials per P", "60");
   cli.add_option("--seed", "root RNG seed", "8");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   std::printf("Ablation: parallel recovery efficiency vs. recovery parallelism P\n");
   std::printf("application D64 @ 100%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -29,11 +31,15 @@ int main(int argc, char** argv) {
     config.technique = TechniqueKind::kParallelRecovery;
     config.resilience.recovery_parallelism = p;
 
+    std::vector<TrialSpec> specs;
+    specs.reserve(trials);
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      specs.push_back(TrialSpec{config, {t}});
+    }
     RunningStats eff;
     RunningStats recovering;
     RunningStats energy;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      const ExecutionResult r = run_single_app_trial(config, derive_seed(seed, t));
+    for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
       eff.add(r.efficiency);
       recovering.add(r.time_recovering.to_minutes());
       energy.add(r.node_seconds);

@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   CliParser cli{"ablation_severity_pmf — multilevel efficiency vs. severity PMF"};
   cli.add_option("--trials", "trials per PMF", "60");
   cli.add_option("--seed", "root RNG seed", "7");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   const std::vector<std::pair<const char*, std::vector<double>>> pmfs{
       {"paper default {.55,.35,.10}", {0.55, 0.35, 0.10}},
@@ -39,13 +41,21 @@ int main(int argc, char** argv) {
     config.app = AppSpec{app_type_by_name("D64"), 30000, 1440};
     config.resilience.severity_weights = weights;
 
-    RunningStats ml;
-    RunningStats cr;
+    std::vector<TrialSpec> ml_specs;
+    std::vector<TrialSpec> cr_specs;
     for (std::uint32_t t = 0; t < trials; ++t) {
       config.technique = TechniqueKind::kMultilevel;
-      ml.add(run_single_app_trial(config, derive_seed(seed, 1, t)).efficiency);
+      ml_specs.push_back(TrialSpec{config, {1, t}});
       config.technique = TechniqueKind::kCheckpointRestart;
-      cr.add(run_single_app_trial(config, derive_seed(seed, 2, t)).efficiency);
+      cr_specs.push_back(TrialSpec{config, {2, t}});
+    }
+    RunningStats ml;
+    RunningStats cr;
+    for (const ExecutionResult& r : executor.run_batch(seed, ml_specs)) {
+      ml.add(r.efficiency);
+    }
+    for (const ExecutionResult& r : executor.run_batch(seed, cr_specs)) {
+      cr.add(r.efficiency);
     }
     table.add_row({name, fmt_mean_std(ml.mean(), ml.stddev()),
                    fmt_mean_std(cr.mean(), cr.stddev()),

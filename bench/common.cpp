@@ -12,6 +12,8 @@ void add_common_options(CliParser& cli, std::uint32_t default_trials) {
   cli.add_option("--trials", "trials per bar (paper: 200)",
                  std::to_string(default_trials));
   cli.add_option("--seed", "root RNG seed", "20170529");
+  cli.add_option("--threads", "trial worker threads (0 = all hardware threads; "
+                 "results are thread-count-invariant)", "0");
   cli.add_flag("--csv", "also emit raw CSV");
   cli.add_flag("--chart", "also render ASCII bars");
   cli.add_option("--csv-path", "write CSV to this file instead of stdout", "");
@@ -22,6 +24,7 @@ HarnessOptions read_common_options(const CliParser& cli) {
   HarnessOptions options;
   options.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   options.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  options.threads = static_cast<unsigned>(cli.integer("--threads"));
   options.csv = cli.flag("--csv");
   options.chart = cli.flag("--chart");
   options.csv_path = cli.str("--csv-path");
@@ -33,12 +36,14 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
                           const HarnessOptions& options) {
   config.trials = options.trials;
   config.seed = options.seed;
+  config.threads = options.threads;
 
   std::printf("%s\n", title.c_str());
   std::printf("machine: %s\n", config.machine.describe().c_str());
-  std::printf("node MTBF: %s; baseline T_B: %s; %u trials per bar\n\n",
+  std::printf("node MTBF: %s; baseline T_B: %s; %u trials per bar; %u threads\n\n",
               to_string(config.resilience.node_mtbf).c_str(),
-              to_string(config.baseline).c_str(), config.trials);
+              to_string(config.baseline).c_str(), config.trials,
+              TrialExecutor{options.threads}.threads());
 
   const auto start = std::chrono::steady_clock::now();
   const EfficiencyStudyResult result =

@@ -15,13 +15,14 @@ namespace xres::bench {
 struct HarnessOptions {
   std::uint32_t trials{200};
   std::uint64_t seed{20170529};
+  unsigned threads{0};  ///< trial worker threads; 0 = all hardware threads
   bool csv{false};
   bool chart{false};  ///< also render ASCII bars (the figure's visual shape)
   std::string csv_path;  ///< empty: print CSV to stdout when csv is set
   std::string report_path;  ///< non-empty: write a markdown StudyReport here
 };
 
-/// Registers --trials/--seed/--csv/--csv-path on \p cli.
+/// Registers --trials/--seed/--threads/--csv/--csv-path on \p cli.
 void add_common_options(CliParser& cli, std::uint32_t default_trials);
 
 /// Reads them back after parse().

@@ -19,9 +19,11 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "C64");
   cli.add_option("--system-share", "fraction of machine used", "0.25");
   cli.add_option("--seed", "root RNG seed", "11");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   const MachineSpec machine = MachineSpec::exascale();
   const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
@@ -45,12 +47,16 @@ int main(int argc, char** argv) {
       table.add_row({to_string(kind), "0 (infeasible)", "-", "-", "-"});
       continue;
     }
+    std::vector<TrialSpec> specs;
+    specs.reserve(trials);
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      specs.push_back(TrialSpec{
+          PlanTrialSpec{plan, resilience, FailureDistribution::exponential()}, {t}});
+    }
     RunningStats eff;
     RunningStats mwh;
     RunningStats idle_share;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      const ExecutionResult r = run_plan_trial(
-          plan, resilience, FailureDistribution::exponential(), derive_seed(seed, t));
+    for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
       const EnergyReport energy = execution_energy(r, plan.physical_nodes, power);
       eff.add(r.efficiency);
       mwh.add(energy.kilowatt_hours() / 1000.0);

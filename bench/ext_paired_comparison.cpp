@@ -20,9 +20,11 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "D64");
   cli.add_option("--system-share", "fraction of machine used", "0.25");
   cli.add_option("--seed", "root RNG seed", "13");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto traces = static_cast<std::uint32_t>(cli.integer("--traces"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   const MachineSpec machine = MachineSpec::exascale();
   const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
@@ -41,8 +43,10 @@ int main(int argc, char** argv) {
   std::printf("application %s, MTBF %s\n\n", app.describe().c_str(),
               to_string(resilience.node_mtbf).c_str());
 
-  // Efficiency per technique per trace.
-  std::vector<std::vector<double>> eff(kinds.size());
+  // Trace generation stays serial (it is cheap and sequentially seeded);
+  // the replays fan out as one batch over all (trace, technique) pairs.
+  std::vector<TrialSpec> specs;
+  specs.reserve(static_cast<std::size_t>(traces) * kinds.size());
   for (std::uint32_t i = 0; i < traces; ++i) {
     Pcg32 rng{derive_seed(seed, i)};
     // The trace's rate must cover the highest-rate plan; all three use
@@ -51,9 +55,16 @@ int main(int argc, char** argv) {
         FailureTrace::generate(plans[0].failure_rate, Duration::days(60.0), severity,
                                FailureDistribution::exponential(), rng);
     for (std::size_t k = 0; k < kinds.size(); ++k) {
-      eff[k].push_back(
-          run_plan_trial_with_trace(plans[k], resilience, trace, derive_seed(seed, i, k))
-              .efficiency);
+      specs.push_back(TrialSpec{TraceTrialSpec{plans[k], resilience, trace}, {i, k}});
+    }
+  }
+  const std::vector<ExecutionResult> results = executor.run_batch(seed, specs);
+
+  // Efficiency per technique per trace.
+  std::vector<std::vector<double>> eff(kinds.size());
+  for (std::uint32_t i = 0; i < traces; ++i) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      eff[k].push_back(results[static_cast<std::size_t>(i) * kinds.size() + k].efficiency);
     }
   }
 

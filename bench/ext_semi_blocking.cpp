@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--type", "application type (Table I)", "A32");
   cli.add_option("--seed", "root RNG seed", "19");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
   const AppType type = app_type_by_name(cli.str("--type"));
 
   std::printf("Extension: semi-blocking checkpointing, application %s, MTBF 10 y\n\n",
@@ -39,9 +41,14 @@ int main(int argc, char** argv) {
       config.app = AppSpec{type, nodes, 1440};
       config.technique = cell.kind;
       config.resilience.semi_blocking_work_rate = cell.rate;
-      RunningStats eff;
+      std::vector<TrialSpec> specs;
+      specs.reserve(trials);
       for (std::uint32_t t = 0; t < trials; ++t) {
-        eff.add(run_single_app_trial(config, derive_seed(seed, column, t)).efficiency);
+        specs.push_back(TrialSpec{config, {static_cast<std::uint64_t>(column), t}});
+      }
+      RunningStats eff;
+      for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+        eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
       ++column;

@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per technique per cell", "20");
   cli.add_option("--mtbf-years", "node MTBF", "10");
   cli.add_option("--seed", "root RNG seed", "23");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   ResilienceConfig resilience;
   resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
@@ -51,9 +53,14 @@ int main(int argc, char** argv) {
         config.app = app;
         config.technique = kind;
         config.resilience = resilience;
-        RunningStats eff;
+        std::vector<TrialSpec> specs;
+        specs.reserve(trials);
         for (std::uint32_t t = 0; t < trials; ++t) {
-          eff.add(run_single_app_trial(config, derive_seed(seed, column, t)).efficiency);
+          specs.push_back(TrialSpec{config, {static_cast<std::uint64_t>(column), t}});
+        }
+        RunningStats eff;
+        for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+          eff.add(r.efficiency);
         }
         if (eff.mean() > best_eff) {
           best_eff = eff.mean();

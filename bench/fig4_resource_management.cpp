@@ -16,12 +16,14 @@ int main(int argc, char** argv) {
       "(scheduler x resilience technique) combination, 50 arrival patterns."};
   cli.add_option("--patterns", "arrival patterns per combo (paper: 50)", "50");
   cli.add_option("--seed", "root RNG seed", "20170530");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   cli.add_flag("--csv", "also emit raw CSV");
   if (!cli.parse(argc, argv)) return 0;
 
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  study.threads = static_cast<unsigned>(cli.integer("--threads"));
 
   std::printf("Figure 4: dropped applications, oversubscribed exascale system\n");
   std::printf("machine: %s\n", study.machine.describe().c_str());

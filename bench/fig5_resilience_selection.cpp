@@ -16,11 +16,13 @@ int main(int argc, char** argv) {
       "Resilience Selection per scheduler, over four workload biases."};
   cli.add_option("--patterns", "arrival patterns per combo (paper: 50)", "50");
   cli.add_option("--seed", "root RNG seed", "20170530");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   cli.add_flag("--csv", "also emit raw CSV");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const auto threads = static_cast<unsigned>(cli.integer("--threads"));
 
   std::printf("Figure 5: Parallel Recovery vs. Resilience Selection\n\n");
 
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
     WorkloadStudyConfig study;
     study.patterns = patterns;
     study.seed = seed;
+    study.threads = threads;
     study.workload.bias = bias;
 
     std::fprintf(stderr, "bias: %s\n", to_string(bias));

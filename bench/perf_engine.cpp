@@ -141,13 +141,36 @@ void BM_SingleAppTrial(benchmark::State& state) {
   config.technique = static_cast<TechniqueKind>(state.range(0));
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_single_app_trial(config, ++seed));
+    benchmark::DoNotOptimize(run_trial(config, ++seed));
   }
 }
 BENCHMARK(BM_SingleAppTrial)
     ->Arg(static_cast<int>(TechniqueKind::kCheckpointRestart))
     ->Arg(static_cast<int>(TechniqueKind::kMultilevel))
     ->Arg(static_cast<int>(TechniqueKind::kParallelRecovery))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrialExecutorBatch(benchmark::State& state) {
+  // Parallel scaling of a fixed 64-trial batch; compare Arg(1) against
+  // Arg(N) to read the executor's speedup on this machine.
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("C64"), 30000, 1440};
+  config.technique = TechniqueKind::kMultilevel;
+  std::vector<TrialSpec> specs;
+  specs.reserve(64);
+  for (std::uint64_t t = 0; t < 64; ++t) specs.push_back(TrialSpec{config, {t}});
+  const TrialExecutor executor{static_cast<unsigned>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run_batch(20170529, specs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_TrialExecutorBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

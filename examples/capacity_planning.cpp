@@ -19,9 +19,11 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "D64");
   cli.add_option("--trials", "simulated trials per cell", "20");
   cli.add_option("--target", "viability threshold on efficiency", "0.5");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
   const double target = cli.real("--target");
   const AppSpec app{app_type_by_name(cli.str("--type")), 120000, 1440};
 
@@ -46,9 +48,14 @@ int main(int argc, char** argv) {
       config.app = app;
       config.technique = techniques[k];
       config.resilience.node_mtbf = Duration::years(years);
-      RunningStats stats;
+      std::vector<TrialSpec> specs;
+      specs.reserve(trials);
       for (std::uint32_t t = 0; t < trials; ++t) {
-        stats.add(run_single_app_trial(config, derive_seed(42, k, t)).efficiency);
+        specs.push_back(TrialSpec{config, {k, t}});
+      }
+      RunningStats stats;
+      for (const ExecutionResult& r : executor.run_batch(42, specs)) {
+        stats.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(stats.mean(), stats.stddev()));
       if (first_viable[k] < 0.0 && stats.mean() >= target) first_viable[k] = years;

@@ -6,7 +6,7 @@
 // Walks through the library's three core steps:
 //   1. describe the machine and the application,
 //   2. plan a resilient execution (make_plan),
-//   3. simulate it under failures (run_single_app_trial).
+//   3. simulate it under failures (run_trial).
 
 #include <cstdio>
 
@@ -56,7 +56,7 @@ int main() {
   RunningStats efficiency;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const ExecutionResult result =
-        run_plan_trial(plan, resilience, FailureDistribution::exponential(), seed);
+        run_trial(PlanTrialSpec{plan, resilience, FailureDistribution::exponential()}, seed);
     std::printf("  seed %llu: %s\n", static_cast<unsigned long long>(seed),
                 result.describe().c_str());
     efficiency.add(result.efficiency);

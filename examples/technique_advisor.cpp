@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
   cli.add_option("--baseline-hours", "delay-free execution time", "24");
   cli.add_option("--mtbf-years", "per-node MTBF", "10");
   cli.add_option("--trials", "simulated trials per technique", "20");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
+  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
 
   const MachineSpec machine = MachineSpec::exascale();
   const double share = cli.real("--system-share");
@@ -55,14 +57,19 @@ int main(int argc, char** argv) {
     if (!plan.feasible) {
       note = "infeasible: needs " + std::to_string(plan.physical_nodes) + " nodes";
     } else {
-      RunningStats stats;
+      SingleAppTrialConfig config;
+      config.app = app;
+      config.technique = kind;
+      config.machine = machine;
+      config.resilience = resilience;
+      std::vector<TrialSpec> specs;
+      specs.reserve(trials);
       for (std::uint32_t t = 0; t < trials; ++t) {
-        SingleAppTrialConfig config;
-        config.app = app;
-        config.technique = kind;
-        config.machine = machine;
-        config.resilience = resilience;
-        stats.add(run_single_app_trial(config, derive_seed(1337, t)).efficiency);
+        specs.push_back(TrialSpec{config, {t}});
+      }
+      RunningStats stats;
+      for (const ExecutionResult& r : executor.run_batch(1337, specs)) {
+        stats.add(r.efficiency);
       }
       simulated = fmt_mean_std(stats.mean(), stats.stddev());
       if (stats.mean() < 0.05) note = "fails to make progress";

@@ -1,0 +1,180 @@
+#include "core/executor.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "failure/process.hpp"
+#include "failure/replay.hpp"
+#include "failure/severity.hpp"
+#include "resilience/planner.hpp"
+#include "runtime/app_runtime.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+
+namespace {
+
+ExecutionResult infeasible_result(const ExecutionPlan& plan) {
+  ExecutionResult result;
+  result.completed = false;
+  result.baseline = plan.baseline;
+  result.efficiency = 0.0;
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t TrialSpec::derived_seed(std::uint64_t root) const {
+  if (seed_keys.empty()) return root;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(seed_keys.size() + 1);
+  keys.push_back(root);
+  keys.insert(keys.end(), seed_keys.begin(), seed_keys.end());
+  return hash_seed(keys);
+}
+
+ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed) {
+  if (!spec.plan.feasible) return infeasible_result(spec.plan);
+
+  Simulation sim;
+  const SeverityModel severity{spec.resilience.severity_weights};
+
+  ExecutionResult final_result;
+  bool finished = false;
+
+  ResilientAppRuntime runtime{
+      sim, spec.plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
+        final_result = r;
+        finished = true;
+        sim.request_stop();
+      }};
+
+  AppFailureProcess failures{
+      sim,
+      spec.plan.failure_rate,
+      severity,
+      spec.failure_distribution,
+      Pcg32{derive_seed(seed, 0x6661696c7321ULL)},
+      [&runtime](const Failure& f) { runtime.on_failure(f); }};
+
+  failures.start();
+  runtime.start();
+  sim.run();
+
+  XRES_CHECK(finished, "plan trial ended without a completion callback");
+  return final_result;
+}
+
+ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed) {
+  // Severity is already baked into the trace; spec.resilience is kept for
+  // API symmetry and future runtime knobs.
+  if (!spec.plan.feasible) return infeasible_result(spec.plan);
+
+  Simulation sim;
+  ExecutionResult final_result;
+  bool finished = false;
+
+  ResilientAppRuntime runtime{
+      sim, spec.plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
+        final_result = r;
+        finished = true;
+        sim.request_stop();
+      }};
+
+  TraceFailureProcess failures{sim, spec.trace,
+                               [&runtime](const Failure& f) { runtime.on_failure(f); }};
+  failures.start();
+  runtime.start();
+  sim.run();
+
+  XRES_CHECK(finished, "trace trial ended without a completion callback");
+  return final_result;
+}
+
+ExecutionResult run_trial(const SingleAppTrialConfig& config, std::uint64_t seed) {
+  PlanTrialSpec spec;
+  spec.plan = make_plan(config.technique, config.app, config.machine, config.resilience);
+  spec.resilience = config.resilience;
+  spec.failure_distribution = config.failure_distribution;
+  return run_trial(spec, seed);
+}
+
+ExecutionResult run_trial(const TrialSpec& spec, std::uint64_t root_seed) {
+  const std::uint64_t seed = spec.derived_seed(root_seed);
+  return std::visit([seed](const auto& work) { return run_trial(work, seed); },
+                    spec.work);
+}
+
+TrialExecutor::TrialExecutor(unsigned threads) : threads_{threads} {
+  if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;
+}
+
+void TrialExecutor::for_each(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             const TrialProgress& progress) const {
+  if (count == 0) return;
+  XRES_CHECK(static_cast<bool>(body), "for_each needs a body");
+
+  const std::size_t workers =
+      std::min<std::size_t>(threads_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+      if (progress) progress(i + 1, count);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::size_t done = 0;
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (progress) {
+        const std::lock_guard<std::mutex> lock{progress_mutex};
+        progress(++done, count);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<ExecutionResult> TrialExecutor::run_batch(
+    std::uint64_t root_seed, std::span<const TrialSpec> specs,
+    const TrialProgress& progress) const {
+  std::vector<ExecutionResult> results(specs.size());
+  for_each(
+      specs.size(),
+      [&](std::size_t i) { results[i] = run_trial(specs[i], root_seed); },
+      progress);
+  return results;
+}
+
+}  // namespace xres

@@ -2,97 +2,9 @@
 
 #include <cmath>
 
-#include "failure/process.hpp"
-#include "failure/replay.hpp"
-#include "failure/severity.hpp"
-#include "resilience/planner.hpp"
-#include "runtime/app_runtime.hpp"
-#include "sim/simulation.hpp"
 #include "util/check.hpp"
 
 namespace xres {
-
-ExecutionResult run_plan_trial(const ExecutionPlan& plan,
-                               const ResilienceConfig& resilience,
-                               FailureDistribution failure_distribution,
-                               std::uint64_t seed) {
-  if (!plan.feasible) {
-    ExecutionResult result;
-    result.completed = false;
-    result.baseline = plan.baseline;
-    result.efficiency = 0.0;
-    return result;
-  }
-
-  Simulation sim;
-  const SeverityModel severity{resilience.severity_weights};
-
-  ExecutionResult final_result;
-  bool finished = false;
-
-  ResilientAppRuntime runtime{
-      sim, plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
-        final_result = r;
-        finished = true;
-        sim.request_stop();
-      }};
-
-  AppFailureProcess failures{
-      sim,
-      plan.failure_rate,
-      severity,
-      failure_distribution,
-      Pcg32{derive_seed(seed, 0x6661696c7321ULL)},
-      [&runtime](const Failure& f) { runtime.on_failure(f); }};
-
-  failures.start();
-  runtime.start();
-  sim.run();
-
-  XRES_CHECK(finished, "single-app trial ended without a completion callback");
-  return final_result;
-}
-
-ExecutionResult run_plan_trial_with_trace(const ExecutionPlan& plan,
-                                          const ResilienceConfig& resilience,
-                                          const FailureTrace& trace,
-                                          std::uint64_t seed) {
-  (void)resilience;  // severity already baked into the trace
-  if (!plan.feasible) {
-    ExecutionResult result;
-    result.completed = false;
-    result.baseline = plan.baseline;
-    result.efficiency = 0.0;
-    return result;
-  }
-
-  Simulation sim;
-  ExecutionResult final_result;
-  bool finished = false;
-
-  ResilientAppRuntime runtime{
-      sim, plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
-        final_result = r;
-        finished = true;
-        sim.request_stop();
-      }};
-
-  TraceFailureProcess failures{sim, trace,
-                               [&runtime](const Failure& f) { runtime.on_failure(f); }};
-  failures.start();
-  runtime.start();
-  sim.run();
-
-  XRES_CHECK(finished, "trace trial ended without a completion callback");
-  return final_result;
-}
-
-ExecutionResult run_single_app_trial(const SingleAppTrialConfig& config,
-                                     std::uint64_t seed) {
-  const ExecutionPlan plan =
-      make_plan(config.technique, config.app, config.machine, config.resilience);
-  return run_plan_trial(plan, config.resilience, config.failure_distribution, seed);
-}
 
 EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
                                            const StudyProgress& progress) {
@@ -105,6 +17,8 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
   const std::size_t total_cells =
       config.size_fractions.size() * config.techniques.size();
   std::size_t done_cells = 0;
+
+  const TrialExecutor executor{config.threads};
 
   for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
     const double fraction = config.size_fractions[si];
@@ -124,11 +38,21 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
       trial.resilience = config.resilience;
       trial.failure_distribution = config.failure_distribution;
 
+      // One batch per cell: trial t's seed is derive_seed(seed, si, ti, t),
+      // exactly the historical serial derivation, so any bar can be
+      // regenerated in isolation.
+      std::vector<TrialSpec> specs;
+      specs.reserve(config.trials);
+      for (std::uint32_t t = 0; t < config.trials; ++t) {
+        specs.push_back(TrialSpec{trial, {si, ti, t}});
+      }
+      const std::vector<ExecutionResult> outcomes =
+          executor.run_batch(config.seed, specs);
+
+      // Reduce in trial order: bit-identical for every thread count.
       RunningStats efficiency;
       RunningStats failures;
-      for (std::uint32_t t = 0; t < config.trials; ++t) {
-        const std::uint64_t seed = derive_seed(config.seed, si, ti, t);
-        const ExecutionResult r = run_single_app_trial(trial, seed);
+      for (const ExecutionResult& r : outcomes) {
         efficiency.add(r.efficiency);
         failures.add(static_cast<double>(r.failures_seen));
       }

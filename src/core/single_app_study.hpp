@@ -5,56 +5,38 @@
 /// one application at a time, scaled from 1% of the machine to the full
 /// machine, executed under each resilience technique for many seeded
 /// trials, reporting mean ± σ efficiency.
+///
+/// Trials execute through `TrialExecutor` (core/executor.hpp): results are
+/// bit-identical for every thread count, and `threads == 1` reproduces the
+/// historical serial path byte for byte.
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
-#include "apps/application.hpp"
-#include "failure/distribution.hpp"
-#include "failure/trace.hpp"
-#include "platform/spec.hpp"
-#include "resilience/config.hpp"
-#include "resilience/plan.hpp"
-#include "resilience/technique.hpp"
-#include "runtime/result.hpp"
+#include "core/executor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace xres {
 
-/// One simulated execution of one application under one technique.
-struct SingleAppTrialConfig {
-  AppSpec app{};
-  TechniqueKind technique{TechniqueKind::kCheckpointRestart};
-  MachineSpec machine{};
-  ResilienceConfig resilience{};
-  FailureDistribution failure_distribution{FailureDistribution::exponential()};
-};
+/// Deprecated serial entry points — thin forwarders kept so existing
+/// callers compile. New code uses `run_trial` / `TrialExecutor`.
+[[deprecated("use run_trial(SingleAppTrialConfig, seed)")]] [[nodiscard]] inline ExecutionResult
+run_single_app_trial(const SingleAppTrialConfig& config, std::uint64_t seed) {
+  return run_trial(config, seed);
+}
 
-/// Run one trial. Infeasible plans (redundancy larger than the machine)
-/// return a zero-efficiency result without simulating, as in the paper's
-/// zero-height bars.
-[[nodiscard]] ExecutionResult run_single_app_trial(const SingleAppTrialConfig& config,
-                                                   std::uint64_t seed);
+[[deprecated("use run_trial(PlanTrialSpec, seed)")]] [[nodiscard]] inline ExecutionResult
+run_plan_trial(const ExecutionPlan& plan, const ResilienceConfig& resilience,
+               FailureDistribution failure_distribution, std::uint64_t seed) {
+  return run_trial(PlanTrialSpec{plan, resilience, failure_distribution}, seed);
+}
 
-/// Lower-level entry point: execute an explicit (possibly hand-modified)
-/// plan under its own failure rate. Used by ablation harnesses that
-/// override planner decisions such as the checkpoint interval.
-[[nodiscard]] ExecutionResult run_plan_trial(const ExecutionPlan& plan,
-                                             const ResilienceConfig& resilience,
-                                             FailureDistribution failure_distribution,
-                                             std::uint64_t seed);
-
-/// Execute a plan against a *replayed* failure trace (common random
-/// numbers): every technique compared against the same trace sees
-/// byte-identical failure times and severities, which removes
-/// failure-sampling variance from technique deltas. \p seed still drives
-/// the runtime's internal randomness (redundancy victim classification).
-[[nodiscard]] ExecutionResult run_plan_trial_with_trace(const ExecutionPlan& plan,
-                                                        const ResilienceConfig& resilience,
-                                                        const FailureTrace& trace,
-                                                        std::uint64_t seed);
+[[deprecated("use run_trial(TraceTrialSpec, seed)")]] [[nodiscard]] inline ExecutionResult
+run_plan_trial_with_trace(const ExecutionPlan& plan, const ResilienceConfig& resilience,
+                          const FailureTrace& trace, std::uint64_t seed) {
+  return run_trial(TraceTrialSpec{plan, resilience, trace}, seed);
+}
 
 /// A full figure: sweep application size × technique.
 struct EfficiencyStudyConfig {
@@ -70,6 +52,9 @@ struct EfficiencyStudyConfig {
   std::uint32_t trials{200};
   std::uint64_t seed{20170529};
   FailureDistribution failure_distribution{FailureDistribution::exponential()};
+  /// Worker threads for trial execution; 0 = hardware_concurrency, 1 =
+  /// serial. Results are identical for every value (see core/executor.hpp).
+  unsigned threads{0};
 };
 
 struct EfficiencyStudyResult {
@@ -86,8 +71,9 @@ struct EfficiencyStudyResult {
   [[nodiscard]] Table to_csv_table() const;
 };
 
-/// Progress callback: (completed cells, total cells).
-using StudyProgress = std::function<void(std::size_t, std::size_t)>;
+/// Progress callback: (completed cells, total cells). Invoked on the
+/// calling thread, once per finished (size × technique) cell.
+using StudyProgress = TrialProgress;
 
 [[nodiscard]] EfficiencyStudyResult run_efficiency_study(
     const EfficiencyStudyConfig& config, const StudyProgress& progress = {});

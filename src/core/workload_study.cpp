@@ -22,36 +22,46 @@ std::vector<WorkloadComboResult> run_workload_study(
     patterns.push_back(generate_pattern(config.workload, config.seed, p));
   }
 
+  // Every (combo, pattern) run is independent: execute the flat grid on
+  // the worker pool, each run writing its own slot, then reduce serially in
+  // (combo, pattern) order so summaries are identical for any thread count.
   const std::size_t total_runs = combos.size() * config.patterns;
-  std::size_t done_runs = 0;
+  std::vector<WorkloadRunResult> runs(total_runs);
+  const TrialExecutor executor{config.threads};
+  executor.for_each(
+      total_runs,
+      [&](std::size_t idx) {
+        const WorkloadCombo& combo = combos[idx / config.patterns];
+        const auto p = static_cast<std::uint32_t>(idx % config.patterns);
+        WorkloadEngineConfig engine;
+        engine.machine = config.machine;
+        engine.resilience = config.resilience;
+        engine.policy = combo.policy;
+        engine.scheduler = combo.scheduler;
+        // The engine seed varies per pattern but NOT per combo: combos see
+        // identical failure sequences for a given pattern (variance
+        // reduction, mirroring the paper's shared arrival patterns).
+        engine.seed = derive_seed(config.seed, 0x656e67696eULL, p);
+        runs[idx] = run_workload(engine, patterns[p]);
+      },
+      progress);
 
   std::vector<WorkloadComboResult> results;
   results.reserve(combos.size());
-  for (const WorkloadCombo& combo : combos) {
+  for (std::size_t ci = 0; ci < combos.size(); ++ci) {
     WorkloadComboResult out;
-    out.combo = combo;
+    out.combo = combos[ci];
     RunningStats dropped;
     RunningStats utilization;
     RunningStats failures;
     for (std::uint32_t p = 0; p < config.patterns; ++p) {
-      WorkloadEngineConfig engine;
-      engine.machine = config.machine;
-      engine.resilience = config.resilience;
-      engine.policy = combo.policy;
-      engine.scheduler = combo.scheduler;
-      // The engine seed varies per pattern but NOT per combo: combos see
-      // identical failure sequences for a given pattern (variance
-      // reduction, mirroring the paper's shared arrival patterns).
-      engine.seed = derive_seed(config.seed, 0x656e67696eULL, p);
-      const WorkloadRunResult r = run_workload(engine, patterns[p]);
+      const WorkloadRunResult& r = runs[ci * config.patterns + p];
       dropped.add(r.dropped_fraction);
       utilization.add(r.mean_utilization);
       failures.add(static_cast<double>(r.failures_injected));
       for (const auto& [kind, count] : r.selection_counts) {
         out.selection_counts[kind] += count;
       }
-      ++done_runs;
-      if (progress) progress(done_runs, total_runs);
     }
     out.dropped_fraction = dropped.summary();
     out.mean_utilization = utilization.summary();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apps/workload.hpp"
+#include "core/executor.hpp"
 #include "core/policy.hpp"
 #include "core/workload_engine.hpp"
 #include "util/stats.hpp"
@@ -25,6 +26,9 @@ struct WorkloadStudyConfig {
   /// 50 arrival patterns in the paper.
   std::uint32_t patterns{50};
   std::uint64_t seed{20170530};
+  /// Worker threads for pattern runs; 0 = hardware_concurrency, 1 =
+  /// serial. Results are identical for every value (see core/executor.hpp).
+  unsigned threads{0};
 };
 
 /// One bar of Figure 4/5: a scheduler + technique policy evaluated over all
@@ -45,7 +49,9 @@ struct WorkloadComboResult {
 };
 
 /// Progress callback: (completed pattern-runs, total pattern-runs).
-using WorkloadProgress = std::function<void(std::size_t, std::size_t)>;
+/// Invoked from worker threads under the executor's mutex (one invocation
+/// at a time, strictly increasing counts) — see TrialProgress.
+using WorkloadProgress = TrialProgress;
 
 /// Evaluate each combo over the study's patterns. Pattern i is identical
 /// across combos (same generator seed), matching the paper's methodology.

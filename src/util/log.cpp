@@ -42,10 +42,14 @@ Logger& Logger::global() {
   return instance;
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock{sink_mutex_};
+  sink_ = std::move(sink);
+}
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock{sink_mutex_};
   if (sink_) {
     sink_(level, message);
     return;

@@ -5,7 +5,9 @@
 /// events; logging must be cheap when disabled (level check before
 /// formatting) and redirectable (tests capture a sink).
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 
 namespace xres {
@@ -20,6 +22,11 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 
 /// Process-wide logger. Defaults to kWarn on stderr; honors the XRES_LOG
 /// environment variable ("debug", "info", ...) at first use.
+///
+/// Thread-safe: `TrialExecutor` runs trials on worker threads, so the level
+/// is atomic (cheap `enabled` checks stay lock-free on the hot path) and
+/// sink replacement/emission are serialized by a mutex — messages from
+/// concurrent trials never interleave mid-line.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -27,9 +34,9 @@ class Logger {
   /// The global logger instance.
   static Logger& global();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Replace the output sink (default writes to stderr). Pass nullptr to
   /// restore the default sink.
@@ -40,7 +47,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_;
+  std::atomic<LogLevel> level_;
+  std::mutex sink_mutex_;
   Sink sink_;
 };
 

@@ -7,6 +7,28 @@
 
 namespace xres {
 
+void Summary::merge(const Summary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count);
+  const auto nb = static_cast<double>(other.count);
+  const double n = na + nb;
+  const double delta = other.mean - mean;
+  // M2 = stddev^2 * (n-1) on each side; zero for singleton samples.
+  const double m2 = stddev * stddev * (na - 1.0) +
+                    other.stddev * other.stddev * (nb - 1.0) +
+                    delta * delta * na * nb / n;
+  mean += delta * nb / n;
+  count += other.count;
+  stddev = count > 1 ? std::sqrt(m2 / (n - 1.0)) : 0.0;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  ci95_halfwidth = count > 1 ? 1.959963985 * stddev / std::sqrt(n) : 0.0;
+}
+
 void RunningStats::add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;

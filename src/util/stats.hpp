@@ -22,6 +22,14 @@ struct Summary {
   double min{0.0};
   double max{0.0};
   double ci95_halfwidth{0.0};  ///< normal-approximation 95% CI half-width
+
+  /// Pool another summary into this one (Chan et al. parallel-variance
+  /// update, reconstructing each side's M2 from its sample stddev). Pooling
+  /// summaries of disjoint sample sets yields the summary of their union up
+  /// to floating-point rounding; note the rounding depends on merge order,
+  /// so thread-count-invariant studies reduce per-trial results in index
+  /// order instead (see core/executor.hpp).
+  void merge(const Summary& other);
 };
 
 /// Welford online mean/variance accumulator with min/max tracking.

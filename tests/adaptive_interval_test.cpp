@@ -139,14 +139,14 @@ TEST(AdaptiveInterval, RecoversEfficiencyUnderMisspecifiedMtbf) {
   RunningStats static_eff;
   RunningStats adaptive_eff;
   for (std::uint64_t t = 0; t < 25; ++t) {
-    static_eff.add(run_plan_trial(static_plan, actual,
-                                  FailureDistribution::exponential(),
-                                  derive_seed(3, t))
-                       .efficiency);
-    adaptive_eff.add(run_plan_trial(adaptive, actual,
-                                    FailureDistribution::exponential(),
-                                    derive_seed(3, t))
-                         .efficiency);
+    static_eff.add(
+        run_trial(PlanTrialSpec{static_plan, actual, FailureDistribution::exponential()},
+                  derive_seed(3, t))
+            .efficiency);
+    adaptive_eff.add(
+        run_trial(PlanTrialSpec{adaptive, actual, FailureDistribution::exponential()},
+                  derive_seed(3, t))
+            .efficiency);
   }
   EXPECT_GT(adaptive_eff.mean(), static_eff.mean());
 }

@@ -1,0 +1,219 @@
+// Tests for the TrialExecutor study API: the seed-derivation contract,
+// bit-identical results for every thread count, exception propagation and
+// progress-callback guarantees. These are the invariants DESIGN.md §
+// "Deterministic parallel execution" promises.
+
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "core/workload_study.hpp"
+#include "failure/severity.hpp"
+#include "resilience/planner.hpp"
+
+namespace xres {
+namespace {
+
+SingleAppTrialConfig small_config(TechniqueKind technique) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("C64"), 30000, 360};
+  config.technique = technique;
+  return config;
+}
+
+TEST(TrialExecutor, DerivedSeedContract) {
+  const TrialSpec keyed{small_config(TechniqueKind::kMultilevel), {7, 11}};
+  EXPECT_EQ(keyed.derived_seed(99), derive_seed(99, 7, 11));
+
+  // No keys: the root seed passes through unchanged.
+  const TrialSpec unkeyed{small_config(TechniqueKind::kMultilevel), {}};
+  EXPECT_EQ(unkeyed.derived_seed(99), 99U);
+
+  // run_trial(TrialSpec, root) is exactly run_trial(work, derived seed).
+  const ExecutionResult via_spec = run_trial(keyed, 99);
+  const ExecutionResult direct =
+      run_trial(small_config(TechniqueKind::kMultilevel), derive_seed(99, 7, 11));
+  EXPECT_DOUBLE_EQ(via_spec.wall_time.to_seconds(), direct.wall_time.to_seconds());
+  EXPECT_EQ(via_spec.failures_seen, direct.failures_seen);
+}
+
+TEST(TrialExecutor, BatchMatchesSerialForEveryThreadCount) {
+  std::vector<TrialSpec> specs;
+  int k = 0;
+  for (TechniqueKind kind :
+       {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
+        TechniqueKind::kParallelRecovery}) {
+    for (std::uint64_t t = 0; t < 6; ++t) {
+      specs.push_back(TrialSpec{small_config(kind),
+                                {static_cast<std::uint64_t>(k), t}});
+    }
+    ++k;
+  }
+
+  std::vector<ExecutionResult> serial;
+  for (const TrialSpec& spec : specs) {
+    serial.push_back(run_trial(spec, 20170529));
+  }
+
+  for (unsigned threads : {1U, 2U, 4U}) {
+    const TrialExecutor executor{threads};
+    const std::vector<ExecutionResult> batch = executor.run_batch(20170529, specs);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_DOUBLE_EQ(batch[i].efficiency, serial[i].efficiency) << i;
+      EXPECT_DOUBLE_EQ(batch[i].wall_time.to_seconds(),
+                       serial[i].wall_time.to_seconds())
+          << i;
+      EXPECT_EQ(batch[i].failures_seen, serial[i].failures_seen) << i;
+      EXPECT_EQ(batch[i].checkpoints_completed, serial[i].checkpoints_completed) << i;
+      EXPECT_EQ(batch[i].rollbacks, serial[i].rollbacks) << i;
+    }
+  }
+}
+
+TEST(TrialExecutor, EfficiencyStudyIsThreadCountInvariant) {
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("A32");
+  config.size_fractions = {0.05, 0.50};
+  config.techniques = {TechniqueKind::kCheckpointRestart,
+                       TechniqueKind::kParallelRecovery};
+  config.trials = 8;
+
+  config.threads = 1;
+  const EfficiencyStudyResult serial = run_efficiency_study(config);
+  config.threads = 4;
+  const EfficiencyStudyResult parallel = run_efficiency_study(config);
+
+  ASSERT_EQ(serial.efficiency.size(), parallel.efficiency.size());
+  for (std::size_t si = 0; si < serial.efficiency.size(); ++si) {
+    ASSERT_EQ(serial.efficiency[si].size(), parallel.efficiency[si].size());
+    for (std::size_t ti = 0; ti < serial.efficiency[si].size(); ++ti) {
+      const Summary& a = serial.efficiency[si][ti];
+      const Summary& b = parallel.efficiency[si][ti];
+      EXPECT_EQ(a.count, b.count);
+      EXPECT_DOUBLE_EQ(a.mean, b.mean);
+      EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+      EXPECT_DOUBLE_EQ(a.min, b.min);
+      EXPECT_DOUBLE_EQ(a.max, b.max);
+      EXPECT_DOUBLE_EQ(serial.mean_failures[si][ti], parallel.mean_failures[si][ti]);
+    }
+  }
+}
+
+TEST(TrialExecutor, WorkloadStudyIsThreadCountInvariant) {
+  WorkloadStudyConfig study;
+  study.workload.arrival_count = 10;
+  study.patterns = 3;
+  const std::vector<WorkloadCombo> combos{
+      WorkloadCombo{SchedulerKind::kFcfs,
+                    TechniquePolicy::fixed_technique(TechniqueKind::kParallelRecovery)},
+      WorkloadCombo{SchedulerKind::kSlack, TechniquePolicy::ideal_baseline()}};
+
+  study.threads = 1;
+  const auto serial = run_workload_study(study, combos);
+  study.threads = 4;
+  const auto parallel = run_workload_study(study, combos);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].dropped_fraction.count, parallel[i].dropped_fraction.count);
+    EXPECT_DOUBLE_EQ(serial[i].dropped_fraction.mean, parallel[i].dropped_fraction.mean);
+    EXPECT_DOUBLE_EQ(serial[i].dropped_fraction.stddev,
+                     parallel[i].dropped_fraction.stddev);
+  }
+}
+
+TEST(TrialExecutor, ForEachVisitsEveryIndexOnce) {
+  const TrialExecutor executor{4};
+  std::vector<std::atomic<int>> visits(64);
+  executor.for_each(visits.size(),
+                    [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(TrialExecutor, ForEachPropagatesExceptions) {
+  for (unsigned threads : {1U, 4U}) {
+    const TrialExecutor executor{threads};
+    EXPECT_THROW(executor.for_each(32,
+                                   [](std::size_t i) {
+                                     if (i == 17) {
+                                       throw std::runtime_error{"boom"};
+                                     }
+                                   }),
+                 std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(TrialExecutor, ProgressIsMonotoneAndComplete) {
+  for (unsigned threads : {1U, 4U}) {
+    const TrialExecutor executor{threads};
+    std::mutex mutex;
+    std::vector<std::size_t> seen;
+    executor.for_each(
+        40, [](std::size_t) {},
+        [&](std::size_t done, std::size_t total) {
+          const std::lock_guard<std::mutex> lock{mutex};
+          EXPECT_EQ(total, 40U);
+          seen.push_back(done);
+        });
+    ASSERT_EQ(seen.size(), 40U) << threads << " threads";
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], i + 1) << threads << " threads";
+    }
+  }
+}
+
+TEST(TrialExecutor, ZeroThreadsUsesHardwareConcurrency) {
+  const TrialExecutor executor{0};
+  EXPECT_GE(executor.threads(), 1U);
+}
+
+TEST(TrialExecutor, EmptyBatchIsFine) {
+  const TrialExecutor executor{4};
+  EXPECT_TRUE(executor.run_batch(1, {}).empty());
+  bool called = false;
+  executor.for_each(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(TrialExecutor, TraceAndPlanSpecsRunThroughBatch) {
+  const MachineSpec machine = MachineSpec::exascale();
+  const ResilienceConfig resilience;
+  const AppSpec app{app_type_by_name("B32"), 12000, 360};
+  const ExecutionPlan plan =
+      make_plan(TechniqueKind::kCheckpointRestart, app, machine, resilience);
+
+  Pcg32 rng{5};
+  const SeverityModel severity{resilience.severity_weights};
+  const FailureTrace trace =
+      FailureTrace::generate(plan.failure_rate, Duration::days(2.0), severity,
+                             FailureDistribution::exponential(), rng);
+
+  const std::vector<TrialSpec> specs{
+      TrialSpec{PlanTrialSpec{plan, resilience, FailureDistribution::exponential()}, {0}},
+      TrialSpec{TraceTrialSpec{plan, resilience, trace}, {1}}};
+  const TrialExecutor executor{2};
+  const auto results = executor.run_batch(3, specs);
+  ASSERT_EQ(results.size(), 2U);
+  EXPECT_DOUBLE_EQ(results[0].efficiency,
+                   run_trial(std::get<PlanTrialSpec>(specs[0].work),
+                             specs[0].derived_seed(3))
+                       .efficiency);
+  EXPECT_DOUBLE_EQ(results[1].efficiency,
+                   run_trial(std::get<TraceTrialSpec>(specs[1].work),
+                             specs[1].derived_seed(3))
+                       .efficiency);
+}
+
+}  // namespace
+}  // namespace xres

@@ -72,8 +72,8 @@ TEST(TraceReplay, PlanTrialIsDeterministicAcrossRuns) {
       FailureTrace::generate(plan.failure_rate, Duration::days(5.0), severity,
                              FailureDistribution::exponential(), rng);
 
-  const ExecutionResult a = run_plan_trial_with_trace(plan, resilience, trace, 1);
-  const ExecutionResult b = run_plan_trial_with_trace(plan, resilience, trace, 2);
+  const ExecutionResult a = run_trial(TraceTrialSpec{plan, resilience, trace}, 1);
+  const ExecutionResult b = run_trial(TraceTrialSpec{plan, resilience, trace}, 2);
   // The runtime seed only drives redundancy/recovery sampling, which CR
   // never touches: identical traces give identical executions.
   EXPECT_DOUBLE_EQ(a.wall_time.to_seconds(), b.wall_time.to_seconds());
@@ -101,8 +101,8 @@ TEST(TraceReplay, PairedComparisonSharpensTechniqueDeltas) {
     const FailureTrace trace =
         FailureTrace::generate(cr.failure_rate, Duration::days(30.0), severity,
                                FailureDistribution::exponential(), rng);
-    const ExecutionResult r_cr = run_plan_trial_with_trace(cr, resilience, trace, 1);
-    const ExecutionResult r_pr = run_plan_trial_with_trace(pr, resilience, trace, 1);
+    const ExecutionResult r_cr = run_trial(TraceTrialSpec{cr, resilience, trace}, 1);
+    const ExecutionResult r_pr = run_trial(TraceTrialSpec{pr, resilience, trace}, 1);
     if (r_pr.efficiency > r_cr.efficiency) ++pr_wins;
   }
   EXPECT_EQ(pr_wins, pairs);
@@ -115,7 +115,7 @@ TEST(TraceReplay, InfeasiblePlanShortCircuits) {
   const ExecutionPlan full =
       make_plan(TechniqueKind::kRedundancyFull, app, machine, resilience);
   const FailureTrace trace = make_trace({10.0});
-  const ExecutionResult r = run_plan_trial_with_trace(full, resilience, trace, 1);
+  const ExecutionResult r = run_trial(TraceTrialSpec{full, resilience, trace}, 1);
   EXPECT_FALSE(r.completed);
   EXPECT_DOUBLE_EQ(r.efficiency, 0.0);
 }

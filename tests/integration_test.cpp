@@ -29,7 +29,7 @@ double mean_efficiency(const SingleAppTrialConfig& config, int trials,
                        std::uint64_t seed = 99) {
   RunningStats stats;
   for (int t = 0; t < trials; ++t) {
-    stats.add(run_single_app_trial(config, derive_seed(seed, t)).efficiency);
+    stats.add(run_trial(config, derive_seed(seed, t)).efficiency);
   }
   return stats.mean();
 }
@@ -37,19 +37,19 @@ double mean_efficiency(const SingleAppTrialConfig& config, int trials,
 TEST(Integration, TrialIsDeterministicPerSeed) {
   const SingleAppTrialConfig config =
       trial_config("C64", 30000, TechniqueKind::kMultilevel);
-  const ExecutionResult a = run_single_app_trial(config, 1234);
-  const ExecutionResult b = run_single_app_trial(config, 1234);
+  const ExecutionResult a = run_trial(config, 1234);
+  const ExecutionResult b = run_trial(config, 1234);
   EXPECT_DOUBLE_EQ(a.wall_time.to_seconds(), b.wall_time.to_seconds());
   EXPECT_EQ(a.failures_seen, b.failures_seen);
   EXPECT_EQ(a.checkpoints_completed, b.checkpoints_completed);
-  const ExecutionResult c = run_single_app_trial(config, 1235);
+  const ExecutionResult c = run_trial(config, 1235);
   EXPECT_NE(a.wall_time.to_seconds(), c.wall_time.to_seconds());
 }
 
 TEST(Integration, EfficiencyIsAlwaysAProbability) {
   for (TechniqueKind kind : evaluated_techniques()) {
     const ExecutionResult r =
-        run_single_app_trial(trial_config("B64", 12000, kind), 5);
+        run_trial(trial_config("B64", 12000, kind), 5);
     EXPECT_GE(r.efficiency, 0.0) << to_string(kind);
     EXPECT_LE(r.efficiency, 1.0) << to_string(kind);
   }
@@ -60,7 +60,7 @@ TEST(Integration, TimeBucketsSumToWallTime) {
        {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
         TechniqueKind::kParallelRecovery}) {
     const ExecutionResult r =
-        run_single_app_trial(trial_config("C32", 60000, kind), 17);
+        run_trial(trial_config("C32", 60000, kind), 17);
     ASSERT_TRUE(r.completed);
     const double buckets = r.time_working.to_seconds() +
                            r.time_checkpointing.to_seconds() +

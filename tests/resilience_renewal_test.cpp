@@ -87,8 +87,9 @@ TEST(Renewal, SimulatorConvergesToExactExpectation) {
   const ResilienceConfig resilience;
   RunningStats wall;
   for (std::uint64_t t = 0; t < 400; ++t) {
-    const ExecutionResult r = run_plan_trial(
-        plan, resilience, FailureDistribution::exponential(), derive_seed(5, t));
+    const ExecutionResult r = run_trial(
+        PlanTrialSpec{plan, resilience, FailureDistribution::exponential()},
+        derive_seed(5, t));
     ASSERT_TRUE(r.completed);
     wall.add(r.wall_time.to_hours());
   }

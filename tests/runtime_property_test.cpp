@@ -33,7 +33,7 @@ TEST_P(RuntimeFailureStorm, AccountingInvariantsHold) {
   config.resilience.node_mtbf = Duration::years(0.5);
   config.resilience.max_slowdown = 50.0;
 
-  const ExecutionResult r = run_single_app_trial(config, seed);
+  const ExecutionResult r = run_trial(config, seed);
   const ExecutionPlan plan =
       make_plan(technique, config.app, config.machine, config.resilience);
 

@@ -119,9 +119,9 @@ TEST(SemiBlocking, BeatsBlockingCheckpointRestartAtExascale) {
   RunningStats blocking;
   for (std::uint64_t t = 0; t < 15; ++t) {
     config.technique = TechniqueKind::kSemiBlockingCheckpoint;
-    semi.add(run_single_app_trial(config, derive_seed(9, t)).efficiency);
+    semi.add(run_trial(config, derive_seed(9, t)).efficiency);
     config.technique = TechniqueKind::kCheckpointRestart;
-    blocking.add(run_single_app_trial(config, derive_seed(9, t)).efficiency);
+    blocking.add(run_trial(config, derive_seed(9, t)).efficiency);
   }
   EXPECT_GT(semi.mean(), blocking.mean() + 0.05);
 }

@@ -23,7 +23,7 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
   const ExecutionPlan plan =
       make_plan(TechniqueKind::kMultilevel, app, machine, resilience);
   const ExecutionResult result =
-      run_plan_trial(plan, resilience, FailureDistribution::exponential(), 1);
+      run_trial(PlanTrialSpec{plan, resilience, FailureDistribution::exponential()}, 1);
   EXPECT_TRUE(result.completed);
   EXPECT_GT(result.efficiency, 0.5);
 }

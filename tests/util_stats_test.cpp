@@ -170,5 +170,83 @@ TEST(Welch, RejectsDegenerateInputs) {
   EXPECT_THROW(welch_t_test(pairc.summary(), pairc.summary()), CheckError);
 }
 
+TEST(SummaryMerge, MatchesSinglePassWelford) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 80; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0 + 3.0;
+    all.add(x);
+    (i < 30 ? a : b).add(x);
+  }
+  Summary pooled = a.summary();
+  pooled.merge(b.summary());
+  const Summary reference = all.summary();
+  EXPECT_EQ(pooled.count, reference.count);
+  EXPECT_NEAR(pooled.mean, reference.mean, 1e-12);
+  EXPECT_NEAR(pooled.stddev, reference.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(pooled.min, reference.min);
+  EXPECT_DOUBLE_EQ(pooled.max, reference.max);
+  EXPECT_NEAR(pooled.ci95_halfwidth, reference.ci95_halfwidth, 1e-9);
+}
+
+TEST(SummaryMerge, EmptySidesAreIdentity) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 9.0}) s.add(x);
+  const Summary full = s.summary();
+
+  Summary left = full;
+  left.merge(Summary{});
+  EXPECT_EQ(left.count, full.count);
+  EXPECT_DOUBLE_EQ(left.mean, full.mean);
+  EXPECT_DOUBLE_EQ(left.stddev, full.stddev);
+
+  Summary right;
+  right.merge(full);
+  EXPECT_EQ(right.count, full.count);
+  EXPECT_DOUBLE_EQ(right.mean, full.mean);
+  EXPECT_DOUBLE_EQ(right.stddev, full.stddev);
+  EXPECT_DOUBLE_EQ(right.min, full.min);
+  EXPECT_DOUBLE_EQ(right.max, full.max);
+}
+
+TEST(SummaryMerge, SingletonSidesPoolCorrectly) {
+  // stddev is zero for singletons, so the pooled variance must come
+  // entirely from the between-groups delta term.
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  b.add(5.0);
+  Summary pooled = a.summary();
+  pooled.merge(b.summary());
+
+  RunningStats reference;
+  reference.add(1.0);
+  reference.add(5.0);
+  EXPECT_EQ(pooled.count, 2U);
+  EXPECT_NEAR(pooled.mean, reference.mean(), 1e-12);
+  EXPECT_NEAR(pooled.stddev, reference.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(pooled.min, 1.0);
+  EXPECT_DOUBLE_EQ(pooled.max, 5.0);
+}
+
+TEST(SummaryMerge, ManyPartitionsPoolToSameMoments) {
+  // Pool eight chunk summaries sequentially and compare against one pass.
+  RunningStats all;
+  std::vector<RunningStats> chunks(8);
+  for (int i = 0; i < 400; ++i) {
+    const double x = static_cast<double>((i * 37) % 101) / 7.0;
+    all.add(x);
+    chunks[static_cast<std::size_t>(i) % 8].add(x);
+  }
+  Summary pooled = chunks[0].summary();
+  for (std::size_t c = 1; c < chunks.size(); ++c) pooled.merge(chunks[c].summary());
+  EXPECT_EQ(pooled.count, all.count());
+  EXPECT_NEAR(pooled.mean, all.mean(), 1e-10);
+  EXPECT_NEAR(pooled.stddev, all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(pooled.min, all.min());
+  EXPECT_DOUBLE_EQ(pooled.max, all.max());
+}
+
 }  // namespace
 }  // namespace xres

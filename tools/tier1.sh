@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite, then
+# rebuild the library + tests under ThreadSanitizer and run the executor
+# tests (the only concurrent code path) under it.
+#
+#   tools/tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TSAN_BUILD="${2:-build-tsan}"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+# TSAN pass: library + tests only (benches/examples just re-link the same
+# library code and would double the build time for no extra coverage).
+cmake -B "$TSAN_BUILD" -S . -DXRES_TSAN=ON \
+  -DXRES_BUILD_BENCH=OFF -DXRES_BUILD_EXAMPLES=OFF -DXRES_BUILD_TOOLS=OFF
+cmake --build "$TSAN_BUILD" -j "$(nproc)"
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -R "TrialExecutor|Integration"
+
+echo "tier-1 OK"

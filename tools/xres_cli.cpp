@@ -41,6 +41,7 @@ int cmd_efficiency(int argc, const char* const* argv) {
   cli.add_option("--trials", "trials per cell", "50");
   cli.add_option("--baseline-hours", "delay-free execution time", "24");
   cli.add_option("--seed", "root RNG seed", "20170529");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   cli.add_flag("--chart", "render ASCII bars");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -50,6 +51,7 @@ int cmd_efficiency(int argc, const char* const* argv) {
   config.baseline = Duration::hours(cli.real("--baseline-hours"));
   config.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   config.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  config.threads = static_cast<unsigned>(cli.integer("--threads"));
 
   const EfficiencyStudyResult result = run_efficiency_study(config);
   std::printf("%s", result.to_table().to_text().c_str());
@@ -78,11 +80,13 @@ int cmd_workload(int argc, const char* const* argv) {
                  "unbiased | high-memory | high-communication | large-apps",
                  "unbiased");
   cli.add_option("--seed", "root RNG seed", "20170530");
+  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   if (!cli.parse(argc, argv)) return 0;
 
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  study.threads = static_cast<unsigned>(cli.integer("--threads"));
   study.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
   const std::string bias = cli.str("--bias");
   for (WorkloadBias b : {WorkloadBias::kUnbiased, WorkloadBias::kHighMemory,
