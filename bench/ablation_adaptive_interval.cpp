@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "resilience/planner.hpp"
 #include "util/cli.hpp"
@@ -20,10 +21,12 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--seed", "root RNG seed", "15");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   const MachineSpec machine = MachineSpec::exascale();
   const AppSpec app{app_type_by_name("B32"), 60000, 1440};
@@ -61,10 +64,13 @@ int main(int argc, char** argv) {
     }
     RunningStats st;
     RunningStats ad;
-    for (const ExecutionResult& r : executor.run_batch(seed, st_specs)) {
+    const std::string cell = "MTBF " + fmt_double(true_years, 1) + " y";
+    for (const ExecutionResult& r :
+         collector.run_batch(executor, seed, st_specs, cell + " [static]")) {
       st.add(r.efficiency);
     }
-    for (const ExecutionResult& r : executor.run_batch(seed, ad_specs)) {
+    for (const ExecutionResult& r :
+         collector.run_batch(executor, seed, ad_specs, cell + " [adaptive]")) {
       ad.add(r.efficiency);
     }
     table.add_row({fmt_double(true_years, 1) + " y",
@@ -73,6 +79,7 @@ int main(int argc, char** argv) {
                    fmt_double(ad.mean() - st.mean(), 3)});
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("(positive deltas where the 10-year assumption is wrong; ~0 where "
               "it is right)\n");
   return 0;

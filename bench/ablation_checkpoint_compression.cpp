@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "util/cli.hpp"
 
@@ -19,10 +20,12 @@ int main(int argc, char** argv) {
   cli.add_option("--mtbf-years", "node MTBF", "2.5");
   cli.add_option("--seed", "root RNG seed", "17");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   std::printf("Ablation: checkpoint image compression at exascale\n");
   std::printf("application D64 @ 100%% of the machine, MTBF %.1f y, %u trials\n\n",
@@ -45,7 +48,10 @@ int main(int argc, char** argv) {
         specs.push_back(TrialSpec{config, {static_cast<std::uint64_t>(column), t}});
       }
       RunningStats eff;
-      for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+      const std::string cell =
+          "image x" + fmt_double(ratio, 2) + " " + to_string(kind);
+      for (const ExecutionResult& r :
+           collector.run_batch(executor, seed, specs, cell)) {
         eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("(checkpoint/restart regains viability as images shrink; parallel\n"
               " recovery barely moves — its in-memory copies were already cheap)\n");
   return 0;

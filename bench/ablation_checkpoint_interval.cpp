@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "resilience/planner.hpp"
 #include "util/cli.hpp"
@@ -17,10 +18,12 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per multiplier", "80");
   cli.add_option("--seed", "root RNG seed", "10");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   const MachineSpec machine = MachineSpec::exascale();
   const ResilienceConfig resilience;
@@ -48,7 +51,8 @@ int main(int argc, char** argv) {
     RunningStats eff;
     RunningStats checkpoints;
     RunningStats rollbacks;
-    for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+    for (const ExecutionResult& r : collector.run_batch(
+             executor, seed, specs, "tau x" + fmt_double(mult, 2))) {
       eff.add(r.efficiency);
       checkpoints.add(static_cast<double>(r.checkpoints_completed));
       rollbacks.add(static_cast<double>(r.rollbacks));
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
                    fmt_double(checkpoints.mean(), 1), fmt_double(rollbacks.mean(), 1)});
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("best multiplier in sweep: %.2f (Eq. 4 is near-optimal when this "
               "is close to 1.0)\n",
               best_mult);

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "util/cli.hpp"
 
@@ -16,10 +17,12 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per cell", "60");
   cli.add_option("--seed", "root RNG seed", "9");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   std::printf("Ablation: failure inter-arrival distribution (fixed mean rate)\n");
   std::printf("application C32 @ 25%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -51,7 +54,9 @@ int main(int argc, char** argv) {
             config, {static_cast<std::uint64_t>(technique_index), t}});
       }
       RunningStats eff;
-      for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+      const std::string cell = std::string{name} + " " + to_string(kind);
+      for (const ExecutionResult& r :
+           collector.run_batch(executor, seed, specs, cell)) {
         eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("(bursty failures cluster rework; the technique ordering is "
               "unchanged, supporting the paper's Poisson assumption)\n");
   return 0;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common.hpp"
 #include "core/workload_study.hpp"
 #include "util/cli.hpp"
 
@@ -16,9 +17,12 @@ int main(int argc, char** argv) {
                 "PFS contention"};
   cli.add_option("--patterns", "arrival patterns per cell", "15");
   cli.add_option("--seed", "root RNG seed", "20170530");
+  bench::add_obs_options(cli, /*with_trace=*/false);
   if (!cli.parse(argc, argv)) return 0;
   const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  const bench::ObsOptions obs_options = bench::read_obs_options(cli);
+  obs::MetricSet merged;
 
   std::printf("Ablation: PFS contention in the oversubscribed workload study\n");
   std::printf("scheduler Slack, %u patterns per cell\n\n", patterns);
@@ -53,7 +57,13 @@ int main(int argc, char** argv) {
         engine.seed = derive_seed(study.seed, 0x656e67696eULL, p);
         engine.model_pfs_contention = variant.contention;
         if (variant.contention) engine.pfs_gateways = variant.gateways;
+        obs::TrialObs run_obs;
+        if (obs_options.metrics()) {
+          run_obs.enable_metrics();
+          engine.obs = &run_obs;
+        }
         dropped.add(run_workload(engine, pattern).dropped_fraction);
+        if (obs_options.metrics()) merged.merge(*run_obs.metrics());
       }
       row.push_back(fmt_double(dropped.mean() * 100.0, 2) + " ± " +
                     fmt_double(dropped.stddev() * 100.0, 2));
@@ -62,6 +72,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "finished: %s\n", variant.name);
   }
   std::printf("%s", table.to_text().c_str());
+  if (obs_options.metrics()) {
+    std::printf("\nInstrumented breakdown (whole sweep):\n%s",
+                merged.to_table().to_text().c_str());
+    merged.write_json(obs_options.metrics_path);
+    std::printf("metrics written to %s\n", obs_options.metrics_path.c_str());
+  }
   std::printf("(parallel recovery never touches the PFS, so its column is the "
               "control: contention leaves it unchanged)\n");
   return 0;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "util/cli.hpp"
 
@@ -15,10 +16,12 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per P", "60");
   cli.add_option("--seed", "root RNG seed", "8");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   std::printf("Ablation: parallel recovery efficiency vs. recovery parallelism P\n");
   std::printf("application D64 @ 100%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -39,7 +42,8 @@ int main(int argc, char** argv) {
     RunningStats eff;
     RunningStats recovering;
     RunningStats energy;
-    for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+    for (const ExecutionResult& r : collector.run_batch(
+             executor, seed, specs, "P=" + fmt_double(p, 0))) {
       eff.add(r.efficiency);
       recovering.add(r.time_recovering.to_minutes());
       energy.add(r.node_seconds);
@@ -49,5 +53,6 @@ int main(int argc, char** argv) {
                    fmt_double(energy.mean(), 0)});
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   return 0;
 }

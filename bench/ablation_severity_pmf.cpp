@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "util/cli.hpp"
 
@@ -18,10 +19,12 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per PMF", "60");
   cli.add_option("--seed", "root RNG seed", "7");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   const std::vector<std::pair<const char*, std::vector<double>>> pmfs{
       {"paper default {.55,.35,.10}", {0.55, 0.35, 0.10}},
@@ -51,10 +54,12 @@ int main(int argc, char** argv) {
     }
     RunningStats ml;
     RunningStats cr;
-    for (const ExecutionResult& r : executor.run_batch(seed, ml_specs)) {
+    for (const ExecutionResult& r : collector.run_batch(
+             executor, seed, ml_specs, std::string{name} + " [multilevel]")) {
       ml.add(r.efficiency);
     }
-    for (const ExecutionResult& r : executor.run_batch(seed, cr_specs)) {
+    for (const ExecutionResult& r : collector.run_batch(
+             executor, seed, cr_specs, std::string{name} + " [checkpoint-restart]")) {
       cr.add(r.efficiency);
     }
     table.add_row({name, fmt_mean_std(ml.mean(), ml.stddev()),
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
                    fmt_double(ml.mean() - cr.mean(), 3)});
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("(multilevel's advantage shrinks as severe failures dominate, but it\n"
               " never does worse than single-level checkpointing: with an all-severe\n"
               " PMF its optimizer degenerates to the PFS-only schedule)\n");

@@ -1,12 +1,32 @@
 #include "common.hpp"
 
-#include <chrono>
 #include <cstdio>
 
 #include "core/report.hpp"
+#include "obs/profile.hpp"
 #include "util/barchart.hpp"
+#include "util/log.hpp"
 
 namespace xres::bench {
+
+void add_obs_options(CliParser& cli, bool with_trace) {
+  cli.add_option("--metrics", "write deterministic study metrics JSON to this path "
+                 "(byte-identical for every --threads value)", "");
+  if (with_trace) {
+    cli.add_option("--trace", "write a Chrome trace-event JSON (Perfetto-loadable, "
+                   "sim-time spans) to this path", "");
+  }
+  cli.add_option("--log-level", "override XRES_LOG: trace|debug|info|warn|error|off", "");
+}
+
+ObsOptions read_obs_options(const CliParser& cli) {
+  ObsOptions options;
+  options.metrics_path = cli.str("--metrics");
+  if (cli.has_option("--trace")) options.trace_path = cli.str("--trace");
+  const std::string level = cli.str("--log-level");
+  if (!level.empty()) Logger::global().set_level(parse_log_level(level));
+  return options;
+}
 
 void add_common_options(CliParser& cli, std::uint32_t default_trials) {
   cli.add_option("--trials", "trials per bar (paper: 200)",
@@ -18,6 +38,7 @@ void add_common_options(CliParser& cli, std::uint32_t default_trials) {
   cli.add_flag("--chart", "also render ASCII bars");
   cli.add_option("--csv-path", "write CSV to this file instead of stdout", "");
   cli.add_option("--report", "write a markdown study report to this path", "");
+  add_obs_options(cli);
 }
 
 HarnessOptions read_common_options(const CliParser& cli) {
@@ -29,14 +50,58 @@ HarnessOptions read_common_options(const CliParser& cli) {
   options.chart = cli.flag("--chart");
   options.csv_path = cli.str("--csv-path");
   options.report_path = cli.str("--report");
+  options.obs = read_obs_options(cli);
   return options;
+}
+
+std::vector<ExecutionResult> ObsCollector::run_batch(const TrialExecutor& executor,
+                                                     std::uint64_t root_seed,
+                                                     std::span<const TrialSpec> specs,
+                                                     const std::string& label,
+                                                     const TrialProgress& progress) {
+  if (!options_.enabled()) return executor.run_batch(root_seed, specs, progress);
+
+  std::vector<obs::TrialObs> observers(specs.size());
+  for (obs::TrialObs& o : observers) {
+    if (options_.metrics()) o.enable_metrics();
+  }
+  if (options_.trace() && !observers.empty()) observers.front().enable_trace();
+  std::vector<ExecutionResult> results =
+      executor.run_batch(root_seed, specs, observers, progress);
+  if (options_.metrics()) {
+    if (!metrics_.has_value()) metrics_.emplace();
+    // Merge in spec order: byte-identical for every thread count.
+    for (const obs::TrialObs& o : observers) metrics_->merge(*o.metrics());
+  }
+  if (options_.trace() && !observers.empty()) {
+    trace_.add_track(label, std::move(*observers.front().trace()));
+  }
+  return results;
+}
+
+void ObsCollector::finish() {
+  if (options_.metrics() && metrics_.has_value()) {
+    std::printf("\nInstrumented breakdown (whole sweep):\n%s",
+                metrics_->to_table().to_text().c_str());
+    metrics_->write_json(options_.metrics_path);
+    std::printf("metrics written to %s\n", options_.metrics_path.c_str());
+  }
+  if (options_.trace() && !trace_.empty()) {
+    trace_.write(options_.trace_path);
+    std::printf("trace written to %s (%zu tracks, %zu events)\n",
+                options_.trace_path.c_str(), trace_.track_count(), trace_.event_count());
+  }
 }
 
 int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
                           const HarnessOptions& options) {
+  obs::PhaseProfiler profiler;
+  profiler.begin("setup");
   config.trials = options.trials;
   config.seed = options.seed;
   config.threads = options.threads;
+  config.collect_metrics = options.obs.metrics();
+  config.collect_trace = options.obs.trace();
 
   std::printf("%s\n", title.c_str());
   std::printf("machine: %s\n", config.machine.describe().c_str());
@@ -45,21 +110,12 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
               to_string(config.baseline).c_str(), config.trials,
               TrialExecutor{options.threads}.threads());
 
-  const auto start = std::chrono::steady_clock::now();
-  const EfficiencyStudyResult result =
-      run_efficiency_study(config, [](std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "\r  cell %zu/%zu", done, total);
-        if (done == total) std::fprintf(stderr, "\n");
-        std::fflush(stderr);
-      });
-  const auto elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+  profiler.begin("run");
+  obs::ProgressMeter meter{"cell"};
+  const EfficiencyStudyResult result = run_efficiency_study(config, meter.callback());
 
+  profiler.begin("reduce");
   std::printf("%s", result.to_table().to_text().c_str());
-  std::printf("(efficiency = baseline execution time / simulated execution time; "
-              "computed in %.1f s)\n",
-              elapsed);
 
   if (options.chart) {
     std::vector<std::string> series;
@@ -83,6 +139,19 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
     }
   }
 
+  if (options.obs.metrics()) {
+    std::printf("\nInstrumented breakdown (per technique, whole study):\n%s",
+                result.to_metrics_table().to_text().c_str());
+    result.metrics->write_json(options.obs.metrics_path);
+    std::printf("metrics written to %s\n", options.obs.metrics_path.c_str());
+  }
+  if (options.obs.trace()) {
+    result.trace.write(options.obs.trace_path);
+    std::printf("trace written to %s (%zu tracks, %zu events; open in Perfetto)\n",
+                options.obs.trace_path.c_str(), result.trace.track_count(),
+                result.trace.event_count());
+  }
+
   if (!options.report_path.empty()) {
     StudyReport report{title};
     report.add_config("machine", config.machine.describe());
@@ -97,9 +166,16 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
         "(mean ± sample standard deviation across trials).");
     report.add_table("Efficiency by system share", result.to_table());
     report.add_table("Raw data", result.to_csv_table());
+    if (result.metrics.has_value()) {
+      report.add_table("Instrumented breakdown", result.to_metrics_table());
+    }
     report.write(options.report_path);
     std::printf("report written to %s\n", options.report_path.c_str());
   }
+
+  profiler.end();
+  std::printf("(efficiency = baseline / simulated execution time; phases: %s)\n",
+              profiler.summary().c_str());
   return 0;
 }
 

@@ -4,12 +4,37 @@
 /// Shared plumbing for the figure-reproduction harnesses: CLI wiring and
 /// the efficiency-figure runner used by Figures 1-3.
 
+#include <optional>
+#include <span>
 #include <string>
 
 #include "core/single_app_study.hpp"
+#include "obs/trial_obs.hpp"
 #include "util/cli.hpp"
 
 namespace xres::bench {
+
+/// Observability options shared by the study drivers (ISSUE 2 /
+/// docs/OBSERVABILITY.md): both artifacts are deterministic functions of
+/// the study seed, byte-identical for every --threads value.
+struct ObsOptions {
+  std::string metrics_path;  ///< non-empty: write merged metrics JSON here
+  std::string trace_path;    ///< non-empty: write Chrome trace JSON here
+
+  [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
+  [[nodiscard]] bool trace() const { return !trace_path.empty(); }
+  [[nodiscard]] bool enabled() const { return metrics() || trace(); }
+};
+
+/// Registers --metrics/--log-level (and --trace when \p with_trace) on
+/// \p cli. Workload drivers pass with_trace = false: their concurrent
+/// applications share one simulation, so per-trial tracing does not apply.
+void add_obs_options(CliParser& cli, bool with_trace = true);
+
+/// Reads them back after parse(); applies --log-level to the global logger
+/// immediately (throws CheckError on a bad name — unlike XRES_LOG, a CLI
+/// typo should fail loudly).
+[[nodiscard]] ObsOptions read_obs_options(const CliParser& cli);
 
 /// Options every harness shares.
 struct HarnessOptions {
@@ -20,13 +45,45 @@ struct HarnessOptions {
   bool chart{false};  ///< also render ASCII bars (the figure's visual shape)
   std::string csv_path;  ///< empty: print CSV to stdout when csv is set
   std::string report_path;  ///< non-empty: write a markdown StudyReport here
+  ObsOptions obs;  ///< --metrics/--trace/--log-level
 };
 
-/// Registers --trials/--seed/--threads/--csv/--csv-path on \p cli.
+/// Registers --trials/--seed/--threads/--csv/--csv-path plus the
+/// observability options on \p cli.
 void add_common_options(CliParser& cli, std::uint32_t default_trials);
 
-/// Reads them back after parse().
+/// Reads them back after parse() (applies --log-level, see
+/// read_obs_options).
 [[nodiscard]] HarnessOptions read_common_options(const CliParser& cli);
+
+/// Observed batch execution for drivers that drive TrialExecutor directly
+/// (the ablation/extension harnesses): a drop-in replacement for
+/// `executor.run_batch` that, when observation is requested, attaches one
+/// observer per trial, merges metrics in spec order, and keeps trial 0 of
+/// each batch as a trace track named \p label. Call finish() once after
+/// the sweep to write the artifacts.
+class ObsCollector {
+ public:
+  explicit ObsCollector(ObsOptions options) : options_{std::move(options)} {}
+
+  [[nodiscard]] std::vector<ExecutionResult> run_batch(
+      const TrialExecutor& executor, std::uint64_t root_seed,
+      std::span<const TrialSpec> specs, const std::string& label,
+      const TrialProgress& progress = {});
+
+  /// Merged metrics so far (null until the first observed batch).
+  [[nodiscard]] const obs::MetricSet* metrics() const {
+    return metrics_.has_value() ? &*metrics_ : nullptr;
+  }
+
+  /// Write the requested artifacts (prints one line per file to stdout).
+  void finish();
+
+ private:
+  ObsOptions options_;
+  std::optional<obs::MetricSet> metrics_;
+  obs::TraceLog trace_;
+};
 
 /// Run one Figures-1-3 style efficiency figure and print it in the paper's
 /// layout (rows: % of system; columns: technique; cells: mean ± σ over

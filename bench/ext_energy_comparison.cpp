@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "runtime/power.hpp"
 #include "resilience/planner.hpp"
@@ -20,10 +21,12 @@ int main(int argc, char** argv) {
   cli.add_option("--system-share", "fraction of machine used", "0.25");
   cli.add_option("--seed", "root RNG seed", "11");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   const MachineSpec machine = MachineSpec::exascale();
   const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
@@ -56,7 +59,8 @@ int main(int argc, char** argv) {
     RunningStats eff;
     RunningStats mwh;
     RunningStats idle_share;
-    for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+    for (const ExecutionResult& r :
+         collector.run_batch(executor, seed, specs, to_string(kind))) {
       const EnergyReport energy = execution_energy(r, plan.physical_nodes, power);
       eff.add(r.efficiency);
       mwh.add(energy.kilowatt_hours() / 1000.0);
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
                    fmt_percent(idle_share.mean(), 2)});
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("(ideal failure-free energy: %.1f MWh)\n", ideal_mwh);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "failure/severity.hpp"
 #include "resilience/planner.hpp"
@@ -21,10 +22,12 @@ int main(int argc, char** argv) {
   cli.add_option("--system-share", "fraction of machine used", "0.25");
   cli.add_option("--seed", "root RNG seed", "13");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto traces = static_cast<std::uint32_t>(cli.integer("--traces"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   const MachineSpec machine = MachineSpec::exascale();
   const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
@@ -58,7 +61,8 @@ int main(int argc, char** argv) {
       specs.push_back(TrialSpec{TraceTrialSpec{plans[k], resilience, trace}, {i, k}});
     }
   }
-  const std::vector<ExecutionResult> results = executor.run_batch(seed, specs);
+  const std::vector<ExecutionResult> results =
+      collector.run_batch(executor, seed, specs, "shared-trace replays");
 
   // Efficiency per technique per trace.
   std::vector<std::vector<double>> eff(kinds.size());
@@ -89,5 +93,6 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "util/cli.hpp"
 
@@ -16,11 +17,13 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "A32");
   cli.add_option("--seed", "root RNG seed", "19");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
   const AppType type = app_type_by_name(cli.str("--type"));
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   std::printf("Extension: semi-blocking checkpointing, application %s, MTBF 10 y\n\n",
               type.name.c_str());
@@ -47,7 +50,12 @@ int main(int argc, char** argv) {
         specs.push_back(TrialSpec{config, {static_cast<std::uint64_t>(column), t}});
       }
       RunningStats eff;
-      for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+      const std::string label =
+          fmt_percent(share, 0) +
+          (cell.rate == 0.0 ? " blocking"
+                            : " overlap " + fmt_percent(cell.rate, 0));
+      for (const ExecutionResult& r :
+           collector.run_batch(executor, seed, specs, label)) {
         eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("(overlap reduces the blocked fraction of each Eq.-3 checkpoint; at\n"
               " 90%% overlap checkpointing costs little even at exascale)\n");
   return 0;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/app_type.hpp"
+#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "resilience/selector.hpp"
 #include "util/cli.hpp"
@@ -18,10 +19,12 @@ int main(int argc, char** argv) {
   cli.add_option("--mtbf-years", "node MTBF", "10");
   cli.add_option("--seed", "root RNG seed", "23");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  bench::ObsCollector collector{bench::read_obs_options(cli)};
 
   ResilienceConfig resilience;
   resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
@@ -59,7 +62,10 @@ int main(int argc, char** argv) {
           specs.push_back(TrialSpec{config, {static_cast<std::uint64_t>(column), t}});
         }
         RunningStats eff;
-        for (const ExecutionResult& r : executor.run_batch(seed, specs)) {
+        const std::string label =
+            type.name + " @ " + fmt_percent(share, 0) + " " + to_string(kind);
+        for (const ExecutionResult& r :
+             collector.run_batch(executor, seed, specs, label)) {
           eff.add(r.efficiency);
         }
         if (eff.mean() > best_eff) {
@@ -81,6 +87,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "finished type %s\n", type.name.c_str());
   }
   std::printf("%s", table.to_text().c_str());
+  collector.finish();
   std::printf("selector agreement with simulation: %u/%u cells\n", agreements, cells);
   return 0;
 }

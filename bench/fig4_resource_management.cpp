@@ -3,10 +3,11 @@
 // shared arrival patterns on the oversubscribed exascale system, compared
 // against the failure-free Ideal Baseline.
 
-#include <chrono>
 #include <cstdio>
 
+#include "common.hpp"
 #include "core/workload_study.hpp"
+#include "obs/profile.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -18,12 +19,17 @@ int main(int argc, char** argv) {
   cli.add_option("--seed", "root RNG seed", "20170530");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   cli.add_flag("--csv", "also emit raw CSV");
+  bench::add_obs_options(cli, /*with_trace=*/false);
   if (!cli.parse(argc, argv)) return 0;
+  const bench::ObsOptions obs = bench::read_obs_options(cli);
 
+  obs::PhaseProfiler profiler;
+  profiler.begin("setup");
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   study.threads = static_cast<unsigned>(cli.integer("--threads"));
+  study.collect_metrics = obs.metrics();
 
   std::printf("Figure 4: dropped applications, oversubscribed exascale system\n");
   std::printf("machine: %s\n", study.machine.describe().c_str());
@@ -33,21 +39,31 @@ int main(int argc, char** argv) {
       study.workload.arrival_count, to_string(study.workload.mean_interarrival).c_str(),
       study.patterns, to_string(study.resilience.node_mtbf).c_str());
 
-  const auto start = std::chrono::steady_clock::now();
-  const auto results = run_workload_study(
-      study, figure4_combos(), [](std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "\r  pattern-run %zu/%zu", done, total);
-        if (done == total) std::fprintf(stderr, "\n");
-        std::fflush(stderr);
-      });
-  const auto elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  profiler.begin("run");
+  obs::ProgressMeter meter{"pattern-run"};
+  const auto results = run_workload_study(study, figure4_combos(), meter.callback());
 
+  profiler.begin("reduce");
   const Table table = workload_results_table(results);
   std::printf("%s", table.to_text().c_str());
-  std::printf("(dropped %% = applications missing their Eq.-1 deadline; "
-              "computed in %.1f s)\n",
-              elapsed);
   if (cli.flag("--csv")) std::printf("\n%s", table.to_csv().c_str());
+
+  if (obs.metrics()) {
+    // Merge per-combo metrics in combo order: byte-identical for every
+    // --threads value.
+    obs::MetricSet merged;
+    for (const WorkloadComboResult& r : results) {
+      if (r.metrics.has_value()) merged.merge(*r.metrics);
+    }
+    std::printf("\nInstrumented breakdown (whole study):\n%s",
+                merged.to_table().to_text().c_str());
+    merged.write_json(obs.metrics_path);
+    std::printf("metrics written to %s\n", obs.metrics_path.c_str());
+  }
+
+  profiler.end();
+  std::printf("(dropped %% = applications missing their Eq.-1 deadline; "
+              "phases: %s)\n",
+              profiler.summary().c_str());
   return 0;
 }

@@ -3,10 +3,11 @@
 // Resilience Selection, over four arrival-pattern types (unbiased,
 // high-memory, high-communication, large applications).
 
-#include <chrono>
 #include <cstdio>
 
+#include "common.hpp"
 #include "core/workload_study.hpp"
+#include "obs/profile.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   cli.add_option("--seed", "root RNG seed", "20170530");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   cli.add_flag("--csv", "also emit raw CSV");
+  bench::add_obs_options(cli, /*with_trace=*/false);
   if (!cli.parse(argc, argv)) return 0;
+  const bench::ObsOptions obs = bench::read_obs_options(cli);
 
   const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
@@ -26,8 +29,10 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 5: Parallel Recovery vs. Resilience Selection\n\n");
 
+  obs::PhaseProfiler profiler;
+  profiler.begin("run");
+  obs::MetricSet merged;
   Table table{{"arrival pattern", "scheduler", "resilience", "dropped %", "std %"}};
-  const auto start = std::chrono::steady_clock::now();
   for (WorkloadBias bias :
        {WorkloadBias::kUnbiased, WorkloadBias::kHighMemory,
         WorkloadBias::kHighCommunication, WorkloadBias::kLargeApps}) {
@@ -36,26 +41,34 @@ int main(int argc, char** argv) {
     study.seed = seed;
     study.threads = threads;
     study.workload.bias = bias;
+    study.collect_metrics = obs.metrics();
 
     std::fprintf(stderr, "bias: %s\n", to_string(bias));
-    const auto results = run_workload_study(
-        study, figure5_combos(), [](std::size_t done, std::size_t total) {
-          std::fprintf(stderr, "\r  pattern-run %zu/%zu", done, total);
-          if (done == total) std::fprintf(stderr, "\n");
-          std::fflush(stderr);
-        });
+    obs::ProgressMeter meter{"pattern-run"};
+    const auto results = run_workload_study(study, figure5_combos(), meter.callback());
     for (const WorkloadComboResult& r : results) {
       table.add_row({to_string(bias), to_string(r.combo.scheduler),
                      r.combo.policy.name(),
                      fmt_double(r.dropped_fraction.mean * 100.0, 2),
                      fmt_double(r.dropped_fraction.stddev * 100.0, 2)});
+      // Bias and combo order are fixed, so the merge order (and the
+      // artifact) is thread-count-invariant.
+      if (r.metrics.has_value()) merged.merge(*r.metrics);
     }
   }
-  const auto elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
+  profiler.begin("reduce");
   std::printf("%s", table.to_text().c_str());
-  std::printf("(computed in %.1f s)\n", elapsed);
   if (cli.flag("--csv")) std::printf("\n%s", table.to_csv().c_str());
+
+  if (obs.metrics()) {
+    std::printf("\nInstrumented breakdown (whole study):\n%s",
+                merged.to_table().to_text().c_str());
+    merged.write_json(obs.metrics_path);
+    std::printf("metrics written to %s\n", obs.metrics_path.c_str());
+  }
+
+  profiler.end();
+  std::printf("(phases: %s)\n", profiler.summary().c_str());
   return 0;
 }

@@ -3,12 +3,22 @@
 // optimizers, and end-to-end trial throughput. These guard the simulation
 // engine's performance (a full Figure 1-5 reproduction executes tens of
 // millions of events).
+//
+// Besides the usual console table, every run writes a machine-readable
+// summary (default BENCH_engine.json, override with --out) so CI can diff
+// engine throughput across commits without scraping stdout.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
 #include "failure/process.hpp"
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "platform/allocator.hpp"
 #include "resilience/multilevel.hpp"
 #include "resilience/planner.hpp"
@@ -173,4 +183,113 @@ BENCHMARK(BM_TrialExecutorBatch)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Prints the normal console table while also collecting every finished
+/// run for the JSON summary.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::int64_t iterations{0};
+    double real_s_per_iter{0.0};  ///< wall seconds per iteration
+    double cpu_s_per_iter{0.0};
+    std::vector<std::pair<std::string, double>> counters;
+    bool error{false};
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      row.error = run.error_occurred;
+      if (run.iterations > 0) {
+        row.real_s_per_iter =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+        row.cpu_s_per_iter =
+            run.cpu_accumulated_time / static_cast<double>(run.iterations);
+      }
+      for (const auto& [key, counter] : run.counters) {
+        row.counters.emplace_back(key, counter.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+void write_summary(const std::string& path, const std::vector<CapturingReporter::Row>& rows,
+                   double wall_seconds) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value("xres-bench-v1");
+  json.key("wall_seconds");
+  json.value(wall_seconds);
+  json.key("benchmarks");
+  json.begin_array();
+  for (const CapturingReporter::Row& row : rows) {
+    json.begin_object();
+    json.key("name");
+    json.value(row.name);
+    json.key("iterations");
+    json.value(static_cast<std::uint64_t>(row.iterations));
+    json.key("real_s_per_iter");
+    json.value(row.real_s_per_iter);
+    json.key("cpu_s_per_iter");
+    json.value(row.cpu_s_per_iter);
+    if (row.error) {
+      json.key("error");
+      json.value(true);
+    }
+    for (const auto& [key, value] : row.counters) {
+      json.key(key);
+      json.value(value);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.write(path);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off our own --out flag before google-benchmark sees the args.
+  std::string out_path = "BENCH_engine.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      continue;
+    }
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+
+  obs::PhaseProfiler profiler;
+  profiler.begin("benchmarks");
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  profiler.end();
+
+  if (!out_path.empty()) {
+    write_summary(out_path, reporter.rows(), profiler.total_seconds());
+    std::printf("benchmark summary written to %s (%zu rows)\n", out_path.c_str(),
+                reporter.rows().size());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

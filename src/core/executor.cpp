@@ -17,12 +17,33 @@ namespace xres {
 
 namespace {
 
-ExecutionResult infeasible_result(const ExecutionPlan& plan) {
+ExecutionResult infeasible_result(const ExecutionPlan& plan, obs::TrialObs* obs) {
   ExecutionResult result;
   result.completed = false;
   result.baseline = plan.baseline;
   result.efficiency = 0.0;
+  if (obs != nullptr) {
+    const obs::BuiltinMetrics& m = obs::builtin_metrics();
+    obs->count(m.trials_run);
+    obs->count(m.trials_infeasible);
+  }
   return result;
+}
+
+/// Fold one finished trial into its observer: counters/gauges from the
+/// ExecutionResult (exact, no per-event cost) plus the trial-shape
+/// histograms. Runtime-side observation covers only what the result does
+/// not retain (per-event severities, checkpoint levels/costs, rework
+/// sizes), so nothing is double-counted.
+void record_trial_metrics(obs::TrialObs* obs, const ExecutionResult& r,
+                          std::uint64_t sim_events) {
+  if (obs == nullptr || obs->metrics() == nullptr) return;
+  record_result_metrics(obs, r);
+  const obs::BuiltinMetrics& m = obs::builtin_metrics();
+  obs->count(m.trials_run);
+  obs->count(m.sim_events, sim_events);
+  obs->observe(m.trial_events, static_cast<double>(sim_events));
+  obs->observe(m.trial_wall_hours, r.wall_time.to_seconds() / 3600.0);
 }
 
 }  // namespace
@@ -36,8 +57,9 @@ std::uint64_t TrialSpec::derived_seed(std::uint64_t root) const {
   return hash_seed(keys);
 }
 
-ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed) {
-  if (!spec.plan.feasible) return infeasible_result(spec.plan);
+ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed,
+                          obs::TrialObs* obs) {
+  if (!spec.plan.feasible) return infeasible_result(spec.plan, obs);
 
   Simulation sim;
   const SeverityModel severity{spec.resilience.severity_weights};
@@ -51,6 +73,7 @@ ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed) {
         finished = true;
         sim.request_stop();
       }};
+  runtime.set_observer(obs);
 
   AppFailureProcess failures{
       sim,
@@ -65,13 +88,15 @@ ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed) {
   sim.run();
 
   XRES_CHECK(finished, "plan trial ended without a completion callback");
+  record_trial_metrics(obs, final_result, sim.events_processed());
   return final_result;
 }
 
-ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed) {
+ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed,
+                          obs::TrialObs* obs) {
   // Severity is already baked into the trace; spec.resilience is kept for
   // API symmetry and future runtime knobs.
-  if (!spec.plan.feasible) return infeasible_result(spec.plan);
+  if (!spec.plan.feasible) return infeasible_result(spec.plan, obs);
 
   Simulation sim;
   ExecutionResult final_result;
@@ -83,6 +108,7 @@ ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed) {
         finished = true;
         sim.request_stop();
       }};
+  runtime.set_observer(obs);
 
   TraceFailureProcess failures{sim, spec.trace,
                                [&runtime](const Failure& f) { runtime.on_failure(f); }};
@@ -91,20 +117,23 @@ ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed) {
   sim.run();
 
   XRES_CHECK(finished, "trace trial ended without a completion callback");
+  record_trial_metrics(obs, final_result, sim.events_processed());
   return final_result;
 }
 
-ExecutionResult run_trial(const SingleAppTrialConfig& config, std::uint64_t seed) {
+ExecutionResult run_trial(const SingleAppTrialConfig& config, std::uint64_t seed,
+                          obs::TrialObs* obs) {
   PlanTrialSpec spec;
   spec.plan = make_plan(config.technique, config.app, config.machine, config.resilience);
   spec.resilience = config.resilience;
   spec.failure_distribution = config.failure_distribution;
-  return run_trial(spec, seed);
+  return run_trial(spec, seed, obs);
 }
 
-ExecutionResult run_trial(const TrialSpec& spec, std::uint64_t root_seed) {
+ExecutionResult run_trial(const TrialSpec& spec, std::uint64_t root_seed,
+                          obs::TrialObs* obs) {
   const std::uint64_t seed = spec.derived_seed(root_seed);
-  return std::visit([seed](const auto& work) { return run_trial(work, seed); },
+  return std::visit([seed, obs](const auto& work) { return run_trial(work, seed, obs); },
                     spec.work);
 }
 
@@ -173,6 +202,19 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
   for_each(
       specs.size(),
       [&](std::size_t i) { results[i] = run_trial(specs[i], root_seed); },
+      progress);
+  return results;
+}
+
+std::vector<ExecutionResult> TrialExecutor::run_batch(
+    std::uint64_t root_seed, std::span<const TrialSpec> specs,
+    std::span<obs::TrialObs> observers, const TrialProgress& progress) const {
+  XRES_CHECK(observers.size() == specs.size(),
+             "one observer per spec (enable channels before the batch)");
+  std::vector<ExecutionResult> results(specs.size());
+  for_each(
+      specs.size(),
+      [&](std::size_t i) { results[i] = run_trial(specs[i], root_seed, &observers[i]); },
       progress);
   return results;
 }

@@ -42,6 +42,7 @@
 #include "apps/application.hpp"
 #include "failure/distribution.hpp"
 #include "failure/trace.hpp"
+#include "obs/trial_obs.hpp"
 #include "platform/spec.hpp"
 #include "resilience/config.hpp"
 #include "resilience/plan.hpp"
@@ -99,14 +100,23 @@ struct TrialSpec {
 /// Run one trial with the given (already derived) seed. Infeasible plans
 /// (redundancy larger than the machine) return a zero-efficiency result
 /// without simulating, as in the paper's zero-height bars.
+///
+/// \p obs (optional, may be null) collects the trial's metrics and/or
+/// sim-time trace; it must be single-threaded for the trial's duration.
+/// Observation never perturbs the simulation: the result is byte-identical
+/// with and without it.
 [[nodiscard]] ExecutionResult run_trial(const SingleAppTrialConfig& config,
-                                        std::uint64_t seed);
-[[nodiscard]] ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed);
-[[nodiscard]] ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed);
+                                        std::uint64_t seed,
+                                        obs::TrialObs* obs = nullptr);
+[[nodiscard]] ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed,
+                                        obs::TrialObs* obs = nullptr);
+[[nodiscard]] ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed,
+                                        obs::TrialObs* obs = nullptr);
 
 /// Run one spec under a study root seed (applies the seed-derivation
 /// contract).
-[[nodiscard]] ExecutionResult run_trial(const TrialSpec& spec, std::uint64_t root_seed);
+[[nodiscard]] ExecutionResult run_trial(const TrialSpec& spec, std::uint64_t root_seed,
+                                        obs::TrialObs* obs = nullptr);
 
 /// Progress callback: (completed units, total units). The executor invokes
 /// it from worker threads under an internal mutex, so one invocation runs
@@ -135,6 +145,15 @@ class TrialExecutor {
   [[nodiscard]] std::vector<ExecutionResult> run_batch(
       std::uint64_t root_seed, std::span<const TrialSpec> specs,
       const TrialProgress& progress = {}) const;
+
+  /// run_batch with per-trial observation: `observers[i]` (already enabled
+  /// for the channels the caller wants) collects trial `i`. Observer count
+  /// must equal spec count. Each observer is touched only by the worker
+  /// running its trial; merging the filled contexts in spec order
+  /// (`MetricSet::merge`) is thread-count-invariant like the results.
+  [[nodiscard]] std::vector<ExecutionResult> run_batch(
+      std::uint64_t root_seed, std::span<const TrialSpec> specs,
+      std::span<obs::TrialObs> observers, const TrialProgress& progress = {}) const;
 
   /// Generic deterministic parallel-for: invokes `body(i)` once for each
   /// `i` in `[0, count)` across the worker pool. `body` must only write to

@@ -20,6 +20,12 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
 
   const TrialExecutor executor{config.threads};
 
+  const bool observing = config.collect_metrics || config.collect_trace;
+  if (config.collect_metrics) {
+    result.metrics.emplace();
+    result.technique_metrics.resize(config.techniques.size());
+  }
+
   for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
     const double fraction = config.size_fractions[si];
     XRES_CHECK(fraction > 0.0 && fraction <= 1.0, "size fraction must be in (0, 1]");
@@ -46,8 +52,31 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
       for (std::uint32_t t = 0; t < config.trials; ++t) {
         specs.push_back(TrialSpec{trial, {si, ti, t}});
       }
-      const std::vector<ExecutionResult> outcomes =
-          executor.run_batch(config.seed, specs);
+      std::vector<ExecutionResult> outcomes;
+      if (observing) {
+        // One observer per trial; metrics on all, trace on trial 0 only
+        // (a full-study trace would drown Perfetto in identical tracks).
+        std::vector<obs::TrialObs> observers(specs.size());
+        for (obs::TrialObs& o : observers) {
+          if (config.collect_metrics) o.enable_metrics();
+        }
+        if (config.collect_trace) observers.front().enable_trace();
+        outcomes = executor.run_batch(config.seed, specs, observers);
+        if (config.collect_metrics) {
+          // Merge in spec order: byte-identical for every thread count.
+          for (const obs::TrialObs& o : observers) {
+            result.metrics->merge(*o.metrics());
+            result.technique_metrics[ti].merge(*o.metrics());
+          }
+        }
+        if (config.collect_trace) {
+          result.trace.add_track(
+              fmt_percent(fraction, 0) + " " + to_string(config.techniques[ti]),
+              std::move(*observers.front().trace()));
+        }
+      } else {
+        outcomes = executor.run_batch(config.seed, specs);
+      }
 
       // Reduce in trial order: bit-identical for every thread count.
       RunningStats efficiency;
@@ -75,6 +104,46 @@ Table EfficiencyStudyResult::to_table() const {
       const Summary& s = efficiency[si][ti];
       row.push_back(fmt_mean_std(s.mean, s.stddev));
     }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table EfficiencyStudyResult::to_metrics_table() const {
+  std::vector<std::string> headers{"metric"};
+  for (TechniqueKind kind : config.techniques) headers.emplace_back(to_string(kind));
+  headers.emplace_back("total");
+  Table table{std::move(headers)};
+  if (!metrics.has_value()) return table;
+
+  const auto cell = [](const obs::MetricSet& set, const obs::MetricDesc& d) -> std::string {
+    switch (d.id.kind()) {
+      case obs::MetricKind::kCounter:
+        return std::to_string(set.counter(d.id));
+      case obs::MetricKind::kGauge:
+        return fmt_double(set.gauge(d.id), 2);
+      case obs::MetricKind::kHistogram: {
+        const obs::HistogramData& h = set.histogram(d.id);
+        if (h.count == 0) return "-";
+        return fmt_double(h.mean(), 3) + " (n=" + std::to_string(h.count) + ")";
+      }
+    }
+    return "?";
+  };
+  const auto is_zero = [](const obs::MetricSet& set, const obs::MetricDesc& d) {
+    switch (d.id.kind()) {
+      case obs::MetricKind::kCounter: return set.counter(d.id) == 0;
+      case obs::MetricKind::kGauge: return set.gauge(d.id) == 0.0;
+      case obs::MetricKind::kHistogram: return set.histogram(d.id).count == 0;
+    }
+    return true;
+  };
+
+  for (const obs::MetricDesc& d : obs::MetricRegistry::global().descriptors()) {
+    if (is_zero(*metrics, d)) continue;  // keep the breakdown readable
+    std::vector<std::string> row{d.name};
+    for (const obs::MetricSet& set : technique_metrics) row.push_back(cell(set, d));
+    row.push_back(cell(*metrics, d));
     table.add_row(std::move(row));
   }
   return table;

@@ -11,9 +11,12 @@
 /// historical serial path byte for byte.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -55,6 +58,13 @@ struct EfficiencyStudyConfig {
   /// Worker threads for trial execution; 0 = hardware_concurrency, 1 =
   /// serial. Results are identical for every value (see core/executor.hpp).
   unsigned threads{0};
+  /// Collect deterministic metrics (result.metrics / technique_metrics):
+  /// one MetricSet per trial, merged in spec order, so the aggregate is
+  /// byte-identical for every `threads` value. Never perturbs results.
+  bool collect_metrics{false};
+  /// Record a sim-time trace of trial 0 of every (size × technique) cell
+  /// into result.trace — one Perfetto track per cell.
+  bool collect_trace{false};
 };
 
 struct EfficiencyStudyResult {
@@ -64,11 +74,25 @@ struct EfficiencyStudyResult {
   /// Mean failures seen per trial, same indexing (diagnostics).
   std::vector<std::vector<double>> mean_failures;
 
+  /// Whole-study metrics merged over every trial in spec order (set when
+  /// config.collect_metrics).
+  std::optional<obs::MetricSet> metrics;
+  /// Per-technique merges, index-aligned with config.techniques (set when
+  /// config.collect_metrics).
+  std::vector<obs::MetricSet> technique_metrics;
+  /// Sim-time trace: trial 0 of each cell as its own track (populated when
+  /// config.collect_trace).
+  obs::TraceLog trace;
+
   /// The figure's series as an aligned table (rows: size; columns:
   /// technique "mean ± σ").
   [[nodiscard]] Table to_table() const;
   /// Raw CSV: size_fraction, technique, mean, stddev, trials.
   [[nodiscard]] Table to_csv_table() const;
+  /// Instrumented breakdown (rows: non-zero metrics; columns: one per
+  /// technique plus a study total). Empty table when metrics were not
+  /// collected.
+  [[nodiscard]] Table to_metrics_table() const;
 };
 
 /// Progress callback: (completed cells, total cells). Invoked on the

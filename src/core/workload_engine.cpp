@@ -8,6 +8,7 @@
 
 #include "failure/process.hpp"
 #include "failure/severity.hpp"
+#include "obs/trial_obs.hpp"
 #include "platform/machine.hpp"
 #include "resilience/planner.hpp"
 #include "resilience/selector.hpp"
@@ -64,6 +65,16 @@ class WorkloadEngine final : public SchedulerContext {
     }
     if (failures_.has_value()) failures_->start();
     sim_.run();
+
+    if (config_.obs != nullptr) {
+      const obs::BuiltinMetrics& m = obs::builtin_metrics();
+      config_.obs->count(m.jobs_submitted, jobs_.size());
+      config_.obs->count(m.jobs_completed, completed_);
+      config_.obs->count(m.jobs_dropped, dropped_);
+      config_.obs->count(m.sim_events, sim_.events_processed());
+      config_.obs->observe(m.trial_events,
+                           static_cast<double>(sim_.events_processed()));
+    }
 
     WorkloadRunResult result;
     result.total_jobs = static_cast<std::uint32_t>(jobs_.size());
@@ -125,6 +136,7 @@ class WorkloadEngine final : public SchedulerContext {
     if (pfs_service_.has_value()) {
       runtime->set_pfs_transfer_service(&*pfs_service_);
     }
+    runtime->set_observer(config_.obs);
     ResilientAppRuntime* raw = runtime.get();
     running_.emplace(job.id, std::move(runtime));
     remove_unmapped(job.id);
@@ -218,6 +230,7 @@ class WorkloadEngine final : public SchedulerContext {
   /// Release nodes and move the runtime to the retired list (it may be on
   /// the call stack; destruction is deferred to engine teardown).
   void retire_running(std::unordered_map<JobId, std::unique_ptr<ResilientAppRuntime>>::iterator it) {
+    record_result_metrics(config_.obs, it->second->result());
     if (config_.record_occupancy) {
       occupancy_.record_end(it->first, sim_.now(),
                             it->second->result().completed);

@@ -21,6 +21,10 @@
 
 namespace xres {
 
+namespace obs {
+class TrialObs;
+}
+
 struct WorkloadEngineConfig {
   MachineSpec machine{MachineSpec::exascale()};
   ResilienceConfig resilience{};
@@ -47,6 +51,12 @@ struct WorkloadEngineConfig {
   /// application individually capped at its Eq.-3 rate B_N × N_S).
   bool model_pfs_contention{false};
   std::uint32_t pfs_gateways{4};
+
+  /// Optional observation context (metrics channel; obs/trial_obs.hpp) for
+  /// this pattern run: job counters plus the per-runtime event metrics.
+  /// Must outlive the run and is touched only by the running thread. Null
+  /// disables observation at pointer-test cost.
+  obs::TrialObs* obs{nullptr};
 };
 
 struct WorkloadRunResult {

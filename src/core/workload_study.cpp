@@ -27,6 +27,11 @@ std::vector<WorkloadComboResult> run_workload_study(
   // (combo, pattern) order so summaries are identical for any thread count.
   const std::size_t total_runs = combos.size() * config.patterns;
   std::vector<WorkloadRunResult> runs(total_runs);
+  std::vector<obs::TrialObs> observers;
+  if (config.collect_metrics) {
+    observers.resize(total_runs);
+    for (obs::TrialObs& o : observers) o.enable_metrics();
+  }
   const TrialExecutor executor{config.threads};
   executor.for_each(
       total_runs,
@@ -42,6 +47,7 @@ std::vector<WorkloadComboResult> run_workload_study(
         // identical failure sequences for a given pattern (variance
         // reduction, mirroring the paper's shared arrival patterns).
         engine.seed = derive_seed(config.seed, 0x656e67696eULL, p);
+        if (config.collect_metrics) engine.obs = &observers[idx];
         runs[idx] = run_workload(engine, patterns[p]);
       },
       progress);
@@ -66,6 +72,13 @@ std::vector<WorkloadComboResult> run_workload_study(
     out.dropped_fraction = dropped.summary();
     out.mean_utilization = utilization.summary();
     out.mean_failures = failures.empty() ? 0.0 : failures.mean();
+    if (config.collect_metrics) {
+      // Merge in pattern order: byte-identical for every thread count.
+      out.metrics.emplace();
+      for (std::uint32_t p = 0; p < config.patterns; ++p) {
+        out.metrics->merge(*observers[ci * config.patterns + p].metrics());
+      }
+    }
     results.push_back(std::move(out));
   }
   return results;

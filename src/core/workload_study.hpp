@@ -7,6 +7,7 @@
 /// Figures 4 and 5).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,9 @@ struct WorkloadStudyConfig {
   /// Worker threads for pattern runs; 0 = hardware_concurrency, 1 =
   /// serial. Results are identical for every value (see core/executor.hpp).
   unsigned threads{0};
+  /// Collect a deterministic MetricSet per combo (one per pattern run,
+  /// merged in pattern order — thread-count-invariant like the results).
+  bool collect_metrics{false};
 };
 
 /// One bar of Figure 4/5: a scheduler + technique policy evaluated over all
@@ -46,6 +50,8 @@ struct WorkloadComboResult {
   Summary mean_utilization;     ///< over patterns
   double mean_failures{0.0};    ///< failures injected per pattern
   std::map<TechniqueKind, std::uint32_t> selection_counts;  ///< summed
+  /// Merged over this combo's pattern runs (set when collect_metrics).
+  std::optional<obs::MetricSet> metrics;
 };
 
 /// Progress callback: (completed pattern-runs, total pattern-runs).

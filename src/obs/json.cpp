@@ -1,0 +1,141 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace xres::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  XRES_CHECK(res.ec == std::errc{}, "double rendering overflow");
+  return std::string(buf, res.ptr);
+}
+
+std::string json_number(std::uint64_t v) { return std::to_string(v); }
+std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+void JsonWriter::before_value() {
+  XRES_CHECK(!complete_, "JSON document already complete");
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.kind == 'o') {
+    XRES_CHECK(key_pending_, "object values need a key first");
+    key_pending_ = false;
+  } else if (top.count > 0) {
+    out_ += ',';
+  }
+  ++top.count;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  XRES_CHECK(!stack_.empty() && stack_.back().kind == 'o',
+             "key outside an object");
+  XRES_CHECK(!key_pending_, "two keys in a row");
+  if (stack_.back().count > 0) out_ += ',';
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame{'o'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  XRES_CHECK(!stack_.empty() && stack_.back().kind == 'o' && !key_pending_,
+             "mismatched end_object");
+  out_ += '}';
+  stack_.pop_back();
+  if (stack_.empty()) complete_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame{'a'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  XRES_CHECK(!stack_.empty() && stack_.back().kind == 'a', "mismatched end_array");
+  out_ += ']';
+  stack_.pop_back();
+  if (stack_.empty()) complete_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  if (stack_.empty()) complete_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string{v}); }
+
+JsonWriter& JsonWriter::raw(const std::string& fragment) {
+  before_value();
+  out_ += fragment;
+  if (stack_.empty()) complete_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) { return raw(json_number(v)); }
+JsonWriter& JsonWriter::value(std::uint64_t v) { return raw(json_number(v)); }
+JsonWriter& JsonWriter::value(std::int64_t v) { return raw(json_number(v)); }
+JsonWriter& JsonWriter::value(int v) { return raw(json_number(static_cast<std::int64_t>(v))); }
+JsonWriter& JsonWriter::value(bool v) { return raw(v ? "true" : "false"); }
+JsonWriter& JsonWriter::null() { return raw("null"); }
+
+const std::string& JsonWriter::str() const {
+  XRES_CHECK(stack_.empty() && !out_.empty(), "incomplete JSON document");
+  return out_;
+}
+
+void JsonWriter::write(const std::string& path) const {
+  const std::string& doc = str();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  XRES_CHECK(f != nullptr, "cannot open " + path + " for writing");
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool nl = std::fputc('\n', f) != EOF;
+  const int rc = std::fclose(f);
+  XRES_CHECK(n == doc.size() && nl && rc == 0, "short write to " + path);
+}
+
+}  // namespace xres::obs

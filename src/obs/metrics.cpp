@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace xres::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry instance;
+  return instance;
+}
+
+MetricId MetricRegistry::add(MetricKind kind, const std::string& name,
+                             const std::string& help) {
+  XRES_CHECK(!name.empty(), "metric needs a name");
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (const MetricDesc& m : metrics_) {
+    XRES_CHECK(m.name != name, "duplicate metric: " + name);
+  }
+  const auto kind_index = static_cast<std::size_t>(kind);
+  const MetricId id{kind, slots_[kind_index]};
+  ++slots_[kind_index];
+  metrics_.push_back(MetricDesc{name, help, id});
+  return id;
+}
+
+MetricId MetricRegistry::counter(const std::string& name, const std::string& help) {
+  return add(MetricKind::kCounter, name, help);
+}
+
+MetricId MetricRegistry::gauge(const std::string& name, const std::string& help) {
+  return add(MetricKind::kGauge, name, help);
+}
+
+MetricId MetricRegistry::histogram(const std::string& name, const std::string& help) {
+  return add(MetricKind::kHistogram, name, help);
+}
+
+std::vector<MetricDesc> MetricRegistry::descriptors() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return metrics_;
+}
+
+std::optional<MetricId> MetricRegistry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (const MetricDesc& m : metrics_) {
+    if (m.name == name) return m.id;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t MetricRegistry::slots(MetricKind kind) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return slots_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t log2_bucket(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN and negatives
+  const int exponent = std::ilogb(value);  // floor(log2(value)) for finite v >= 1
+  if (exponent >= static_cast<int>(HistogramData::kBuckets) - 1 ||
+      exponent == FP_ILOGBNAN || !std::isfinite(value)) {
+    return HistogramData::kBuckets - 1;
+  }
+  return static_cast<std::size_t>(exponent) + 1;
+}
+
+double log2_bucket_upper_edge(std::size_t index) {
+  XRES_CHECK(index < HistogramData::kBuckets, "bucket index out of range");
+  return std::ldexp(1.0, static_cast<int>(index));
+}
+
+MetricSet::MetricSet() {
+  // Force the built-in catalog in before sizing: a set constructed before
+  // any instrumented code ran must still hold every built-in id.
+  (void)builtin_metrics();
+  const MetricRegistry& registry = MetricRegistry::global();
+  counters_.assign(registry.slots(MetricKind::kCounter), 0);
+  gauges_.assign(registry.slots(MetricKind::kGauge), 0.0);
+  histograms_.assign(registry.slots(MetricKind::kHistogram), HistogramData{});
+}
+
+void MetricSet::inc(MetricId id, std::uint64_t delta) {
+  XRES_CHECK(id.kind() == MetricKind::kCounter && id.slot() < counters_.size(),
+             "bad counter id");
+  counters_[id.slot()] += delta;
+}
+
+void MetricSet::add(MetricId id, double delta) {
+  XRES_CHECK(id.kind() == MetricKind::kGauge && id.slot() < gauges_.size(),
+             "bad gauge id");
+  gauges_[id.slot()] += delta;
+}
+
+void MetricSet::observe(MetricId id, double value) {
+  XRES_CHECK(id.kind() == MetricKind::kHistogram && id.slot() < histograms_.size(),
+             "bad histogram id");
+  HistogramData& h = histograms_[id.slot()];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[log2_bucket(value)];
+}
+
+std::uint64_t MetricSet::counter(MetricId id) const {
+  XRES_CHECK(id.kind() == MetricKind::kCounter && id.slot() < counters_.size(),
+             "bad counter id");
+  return counters_[id.slot()];
+}
+
+double MetricSet::gauge(MetricId id) const {
+  XRES_CHECK(id.kind() == MetricKind::kGauge && id.slot() < gauges_.size(),
+             "bad gauge id");
+  return gauges_[id.slot()];
+}
+
+const HistogramData& MetricSet::histogram(MetricId id) const {
+  XRES_CHECK(id.kind() == MetricKind::kHistogram && id.slot() < histograms_.size(),
+             "bad histogram id");
+  return histograms_[id.slot()];
+}
+
+void MetricSet::merge(const MetricSet& other) {
+  XRES_CHECK(counters_.size() == other.counters_.size() &&
+                 gauges_.size() == other.gauges_.size() &&
+                 histograms_.size() == other.histograms_.size(),
+             "merging metric sets from different registry generations");
+  for (std::size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  for (std::size_t i = 0; i < gauges_.size(); ++i) gauges_[i] += other.gauges_[i];
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    HistogramData& h = histograms_[i];
+    const HistogramData& o = other.histograms_[i];
+    if (o.count == 0) continue;
+    if (h.count == 0) {
+      h.min = o.min;
+      h.max = o.max;
+    } else {
+      h.min = std::min(h.min, o.min);
+      h.max = std::max(h.max, o.max);
+    }
+    h.count += o.count;
+    h.sum += o.sum;
+    for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) h.buckets[b] += o.buckets[b];
+  }
+}
+
+std::string MetricSet::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("xres-metrics-v1");
+  const std::vector<MetricDesc> descs = MetricRegistry::global().descriptors();
+
+  w.key("counters").begin_object();
+  for (const MetricDesc& d : descs) {
+    if (d.id.kind() != MetricKind::kCounter || d.id.slot() >= counters_.size()) continue;
+    w.key(d.name).value(counters_[d.id.slot()]);
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const MetricDesc& d : descs) {
+    if (d.id.kind() != MetricKind::kGauge || d.id.slot() >= gauges_.size()) continue;
+    w.key(d.name).value(gauges_[d.id.slot()]);
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const MetricDesc& d : descs) {
+    if (d.id.kind() != MetricKind::kHistogram || d.id.slot() >= histograms_.size()) {
+      continue;
+    }
+    const HistogramData& h = histograms_[d.id.slot()];
+    w.key(d.name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    if (h.count > 0) {
+      w.key("min").value(h.min);
+      w.key("max").value(h.max);
+    }
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.begin_object();
+      w.key("le").value(log2_bucket_upper_edge(b));
+      w.key("count").value(h.buckets[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+void MetricSet::write_json(const std::string& path) const {
+  JsonWriter w;
+  w.raw(to_json());
+  w.write(path);
+}
+
+Table MetricSet::to_table() const {
+  Table table{{"metric", "kind", "value"}};
+  for (const MetricDesc& d : MetricRegistry::global().descriptors()) {
+    switch (d.id.kind()) {
+      case MetricKind::kCounter: {
+        if (d.id.slot() >= counters_.size()) continue;
+        const std::uint64_t v = counters_[d.id.slot()];
+        if (v != 0) table.add_row({d.name, "counter", std::to_string(v)});
+        break;
+      }
+      case MetricKind::kGauge: {
+        if (d.id.slot() >= gauges_.size()) continue;
+        const double v = gauges_[d.id.slot()];
+        if (v != 0.0) table.add_row({d.name, "gauge", fmt_double(v, 3)});
+        break;
+      }
+      case MetricKind::kHistogram: {
+        if (d.id.slot() >= histograms_.size()) continue;
+        const HistogramData& h = histograms_[d.id.slot()];
+        if (h.count == 0) continue;
+        table.add_row({d.name, "histogram",
+                       std::to_string(h.count) + " obs, mean " + fmt_double(h.mean(), 3) +
+                           " [" + fmt_double(h.min, 3) + ", " + fmt_double(h.max, 3) + "]"});
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+const BuiltinMetrics& builtin_metrics() {
+  static const BuiltinMetrics metrics = [] {
+    MetricRegistry& r = MetricRegistry::global();
+    BuiltinMetrics m;
+    m.trials_run = r.counter("trials_run", "trials executed (incl. infeasible)");
+    m.trials_infeasible = r.counter("trials_infeasible", "plans rejected without simulating");
+    m.sim_events = r.counter("sim_events", "simulation events across all trials");
+    m.app_runs_completed = r.counter("app_runs_completed", "application runs that finished");
+    m.app_runs_aborted = r.counter("app_runs_aborted", "runs aborted (wall cap or drop)");
+    m.failures_seen = r.counter("failures_seen", "failures delivered to applications");
+    m.failures_masked = r.counter("failures_masked", "failures absorbed without disruption");
+    m.rollbacks = r.counter("rollbacks", "failures that forced a rollback");
+    m.restarts = r.counter("restarts", "restart phases entered");
+    m.recoveries = r.counter("recoveries", "parallel-recovery phases entered");
+    m.checkpoints_completed = r.counter("checkpoints_completed", "checkpoints taken");
+    m.pfs_phases = r.counter("pfs_phases", "phases routed through the shared PFS channel");
+    m.jobs_submitted = r.counter("jobs_submitted", "workload jobs that arrived");
+    m.jobs_completed = r.counter("jobs_completed", "workload jobs completed");
+    m.jobs_dropped = r.counter("jobs_dropped", "workload jobs dropped");
+    m.work_hours = r.gauge("work_hours", "simulated hours of forward progress + recompute");
+    m.checkpoint_hours = r.gauge("checkpoint_hours", "simulated hours saving checkpoints");
+    m.restart_hours = r.gauge("restart_hours", "simulated hours restoring checkpoints");
+    m.recovery_hours = r.gauge("recovery_hours", "simulated hours in parallel recovery");
+    m.rework_hours = r.gauge("rework_hours", "simulated hours of work redone after rollbacks");
+    m.wall_hours = r.gauge("wall_hours", "simulated wall hours across runs");
+    m.node_hours = r.gauge("node_hours", "active node-hours (energy proxy)");
+    m.checkpoint_cost_seconds =
+        r.histogram("checkpoint_cost_seconds", "seconds per completed checkpoint");
+    m.rollback_rework_minutes =
+        r.histogram("rollback_rework_minutes", "minutes of work lost per rollback");
+    m.failure_severity = r.histogram("failure_severity", "severity level per failure seen");
+    m.trial_events = r.histogram("trial_events", "simulation events per trial");
+    m.trial_wall_hours = r.histogram("trial_wall_hours", "simulated wall hours per trial");
+    m.checkpoint_level = r.histogram("checkpoint_level", "1-based level per checkpoint");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace xres::obs

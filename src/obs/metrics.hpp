@@ -1,0 +1,208 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Deterministic simulation metrics: counters, gauges and log2-bucket
+/// histograms.
+///
+/// ## Model
+///
+/// A process-wide `MetricRegistry` assigns each named metric a `MetricId`
+/// (kind + slot, packed so the hot path never consults the registry). A
+/// `MetricSet` is one trial's worth of values — a plain array per kind,
+/// owned by a single thread, with no locks anywhere. Studies allocate one
+/// `MetricSet` per trial, let the trial fill it, and `merge` the per-trial
+/// sets *in spec order* afterwards. Because each trial's values are
+/// independent of scheduling and the reduction order is fixed, the merged
+/// set — and its JSON rendering — is **byte-identical for every
+/// `--threads` value**, the same contract `TrialExecutor` gives results
+/// (core/executor.hpp).
+///
+/// ## Cost when disabled
+///
+/// Instrumented components hold an `obs::TrialObs*` that is null when
+/// observation is off; every metric site is one pointer test. With metrics
+/// on, a counter increment is a bounds check plus an array add.
+///
+/// ## Semantics under merge
+///
+///  * counter — monotone event count; merge sums.
+///  * gauge   — summable quantity (hours, node-hours); merge adds in call
+///              order, so double rounding is reproducible.
+///  * histogram — log2 buckets: bucket 0 holds values < 1, bucket i holds
+///              [2^(i-1), 2^i); merge sums buckets and pools count/sum/
+///              min/max. Exact enough for "where does time go" questions
+///              while merging losslessly (bucket counts are integers).
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace xres::obs {
+
+enum class MetricKind { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+/// Opaque metric handle: kind plus slot within that kind's array.
+class MetricId {
+ public:
+  constexpr MetricId() = default;
+
+  [[nodiscard]] constexpr MetricKind kind() const {
+    return static_cast<MetricKind>(packed_ >> 30);
+  }
+  [[nodiscard]] constexpr std::uint32_t slot() const { return packed_ & 0x3fffffffU; }
+  [[nodiscard]] constexpr bool valid() const { return packed_ != kInvalid; }
+
+ private:
+  friend class MetricRegistry;
+  constexpr MetricId(MetricKind kind, std::uint32_t slot)
+      : packed_{(static_cast<std::uint32_t>(kind) << 30) | slot} {}
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffU;
+  std::uint32_t packed_{kInvalid};
+};
+
+struct MetricDesc {
+  std::string name;
+  std::string help;
+  MetricId id{};
+};
+
+/// Process-wide metric catalog. Registration order is fixed (built-ins
+/// first, in builtin_metrics() field order) and determines JSON field
+/// order — part of the determinism contract. Registration is mutex-
+/// guarded; reads take the same mutex but only happen at MetricSet
+/// construction and serialization, never per sample.
+class MetricRegistry {
+ public:
+  static MetricRegistry& global();
+
+  MetricId counter(const std::string& name, const std::string& help);
+  MetricId gauge(const std::string& name, const std::string& help);
+  MetricId histogram(const std::string& name, const std::string& help);
+
+  /// Registered metrics in registration order (copy: safe to iterate
+  /// without holding the registry's lock).
+  [[nodiscard]] std::vector<MetricDesc> descriptors() const;
+
+  /// Id of a registered metric by name.
+  [[nodiscard]] std::optional<MetricId> find(const std::string& name) const;
+
+  /// Slots currently allocated per kind.
+  [[nodiscard]] std::uint32_t slots(MetricKind kind) const;
+
+ private:
+  MetricRegistry() = default;
+  MetricId add(MetricKind kind, const std::string& name, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::vector<MetricDesc> metrics_;
+  std::array<std::uint32_t, 3> slots_{0, 0, 0};
+};
+
+/// One histogram's accumulated state.
+struct HistogramData {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};  ///< valid when count > 0
+  double max{0.0};  ///< valid when count > 0
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// The log2 bucket for \p value: 0 for values below 1 (and non-finite
+/// inputs), else min(63, floor(log2(value)) + 1).
+[[nodiscard]] std::size_t log2_bucket(double value);
+
+/// Inclusive upper edge of bucket \p index (1, 2, 4, ... 2^63).
+[[nodiscard]] double log2_bucket_upper_edge(std::size_t index);
+
+/// One trial's metric values. NOT thread-safe: owned by exactly one trial
+/// (thread) at a time; cross-trial aggregation goes through merge() on the
+/// reducing thread.
+class MetricSet {
+ public:
+  /// Sized to the global registry at construction time.
+  MetricSet();
+
+  void inc(MetricId id, std::uint64_t delta = 1);
+  void add(MetricId id, double delta);
+  void observe(MetricId id, double value);
+
+  [[nodiscard]] std::uint64_t counter(MetricId id) const;
+  [[nodiscard]] double gauge(MetricId id) const;
+  [[nodiscard]] const HistogramData& histogram(MetricId id) const;
+
+  /// Accumulate \p other into this set (sum counters/gauges/buckets, pool
+  /// histogram moments). Deterministic given a fixed merge order.
+  void merge(const MetricSet& other);
+
+  /// Deterministic JSON rendering (registry registration order; all
+  /// registered metrics appear, including zeros, so the shape is stable).
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() to \p path (trailing newline); throws CheckError on I/O
+  /// failure.
+  void write_json(const std::string& path) const;
+
+  /// Non-zero metrics as a table: metric | kind | value. Used by the
+  /// StudyReport metrics section.
+  [[nodiscard]] Table to_table() const;
+
+ private:
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<HistogramData> histograms_;
+};
+
+/// Built-in metric catalog. Registered on first use, before any dynamic
+/// registrations, in this exact field order. docs/OBSERVABILITY.md is the
+/// human-readable version — keep them in sync.
+struct BuiltinMetrics {
+  // Executor-level counters.
+  MetricId trials_run;         ///< trials executed (incl. infeasible)
+  MetricId trials_infeasible;  ///< plans rejected without simulating
+  MetricId sim_events;         ///< simulation events across all trials
+  // Runtime counters.
+  MetricId app_runs_completed;
+  MetricId app_runs_aborted;  ///< wall-time cap or external abort
+  MetricId failures_seen;
+  MetricId failures_masked;
+  MetricId rollbacks;
+  MetricId restarts;    ///< restart phases entered
+  MetricId recoveries;  ///< parallel-recovery phases entered
+  MetricId checkpoints_completed;
+  MetricId pfs_phases;  ///< phases routed through the shared PFS channel
+  // Workload-engine counters.
+  MetricId jobs_submitted;
+  MetricId jobs_completed;
+  MetricId jobs_dropped;
+  // Gauges (simulated hours / node-hours; summed across trials).
+  MetricId work_hours;
+  MetricId checkpoint_hours;
+  MetricId restart_hours;
+  MetricId recovery_hours;
+  MetricId rework_hours;
+  MetricId wall_hours;
+  MetricId node_hours;
+  // Histograms.
+  MetricId checkpoint_cost_seconds;
+  MetricId rollback_rework_minutes;
+  MetricId failure_severity;
+  MetricId trial_events;
+  MetricId trial_wall_hours;
+  MetricId checkpoint_level;
+};
+
+[[nodiscard]] const BuiltinMetrics& builtin_metrics();
+
+}  // namespace xres::obs

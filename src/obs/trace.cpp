@@ -1,0 +1,127 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace xres::obs {
+
+namespace {
+
+std::int64_t to_us(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+void append_event(JsonWriter& w, const TraceEvent& e, int tid) {
+  w.begin_object();
+  w.key("ph").value(std::string(1, e.ph));
+  w.key("name").value(e.name);
+  w.key("cat").value(e.category);
+  w.key("ts").value(e.ts_us);
+  if (e.ph == 'X') w.key("dur").value(e.dur_us);
+  if (e.ph == 'i') w.key("s").value("t");  // thread-scoped instant
+  w.key("pid").value(0);
+  w.key("tid").value(tid);
+  if (!e.args.empty()) {
+    w.key("args").begin_object();
+    for (const TraceArg& a : e.args) {
+      w.key(a.key);
+      if (a.quoted) {
+        w.value(a.value);
+      } else {
+        w.raw(a.value);
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void append_thread_name(JsonWriter& w, const std::string& name, int tid) {
+  w.begin_object();
+  w.key("ph").value("M");
+  w.key("name").value("thread_name");
+  w.key("pid").value(0);
+  w.key("tid").value(tid);
+  w.key("args").begin_object().key("name").value(name).end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+TraceArg trace_arg(std::string key, double value) {
+  return TraceArg{std::move(key), json_number(value), false};
+}
+
+TraceArg trace_arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), json_number(value), false};
+}
+
+TraceArg trace_arg(std::string key, int value) {
+  return TraceArg{std::move(key), json_number(static_cast<std::int64_t>(value)), false};
+}
+
+TraceArg trace_arg(std::string key, bool value) {
+  return TraceArg{std::move(key), value ? "true" : "false", false};
+}
+
+TraceArg trace_arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), true};
+}
+
+void TraceBuffer::span(std::string name, std::string category, TimePoint start,
+                       Duration length, std::vector<TraceArg> args) {
+  XRES_CHECK(length >= Duration::zero(), "negative span length");
+  events_.push_back(TraceEvent{'X', std::move(name), std::move(category),
+                               to_us(start.to_seconds()), to_us(length.to_seconds()),
+                               std::move(args)});
+}
+
+void TraceBuffer::instant(std::string name, std::string category, TimePoint at,
+                          std::vector<TraceArg> args) {
+  events_.push_back(TraceEvent{'i', std::move(name), std::move(category),
+                               to_us(at.to_seconds()), 0, std::move(args)});
+}
+
+void TraceLog::add_track(std::string name, TraceBuffer buffer) {
+  tracks_.push_back(Track{std::move(name), std::move(buffer)});
+}
+
+std::size_t TraceLog::event_count() const {
+  std::size_t n = 0;
+  for (const Track& t : tracks_) n += t.buffer.size();
+  return n;
+}
+
+std::string TraceLog::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  w.begin_object();
+  w.key("ph").value("M");
+  w.key("name").value("process_name");
+  w.key("pid").value(0);
+  w.key("args").begin_object().key("name").value("xres simulation (sim time)").end_object();
+  w.end_object();
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    append_thread_name(w, tracks_[i].name, static_cast<int>(i) + 1);
+  }
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    for (const TraceEvent& e : tracks_[i].buffer.events()) {
+      append_event(w, e, static_cast<int>(i) + 1);
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TraceLog::write(const std::string& path) const {
+  JsonWriter w;
+  w.raw(to_json());
+  w.write(path);
+}
+
+}  // namespace xres::obs

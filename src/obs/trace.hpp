@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file trace.hpp
+/// Sim-time event tracing in Chrome trace-event JSON (the format Perfetto
+/// and chrome://tracing load directly).
+///
+/// Timestamps are **simulated** time — microseconds since the simulation
+/// origin — never wall-clock, so a trace is a deterministic function of the
+/// trial's seed and renders identically regardless of thread count or host
+/// speed. Each traced trial appends into its own single-threaded
+/// `TraceBuffer`; a `TraceLog` assembles buffers into named tracks (one
+/// Perfetto "thread" per track) and serializes the whole document.
+///
+/// Span taxonomy (see docs/OBSERVABILITY.md):
+///   cat "phase":   work / checkpoint L<n> / restart / recovery spans
+///   cat "failure": failure / rollback instants
+///   cat "run":     complete / abort instants
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace xres::obs {
+
+/// One key/value pair in a trace event's "args" object. `value` is either a
+/// pre-rendered JSON literal (quoted = false) or a raw string to be escaped
+/// and quoted at serialization time (quoted = true).
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted{false};
+};
+
+[[nodiscard]] TraceArg trace_arg(std::string key, double value);
+[[nodiscard]] TraceArg trace_arg(std::string key, std::uint64_t value);
+[[nodiscard]] TraceArg trace_arg(std::string key, int value);
+[[nodiscard]] TraceArg trace_arg(std::string key, bool value);
+[[nodiscard]] TraceArg trace_arg(std::string key, std::string value);
+
+struct TraceEvent {
+  char ph{'X'};  ///< 'X' complete span, 'i' instant
+  std::string name;
+  std::string category;
+  std::int64_t ts_us{0};   ///< sim time, microseconds since origin
+  std::int64_t dur_us{0};  ///< span length ('X' only)
+  std::vector<TraceArg> args;
+};
+
+/// Append-only per-trial event sink. Not thread-safe: one buffer belongs to
+/// one trial.
+class TraceBuffer {
+ public:
+  void span(std::string name, std::string category, TimePoint start, Duration length,
+            std::vector<TraceArg> args = {});
+  void instant(std::string name, std::string category, TimePoint at,
+               std::vector<TraceArg> args = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// A full trace document: named tracks in insertion order. Track i renders
+/// as pid 0 / tid i+1 with a thread_name metadata record.
+class TraceLog {
+ public:
+  void add_track(std::string name, TraceBuffer buffer);
+
+  [[nodiscard]] std::size_t track_count() const { return tracks_.size(); }
+  [[nodiscard]] bool empty() const { return tracks_.empty(); }
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// The Chrome trace-event document:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() to \p path; throws CheckError on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Track {
+    std::string name;
+    TraceBuffer buffer;
+  };
+  std::vector<Track> tracks_;
+};
+
+}  // namespace xres::obs

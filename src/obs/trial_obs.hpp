@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file trial_obs.hpp
+/// Per-trial observation context: the one pointer instrumented components
+/// carry. Both channels (metrics, trace) are individually optional; a null
+/// `TrialObs*` — or a `TrialObs` with neither channel enabled — makes every
+/// instrumentation site a pointer test and nothing more, which is the
+/// "near-free when disabled" contract.
+///
+/// Ownership: the study/driver that wants observation allocates one
+/// `TrialObs` per trial (or per workload pattern), hands a pointer to the
+/// trial, and merges/collects the filled contexts in spec order afterwards.
+/// A `TrialObs` is single-threaded for the duration of its trial.
+
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xres::obs {
+
+class TrialObs {
+ public:
+  void enable_metrics() { metrics_.emplace(); }
+  void enable_trace() { trace_.emplace(); }
+
+  [[nodiscard]] MetricSet* metrics() { return metrics_.has_value() ? &*metrics_ : nullptr; }
+  [[nodiscard]] const MetricSet* metrics() const {
+    return metrics_.has_value() ? &*metrics_ : nullptr;
+  }
+  [[nodiscard]] TraceBuffer* trace() { return trace_.has_value() ? &*trace_ : nullptr; }
+  [[nodiscard]] const TraceBuffer* trace() const {
+    return trace_.has_value() ? &*trace_ : nullptr;
+  }
+
+  // Metric conveniences that are safe when the channel is disabled.
+  void count(MetricId id, std::uint64_t delta = 1) {
+    if (metrics_.has_value()) metrics_->inc(id, delta);
+  }
+  void add(MetricId id, double delta) {
+    if (metrics_.has_value()) metrics_->add(id, delta);
+  }
+  void observe(MetricId id, double value) {
+    if (metrics_.has_value()) metrics_->observe(id, value);
+  }
+
+ private:
+  std::optional<MetricSet> metrics_;
+  std::optional<TraceBuffer> trace_;
+};
+
+}  // namespace xres::obs

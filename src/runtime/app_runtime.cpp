@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
+#include "obs/trial_obs.hpp"
 #include "resilience/interval.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -68,6 +70,11 @@ void ResilientAppRuntime::set_pfs_transfer_service(TransferService* service) {
   pfs_service_ = service;
 }
 
+void ResilientAppRuntime::set_observer(obs::TrialObs* obs) {
+  XRES_CHECK(phase_ == Phase::kIdle, "observer must be set before start");
+  obs_ = obs;
+}
+
 void ResilientAppRuntime::cancel_pending() {
   if (!has_pending_) return;
   if (pending_is_transfer_) {
@@ -86,6 +93,7 @@ void ResilientAppRuntime::schedule_phase(Duration nominal, bool shared_pfs,
     done();
   };
   if (shared_pfs && pfs_service_ != nullptr) {
+    if (obs_ != nullptr) obs_->count(obs::builtin_metrics().pfs_phases);
     pending_transfer_ = pfs_service_->begin(nominal, std::move(wrapped));
     pending_is_transfer_ = true;
   } else {
@@ -139,6 +147,29 @@ void ResilientAppRuntime::accrue(Duration elapsed) {
   if (timeline_.has_value() && span.has_value()) {
     timeline_->add(*span, phase_start_, elapsed);
   }
+  if (obs_ != nullptr && obs_->trace() != nullptr && span.has_value()) {
+    obs::TraceBuffer& trace = *obs_->trace();
+    switch (*span) {
+      case SpanKind::kWork:
+        trace.span("work", "phase", phase_start_, elapsed);
+        break;
+      case SpanKind::kCheckpoint:
+        trace.span("checkpoint L" + std::to_string(phase_level_), "phase", phase_start_,
+                   elapsed,
+                   {obs::trace_arg("level", static_cast<int>(phase_level_)),
+                    obs::trace_arg("pfs", phase_pfs_)});
+        break;
+      case SpanKind::kRestart:
+        trace.span("restart", "phase", phase_start_, elapsed,
+                   {obs::trace_arg("level", static_cast<int>(phase_level_)),
+                    obs::trace_arg("pfs", phase_pfs_)});
+        break;
+      case SpanKind::kRecovery:
+        trace.span("recovery", "phase", phase_start_, elapsed,
+                   {obs::trace_arg("lost_work_s", recovery_lost_.to_seconds())});
+        break;
+    }
+  }
 }
 
 void ResilientAppRuntime::enter_working() {
@@ -148,6 +179,7 @@ void ResilientAppRuntime::enter_working() {
   }
   phase_ = Phase::kWorking;
   phase_start_ = sim_.now();
+  phase_pfs_ = false;
   const Duration target = std::min(next_checkpoint_at_, plan_.work_target);
   const Duration length = target - progress_;
   XRES_CHECK(length > Duration::zero(), "empty work segment");
@@ -173,6 +205,8 @@ void ResilientAppRuntime::enter_checkpointing() {
   checkpoint_snapshot_ = progress_;
   const std::size_t idx = plan_.level_index_for_checkpoint(checkpoint_counter_ + 1);
   const CheckpointLevelSpec& level = plan_.levels[idx];
+  phase_level_ = idx;
+  phase_pfs_ = level.uses_shared_pfs;
   schedule_phase(level.save_cost, level.uses_shared_pfs,
                  [this, idx] { on_checkpoint_done(idx, plan_.levels[idx].save_cost); });
 }
@@ -182,6 +216,11 @@ void ResilientAppRuntime::on_checkpoint_done(std::size_t level_index, Duration) 
   accrue(elapsed);
   ++checkpoint_counter_;
   ++result_.checkpoints_completed;
+  if (obs_ != nullptr) {
+    obs_->observe(obs::builtin_metrics().checkpoint_level,
+                  static_cast<double>(level_index));
+    obs_->observe(obs::builtin_metrics().checkpoint_cost_seconds, elapsed.to_seconds());
+  }
   // The image covers progress as of phase entry (identical to progress_
   // for blocking techniques, where checkpoint_work_rate is 0).
   saved_[level_index] = checkpoint_snapshot_;
@@ -220,9 +259,13 @@ void ResilientAppRuntime::retune_quantum() {
   quantum_ = daly_interval(plan_.levels.front().save_cost, Rate::per_second(rate));
 }
 
-void ResilientAppRuntime::enter_restarting(Duration restore_cost, bool shared_pfs) {
+void ResilientAppRuntime::enter_restarting(std::size_t level_index, Duration restore_cost,
+                                           bool shared_pfs) {
   phase_ = Phase::kRestarting;
   phase_start_ = sim_.now();
+  phase_level_ = level_index;
+  phase_pfs_ = shared_pfs;
+  if (obs_ != nullptr) obs_->count(obs::builtin_metrics().restarts);
   schedule_phase(restore_cost, shared_pfs,
                  [this, restore_cost] { on_restart_done(restore_cost); });
 }
@@ -235,7 +278,9 @@ void ResilientAppRuntime::on_restart_done(Duration) {
 void ResilientAppRuntime::enter_recovering(Duration lost_work) {
   phase_ = Phase::kRecovering;
   phase_start_ = sim_.now();
+  phase_pfs_ = false;
   recovery_lost_ = lost_work;
+  if (obs_ != nullptr) obs_->count(obs::builtin_metrics().recoveries);
   const Duration duration = plan_.levels.front().restore_cost +
                             lost_work / plan_.recovery_parallelism;
   // Parallel recovery restores from in-memory partner copies, never the
@@ -267,6 +312,10 @@ void ResilientAppRuntime::complete() {
   result_.efficiency =
       result_.wall_time > Duration::zero() ? plan_.baseline / result_.wall_time : 1.0;
   result_.efficiency = std::min(result_.efficiency, 1.0);
+  if (obs_ != nullptr && obs_->trace() != nullptr) {
+    obs_->trace()->instant("complete", "run", sim_.now(),
+                           {obs::trace_arg("efficiency", result_.efficiency)});
+  }
   on_complete_(result_);
 }
 
@@ -279,6 +328,10 @@ void ResilientAppRuntime::abort_on_timeout() {
   result_.completed = false;
   result_.wall_time = sim_.now() - start_time_;
   result_.efficiency = 0.0;
+  if (obs_ != nullptr && obs_->trace() != nullptr) {
+    obs_->trace()->instant("abort", "run", sim_.now(),
+                           {obs::trace_arg("reason", std::string{"wall-time cap"})});
+  }
   XRES_LOG_DEBUG("application aborted by wall-time cap after " +
                  to_string(result_.wall_time));
   on_complete_(result_);
@@ -296,6 +349,10 @@ void ResilientAppRuntime::abort() {
   result_.completed = false;
   result_.wall_time = sim_.now() - start_time_;
   result_.efficiency = 0.0;
+  if (obs_ != nullptr && obs_->trace() != nullptr) {
+    obs_->trace()->instant("abort", "run", sim_.now(),
+                           {obs::trace_arg("reason", std::string{"external"})});
+  }
 }
 
 bool ResilientAppRuntime::redundancy_masks_failure() {
@@ -335,9 +392,19 @@ void ResilientAppRuntime::handle_rollback_failure(SeverityLevel severity) {
   XRES_CHECK(best_idx != std::numeric_limits<std::size_t>::max(),
              "no checkpoint level covers the failure severity");
 
-  result_.rework += progress_ - best;
+  const Duration rework = progress_ - best;
+  result_.rework += rework;
   ++result_.rollbacks;
   progress_ = best;
+  if (obs_ != nullptr) {
+    obs_->observe(obs::builtin_metrics().rollback_rework_minutes,
+                  rework.to_seconds() / 60.0);
+    if (obs_->trace() != nullptr) {
+      obs_->trace()->instant("rollback", "failure", sim_.now(),
+                             {obs::trace_arg("level", static_cast<int>(best_idx)),
+                              obs::trace_arg("rework_s", rework.to_seconds())});
+    }
+  }
   // Retune on rollbacks too: an application thrashing under a badly
   // misspecified interval may never complete a checkpoint, and rollback
   // is exactly when fresh failure evidence arrives.
@@ -348,7 +415,7 @@ void ResilientAppRuntime::handle_rollback_failure(SeverityLevel severity) {
   dup_healthy_ += dup_degraded_;
   dup_degraded_ = 0;
 
-  enter_restarting(plan_.levels[best_idx].restore_cost,
+  enter_restarting(best_idx, plan_.levels[best_idx].restore_cost,
                    plan_.levels[best_idx].uses_shared_pfs);
 }
 
@@ -365,6 +432,18 @@ void ResilientAppRuntime::on_failure(const Failure& failure) {
   if (plan_.levels.empty()) return;  // ideal-baseline mode is failure-oblivious
   ++result_.failures_seen;
 
+  const auto note_failure = [&](bool masked) {
+    if (obs_ == nullptr) return;
+    obs_->observe(obs::builtin_metrics().failure_severity,
+                  static_cast<double>(failure.severity));
+    if (obs_->trace() != nullptr) {
+      obs_->trace()->instant("failure", "failure", sim_.now(),
+                             {obs::trace_arg("severity", failure.severity),
+                              obs::trace_arg("masked", masked),
+                              obs::trace_arg("phase", std::string{phase_name()})});
+    }
+  };
+
   // Parallel recovery idles all but (1 + P) nodes while recovering; a
   // failure landing on an idle node has nothing to destroy (its state is
   // protected by the double in-memory checkpoint). Thin accordingly.
@@ -374,14 +453,17 @@ void ResilientAppRuntime::on_failure(const Failure& failure) {
                           static_cast<double>(plan_.app.nodes));
     if (!rng_.bernoulli(active_fraction)) {
       ++result_.failures_masked;
+      note_failure(/*masked=*/true);
       return;
     }
   }
 
   if (plan_.replication_degree > 1.0 && redundancy_masks_failure()) {
     ++result_.failures_masked;
+    note_failure(/*masked=*/true);
     return;  // execution continues undisturbed
   }
+  note_failure(/*masked=*/false);
 
   // The failure interrupts the current phase. Work performed up to the
   // failure instant counts as progress — at full rate in the Working

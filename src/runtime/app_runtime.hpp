@@ -36,6 +36,10 @@
 
 namespace xres {
 
+namespace obs {
+class TrialObs;
+}
+
 class ResilientAppRuntime {
  public:
   enum class Phase { kIdle, kWorking, kCheckpointing, kRestarting, kRecovering, kDone, kAborted };
@@ -101,10 +105,16 @@ class ResilientAppRuntime {
     return timeline_.has_value() ? &*timeline_ : nullptr;
   }
 
+  /// Attach a per-trial observation context (metrics and/or sim-time trace;
+  /// see obs/trial_obs.hpp). Must be called before start(); \p obs (may be
+  /// null) must outlive the runtime. When null or disabled, every
+  /// instrumentation site reduces to a pointer test.
+  void set_observer(obs::TrialObs* obs);
+
  private:
   void enter_working();
   void enter_checkpointing();
-  void enter_restarting(Duration restore_cost, bool shared_pfs);
+  void enter_restarting(std::size_t level_index, Duration restore_cost, bool shared_pfs);
   void enter_recovering(Duration lost_work);
 
   /// Schedule the current phase's completion: a plain timer, or a shared
@@ -174,6 +184,12 @@ class ResilientAppRuntime {
 
   std::optional<Timeline> timeline_;
   TransferService* pfs_service_{nullptr};
+  obs::TrialObs* obs_{nullptr};
+
+  /// Checkpoint level driving the current Checkpointing/Restarting phase
+  /// and whether it moves data through the shared PFS (trace span args).
+  std::size_t phase_level_{0};
+  bool phase_pfs_{false};
 
   EventId pending_{};
   TransferService::TransferHandle pending_transfer_{};

@@ -2,7 +2,27 @@
 
 #include <cstdio>
 
+#include "obs/trial_obs.hpp"
+
 namespace xres {
+
+void record_result_metrics(obs::TrialObs* obs, const ExecutionResult& r) {
+  if (obs == nullptr || obs->metrics() == nullptr) return;
+  const obs::BuiltinMetrics& m = obs::builtin_metrics();
+  obs->count(r.completed ? m.app_runs_completed : m.app_runs_aborted);
+  obs->count(m.failures_seen, r.failures_seen);
+  obs->count(m.failures_masked, r.failures_masked);
+  obs->count(m.rollbacks, r.rollbacks);
+  obs->count(m.checkpoints_completed, r.checkpoints_completed);
+  constexpr double kHour = 3600.0;
+  obs->add(m.work_hours, r.time_working.to_seconds() / kHour);
+  obs->add(m.checkpoint_hours, r.time_checkpointing.to_seconds() / kHour);
+  obs->add(m.restart_hours, r.time_restarting.to_seconds() / kHour);
+  obs->add(m.recovery_hours, r.time_recovering.to_seconds() / kHour);
+  obs->add(m.rework_hours, r.rework.to_seconds() / kHour);
+  obs->add(m.wall_hours, r.wall_time.to_seconds() / kHour);
+  obs->add(m.node_hours, r.node_seconds / kHour);
+}
 
 std::string ExecutionResult::describe() const {
   char buf[512];

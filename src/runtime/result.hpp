@@ -10,6 +10,10 @@
 
 namespace xres {
 
+namespace obs {
+class TrialObs;
+}
+
 struct ExecutionResult {
   /// True when the application finished all of its work (false: aborted by
   /// the wall-time cap or dropped externally).
@@ -43,5 +47,11 @@ struct ExecutionResult {
   /// Multi-line human-readable report.
   [[nodiscard]] std::string describe() const;
 };
+
+/// Fold a finished execution's outcome counters and phase-time gauges into
+/// \p obs (no-op when null or metrics are disabled). Covers exactly what
+/// the runtime does NOT observe per event, so executors can call both
+/// without double counting.
+void record_result_metrics(obs::TrialObs* obs, const ExecutionResult& result);
 
 }  // namespace xres

@@ -29,6 +29,13 @@ CliParser::Option* CliParser::find(const std::string& key) {
   return nullptr;
 }
 
+bool CliParser::has_option(const std::string& key) const {
+  for (const auto& opt : options_) {
+    if (opt.key == key) return true;
+  }
+  return false;
+}
+
 const CliParser::Option& CliParser::get(const std::string& key) const {
   for (const auto& opt : options_) {
     if (opt.key == key) return opt;

@@ -28,6 +28,10 @@ class CliParser {
   /// printed to stdout); throws CheckError on unknown/malformed options.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
+  /// True when \p key was declared via add_flag/add_option (lets shared
+  /// option readers cope with harnesses that register a subset).
+  [[nodiscard]] bool has_option(const std::string& key) const;
+
   [[nodiscard]] bool flag(const std::string& key) const;
   [[nodiscard]] std::string str(const std::string& key) const;
   [[nodiscard]] std::int64_t integer(const std::string& key) const;

@@ -20,7 +20,7 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
-LogLevel parse_log_level(const std::string& name) {
+std::optional<LogLevel> try_parse_log_level(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
   for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -28,14 +28,28 @@ LogLevel parse_log_level(const std::string& name) {
                      LogLevel::kError, LogLevel::kOff}) {
     if (lower == to_string(l)) return l;
   }
-  XRES_CHECK(false, "unknown log level: " + name);
+  return std::nullopt;
 }
 
-Logger::Logger() : level_{LogLevel::kWarn} {
-  if (const char* env = std::getenv("XRES_LOG")) {
-    level_ = parse_log_level(env);
-  }
+LogLevel parse_log_level(const std::string& name) {
+  const std::optional<LogLevel> level = try_parse_log_level(name);
+  XRES_CHECK(level.has_value(), "unknown log level: " + name);
+  return *level;
 }
+
+LogLevel Logger::level_from_env(const char* env) {
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::optional<LogLevel> level = try_parse_log_level(env);
+  if (!level.has_value()) {
+    // A typo in the environment must not abort the study — warn and run.
+    std::fprintf(stderr, "[xres warn ] ignoring unknown XRES_LOG level \"%s\" (use %s)\n",
+                 env, "trace|debug|info|warn|error|off");
+    return LogLevel::kWarn;
+  }
+  return *level;
+}
+
+Logger::Logger() : level_{level_from_env(std::getenv("XRES_LOG"))} {}
 
 Logger& Logger::global() {
   static Logger instance;

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 
 namespace xres {
@@ -19,6 +20,9 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 
 /// Parses a level name (case-insensitive); throws CheckError on unknown names.
 [[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+/// Non-throwing variant: nullopt on unknown names.
+[[nodiscard]] std::optional<LogLevel> try_parse_log_level(const std::string& name);
 
 /// Process-wide logger. Defaults to kWarn on stderr; honors the XRES_LOG
 /// environment variable ("debug", "info", ...) at first use.
@@ -33,6 +37,12 @@ class Logger {
 
   /// The global logger instance.
   static Logger& global();
+
+  /// The level an XRES_LOG-style environment value selects: the parsed
+  /// level, or kWarn with a one-line stderr warning when \p env names no
+  /// known level (a bad environment variable must not crash a study).
+  /// \p env may be null (unset). Exposed for tests.
+  [[nodiscard]] static LogLevel level_from_env(const char* env);
 
   void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
   [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }

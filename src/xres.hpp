@@ -61,6 +61,13 @@
 // Resource management
 #include "rm/scheduler.hpp"
 
+// Observability
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "obs/trial_obs.hpp"
+
 // Study drivers
 #include "core/occupancy.hpp"
 #include "core/policy.hpp"

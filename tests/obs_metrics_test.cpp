@@ -1,0 +1,155 @@
+// Tests for xres::obs metrics: log2 bucketing, merge semantics (vs. a
+// single-pass reference), registry behavior and — the load-bearing
+// contract — byte-identical study metrics for every thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace xres::obs {
+namespace {
+
+TEST(ObsLog2Bucket, EdgeValues) {
+  EXPECT_EQ(log2_bucket(0.0), 0U);
+  EXPECT_EQ(log2_bucket(0.5), 0U);
+  EXPECT_EQ(log2_bucket(0.999), 0U);
+  EXPECT_EQ(log2_bucket(-3.0), 0U);
+  EXPECT_EQ(log2_bucket(1.0), 1U);
+  EXPECT_EQ(log2_bucket(1.999), 1U);
+  EXPECT_EQ(log2_bucket(2.0), 2U);
+  EXPECT_EQ(log2_bucket(3.999), 2U);
+  EXPECT_EQ(log2_bucket(4.0), 3U);
+  EXPECT_EQ(log2_bucket(1e30), 63U);  // clamped to the last bucket
+}
+
+TEST(ObsLog2Bucket, UpperEdges) {
+  EXPECT_DOUBLE_EQ(log2_bucket_upper_edge(0), 1.0);
+  EXPECT_DOUBLE_EQ(log2_bucket_upper_edge(1), 2.0);
+  EXPECT_DOUBLE_EQ(log2_bucket_upper_edge(2), 4.0);
+  EXPECT_DOUBLE_EQ(log2_bucket_upper_edge(3), 8.0);
+}
+
+TEST(ObsRegistry, BuiltinsAreRegisteredAndFindable) {
+  const BuiltinMetrics& builtin = builtin_metrics();
+  EXPECT_TRUE(builtin.trials_run.valid());
+  EXPECT_EQ(builtin.trials_run.kind(), MetricKind::kCounter);
+  EXPECT_EQ(builtin.wall_hours.kind(), MetricKind::kGauge);
+  EXPECT_EQ(builtin.failure_severity.kind(), MetricKind::kHistogram);
+
+  const auto found = MetricRegistry::global().find("trials_run");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot(), builtin.trials_run.slot());
+  EXPECT_FALSE(MetricRegistry::global().find("no_such_metric").has_value());
+}
+
+TEST(ObsMetricSet, CountersGaugesAndZeroState) {
+  const BuiltinMetrics& builtin = builtin_metrics();
+  MetricSet set;
+  EXPECT_EQ(set.counter(builtin.trials_run), 0U);
+  EXPECT_DOUBLE_EQ(set.gauge(builtin.wall_hours), 0.0);
+
+  set.inc(builtin.trials_run);
+  set.inc(builtin.trials_run, 4);
+  set.add(builtin.wall_hours, 1.5);
+  set.add(builtin.wall_hours, 2.0);
+  EXPECT_EQ(set.counter(builtin.trials_run), 5U);
+  EXPECT_DOUBLE_EQ(set.gauge(builtin.wall_hours), 3.5);
+}
+
+TEST(ObsMetricSet, HistogramMergeMatchesSinglePassReference) {
+  const BuiltinMetrics& builtin = builtin_metrics();
+  const MetricId id = builtin.trial_wall_hours;
+
+  // Random positive values split across two "trial" sets.
+  Pcg32 rng{42};
+  std::vector<double> values;
+  values.reserve(500);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.next_double() * 1000.0);
+
+  MetricSet a;
+  MetricSet b;
+  MetricSet reference;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 200 ? a : b).observe(id, values[i]);
+    reference.observe(id, values[i]);
+  }
+
+  MetricSet merged;
+  merged.merge(a);
+  merged.merge(b);
+
+  const HistogramData& got = merged.histogram(id);
+  const HistogramData& want = reference.histogram(id);
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  EXPECT_EQ(got.buckets, want.buckets);
+}
+
+TEST(ObsMetricSet, MergeSumsCountersAndGauges) {
+  const BuiltinMetrics& builtin = builtin_metrics();
+  MetricSet a;
+  MetricSet b;
+  a.inc(builtin.failures_seen, 3);
+  b.inc(builtin.failures_seen, 7);
+  a.add(builtin.work_hours, 1.25);
+  b.add(builtin.work_hours, 0.75);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter(builtin.failures_seen), 10U);
+  EXPECT_DOUBLE_EQ(a.gauge(builtin.work_hours), 2.0);
+}
+
+TEST(ObsMetricSet, JsonShapeIsStable) {
+  MetricSet set;
+  const std::string json = set.to_json();
+  // All registered metrics appear even at zero, so the document shape does
+  // not depend on which events happened to fire.
+  EXPECT_NE(json.find("\"schema\":\"xres-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"trials_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint_cost_seconds\""), std::string::npos);
+}
+
+TEST(ObsMetricSet, TableShowsOnlyNonZeroMetrics) {
+  const BuiltinMetrics& builtin = builtin_metrics();
+  MetricSet set;
+  set.inc(builtin.rollbacks, 2);
+  const std::string text = set.to_table().to_text();
+  EXPECT_NE(text.find("rollbacks"), std::string::npos);
+  EXPECT_EQ(text.find("jobs_dropped"), std::string::npos);
+}
+
+// The tentpole acceptance criterion: the merged study metrics are
+// byte-identical for every --threads value.
+TEST(ObsStudyMetricsDeterminism, ThreadCountInvariantJson) {
+  auto run = [](unsigned threads) {
+    EfficiencyStudyConfig config;
+    config.app_type = app_type_by_name("A32");
+    config.size_fractions = {0.10, 0.25};
+    config.trials = 3;
+    config.threads = threads;
+    config.collect_metrics = true;
+    const EfficiencyStudyResult result = run_efficiency_study(config);
+    EXPECT_TRUE(result.metrics.has_value());
+    EXPECT_EQ(result.technique_metrics.size(), config.techniques.size());
+    return result.metrics->to_json();
+  };
+
+  const std::string serial = run(1);
+  EXPECT_GT(serial.size(), 0U);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+}  // namespace
+}  // namespace xres::obs

@@ -1,0 +1,93 @@
+// Tests for executor profiling (PhaseProfiler, progress rendering) and for
+// the Logger's XRES_LOG parsing: a CLI typo throws, an environment typo
+// warns and falls back to the default level.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/profile.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace xres {
+namespace {
+
+TEST(ObsRenderProgress, BasicLineAndPercent) {
+  const std::string line = obs::render_progress("cell", 12, 40, 3.0);
+  EXPECT_NE(line.find("cell 12/40"), std::string::npos);
+  EXPECT_NE(line.find("(30%)"), std::string::npos);
+  EXPECT_NE(line.find("eta"), std::string::npos);
+}
+
+TEST(ObsRenderProgress, NoEtaAtStartOrEnd) {
+  EXPECT_EQ(obs::render_progress("cell", 0, 10, 0.0).find("eta"), std::string::npos);
+  EXPECT_EQ(obs::render_progress("cell", 10, 10, 5.0).find("eta"), std::string::npos);
+}
+
+TEST(ObsRenderProgress, EtaExtrapolatesRateAndSwitchesToMinutes) {
+  // 2 done in 4 s => 2 s/unit => 16 s remaining for the other 8.
+  EXPECT_NE(obs::render_progress("cell", 2, 10, 4.0).find("eta 16 s"),
+            std::string::npos);
+  // 1 done in 10 s, 99 to go => 990 s => minutes.
+  EXPECT_NE(obs::render_progress("cell", 1, 100, 10.0).find("min"),
+            std::string::npos);
+}
+
+TEST(ObsRenderProgress, RejectsBadState) {
+  EXPECT_THROW((void)obs::render_progress("cell", 2, 0, 1.0), CheckError);
+  EXPECT_THROW((void)obs::render_progress("cell", 11, 10, 1.0), CheckError);
+}
+
+TEST(ObsPhaseProfiler, AccumulatesNamedPhasesInFirstBeginOrder) {
+  obs::PhaseProfiler profiler;
+  EXPECT_EQ(profiler.summary(), "(no phases)");
+
+  profiler.begin("setup");
+  profiler.begin("run");
+  profiler.begin("setup");  // re-entering accumulates into the same entry
+  profiler.end();
+
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.size(), 2U);
+  EXPECT_EQ(phases[0].first, "setup");
+  EXPECT_EQ(phases[1].first, "run");
+  EXPECT_GE(phases[0].second, 0.0);
+  EXPECT_GE(profiler.total_seconds(), phases[1].second);
+
+  const std::string summary = profiler.summary();
+  EXPECT_NE(summary.find("setup"), std::string::npos);
+  EXPECT_NE(summary.find("run"), std::string::npos);
+  EXPECT_NE(summary.find(" = "), std::string::npos);
+}
+
+TEST(ObsPhaseProfiler, EndWithoutBeginIsANoOp) {
+  obs::PhaseProfiler profiler;
+  profiler.end();
+  EXPECT_TRUE(profiler.phases().empty());
+  EXPECT_DOUBLE_EQ(profiler.total_seconds(), 0.0);
+}
+
+TEST(LogLevelParsing, TryParseAcceptsAnyCaseAndRejectsGarbage) {
+  EXPECT_EQ(try_parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(try_parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(try_parse_log_level("Off"), LogLevel::kOff);
+  EXPECT_FALSE(try_parse_log_level("verbose").has_value());
+  EXPECT_FALSE(try_parse_log_level("").has_value());
+}
+
+TEST(LogLevelParsing, CliParseThrowsOnTypo) {
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_THROW((void)parse_log_level("wran"), CheckError);
+}
+
+TEST(LogLevelParsing, EnvFallsBackToWarnInsteadOfThrowing) {
+  EXPECT_EQ(Logger::level_from_env(nullptr), LogLevel::kWarn);
+  EXPECT_EQ(Logger::level_from_env("info"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::level_from_env("ERROR"), LogLevel::kError);
+  // A typo must not abort a long study at startup: default level + warning.
+  EXPECT_EQ(Logger::level_from_env("debgu"), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace xres

@@ -1,0 +1,119 @@
+// Tests for the sim-time Chrome trace writer: event construction, document
+// structure, and a golden-file check that pins the exact serialized trace
+// of one deterministic trial (regenerate with XRES_REGEN_GOLDEN=1 after an
+// intentional format change).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/app_type.hpp"
+#include "core/executor.hpp"
+#include "obs/trace.hpp"
+#include "obs/trial_obs.hpp"
+
+namespace xres {
+namespace {
+
+TEST(ObsTraceBuffer, RecordsSpansAndInstants) {
+  obs::TraceBuffer buffer;
+  buffer.span("work", "phase", TimePoint::at(Duration::seconds(1.0)),
+              Duration::seconds(2.5));
+  buffer.instant("failure", "failure", TimePoint::at(Duration::seconds(2.0)),
+                 {obs::trace_arg("severity", 1)});
+  ASSERT_EQ(buffer.size(), 2U);
+  EXPECT_EQ(buffer.events()[0].ph, 'X');
+  EXPECT_EQ(buffer.events()[0].ts_us, 1000000);
+  EXPECT_EQ(buffer.events()[0].dur_us, 2500000);
+  EXPECT_EQ(buffer.events()[1].ph, 'i');
+  EXPECT_EQ(buffer.events()[1].ts_us, 2000000);
+  ASSERT_EQ(buffer.events()[1].args.size(), 1U);
+  EXPECT_EQ(buffer.events()[1].args[0].key, "severity");
+}
+
+TEST(ObsTraceLog, ChromeDocumentStructure) {
+  obs::TraceBuffer buffer;
+  buffer.span("work", "phase", TimePoint::at(Duration::seconds(0.0)),
+              Duration::seconds(1.0));
+  obs::TraceLog log;
+  log.add_track("track \"one\"", std::move(buffer));
+
+  const std::string json = log.to_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Metadata: a process name plus one thread_name record per track, with
+  // the track name escaped.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("track \\\"one\\\""), std::string::npos);
+  // The span itself: complete event on pid 0 / tid 1.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+
+  // Naive structural validity: braces and brackets balance and the
+  // document is a single object.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// One small deterministic trial, serialized: any change to the trace format
+// or to the runtime's span emission shows up as a diff against the golden.
+TEST(ObsTraceGolden, TinyTrialTraceIsStable) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("A32"), 1200, 1440};
+  config.technique = TechniqueKind::kCheckpointRestart;
+
+  obs::TrialObs obs;
+  obs.enable_trace();
+  const ExecutionResult result = run_trial(config, 7, &obs);
+  EXPECT_TRUE(result.completed);
+  ASSERT_NE(obs.trace(), nullptr);
+  EXPECT_FALSE(obs.trace()->empty());
+
+  obs::TraceLog log;
+  log.add_track("A32 @ 1200 nodes", std::move(*obs.trace()));
+  const std::string json = log.to_json();
+
+  const std::string golden_path =
+      std::string{XRES_TEST_DATA_DIR} + "/tiny_trial_trace.json";
+  if (std::getenv("XRES_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out{golden_path, std::ios::binary};
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << json;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in{golden_path, std::ios::binary};
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (regenerate with XRES_REGEN_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(json, want.str())
+      << "trace format drifted; regenerate the golden with "
+         "XRES_REGEN_GOLDEN=1 if the change is intentional";
+}
+
+}  // namespace
+}  // namespace xres

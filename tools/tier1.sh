@@ -14,11 +14,22 @@ cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-# TSAN pass: library + tests only (benches/examples just re-link the same
-# library code and would double the build time for no extra coverage).
+# TSAN pass: library + tests + the xres CLI (benches/examples just re-link
+# the same library code and would double the build time for no extra
+# coverage; the CLI is kept so the observed-executor path below runs under
+# TSAN too).
 cmake -B "$TSAN_BUILD" -S . -DXRES_TSAN=ON \
-  -DXRES_BUILD_BENCH=OFF -DXRES_BUILD_EXAMPLES=OFF -DXRES_BUILD_TOOLS=OFF
+  -DXRES_BUILD_BENCH=OFF -DXRES_BUILD_EXAMPLES=OFF -DXRES_BUILD_TOOLS=ON
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
-ctest --test-dir "$TSAN_BUILD" --output-on-failure -R "TrialExecutor|Integration"
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -R "TrialExecutor|Integration|Obs"
+
+# Observability smoke under TSAN: a threaded study with per-trial metrics
+# and tracing enabled exercises the observer hand-off between workers.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+"$TSAN_BUILD"/tools/xres efficiency --type A32 --trials 4 --threads 4 \
+  --metrics "$OBS_TMP/m.json" --trace "$OBS_TMP/t.json" --log-level info \
+  > /dev/null
+test -s "$OBS_TMP/m.json" && test -s "$OBS_TMP/t.json"
 
 echo "tier-1 OK"

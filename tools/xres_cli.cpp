@@ -20,6 +20,19 @@ namespace {
 
 using namespace xres;
 
+// Shared observability flags (docs/OBSERVABILITY.md). --metrics and
+// --trace artifacts are deterministic functions of the seed, byte-identical
+// for every --threads value.
+void add_log_level_option(CliParser& cli) {
+  cli.add_option("--log-level", "override XRES_LOG: trace|debug|info|warn|error|off",
+                 "");
+}
+
+void apply_log_level_option(const CliParser& cli) {
+  const std::string level = cli.str("--log-level");
+  if (!level.empty()) Logger::global().set_level(parse_log_level(level));
+}
+
 int cmd_info() {
   std::printf("xres %s — exascale resilience simulation library\n", kVersionString);
   std::printf("machine: %s\n", MachineSpec::exascale().describe().c_str());
@@ -43,7 +56,13 @@ int cmd_efficiency(int argc, const char* const* argv) {
   cli.add_option("--seed", "root RNG seed", "20170529");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
   cli.add_flag("--chart", "render ASCII bars");
+  cli.add_option("--metrics", "write deterministic study metrics JSON here", "");
+  cli.add_option("--trace", "write a Chrome trace-event JSON (Perfetto) here", "");
+  add_log_level_option(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_level_option(cli);
+  const std::string metrics_path = cli.str("--metrics");
+  const std::string trace_path = cli.str("--trace");
 
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name(cli.str("--type"));
@@ -52,9 +71,23 @@ int cmd_efficiency(int argc, const char* const* argv) {
   config.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   config.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   config.threads = static_cast<unsigned>(cli.integer("--threads"));
+  config.collect_metrics = !metrics_path.empty();
+  config.collect_trace = !trace_path.empty();
 
   const EfficiencyStudyResult result = run_efficiency_study(config);
   std::printf("%s", result.to_table().to_text().c_str());
+  if (!metrics_path.empty()) {
+    std::printf("\nInstrumented breakdown (per technique, whole study):\n%s",
+                result.to_metrics_table().to_text().c_str());
+    result.metrics->write_json(metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    result.trace.write(trace_path);
+    std::printf("trace written to %s (%zu tracks, %zu events; open in Perfetto)\n",
+                trace_path.c_str(), result.trace.track_count(),
+                result.trace.event_count());
+  }
   if (cli.flag("--chart")) {
     std::vector<std::string> series;
     for (TechniqueKind kind : config.techniques) series.emplace_back(to_string(kind));
@@ -81,12 +114,17 @@ int cmd_workload(int argc, const char* const* argv) {
                  "unbiased");
   cli.add_option("--seed", "root RNG seed", "20170530");
   cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  cli.add_option("--metrics", "write deterministic study metrics JSON here", "");
+  add_log_level_option(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_level_option(cli);
+  const std::string metrics_path = cli.str("--metrics");
 
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   study.threads = static_cast<unsigned>(cli.integer("--threads"));
+  study.collect_metrics = !metrics_path.empty();
   study.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
   const std::string bias = cli.str("--bias");
   for (WorkloadBias b : {WorkloadBias::kUnbiased, WorkloadBias::kHighMemory,
@@ -107,6 +145,15 @@ int cmd_workload(int argc, const char* const* argv) {
         if (done == total) std::fprintf(stderr, "\n");
       });
   std::printf("%s", workload_results_table(results).to_text().c_str());
+  if (!metrics_path.empty()) {
+    obs::MetricSet merged;
+    for (const WorkloadComboResult& r : results) {
+      if (r.metrics.has_value()) merged.merge(*r.metrics);
+    }
+    std::printf("\nInstrumented breakdown:\n%s", merged.to_table().to_text().c_str());
+    merged.write_json(metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -116,7 +163,9 @@ int cmd_advise(int argc, const char* const* argv) {
   cli.add_option("--system-share", "fraction of the machine used", "0.25");
   cli.add_option("--baseline-hours", "delay-free execution time", "24");
   cli.add_option("--mtbf-years", "per-node MTBF", "10");
+  add_log_level_option(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_level_option(cli);
 
   const MachineSpec machine = MachineSpec::exascale();
   ResilienceConfig resilience;
@@ -152,7 +201,9 @@ int cmd_trace(int argc, const char* const* argv) {
   cli.add_option("--weibull-shape", "0 = exponential, else Weibull shape", "0");
   cli.add_option("--seed", "RNG seed", "1");
   cli.add_option("--out", "output path (empty: stdout)", "");
+  add_log_level_option(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_level_option(cli);
 
   const Rate rate = Rate::one_per(Duration::years(cli.real("--mtbf-years"))) *
                     (cli.real("--system-share") * 120000.0);
