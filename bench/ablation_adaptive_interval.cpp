@@ -20,13 +20,16 @@ int main(int argc, char** argv) {
                 "under misspecified MTBF"};
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--seed", "root RNG seed", "15");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_adaptive_interval", seed};
 
   const MachineSpec machine = MachineSpec::exascale();
   const AppSpec app{app_type_by_name("B32"), 60000, 1440};
@@ -66,11 +69,11 @@ int main(int argc, char** argv) {
     RunningStats ad;
     const std::string cell = "MTBF " + fmt_double(true_years, 1) + " y";
     for (const ExecutionResult& r :
-         collector.run_batch(executor, seed, st_specs, cell + " [static]")) {
+         collector.run_batch(executor, seed, st_specs, cell + " [static]", coordinator)) {
       st.add(r.efficiency);
     }
     for (const ExecutionResult& r :
-         collector.run_batch(executor, seed, ad_specs, cell + " [adaptive]")) {
+         collector.run_batch(executor, seed, ad_specs, cell + " [adaptive]", coordinator)) {
       ad.add(r.efficiency);
     }
     table.add_row({fmt_double(true_years, 1) + " y",
@@ -79,8 +82,9 @@ int main(int argc, char** argv) {
                    fmt_double(ad.mean() - st.mean(), 3)});
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("(positive deltas where the 10-year assumption is wrong; ~0 where "
               "it is right)\n");
-  return 0;
+  return coordinator.finish();
 }

@@ -16,11 +16,15 @@ int main(int argc, char** argv) {
   cli.add_option("--burst-width", "nodes per burst (cabinet size)", "512");
   cli.add_option("--seed", "root RNG seed", "20170530");
   bench::add_obs_options(cli, /*with_trace=*/false);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   const auto width = static_cast<std::uint32_t>(cli.integer("--burst-width"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
   const bench::ObsOptions obs_options = bench::read_obs_options(cli);
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_burst_failures", seed};
+  const TrialExecutor executor{1};  // pattern runs are serial in this sweep
   obs::MetricSet merged;
 
   std::printf("Ablation: correlated failures (bursts of %u nodes), scheduler Slack\n\n",
@@ -35,24 +39,38 @@ int main(int argc, char** argv) {
       study.patterns = patterns;
       study.seed = seed;
       RunningStats dropped;
-      for (std::uint32_t p = 0; p < patterns; ++p) {
-        const ArrivalPattern pattern = generate_pattern(study.workload, study.seed, p);
-        WorkloadEngineConfig engine;
-        engine.machine = study.machine;
-        engine.resilience = study.resilience;
-        engine.policy = TechniquePolicy::fixed_technique(kind);
-        engine.scheduler = SchedulerKind::kSlack;
-        engine.seed = derive_seed(study.seed, 0x656e67696eULL, p);
-        engine.burst_probability = probability;
-        engine.burst_width = width;
-        obs::TrialObs run_obs;
-        if (obs_options.metrics()) {
-          run_obs.enable_metrics();
-          engine.obs = &run_obs;
-        }
-        dropped.add(run_workload(engine, pattern).dropped_fraction);
-        if (obs_options.metrics()) merged.merge(*run_obs.metrics());
-      }
+      bench::run_patterns_controlled(
+          coordinator, executor,
+          "burst:" + fmt_percent(probability, 0) + "/" + to_string(kind), patterns,
+          seed,
+          [&](std::uint32_t p) {
+            const ArrivalPattern pattern =
+                generate_pattern(study.workload, study.seed, p);
+            WorkloadEngineConfig engine;
+            engine.machine = study.machine;
+            engine.resilience = study.resilience;
+            engine.policy = TechniquePolicy::fixed_technique(kind);
+            engine.scheduler = SchedulerKind::kSlack;
+            engine.seed = derive_seed(study.seed, 0x656e67696eULL, p);
+            engine.burst_probability = probability;
+            engine.burst_width = width;
+            obs::TrialObs run_obs;
+            if (obs_options.metrics()) {
+              run_obs.enable_metrics();
+              engine.obs = &run_obs;
+            }
+            WorkloadOutcome outcome;
+            outcome.result = run_workload(engine, pattern);
+            if (obs_options.metrics()) outcome.metrics = *run_obs.metrics();
+            return outcome;
+          },
+          [&](std::uint32_t, const WorkloadOutcome& outcome) {
+            dropped.add(outcome.result.dropped_fraction);
+            if (obs_options.metrics() && outcome.metrics.has_value()) {
+              merged.merge(*outcome.metrics);
+            }
+          });
+      if (coordinator.interrupted()) return coordinator.finish();
       row.push_back(fmt_double(dropped.mean() * 100.0, 2) + " ± " +
                     fmt_double(dropped.stddev() * 100.0, 2));
     }
@@ -68,5 +86,5 @@ int main(int argc, char** argv) {
   }
   std::printf("(bursts multiply the per-event damage; severities are clamped to\n"
               " node-loss level, which multilevel absorbs with partner copies)\n");
-  return 0;
+  return coordinator.finish();
 }

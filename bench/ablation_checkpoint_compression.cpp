@@ -19,13 +19,16 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--mtbf-years", "node MTBF", "2.5");
   cli.add_option("--seed", "root RNG seed", "17");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_checkpoint_compression", seed};
 
   std::printf("Ablation: checkpoint image compression at exascale\n");
   std::printf("application D64 @ 100%% of the machine, MTBF %.1f y, %u trials\n\n",
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
       const std::string cell =
           "image x" + fmt_double(ratio, 2) + " " + to_string(kind);
       for (const ExecutionResult& r :
-           collector.run_batch(executor, seed, specs, cell)) {
+           collector.run_batch(executor, seed, specs, cell, coordinator)) {
         eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
@@ -60,8 +63,9 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("(checkpoint/restart regains viability as images shrink; parallel\n"
               " recovery barely moves — its in-memory copies were already cheap)\n");
-  return 0;
+  return coordinator.finish();
 }

@@ -17,13 +17,16 @@ int main(int argc, char** argv) {
                 "checkpoint-interval multiplier"};
   cli.add_option("--trials", "trials per multiplier", "80");
   cli.add_option("--seed", "root RNG seed", "10");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_checkpoint_interval", seed};
 
   const MachineSpec machine = MachineSpec::exascale();
   const ResilienceConfig resilience;
@@ -52,7 +55,7 @@ int main(int argc, char** argv) {
     RunningStats checkpoints;
     RunningStats rollbacks;
     for (const ExecutionResult& r : collector.run_batch(
-             executor, seed, specs, "tau x" + fmt_double(mult, 2))) {
+             executor, seed, specs, "tau x" + fmt_double(mult, 2), coordinator)) {
       eff.add(r.efficiency);
       checkpoints.add(static_cast<double>(r.checkpoints_completed));
       rollbacks.add(static_cast<double>(r.rollbacks));
@@ -66,9 +69,10 @@ int main(int argc, char** argv) {
                    fmt_double(checkpoints.mean(), 1), fmt_double(rollbacks.mean(), 1)});
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("best multiplier in sweep: %.2f (Eq. 4 is near-optimal when this "
               "is close to 1.0)\n",
               best_mult);
-  return 0;
+  return coordinator.finish();
 }

@@ -16,13 +16,16 @@ int main(int argc, char** argv) {
                 "failure inter-arrival shape"};
   cli.add_option("--trials", "trials per cell", "60");
   cli.add_option("--seed", "root RNG seed", "9");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_failure_distribution", seed};
 
   std::printf("Ablation: failure inter-arrival distribution (fixed mean rate)\n");
   std::printf("application C32 @ 25%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -56,7 +59,7 @@ int main(int argc, char** argv) {
       RunningStats eff;
       const std::string cell = std::string{name} + " " + to_string(kind);
       for (const ExecutionResult& r :
-           collector.run_batch(executor, seed, specs, cell)) {
+           collector.run_batch(executor, seed, specs, cell, coordinator)) {
         eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
@@ -65,8 +68,9 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("(bursty failures cluster rework; the technique ordering is "
               "unchanged, supporting the paper's Poisson assumption)\n");
-  return 0;
+  return coordinator.finish();
 }

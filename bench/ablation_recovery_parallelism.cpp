@@ -15,13 +15,16 @@ int main(int argc, char** argv) {
   CliParser cli{"ablation_recovery_parallelism — parallel recovery vs. P"};
   cli.add_option("--trials", "trials per P", "60");
   cli.add_option("--seed", "root RNG seed", "8");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_recovery_parallelism", seed};
 
   std::printf("Ablation: parallel recovery efficiency vs. recovery parallelism P\n");
   std::printf("application D64 @ 100%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
     RunningStats recovering;
     RunningStats energy;
     for (const ExecutionResult& r : collector.run_batch(
-             executor, seed, specs, "P=" + fmt_double(p, 0))) {
+             executor, seed, specs, "P=" + fmt_double(p, 0), coordinator)) {
       eff.add(r.efficiency);
       recovering.add(r.time_recovering.to_minutes());
       energy.add(r.node_seconds);
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
                    fmt_double(energy.mean(), 0)});
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
-  return 0;
+  return coordinator.finish();
 }

@@ -18,13 +18,16 @@ int main(int argc, char** argv) {
   CliParser cli{"ablation_severity_pmf — multilevel efficiency vs. severity PMF"};
   cli.add_option("--trials", "trials per PMF", "60");
   cli.add_option("--seed", "root RNG seed", "7");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ablation_severity_pmf", seed};
 
   const std::vector<std::pair<const char*, std::vector<double>>> pmfs{
       {"paper default {.55,.35,.10}", {0.55, 0.35, 0.10}},
@@ -55,11 +58,11 @@ int main(int argc, char** argv) {
     RunningStats ml;
     RunningStats cr;
     for (const ExecutionResult& r : collector.run_batch(
-             executor, seed, ml_specs, std::string{name} + " [multilevel]")) {
+             executor, seed, ml_specs, std::string{name} + " [multilevel]", coordinator)) {
       ml.add(r.efficiency);
     }
     for (const ExecutionResult& r : collector.run_batch(
-             executor, seed, cr_specs, std::string{name} + " [checkpoint-restart]")) {
+             executor, seed, cr_specs, std::string{name} + " [checkpoint-restart]", coordinator)) {
       cr.add(r.efficiency);
     }
     table.add_row({name, fmt_mean_std(ml.mean(), ml.stddev()),
@@ -67,9 +70,10 @@ int main(int argc, char** argv) {
                    fmt_double(ml.mean() - cr.mean(), 3)});
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("(multilevel's advantage shrinks as severe failures dominate, but it\n"
               " never does worse than single-level checkpointing: with an all-severe\n"
               " PMF its optimizer degenerates to the PFS-only schedule)\n");
-  return 0;
+  return coordinator.finish();
 }

@@ -1,8 +1,13 @@
 #include "common.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "core/report.hpp"
+#include "recovery/json_parse.hpp"
+#include "util/rng.hpp"
 #include "obs/profile.hpp"
 #include "util/barchart.hpp"
 #include "util/log.hpp"
@@ -32,26 +37,117 @@ void add_common_options(CliParser& cli, std::uint32_t default_trials) {
   cli.add_option("--trials", "trials per bar (paper: 200)",
                  std::to_string(default_trials));
   cli.add_option("--seed", "root RNG seed", "20170529");
-  cli.add_option("--threads", "trial worker threads (0 = all hardware threads; "
-                 "results are thread-count-invariant)", "0");
+  add_threads_option(cli);
   cli.add_flag("--csv", "also emit raw CSV");
   cli.add_flag("--chart", "also render ASCII bars");
   cli.add_option("--csv-path", "write CSV to this file instead of stdout", "");
   cli.add_option("--report", "write a markdown study report to this path", "");
   add_obs_options(cli);
+  add_recovery_options(cli);
+}
+
+void add_recovery_options(CliParser& cli) {
+  cli.add_option("--journal", "stream completed trials to this write-ahead journal "
+                 "(crash-safe; see docs/ROBUSTNESS.md)", "");
+  cli.add_flag("--resume", "skip trials already recorded in --journal and reproduce "
+               "the uninterrupted artifacts byte for byte");
+  cli.add_option("--trial-timeout", "watchdog: seconds of wall time per trial attempt "
+                 "before it is aborted (0 = no watchdog)", "0");
+  cli.add_option("--trial-retries", "extra same-seed attempts for a failed or timed-out "
+                 "trial before it is quarantined", "0");
+}
+
+RecoveryCliOptions read_recovery_options(const CliParser& cli) {
+  RecoveryCliOptions options;
+  options.journal_path = cli.str("--journal");
+  options.resume = cli.flag("--resume");
+  options.trial_timeout = cli.real("--trial-timeout");
+  const std::int64_t retries = cli.integer("--trial-retries");
+  if (options.resume && options.journal_path.empty()) {
+    CliParser::usage_error("--resume needs --journal <path> (nothing to resume from)");
+  }
+  if (options.trial_timeout < 0.0) {
+    CliParser::usage_error("--trial-timeout must be >= 0 seconds");
+  }
+  if (retries < 0 || retries > 100) {
+    CliParser::usage_error("--trial-retries must be in [0, 100]");
+  }
+  options.trial_retries = static_cast<unsigned>(retries);
+  return options;
 }
 
 HarnessOptions read_common_options(const CliParser& cli) {
   HarnessOptions options;
   options.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   options.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  options.threads = static_cast<unsigned>(cli.integer("--threads"));
+  options.threads = parse_threads_option(cli);
   options.csv = cli.flag("--csv");
   options.chart = cli.flag("--chart");
   options.csv_path = cli.str("--csv-path");
   options.report_path = cli.str("--report");
   options.obs = read_obs_options(cli);
+  options.recovery = read_recovery_options(cli);
   return options;
+}
+
+RecoveryCoordinator::RecoveryCoordinator(const RecoveryCliOptions& cli, std::string study,
+                                         std::uint64_t root_seed)
+    : cli_{cli} {
+  if (cli_.journal_path.empty()) return;
+
+  recovery::JournalMeta meta;
+  meta.study = std::move(study);
+  meta.root_seed = root_seed;
+
+  if (cli_.resume) {
+    index_.emplace(recovery::ResumeIndex::load(cli_.journal_path, meta));
+    const recovery::JournalLoadStats& stats = index_->stats();
+    if (stats.found) {
+      std::printf("journal %s: %zu trial(s) to resume", cli_.journal_path.c_str(),
+                  index_->size());
+      if (stats.corrupt_records != 0) {
+        std::printf(", %zu corrupt record(s) skipped", stats.corrupt_records);
+      }
+      if (stats.duplicate_records != 0) {
+        std::printf(", %zu duplicate(s) ignored", stats.duplicate_records);
+      }
+      if (stats.torn_tail) std::printf(", torn tail dropped");
+      std::printf("\n");
+    } else {
+      std::printf("journal %s: not found, starting fresh\n", cli_.journal_path.c_str());
+    }
+  } else {
+    // A fresh (non-resume) run replaces any stale journal: appending to it
+    // would let a later --resume resurrect the previous run's records.
+    std::remove(cli_.journal_path.c_str());
+  }
+  journal_ = std::make_unique<recovery::TrialJournal>(cli_.journal_path, meta);
+  recovery::install_shutdown_handlers();
+}
+
+recovery::TrialRecoveryOptions RecoveryCoordinator::options() {
+  recovery::TrialRecoveryOptions options;
+  options.journal = journal_.get();
+  options.resume = index_.has_value() ? &*index_ : nullptr;
+  options.trial_timeout_seconds = cli_.trial_timeout;
+  options.trial_attempts = cli_.trial_retries + 1;
+  return options;
+}
+
+int RecoveryCoordinator::finish() {
+  if (journal_ != nullptr) journal_->flush();
+  if (cli_.any() || report_.interrupted) {
+    std::printf("recovery: %s\n", report_.summary().c_str());
+  }
+  if (report_.interrupted) {
+    std::printf("interrupted by signal %d — journal flushed", recovery::shutdown_signal());
+    if (journal_ != nullptr) {
+      std::printf("; resume with --journal %s --resume", journal_->path().c_str());
+    }
+    std::printf("\n");
+    return recovery::kExitInterrupted;
+  }
+  return 0;
 }
 
 std::vector<ExecutionResult> ObsCollector::run_batch(const TrialExecutor& executor,
@@ -79,6 +175,36 @@ std::vector<ExecutionResult> ObsCollector::run_batch(const TrialExecutor& execut
   return results;
 }
 
+std::vector<ExecutionResult> ObsCollector::run_batch(const TrialExecutor& executor,
+                                                     std::uint64_t root_seed,
+                                                     std::span<const TrialSpec> specs,
+                                                     const std::string& label,
+                                                     RecoveryCoordinator& coordinator,
+                                                     const TrialProgress& progress) {
+  recovery::BatchReport report;
+  std::vector<obs::TrialObs> observers;
+  if (options_.enabled()) {
+    observers.resize(specs.size());
+    for (obs::TrialObs& o : observers) {
+      if (options_.metrics()) o.enable_metrics();
+    }
+    if (options_.trace() && !observers.empty()) observers.front().enable_trace();
+  }
+  std::vector<ExecutionResult> results = executor.run_batch(
+      root_seed, specs, observers, coordinator.options(), label, &report, progress);
+  coordinator.absorb(report);
+  // On an interrupted batch the observers of undrained trials are empty;
+  // merging them is harmless because the driver withholds artifacts.
+  if (options_.metrics() && !observers.empty()) {
+    if (!metrics_.has_value()) metrics_.emplace();
+    for (const obs::TrialObs& o : observers) metrics_->merge(*o.metrics());
+  }
+  if (options_.trace() && !observers.empty()) {
+    trace_.add_track(label, std::move(*observers.front().trace()));
+  }
+  return results;
+}
+
 void ObsCollector::finish() {
   if (options_.metrics() && metrics_.has_value()) {
     std::printf("\nInstrumented breakdown (whole sweep):\n%s",
@@ -91,6 +217,88 @@ void ObsCollector::finish() {
     std::printf("trace written to %s (%zu tracks, %zu events)\n",
                 options_.trace_path.c_str(), trace_.track_count(), trace_.event_count());
   }
+}
+
+namespace {
+
+/// FNV-1a over the batch label, mixed into the per-pattern fingerprint so an
+/// edited sweep grid reads its old records as stale instead of wrong.
+std::uint64_t label_hash(const std::string& label) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void run_patterns_controlled(
+    RecoveryCoordinator& coordinator, const TrialExecutor& executor,
+    const std::string& label, std::uint32_t patterns, std::uint64_t root_seed,
+    const std::function<WorkloadOutcome(std::uint32_t)>& run,
+    const std::function<void(std::uint32_t, const WorkloadOutcome&)>& consume) {
+  const recovery::TrialRecoveryOptions rec = coordinator.options();
+  std::vector<WorkloadOutcome> outcomes(patterns);
+  std::atomic<std::size_t> stale{0};
+
+  const auto fingerprint = [&](std::size_t idx) {
+    return derive_seed(root_seed, label_hash(label), idx);
+  };
+  const auto journal_outcome = [&](std::size_t idx, const WorkloadOutcome& outcome) {
+    if (rec.journal == nullptr) return;
+    recovery::JournalRecord record;
+    record.batch = label;
+    record.index = idx;
+    record.seed = fingerprint(idx);
+    record.payload = serialize_workload_outcome(outcome);
+    rec.journal->append(record);
+  };
+
+  TrialLoopControl control;
+  control.trial_timeout_seconds = rec.trial_timeout_seconds;
+  control.trial_attempts = rec.trial_attempts;
+  control.drain_on_shutdown = rec.drain_on_shutdown;
+  if (rec.resume != nullptr) {
+    control.already_done = [&](std::size_t idx) {
+      const recovery::JournalRecord* record = rec.resume->find(label, idx);
+      if (record == nullptr) return false;
+      if (record->seed != fingerprint(idx)) {
+        stale.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      try {
+        outcomes[idx] = parse_workload_outcome(record->payload);
+      } catch (const recovery::JsonParseError&) {
+        stale.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+  }
+  if (rec.quarantine_enabled()) {
+    control.quarantine = [&](std::size_t idx, const std::string& reason) {
+      outcomes[idx] = WorkloadOutcome{};
+      outcomes[idx].quarantined = true;
+      outcomes[idx].quarantine_reason = reason;
+      journal_outcome(idx, outcomes[idx]);
+    };
+  }
+
+  recovery::BatchReport report;
+  executor.for_each_controlled(
+      patterns,
+      [&](std::size_t idx) {
+        outcomes[idx] = run(static_cast<std::uint32_t>(idx));
+        journal_outcome(idx, outcomes[idx]);
+      },
+      control, &report);
+  report.stale_records += stale.load(std::memory_order_relaxed);
+  coordinator.absorb(report);
+
+  if (report.interrupted) return;  // partial sweep: caller withholds artifacts
+  for (std::uint32_t p = 0; p < patterns; ++p) consume(p, outcomes[p]);
 }
 
 int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
@@ -110,9 +318,19 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
               to_string(config.baseline).c_str(), config.trials,
               TrialExecutor{options.threads}.threads());
 
+  RecoveryCoordinator coordinator{options.recovery, title, config.seed};
+  config.recovery = coordinator.options();
+
   profiler.begin("run");
   obs::ProgressMeter meter{"cell"};
   const EfficiencyStudyResult result = run_efficiency_study(config, meter.callback());
+  coordinator.absorb(result.recovery_report);
+
+  if (coordinator.interrupted()) {
+    // Partial progress only: completed cells are journaled, artifacts are
+    // withheld so nothing half-reduced reaches downstream tooling.
+    return coordinator.finish();
+  }
 
   profiler.begin("reduce");
   std::printf("%s", result.to_table().to_text().c_str());
@@ -176,7 +394,7 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
   profiler.end();
   std::printf("(efficiency = baseline / simulated execution time; phases: %s)\n",
               profiler.summary().c_str());
-  return 0;
+  return coordinator.finish();
 }
 
 }  // namespace xres::bench

@@ -4,12 +4,18 @@
 /// Shared plumbing for the figure-reproduction harnesses: CLI wiring and
 /// the efficiency-figure runner used by Figures 1-3.
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 
 #include "core/single_app_study.hpp"
+#include "core/workload_record.hpp"
 #include "obs/trial_obs.hpp"
+#include "recovery/journal.hpp"
+#include "recovery/options.hpp"
+#include "recovery/shutdown.hpp"
 #include "util/cli.hpp"
 
 namespace xres::bench {
@@ -36,6 +42,19 @@ void add_obs_options(CliParser& cli, bool with_trace = true);
 /// typo should fail loudly).
 [[nodiscard]] ObsOptions read_obs_options(const CliParser& cli);
 
+/// The crash-safety flags (docs/ROBUSTNESS.md) as parsed from the command
+/// line; `RecoveryCoordinator` turns them into live journal/resume state.
+struct RecoveryCliOptions {
+  std::string journal_path;   ///< --journal: write-ahead trial journal here
+  bool resume{false};         ///< --resume: skip trials already journaled
+  double trial_timeout{0.0};  ///< --trial-timeout seconds (0 = off)
+  unsigned trial_retries{0};  ///< --trial-retries: extra same-seed attempts
+
+  [[nodiscard]] bool any() const {
+    return !journal_path.empty() || resume || trial_timeout > 0.0 || trial_retries > 0;
+  }
+};
+
 /// Options every harness shares.
 struct HarnessOptions {
   std::uint32_t trials{200};
@@ -46,15 +65,65 @@ struct HarnessOptions {
   std::string csv_path;  ///< empty: print CSV to stdout when csv is set
   std::string report_path;  ///< non-empty: write a markdown StudyReport here
   ObsOptions obs;  ///< --metrics/--trace/--log-level
+  RecoveryCliOptions recovery;  ///< --journal/--resume/--trial-timeout/--trial-retries
 };
 
 /// Registers --trials/--seed/--threads/--csv/--csv-path plus the
-/// observability options on \p cli.
+/// observability and crash-safety options on \p cli.
 void add_common_options(CliParser& cli, std::uint32_t default_trials);
 
-/// Reads them back after parse() (applies --log-level, see
-/// read_obs_options).
+/// Registers only --journal/--resume/--trial-timeout/--trial-retries (for
+/// harnesses that do not take the full common set).
+void add_recovery_options(CliParser& cli);
+
+/// Reads them back after parse(); validates combinations (--resume needs
+/// --journal, --trial-timeout >= 0) via CliParser::usage_error.
+[[nodiscard]] RecoveryCliOptions read_recovery_options(const CliParser& cli);
+
+/// Reads the common options back after parse() (applies --log-level, see
+/// read_obs_options). Invalid values — `--threads 0` or a non-"auto"
+/// non-positive thread count among them — exit via CliParser::usage_error.
 [[nodiscard]] HarnessOptions read_common_options(const CliParser& cli);
+
+/// Owns the live crash-safety state for one driver run: loads the resume
+/// index (validating the journal against the study name and seed), opens
+/// the write-ahead journal, installs the SIGINT/SIGTERM handlers, and
+/// accumulates the executor's BatchReport. Construct after parsing, pass
+/// options() into the study config, call finish() last and return its exit
+/// code.
+class RecoveryCoordinator {
+ public:
+  /// \p study and \p root_seed identify the journal (recovery::JournalMeta).
+  /// Without --resume an existing journal file at --journal is replaced,
+  /// not appended to (appending would resurrect the previous run's records
+  /// on a later --resume). Load warnings (torn tail, corrupt records) are
+  /// printed to stderr.
+  RecoveryCoordinator(const RecoveryCliOptions& cli, std::string study,
+                      std::uint64_t root_seed);
+
+  /// The executor-facing view (pointers into this coordinator; valid for
+  /// its lifetime).
+  [[nodiscard]] recovery::TrialRecoveryOptions options();
+
+  /// Merge one study/batch report into the run's total.
+  void absorb(const recovery::BatchReport& report) { report_.merge(report); }
+  [[nodiscard]] const recovery::BatchReport& report() const { return report_; }
+
+  /// True when the run drained early on SIGINT/SIGTERM — the driver should
+  /// skip writing figure artifacts and return finish().
+  [[nodiscard]] bool interrupted() const { return report_.interrupted; }
+
+  /// Flush the journal, print the recovery summary (when anything was
+  /// active), and return the driver exit code: recovery::kExitInterrupted
+  /// after a drain, else 0.
+  [[nodiscard]] int finish();
+
+ private:
+  RecoveryCliOptions cli_;
+  std::optional<recovery::ResumeIndex> index_;
+  std::unique_ptr<recovery::TrialJournal> journal_;
+  recovery::BatchReport report_;
+};
 
 /// Observed batch execution for drivers that drive TrialExecutor directly
 /// (the ablation/extension harnesses): a drop-in replacement for
@@ -71,6 +140,14 @@ class ObsCollector {
       std::span<const TrialSpec> specs, const std::string& label,
       const TrialProgress& progress = {});
 
+  /// run_batch under a RecoveryCoordinator: \p label doubles as the journal
+  /// batch label (keep it stable across runs), and the batch's accounting
+  /// is absorbed into \p coordinator.
+  [[nodiscard]] std::vector<ExecutionResult> run_batch(
+      const TrialExecutor& executor, std::uint64_t root_seed,
+      std::span<const TrialSpec> specs, const std::string& label,
+      RecoveryCoordinator& coordinator, const TrialProgress& progress = {});
+
   /// Merged metrics so far (null until the first observed batch).
   [[nodiscard]] const obs::MetricSet* metrics() const {
     return metrics_.has_value() ? &*metrics_ : nullptr;
@@ -85,9 +162,28 @@ class ObsCollector {
   obs::TraceLog trace_;
 };
 
+/// Crash-safe pattern loop for the workload ablations that hand-build their
+/// `WorkloadEngineConfig`s (burst failures, PFS contention): runs `run(p)`
+/// for each pattern index in [0, patterns) under the coordinator's
+/// journal/resume/watchdog envelope, journaling each outcome under
+/// (\p label, p) — fingerprinted by (root_seed, label, p) — and restoring
+/// journaled outcomes on --resume. After the loop, `consume(p, outcome)` is
+/// invoked serially in pattern order (deterministic merges), or not at all
+/// when the loop drained on a shutdown signal — check
+/// `coordinator.interrupted()` afterwards. \p label must be stable across
+/// runs and unique within the driver (e.g. "variant/technique").
+void run_patterns_controlled(
+    RecoveryCoordinator& coordinator, const TrialExecutor& executor,
+    const std::string& label, std::uint32_t patterns, std::uint64_t root_seed,
+    const std::function<WorkloadOutcome(std::uint32_t)>& run,
+    const std::function<void(std::uint32_t, const WorkloadOutcome&)>& consume);
+
 /// Run one Figures-1-3 style efficiency figure and print it in the paper's
 /// layout (rows: % of system; columns: technique; cells: mean ± σ over
-/// trials). Returns 0.
+/// trials). Honors the crash-safety options (journal/resume/watchdog); the
+/// journal is identified by \p title. Returns the driver exit code: 0, or
+/// recovery::kExitInterrupted when a shutdown signal drained the study
+/// (figure artifacts are then withheld — resume to produce them).
 int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
                           const HarnessOptions& options);
 

@@ -20,13 +20,16 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "C64");
   cli.add_option("--system-share", "fraction of machine used", "0.25");
   cli.add_option("--seed", "root RNG seed", "11");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ext_energy_comparison", seed};
 
   const MachineSpec machine = MachineSpec::exascale();
   const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
@@ -60,7 +63,7 @@ int main(int argc, char** argv) {
     RunningStats mwh;
     RunningStats idle_share;
     for (const ExecutionResult& r :
-         collector.run_batch(executor, seed, specs, to_string(kind))) {
+         collector.run_batch(executor, seed, specs, to_string(kind), coordinator)) {
       const EnergyReport energy = execution_energy(r, plan.physical_nodes, power);
       eff.add(r.efficiency);
       mwh.add(energy.kilowatt_hours() / 1000.0);
@@ -72,7 +75,8 @@ int main(int argc, char** argv) {
                    fmt_percent(idle_share.mean(), 2)});
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("(ideal failure-free energy: %.1f MWh)\n", ideal_mwh);
-  return 0;
+  return coordinator.finish();
 }

@@ -21,13 +21,16 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "D64");
   cli.add_option("--system-share", "fraction of machine used", "0.25");
   cli.add_option("--seed", "root RNG seed", "13");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto traces = static_cast<std::uint32_t>(cli.integer("--traces"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ext_paired_comparison", seed};
 
   const MachineSpec machine = MachineSpec::exascale();
   const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
@@ -62,7 +65,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<ExecutionResult> results =
-      collector.run_batch(executor, seed, specs, "shared-trace replays");
+      collector.run_batch(executor, seed, specs, "shared-trace replays", coordinator);
 
   // Efficiency per technique per trace.
   std::vector<std::vector<double>> eff(kinds.size());
@@ -93,6 +96,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
-  return 0;
+  return coordinator.finish();
 }

@@ -16,14 +16,17 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per cell", "40");
   cli.add_option("--type", "application type (Table I)", "A32");
   cli.add_option("--seed", "root RNG seed", "19");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   const AppType type = app_type_by_name(cli.str("--type"));
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ext_semi_blocking", seed};
 
   std::printf("Extension: semi-blocking checkpointing, application %s, MTBF 10 y\n\n",
               type.name.c_str());
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
           (cell.rate == 0.0 ? " blocking"
                             : " overlap " + fmt_percent(cell.rate, 0));
       for (const ExecutionResult& r :
-           collector.run_batch(executor, seed, specs, label)) {
+           collector.run_batch(executor, seed, specs, label, coordinator)) {
         eff.add(r.efficiency);
       }
       row.push_back(fmt_mean_std(eff.mean(), eff.stddev()));
@@ -64,8 +67,9 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("(overlap reduces the blocked fraction of each Eq.-3 checkpoint; at\n"
               " 90%% overlap checkpointing costs little even at exascale)\n");
-  return 0;
+  return coordinator.finish();
 }

@@ -18,13 +18,16 @@ int main(int argc, char** argv) {
   cli.add_option("--trials", "trials per technique per cell", "20");
   cli.add_option("--mtbf-years", "node MTBF", "10");
   cli.add_option("--seed", "root RNG seed", "23");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   bench::add_obs_options(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   bench::ObsCollector collector{bench::read_obs_options(cli)};
+  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
+                                         "ext_technique_map", seed};
 
   ResilienceConfig resilience;
   resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
@@ -65,7 +68,7 @@ int main(int argc, char** argv) {
         const std::string label =
             type.name + " @ " + fmt_percent(share, 0) + " " + to_string(kind);
         for (const ExecutionResult& r :
-             collector.run_batch(executor, seed, specs, label)) {
+             collector.run_batch(executor, seed, specs, label, coordinator)) {
           eff.add(r.efficiency);
         }
         if (eff.mean() > best_eff) {
@@ -87,7 +90,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "finished type %s\n", type.name.c_str());
   }
   std::printf("%s", table.to_text().c_str());
+  if (coordinator.interrupted()) return coordinator.finish();
   collector.finish();
   std::printf("selector agreement with simulation: %u/%u cells\n", agreements, cells);
-  return 0;
+  return coordinator.finish();
 }

@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
       "fig1_efficiency_a32 — paper Figure 1: efficiency vs. application size "
       "for A32 (low memory, no communication), node MTBF 10 years."};
   bench::add_common_options(cli, 200);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name("A32");

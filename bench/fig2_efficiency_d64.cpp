@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
       "fig2_efficiency_d64 — paper Figure 2: efficiency vs. application size "
       "for D64 (high memory, 75% communication), node MTBF 10 years."};
   bench::add_common_options(cli, 200);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name("D64");

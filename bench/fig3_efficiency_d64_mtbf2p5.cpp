@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
       "fig3_efficiency_d64_mtbf2p5 — paper Figure 3: efficiency vs. "
       "application size for D64 with node MTBF reduced to 2.5 years."};
   bench::add_common_options(cli, 200);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name("D64");

@@ -17,19 +17,24 @@ int main(int argc, char** argv) {
       "(scheduler x resilience technique) combination, 50 arrival patterns."};
   cli.add_option("--patterns", "arrival patterns per combo (paper: 50)", "50");
   cli.add_option("--seed", "root RNG seed", "20170530");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   cli.add_flag("--csv", "also emit raw CSV");
   bench::add_obs_options(cli, /*with_trace=*/false);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const bench::ObsOptions obs = bench::read_obs_options(cli);
+  const bench::RecoveryCliOptions rec = bench::read_recovery_options(cli);
 
   obs::PhaseProfiler profiler;
   profiler.begin("setup");
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  study.threads = static_cast<unsigned>(cli.integer("--threads"));
+  study.threads = parse_threads_option(cli);
   study.collect_metrics = obs.metrics();
+
+  bench::RecoveryCoordinator coordinator{rec, "fig4_resource_management", study.seed};
+  study.recovery = coordinator.options();
 
   std::printf("Figure 4: dropped applications, oversubscribed exascale system\n");
   std::printf("machine: %s\n", study.machine.describe().c_str());
@@ -41,7 +46,11 @@ int main(int argc, char** argv) {
 
   profiler.begin("run");
   obs::ProgressMeter meter{"pattern-run"};
-  const auto results = run_workload_study(study, figure4_combos(), meter.callback());
+  recovery::BatchReport report;
+  const auto results =
+      run_workload_study(study, figure4_combos(), meter.callback(), &report);
+  coordinator.absorb(report);
+  if (coordinator.interrupted()) return coordinator.finish();
 
   profiler.begin("reduce");
   const Table table = workload_results_table(results);
@@ -65,5 +74,5 @@ int main(int argc, char** argv) {
   std::printf("(dropped %% = applications missing their Eq.-1 deadline; "
               "phases: %s)\n",
               profiler.summary().c_str());
-  return 0;
+  return coordinator.finish();
 }

@@ -17,17 +17,21 @@ int main(int argc, char** argv) {
       "Resilience Selection per scheduler, over four workload biases."};
   cli.add_option("--patterns", "arrival patterns per combo (paper: 50)", "50");
   cli.add_option("--seed", "root RNG seed", "20170530");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   cli.add_flag("--csv", "also emit raw CSV");
   bench::add_obs_options(cli, /*with_trace=*/false);
-  if (!cli.parse(argc, argv)) return 0;
+  bench::add_recovery_options(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   const bench::ObsOptions obs = bench::read_obs_options(cli);
+  const bench::RecoveryCliOptions rec = bench::read_recovery_options(cli);
 
   const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const auto threads = static_cast<unsigned>(cli.integer("--threads"));
+  const auto threads = parse_threads_option(cli);
 
   std::printf("Figure 5: Parallel Recovery vs. Resilience Selection\n\n");
+
+  bench::RecoveryCoordinator coordinator{rec, "fig5_resilience_selection", seed};
 
   obs::PhaseProfiler profiler;
   profiler.begin("run");
@@ -42,10 +46,17 @@ int main(int argc, char** argv) {
     study.threads = threads;
     study.workload.bias = bias;
     study.collect_metrics = obs.metrics();
+    study.recovery = coordinator.options();
+    // One journal batch per bias: the four studies share index space.
+    study.recovery_batch = std::string{"bias:"} + to_string(bias);
 
     std::fprintf(stderr, "bias: %s\n", to_string(bias));
     obs::ProgressMeter meter{"pattern-run"};
-    const auto results = run_workload_study(study, figure5_combos(), meter.callback());
+    recovery::BatchReport report;
+    const auto results =
+        run_workload_study(study, figure5_combos(), meter.callback(), &report);
+    coordinator.absorb(report);
+    if (coordinator.interrupted()) return coordinator.finish();
     for (const WorkloadComboResult& r : results) {
       table.add_row({to_string(bias), to_string(r.combo.scheduler),
                      r.combo.policy.name(),
@@ -70,5 +81,5 @@ int main(int argc, char** argv) {
 
   profiler.end();
   std::printf("(phases: %s)\n", profiler.summary().c_str());
-  return 0;
+  return coordinator.finish();
 }

@@ -19,11 +19,11 @@ int main(int argc, char** argv) {
   cli.add_option("--type", "application type (Table I)", "D64");
   cli.add_option("--trials", "simulated trials per cell", "20");
   cli.add_option("--target", "viability threshold on efficiency", "0.5");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
-  if (!cli.parse(argc, argv)) return 0;
+  add_threads_option(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  const TrialExecutor executor{parse_threads_option(cli)};
   const double target = cli.real("--target");
   const AppSpec app{app_type_by_name(cli.str("--type")), 120000, 1440};
 

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   cli.add_option("--days", "trace horizon in days", "7");
   cli.add_option("--weibull-shape", "0 = exponential (paper), else Weibull shape", "0");
   cli.add_option("--seed", "RNG seed", "1");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   const MachineSpec machine = MachineSpec::exascale();
   const double share = cli.real("--system-share");

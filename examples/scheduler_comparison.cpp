@@ -21,13 +21,13 @@ int main(int argc, char** argv) {
                  "parallel-recovery");
   cli.add_option("--mtbf-years", "per-node MTBF", "10");
   cli.add_option("--seed", "root RNG seed", "20170530");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
-  if (!cli.parse(argc, argv)) return 0;
+  add_threads_option(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  study.threads = static_cast<unsigned>(cli.integer("--threads"));
+  study.threads = parse_threads_option(cli);
   study.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
 
   const std::string technique = cli.str("--technique");

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                  "resilience technique, or 'selection' / 'none'", "multilevel");
   cli.add_option("--scheduler", "FCFS | Random | Slack | FirstFit | SJF", "Slack");
   cli.add_option("--seed", "root RNG seed", "1");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
   SwfImportConfig import;
   import.node_scale = cli.real("--node-scale");

@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
   cli.add_option("--baseline-hours", "delay-free execution time", "24");
   cli.add_option("--mtbf-years", "per-node MTBF", "10");
   cli.add_option("--trials", "simulated trials per technique", "20");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
-  if (!cli.parse(argc, argv)) return 0;
-  const TrialExecutor executor{static_cast<unsigned>(cli.integer("--threads"))};
+  add_threads_option(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const TrialExecutor executor{parse_threads_option(cli)};
 
   const MachineSpec machine = MachineSpec::exascale();
   const double share = cli.real("--system-share");

@@ -1,17 +1,24 @@
 #include "core/executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "failure/process.hpp"
 #include "failure/replay.hpp"
 #include "failure/severity.hpp"
+#include "recovery/journal.hpp"
+#include "recovery/json_parse.hpp"
+#include "recovery/shutdown.hpp"
+#include "recovery/trial_record.hpp"
 #include "resilience/planner.hpp"
 #include "runtime/app_runtime.hpp"
 #include "sim/simulation.hpp"
 #include "util/check.hpp"
+#include "util/deadline.hpp"
 
 namespace xres {
 
@@ -145,53 +152,125 @@ TrialExecutor::TrialExecutor(unsigned threads) : threads_{threads} {
 void TrialExecutor::for_each(std::size_t count,
                              const std::function<void(std::size_t)>& body,
                              const TrialProgress& progress) const {
+  TrialLoopControl control;
+  control.progress = progress;
+  // Plain loops ignore shutdown signals: their callers reduce the full
+  // result vector unconditionally, so draining early would hand them
+  // default-constructed slots.
+  control.drain_on_shutdown = false;
+  for_each_controlled(count, body, control, nullptr);
+}
+
+void TrialExecutor::for_each_controlled(std::size_t count,
+                                        const std::function<void(std::size_t)>& body,
+                                        const TrialLoopControl& control,
+                                        recovery::BatchReport* report) const {
   if (count == 0) return;
-  XRES_CHECK(static_cast<bool>(body), "for_each needs a body");
+  XRES_CHECK(static_cast<bool>(body), "for_each_controlled needs a body");
 
-  const std::size_t workers =
-      std::min<std::size_t>(threads_, count);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      body(i);
-      if (progress) progress(i + 1, count);
+  const unsigned attempts = std::max(1U, control.trial_attempts);
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> resumed{0};
+  std::atomic<std::size_t> retried{0};
+  std::atomic<std::size_t> quarantined{0};
+  std::atomic<bool> interrupted{false};
+  std::mutex quarantine_mutex;
+
+  // One unit through the whole envelope: resume skip, then up to `attempts`
+  // tries under the watchdog deadline, then quarantine (or, unhooked, the
+  // historical propagate-and-fail-the-batch path). Only std::exception is
+  // retryable; anything else is a bug and escapes immediately.
+  auto run_unit = [&](std::size_t i) {
+    if (control.already_done && control.already_done(i)) {
+      resumed.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::size_t done = 0;
-  std::mutex progress_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+    for (unsigned attempt = 1;; ++attempt) {
       try {
+        const ScopedDeadline deadline{control.trial_timeout_seconds};
         body(i);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock{error_mutex};
-          if (!error) error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
+        executed.fetch_add(1, std::memory_order_relaxed);
         return;
-      }
-      if (progress) {
-        const std::lock_guard<std::mutex> lock{progress_mutex};
-        progress(++done, count);
+      } catch (const std::exception& e) {
+        if (attempt < attempts) {
+          retried.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!control.quarantine) throw;
+        {
+          const std::lock_guard<std::mutex> lock{quarantine_mutex};
+          control.quarantine(i, e.what());
+        }
+        quarantined.fetch_add(1, std::memory_order_relaxed);
+        return;
       }
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  std::exception_ptr error;
+  const std::size_t workers = std::min<std::size_t>(threads_, count);
+  if (workers <= 1) {
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (control.drain_on_shutdown && recovery::shutdown_requested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      try {
+        run_unit(i);
+      } catch (...) {
+        error = std::current_exception();
+        break;
+      }
+      if (control.progress) control.progress(++done, count);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::size_t done = 0;
+    std::mutex progress_mutex;
 
+    auto worker = [&] {
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        if (control.drain_on_shutdown && recovery::shutdown_requested()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          run_unit(i);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock{error_mutex};
+            if (!error) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (control.progress) {
+          const std::lock_guard<std::mutex> lock{progress_mutex};
+          control.progress(++done, count);
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (report != nullptr) {
+    report->executed += executed.load(std::memory_order_relaxed);
+    report->resumed += resumed.load(std::memory_order_relaxed);
+    report->retried += retried.load(std::memory_order_relaxed);
+    report->quarantined += quarantined.load(std::memory_order_relaxed);
+    report->interrupted =
+        report->interrupted || interrupted.load(std::memory_order_relaxed);
+  }
   if (error) std::rethrow_exception(error);
 }
 
@@ -216,6 +295,117 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
       specs.size(),
       [&](std::size_t i) { results[i] = run_trial(specs[i], root_seed, &observers[i]); },
       progress);
+  return results;
+}
+
+std::vector<ExecutionResult> TrialExecutor::run_batch(
+    std::uint64_t root_seed, std::span<const TrialSpec> specs,
+    std::span<obs::TrialObs> observers, const recovery::TrialRecoveryOptions& rec,
+    const std::string& batch_label, recovery::BatchReport* report,
+    const TrialProgress& progress) const {
+  const bool observed = !observers.empty();
+  XRES_CHECK(!observed || observers.size() == specs.size(),
+             "one observer per spec, or no observers at all");
+
+  std::vector<ExecutionResult> results(specs.size());
+  std::atomic<std::size_t> stale{0};
+
+  TrialLoopControl control;
+  control.progress = progress;
+  control.trial_timeout_seconds = rec.trial_timeout_seconds;
+  control.trial_attempts = rec.trial_attempts;
+  control.drain_on_shutdown = rec.drain_on_shutdown;
+
+  if (rec.resume != nullptr) {
+    control.already_done = [&](std::size_t i) {
+      const recovery::JournalRecord* record = rec.resume->find(batch_label, i);
+      if (record == nullptr) return false;
+      if (record->seed != specs[i].derived_seed(root_seed)) {
+        // The sweep changed under the journal; re-running is the only safe
+        // answer.
+        stale.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      // Trace-collecting trials always re-run: the simulation is
+      // deterministic, so re-running rebuilds the identical trace, and
+      // journaling event buffers would dwarf the results they describe.
+      if (observed && observers[i].trace() != nullptr) return false;
+      recovery::TrialOutcome outcome;
+      try {
+        outcome = recovery::parse_trial_outcome(record->payload);
+      } catch (const recovery::JsonParseError&) {
+        stale.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (observed && observers[i].metrics() != nullptr) {
+        // Journaled without metrics (an unobserved earlier run) but needed
+        // now: re-run rather than hand back a hole in the merge.
+        if (!outcome.metrics.has_value()) return false;
+        *observers[i].metrics() = *outcome.metrics;
+      }
+      results[i] = outcome.result;
+      return true;
+    };
+  }
+
+  auto journal_outcome = [&](std::size_t i, recovery::TrialOutcome outcome) {
+    recovery::JournalRecord record;
+    record.batch = batch_label;
+    record.index = i;
+    record.seed = specs[i].derived_seed(root_seed);
+    record.payload = recovery::serialize_trial_outcome(outcome);
+    rec.journal->append(record);
+  };
+
+  // Re-arm a trial's enabled observer channels so every attempt starts from
+  // a clean slate instead of double-counting a failed predecessor.
+  auto reset_observer = [&](std::size_t i) {
+    if (!observed) return;
+    if (observers[i].metrics() != nullptr) observers[i].enable_metrics();
+    if (observers[i].trace() != nullptr) observers[i].enable_trace();
+  };
+
+  auto body = [&](std::size_t i) {
+    obs::TrialObs* obs = nullptr;
+    if (observed) {
+      reset_observer(i);
+      obs = &observers[i];
+    }
+    results[i] = run_trial(specs[i], root_seed, obs);
+    if (rec.journal != nullptr) {
+      recovery::TrialOutcome outcome;
+      outcome.result = results[i];
+      if (obs != nullptr && obs->metrics() != nullptr) outcome.metrics = *obs->metrics();
+      journal_outcome(i, std::move(outcome));
+    }
+  };
+
+  if (rec.quarantine_enabled()) {
+    control.quarantine = [&](std::size_t i, const std::string& reason) {
+      // Same shape as an infeasible plan: present but worthless, so the
+      // study's reductions stay well-defined.
+      ExecutionResult placeholder;
+      placeholder.completed = false;
+      placeholder.efficiency = 0.0;
+      results[i] = placeholder;
+      reset_observer(i);
+      if (rec.journal != nullptr) {
+        recovery::TrialOutcome outcome;
+        outcome.result = placeholder;
+        outcome.quarantined = true;
+        outcome.quarantine_reason = reason;
+        if (observed && observers[i].metrics() != nullptr) {
+          outcome.metrics.emplace();  // clean zero set, matching the reset
+        }
+        journal_outcome(i, std::move(outcome));
+      }
+    };
+  }
+
+  for_each_controlled(specs.size(), body, control, report);
+  if (report != nullptr) {
+    report->stale_records += stale.load(std::memory_order_relaxed);
+  }
   return results;
 }
 

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "failure/trace.hpp"
 #include "obs/trial_obs.hpp"
 #include "platform/spec.hpp"
+#include "recovery/options.hpp"
 #include "resilience/config.hpp"
 #include "resilience/plan.hpp"
 #include "resilience/technique.hpp"
@@ -124,6 +126,30 @@ struct TrialSpec {
 /// update shared state or write to a stream without their own locking.
 using TrialProgress = std::function<void(std::size_t, std::size_t)>;
 
+/// Hooks and policy for a *controlled* executor loop — the crash-safe
+/// variant behind `--journal/--resume/--trial-timeout/--trial-retries`
+/// (docs/ROBUSTNESS.md). All hooks may be empty. Hooks run on worker
+/// threads; like the loop body, each invocation owns only its index's
+/// state, except `quarantine`, which the executor serializes internally.
+struct TrialLoopControl {
+  TrialProgress progress{};
+  /// Wall-clock watchdog per attempt, seconds (0 = disabled). Armed as a
+  /// thread-local deadline the sim engine polls (util/deadline.hpp).
+  double trial_timeout_seconds{0.0};
+  /// Total same-seed attempts per unit before giving up (min 1).
+  unsigned trial_attempts{1};
+  /// Stop handing out new units once a shutdown signal arrives
+  /// (recovery/shutdown.hpp); in-flight units drain normally.
+  bool drain_on_shutdown{true};
+  /// Return true to skip unit i (already restored from a journal). Counted
+  /// as `resumed` in the report.
+  std::function<bool(std::size_t)> already_done{};
+  /// Invoked (serialized) when unit i exhausted its attempts; record a
+  /// placeholder outcome. When empty, the last exception propagates and
+  /// fails the whole loop — the historical behavior.
+  std::function<void(std::size_t, const std::string&)> quarantine{};
+};
+
 /// Fixed-size thread-pool executor for trial batches.
 ///
 /// Work distribution is dynamic (an atomic work index hands out the next
@@ -161,6 +187,32 @@ class TrialExecutor {
   /// not an `ExecutionResult` (e.g. workload pattern runs).
   void for_each(std::size_t count, const std::function<void(std::size_t)>& body,
                 const TrialProgress& progress = {}) const;
+
+  /// for_each with the crash-safety envelope: resume skipping, a per-
+  /// attempt watchdog deadline, bounded same-seed retry with quarantine,
+  /// and graceful shutdown draining. Accounting lands in \p report (may be
+  /// null). Determinism is unchanged: results still live in per-index
+  /// slots, and whether a unit ran or was restored never depends on thread
+  /// scheduling.
+  void for_each_controlled(std::size_t count,
+                           const std::function<void(std::size_t)>& body,
+                           const TrialLoopControl& control,
+                           recovery::BatchReport* report = nullptr) const;
+
+  /// run_batch with the crash-safety envelope (docs/ROBUSTNESS.md):
+  /// completed trials stream into `rec.journal` (when set), trials already
+  /// in `rec.resume` are restored instead of re-simulated — including their
+  /// journaled per-trial metrics, so merged `--metrics` output stays
+  /// byte-identical — and failing/hung trials are retried then quarantined
+  /// per `rec`. \p observers may be empty (unobserved) or one per spec.
+  /// \p batch_label namespaces this batch's records within the journal.
+  /// On interruption (report->interrupted) the returned vector is only
+  /// valid at indices the loop finished; callers must not reduce it.
+  [[nodiscard]] std::vector<ExecutionResult> run_batch(
+      std::uint64_t root_seed, std::span<const TrialSpec> specs,
+      std::span<obs::TrialObs> observers, const recovery::TrialRecoveryOptions& rec,
+      const std::string& batch_label, recovery::BatchReport* report = nullptr,
+      const TrialProgress& progress = {}) const;
 
  private:
   unsigned threads_;

@@ -1,7 +1,6 @@
 #include "core/report.hpp"
 
-#include <fstream>
-
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace xres {
@@ -47,10 +46,8 @@ std::string StudyReport::to_markdown() const {
 }
 
 void StudyReport::write(const std::string& path) const {
-  std::ofstream f{path};
-  XRES_CHECK(f.good(), "cannot open report file for writing: " + path);
-  f << to_markdown();
-  XRES_CHECK(f.good(), "failed writing report file: " + path);
+  // Atomic (temp + rename): a crash mid-write never leaves a torn report.
+  write_file_atomic(path, to_markdown());
 }
 
 }  // namespace xres

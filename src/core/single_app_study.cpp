@@ -52,6 +52,10 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
       for (std::uint32_t t = 0; t < config.trials; ++t) {
         specs.push_back(TrialSpec{trial, {si, ti, t}});
       }
+      // The journal batch label: stable across runs of the same sweep, and
+      // the record's derived-seed fingerprint guards against a changed one.
+      const std::string batch = "s" + std::to_string(si) + ".t" + std::to_string(ti);
+
       std::vector<ExecutionResult> outcomes;
       if (observing) {
         // One observer per trial; metrics on all, trace on trial 0 only
@@ -61,7 +65,8 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
           if (config.collect_metrics) o.enable_metrics();
         }
         if (config.collect_trace) observers.front().enable_trace();
-        outcomes = executor.run_batch(config.seed, specs, observers);
+        outcomes = executor.run_batch(config.seed, specs, observers, config.recovery,
+                                      batch, &result.recovery_report);
         if (config.collect_metrics) {
           // Merge in spec order: byte-identical for every thread count.
           for (const obs::TrialObs& o : observers) {
@@ -75,7 +80,8 @@ EfficiencyStudyResult run_efficiency_study(const EfficiencyStudyConfig& config,
               std::move(*observers.front().trace()));
         }
       } else {
-        outcomes = executor.run_batch(config.seed, specs);
+        outcomes = executor.run_batch(config.seed, specs, {}, config.recovery, batch,
+                                      &result.recovery_report);
       }
 
       // Reduce in trial order: bit-identical for every thread count.

@@ -65,6 +65,11 @@ struct EfficiencyStudyConfig {
   /// Record a sim-time trace of trial 0 of every (size × technique) cell
   /// into result.trace — one Perfetto track per cell.
   bool collect_trace{false};
+  /// Crash-safety envelope — journal/resume/watchdog/retry
+  /// (docs/ROBUSTNESS.md). The default reproduces the historical behavior
+  /// exactly. Batches are labeled "s<si>.t<ti>", so a journal written by
+  /// one sweep only resumes the same sweep.
+  recovery::TrialRecoveryOptions recovery{};
 };
 
 struct EfficiencyStudyResult {
@@ -83,6 +88,13 @@ struct EfficiencyStudyResult {
   /// Sim-time trace: trial 0 of each cell as its own track (populated when
   /// config.collect_trace).
   obs::TraceLog trace;
+  /// What the crash-safety envelope did (always filled; all-zero counters
+  /// and interrupted == false when config.recovery is inactive). When
+  /// `interrupted` is set the study drained early: completed cells are
+  /// valid, the rest are zero — callers should report partial progress and
+  /// exit with recovery::kExitInterrupted instead of writing figure
+  /// artifacts.
+  recovery::BatchReport recovery_report{};
 
   /// The figure's series as an aligned table (rows: size; columns:
   /// technique "mean ± σ").

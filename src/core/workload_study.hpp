@@ -33,6 +33,15 @@ struct WorkloadStudyConfig {
   /// Collect a deterministic MetricSet per combo (one per pattern run,
   /// merged in pattern order — thread-count-invariant like the results).
   bool collect_metrics{false};
+  /// Crash-safety envelope — journal/resume/watchdog/retry
+  /// (docs/ROBUSTNESS.md). The default reproduces the historical behavior.
+  /// Pattern runs are journaled under `recovery_batch`, fingerprinted by
+  /// (study seed, combo name hash, pattern), so reordering or editing the
+  /// combo list invalidates exactly the affected records.
+  recovery::TrialRecoveryOptions recovery{};
+  /// Journal batch label. Drivers running several studies against one
+  /// journal (e.g. one per workload bias) must give each a distinct label.
+  std::string recovery_batch{"workload"};
 };
 
 /// One bar of Figure 4/5: a scheduler + technique policy evaluated over all
@@ -61,9 +70,13 @@ using WorkloadProgress = TrialProgress;
 
 /// Evaluate each combo over the study's patterns. Pattern i is identical
 /// across combos (same generator seed), matching the paper's methodology.
+/// \p report (optional) receives the crash-safety accounting; when it comes
+/// back `interrupted`, completed runs are valid, the rest reduced as zeros —
+/// callers should print partial progress and exit with
+/// recovery::kExitInterrupted instead of writing figure artifacts.
 [[nodiscard]] std::vector<WorkloadComboResult> run_workload_study(
     const WorkloadStudyConfig& config, const std::vector<WorkloadCombo>& combos,
-    const WorkloadProgress& progress = {});
+    const WorkloadProgress& progress = {}, recovery::BatchReport* report = nullptr);
 
 /// The Figure-4 combo set: Ideal Baseline plus each scheduler × each
 /// workload technique.

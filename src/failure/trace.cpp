@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace xres {
@@ -71,10 +72,8 @@ FailureTrace FailureTrace::from_csv(const std::string& csv) {
 }
 
 void FailureTrace::save(const std::string& path) const {
-  std::ofstream f{path};
-  XRES_CHECK(f.good(), "cannot open trace file for writing: " + path);
-  f << to_csv();
-  XRES_CHECK(f.good(), "failed writing trace file: " + path);
+  // Atomic (temp + rename): a crash mid-write never leaves a torn trace.
+  write_file_atomic(path, to_csv());
 }
 
 FailureTrace FailureTrace::load(const std::string& path) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace xres::obs {
@@ -129,13 +130,9 @@ const std::string& JsonWriter::str() const {
 }
 
 void JsonWriter::write(const std::string& path) const {
-  const std::string& doc = str();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  XRES_CHECK(f != nullptr, "cannot open " + path + " for writing");
-  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-  const bool nl = std::fputc('\n', f) != EOF;
-  const int rc = std::fclose(f);
-  XRES_CHECK(n == doc.size() && nl && rc == 0, "short write to " + path);
+  // Atomic (temp + rename): a crash mid-write never leaves a torn JSON
+  // artifact where --metrics/--trace consumers expect a complete one.
+  write_file_atomic(path, str() + "\n");
 }
 
 }  // namespace xres::obs

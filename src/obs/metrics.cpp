@@ -137,6 +137,24 @@ const HistogramData& MetricSet::histogram(MetricId id) const {
   return histograms_[id.slot()];
 }
 
+void MetricSet::set_counter(MetricId id, std::uint64_t value) {
+  XRES_CHECK(id.kind() == MetricKind::kCounter && id.slot() < counters_.size(),
+             "bad counter id");
+  counters_[id.slot()] = value;
+}
+
+void MetricSet::set_gauge(MetricId id, double value) {
+  XRES_CHECK(id.kind() == MetricKind::kGauge && id.slot() < gauges_.size(),
+             "bad gauge id");
+  gauges_[id.slot()] = value;
+}
+
+void MetricSet::restore_histogram(MetricId id, const HistogramData& data) {
+  XRES_CHECK(id.kind() == MetricKind::kHistogram && id.slot() < histograms_.size(),
+             "bad histogram id");
+  histograms_[id.slot()] = data;
+}
+
 void MetricSet::merge(const MetricSet& other) {
   XRES_CHECK(counters_.size() == other.counters_.size() &&
                  gauges_.size() == other.gauges_.size() &&

@@ -146,6 +146,14 @@ class MetricSet {
   /// histogram moments). Deterministic given a fixed merge order.
   void merge(const MetricSet& other);
 
+  // Restore entry points for the trial journal (recovery/trial_record.cpp):
+  // a resumed trial's MetricSet is rebuilt exactly — same counters, gauges
+  // and pooled histogram state — so merged study metrics stay byte-identical
+  // with an uninterrupted run. Not for instrumentation sites.
+  void set_counter(MetricId id, std::uint64_t value);
+  void set_gauge(MetricId id, double value);
+  void restore_histogram(MetricId id, const HistogramData& data);
+
   /// Deterministic JSON rendering (registry registration order; all
   /// registered metrics appear, including zeros, so the shape is stable).
   [[nodiscard]] std::string to_json() const;

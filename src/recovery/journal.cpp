@@ -1,0 +1,259 @@
+#include "recovery/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "recovery/json_parse.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+
+namespace xres::recovery {
+
+namespace {
+
+constexpr std::string_view kFramePrefix = "{\"c\":\"";   // then 8 hex chars
+constexpr std::string_view kFrameMiddle = "\",\"r\":";   // then record JSON
+constexpr char kFrameSuffix = '}';
+constexpr std::string_view kJournalKind = "xres-trial-journal";
+
+bool is_hex8(std::string_view s) {
+  if (s.size() != 8) return false;
+  for (char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string frame_journal_line(const std::string& record_json) {
+  std::string line;
+  line.reserve(record_json.size() + 24);
+  line += kFramePrefix;
+  line += crc32_hex(crc32(record_json));
+  line += kFrameMiddle;
+  line += record_json;
+  line += kFrameSuffix;
+  line += '\n';
+  return line;
+}
+
+bool unframe_journal_line(std::string_view line, std::string& record_json) {
+  // Layout: {"c":"xxxxxxxx","r":<record>}
+  const std::size_t head = kFramePrefix.size() + 8 + kFrameMiddle.size();
+  if (line.size() < head + 1) return false;
+  if (line.substr(0, kFramePrefix.size()) != kFramePrefix) return false;
+  const std::string_view crc_hex = line.substr(kFramePrefix.size(), 8);
+  if (!is_hex8(crc_hex)) return false;
+  if (line.substr(kFramePrefix.size() + 8, kFrameMiddle.size()) != kFrameMiddle) {
+    return false;
+  }
+  if (line.back() != kFrameSuffix) return false;
+  const std::string_view record = line.substr(head, line.size() - head - 1);
+  if (crc32_hex(crc32(record)) != crc_hex) return false;
+  record_json.assign(record);
+  return true;
+}
+
+std::string to_record_json(const JournalRecord& record) {
+  std::string out = "{\"b\":\"";
+  out += obs::json_escape(record.batch);
+  out += "\",\"i\":";
+  out += obs::json_number(record.index);
+  out += ",\"s\":";
+  out += obs::json_number(record.seed);
+  out += ",\"p\":";
+  out += record.payload;
+  out += '}';
+  return out;
+}
+
+std::string to_meta_json(const JournalMeta& meta) {
+  std::string out = "{\"journal\":\"";
+  out += kJournalKind;
+  out += "\",\"v\":";
+  out += obs::json_number(static_cast<std::uint64_t>(meta.version));
+  out += ",\"study\":\"";
+  out += obs::json_escape(meta.study);
+  out += "\",\"root_seed\":";
+  out += obs::json_number(meta.root_seed);
+  out += '}';
+  return out;
+}
+
+TrialJournal::TrialJournal(std::string path, JournalMeta meta, std::size_t flush_every)
+    : path_{std::move(path)}, meta_{std::move(meta)},
+      flush_every_{flush_every == 0 ? 1 : flush_every} {
+  XRES_CHECK(!path_.empty(), "journal needs a path");
+  // "a+" so an existing journal is extended, never truncated: the write-
+  // ahead property depends on old records surviving the reopen.
+  file_ = std::fopen(path_.c_str(), "ab");
+  XRES_CHECK(file_ != nullptr, "cannot open journal for append: " + path_);
+  // In append mode the initial position is implementation-defined; seek so
+  // ftell reliably reports whether the file already has content.
+  std::fseek(file_, 0, SEEK_END);
+  if (std::ftell(file_) == 0) {
+    // Fresh journal: the meta record makes it self-identifying.
+    const std::string line = frame_journal_line(to_meta_json(meta_));
+    const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
+    XRES_CHECK(n == line.size() && flush_to_disk(file_),
+               "failed writing journal meta record to " + path_);
+  }
+}
+
+TrialJournal::~TrialJournal() {
+  if (file_ == nullptr) return;
+  // Destructors must not throw; a failed final flush only costs re-running
+  // the lost tail on resume.
+  (void)flush_to_disk(file_);
+  std::fclose(file_);
+}
+
+void TrialJournal::append(const JournalRecord& record) {
+  const std::string line = frame_journal_line(to_record_json(record));
+  const std::lock_guard<std::mutex> lock{mutex_};
+  XRES_CHECK(file_ != nullptr, "journal already closed");
+  const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
+  XRES_CHECK(n == line.size(), "short write to journal " + path_);
+  ++appended_;
+  if (++unflushed_ >= flush_every_) {
+    XRES_CHECK(flush_to_disk(file_), "fsync failed on journal " + path_);
+    unflushed_ = 0;
+  }
+}
+
+void TrialJournal::flush() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (file_ == nullptr || unflushed_ == 0) return;
+  XRES_CHECK(flush_to_disk(file_), "fsync failed on journal " + path_);
+  unflushed_ = 0;
+}
+
+std::size_t TrialJournal::appended() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return appended_;
+}
+
+std::string ResumeIndex::key(const std::string& batch, std::uint64_t index) {
+  return batch + '\x1f' + std::to_string(index);
+}
+
+const JournalRecord* ResumeIndex::find(const std::string& batch,
+                                       std::uint64_t index) const {
+  const auto it = records_.find(key(batch, index));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+ResumeIndex ResumeIndex::load(const std::string& path, const JournalMeta& expected) {
+  ResumeIndex index;
+  std::ifstream in{path, std::ios::binary};
+  if (!in.good()) return index;  // no journal yet: fresh start
+  index.stats_.found = true;
+
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  // Split on '\n' manually so a missing trailing newline (torn final
+  // append) still yields the partial line for CRC rejection.
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  const std::string_view view{content};
+  while (start < view.size()) {
+    std::size_t end = view.find('\n', start);
+    if (end == std::string_view::npos) end = view.size();
+    if (end > start) lines.push_back(view.substr(start, end - start));
+    start = end + 1;
+  }
+
+  bool saw_meta = false;
+  std::string record_json;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const bool is_tail = li + 1 == lines.size();
+    if (!unframe_journal_line(lines[li], record_json)) {
+      if (is_tail) {
+        index.stats_.torn_tail = true;
+        XRES_LOG_WARN("journal " + path + ": dropping torn/corrupt final record "
+                      "(interrupted append) — the affected trial will re-run");
+      } else {
+        ++index.stats_.corrupt_records;
+        XRES_LOG_WARN("journal " + path + ": skipping corrupt record at line " +
+                      std::to_string(li + 1) + " — the affected trial will re-run");
+      }
+      continue;
+    }
+
+    JsonValue record;
+    try {
+      record = parse_json(record_json);
+      if (record.find("journal") != nullptr) {
+        // Meta record: the journal's identity. Mismatches are fatal —
+        // resuming a different study's results would corrupt statistics.
+        XRES_CHECK(record.at("journal").as_string() == kJournalKind,
+                   "not an xres trial journal: " + path);
+        XRES_CHECK(record.at("v").as_u64() == expected.version,
+                   "journal " + path + " has format version " +
+                       std::to_string(record.at("v").as_u64()) + ", expected " +
+                       std::to_string(expected.version));
+        XRES_CHECK(record.at("study").as_string() == expected.study,
+                   "journal " + path + " belongs to study '" +
+                       record.at("study").as_string() + "', not '" + expected.study +
+                       "' — refusing to resume");
+        XRES_CHECK(record.at("root_seed").as_u64() == expected.root_seed,
+                   "journal " + path + " was written with --seed " +
+                       std::to_string(record.at("root_seed").as_u64()) +
+                       ", not " + std::to_string(expected.root_seed) +
+                       " — refusing to resume");
+        saw_meta = true;
+        continue;
+      }
+
+      JournalRecord parsed;
+      parsed.batch = record.at("b").as_string();
+      parsed.index = record.at("i").as_u64();
+      parsed.seed = record.at("s").as_u64();
+      // Keep the payload as raw JSON text; trial_record.cpp parses it
+      // lazily so one bad payload only costs that trial a re-run.
+      parsed.payload = record_json;  // replaced below with just the payload
+      const JsonValue& payload = record.at("p");
+      (void)payload;  // validated structurally by the parse above
+      // Re-extract the payload substring: record layout is fixed, so the
+      // payload is everything after "\"p\":" up to the final '}'.
+      const std::size_t p = record_json.find(",\"p\":");
+      XRES_CHECK(p != std::string::npos, "journal record lost its payload");
+      parsed.payload = record_json.substr(p + 5, record_json.size() - (p + 5) - 1);
+
+      const std::string k = key(parsed.batch, parsed.index);
+      if (index.records_.contains(k)) {
+        // Duplicates are possible when a crashed run re-executed a trial
+        // whose record had not been fsync'd. Results are deterministic, so
+        // either copy is correct; keep the first.
+        ++index.stats_.duplicate_records;
+        continue;
+      }
+      ++index.stats_.valid_records;
+      index.records_.emplace(k, std::move(parsed));
+    } catch (const JsonParseError& e) {
+      if (is_tail) {
+        index.stats_.torn_tail = true;
+      } else {
+        ++index.stats_.corrupt_records;
+      }
+      XRES_LOG_WARN("journal " + path + ": unreadable record at line " +
+                    std::to_string(li + 1) + " (" + e.what() +
+                    ") — the affected trial will re-run");
+    }
+  }
+
+  XRES_CHECK(saw_meta || index.records_.empty(),
+             "journal " + path + " has data records but no readable meta record — "
+             "cannot verify it belongs to this study; delete it or pick "
+             "another --journal path");
+  return index;
+}
+
+}  // namespace xres::recovery

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file journal.hpp
+/// Append-only, CRC-checksummed write-ahead trial journal — the harness's
+/// own resilience layer (docs/ROBUSTNESS.md). Studies run up to hundreds of
+/// thousands of deterministic trials; a crash, OOM-kill or Ctrl-C used to
+/// lose all of them. With a journal attached, every completed trial is
+/// streamed to disk as one self-checking JSONL record, and a re-run with
+/// `--resume` replays those records instead of re-simulating — reproducing
+/// byte-identical artifacts thanks to the executor's deterministic
+/// per-trial seeding and spec-order reduction (core/executor.hpp).
+///
+/// ## On-disk format (one record per line)
+///
+///     {"c":"<crc32 hex>","r":<record JSON>}\n
+///
+/// The CRC-32 (util/crc32.hpp) covers exactly the `<record JSON>` bytes.
+/// The first record of a fresh journal is a *meta* record naming the study
+/// and its root seed; `ResumeIndex::load` refuses to resume against a
+/// journal written by a different study or seed. Data records are
+///
+///     {"b":"<batch>","i":<index>,"s":<derived seed>,"p":<payload>}
+///
+/// where (batch, index) identify the trial within the study, the derived
+/// seed fingerprints the spec (a changed sweep invalidates stale records
+/// instead of corrupting results), and the payload is the serialized
+/// outcome (recovery/trial_record.hpp).
+///
+/// ## Crash tolerance
+///
+/// Appends are batched and fsync'd every `flush_every` records, so a crash
+/// loses at most one batch of trials — they are simply re-run on resume. A
+/// torn final line (the usual SIGKILL artifact) fails its CRC and is
+/// dropped with a warning; a corrupt record mid-file is skipped the same
+/// way. Neither is ever undefined behavior or a crash: the worst outcome is
+/// re-simulating the lost trials.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xres::recovery {
+
+/// Identity of the study that owns a journal. Resume requires an exact
+/// match: replaying another study's results would silently corrupt every
+/// downstream statistic.
+struct JournalMeta {
+  std::string study;         ///< harness name, e.g. "fig1_efficiency_a32"
+  std::uint64_t root_seed{0};
+  std::uint32_t version{1};  ///< journal format version
+};
+
+/// One journaled trial outcome.
+struct JournalRecord {
+  std::string batch;        ///< batch label within the study ("" is valid)
+  std::uint64_t index{0};   ///< spec index within the batch
+  std::uint64_t seed{0};    ///< the trial's derived seed (spec fingerprint)
+  std::string payload;      ///< serialized outcome (one JSON object)
+};
+
+/// Frame \p record_json as one journal line (CRC prefix + trailing '\n').
+[[nodiscard]] std::string frame_journal_line(const std::string& record_json);
+
+/// Inverse of frame_journal_line for one line (no trailing '\n'): returns
+/// true and fills \p record_json only when the frame parses and the CRC
+/// matches.
+[[nodiscard]] bool unframe_journal_line(std::string_view line, std::string& record_json);
+
+/// Serialize / parse the record JSON between frame and payload. Parse
+/// throws JsonParseError on malformed records (the loader treats that the
+/// same as a CRC failure).
+[[nodiscard]] std::string to_record_json(const JournalRecord& record);
+[[nodiscard]] std::string to_meta_json(const JournalMeta& meta);
+
+/// Append-side of the journal. Thread-safe: `TrialExecutor` workers stream
+/// completed trials from every thread; appends are serialized internally
+/// and fsync'd every \p flush_every records (and on flush()/destruction).
+class TrialJournal {
+ public:
+  /// Opens \p path for append, creating it (plus the meta record) when new
+  /// or empty. Resuming callers validate the existing meta with
+  /// `ResumeIndex::load` *before* constructing the writer. Throws
+  /// CheckError when the file cannot be opened.
+  TrialJournal(std::string path, JournalMeta meta, std::size_t flush_every = 32);
+  ~TrialJournal();
+
+  TrialJournal(const TrialJournal&) = delete;
+  TrialJournal& operator=(const TrialJournal&) = delete;
+
+  /// Append one record (framed, CRC'd). Thread-safe.
+  void append(const JournalRecord& record);
+
+  /// Flush buffered records to stable storage (fsync). Thread-safe.
+  void flush();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const JournalMeta& meta() const { return meta_; }
+  /// Records appended through this writer (excludes the meta record).
+  [[nodiscard]] std::size_t appended() const;
+
+ private:
+  std::string path_;
+  JournalMeta meta_;
+  std::size_t flush_every_;
+  mutable std::mutex mutex_;
+  std::FILE* file_{nullptr};
+  std::size_t unflushed_{0};
+  std::size_t appended_{0};
+};
+
+/// What the tolerant loader observed (all surfaced as warnings, never UB).
+struct JournalLoadStats {
+  std::size_t valid_records{0};
+  std::size_t corrupt_records{0};    ///< bad frame/CRC mid-file (skipped)
+  std::size_t duplicate_records{0};  ///< repeated (batch, index); first wins
+  bool torn_tail{false};             ///< trailing partial record dropped
+  bool found{false};                 ///< the journal file existed
+};
+
+/// Read-side of the journal: loads every valid record into a (batch, index)
+/// map for O(1) resume lookups.
+class ResumeIndex {
+ public:
+  /// Tolerantly load \p path. A missing file yields an empty index (fresh
+  /// start). A journal whose meta does not match \p expected (study name,
+  /// root seed, version) throws CheckError — resuming someone else's
+  /// results must fail loudly. Torn/corrupt records are logged and skipped.
+  [[nodiscard]] static ResumeIndex load(const std::string& path,
+                                        const JournalMeta& expected);
+
+  /// The record for (batch, index), or nullptr. Callers compare the
+  /// record's seed against the spec's derived seed before trusting it.
+  [[nodiscard]] const JournalRecord* find(const std::string& batch,
+                                          std::uint64_t index) const;
+
+  [[nodiscard]] const JournalLoadStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+ private:
+  static std::string key(const std::string& batch, std::uint64_t index);
+
+  std::unordered_map<std::string, JournalRecord> records_;
+  JournalLoadStats stats_;
+};
+
+}  // namespace xres::recovery

@@ -1,0 +1,279 @@
+#include "recovery/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace xres::recovery {
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw JsonParseError{"JSON value is not a bool"};
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) throw JsonParseError{"JSON value is not a number"};
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (end == nullptr || *end != '\0') throw JsonParseError{"bad number: " + scalar_};
+  return v;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) throw JsonParseError{"JSON value is not a number"};
+  if (!scalar_.empty() && scalar_[0] == '-') {
+    throw JsonParseError{"negative value for u64 field: " + scalar_};
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw JsonParseError{"bad unsigned integer: " + scalar_};
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (kind_ != Kind::kNumber) throw JsonParseError{"JSON value is not a number"};
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') throw JsonParseError{"bad integer: " + scalar_};
+  return static_cast<std::int64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw JsonParseError{"JSON value is not a string"};
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) throw JsonParseError{"JSON value is not an array"};
+  return array_;
+}
+
+const std::vector<JsonMember>& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) throw JsonParseError{"JSON value is not an object"};
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const JsonMember& m : as_object()) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw JsonParseError{"missing JSON field: " + key};
+  return *v;
+}
+
+/// Single-pass recursive-descent parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_{text} {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError{what + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (depth_ > 64) fail("JSON nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    ++depth_;
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace_back(std::move(key.scalar_), parse_value());
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') break;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_array() {
+    ++depth_;
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') break;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kString;
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The journal writer only escapes controls (< 0x20); encode the
+          // code point as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    v.scalar_ = std::move(out);
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      eat_digits();
+    }
+    if (!digits) fail("bad number");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.scalar_ = std::string{text_.substr(start, pos_ - start)};
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  int depth_{0};
+};
+
+JsonValue parse_json(std::string_view text) { return JsonParser{text}.parse_document(); }
+
+}  // namespace xres::recovery

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file json_parse.hpp
+/// Minimal recursive-descent JSON reader for the trial journal. The
+/// library's JSON *writer* (obs/json.hpp) streams; resuming a study needs
+/// the inverse: parse the records our own writer produced. This is a strict
+/// parser for that closed world — UTF-8 pass-through strings, objects,
+/// arrays, numbers, booleans, null — not a general-purpose JSON library.
+///
+/// Numbers keep their raw token text: journal payloads carry full-width
+/// 64-bit counters and shortest-round-trip doubles, and deciding u64 vs
+/// double at parse time would lose precision one way or the other. Callers
+/// ask for the interpretation they stored (`as_u64`, `as_double`).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xres::recovery {
+
+/// Thrown on malformed input. Derives from std::runtime_error (not
+/// CheckError): a corrupt journal is an expected operational condition the
+/// loader handles record by record, not a programming error.
+class JsonParseError final : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue;
+using JsonMember = std::pair<std::string, JsonValue>;
+
+/// One parsed JSON value. Object member order is preserved (the writer is
+/// deterministic, so round-trips are byte-stable).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<JsonMember>& as_object() const;
+
+  /// Object member lookup; throws JsonParseError when missing (journal
+  /// records are ours — a missing field means corruption).
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Nullptr when missing (for optional fields).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  std::string scalar_;  ///< raw number token, or decoded string
+  std::vector<JsonValue> array_;
+  std::vector<JsonMember> object_;
+};
+
+/// Parse exactly one JSON document from \p text (surrounding whitespace
+/// allowed, trailing garbage rejected). Throws JsonParseError.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace xres::recovery

@@ -1,0 +1,50 @@
+#include "recovery/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace xres::recovery {
+
+namespace {
+
+// The flag must be safe against BOTH reentrancy (the handler may interrupt
+// any thread at any point) and cross-thread visibility (worker threads poll
+// it between trials). A lock-free atomic satisfies both — atomics are
+// async-signal-safe exactly when lock-free, where volatile sig_atomic_t
+// alone would be a data race against the pollers.
+std::atomic<int> g_shutdown_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "shutdown flag must be async-signal-safe");
+
+extern "C" void on_shutdown_signal(int sig) {
+  if (g_shutdown_signal.exchange(sig, std::memory_order_relaxed) != 0) {
+    // Second signal: the user is done waiting for the drain. _Exit is
+    // async-signal-safe; 128+sig matches shell convention for fatal
+    // signals.
+    std::_Exit(128 + sig);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+}
+
+bool shutdown_requested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() { return g_shutdown_signal.load(std::memory_order_relaxed); }
+
+void request_shutdown_for_tests() {
+  g_shutdown_signal.store(SIGINT, std::memory_order_relaxed);
+}
+
+void clear_shutdown_for_tests() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace xres::recovery

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file shutdown.hpp
+/// Graceful SIGINT/SIGTERM handling for study drivers. The first signal
+/// only sets an async-signal-safe flag; the executor notices it between
+/// trials, stops handing out new work, drains the trials already in flight
+/// (so the journal never records a half-reduced batch), and the driver
+/// flushes the journal, emits a partial summary, and exits with
+/// `kExitInterrupted`. A second signal hard-exits immediately — the escape
+/// hatch when a drain itself wedges.
+
+namespace xres::recovery {
+
+/// Exit code for "interrupted cleanly, journal flushed, resumable with
+/// --resume". Chosen to match BSD's EX_TEMPFAIL ("temporary failure, retry
+/// later") and to be distinct from 0 (success), 1 (error), and 2 (CLI
+/// usage error). Documented in docs/ROBUSTNESS.md.
+inline constexpr int kExitInterrupted = 75;
+
+/// Install SIGINT/SIGTERM handlers (idempotent; call once near the top of
+/// main). Without this, signals keep their default lethal disposition.
+void install_shutdown_handlers();
+
+/// True once a shutdown signal has been received.
+[[nodiscard]] bool shutdown_requested();
+
+/// The signal number that requested shutdown (0 when none yet).
+[[nodiscard]] int shutdown_signal();
+
+// Test hooks: the executor's drain path must be testable without raising
+// real signals against the test runner.
+void request_shutdown_for_tests();
+void clear_shutdown_for_tests();
+
+}  // namespace xres::recovery

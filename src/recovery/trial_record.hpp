@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file trial_record.hpp
+/// Journal payload for one trial: the full `ExecutionResult`, an optional
+/// per-trial `MetricSet`, and the quarantine marker. Everything needed to
+/// make a resumed study indistinguishable from an uninterrupted one:
+/// numbers are rendered in shortest-round-trip form (obs/json.hpp) and
+/// parsed back to the exact same doubles, and the metric set is restored
+/// slot for slot, so spec-order reductions and `--metrics` JSON come out
+/// byte-identical.
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "runtime/result.hpp"
+
+namespace xres::obs {
+class JsonWriter;
+}
+
+namespace xres::recovery {
+
+class JsonValue;
+
+/// One journaled trial outcome.
+struct TrialOutcome {
+  ExecutionResult result{};
+  /// Set when the trial exhausted its watchdog/retry budget; the stored
+  /// result is the zero-efficiency placeholder the study reduced.
+  bool quarantined{false};
+  std::string quarantine_reason;
+  /// The trial's metrics when the run collected them (resume restores the
+  /// observer from this instead of re-simulating).
+  std::optional<obs::MetricSet> metrics;
+};
+
+/// Serialize \p outcome as one JSON object (the journal record's "p" field).
+[[nodiscard]] std::string serialize_trial_outcome(const TrialOutcome& outcome);
+
+/// Inverse of serialize_trial_outcome. Throws JsonParseError on malformed
+/// payloads and on metric payloads that do not fit the current registry
+/// (e.g. a journal written by a different binary) — callers treat either as
+/// "re-run this trial".
+[[nodiscard]] TrialOutcome parse_trial_outcome(const std::string& payload);
+
+/// MetricSet (de)serialization shared by every journal payload type: values
+/// by slot in registry order, histograms with sparse [bucket, count] pairs.
+/// read_metric_set throws JsonParseError when the payload does not fit this
+/// binary's metric registry.
+void write_metric_set(obs::JsonWriter& w, const obs::MetricSet& set);
+[[nodiscard]] obs::MetricSet read_metric_set(const JsonValue& v);
+
+}  // namespace xres::recovery

@@ -1,6 +1,7 @@
 #include "sim/simulation.hpp"
 
 #include "util/check.hpp"
+#include "util/deadline.hpp"
 
 namespace xres {
 
@@ -30,6 +31,10 @@ void Simulation::run(std::uint64_t max_events) {
   std::uint64_t executed = 0;
   while (!stop_requested_) {
     if (max_events != 0 && executed >= max_events) break;
+    // Watchdog poll (util/deadline.hpp): cheap thread-local check; throws
+    // TrialTimeoutError past the executor-armed per-trial deadline. Every
+    // 4096 events keeps the clock_gettime cost out of the hot loop.
+    if ((executed & 0xFFFU) == 0) deadline_poll();
     if (!step()) break;
     ++executed;
   }

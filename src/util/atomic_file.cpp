@@ -1,0 +1,52 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace xres {
+
+bool flush_to_disk(std::FILE* file) {
+  if (file == nullptr) return false;
+  if (std::fflush(file) != 0) return false;
+#if defined(_WIN32)
+  return _commit(_fileno(file)) == 0;
+#else
+  return ::fsync(fileno(file)) == 0;
+#endif
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  XRES_CHECK(!path.empty(), "atomic write needs a non-empty path");
+#if defined(_WIN32)
+  const std::string tmp = path + ".tmp";
+#else
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#endif
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  XRES_CHECK(f != nullptr, "cannot open " + tmp + " for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = flush_to_disk(f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    XRES_CHECK(false, "short write to " + tmp);
+  }
+#if defined(_WIN32)
+  // rename() does not replace on Windows; remove the target first.
+  std::remove(path.c_str());
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    XRES_CHECK(false, "cannot rename " + tmp + " over " + path);
+  }
+}
+
+}  // namespace xres

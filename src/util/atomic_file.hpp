@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Crash-safe whole-file writes for study artifacts (CSV, metrics JSON,
+/// traces, reports). A process killed mid-write must never leave a
+/// truncated artifact behind where a complete one is expected: the content
+/// is written to `<path>.tmp.<pid>`, flushed to disk, and renamed over
+/// \p path in one atomic step (POSIX rename semantics). Readers therefore
+/// see either the old file or the complete new file, never a partial one.
+///
+/// The trial journal (recovery/journal.hpp) deliberately does NOT use this:
+/// it is append-only by design and protects individual records with CRCs
+/// instead.
+
+#include <string>
+#include <string_view>
+
+namespace xres {
+
+/// Atomically replace \p path with \p content (plus nothing else — callers
+/// append their own trailing newline if they want one). Throws CheckError
+/// on any I/O failure; on failure the temporary file is removed and \p path
+/// is left untouched.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Flush \p file's user-space and kernel buffers to stable storage.
+/// Returns false when any step fails (callers decide whether that is
+/// fatal). \p file must be an open, writable stdio stream.
+[[nodiscard]] bool flush_to_disk(std::FILE* file);
+
+}  // namespace xres

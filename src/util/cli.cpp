@@ -71,6 +71,25 @@ bool CliParser::parse(int argc, const char* const* argv) {
   return true;
 }
 
+bool CliParser::parse_or_exit(int argc, const char* const* argv) {
+  try {
+    return parse(argc, argv);
+  } catch (const CheckError& e) {
+    // CheckError prefixes its message with "check failed: <expr> at
+    // <file>:<line> — "; a mistyped flag deserves just the human part.
+    std::string message = e.what();
+    if (const std::size_t sep = message.find(" — "); sep != std::string::npos) {
+      message = message.substr(sep + std::string{" — "}.size());
+    }
+    usage_error(message);
+  }
+}
+
+void CliParser::usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(run with --help for usage)\n", message.c_str());
+  std::exit(kExitUsage);
+}
+
 bool CliParser::flag(const std::string& key) const {
   const Option& opt = get(key);
   XRES_CHECK(opt.is_flag, "option is not a flag: " + key);
@@ -99,6 +118,23 @@ double CliParser::real(const std::string& key) const {
   XRES_CHECK(end != nullptr && *end == '\0' && !v.empty(),
              "option " + key + " expects a number, got '" + v + "'");
   return parsed;
+}
+
+void add_threads_option(CliParser& cli) {
+  cli.add_option("--threads", "trial worker threads: 'auto' (all hardware threads) "
+                 "or a positive count; results are thread-count-invariant", "auto");
+}
+
+unsigned parse_threads_option(const CliParser& cli) {
+  const std::string v = cli.str("--threads");
+  if (v == "auto") return 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0' || parsed <= 0) {
+    CliParser::usage_error("--threads expects 'auto' or a positive integer, got '" + v +
+                           "'");
+  }
+  return static_cast<unsigned>(parsed);
 }
 
 std::string CliParser::help_text() const {

@@ -28,6 +28,21 @@ class CliParser {
   /// printed to stdout); throws CheckError on unknown/malformed options.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
+  /// parse() for driver main()s: unknown options, missing values and other
+  /// usage errors print one clear line to stderr (plus a --help hint) and
+  /// exit with kExitUsage instead of throwing. Returns false if --help was
+  /// requested.
+  [[nodiscard]] bool parse_or_exit(int argc, const char* const* argv);
+
+  /// Report a post-parse usage error (an invalid value or flag combination)
+  /// the same way parse_or_exit reports parse errors: one line to stderr,
+  /// then exit(kExitUsage).
+  [[noreturn]] static void usage_error(const std::string& message);
+
+  /// Exit code for CLI usage errors (distinct from 1 = runtime error and
+  /// recovery::kExitInterrupted = 75).
+  static constexpr int kExitUsage = 2;
+
   /// True when \p key was declared via add_flag/add_option (lets shared
   /// option readers cope with harnesses that register a subset).
   [[nodiscard]] bool has_option(const std::string& key) const;
@@ -54,5 +69,14 @@ class CliParser {
   std::string summary_;
   std::vector<Option> options_;
 };
+
+/// Registers the standard `--threads` option ("auto" default) on \p cli.
+void add_threads_option(CliParser& cli);
+
+/// Reads `--threads` back after parse(): "auto" maps to 0 (all hardware
+/// threads, TrialExecutor's convention); otherwise the value must be a
+/// positive integer. Anything else — including an explicit `--threads 0`,
+/// which used to alias "auto" — exits via CliParser::usage_error.
+[[nodiscard]] unsigned parse_threads_option(const CliParser& cli);
 
 }  // namespace xres

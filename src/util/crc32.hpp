@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum
+/// trial-journal records (recovery/journal.hpp). A torn write — the tail a
+/// crashed process left behind — almost never carries a valid CRC, which is
+/// what lets the journal loader distinguish "interrupted mid-append" from
+/// "valid record".
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xres {
+
+/// CRC-32 of \p data, optionally continuing from a previous value (pass the
+/// prior result as \p seed to checksum data in chunks).
+[[nodiscard]] std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Fixed-width lowercase hex rendering ("cbf43926") used in journal lines.
+[[nodiscard]] std::string crc32_hex(std::uint32_t crc);
+
+}  // namespace xres

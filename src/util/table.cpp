@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace xres {
@@ -113,10 +113,8 @@ std::string Table::to_markdown() const {
 }
 
 void Table::write_csv(const std::string& path) const {
-  std::ofstream f{path};
-  XRES_CHECK(f.good(), "cannot open CSV output file: " + path);
-  f << to_csv();
-  XRES_CHECK(f.good(), "failed writing CSV output file: " + path);
+  // Atomic (temp + rename): a crash mid-write never leaves a torn CSV.
+  write_file_atomic(path, to_csv());
 }
 
 std::string fmt_double(double v, int precision) {

@@ -68,11 +68,22 @@
 #include "obs/trace.hpp"
 #include "obs/trial_obs.hpp"
 
+// Crash safety (docs/ROBUSTNESS.md)
+#include "recovery/journal.hpp"
+#include "recovery/json_parse.hpp"
+#include "recovery/options.hpp"
+#include "recovery/shutdown.hpp"
+#include "recovery/trial_record.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/deadline.hpp"
+
 // Study drivers
 #include "core/occupancy.hpp"
 #include "core/policy.hpp"
 #include "core/single_app_study.hpp"
 #include "core/workload_engine.hpp"
+#include "core/workload_record.hpp"
 #include "core/workload_study.hpp"
 
 namespace xres {

@@ -1,0 +1,392 @@
+// Tests for the executor's crash-safety envelope (for_each_controlled and
+// the controlled run_batch): resume determinism, watchdog timeouts, bounded
+// same-seed retry with quarantine, and graceful shutdown draining — the
+// invariants docs/ROBUSTNESS.md promises.
+
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "recovery/journal.hpp"
+#include "recovery/shutdown.hpp"
+#include "util/deadline.hpp"
+
+namespace xres {
+namespace {
+
+using recovery::BatchReport;
+using recovery::JournalMeta;
+using recovery::ResumeIndex;
+using recovery::TrialJournal;
+using recovery::TrialRecoveryOptions;
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name) : path{"/tmp/xres_" + name} {
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+JournalMeta test_meta() {
+  JournalMeta meta;
+  meta.study = "executor-test";
+  meta.root_seed = 7;
+  return meta;
+}
+
+std::vector<TrialSpec> small_specs(std::size_t count) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("C64"), 30000, 360};
+  config.technique = TechniqueKind::kMultilevel;
+  std::vector<TrialSpec> specs;
+  specs.reserve(count);
+  for (std::uint64_t t = 0; t < count; ++t) {
+    specs.push_back(TrialSpec{config, {t}});
+  }
+  return specs;
+}
+
+TEST(ForEachControlled, PlainLoopBehaviorWhenDefaulted) {
+  const TrialExecutor executor{2};
+  std::vector<int> hits(16, 0);
+  BatchReport report;
+  executor.for_each_controlled(
+      hits.size(), [&](std::size_t i) { hits[i] = 1; }, TrialLoopControl{}, &report);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(report.executed, 16U);
+  EXPECT_EQ(report.resumed, 0U);
+  EXPECT_FALSE(report.interrupted);
+}
+
+TEST(ForEachControlled, AlreadyDoneSkipsAndCounts) {
+  const TrialExecutor executor{2};
+  std::vector<int> hits(10, 0);
+  TrialLoopControl control;
+  control.already_done = [](std::size_t i) { return i % 2 == 0; };
+  BatchReport report;
+  executor.for_each_controlled(
+      hits.size(), [&](std::size_t i) { hits[i] = 1; }, control, &report);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i % 2 == 0 ? 0 : 1);
+  EXPECT_EQ(report.executed, 5U);
+  EXPECT_EQ(report.resumed, 5U);
+}
+
+TEST(ForEachControlled, RetriesTransientFailuresWithSameIndex) {
+  const TrialExecutor executor{2};
+  std::vector<std::atomic<int>> attempts(8);
+  TrialLoopControl control;
+  control.trial_attempts = 3;
+  control.quarantine = [](std::size_t, const std::string&) { FAIL(); };
+  BatchReport report;
+  executor.for_each_controlled(
+      attempts.size(),
+      [&](std::size_t i) {
+        // Index 5 fails twice, then succeeds within its attempt budget.
+        if (i == 5 && attempts[i].fetch_add(1) < 2) {
+          throw std::runtime_error{"transient"};
+        }
+      },
+      control, &report);
+  EXPECT_EQ(attempts[5].load(), 3);
+  EXPECT_EQ(report.executed, 8U);
+  EXPECT_EQ(report.retried, 2U);
+  EXPECT_EQ(report.quarantined, 0U);
+}
+
+TEST(ForEachControlled, QuarantinesAfterAttemptBudget) {
+  const TrialExecutor executor{2};
+  TrialLoopControl control;
+  control.trial_attempts = 2;
+  std::atomic<std::size_t> quarantined_index{999};
+  std::string reason;
+  control.quarantine = [&](std::size_t i, const std::string& r) {
+    quarantined_index = i;
+    reason = r;  // the hook is serialized by the executor
+  };
+  BatchReport report;
+  executor.for_each_controlled(
+      6,
+      [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error{"deterministic model bug"};
+      },
+      control, &report);
+  EXPECT_EQ(quarantined_index.load(), 3U);
+  EXPECT_NE(reason.find("deterministic model bug"), std::string::npos);
+  EXPECT_EQ(report.executed, 5U);
+  EXPECT_EQ(report.retried, 1U);
+  EXPECT_EQ(report.quarantined, 1U);
+}
+
+TEST(ForEachControlled, WithoutQuarantineExceptionsPropagate) {
+  // Historical behavior: no hook, no retries — the failure fails the loop.
+  const TrialExecutor executor{2};
+  EXPECT_THROW(
+      executor.for_each_controlled(
+          4,
+          [](std::size_t i) {
+            if (i == 1) throw std::runtime_error{"boom"};
+          },
+          TrialLoopControl{}),
+      std::runtime_error);
+}
+
+TEST(ForEachControlled, WatchdogAbortsHungUnitThenRetrySucceeds) {
+  const TrialExecutor executor{2};
+  TrialLoopControl control;
+  control.trial_timeout_seconds = 0.1;
+  control.trial_attempts = 2;
+  control.quarantine = [](std::size_t, const std::string&) {};
+  std::atomic<int> first_attempt{1};
+  BatchReport report;
+  executor.for_each_controlled(
+      3,
+      [&](std::size_t i) {
+        if (i == 1 && first_attempt.exchange(0) == 1) {
+          // A diverged trial: spins forever, but polls the deadline the way
+          // the sim engine does. The armed watchdog must unwind it.
+          while (true) deadline_poll();
+        }
+      },
+      control, &report);
+  EXPECT_EQ(report.executed, 3U);
+  EXPECT_EQ(report.retried, 1U);
+  EXPECT_EQ(report.quarantined, 0U);
+}
+
+TEST(ForEachControlled, DrainsOnShutdownSignal) {
+  recovery::clear_shutdown_for_tests();
+  recovery::request_shutdown_for_tests();
+  const TrialExecutor executor{2};
+  std::atomic<std::size_t> ran{0};
+  BatchReport report;
+  executor.for_each_controlled(
+      64, [&](std::size_t) { ran.fetch_add(1); }, TrialLoopControl{}, &report);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(ran.load(), report.executed);
+  EXPECT_LT(report.executed, 64U);
+
+  // Plain for_each never drains: its callers reduce the full result vector.
+  std::atomic<std::size_t> plain{0};
+  executor.for_each(16, [&](std::size_t) { plain.fetch_add(1); });
+  EXPECT_EQ(plain.load(), 16U);
+  recovery::clear_shutdown_for_tests();
+}
+
+TEST(ControlledRunBatch, JournalThenResumeIsByteIdentical) {
+  const TempPath tmp{"executor_resume.jsonl"};
+  const std::vector<TrialSpec> specs = small_specs(12);
+
+  // Uninterrupted reference.
+  const TrialExecutor serial{1};
+  const std::vector<ExecutionResult> reference = serial.run_batch(7, specs);
+
+  // First run journals everything.
+  BatchReport first;
+  {
+    TrialJournal journal{tmp.path, test_meta()};
+    TrialRecoveryOptions rec;
+    rec.journal = &journal;
+    const std::vector<ExecutionResult> run = TrialExecutor{3}.run_batch(
+        7, specs, {}, rec, "batch", &first);
+    ASSERT_EQ(run.size(), reference.size());
+  }
+  EXPECT_EQ(first.executed, 12U);
+  const std::string journal_after_first = read_file(tmp.path);
+
+  // Second run resumes: nothing re-simulates, results match exactly, and
+  // re-journaling the restored outcomes reproduces identical records.
+  const ResumeIndex index = ResumeIndex::load(tmp.path, test_meta());
+  ASSERT_EQ(index.size(), 12U);
+  BatchReport second;
+  std::vector<ExecutionResult> resumed;
+  {
+    TrialJournal journal{tmp.path, test_meta()};
+    TrialRecoveryOptions rec;
+    rec.journal = &journal;
+    rec.resume = &index;
+    resumed = TrialExecutor{2}.run_batch(7, specs, {}, rec, "batch", &second);
+  }
+  EXPECT_EQ(second.executed, 0U);
+  EXPECT_EQ(second.resumed, 12U);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(resumed[i].efficiency, reference[i].efficiency) << "trial " << i;
+    EXPECT_EQ(resumed[i].wall_time.to_seconds(), reference[i].wall_time.to_seconds());
+    EXPECT_EQ(resumed[i].failures_seen, reference[i].failures_seen);
+    EXPECT_EQ(resumed[i].checkpoints_completed, reference[i].checkpoints_completed);
+  }
+  // The resume run appended nothing new (all trials were restored), so the
+  // journal is byte-identical to the post-crash state.
+  EXPECT_EQ(read_file(tmp.path), journal_after_first);
+}
+
+TEST(ControlledRunBatch, PartialJournalResumesOnlyTheMissingTail) {
+  const TempPath tmp{"executor_partial.jsonl"};
+  const std::vector<TrialSpec> specs = small_specs(10);
+  const std::vector<ExecutionResult> reference = TrialExecutor{1}.run_batch(7, specs);
+
+  // Simulate a crash after 4 trials: journal only a prefix.
+  {
+    TrialJournal journal{tmp.path, test_meta()};
+    TrialRecoveryOptions rec;
+    rec.journal = &journal;
+    const std::vector<TrialSpec> prefix{specs.begin(), specs.begin() + 4};
+    (void)TrialExecutor{1}.run_batch(7, prefix, {}, rec, "batch");
+  }
+
+  const ResumeIndex index = ResumeIndex::load(tmp.path, test_meta());
+  ASSERT_EQ(index.size(), 4U);
+  TrialJournal journal{tmp.path, test_meta()};
+  TrialRecoveryOptions rec;
+  rec.journal = &journal;
+  rec.resume = &index;
+  BatchReport report;
+  const std::vector<ExecutionResult> resumed =
+      TrialExecutor{2}.run_batch(7, specs, {}, rec, "batch", &report);
+  EXPECT_EQ(report.resumed, 4U);
+  EXPECT_EQ(report.executed, 6U);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(resumed[i].efficiency, reference[i].efficiency) << "trial " << i;
+  }
+}
+
+TEST(ControlledRunBatch, StaleSeedRecordsAreReRunNotTrusted) {
+  const TempPath tmp{"executor_stale.jsonl"};
+  const std::vector<TrialSpec> specs = small_specs(6);
+  {
+    TrialJournal journal{tmp.path, test_meta()};
+    TrialRecoveryOptions rec;
+    rec.journal = &journal;
+    (void)TrialExecutor{1}.run_batch(7, specs, {}, rec, "batch");
+  }
+
+  // The sweep changed: same (batch, index) slots, different seed keys. The
+  // journal's fingerprints no longer match, so every record is stale.
+  std::vector<TrialSpec> edited = specs;
+  for (std::size_t i = 0; i < edited.size(); ++i) {
+    edited[i].seed_keys = {i + 100};
+  }
+  const ResumeIndex index = ResumeIndex::load(tmp.path, test_meta());
+  TrialRecoveryOptions rec;
+  rec.resume = &index;
+  BatchReport report;
+  const std::vector<ExecutionResult> results =
+      TrialExecutor{1}.run_batch(7, edited, {}, rec, "batch", &report);
+  EXPECT_EQ(report.resumed, 0U);
+  EXPECT_EQ(report.executed, 6U);
+  EXPECT_EQ(report.stale_records, 6U);
+  // And the results are the *edited* sweep's, not the journaled ones.
+  const std::vector<ExecutionResult> reference = TrialExecutor{1}.run_batch(7, edited);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(results[i].efficiency, reference[i].efficiency);
+  }
+}
+
+TEST(ControlledRunBatch, ResumedMetricsMatchUninterruptedByteForByte) {
+  const TempPath tmp{"executor_metrics.jsonl"};
+  const TempPath json_a{"metrics_uninterrupted.json"};
+  const TempPath json_b{"metrics_resumed.json"};
+  const std::vector<TrialSpec> specs = small_specs(8);
+
+  const auto run_observed = [&](const TrialRecoveryOptions& rec, BatchReport* report) {
+    std::vector<obs::TrialObs> observers(specs.size());
+    for (obs::TrialObs& o : observers) o.enable_metrics();
+    (void)TrialExecutor{2}.run_batch(7, specs, observers, rec, "batch", report);
+    obs::MetricSet merged;
+    for (const obs::TrialObs& o : observers) merged.merge(*o.metrics());
+    return merged;
+  };
+
+  BatchReport first;
+  {
+    TrialJournal journal{tmp.path, test_meta()};
+    TrialRecoveryOptions rec;
+    rec.journal = &journal;
+    run_observed(rec, &first).write_json(json_a.path);
+  }
+  EXPECT_EQ(first.executed, 8U);
+
+  const ResumeIndex index = ResumeIndex::load(tmp.path, test_meta());
+  TrialRecoveryOptions rec;
+  rec.resume = &index;
+  BatchReport second;
+  run_observed(rec, &second).write_json(json_b.path);
+  EXPECT_EQ(second.resumed, 8U);
+  EXPECT_EQ(second.executed, 0U);
+
+  const std::string a = read_file(json_a.path);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, read_file(json_b.path));
+}
+
+TEST(ControlledRunBatch, TraceObserverTrialsReRunOnResume) {
+  const TempPath tmp{"executor_trace.jsonl"};
+  const std::vector<TrialSpec> specs = small_specs(4);
+  {
+    TrialJournal journal{tmp.path, test_meta()};
+    TrialRecoveryOptions rec;
+    rec.journal = &journal;
+    (void)TrialExecutor{1}.run_batch(7, specs, {}, rec, "batch");
+  }
+  const ResumeIndex index = ResumeIndex::load(tmp.path, test_meta());
+  TrialRecoveryOptions rec;
+  rec.resume = &index;
+
+  // Trial 0 carries a trace observer; traces are not journaled, so it must
+  // re-simulate (deterministically) while the rest restore.
+  std::vector<obs::TrialObs> observers(specs.size());
+  observers[0].enable_trace();
+  BatchReport report;
+  (void)TrialExecutor{1}.run_batch(7, specs, observers, rec, "batch", &report);
+  EXPECT_EQ(report.executed, 1U);
+  EXPECT_EQ(report.resumed, 3U);
+  ASSERT_NE(observers[0].trace(), nullptr);
+  EXPECT_FALSE(observers[0].trace()->empty());
+}
+
+TEST(ControlledRunBatch, QuarantinedTrialYieldsZeroPlaceholderAndRecord) {
+  // Force every attempt to time out instantly via an impossible watchdog.
+  const TempPath tmp{"executor_quarantine.jsonl"};
+  const std::vector<TrialSpec> specs = small_specs(3);
+  TrialJournal journal{tmp.path, test_meta()};
+  TrialRecoveryOptions rec;
+  rec.journal = &journal;
+  rec.trial_timeout_seconds = 1e-9;
+  rec.trial_attempts = 2;
+  ASSERT_TRUE(rec.quarantine_enabled());
+  BatchReport report;
+  const std::vector<ExecutionResult> results =
+      TrialExecutor{1}.run_batch(7, specs, {}, rec, "batch", &report);
+  journal.flush();
+
+  // Whether a 1ns deadline fires before any poll is timing-dependent, but
+  // every trial either completed honestly or was quarantined with a zero
+  // placeholder — and the journal holds exactly one record per trial.
+  EXPECT_EQ(report.executed + report.quarantined, 3U);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_GE(results[i].efficiency, 0.0);
+  }
+  const ResumeIndex index = ResumeIndex::load(tmp.path, test_meta());
+  EXPECT_EQ(index.size(), 3U);
+}
+
+}  // namespace
+}  // namespace xres

@@ -32,4 +32,58 @@ trap 'rm -rf "$OBS_TMP"' EXIT
   > /dev/null
 test -s "$OBS_TMP/m.json" && test -s "$OBS_TMP/t.json"
 
+# Crash-safety (docs/ROBUSTNESS.md): SIGKILL a threaded, journaled study
+# mid-run, resume it, and require the report and --metrics JSON to be
+# byte-identical to an uninterrupted golden run. Also checks graceful
+# SIGTERM: drain, flush, exit 75, then a resume that completes the study.
+crash_resume_check() {
+  local xres_bin="$1" tag="$2" trials="$3" kill_after="$4"
+  local dir="$OBS_TMP/resume-$tag"
+  mkdir -p "$dir"
+  local args=(efficiency --type C64 --trials "$trials" --seed 99 --threads 4)
+
+  "$xres_bin" "${args[@]}" --metrics "$dir/golden.json" > "$dir/golden.txt"
+
+  # Hard kill mid-run. If the race is lost and the run finishes first, the
+  # resume below degenerates to a full journal replay — still a valid check.
+  "$xres_bin" "${args[@]}" --journal "$dir/j.jsonl" --metrics "$dir/void.json" \
+    > /dev/null 2>&1 &
+  local pid=$!
+  sleep "$kill_after"
+  kill -9 "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+  test -s "$dir/j.jsonl"
+
+  "$xres_bin" "${args[@]}" --journal "$dir/j.jsonl" --resume \
+    --metrics "$dir/resumed.json" > "$dir/resumed.txt"
+  # Drop the recovery banner and the artifact-path line (the paths differ by
+  # construction; the artifact bytes are compared with cmp below).
+  local filter=(grep -v -e '^journal ' -e '^recovery: ' -e '^metrics written to ')
+  "${filter[@]}" "$dir/golden.txt" > "$dir/golden-clean.txt"
+  "${filter[@]}" "$dir/resumed.txt" > "$dir/resumed-clean.txt"
+  cmp "$dir/golden-clean.txt" "$dir/resumed-clean.txt"
+  cmp "$dir/golden.json" "$dir/resumed.json"
+  "$xres_bin" journal "$dir/j.jsonl" > /dev/null
+
+  # Graceful shutdown: SIGTERM must drain, flush and exit 75 (or win the
+  # race and exit 0), and the journal must then resume cleanly.
+  "$xres_bin" "${args[@]}" --journal "$dir/j2.jsonl" --metrics "$dir/void2.json" \
+    > /dev/null 2>&1 &
+  pid=$!
+  sleep "$kill_after"
+  kill -TERM "$pid" 2> /dev/null || true
+  local rc=0
+  wait "$pid" || rc=$?
+  if [[ "$rc" != 75 && "$rc" != 0 ]]; then
+    echo "crash+resume ($tag): expected exit 75 (interrupted) or 0, got $rc" >&2
+    return 1
+  fi
+  "$xres_bin" "${args[@]}" --journal "$dir/j2.jsonl" --resume \
+    --metrics "$dir/resumed2.json" > /dev/null
+  cmp "$dir/golden.json" "$dir/resumed2.json"
+  echo "crash+resume ($tag): OK (SIGTERM exit $rc)"
+}
+crash_resume_check "$BUILD"/tools/xres normal 1500 1
+crash_resume_check "$TSAN_BUILD"/tools/xres tsan 200 2
+
 echo "tier-1 OK"

@@ -12,6 +12,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "xres.hpp"
@@ -19,6 +23,85 @@
 namespace {
 
 using namespace xres;
+
+// Crash-safety flags and a minimal coordinator (docs/ROBUSTNESS.md). The
+// CLI links only the library — not the bench harness — so it carries its
+// own copy of the wiring; bench/common.cpp has the harness version.
+void add_recovery_flags(CliParser& cli) {
+  cli.add_option("--journal", "stream completed trials to this write-ahead journal "
+                 "(crash-safe; see docs/ROBUSTNESS.md)", "");
+  cli.add_flag("--resume", "skip trials already recorded in --journal and reproduce "
+               "the uninterrupted output byte for byte");
+  cli.add_option("--trial-timeout", "watchdog: seconds of wall time per trial attempt "
+                 "before it is aborted (0 = no watchdog)", "0");
+  cli.add_option("--trial-retries", "extra same-seed attempts for a failed or "
+                 "timed-out trial before it is quarantined", "0");
+}
+
+struct CliRecovery {
+  std::optional<recovery::ResumeIndex> index;
+  std::unique_ptr<recovery::TrialJournal> journal;
+  recovery::BatchReport report;
+  double timeout{0.0};
+  unsigned attempts{1};
+  bool any{false};
+
+  CliRecovery(const CliParser& cli, std::string study, std::uint64_t root_seed) {
+    const std::string path = cli.str("--journal");
+    const bool resume = cli.flag("--resume");
+    timeout = cli.real("--trial-timeout");
+    const std::int64_t retries = cli.integer("--trial-retries");
+    if (resume && path.empty()) {
+      CliParser::usage_error("--resume needs --journal <path> (nothing to resume from)");
+    }
+    if (timeout < 0.0) CliParser::usage_error("--trial-timeout must be >= 0 seconds");
+    if (retries < 0 || retries > 100) {
+      CliParser::usage_error("--trial-retries must be in [0, 100]");
+    }
+    attempts = static_cast<unsigned>(retries) + 1;
+    any = !path.empty() || timeout > 0.0 || retries > 0;
+    if (path.empty()) return;
+
+    recovery::JournalMeta meta;
+    meta.study = std::move(study);
+    meta.root_seed = root_seed;
+    if (resume) {
+      index.emplace(recovery::ResumeIndex::load(path, meta));
+      std::printf("journal %s: %zu trial(s) to resume\n", path.c_str(), index->size());
+    } else {
+      // A fresh run replaces a stale journal: appending would let a later
+      // --resume resurrect the previous run's records.
+      std::remove(path.c_str());
+    }
+    journal = std::make_unique<recovery::TrialJournal>(path, meta);
+    recovery::install_shutdown_handlers();
+  }
+
+  [[nodiscard]] recovery::TrialRecoveryOptions options() const {
+    recovery::TrialRecoveryOptions options;
+    options.journal = journal.get();
+    options.resume = index.has_value() ? &*index : nullptr;
+    options.trial_timeout_seconds = timeout;
+    options.trial_attempts = attempts;
+    return options;
+  }
+
+  [[nodiscard]] int finish() {
+    if (journal != nullptr) journal->flush();
+    if (any || report.interrupted) {
+      std::printf("recovery: %s\n", report.summary().c_str());
+    }
+    if (report.interrupted) {
+      std::printf("interrupted by signal %d — journal flushed", recovery::shutdown_signal());
+      if (journal != nullptr) {
+        std::printf("; resume with --journal %s --resume", journal->path().c_str());
+      }
+      std::printf("\n");
+      return recovery::kExitInterrupted;
+    }
+    return 0;
+  }
+};
 
 // Shared observability flags (docs/OBSERVABILITY.md). --metrics and
 // --trace artifacts are deterministic functions of the seed, byte-identical
@@ -54,12 +137,13 @@ int cmd_efficiency(int argc, const char* const* argv) {
   cli.add_option("--trials", "trials per cell", "50");
   cli.add_option("--baseline-hours", "delay-free execution time", "24");
   cli.add_option("--seed", "root RNG seed", "20170529");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   cli.add_flag("--chart", "render ASCII bars");
   cli.add_option("--metrics", "write deterministic study metrics JSON here", "");
   cli.add_option("--trace", "write a Chrome trace-event JSON (Perfetto) here", "");
+  add_recovery_flags(cli);
   add_log_level_option(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   apply_log_level_option(cli);
   const std::string metrics_path = cli.str("--metrics");
   const std::string trace_path = cli.str("--trace");
@@ -70,11 +154,16 @@ int cmd_efficiency(int argc, const char* const* argv) {
   config.baseline = Duration::hours(cli.real("--baseline-hours"));
   config.trials = static_cast<std::uint32_t>(cli.integer("--trials"));
   config.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  config.threads = static_cast<unsigned>(cli.integer("--threads"));
+  config.threads = parse_threads_option(cli);
   config.collect_metrics = !metrics_path.empty();
   config.collect_trace = !trace_path.empty();
 
+  CliRecovery rec{cli, "xres efficiency", config.seed};
+  config.recovery = rec.options();
+
   const EfficiencyStudyResult result = run_efficiency_study(config);
+  rec.report.merge(result.recovery_report);
+  if (rec.report.interrupted) return rec.finish();  // withhold partial output
   std::printf("%s", result.to_table().to_text().c_str());
   if (!metrics_path.empty()) {
     std::printf("\nInstrumented breakdown (per technique, whole study):\n%s",
@@ -99,7 +188,7 @@ int cmd_efficiency(int argc, const char* const* argv) {
     }
     std::printf("\n%s", chart.render(50, 1.0).c_str());
   }
-  return 0;
+  return rec.finish();
 }
 
 int cmd_workload(int argc, const char* const* argv) {
@@ -113,17 +202,18 @@ int cmd_workload(int argc, const char* const* argv) {
                  "unbiased | high-memory | high-communication | large-apps",
                  "unbiased");
   cli.add_option("--seed", "root RNG seed", "20170530");
-  cli.add_option("--threads", "worker threads (0 = all hardware threads)", "0");
+  add_threads_option(cli);
   cli.add_option("--metrics", "write deterministic study metrics JSON here", "");
+  add_recovery_flags(cli);
   add_log_level_option(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   apply_log_level_option(cli);
   const std::string metrics_path = cli.str("--metrics");
 
   WorkloadStudyConfig study;
   study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
   study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  study.threads = static_cast<unsigned>(cli.integer("--threads"));
+  study.threads = parse_threads_option(cli);
   study.collect_metrics = !metrics_path.empty();
   study.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
   const std::string bias = cli.str("--bias");
@@ -139,11 +229,19 @@ int cmd_workload(int argc, const char* const* argv) {
                  : technique == "none"    ? TechniquePolicy::ideal_baseline()
                  : TechniquePolicy::fixed_technique(technique_from_string(technique));
 
+  CliRecovery rec{cli, "xres workload", study.seed};
+  study.recovery = rec.options();
+
+  recovery::BatchReport report;
   const auto results = run_workload_study(
-      study, {combo}, [](std::size_t done, std::size_t total) {
+      study, {combo},
+      [](std::size_t done, std::size_t total) {
         std::fprintf(stderr, "\r  pattern %zu/%zu", done, total);
         if (done == total) std::fprintf(stderr, "\n");
-      });
+      },
+      &report);
+  rec.report.merge(report);
+  if (rec.report.interrupted) return rec.finish();  // withhold partial output
   std::printf("%s", workload_results_table(results).to_text().c_str());
   if (!metrics_path.empty()) {
     obs::MetricSet merged;
@@ -154,7 +252,7 @@ int cmd_workload(int argc, const char* const* argv) {
     merged.write_json(metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
-  return 0;
+  return rec.finish();
 }
 
 int cmd_advise(int argc, const char* const* argv) {
@@ -164,7 +262,7 @@ int cmd_advise(int argc, const char* const* argv) {
   cli.add_option("--baseline-hours", "delay-free execution time", "24");
   cli.add_option("--mtbf-years", "per-node MTBF", "10");
   add_log_level_option(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   apply_log_level_option(cli);
 
   const MachineSpec machine = MachineSpec::exascale();
@@ -202,7 +300,7 @@ int cmd_trace(int argc, const char* const* argv) {
   cli.add_option("--seed", "RNG seed", "1");
   cli.add_option("--out", "output path (empty: stdout)", "");
   add_log_level_option(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!cli.parse_or_exit(argc, argv)) return 0;
   apply_log_level_option(cli);
 
   const Rate rate = Rate::one_per(Duration::years(cli.real("--mtbf-years"))) *
@@ -225,6 +323,73 @@ int cmd_trace(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_journal(int argc, const char* const* argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs("usage: xres journal <path>\n\n"
+               "inspect a write-ahead trial journal (docs/ROBUSTNESS.md): print the\n"
+               "owning study, per-batch record counts, and any corruption observed\n",
+               argc < 2 ? stderr : stdout);
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string path = argv[1];
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(std::move(line));
+
+  bool saw_meta = false;
+  std::size_t corrupt = 0;
+  std::size_t quarantined = 0;
+  bool torn_tail = false;
+  std::map<std::string, std::size_t> batches;  // sorted for stable output
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::string record_json;
+    try {
+      if (!recovery::unframe_journal_line(lines[li], record_json)) {
+        throw recovery::JsonParseError{"bad frame"};
+      }
+      const recovery::JsonValue record = recovery::parse_json(record_json);
+      if (record.find("journal") != nullptr) {
+        std::printf("journal:   %s (format v%llu)\n", record.at("journal").as_string().c_str(),
+                    static_cast<unsigned long long>(record.at("v").as_u64()));
+        std::printf("study:     %s\n", record.at("study").as_string().c_str());
+        std::printf("root seed: %llu\n",
+                    static_cast<unsigned long long>(record.at("root_seed").as_u64()));
+        saw_meta = true;
+        continue;
+      }
+      batches[record.at("b").as_string()] += 1;
+      const recovery::JsonValue* q = record.at("p").find("quarantined");
+      if (q != nullptr && q->as_bool()) ++quarantined;
+    } catch (const recovery::JsonParseError&) {
+      if (li + 1 == lines.size()) {
+        torn_tail = true;  // the usual SIGKILL artifact — dropped on resume
+      } else {
+        ++corrupt;
+      }
+    }
+  }
+  if (!saw_meta) {
+    std::fprintf(stderr, "error: %s is not an xres trial journal (no meta record)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::size_t total = 0;
+  for (const auto& [batch, count] : batches) {
+    std::printf("batch %-24s %zu record(s)\n", ("'" + batch + "':").c_str(), count);
+    total += count;
+  }
+  std::printf("total:     %zu record(s)", total);
+  if (quarantined != 0) std::printf(", %zu quarantined", quarantined);
+  if (corrupt != 0) std::printf(", %zu corrupt (skipped on resume)", corrupt);
+  if (torn_tail) std::printf(", torn tail (dropped on resume)");
+  std::printf("\n");
+  return 0;
+}
+
 void print_usage() {
   std::fputs(
       "usage: xres <command> [options]\n\n"
@@ -233,7 +398,8 @@ void print_usage() {
       "  efficiency  technique-efficiency sweep over application sizes\n"
       "  workload    oversubscribed-machine dropped-applications study\n"
       "  advise      recommend a resilience technique for an application\n"
-      "  trace       generate a failure trace CSV\n\n"
+      "  trace       generate a failure trace CSV\n"
+      "  journal     inspect a --journal write-ahead trial journal\n\n"
       "run 'xres <command> --help' for per-command options\n",
       stdout);
 }
@@ -255,6 +421,7 @@ int main(int argc, char** argv) {
     if (command == "workload") return cmd_workload(sub_argc, sub_argv);
     if (command == "advise") return cmd_advise(sub_argc, sub_argv);
     if (command == "trace") return cmd_trace(sub_argc, sub_argv);
+    if (command == "journal") return cmd_journal(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;
