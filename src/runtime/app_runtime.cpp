@@ -86,11 +86,15 @@ void ResilientAppRuntime::cancel_pending() {
 }
 
 void ResilientAppRuntime::schedule_phase(Duration nominal, bool shared_pfs,
-                                         std::function<void()> done) {
+                                         EventCallback done) {
   XRES_CHECK(!has_pending_, "phase scheduled while another is pending");
-  auto wrapped = [this, done = std::move(done)] {
+  // The handler is moved to a local before running: `done` re-enters
+  // schedule_phase for the next phase, which repopulates phase_done_.
+  phase_done_ = std::move(done);
+  auto wrapped = [this] {
     has_pending_ = false;
-    done();
+    EventCallback handler = std::move(phase_done_);
+    handler();
   };
   if (shared_pfs && pfs_service_ != nullptr) {
     if (obs_ != nullptr) obs_->count(obs::builtin_metrics().pfs_phases);

@@ -119,8 +119,9 @@ class ResilientAppRuntime {
 
   /// Schedule the current phase's completion: a plain timer, or a shared
   /// PFS transfer when the phase moves data through the file system and a
-  /// service is attached.
-  void schedule_phase(Duration nominal, bool shared_pfs, std::function<void()> done);
+  /// service is attached. \p done is parked in phase_done_ so the scheduled
+  /// closure captures only `this` (stays inline in SmallCallback's buffer).
+  void schedule_phase(Duration nominal, bool shared_pfs, EventCallback done);
   void complete();
   void abort_on_timeout();
 
@@ -195,6 +196,8 @@ class ResilientAppRuntime {
   TransferService::TransferHandle pending_transfer_{};
   bool pending_is_transfer_{false};
   bool has_pending_{false};
+  /// Completion handler of the in-flight phase (see schedule_phase).
+  EventCallback phase_done_;
   EventId timeout_event_{};
   bool has_timeout_{false};
 

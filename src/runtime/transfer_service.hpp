@@ -13,7 +13,6 @@
 /// down.
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/shared_channel.hpp"
 #include "sim/simulation.hpp"
@@ -24,7 +23,7 @@ namespace xres {
 class TransferService {
  public:
   using TransferHandle = std::uint64_t;
-  using CompletionCallback = std::function<void()>;
+  using CompletionCallback = EventCallback;
 
   virtual ~TransferService() = default;
 

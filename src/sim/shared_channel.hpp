@@ -17,7 +17,6 @@
 /// (contention appears beyond `gateways` concurrent checkpoints).
 
 #include <cstdint>
-#include <functional>
 #include <map>
 
 #include "sim/simulation.hpp"
@@ -28,7 +27,7 @@ namespace xres {
 class SharedChannel {
  public:
   using TransferId = std::uint64_t;
-  using CompletionCallback = std::function<void()>;
+  using CompletionCallback = EventCallback;
 
   SharedChannel(Simulation& sim, Bandwidth capacity, Bandwidth per_stream_cap);
 

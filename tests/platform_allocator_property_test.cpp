@@ -1,0 +1,158 @@
+// Property test for the contiguous first-fit node allocator.
+//
+// Random allocate/release sequences run against a reference model that
+// tracks per-node occupancy in a plain bitmap — slow but obviously
+// correct. After every operation the allocator must agree with the model
+// on free/busy totals and per-node occupancy, placements must be exactly
+// the first (lowest-address) fit the bitmap can see, and the allocator's
+// own validate() must keep accepting its free-list (disjoint, sorted,
+// coalesced — the invariants release() restores by merging neighbors).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "platform/allocator.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+namespace {
+
+/// Obviously-correct reference: one bool per node.
+class BitmapModel {
+ public:
+  explicit BitmapModel(std::uint32_t capacity) : busy_(capacity, false) {}
+
+  /// First-fit over the raw bitmap.
+  std::optional<NodeRange> allocate(std::uint32_t count) {
+    if (count == 0 || count > busy_.size()) return std::nullopt;
+    std::uint32_t run = 0;
+    for (std::uint32_t node = 0; node < busy_.size(); ++node) {
+      run = busy_[node] ? 0 : run + 1;
+      if (run == count) {
+        const NodeRange range{node + 1 - count, count};
+        set(range, true);
+        return range;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void release(NodeRange range) { set(range, false); }
+
+  [[nodiscard]] bool is_free(std::uint32_t node) const { return !busy_[node]; }
+
+  [[nodiscard]] std::uint32_t free_count() const {
+    std::uint32_t total = 0;
+    for (const bool b : busy_) total += b ? 0 : 1;
+    return total;
+  }
+
+  [[nodiscard]] std::uint32_t largest_free_block() const {
+    std::uint32_t best = 0;
+    std::uint32_t run = 0;
+    for (const bool b : busy_) {
+      run = b ? 0 : run + 1;
+      if (run > best) best = run;
+    }
+    return best;
+  }
+
+ private:
+  void set(NodeRange range, bool value) {
+    for (std::uint32_t node = range.first; node < range.end(); ++node) {
+      ASSERT_NE(busy_[node], value) << "model saw overlap at node " << node;
+      busy_[node] = value;
+    }
+  }
+
+  std::vector<bool> busy_;
+};
+
+void run_churn(std::uint64_t seed, std::uint32_t capacity, int ops) {
+  Pcg32 rng{seed};
+  NodeAllocator alloc{capacity};
+  BitmapModel model{capacity};
+  std::vector<NodeRange> held;
+
+  for (int op = 0; op < ops; ++op) {
+    const bool do_alloc = held.empty() || rng.bernoulli(0.55);
+    if (do_alloc) {
+      // Mix tiny and huge requests so both fragmentation and full-capacity
+      // rejection paths run.
+      const auto count = static_cast<std::uint32_t>(
+          rng.bernoulli(0.1) ? rng.uniform_int(1, static_cast<std::int64_t>(capacity))
+                             : rng.uniform_int(1, static_cast<std::int64_t>(capacity / 16 + 1)));
+      const auto got = alloc.allocate(count);
+      const auto want = model.allocate(count);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "count " << count;
+      if (got.has_value()) {
+        // First fit, lowest address: the placement is fully determined.
+        EXPECT_EQ(*got, *want);
+        held.push_back(*got);
+      }
+    } else {
+      const auto idx =
+          static_cast<std::size_t>(rng.next_below(static_cast<std::uint32_t>(held.size())));
+      alloc.release(held[idx]);
+      model.release(held[idx]);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+
+    // Node conservation + agreement with the model.
+    ASSERT_EQ(alloc.free_count(), model.free_count());
+    ASSERT_EQ(alloc.busy_count(), capacity - alloc.free_count());
+    ASSERT_NO_THROW(alloc.validate());  // free list disjoint/sorted/coalesced
+    if ((op & 0xF) == 0) {
+      EXPECT_EQ(alloc.largest_free_block(), model.largest_free_block());
+      const std::uint32_t probe = rng.next_below(capacity);
+      EXPECT_EQ(alloc.is_free(probe), model.is_free(probe));
+    }
+    if (testing::Test::HasFatalFailure()) return;
+  }
+
+  // Release everything: the allocator must coalesce back to one block.
+  for (const NodeRange range : held) {
+    alloc.release(range);
+    model.release(range);
+  }
+  EXPECT_EQ(alloc.free_count(), capacity);
+  EXPECT_EQ(alloc.largest_free_block(), capacity);
+  ASSERT_NO_THROW(alloc.validate());
+}
+
+TEST(NodeAllocatorProperty, RandomChurnMatchesBitmapModel) {
+  for (const std::uint64_t seed : {5U, 6U, 7U}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_churn(seed, 512, 4000);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(NodeAllocatorProperty, SmallCapacityEdgeCases) {
+  // Tiny machines hit the boundary paths (exact fit, full machine, single
+  // node) far more often.
+  for (const std::uint64_t seed : {8U, 9U}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_churn(seed, 17, 2500);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(NodeAllocatorProperty, DoubleFreeIsRejected) {
+  NodeAllocator alloc{64};
+  const auto range = alloc.allocate(16);
+  ASSERT_TRUE(range.has_value());
+  alloc.release(*range);
+  EXPECT_THROW(alloc.release(*range), CheckError);
+  // Releasing a range overlapping free space is also rejected.
+  const auto again = alloc.allocate(8);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_THROW(alloc.release(NodeRange{again->first, again->count + 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace xres

@@ -66,6 +66,68 @@ TEST(EventQueue, RejectsEmptyCallback) {
   EXPECT_THROW(q.schedule(at(1.0), EventCallback{}), CheckError);
 }
 
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  // Regression: the runtime holds on to completion-event ids across
+  // failures; cancelling one whose event already fired must be a safe
+  // no-op, not a hit on whatever reused the slot.
+  EventQueue q;
+  const EventId id = q.schedule(at(1.0), [] {});
+  const auto fired = q.pop();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->id, id);
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));
+  // The slot is recycled by the next schedule; the stale id must still be
+  // rejected rather than cancelling the new occupant.
+  const EventId fresh = q.schedule(at(2.0), [] {});
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.pending(fresh));
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(EventQueue, ForeignQueueIdIsRejected) {
+  // Regression: pending()/cancel() with another queue's id (or a
+  // value-initialized one) must be safe and answer false, whatever state
+  // either queue is in.
+  EventQueue a;
+  EventQueue b;
+  const EventId in_a = a.schedule(at(1.0), [] {});
+  b.schedule(at(1.0), [] {});
+  EXPECT_FALSE(b.pending(in_a));
+  EXPECT_FALSE(b.cancel(in_a));
+  EXPECT_FALSE(a.pending(EventId{}));
+  EXPECT_FALSE(a.cancel(EventId{}));
+  EXPECT_TRUE(a.pending(in_a));  // still live in its own queue
+  EXPECT_EQ(b.size(), 1U);
+}
+
+TEST(EventQueue, StaleIdStaysDeadAcrossSlotReuse) {
+  // Cancel an event, then keep recycling its slot: every older handle for
+  // the slot must remain dead while the current one works.
+  EventQueue q;
+  const EventId first = q.schedule(at(1.0), [] {});
+  ASSERT_TRUE(q.cancel(first));
+  std::vector<EventId> stale{first};
+  for (int round = 0; round < 16; ++round) {
+    const EventId current = q.schedule(at(1.0 + round), [] {});
+    for (const EventId old : stale) {
+      EXPECT_FALSE(q.pending(old));
+      EXPECT_FALSE(q.cancel(old));
+    }
+    EXPECT_TRUE(q.pending(current));
+    if (round % 2 == 0) {
+      ASSERT_TRUE(q.cancel(current));
+    } else {
+      const auto fired = q.pop();
+      ASSERT_TRUE(fired.has_value());
+      EXPECT_EQ(fired->id, current);
+    }
+    stale.push_back(current);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(Simulation, ClockAdvancesWithEvents) {
   Simulation sim;
   EXPECT_EQ(sim.now(), TimePoint::origin());

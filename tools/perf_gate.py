@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI perf gate: diff a BENCH_engine.json run against the committed baseline.
+
+Usage:
+    tools/perf_gate.py BENCH_engine.json [--baseline bench/BENCH_engine.baseline.json]
+                       [--threshold 0.15]
+
+Compares cpu_s_per_iter per benchmark and fails (exit 1) when any benchmark
+regresses by more than the threshold (default 15%, chosen to sit above
+shared-runner noise — see docs/PERFORMANCE.md for the gate policy and the
+baseline update procedure). Benchmarks present in the baseline but missing
+from the run also fail; new benchmarks are reported but pass (commit a
+refreshed baseline to start tracking them).
+
+Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "xres-bench-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    rows: dict[str, float] = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("error"):
+            raise SystemExit(f"{path}: benchmark {row.get('name')!r} recorded an error")
+        name = row["name"]
+        cpu = row.get("cpu_s_per_iter", 0.0)
+        if cpu <= 0.0:
+            raise SystemExit(f"{path}: benchmark {name!r} has no positive cpu_s_per_iter")
+        # With --benchmark_repetitions the summary holds one row per
+        # repetition under the same name; keep the fastest. Wall-clock noise
+        # is one-sided (co-runners only slow you down), so min-of-N is the
+        # stable estimator on a shared machine.
+        rows[name] = min(cpu, rows.get(name, cpu))
+    if not rows:
+        raise SystemExit(f"{path}: no benchmarks recorded")
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", help="BENCH_engine.json produced by bench/perf_engine")
+    parser.add_argument(
+        "--baseline",
+        default="bench/BENCH_engine.baseline.json",
+        help="committed baseline summary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max tolerated slowdown fraction, e.g. 0.15 = 15%% (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    run = load_rows(args.run)
+
+    failures: list[str] = []
+    width = max(len(name) for name in baseline.keys() | run.keys())
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'run':>12}  {'delta':>8}")
+    for name in sorted(baseline):
+        base_cpu = baseline[name]
+        if name not in run:
+            print(f"{name:<{width}}  {base_cpu:>12.3e}  {'MISSING':>12}  {'':>8}")
+            failures.append(f"{name}: present in baseline but missing from run")
+            continue
+        cpu = run[name]
+        delta = cpu / base_cpu - 1.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            failures.append(
+                f"{name}: {cpu:.3e}s vs baseline {base_cpu:.3e}s "
+                f"(+{delta:.1%} > {args.threshold:.0%})"
+            )
+        print(f"{name:<{width}}  {base_cpu:>12.3e}  {cpu:>12.3e}  {delta:>+7.1%}{marker}")
+    for name in sorted(run.keys() - baseline.keys()):
+        print(f"{name:<{width}}  {'(new)':>12}  {run[name]:>12.3e}  {'':>8}")
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build and run the full test suite, then
 # rebuild the library + tests under ThreadSanitizer and run the executor
-# tests (the only concurrent code path) under it.
+# tests (the only concurrent code path) plus the event-queue oracle under
+# it. Also replays a small study twice (and across thread counts) and
+# requires byte-identical artifacts — the determinism contract the event
+# engine must uphold.
 #
 #   tools/tier1.sh [build-dir] [tsan-build-dir]
+#
+# Set XRES_PERF_GATE=1 to additionally run the engine microbenchmarks and
+# diff them against bench/BENCH_engine.baseline.json (>15% regression
+# fails; see docs/PERFORMANCE.md for the policy and baseline procedure).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,7 +28,7 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 cmake -B "$TSAN_BUILD" -S . -DXRES_TSAN=ON \
   -DXRES_BUILD_BENCH=OFF -DXRES_BUILD_EXAMPLES=OFF -DXRES_BUILD_TOOLS=ON
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
-ctest --test-dir "$TSAN_BUILD" --output-on-failure -R "TrialExecutor|Integration|Obs"
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -R "TrialExecutor|Integration|Obs|SimOracle"
 
 # Observability smoke under TSAN: a threaded study with per-trial metrics
 # and tracing enabled exercises the observer hand-off between workers.
@@ -85,5 +92,47 @@ crash_resume_check() {
 }
 crash_resume_check "$BUILD"/tools/xres normal 1500 1
 crash_resume_check "$TSAN_BUILD"/tools/xres tsan 200 2
+
+# Determinism golden check: the same seeded study must produce byte-for-byte
+# identical report, metrics and trace on a repeat run, and the report +
+# metrics must not depend on the worker-thread count. This is the replay
+# contract every event-engine change has to preserve.
+determinism_check() {
+  local dir="$OBS_TMP/determinism"
+  mkdir -p "$dir"
+  local args=(efficiency --type A32 --trials 64 --seed 7)
+  "$BUILD"/tools/xres "${args[@]}" --threads 1 \
+    --metrics "$dir/m1a.json" --trace "$dir/t1a.json" > "$dir/r1a.txt"
+  "$BUILD"/tools/xres "${args[@]}" --threads 1 \
+    --metrics "$dir/m1b.json" --trace "$dir/t1b.json" > "$dir/r1b.txt"
+  "$BUILD"/tools/xres "${args[@]}" --threads 4 \
+    --metrics "$dir/m4.json" > "$dir/r4.txt"
+  # The reports differ only in the artifact-path lines (the file names are
+  # different by construction); the artifact bytes themselves are compared
+  # with cmp below.
+  local filter=(grep -v -e '^metrics written to ' -e '^trace written to ')
+  "${filter[@]}" "$dir/r1a.txt" > "$dir/r1a-clean.txt"
+  "${filter[@]}" "$dir/r1b.txt" > "$dir/r1b-clean.txt"
+  "${filter[@]}" "$dir/r4.txt" > "$dir/r4-clean.txt"
+  cmp "$dir/r1a-clean.txt" "$dir/r1b-clean.txt"
+  cmp "$dir/m1a.json" "$dir/m1b.json"
+  cmp "$dir/t1a.json" "$dir/t1b.json"
+  cmp "$dir/r1a-clean.txt" "$dir/r4-clean.txt"
+  cmp "$dir/m1a.json" "$dir/m4.json"
+  echo "determinism: OK (repeat + threads 1 vs 4 byte-identical)"
+}
+determinism_check
+
+# Opt-in perf gate: compare engine microbenchmarks against the committed
+# baseline. Off by default — shared/loaded runners are too noisy to block
+# every run on wall-clock numbers.
+if [[ "${XRES_PERF_GATE:-0}" == "1" ]]; then
+  cmake --build "$BUILD" -j "$(nproc)" --target perf_engine
+  "$BUILD"/bench/perf_engine --benchmark_min_time=0.2 --benchmark_repetitions=5 \
+    --benchmark_filter='BM_EventQueue|BM_Simulation|BM_SingleAppTrialFailureHeavy' \
+    --out "$OBS_TMP/BENCH_engine.json"
+  python3 tools/perf_gate.py "$OBS_TMP/BENCH_engine.json" \
+    --baseline bench/BENCH_engine.baseline.json
+fi
 
 echo "tier-1 OK"
