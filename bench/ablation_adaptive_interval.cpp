@@ -7,29 +7,23 @@
 // Figure-3 sensitivity analysis.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "resilience/planner.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_adaptive_interval — static vs adaptive Eq.-4 interval "
-                "under misspecified MTBF"};
-  cli.add_option("--trials", "trials per cell", "40");
-  cli.add_option("--seed", "root RNG seed", "15");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_adaptive_interval", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   const MachineSpec machine = MachineSpec::exascale();
   const AppSpec app{app_type_by_name("B32"), 60000, 1440};
@@ -88,3 +82,21 @@ int main(int argc, char** argv) {
               "it is right)\n");
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_adaptive_interval";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "static vs. adaptive Eq.-4 checkpoint interval under misspecified MTBF";
+  def.summary = "ablation_adaptive_interval — static vs adaptive Eq.-4 interval "
+                "under misspecified MTBF";
+  def.options.default_seed = 15;
+  def.params = {{"trials", "trials per cell", study::ParamSpec::Type::kInt, "40", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -4,26 +4,21 @@
 // and converts a growing fraction of events into contiguous-block bursts.
 
 #include <cstdio>
+#include <vector>
 
-#include "common.hpp"
 #include "core/workload_study.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_burst_failures — dropped %% vs correlated-failure mix"};
-  cli.add_option("--patterns", "arrival patterns per cell", "15");
-  cli.add_option("--burst-width", "nodes per burst (cabinet size)", "512");
-  cli.add_option("--seed", "root RNG seed", "20170530");
-  bench::add_obs_options(cli, /*with_trace=*/false);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
-  const auto width = static_cast<std::uint32_t>(cli.integer("--burst-width"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const bench::ObsOptions obs_options = bench::read_obs_options(cli);
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_burst_failures", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto patterns = ctx.params().u32("patterns");
+  const auto width = ctx.params().u32("burst-width");
+  const std::uint64_t seed = ctx.seed();
+  const study::ObsOptions& obs_options = ctx.options().obs;
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
   const TrialExecutor executor{1};  // pattern runs are serial in this sweep
   obs::MetricSet merged;
 
@@ -35,23 +30,23 @@ int main(int argc, char** argv) {
   for (double probability : {0.0, 0.1, 0.3, 0.6}) {
     std::vector<std::string> row{fmt_percent(probability, 0)};
     for (TechniqueKind kind : workload_techniques()) {
-      WorkloadStudyConfig study;
-      study.patterns = patterns;
-      study.seed = seed;
+      WorkloadStudyConfig study_config;
+      study_config.patterns = patterns;
+      study_config.seed = seed;
       RunningStats dropped;
-      bench::run_patterns_controlled(
+      study::run_patterns_controlled(
           coordinator, executor,
           "burst:" + fmt_percent(probability, 0) + "/" + to_string(kind), patterns,
           seed,
           [&](std::uint32_t p) {
             const ArrivalPattern pattern =
-                generate_pattern(study.workload, study.seed, p);
+                generate_pattern(study_config.workload, study_config.seed, p);
             WorkloadEngineConfig engine;
-            engine.machine = study.machine;
-            engine.resilience = study.resilience;
+            engine.machine = study_config.machine;
+            engine.resilience = study_config.resilience;
             engine.policy = TechniquePolicy::fixed_technique(kind);
             engine.scheduler = SchedulerKind::kSlack;
-            engine.seed = derive_seed(study.seed, 0x656e67696eULL, p);
+            engine.seed = derive_seed(study_config.seed, 0x656e67696eULL, p);
             engine.burst_probability = probability;
             engine.burst_width = width;
             obs::TrialObs run_obs;
@@ -82,9 +77,33 @@ int main(int argc, char** argv) {
     std::printf("\nInstrumented breakdown (whole sweep):\n%s",
                 merged.to_table().to_text().c_str());
     merged.write_json(obs_options.metrics_path);
-    std::printf("metrics written to %s\n", obs_options.metrics_path.c_str());
+    study::statusf("metrics written to %s\n", obs_options.metrics_path.c_str());
   }
   std::printf("(bursts multiply the per-event damage; severities are clamped to\n"
               " node-loss level, which multilevel absorbs with partner copies)\n");
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_burst_failures";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "dropped applications as independent failures become correlated bursts";
+  def.summary = "ablation_burst_failures — dropped %% vs correlated-failure mix";
+  def.options.default_seed = 20170530;
+  def.options.threads = false;  // pattern runs are serial in this sweep
+  def.options.obs = study::StudyOptionsSpec::Obs::kNoTrace;
+  def.params = {
+      {"patterns", "arrival patterns per cell", study::ParamSpec::Type::kInt,
+       "15", 1, {}},
+      {"burst-width", "nodes per burst (cabinet size)", study::ParamSpec::Type::kInt,
+       "512", 1, {}},
+  };
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

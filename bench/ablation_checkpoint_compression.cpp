@@ -6,33 +6,27 @@
 // smaller image buys back.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_checkpoint_compression — technique efficiency vs. "
-                "checkpoint image size"};
-  cli.add_option("--trials", "trials per cell", "40");
-  cli.add_option("--mtbf-years", "node MTBF", "2.5");
-  cli.add_option("--seed", "root RNG seed", "17");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_checkpoint_compression", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const double mtbf_years = ctx.params().real("mtbf-years");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   std::printf("Ablation: checkpoint image compression at exascale\n");
   std::printf("application D64 @ 100%% of the machine, MTBF %.1f y, %u trials\n\n",
-              cli.real("--mtbf-years"), trials);
+              mtbf_years, trials);
 
   Table table{{"image size (xN_m)", "checkpoint-restart", "multilevel",
                "parallel-recovery"}};
@@ -43,7 +37,7 @@ int main(int argc, char** argv) {
       SingleAppTrialConfig config;
       config.app = AppSpec{app_type_by_name("D64"), 120000, 1440};
       config.technique = kind;
-      config.resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+      config.resilience.node_mtbf = Duration::years(mtbf_years);
       config.resilience.checkpoint_compression = ratio;
       std::vector<TrialSpec> specs;
       specs.reserve(trials);
@@ -69,3 +63,24 @@ int main(int argc, char** argv) {
               " recovery barely moves — its in-memory copies were already cheap)\n");
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_checkpoint_compression";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "how much of the exascale checkpoint/restart collapse a smaller image buys back";
+  def.summary = "ablation_checkpoint_compression — technique efficiency vs. "
+                "checkpoint image size";
+  def.options.default_seed = 17;
+  def.params = {
+      {"trials", "trials per cell", study::ParamSpec::Type::kInt, "40", 1, {}},
+      {"mtbf-years", "node MTBF", study::ParamSpec::Type::kReal, "2.5", 0.001, {}},
+  };
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -4,29 +4,23 @@
 // paper relies on really is (near-)optimal under the simulated dynamics.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "resilience/planner.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_checkpoint_interval — simulated efficiency vs. "
-                "checkpoint-interval multiplier"};
-  cli.add_option("--trials", "trials per multiplier", "80");
-  cli.add_option("--seed", "root RNG seed", "10");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_checkpoint_interval", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   const MachineSpec machine = MachineSpec::exascale();
   const ResilienceConfig resilience;
@@ -76,3 +70,22 @@ int main(int argc, char** argv) {
               best_mult);
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_checkpoint_interval";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "empirical validation that the Eq.-4 checkpoint interval is near-optimal";
+  def.summary = "ablation_checkpoint_interval — simulated efficiency vs. "
+                "checkpoint-interval multiplier";
+  def.options.default_seed = 10;
+  def.params = {{"trials", "trials per multiplier", study::ParamSpec::Type::kInt,
+                 "80", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

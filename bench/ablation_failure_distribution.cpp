@@ -4,28 +4,22 @@
 // keeps the mean failure rate fixed and varies the shape.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_failure_distribution — technique efficiency vs. "
-                "failure inter-arrival shape"};
-  cli.add_option("--trials", "trials per cell", "60");
-  cli.add_option("--seed", "root RNG seed", "9");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_failure_distribution", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   std::printf("Ablation: failure inter-arrival distribution (fixed mean rate)\n");
   std::printf("application C32 @ 25%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -74,3 +68,21 @@ int main(int argc, char** argv) {
               "unchanged, supporting the paper's Poisson assumption)\n");
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_failure_distribution";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "technique efficiency under exponential vs. Weibull failure inter-arrivals";
+  def.summary = "ablation_failure_distribution — technique efficiency vs. "
+                "failure inter-arrival shape";
+  def.options.default_seed = 9;
+  def.params = {{"trials", "trials per cell", study::ParamSpec::Type::kInt, "60", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -4,27 +4,22 @@
 // Figure 1/2 conclusions hold for any P >= 1 and quantifies the gain.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_recovery_parallelism — parallel recovery vs. P"};
-  cli.add_option("--trials", "trials per P", "60");
-  cli.add_option("--seed", "root RNG seed", "8");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_recovery_parallelism", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   std::printf("Ablation: parallel recovery efficiency vs. recovery parallelism P\n");
   std::printf("application D64 @ 100%% of the exascale system, MTBF 10 y, %u trials\n\n",
@@ -60,3 +55,20 @@ int main(int argc, char** argv) {
   collector.finish();
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_recovery_parallelism";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "parallel recovery's sensitivity to the recovery-parallelism factor P";
+  def.summary = "ablation_recovery_parallelism — parallel recovery vs. P";
+  def.options.default_seed = 8;
+  def.params = {{"trials", "trials per P", study::ParamSpec::Type::kInt, "60", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -9,25 +9,19 @@
 #include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ablation_severity_pmf — multilevel efficiency vs. severity PMF"};
-  cli.add_option("--trials", "trials per PMF", "60");
-  cli.add_option("--seed", "root RNG seed", "7");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ablation_severity_pmf", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   const std::vector<std::pair<const char*, std::vector<double>>> pmfs{
       {"paper default {.55,.35,.10}", {0.55, 0.35, 0.10}},
@@ -77,3 +71,21 @@ int main(int argc, char** argv) {
               " PMF its optimizer degenerates to the PFS-only schedule)\n");
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ablation_severity_pmf";
+  def.group = study::StudyGroup::kAblation;
+  def.description =
+      "sensitivity of the multilevel-checkpointing advantage to the failure "
+      "severity PMF";
+  def.summary = "ablation_severity_pmf — multilevel efficiency vs. severity PMF";
+  def.options.default_seed = 7;
+  def.params = {{"trials", "trials per PMF", study::ParamSpec::Type::kInt, "60", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

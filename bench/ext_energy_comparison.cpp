@@ -5,36 +5,29 @@
 // pays for extra always-on nodes.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "runtime/power.hpp"
 #include "resilience/planner.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ext_energy_comparison — energy per technique (companion study [7])"};
-  cli.add_option("--trials", "trials per technique", "40");
-  cli.add_option("--type", "application type (Table I)", "C64");
-  cli.add_option("--system-share", "fraction of machine used", "0.25");
-  cli.add_option("--seed", "root RNG seed", "11");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ext_energy_comparison", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   const MachineSpec machine = MachineSpec::exascale();
-  const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
+  const auto nodes = static_cast<std::uint32_t>(ctx.params().real("system-share") *
                                                 machine.node_count);
-  const AppSpec app{app_type_by_name(cli.str("--type")), nodes, 1440};
+  const AppSpec app{app_type_by_name(ctx.params().str("type")), nodes, 1440};
   const ResilienceConfig resilience;
   const NodePowerSpec power;
 
@@ -80,3 +73,26 @@ int main(int argc, char** argv) {
   std::printf("(ideal failure-free energy: %.1f MWh)\n", ideal_mwh);
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ext_energy_comparison";
+  def.group = study::StudyGroup::kExtension;
+  def.description =
+      "energy consumed per resilience technique (companion study [7])";
+  def.summary = "ext_energy_comparison — energy per technique (companion study [7])";
+  def.options.default_seed = 11;
+  def.params = {
+      {"trials", "trials per technique", study::ParamSpec::Type::kInt, "40", 1, {}},
+      {"type", "application type (Table I)", study::ParamSpec::Type::kString,
+       "C64", {}, {}},
+      {"system-share", "fraction of machine used", study::ParamSpec::Type::kReal,
+       "0.25", 0.0001, 1.0},
+  };
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -8,34 +8,26 @@
 #include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "failure/severity.hpp"
 #include "resilience/planner.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ext_paired_comparison — common-random-number technique duel"};
-  cli.add_option("--traces", "failure traces (pairs) to replay", "30");
-  cli.add_option("--type", "application type (Table I)", "D64");
-  cli.add_option("--system-share", "fraction of machine used", "0.25");
-  cli.add_option("--seed", "root RNG seed", "13");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto traces = static_cast<std::uint32_t>(cli.integer("--traces"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ext_paired_comparison", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto traces = ctx.params().u32("traces");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   const MachineSpec machine = MachineSpec::exascale();
-  const auto nodes = static_cast<std::uint32_t>(cli.real("--system-share") *
+  const auto nodes = static_cast<std::uint32_t>(ctx.params().real("system-share") *
                                                 machine.node_count);
-  const AppSpec app{app_type_by_name(cli.str("--type")), nodes, 1440};
+  const AppSpec app{app_type_by_name(ctx.params().str("type")), nodes, 1440};
   const ResilienceConfig resilience;
   const SeverityModel severity{resilience.severity_weights};
 
@@ -100,3 +92,27 @@ int main(int argc, char** argv) {
   collector.finish();
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ext_paired_comparison";
+  def.group = study::StudyGroup::kExtension;
+  def.description =
+      "common-random-number technique duel on shared failure traces";
+  def.summary = "ext_paired_comparison — common-random-number technique duel";
+  def.options.default_seed = 13;
+  def.params = {
+      {"traces", "failure traces (pairs) to replay", study::ParamSpec::Type::kInt,
+       "30", 1, {}},
+      {"type", "application type (Table I)", study::ParamSpec::Type::kString,
+       "D64", {}, {}},
+      {"system-share", "fraction of machine used", study::ParamSpec::Type::kReal,
+       "0.25", 0.0001, 1.0},
+  };
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

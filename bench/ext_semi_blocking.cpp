@@ -4,29 +4,23 @@
 // checkpointing's exascale collapse overlap recovers.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ext_semi_blocking — blocking vs semi-blocking checkpointing"};
-  cli.add_option("--trials", "trials per cell", "40");
-  cli.add_option("--type", "application type (Table I)", "A32");
-  cli.add_option("--seed", "root RNG seed", "19");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  const AppType type = app_type_by_name(cli.str("--type"));
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ext_semi_blocking", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  const AppType type = app_type_by_name(ctx.params().str("type"));
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   std::printf("Extension: semi-blocking checkpointing, application %s, MTBF 10 y\n\n",
               type.name.c_str());
@@ -73,3 +67,24 @@ int main(int argc, char** argv) {
               " 90%% overlap checkpointing costs little even at exascale)\n");
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ext_semi_blocking";
+  def.group = study::StudyGroup::kExtension;
+  def.description =
+      "blocking vs. semi-blocking checkpoint/restart across application sizes";
+  def.summary = "ext_semi_blocking — blocking vs semi-blocking checkpointing";
+  def.options.default_seed = 19;
+  def.params = {
+      {"trials", "trials per cell", study::ParamSpec::Type::kInt, "40", 1, {}},
+      {"type", "application type (Table I)", study::ParamSpec::Type::kString,
+       "A32", {}, {}},
+  };
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

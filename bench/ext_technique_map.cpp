@@ -4,40 +4,34 @@
 // paper's Resilience Selection implicitly computes.
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
 #include "core/single_app_study.hpp"
 #include "resilience/selector.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{"ext_technique_map — simulated optimal technique per "
-                "(type x size) cell"};
-  cli.add_option("--trials", "trials per technique per cell", "20");
-  cli.add_option("--mtbf-years", "node MTBF", "10");
-  cli.add_option("--seed", "root RNG seed", "23");
-  add_threads_option(cli);
-  bench::add_obs_options(cli);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const auto trials = static_cast<std::uint32_t>(cli.integer("--trials"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const TrialExecutor executor{parse_threads_option(cli)};
-  bench::ObsCollector collector{bench::read_obs_options(cli)};
-  bench::RecoveryCoordinator coordinator{bench::read_recovery_options(cli),
-                                         "ext_technique_map", seed};
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const auto trials = ctx.params().u32("trials");
+  const double mtbf_years = ctx.params().real("mtbf-years");
+  const std::uint64_t seed = ctx.seed();
+  const TrialExecutor executor = ctx.make_executor();
+  study::ObsCollector& collector = ctx.collector();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   ResilienceConfig resilience;
-  resilience.node_mtbf = Duration::years(cli.real("--mtbf-years"));
+  resilience.node_mtbf = Duration::years(mtbf_years);
   const MachineSpec machine = MachineSpec::exascale();
   const ResilienceSelector selector{machine, resilience};
 
   const std::vector<double> shares{0.01, 0.05, 0.10, 0.25, 0.50, 1.00};
   std::printf("Extension: optimal-technique map (simulated winner; '*' where the\n"
               "analytic selector agrees), MTBF %.1f y, %u trials/cell\n\n",
-              cli.real("--mtbf-years"), trials);
+              mtbf_years, trials);
 
   std::vector<std::string> headers{"type"};
   for (double s : shares) headers.push_back(fmt_percent(s, 0));
@@ -95,3 +89,25 @@ int main(int argc, char** argv) {
   std::printf("selector agreement with simulation: %u/%u cells\n", agreements, cells);
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "ext_technique_map";
+  def.group = study::StudyGroup::kExtension;
+  def.description =
+      "simulated optimal technique per (application type x system share) cell";
+  def.summary = "ext_technique_map — simulated optimal technique per "
+                "(type x size) cell";
+  def.options.default_seed = 23;
+  def.params = {
+      {"trials", "trials per technique per cell", study::ParamSpec::Type::kInt,
+       "20", 1, {}},
+      {"mtbf-years", "node MTBF", study::ParamSpec::Type::kReal, "10", 0.001, {}},
+  };
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

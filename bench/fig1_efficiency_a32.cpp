@@ -3,20 +3,42 @@
 // application A32, with a 10-year processor MTBF.
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
+#include "study/figure.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{
-      "fig1_efficiency_a32 — paper Figure 1: efficiency vs. application size "
-      "for A32 (low memory, no communication), node MTBF 10 years."};
-  bench::add_common_options(cli, 200);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
+namespace {
+using namespace xres;
 
+int run(study::StudyContext& ctx) {
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name("A32");
   config.resilience.node_mtbf = Duration::years(10.0);
-  return bench::run_efficiency_figure(
+  return study::run_efficiency_figure(
       "Figure 1: efficiency vs. system share, application A32, MTBF 10 y",
-      config, bench::read_common_options(cli));
+      config, ctx);
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "fig1_efficiency_a32";
+  def.group = study::StudyGroup::kFigure;
+  def.description =
+      "paper Figure 1: efficiency vs. system share for A32, node MTBF 10 years";
+  def.summary =
+      "fig1_efficiency_a32 — paper Figure 1: efficiency vs. application size "
+      "for A32 (low memory, no communication), node MTBF 10 years.";
+  // Historical journal identity: the figure title the pre-registry driver
+  // passed to its RecoveryCoordinator, so old journals keep resuming.
+  def.journal_id = "Figure 1: efficiency vs. system share, application A32, MTBF 10 y";
+  def.options.csv = true;
+  def.options.chart = true;
+  def.options.report = true;
+  def.params = {{"trials", "trials per bar (paper: 200)",
+                 study::ParamSpec::Type::kInt, "200", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

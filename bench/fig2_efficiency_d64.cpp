@@ -5,20 +5,40 @@
 // parallel recovery around 25% of the system.
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
+#include "study/figure.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{
-      "fig2_efficiency_d64 — paper Figure 2: efficiency vs. application size "
-      "for D64 (high memory, 75% communication), node MTBF 10 years."};
-  bench::add_common_options(cli, 200);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
+namespace {
+using namespace xres;
 
+int run(study::StudyContext& ctx) {
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name("D64");
   config.resilience.node_mtbf = Duration::years(10.0);
-  return bench::run_efficiency_figure(
+  return study::run_efficiency_figure(
       "Figure 2: efficiency vs. system share, application D64, MTBF 10 y",
-      config, bench::read_common_options(cli));
+      config, ctx);
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "fig2_efficiency_d64";
+  def.group = study::StudyGroup::kFigure;
+  def.description =
+      "paper Figure 2: efficiency vs. system share for D64, node MTBF 10 years";
+  def.summary =
+      "fig2_efficiency_d64 — paper Figure 2: efficiency vs. application size "
+      "for D64 (high memory, 75% communication), node MTBF 10 years.";
+  def.journal_id = "Figure 2: efficiency vs. system share, application D64, MTBF 10 y";
+  def.options.csv = true;
+  def.options.chart = true;
+  def.options.report = true;
+  def.params = {{"trials", "trials per bar (paper: 200)",
+                 study::ParamSpec::Type::kInt, "200", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

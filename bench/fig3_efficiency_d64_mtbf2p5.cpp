@@ -4,20 +4,40 @@
 // that applications cannot complete.
 
 #include "apps/app_type.hpp"
-#include "common.hpp"
+#include "study/figure.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{
-      "fig3_efficiency_d64_mtbf2p5 — paper Figure 3: efficiency vs. "
-      "application size for D64 with node MTBF reduced to 2.5 years."};
-  bench::add_common_options(cli, 200);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
+namespace {
+using namespace xres;
 
+int run(study::StudyContext& ctx) {
   EfficiencyStudyConfig config;
   config.app_type = app_type_by_name("D64");
   config.resilience.node_mtbf = Duration::years(2.5);
-  return bench::run_efficiency_figure(
+  return study::run_efficiency_figure(
       "Figure 3: efficiency vs. system share, application D64, MTBF 2.5 y",
-      config, bench::read_common_options(cli));
+      config, ctx);
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "fig3_efficiency_d64_mtbf2p5";
+  def.group = study::StudyGroup::kFigure;
+  def.description =
+      "paper Figure 3: the Figure-2 study with node MTBF degraded to 2.5 years";
+  def.summary =
+      "fig3_efficiency_d64_mtbf2p5 — paper Figure 3: efficiency vs. "
+      "application size for D64 with node MTBF reduced to 2.5 years.";
+  def.journal_id = "Figure 3: efficiency vs. system share, application D64, MTBF 2.5 y";
+  def.options.csv = true;
+  def.options.chart = true;
+  def.options.report = true;
+  def.params = {{"trials", "trials per bar (paper: 200)",
+                 study::ParamSpec::Type::kInt, "200", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -5,57 +5,48 @@
 
 #include <cstdio>
 
-#include "common.hpp"
 #include "core/workload_study.hpp"
 #include "obs/profile.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{
-      "fig4_resource_management — paper Figure 4: dropped applications per "
-      "(scheduler x resilience technique) combination, 50 arrival patterns."};
-  cli.add_option("--patterns", "arrival patterns per combo (paper: 50)", "50");
-  cli.add_option("--seed", "root RNG seed", "20170530");
-  add_threads_option(cli);
-  cli.add_flag("--csv", "also emit raw CSV");
-  bench::add_obs_options(cli, /*with_trace=*/false);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const bench::ObsOptions obs = bench::read_obs_options(cli);
-  const bench::RecoveryCliOptions rec = bench::read_recovery_options(cli);
+namespace {
+using namespace xres;
+
+int run(study::StudyContext& ctx) {
+  const study::ObsOptions& obs = ctx.options().obs;
 
   obs::PhaseProfiler profiler;
   profiler.begin("setup");
-  WorkloadStudyConfig study;
-  study.patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
-  study.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  study.threads = parse_threads_option(cli);
-  study.collect_metrics = obs.metrics();
+  WorkloadStudyConfig config;
+  config.patterns = ctx.params().u32("patterns");
+  config.seed = ctx.seed();
+  config.threads = ctx.threads();
+  config.collect_metrics = obs.metrics();
 
-  bench::RecoveryCoordinator coordinator{rec, "fig4_resource_management", study.seed};
-  study.recovery = coordinator.options();
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
+  config.recovery = coordinator.options();
 
   std::printf("Figure 4: dropped applications, oversubscribed exascale system\n");
-  std::printf("machine: %s\n", study.machine.describe().c_str());
+  std::printf("machine: %s\n", config.machine.describe().c_str());
   std::printf(
       "workload: full initial fill + %u Poisson arrivals (mean gap %s); "
       "%u patterns; node MTBF %s\n\n",
-      study.workload.arrival_count, to_string(study.workload.mean_interarrival).c_str(),
-      study.patterns, to_string(study.resilience.node_mtbf).c_str());
+      config.workload.arrival_count, to_string(config.workload.mean_interarrival).c_str(),
+      config.patterns, to_string(config.resilience.node_mtbf).c_str());
 
   profiler.begin("run");
   obs::ProgressMeter meter{"pattern-run"};
   recovery::BatchReport report;
   const auto results =
-      run_workload_study(study, figure4_combos(), meter.callback(), &report);
+      run_workload_study(config, figure4_combos(), meter.callback(), &report);
   coordinator.absorb(report);
   if (coordinator.interrupted()) return coordinator.finish();
 
   profiler.begin("reduce");
   const Table table = workload_results_table(results);
   std::printf("%s", table.to_text().c_str());
-  if (cli.flag("--csv")) std::printf("\n%s", table.to_csv().c_str());
+  ctx.emit_csv(table);
 
   if (obs.metrics()) {
     // Merge per-combo metrics in combo order: byte-identical for every
@@ -67,12 +58,34 @@ int main(int argc, char** argv) {
     std::printf("\nInstrumented breakdown (whole study):\n%s",
                 merged.to_table().to_text().c_str());
     merged.write_json(obs.metrics_path);
-    std::printf("metrics written to %s\n", obs.metrics_path.c_str());
+    study::statusf("metrics written to %s\n", obs.metrics_path.c_str());
   }
 
   profiler.end();
-  std::printf("(dropped %% = applications missing their Eq.-1 deadline; "
-              "phases: %s)\n",
-              profiler.summary().c_str());
+  study::statusf("(dropped %% = applications missing their Eq.-1 deadline; "
+                 "phases: %s)\n",
+                 profiler.summary().c_str());
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "fig4_resource_management";
+  def.group = study::StudyGroup::kFigure;
+  def.description =
+      "paper Figure 4: dropped applications per (scheduler x technique) combination";
+  def.summary =
+      "fig4_resource_management — paper Figure 4: dropped applications per "
+      "(scheduler x resilience technique) combination, 50 arrival patterns.";
+  def.options.default_seed = 20170530;
+  def.options.csv = true;
+  def.options.obs = study::StudyOptionsSpec::Obs::kNoTrace;
+  def.params = {{"patterns", "arrival patterns per combo (paper: 50)",
+                 study::ParamSpec::Type::kInt, "50", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -5,33 +5,23 @@
 
 #include <cstdio>
 
-#include "common.hpp"
 #include "core/workload_study.hpp"
 #include "obs/profile.hpp"
-#include "util/cli.hpp"
+#include "study/context.hpp"
+#include "study/registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace xres;
-  CliParser cli{
-      "fig5_resilience_selection — paper Figure 5: Parallel Recovery vs. "
-      "Resilience Selection per scheduler, over four workload biases."};
-  cli.add_option("--patterns", "arrival patterns per combo (paper: 50)", "50");
-  cli.add_option("--seed", "root RNG seed", "20170530");
-  add_threads_option(cli);
-  cli.add_flag("--csv", "also emit raw CSV");
-  bench::add_obs_options(cli, /*with_trace=*/false);
-  bench::add_recovery_options(cli);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  const bench::ObsOptions obs = bench::read_obs_options(cli);
-  const bench::RecoveryCliOptions rec = bench::read_recovery_options(cli);
+namespace {
+using namespace xres;
 
-  const auto patterns = static_cast<std::uint32_t>(cli.integer("--patterns"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("--seed"));
-  const auto threads = parse_threads_option(cli);
+int run(study::StudyContext& ctx) {
+  const study::ObsOptions& obs = ctx.options().obs;
+  const std::uint32_t patterns = ctx.params().u32("patterns");
+  const std::uint64_t seed = ctx.seed();
+  const unsigned threads = ctx.threads();
 
   std::printf("Figure 5: Parallel Recovery vs. Resilience Selection\n\n");
 
-  bench::RecoveryCoordinator coordinator{rec, "fig5_resilience_selection", seed};
+  study::RecoveryCoordinator& coordinator = ctx.recovery();
 
   obs::PhaseProfiler profiler;
   profiler.begin("run");
@@ -40,21 +30,21 @@ int main(int argc, char** argv) {
   for (WorkloadBias bias :
        {WorkloadBias::kUnbiased, WorkloadBias::kHighMemory,
         WorkloadBias::kHighCommunication, WorkloadBias::kLargeApps}) {
-    WorkloadStudyConfig study;
-    study.patterns = patterns;
-    study.seed = seed;
-    study.threads = threads;
-    study.workload.bias = bias;
-    study.collect_metrics = obs.metrics();
-    study.recovery = coordinator.options();
+    WorkloadStudyConfig config;
+    config.patterns = patterns;
+    config.seed = seed;
+    config.threads = threads;
+    config.workload.bias = bias;
+    config.collect_metrics = obs.metrics();
+    config.recovery = coordinator.options();
     // One journal batch per bias: the four studies share index space.
-    study.recovery_batch = std::string{"bias:"} + to_string(bias);
+    config.recovery_batch = std::string{"bias:"} + to_string(bias);
 
     std::fprintf(stderr, "bias: %s\n", to_string(bias));
     obs::ProgressMeter meter{"pattern-run"};
     recovery::BatchReport report;
     const auto results =
-        run_workload_study(study, figure5_combos(), meter.callback(), &report);
+        run_workload_study(config, figure5_combos(), meter.callback(), &report);
     coordinator.absorb(report);
     if (coordinator.interrupted()) return coordinator.finish();
     for (const WorkloadComboResult& r : results) {
@@ -70,16 +60,39 @@ int main(int argc, char** argv) {
 
   profiler.begin("reduce");
   std::printf("%s", table.to_text().c_str());
-  if (cli.flag("--csv")) std::printf("\n%s", table.to_csv().c_str());
+  ctx.emit_csv(table);
 
   if (obs.metrics()) {
     std::printf("\nInstrumented breakdown (whole study):\n%s",
                 merged.to_table().to_text().c_str());
     merged.write_json(obs.metrics_path);
-    std::printf("metrics written to %s\n", obs.metrics_path.c_str());
+    study::statusf("metrics written to %s\n", obs.metrics_path.c_str());
   }
 
   profiler.end();
-  std::printf("(phases: %s)\n", profiler.summary().c_str());
+  study::statusf("(phases: %s)\n", profiler.summary().c_str());
   return coordinator.finish();
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "fig5_resilience_selection";
+  def.group = study::StudyGroup::kFigure;
+  def.description =
+      "paper Figure 5: Parallel Recovery vs. Resilience Selection over four "
+      "workload biases";
+  def.summary =
+      "fig5_resilience_selection — paper Figure 5: Parallel Recovery vs. "
+      "Resilience Selection per scheduler, over four workload biases.";
+  def.options.default_seed = 20170530;
+  def.options.csv = true;
+  def.options.obs = study::StudyOptionsSpec::Obs::kNoTrace;
+  def.params = {{"patterns", "arrival patterns per combo (paper: 50)",
+                 study::ParamSpec::Type::kInt, "50", 1, {}}};
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

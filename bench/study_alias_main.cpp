@@ -1,0 +1,14 @@
+// The entire main() of every per-figure executable: forward to the generic
+// study driver. Each alias target compiles this file with XRES_STUDY_NAME
+// set to its registered study, so `fig1_efficiency_a32 --trials 5` and
+// `xres run fig1_efficiency_a32 --set trials=5` are the same code path.
+
+#include "study/study_main.hpp"
+
+#ifndef XRES_STUDY_NAME
+#error "compile with -DXRES_STUDY_NAME=\"<registered study>\""
+#endif
+
+int main(int argc, char** argv) {
+  return xres::study::study_main(XRES_STUDY_NAME, argc, argv);
+}

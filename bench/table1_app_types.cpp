@@ -9,11 +9,13 @@
 #include "platform/transfer.hpp"
 #include "resilience/config.hpp"
 #include "resilience/planner.hpp"
+#include "study/registry.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace xres;
+namespace {
+using namespace xres;
 
+int run(study::StudyContext&) {
   std::printf("Table I: characteristics of application types\n\n");
   Table table{{"type", "comm intensity T_C", "work T_W", "memory/node N_m",
                "msg-log slowdown u"}};
@@ -40,3 +42,24 @@ int main() {
   std::printf("%s", costs.to_text().c_str());
   return 0;
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "table1_app_types";
+  def.group = study::StudyGroup::kTable;
+  def.description =
+      "paper Table I: application types and derived checkpoint-cost constants";
+  def.summary = "table1_app_types — paper Table I: application-type characteristics "
+                "and derived checkpoint costs.";
+  // A static table: no seed, no trials, no harness options at all.
+  def.options.seed = false;
+  def.options.threads = false;
+  def.options.obs = study::StudyOptionsSpec::Obs::kNone;
+  def.options.recovery = false;
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -5,10 +5,13 @@
 
 #include "platform/spec.hpp"
 #include "resilience/config.hpp"
+#include "study/registry.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace xres;
+namespace {
+using namespace xres;
+
+int run(study::StudyContext&) {
   const MachineSpec machine = MachineSpec::exascale();
   const ResilienceConfig config;
 
@@ -52,3 +55,23 @@ int main() {
   std::printf("\nParallel-recovery parallelism P = %.0f\n", config.recovery_parallelism);
   return 0;
 }
+
+study::StudyDefinition make() {
+  study::StudyDefinition def;
+  def.name = "table2_parameters";
+  def.group = study::StudyGroup::kTable;
+  def.description =
+      "paper Table II: resilience-technique modeling parameters and resolved values";
+  def.summary = "table2_parameters — paper Table II: modeling parameters with the "
+                "values this reproduction resolves them to.";
+  def.options.seed = false;
+  def.options.threads = false;
+  def.options.obs = study::StudyOptionsSpec::Obs::kNone;
+  def.options.recovery = false;
+  def.run = run;
+  return def;
+}
+
+const study::Registration registered{make()};
+
+}  // namespace

@@ -4,7 +4,7 @@
 /// The recovery knobs a study threads through to its executor loops, plus
 /// the per-batch accounting the executor reports back. Bundled as values so
 /// study configs (EfficiencyStudyConfig, WorkloadStudyConfig) and the
-/// bench/common CLI layer share one vocabulary for
+/// src/study CLI layer share one vocabulary for
 /// `--journal/--resume/--trial-timeout/--trial-retries`.
 
 #include <cstddef>

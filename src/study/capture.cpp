@@ -1,0 +1,47 @@
+#include "study/capture.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace xres::study {
+
+StdoutCapture::StdoutCapture(std::string path)
+    : path_{std::move(path)}, tmp_path_{path_ + ".tmp"} {
+  std::fflush(stdout);
+  saved_fd_ = ::dup(STDOUT_FILENO);
+  XRES_CHECK(saved_fd_ >= 0, "cannot save stdout for capture");
+  const int fd = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    ::close(saved_fd_);
+    saved_fd_ = -1;
+    XRES_CHECK(false, "cannot open capture file: " + tmp_path_);
+  }
+  ::dup2(fd, STDOUT_FILENO);
+  ::close(fd);
+}
+
+StdoutCapture::~StdoutCapture() {
+  if (!done_) restore();
+}
+
+void StdoutCapture::restore() noexcept {
+  std::fflush(stdout);
+  if (saved_fd_ >= 0) {
+    ::dup2(saved_fd_, STDOUT_FILENO);
+    ::close(saved_fd_);
+    saved_fd_ = -1;
+  }
+  done_ = true;
+}
+
+void StdoutCapture::finish() {
+  restore();
+  XRES_CHECK(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
+             "cannot publish capture: " + path_);
+}
+
+}  // namespace xres::study

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file capture.hpp
+/// Redirect this process's stdout to a file for the duration of one study
+/// run — how `xres suite paper` turns each study's printed output into the
+/// `<name>.txt` artifact. Uses fd-level dup/dup2 (not a stream swap) so the
+/// capture also covers printf from any library the study calls. The
+/// capture streams into `<path>.tmp` and renames over \p path on finish(),
+/// so a SIGKILL mid-study never leaves a plausible-looking partial
+/// artifact behind.
+
+#include <string>
+
+namespace xres::study {
+
+class StdoutCapture {
+ public:
+  /// Begin capturing: stdout now writes to `<path>.tmp`. Throws CheckError
+  /// when the file cannot be created.
+  explicit StdoutCapture(std::string path);
+
+  /// Restores stdout if finish() was never called; the partial `.tmp` file
+  /// is left behind (the suite cleans temporaries at startup).
+  ~StdoutCapture();
+
+  StdoutCapture(const StdoutCapture&) = delete;
+  StdoutCapture& operator=(const StdoutCapture&) = delete;
+
+  /// Flush, restore the real stdout, and publish the capture at the final
+  /// path. Throws CheckError on I/O failure.
+  void finish();
+
+ private:
+  void restore() noexcept;
+
+  std::string path_;
+  std::string tmp_path_;
+  int saved_fd_{-1};
+  bool done_{false};
+};
+
+}  // namespace xres::study

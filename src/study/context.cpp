@@ -1,0 +1,29 @@
+#include "study/context.hpp"
+
+#include <cstdio>
+
+namespace xres::study {
+
+ObsCollector& StudyContext::collector() {
+  if (!collector_.has_value()) collector_.emplace(options_.obs);
+  return *collector_;
+}
+
+RecoveryCoordinator& StudyContext::recovery() {
+  if (!recovery_.has_value()) {
+    recovery_.emplace(options_.recovery, def_->journal_study(), options_.seed);
+  }
+  return *recovery_;
+}
+
+void StudyContext::emit_csv(const Table& table) {
+  if (!options_.csv && options_.csv_path.empty()) return;
+  if (options_.csv_path.empty()) {
+    std::printf("\n%s", table.to_csv().c_str());
+  } else {
+    table.write_csv(options_.csv_path);
+    statusf("CSV written to %s\n", options_.csv_path.c_str());
+  }
+}
+
+}  // namespace xres::study

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file figure.hpp
+/// The Figures-1-3 efficiency-figure runner, shared by the figure studies
+/// and the `xres efficiency` adhoc study.
+
+#include <string>
+
+#include "core/single_app_study.hpp"
+#include "study/context.hpp"
+
+namespace xres::study {
+
+/// Run one Figures-1-3 style efficiency figure and print it in the paper's
+/// layout (rows: % of system; columns: technique; cells: mean ± σ over
+/// trials). Reads `trials` from the study's parameters, the rest from the
+/// harness options. Honors the crash-safety options (journal/resume/
+/// watchdog); the journal is identified by the study's journal id. Returns
+/// the driver exit code: 0, or recovery::kExitInterrupted when a shutdown
+/// signal drained the study (figure artifacts are then withheld — resume to
+/// produce them).
+int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
+                          StudyContext& ctx);
+
+}  // namespace xres::study

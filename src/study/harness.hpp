@@ -1,14 +1,18 @@
 #pragma once
 
-/// \file common.hpp
-/// Shared plumbing for the figure-reproduction harnesses: CLI wiring and
-/// the efficiency-figure runner used by Figures 1-3.
+/// \file harness.hpp
+/// The live harness plumbing a study run owns: crash-safety coordination
+/// (journal/resume/watchdog/shutdown), observed batch execution, and the
+/// crash-safe pattern loop for hand-rolled sweeps. Moved here from
+/// bench/common.cpp so the bench binaries, the xres CLI and the suite
+/// runner share exactly one copy.
 
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/single_app_study.hpp"
 #include "core/workload_record.hpp"
@@ -16,76 +20,11 @@
 #include "recovery/journal.hpp"
 #include "recovery/options.hpp"
 #include "recovery/shutdown.hpp"
-#include "util/cli.hpp"
+#include "study/options.hpp"
 
-namespace xres::bench {
+namespace xres::study {
 
-/// Observability options shared by the study drivers (ISSUE 2 /
-/// docs/OBSERVABILITY.md): both artifacts are deterministic functions of
-/// the study seed, byte-identical for every --threads value.
-struct ObsOptions {
-  std::string metrics_path;  ///< non-empty: write merged metrics JSON here
-  std::string trace_path;    ///< non-empty: write Chrome trace JSON here
-
-  [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
-  [[nodiscard]] bool trace() const { return !trace_path.empty(); }
-  [[nodiscard]] bool enabled() const { return metrics() || trace(); }
-};
-
-/// Registers --metrics/--log-level (and --trace when \p with_trace) on
-/// \p cli. Workload drivers pass with_trace = false: their concurrent
-/// applications share one simulation, so per-trial tracing does not apply.
-void add_obs_options(CliParser& cli, bool with_trace = true);
-
-/// Reads them back after parse(); applies --log-level to the global logger
-/// immediately (throws CheckError on a bad name — unlike XRES_LOG, a CLI
-/// typo should fail loudly).
-[[nodiscard]] ObsOptions read_obs_options(const CliParser& cli);
-
-/// The crash-safety flags (docs/ROBUSTNESS.md) as parsed from the command
-/// line; `RecoveryCoordinator` turns them into live journal/resume state.
-struct RecoveryCliOptions {
-  std::string journal_path;   ///< --journal: write-ahead trial journal here
-  bool resume{false};         ///< --resume: skip trials already journaled
-  double trial_timeout{0.0};  ///< --trial-timeout seconds (0 = off)
-  unsigned trial_retries{0};  ///< --trial-retries: extra same-seed attempts
-
-  [[nodiscard]] bool any() const {
-    return !journal_path.empty() || resume || trial_timeout > 0.0 || trial_retries > 0;
-  }
-};
-
-/// Options every harness shares.
-struct HarnessOptions {
-  std::uint32_t trials{200};
-  std::uint64_t seed{20170529};
-  unsigned threads{0};  ///< trial worker threads; 0 = all hardware threads
-  bool csv{false};
-  bool chart{false};  ///< also render ASCII bars (the figure's visual shape)
-  std::string csv_path;  ///< empty: print CSV to stdout when csv is set
-  std::string report_path;  ///< non-empty: write a markdown StudyReport here
-  ObsOptions obs;  ///< --metrics/--trace/--log-level
-  RecoveryCliOptions recovery;  ///< --journal/--resume/--trial-timeout/--trial-retries
-};
-
-/// Registers --trials/--seed/--threads/--csv/--csv-path plus the
-/// observability and crash-safety options on \p cli.
-void add_common_options(CliParser& cli, std::uint32_t default_trials);
-
-/// Registers only --journal/--resume/--trial-timeout/--trial-retries (for
-/// harnesses that do not take the full common set).
-void add_recovery_options(CliParser& cli);
-
-/// Reads them back after parse(); validates combinations (--resume needs
-/// --journal, --trial-timeout >= 0) via CliParser::usage_error.
-[[nodiscard]] RecoveryCliOptions read_recovery_options(const CliParser& cli);
-
-/// Reads the common options back after parse() (applies --log-level, see
-/// read_obs_options). Invalid values — `--threads 0` or a non-"auto"
-/// non-positive thread count among them — exit via CliParser::usage_error.
-[[nodiscard]] HarnessOptions read_common_options(const CliParser& cli);
-
-/// Owns the live crash-safety state for one driver run: loads the resume
+/// Owns the live crash-safety state for one study run: loads the resume
 /// index (validating the journal against the study name and seed), opens
 /// the write-ahead journal, installs the SIGINT/SIGTERM handlers, and
 /// accumulates the executor's BatchReport. Construct after parsing, pass
@@ -96,8 +35,8 @@ class RecoveryCoordinator {
   /// \p study and \p root_seed identify the journal (recovery::JournalMeta).
   /// Without --resume an existing journal file at --journal is replaced,
   /// not appended to (appending would resurrect the previous run's records
-  /// on a later --resume). Load warnings (torn tail, corrupt records) are
-  /// printed to stderr.
+  /// on a later --resume). Load reports (found/corrupt/torn-tail) print to
+  /// the status stream.
   RecoveryCoordinator(const RecoveryCliOptions& cli, std::string study,
                       std::uint64_t root_seed);
 
@@ -153,7 +92,8 @@ class ObsCollector {
     return metrics_.has_value() ? &*metrics_ : nullptr;
   }
 
-  /// Write the requested artifacts (prints one line per file to stdout).
+  /// Write the requested artifacts (prints the instrumented breakdown to
+  /// stdout; "written to" notices go to the status stream).
   void finish();
 
  private:
@@ -178,13 +118,4 @@ void run_patterns_controlled(
     const std::function<WorkloadOutcome(std::uint32_t)>& run,
     const std::function<void(std::uint32_t, const WorkloadOutcome&)>& consume);
 
-/// Run one Figures-1-3 style efficiency figure and print it in the paper's
-/// layout (rows: % of system; columns: technique; cells: mean ± σ over
-/// trials). Honors the crash-safety options (journal/resume/watchdog); the
-/// journal is identified by \p title. Returns the driver exit code: 0, or
-/// recovery::kExitInterrupted when a shutdown signal drained the study
-/// (figure artifacts are then withheld — resume to produce them).
-int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config,
-                          const HarnessOptions& options);
-
-}  // namespace xres::bench
+}  // namespace xres::study

@@ -1,0 +1,151 @@
+#include "study/options.hpp"
+
+#include <cstdarg>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace xres::study {
+
+namespace {
+std::FILE*& status_stream_slot() {
+  static std::FILE* stream = stdout;
+  return stream;
+}
+}  // namespace
+
+std::FILE* status_stream() { return status_stream_slot(); }
+
+void set_status_stream(std::FILE* stream) {
+  status_stream_slot() = stream == nullptr ? stdout : stream;
+}
+
+void statusf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(status_stream(), format, args);
+  va_end(args);
+}
+
+void add_obs_options(CliParser& cli, bool with_trace) {
+  cli.add_option("--metrics", "write deterministic study metrics JSON to this path "
+                 "(byte-identical for every --threads value)", "");
+  if (with_trace) {
+    cli.add_option("--trace", "write a Chrome trace-event JSON (Perfetto-loadable, "
+                   "sim-time spans) to this path", "");
+  }
+  cli.add_option("--log-level", "override XRES_LOG: trace|debug|info|warn|error|off", "");
+}
+
+ObsOptions read_obs_options(const CliParser& cli) {
+  ObsOptions options;
+  options.metrics_path = cli.str("--metrics");
+  if (cli.has_option("--trace")) options.trace_path = cli.str("--trace");
+  const std::string level = cli.str("--log-level");
+  if (!level.empty()) Logger::global().set_level(parse_log_level(level));
+  return options;
+}
+
+void add_recovery_options(CliParser& cli) {
+  cli.add_option("--journal", "stream completed trials to this write-ahead journal "
+                 "(crash-safe; see docs/ROBUSTNESS.md)", "");
+  cli.add_flag("--resume", "skip trials already recorded in --journal and reproduce "
+               "the uninterrupted artifacts byte for byte");
+  cli.add_option("--trial-timeout", "watchdog: seconds of wall time per trial attempt "
+                 "before it is aborted (0 = no watchdog)", "0");
+  cli.add_option("--trial-retries", "extra same-seed attempts for a failed or timed-out "
+                 "trial before it is quarantined", "0");
+}
+
+RecoveryCliOptions read_recovery_options(const CliParser& cli) {
+  RecoveryCliOptions options;
+  options.journal_path = cli.str("--journal");
+  options.resume = cli.flag("--resume");
+  options.trial_timeout = cli.real("--trial-timeout");
+  const std::int64_t retries = cli.integer("--trial-retries");
+  if (options.resume && options.journal_path.empty()) {
+    CliParser::usage_error("--resume needs --journal <path> (nothing to resume from)");
+  }
+  if (options.trial_timeout < 0.0) {
+    CliParser::usage_error("--trial-timeout must be >= 0 seconds");
+  }
+  if (retries < 0 || retries > 100) {
+    CliParser::usage_error("--trial-retries must be in [0, 100]");
+  }
+  options.trial_retries = static_cast<unsigned>(retries);
+  return options;
+}
+
+void add_study_options(CliParser& cli, const StudyDefinition& def) {
+  for (const ParamSpec& p : def.params) {
+    cli.add_option("--" + p.key, p.help, p.default_value);
+  }
+  const StudyOptionsSpec& spec = def.options;
+  if (spec.seed) {
+    cli.add_option("--seed", "root RNG seed", std::to_string(spec.default_seed));
+  }
+  if (spec.threads) add_threads_option(cli);
+  if (spec.csv) {
+    cli.add_flag("--csv", "also emit raw CSV");
+  }
+  if (spec.chart) cli.add_flag("--chart", "also render ASCII bars");
+  if (spec.csv) {
+    cli.add_option("--csv-path", "write CSV to this file instead of stdout "
+                   "(implies --csv)", "");
+  }
+  if (spec.report) {
+    cli.add_option("--report", "write a markdown study report to this path", "");
+  }
+  if (spec.obs != StudyOptionsSpec::Obs::kNone) {
+    add_obs_options(cli, spec.obs == StudyOptionsSpec::Obs::kWithTrace);
+  }
+  if (spec.recovery) add_recovery_options(cli);
+}
+
+StudyParams read_study_params(const CliParser& cli, const StudyDefinition& def) {
+  StudyParams params{def};
+  for (const ParamSpec& p : def.params) {
+    const std::string value = cli.str("--" + p.key);
+    try {
+      params.set(p.key, value);
+    } catch (const CheckError& e) {
+      // CheckError prefixes the human-readable part with "check failed: ...
+      // — "; surface just the message, as parse_or_exit does.
+      std::string message = e.what();
+      if (const std::size_t sep = message.find(" — "); sep != std::string::npos) {
+        message = message.substr(sep + std::string{" — "}.size());
+      }
+      CliParser::usage_error(message);
+    }
+  }
+  return params;
+}
+
+HarnessOptions read_harness_options(const CliParser& cli, const StudyDefinition& def) {
+  const StudyOptionsSpec& spec = def.options;
+  HarnessOptions options = default_harness_options(def);
+  if (spec.seed) options.seed = static_cast<std::uint64_t>(cli.integer("--seed"));
+  if (spec.threads) options.threads = parse_threads_option(cli);
+  if (spec.csv) {
+    options.csv = cli.flag("--csv");
+    options.csv_path = cli.str("--csv-path");
+    // --csv-path used to require a separate --csv in some drivers and was
+    // silently ignored without it; a requested CSV file now always implies
+    // CSV output.
+    if (!options.csv_path.empty()) options.csv = true;
+  }
+  if (spec.chart) options.chart = cli.flag("--chart");
+  if (spec.report) options.report_path = cli.str("--report");
+  if (spec.obs != StudyOptionsSpec::Obs::kNone) options.obs = read_obs_options(cli);
+  if (spec.recovery) options.recovery = read_recovery_options(cli);
+  return options;
+}
+
+HarnessOptions default_harness_options(const StudyDefinition& def) {
+  HarnessOptions options;
+  options.seed = def.options.default_seed;
+  options.threads = 0;
+  return options;
+}
+
+}  // namespace xres::study

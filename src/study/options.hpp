@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file options.hpp
+/// The harness options every study shares — observability, crash safety,
+/// CSV/report artifact paths — plus the one CLI wiring that turns a
+/// `StudyDefinition` into a parser and back. This is the single copy of
+/// the plumbing that used to be duplicated between `bench/common.cpp` and
+/// `tools/xres_cli.cpp`.
+
+#include <cstdio>
+#include <string>
+
+#include "study/registry.hpp"
+#include "util/cli.hpp"
+
+namespace xres::study {
+
+/// Observability options shared by the study drivers (docs/OBSERVABILITY.md):
+/// both artifacts are deterministic functions of the study seed,
+/// byte-identical for every --threads value.
+struct ObsOptions {
+  std::string metrics_path;  ///< non-empty: write merged metrics JSON here
+  std::string trace_path;    ///< non-empty: write Chrome trace JSON here
+
+  [[nodiscard]] bool metrics() const { return !metrics_path.empty(); }
+  [[nodiscard]] bool trace() const { return !trace_path.empty(); }
+  [[nodiscard]] bool enabled() const { return metrics() || trace(); }
+};
+
+/// The crash-safety flags (docs/ROBUSTNESS.md) as parsed from the command
+/// line; `RecoveryCoordinator` turns them into live journal/resume state.
+struct RecoveryCliOptions {
+  std::string journal_path;   ///< --journal: write-ahead trial journal here
+  bool resume{false};         ///< --resume: skip trials already journaled
+  double trial_timeout{0.0};  ///< --trial-timeout seconds (0 = off)
+  unsigned trial_retries{0};  ///< --trial-retries: extra same-seed attempts
+
+  [[nodiscard]] bool any() const {
+    return !journal_path.empty() || resume || trial_timeout > 0.0 || trial_retries > 0;
+  }
+};
+
+/// Options every harness shares. Study-specific knobs (trials, patterns,
+/// application type, ...) live in the study's parameter schema instead.
+struct HarnessOptions {
+  std::uint64_t seed{20170529};
+  unsigned threads{0};  ///< trial worker threads; 0 = all hardware threads
+  bool csv{false};
+  bool chart{false};  ///< also render ASCII bars (the figure's visual shape)
+  std::string csv_path;  ///< empty: print CSV to stdout when csv is set
+  std::string report_path;  ///< non-empty: write a markdown StudyReport here
+  ObsOptions obs;  ///< --metrics/--trace/--log-level
+  RecoveryCliOptions recovery;  ///< --journal/--resume/--trial-timeout/--trial-retries
+};
+
+/// The stream carrying run *status* — journal/resume banners, recovery
+/// summaries, wall-clock phase timings, "artifact written to" notices.
+/// Defaults to stdout (the historical byte-for-byte behavior); the suite
+/// runner points it at stderr so captured study stdout stays a
+/// deterministic artifact. Not experiment data: nothing routed here may be
+/// needed to interpret the results.
+[[nodiscard]] std::FILE* status_stream();
+void set_status_stream(std::FILE* stream);
+
+/// printf to status_stream().
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void statusf(const char* format, ...);
+
+/// Registers --metrics/--log-level (and --trace when \p with_trace) on
+/// \p cli. Workload drivers pass with_trace = false: their concurrent
+/// applications share one simulation, so per-trial tracing does not apply.
+void add_obs_options(CliParser& cli, bool with_trace = true);
+
+/// Reads them back after parse(); applies --log-level to the global logger
+/// immediately (throws CheckError on a bad name — unlike XRES_LOG, a CLI
+/// typo should fail loudly).
+[[nodiscard]] ObsOptions read_obs_options(const CliParser& cli);
+
+/// Registers --journal/--resume/--trial-timeout/--trial-retries.
+void add_recovery_options(CliParser& cli);
+
+/// Reads them back after parse(); validates combinations (--resume needs
+/// --journal, --trial-timeout >= 0) via CliParser::usage_error.
+[[nodiscard]] RecoveryCliOptions read_recovery_options(const CliParser& cli);
+
+/// Registers the full option surface of \p def on \p cli: the parameter
+/// schema first (as regular `--<key>` options), then the shared harness
+/// options its StudyOptionsSpec enables.
+void add_study_options(CliParser& cli, const StudyDefinition& def);
+
+/// Reads the schema parameters back after parse(); a value that fails the
+/// schema's type/range validation exits via CliParser::usage_error.
+[[nodiscard]] StudyParams read_study_params(const CliParser& cli,
+                                            const StudyDefinition& def);
+
+/// Reads the shared harness options back after parse() (applies
+/// --log-level, see read_obs_options). `--csv-path` implies `--csv`.
+[[nodiscard]] HarnessOptions read_harness_options(const CliParser& cli,
+                                                  const StudyDefinition& def);
+
+/// The defaults `read_harness_options` would produce with an empty command
+/// line — the starting point for programmatic runs (suite, tests).
+[[nodiscard]] HarnessOptions default_harness_options(const StudyDefinition& def);
+
+}  // namespace xres::study

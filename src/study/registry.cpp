@@ -1,0 +1,188 @@
+#include "study/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace xres::study {
+
+const char* to_string(StudyGroup group) {
+  switch (group) {
+    case StudyGroup::kFigure: return "figure";
+    case StudyGroup::kTable: return "table";
+    case StudyGroup::kAblation: return "ablation";
+    case StudyGroup::kExtension: return "extension";
+    case StudyGroup::kAdhoc: return "adhoc";
+  }
+  return "?";
+}
+
+const char* ParamSpec::type_name() const {
+  switch (type) {
+    case Type::kInt: return "int";
+    case Type::kReal: return "real";
+    case Type::kString: return "string";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Trim a %g rendering for range bounds (they are documentation, not data).
+std::string bound_text(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ParamSpec::range_text() const {
+  if (!min_value.has_value() && !max_value.has_value()) return "";
+  std::string out = "[";
+  out += min_value.has_value() ? bound_text(*min_value) : "...";
+  out += ", ";
+  out += max_value.has_value() ? bound_text(*max_value) : "...";
+  out += "]";
+  return out;
+}
+
+const ParamSpec* StudyDefinition::find_param(const std::string& key) const {
+  for (const ParamSpec& p : params) {
+    if (p.key == key) return &p;
+  }
+  return nullptr;
+}
+
+std::string StudyDefinition::help_summary() const {
+  if (!summary.empty()) return summary;
+  return name + " — " + description;
+}
+
+void validate_param_value(const ParamSpec& spec, const std::string& value) {
+  if (spec.type == ParamSpec::Type::kString) return;
+  XRES_CHECK(!value.empty(), "parameter '" + spec.key + "' needs a value");
+  char* end = nullptr;
+  double parsed = 0.0;
+  if (spec.type == ParamSpec::Type::kInt) {
+    parsed = static_cast<double>(std::strtoll(value.c_str(), &end, 10));
+    XRES_CHECK(end != nullptr && *end == '\0',
+               "parameter '" + spec.key + "' expects an integer, got '" + value + "'");
+  } else {
+    parsed = std::strtod(value.c_str(), &end);
+    XRES_CHECK(end != nullptr && *end == '\0',
+               "parameter '" + spec.key + "' expects a number, got '" + value + "'");
+  }
+  XRES_CHECK(!spec.min_value.has_value() || parsed >= *spec.min_value,
+             "parameter '" + spec.key + "' = " + value + " is below its minimum " +
+                 bound_text(*spec.min_value));
+  XRES_CHECK(!spec.max_value.has_value() || parsed <= *spec.max_value,
+             "parameter '" + spec.key + "' = " + value + " is above its maximum " +
+                 bound_text(*spec.max_value));
+}
+
+StudyParams::StudyParams(const StudyDefinition& def) : def_{&def} {
+  for (const ParamSpec& p : def.params) values_[p.key] = p.default_value;
+}
+
+void StudyParams::set(const std::string& key, const std::string& value) {
+  XRES_CHECK(def_ != nullptr, "StudyParams not bound to a study");
+  const ParamSpec* spec = def_->find_param(key);
+  XRES_CHECK(spec != nullptr,
+             "unknown parameter '" + key + "' for study '" + def_->name + "'");
+  validate_param_value(*spec, value);
+  values_[key] = value;
+}
+
+std::int64_t StudyParams::integer(const std::string& key) const {
+  const std::string v = str(key);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  XRES_CHECK(end != nullptr && *end == '\0' && !v.empty(),
+             "parameter '" + key + "' expects an integer, got '" + v + "'");
+  return parsed;
+}
+
+std::uint32_t StudyParams::u32(const std::string& key) const {
+  return static_cast<std::uint32_t>(integer(key));
+}
+
+double StudyParams::real(const std::string& key) const {
+  const std::string v = str(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  XRES_CHECK(end != nullptr && *end == '\0' && !v.empty(),
+             "parameter '" + key + "' expects a number, got '" + v + "'");
+  return parsed;
+}
+
+std::string StudyParams::str(const std::string& key) const {
+  const auto it = values_.find(key);
+  XRES_CHECK(it != values_.end(), "undeclared parameter queried: " + key);
+  return it->second;
+}
+
+namespace detail {
+void register_builtin_studies(StudyRegistry& registry);
+}  // namespace detail
+
+StudyRegistry& StudyRegistry::instance() {
+  // Leaked on purpose: study Registrations run during static init and the
+  // registry must outlive every other static destructor.
+  static StudyRegistry* registry = [] {
+    auto* r = new StudyRegistry();
+    detail::register_builtin_studies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StudyRegistry::add(StudyDefinition def) {
+  XRES_CHECK(!def.name.empty(), "study needs a name");
+  XRES_CHECK(!def.description.empty(), "study '" + def.name + "' needs a description");
+  XRES_CHECK(def.run != nullptr, "study '" + def.name + "' needs a run function");
+  XRES_CHECK(find(def.name) == nullptr, "duplicate study name: " + def.name);
+  for (const ParamSpec& p : def.params) {
+    XRES_CHECK(!p.key.empty() && p.key[0] != '-',
+               "study '" + def.name + "': parameter keys are bare names");
+    validate_param_value(p, p.default_value);
+  }
+  studies_.push_back(std::make_unique<StudyDefinition>(std::move(def)));
+}
+
+const StudyDefinition* StudyRegistry::find(const std::string& name) const {
+  for (const auto& s : studies_) {
+    if (s->name == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<const StudyDefinition*> StudyRegistry::all() const {
+  std::vector<const StudyDefinition*> out;
+  out.reserve(studies_.size());
+  for (const auto& s : studies_) out.push_back(s.get());
+  std::sort(out.begin(), out.end(),
+            [](const StudyDefinition* a, const StudyDefinition* b) {
+              if (a->group != b->group) return a->group < b->group;
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<const StudyDefinition*> StudyRegistry::group_members(
+    const std::vector<StudyGroup>& groups) const {
+  std::vector<const StudyDefinition*> out;
+  for (const StudyDefinition* def : all()) {
+    if (std::find(groups.begin(), groups.end(), def->group) != groups.end()) {
+      out.push_back(def);
+    }
+  }
+  return out;
+}
+
+Registration::Registration(StudyDefinition def) {
+  StudyRegistry::instance().add(std::move(def));
+}
+
+}  // namespace xres::study

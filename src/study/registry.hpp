@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file registry.hpp
+/// The study registry: every paper figure, table, ablation and extension
+/// experiment is registered here as data — a `StudyDefinition` with a name,
+/// a group, a one-line description, a typed parameter schema and a run
+/// function — instead of owning its own `main()`. One generic harness
+/// (study_main.hpp) then serves every scenario: the per-figure bench
+/// binaries, `xres run <study>`, `xres list`, `xres describe` and
+/// `xres suite paper` all enumerate or execute the same definitions.
+///
+/// Registration is link-time: each study translation unit plants a
+/// `Registration` object whose constructor inserts the definition into the
+/// global registry. The study TUs are compiled into the `xres_studies`
+/// object library so every consumer (bench aliases, CLI, tests) links the
+/// full catalog.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xres::study {
+
+class StudyContext;
+
+/// Which part of the paper reproduction a study belongs to. Groups order
+/// the catalog (`xres list`) and select the suite members (`xres suite
+/// paper` runs kFigure + kTable).
+enum class StudyGroup {
+  kFigure,     ///< paper Figures 1-5
+  kTable,      ///< paper Tables I-II
+  kAblation,   ///< sensitivity sweeps over modeling assumptions
+  kExtension,  ///< experiments beyond the paper (energy, paired, ...)
+  kAdhoc,      ///< parameterized exploration surfaces (xres efficiency/workload)
+};
+
+[[nodiscard]] const char* to_string(StudyGroup group);
+
+/// One entry of a study's typed parameter schema. Parameters surface both
+/// as regular CLI options (`--trials 80`) on the per-study binaries and as
+/// `--set trials=80` bindings on `xres run`.
+struct ParamSpec {
+  enum class Type { kInt, kReal, kString };
+
+  std::string key;   ///< bare name, no dashes ("trials")
+  std::string help;  ///< one line for --help / xres describe
+  Type type{Type::kInt};
+  std::string default_value;
+  /// Inclusive numeric range (kInt/kReal only); unset bound = unbounded.
+  std::optional<double> min_value;
+  std::optional<double> max_value;
+
+  /// Human-readable type name ("int", "real", "string").
+  [[nodiscard]] const char* type_name() const;
+  /// Render the range as "[min, max]" / "[min, ...]" / "" for describe.
+  [[nodiscard]] std::string range_text() const;
+};
+
+/// Which pieces of the shared harness surface a study exposes. The flags
+/// reproduce exactly the option set each pre-registry driver declared, so
+/// every historical invocation keeps working.
+struct StudyOptionsSpec {
+  bool seed{true};  ///< --seed (default below)
+  std::uint64_t default_seed{20170529};
+  bool threads{true};  ///< --threads (studies with a serial sweep omit it)
+  bool csv{false};     ///< --csv / --csv-path
+  bool chart{false};   ///< --chart ASCII bars
+  bool report{false};  ///< --report markdown artifact
+  enum class Obs {
+    kNone,       ///< no observability flags (static tables)
+    kWithTrace,  ///< --metrics / --trace / --log-level
+    kNoTrace,    ///< --metrics / --log-level (concurrent-workload studies)
+  } obs{Obs::kWithTrace};
+  bool recovery{true};  ///< --journal/--resume/--trial-timeout/--trial-retries
+};
+
+/// One registered scenario.
+struct StudyDefinition {
+  std::string name;  ///< unique, the bench binary name ("fig1_efficiency_a32")
+  StudyGroup group{StudyGroup::kAblation};
+  std::string description;  ///< one line for the catalog
+  /// --help header; empty → "<name> — <description>".
+  std::string summary;
+  /// Identifies this study's write-ahead journals (recovery::JournalMeta);
+  /// empty → name. Figure 1-3 keep their historical title strings.
+  std::string journal_id;
+  StudyOptionsSpec options;
+  std::vector<ParamSpec> params;
+  /// The experiment body. Receives parsed params + harness options +
+  /// lazily-constructed obs/recovery plumbing; returns the process exit
+  /// code (0, or recovery::kExitInterrupted after a drained shutdown).
+  std::function<int(StudyContext&)> run;
+
+  [[nodiscard]] const ParamSpec* find_param(const std::string& key) const;
+  [[nodiscard]] std::string help_summary() const;
+  [[nodiscard]] const std::string& journal_study() const {
+    return journal_id.empty() ? name : journal_id;
+  }
+};
+
+/// Validated key→value bindings for one run of a study, defaulted from the
+/// schema. Accessors parse on read (like CliParser) — validate() has
+/// already guaranteed they succeed.
+class StudyParams {
+ public:
+  StudyParams() = default;
+  /// Schema defaults for \p def (kept alive by the registry).
+  explicit StudyParams(const StudyDefinition& def);
+
+  /// Bind \p key to \p value. Throws CheckError on unknown key, a value
+  /// that does not parse as the declared type, or one outside the range.
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::int64_t integer(const std::string& key) const;
+  [[nodiscard]] std::uint32_t u32(const std::string& key) const;
+  [[nodiscard]] double real(const std::string& key) const;
+  [[nodiscard]] std::string str(const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
+ private:
+  const StudyDefinition* def_{nullptr};
+  std::map<std::string, std::string> values_;
+};
+
+/// Throws CheckError when \p value is not a valid binding for \p spec.
+void validate_param_value(const ParamSpec& spec, const std::string& value);
+
+/// The global study catalog.
+class StudyRegistry {
+ public:
+  /// The singleton, with the built-in adhoc studies (efficiency, workload)
+  /// registered on first use.
+  [[nodiscard]] static StudyRegistry& instance();
+
+  /// Register a study. Throws CheckError on a duplicate name, an empty
+  /// description, a missing run function, or an invalid schema default.
+  void add(StudyDefinition def);
+
+  /// nullptr when unknown.
+  [[nodiscard]] const StudyDefinition* find(const std::string& name) const;
+
+  /// Every study, ordered by (group, name) — the catalog/suite order.
+  [[nodiscard]] std::vector<const StudyDefinition*> all() const;
+
+  /// The (group, name)-ordered subset belonging to \p groups.
+  [[nodiscard]] std::vector<const StudyDefinition*> group_members(
+      const std::vector<StudyGroup>& groups) const;
+
+  [[nodiscard]] std::size_t size() const { return studies_.size(); }
+
+ private:
+  StudyRegistry() = default;
+  std::vector<std::unique_ptr<StudyDefinition>> studies_;
+};
+
+/// Plant one of these at namespace scope to register a study at link time:
+///   namespace { const study::Registration registered{make_definition()}; }
+struct Registration {
+  explicit Registration(StudyDefinition def);
+};
+
+}  // namespace xres::study

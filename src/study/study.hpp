@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file study.hpp
+/// Umbrella header for the study subsystem: the registry of every paper
+/// figure/table/ablation/extension scenario, the shared harness plumbing,
+/// the generic driver main and the paper suite runner.
+
+#include "study/capture.hpp"    // IWYU pragma: export
+#include "study/context.hpp"    // IWYU pragma: export
+#include "study/figure.hpp"     // IWYU pragma: export
+#include "study/harness.hpp"    // IWYU pragma: export
+#include "study/options.hpp"    // IWYU pragma: export
+#include "study/registry.hpp"   // IWYU pragma: export
+#include "study/study_main.hpp" // IWYU pragma: export
+#include "study/suite.hpp"      // IWYU pragma: export

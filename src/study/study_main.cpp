@@ -1,0 +1,29 @@
+#include "study/study_main.hpp"
+
+#include <cstdio>
+
+#include "study/options.hpp"
+
+namespace xres::study {
+
+int study_main(const std::string& name, int argc, const char* const* argv) {
+  const StudyDefinition* def = StudyRegistry::instance().find(name);
+  if (def == nullptr) {
+    std::fprintf(stderr, "unknown study '%s' — see `xres list` for the catalog\n",
+                 name.c_str());
+    return 1;
+  }
+  CliParser cli{def->help_summary()};
+  add_study_options(cli, *def);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  StudyParams params = read_study_params(cli, *def);
+  HarnessOptions options = read_harness_options(cli, *def);
+  return run_study(*def, std::move(params), std::move(options));
+}
+
+int run_study(const StudyDefinition& def, StudyParams params, HarnessOptions options) {
+  StudyContext ctx{def, std::move(params), std::move(options)};
+  return def.run(ctx);
+}
+
+}  // namespace xres::study

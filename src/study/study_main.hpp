@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file study_main.hpp
+/// The one generic driver main every study binary shares. A per-figure
+/// bench executable is now a two-line alias:
+///
+///   #include "study/study_main.hpp"
+///   int main(int argc, char** argv) {
+///     return xres::study::study_main("fig1_efficiency_a32", argc, argv);
+///   }
+///
+/// and `xres run <study>` forwards here too.
+
+#include <string>
+
+#include "study/context.hpp"
+#include "study/registry.hpp"
+
+namespace xres::study {
+
+/// Parse \p argv against the study's declared option surface, then run it.
+/// Returns the process exit code (0; CliParser::kExitUsage paths exit
+/// directly; recovery::kExitInterrupted after a drained shutdown). Unknown
+/// \p name prints the catalog hint to stderr and returns 1.
+int study_main(const std::string& name, int argc, const char* const* argv);
+
+/// Programmatic entry (suite runner, tests): run \p def with explicit
+/// parameter bindings and harness options, no CLI involved.
+int run_study(const StudyDefinition& def, StudyParams params, HarnessOptions options);
+
+}  // namespace xres::study

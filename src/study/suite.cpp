@@ -1,0 +1,277 @@
+#include "study/suite.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "recovery/json_parse.hpp"
+#include "study/capture.hpp"
+#include "study/options.hpp"
+#include "study/study_main.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace xres::study {
+
+namespace {
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    XRES_CHECK(false, "cannot create directory: " + path);
+  }
+}
+
+/// Remove temporaries a SIGKILLed run left behind (StdoutCapture's
+/// `<path>.tmp`, write_file_atomic's `<path>.tmp.<pid>`) so they never show
+/// up as stray diffs between suite output directories.
+void remove_stale_temporaries(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> stale;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.find(".tmp") != std::string::npos) stale.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  for (const std::string& path : stale) std::remove(path.c_str());
+}
+
+[[nodiscard]] bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return in.good() || in.eof();
+}
+
+/// `git describe --always --dirty` of the working tree, "unknown" when git
+/// (or the repo) is unavailable. Identifies the code that produced a
+/// manifest; identical across reruns of the same checkout.
+std::string git_describe() {
+  std::FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[256];
+  std::string out;
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+struct ArtifactEntry {
+  std::string path;  ///< relative to --out-dir
+  std::uint32_t crc{0};
+  std::uint64_t bytes{0};
+};
+
+struct StudyEntry {
+  const StudyDefinition* def{nullptr};
+  StudyParams params;
+  std::uint64_t seed{0};
+  std::vector<ArtifactEntry> artifacts;
+};
+
+/// Checksum `out_dir/rel` into an ArtifactEntry; false when the study did
+/// not produce it (it is then omitted from the manifest).
+bool checksum_artifact(const std::string& out_dir, const std::string& rel,
+                       ArtifactEntry& entry) {
+  std::string content;
+  if (!read_file(out_dir + "/" + rel, content)) return false;
+  entry.path = rel;
+  entry.crc = crc32(content);
+  entry.bytes = content.size();
+  return true;
+}
+
+void write_manifest(const std::string& out_dir, const SuiteOptions& options,
+                    const std::vector<StudyEntry>& entries) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("suite").value("paper");
+  w.key("git").value(git_describe());
+  w.key("trials_override").value(static_cast<std::uint64_t>(options.trials));
+  w.key("studies").begin_array();
+  for (const StudyEntry& e : entries) {
+    w.begin_object();
+    w.key("study").value(e.def->name);
+    w.key("group").value(to_string(e.def->group));
+    w.key("seed").value(e.seed);
+    w.key("params").begin_object();
+    for (const auto& [key, value] : e.params.values()) w.key(key).value(value);
+    w.end_object();
+    w.key("artifacts").begin_array();
+    for (const ArtifactEntry& a : e.artifacts) {
+      w.begin_object();
+      w.key("path").value(a.path);
+      w.key("crc32").value(crc32_hex(a.crc));
+      w.key("bytes").value(a.bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_file_atomic(out_dir + "/" + kManifestName, w.str() + "\n");
+}
+
+}  // namespace
+
+int run_suite_paper(const SuiteOptions& options) {
+  XRES_CHECK(!options.out_dir.empty(), "suite needs --out-dir");
+  make_dir(options.out_dir);
+  make_dir(options.out_dir + "/journals");
+  remove_stale_temporaries(options.out_dir);
+
+  const std::vector<const StudyDefinition*> studies =
+      StudyRegistry::instance().group_members(
+          {StudyGroup::kFigure, StudyGroup::kTable});
+  XRES_CHECK(!studies.empty(), "no figure/table studies registered");
+
+  // Artifacts must stay deterministic: run status moves to stderr for the
+  // whole suite so the captured stdout .txt files carry experiment output
+  // only.
+  set_status_stream(stderr);
+  std::vector<StudyEntry> entries;
+  int exit_code = 0;
+
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    const StudyDefinition& def = *studies[i];
+    std::fprintf(stderr, "[suite %zu/%zu] %s\n", i + 1, studies.size(),
+                 def.name.c_str());
+
+    StudyEntry entry;
+    entry.def = &def;
+    entry.params = StudyParams{def};
+    if (options.trials != 0) {
+      for (const char* key : {"trials", "patterns", "traces"}) {
+        if (def.find_param(key) != nullptr) {
+          entry.params.set(key, std::to_string(options.trials));
+        }
+      }
+    }
+
+    HarnessOptions harness = default_harness_options(def);
+    entry.seed = harness.seed;
+    if (def.options.threads) harness.threads = options.threads;
+    std::vector<std::string> expected{def.name + ".txt"};
+    if (def.options.csv) {
+      harness.csv = true;
+      harness.csv_path = options.out_dir + "/" + def.name + ".csv";
+      expected.push_back(def.name + ".csv");
+    }
+    if (def.options.report) {
+      harness.report_path = options.out_dir + "/" + def.name + ".md";
+      expected.push_back(def.name + ".md");
+    }
+    if (def.options.obs != StudyOptionsSpec::Obs::kNone) {
+      harness.obs.metrics_path = options.out_dir + "/" + def.name + ".metrics.json";
+      expected.push_back(def.name + ".metrics.json");
+    }
+    if (def.options.recovery) {
+      harness.recovery.journal_path =
+          options.out_dir + "/journals/" + def.name + ".jsonl";
+      harness.recovery.resume = options.resume;
+    }
+
+    int rc = 0;
+    try {
+      StdoutCapture capture{options.out_dir + "/" + def.name + ".txt"};
+      rc = run_study(def, entry.params, harness);
+      capture.finish();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "suite: %s failed: %s\n", def.name.c_str(), e.what());
+      exit_code = 1;
+      break;
+    }
+    if (rc != 0) {
+      std::fprintf(stderr, "suite: %s exited with %d\n", def.name.c_str(), rc);
+      exit_code = rc;
+      break;
+    }
+
+    for (const std::string& rel : expected) {
+      ArtifactEntry artifact;
+      if (checksum_artifact(options.out_dir, rel, artifact)) {
+        entry.artifacts.push_back(std::move(artifact));
+      } else {
+        std::fprintf(stderr, "suite: %s did not produce %s\n", def.name.c_str(),
+                     rel.c_str());
+        exit_code = 1;
+      }
+    }
+    entries.push_back(std::move(entry));
+    if (exit_code != 0) break;
+  }
+
+  set_status_stream(stdout);
+  if (exit_code != 0) return exit_code;
+
+  write_manifest(options.out_dir, options, entries);
+  std::size_t artifact_count = 0;
+  for (const StudyEntry& e : entries) artifact_count += e.artifacts.size();
+  std::fprintf(stderr, "suite: %zu studies, %zu artifacts, manifest written to %s/%s\n",
+               entries.size(), artifact_count, options.out_dir.c_str(), kManifestName);
+  return 0;
+}
+
+int verify_suite(const std::string& out_dir) {
+  std::string text;
+  if (!read_file(out_dir + "/" + kManifestName, text)) {
+    std::fprintf(stderr, "suite verify: no %s in %s\n", kManifestName, out_dir.c_str());
+    return 1;
+  }
+  recovery::JsonValue manifest;
+  try {
+    manifest = recovery::parse_json(text);
+  } catch (const recovery::JsonParseError& e) {
+    std::fprintf(stderr, "suite verify: malformed manifest: %s\n", e.what());
+    return 1;
+  }
+
+  int problems = 0;
+  std::size_t checked = 0;
+  try {
+    for (const recovery::JsonValue& study : manifest.at("studies").as_array()) {
+      const std::string& name = study.at("study").as_string();
+      for (const recovery::JsonValue& artifact : study.at("artifacts").as_array()) {
+        const std::string& rel = artifact.at("path").as_string();
+        const std::string& want = artifact.at("crc32").as_string();
+        std::string content;
+        if (!read_file(out_dir + "/" + rel, content)) {
+          std::printf("MISSING  %s (%s)\n", rel.c_str(), name.c_str());
+          ++problems;
+          continue;
+        }
+        const std::string got = crc32_hex(crc32(content));
+        if (got != want) {
+          std::printf("MISMATCH %s (%s): manifest %s, file %s\n", rel.c_str(),
+                      name.c_str(), want.c_str(), got.c_str());
+          ++problems;
+          continue;
+        }
+        ++checked;
+      }
+    }
+  } catch (const recovery::JsonParseError& e) {
+    std::fprintf(stderr, "suite verify: manifest missing fields: %s\n", e.what());
+    return 1;
+  }
+
+  if (problems != 0) {
+    std::printf("suite verify: %d problem(s), %zu artifact(s) OK\n", problems, checked);
+    return 1;
+  }
+  std::printf("suite verify: all %zu artifact(s) match %s\n", checked, kManifestName);
+  return 0;
+}
+
+}  // namespace xres::study

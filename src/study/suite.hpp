@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file suite.hpp
+/// `xres suite paper`: regenerate every paper figure/table artifact in one
+/// deterministic, resumable invocation. Each figure/table study runs with
+/// its artifact paths pointed into --out-dir, its stdout captured to
+/// `<study>.txt`, and its trial journal under `journals/`; a final
+/// `manifest.json` records what was produced (study, params, seed,
+/// git-describe, relative artifact paths + CRC32s). `xres suite verify`
+/// re-checksums an output directory against its manifest.
+///
+/// Determinism contract: two suite runs with the same options produce
+/// byte-identical artifacts and manifest, whatever --threads says and
+/// whether or not a run was killed and resumed — run status (banners,
+/// progress, wall-clock timings) goes to stderr, never into an artifact.
+
+#include <cstdint>
+#include <string>
+
+namespace xres::study {
+
+struct SuiteOptions {
+  std::string out_dir;
+  /// 0 = every study's own default; otherwise overrides the study's
+  /// trials/patterns/traces parameter (whichever it declares) — how CI runs
+  /// the whole suite in seconds.
+  std::uint32_t trials{0};
+  unsigned threads{0};  ///< forwarded to every study that takes --threads
+  bool resume{false};   ///< resume from the journals of a killed run
+};
+
+/// The manifest file name inside --out-dir.
+inline constexpr const char* kManifestName = "manifest.json";
+
+/// Run the paper suite (figure + table studies, catalog order). Returns 0,
+/// or the first failing study's exit code.
+int run_suite_paper(const SuiteOptions& options);
+
+/// Verify \p out_dir against its manifest: every artifact present with a
+/// matching CRC32. Prints one line per problem; returns 0 when clean, 1
+/// otherwise.
+int verify_suite(const std::string& out_dir);
+
+}  // namespace xres::study

@@ -86,6 +86,9 @@
 #include "core/workload_record.hpp"
 #include "core/workload_study.hpp"
 
+// Study registry, shared harness, generic main and paper suite
+#include "study/study.hpp"
+
 namespace xres {
 
 /// Library version (major.minor.patch).

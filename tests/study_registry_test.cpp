@@ -1,0 +1,162 @@
+// Tests for the xres::study registry: the catalog is complete and
+// well-formed, parameter schemas validate, and the generic study_main
+// rejects bad invocations with the usage exit code.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "study/options.hpp"
+#include "study/registry.hpp"
+#include "study/study_main.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace xres::study {
+namespace {
+
+TEST(StudyRegistry, CatalogIsEnumerableAndWellFormed) {
+  const StudyRegistry& registry = StudyRegistry::instance();
+  const std::vector<const StudyDefinition*> all = registry.all();
+  EXPECT_GE(all.size(), 21u);
+  EXPECT_EQ(all.size(), registry.size());
+
+  std::set<std::string> names;
+  for (const StudyDefinition* def : all) {
+    ASSERT_NE(def, nullptr);
+    EXPECT_FALSE(def->name.empty());
+    EXPECT_TRUE(names.insert(def->name).second) << "duplicate name: " << def->name;
+    EXPECT_FALSE(def->description.empty()) << def->name;
+    EXPECT_TRUE(static_cast<bool>(def->run)) << def->name;
+    EXPECT_EQ(registry.find(def->name), def);
+  }
+}
+
+TEST(StudyRegistry, CatalogOrderedByGroupThenName) {
+  const std::vector<const StudyDefinition*> all = StudyRegistry::instance().all();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const StudyDefinition& a = *all[i - 1];
+    const StudyDefinition& b = *all[i];
+    const bool ordered =
+        a.group < b.group || (a.group == b.group && a.name < b.name);
+    EXPECT_TRUE(ordered) << a.name << " before " << b.name;
+  }
+}
+
+TEST(StudyRegistry, PaperStudiesArePresent) {
+  const StudyRegistry& registry = StudyRegistry::instance();
+  for (const char* name :
+       {"fig1_efficiency_a32", "fig2_efficiency_d64", "fig3_efficiency_d64_mtbf2p5",
+        "fig4_resource_management", "fig5_resilience_selection", "table1_app_types",
+        "table2_parameters", "efficiency", "workload"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.find("no_such_study"), nullptr);
+
+  // The suite membership: every paper figure and table, nothing else.
+  const auto suite =
+      registry.group_members({StudyGroup::kFigure, StudyGroup::kTable});
+  EXPECT_EQ(suite.size(), 7u);
+}
+
+TEST(StudyRegistry, JournalIdsKeepHistoricalIdentities) {
+  const StudyRegistry& registry = StudyRegistry::instance();
+  // Figure 1-3 journals are identified by their historical title strings so
+  // pre-registry journals stay resumable.
+  EXPECT_EQ(registry.find("fig1_efficiency_a32")->journal_study(),
+            "Figure 1: efficiency vs. system share, application A32, MTBF 10 y");
+  EXPECT_EQ(registry.find("fig2_efficiency_d64")->journal_study(),
+            "Figure 2: efficiency vs. system share, application D64, MTBF 10 y");
+  EXPECT_EQ(registry.find("fig3_efficiency_d64_mtbf2p5")->journal_study(),
+            "Figure 3: efficiency vs. system share, application D64, MTBF 2.5 y");
+  EXPECT_EQ(registry.find("efficiency")->journal_study(), "xres efficiency");
+  EXPECT_EQ(registry.find("workload")->journal_study(), "xres workload");
+  // Everything else journals under its own name.
+  EXPECT_EQ(registry.find("ablation_severity_pmf")->journal_study(),
+            "ablation_severity_pmf");
+}
+
+TEST(StudyRegistry, SchemaDefaultsParseThroughAccessors) {
+  for (const StudyDefinition* def : StudyRegistry::instance().all()) {
+    const StudyParams params{*def};
+    EXPECT_EQ(params.values().size(), def->params.size()) << def->name;
+    for (const ParamSpec& spec : def->params) {
+      EXPECT_FALSE(spec.help.empty()) << def->name << " --" << spec.key;
+      switch (spec.type) {
+        case ParamSpec::Type::kInt:
+          EXPECT_NO_THROW((void)params.integer(spec.key))
+              << def->name << " --" << spec.key;
+          break;
+        case ParamSpec::Type::kReal:
+          EXPECT_NO_THROW((void)params.real(spec.key))
+              << def->name << " --" << spec.key;
+          break;
+        case ParamSpec::Type::kString:
+          EXPECT_NO_THROW((void)params.str(spec.key))
+              << def->name << " --" << spec.key;
+          break;
+      }
+      // The default must satisfy the spec's own validation.
+      EXPECT_NO_THROW(validate_param_value(spec, spec.default_value))
+          << def->name << " --" << spec.key;
+    }
+  }
+}
+
+TEST(StudyRegistry, ParamBindingValidation) {
+  const StudyDefinition* def = StudyRegistry::instance().find("fig1_efficiency_a32");
+  ASSERT_NE(def, nullptr);
+  StudyParams params{*def};
+
+  EXPECT_NO_THROW(params.set("trials", "80"));
+  EXPECT_EQ(params.u32("trials"), 80u);
+
+  EXPECT_THROW(params.set("no_such_key", "1"), CheckError);
+  EXPECT_THROW(params.set("trials", "bogus"), CheckError);
+  EXPECT_THROW(params.set("trials", "0"), CheckError);  // below the minimum
+}
+
+TEST(StudyRegistry, CsvPathImpliesCsv) {
+  const StudyDefinition* def = StudyRegistry::instance().find("fig1_efficiency_a32");
+  ASSERT_NE(def, nullptr);
+  CliParser cli{def->help_summary()};
+  add_study_options(cli, *def);
+  const char* argv[] = {"prog", "--csv-path", "/tmp/implied.csv"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  const HarnessOptions options = read_harness_options(cli, *def);
+  EXPECT_TRUE(options.csv);
+  EXPECT_EQ(options.csv_path, "/tmp/implied.csv");
+}
+
+using StudyMainDeathTest = ::testing::Test;
+
+TEST(StudyMainDeathTest, UnknownStudyReturnsOne) {
+  const char* argv[] = {"prog"};
+  EXPECT_EQ(study_main("no_such_study", 1, argv), 1);
+}
+
+TEST(StudyMainDeathTest, UnknownOptionExitsUsage) {
+  // `xres run <study> --set nonexistent=5` lowers into exactly this argv, so
+  // this is the unknown-`--set`-key exit path.
+  const char* argv[] = {"prog", "--nonexistent=5"};
+  EXPECT_EXIT(study_main("fig1_efficiency_a32", 2, argv),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "unknown option");
+}
+
+TEST(StudyMainDeathTest, BadParamValueExitsUsage) {
+  const char* argv[] = {"prog", "--trials=bogus"};
+  EXPECT_EXIT(study_main("fig1_efficiency_a32", 2, argv),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "trials");
+}
+
+TEST(StudyMainDeathTest, ResumeWithoutJournalExitsUsage) {
+  const char* argv[] = {"prog", "--resume"};
+  EXPECT_EXIT(study_main("fig1_efficiency_a32", 2, argv),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "--resume");
+}
+
+}  // namespace
+}  // namespace xres::study

@@ -11,6 +11,9 @@
 # Set XRES_PERF_GATE=1 to additionally run the engine microbenchmarks and
 # diff them against bench/BENCH_engine.baseline.json (>15% regression
 # fails; see docs/PERFORMANCE.md for the policy and baseline procedure).
+# Set XRES_SMOKE_ALL=1 to additionally byte-compare every registered
+# study's artifacts across --threads 1 vs 2 (tier-1 ctest runs a fast
+# subset; see tests/study_smoke_test.cpp).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -122,6 +125,42 @@ determinism_check() {
   echo "determinism: OK (repeat + threads 1 vs 4 byte-identical)"
 }
 determinism_check
+
+# Suite stage (docs/STUDIES.md): `xres suite paper` must regenerate every
+# figure/table artifact deterministically, validate its manifest CRCs, and
+# after a SIGKILL mid-suite complete byte-identically under --resume.
+suite_check() {
+  local dir="$OBS_TMP/suite"
+  mkdir -p "$dir"
+  "$BUILD"/tools/xres suite paper --out-dir "$dir/ref" --trials 2 > /dev/null
+  "$BUILD"/tools/xres suite verify --out-dir "$dir/ref"
+
+  # Hard kill mid-suite. If the race is lost and the suite finishes first,
+  # the resume below degenerates to a full journal replay — still valid.
+  "$BUILD"/tools/xres suite paper --out-dir "$dir/crash" --trials 2 \
+    > /dev/null 2>&1 &
+  local pid=$!
+  sleep 0.25
+  kill -9 "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+
+  "$BUILD"/tools/xres suite paper --out-dir "$dir/crash" --trials 2 --resume \
+    > /dev/null
+  "$BUILD"/tools/xres suite verify --out-dir "$dir/crash"
+  # Journals hold the crashed run's partial progress and differ by design;
+  # every artifact and the manifest itself must match byte for byte.
+  diff -r --exclude=journals "$dir/ref" "$dir/crash"
+  echo "suite: OK (manifest CRCs valid, SIGKILL + --resume byte-identical)"
+}
+suite_check
+
+# Opt-in full-catalog smoke: every registered study at tiny trial counts,
+# --threads 1 vs 2, artifacts byte-compared (tier-1 ctest covers a fast
+# one-per-group subset unconditionally).
+if [[ "${XRES_SMOKE_ALL:-0}" == "1" ]]; then
+  XRES_SMOKE_ALL=1 "$BUILD"/tests/xres_tests \
+    --gtest_filter='StudySmoke.FullCatalogThreadsInvariant'
+fi
 
 # Opt-in perf gate: compare engine microbenchmarks against the committed
 # baseline. Off by default — shared/loaded runners are too noisy to block
