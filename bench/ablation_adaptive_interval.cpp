@@ -92,7 +92,7 @@ study::StudyDefinition make() {
   def.summary = "ablation_adaptive_interval — static vs adaptive Eq.-4 interval "
                 "under misspecified MTBF";
   def.options.default_seed = 15;
-  def.params = {{"trials", "trials per cell", study::ParamSpec::Type::kInt, "40", 1, {}}};
+  def.params.integer("trials", "trials per cell", 40).min(1);
   def.run = run;
   return def;
 }

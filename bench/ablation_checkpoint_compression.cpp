@@ -73,10 +73,8 @@ study::StudyDefinition make() {
   def.summary = "ablation_checkpoint_compression — technique efficiency vs. "
                 "checkpoint image size";
   def.options.default_seed = 17;
-  def.params = {
-      {"trials", "trials per cell", study::ParamSpec::Type::kInt, "40", 1, {}},
-      {"mtbf-years", "node MTBF", study::ParamSpec::Type::kReal, "2.5", 0.001, {}},
-  };
+  def.params.integer("trials", "trials per cell", 40).min(1);
+  def.params.real("mtbf-years", "node MTBF", 2.5).min(0.001);
   def.run = run;
   return def;
 }

@@ -80,8 +80,7 @@ study::StudyDefinition make() {
   def.summary = "ablation_checkpoint_interval — simulated efficiency vs. "
                 "checkpoint-interval multiplier";
   def.options.default_seed = 10;
-  def.params = {{"trials", "trials per multiplier", study::ParamSpec::Type::kInt,
-                 "80", 1, {}}};
+  def.params.integer("trials", "trials per multiplier", 80).min(1);
   def.run = run;
   return def;
 }

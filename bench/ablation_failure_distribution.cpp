@@ -78,7 +78,7 @@ study::StudyDefinition make() {
   def.summary = "ablation_failure_distribution — technique efficiency vs. "
                 "failure inter-arrival shape";
   def.options.default_seed = 9;
-  def.params = {{"trials", "trials per cell", study::ParamSpec::Type::kInt, "60", 1, {}}};
+  def.params.integer("trials", "trials per cell", 60).min(1);
   def.run = run;
   return def;
 }

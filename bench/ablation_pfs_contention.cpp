@@ -107,8 +107,7 @@ study::StudyDefinition make() {
   def.options.default_seed = 20170530;
   def.options.threads = false;  // pattern runs are serial in this sweep
   def.options.obs = study::StudyOptionsSpec::Obs::kNoTrace;
-  def.params = {{"patterns", "arrival patterns per cell", study::ParamSpec::Type::kInt,
-                 "15", 1, {}}};
+  def.params.integer("patterns", "arrival patterns per cell", 15).min(1);
   def.run = run;
   return def;
 }

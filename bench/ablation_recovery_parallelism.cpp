@@ -64,7 +64,7 @@ study::StudyDefinition make() {
       "parallel recovery's sensitivity to the recovery-parallelism factor P";
   def.summary = "ablation_recovery_parallelism — parallel recovery vs. P";
   def.options.default_seed = 8;
-  def.params = {{"trials", "trials per P", study::ParamSpec::Type::kInt, "60", 1, {}}};
+  def.params.integer("trials", "trials per P", 60).min(1);
   def.run = run;
   return def;
 }

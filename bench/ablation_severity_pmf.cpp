@@ -81,7 +81,7 @@ study::StudyDefinition make() {
       "severity PMF";
   def.summary = "ablation_severity_pmf — multilevel efficiency vs. severity PMF";
   def.options.default_seed = 7;
-  def.params = {{"trials", "trials per PMF", study::ParamSpec::Type::kInt, "60", 1, {}}};
+  def.params.integer("trials", "trials per PMF", 60).min(1);
   def.run = run;
   return def;
 }

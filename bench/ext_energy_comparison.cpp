@@ -82,13 +82,11 @@ study::StudyDefinition make() {
       "energy consumed per resilience technique (companion study [7])";
   def.summary = "ext_energy_comparison — energy per technique (companion study [7])";
   def.options.default_seed = 11;
-  def.params = {
-      {"trials", "trials per technique", study::ParamSpec::Type::kInt, "40", 1, {}},
-      {"type", "application type (Table I)", study::ParamSpec::Type::kString,
-       "C64", {}, {}},
-      {"system-share", "fraction of machine used", study::ParamSpec::Type::kReal,
-       "0.25", 0.0001, 1.0},
-  };
+  def.params.integer("trials", "trials per technique", 40).min(1);
+  def.params.text("type", "application type (Table I)", "C64");
+  def.params.real("system-share", "fraction of machine used", 0.25)
+      .min(0.0001)
+      .max(1.0);
   def.run = run;
   return def;
 }

@@ -101,14 +101,11 @@ study::StudyDefinition make() {
       "common-random-number technique duel on shared failure traces";
   def.summary = "ext_paired_comparison — common-random-number technique duel";
   def.options.default_seed = 13;
-  def.params = {
-      {"traces", "failure traces (pairs) to replay", study::ParamSpec::Type::kInt,
-       "30", 1, {}},
-      {"type", "application type (Table I)", study::ParamSpec::Type::kString,
-       "D64", {}, {}},
-      {"system-share", "fraction of machine used", study::ParamSpec::Type::kReal,
-       "0.25", 0.0001, 1.0},
-  };
+  def.params.integer("traces", "failure traces (pairs) to replay", 30).min(1);
+  def.params.text("type", "application type (Table I)", "D64");
+  def.params.real("system-share", "fraction of machine used", 0.25)
+      .min(0.0001)
+      .max(1.0);
   def.run = run;
   return def;
 }

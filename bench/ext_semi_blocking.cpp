@@ -76,11 +76,8 @@ study::StudyDefinition make() {
       "blocking vs. semi-blocking checkpoint/restart across application sizes";
   def.summary = "ext_semi_blocking — blocking vs semi-blocking checkpointing";
   def.options.default_seed = 19;
-  def.params = {
-      {"trials", "trials per cell", study::ParamSpec::Type::kInt, "40", 1, {}},
-      {"type", "application type (Table I)", study::ParamSpec::Type::kString,
-       "A32", {}, {}},
-  };
+  def.params.integer("trials", "trials per cell", 40).min(1);
+  def.params.text("type", "application type (Table I)", "A32");
   def.run = run;
   return def;
 }

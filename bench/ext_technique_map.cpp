@@ -99,11 +99,8 @@ study::StudyDefinition make() {
   def.summary = "ext_technique_map — simulated optimal technique per "
                 "(type x size) cell";
   def.options.default_seed = 23;
-  def.params = {
-      {"trials", "trials per technique per cell", study::ParamSpec::Type::kInt,
-       "20", 1, {}},
-      {"mtbf-years", "node MTBF", study::ParamSpec::Type::kReal, "10", 0.001, {}},
-  };
+  def.params.integer("trials", "trials per technique per cell", 20).min(1);
+  def.params.real("mtbf-years", "node MTBF", 10).min(0.001);
   def.run = run;
   return def;
 }

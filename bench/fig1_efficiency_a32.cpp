@@ -33,8 +33,7 @@ study::StudyDefinition make() {
   def.options.csv = true;
   def.options.chart = true;
   def.options.report = true;
-  def.params = {{"trials", "trials per bar (paper: 200)",
-                 study::ParamSpec::Type::kInt, "200", 1, {}}};
+  def.params.integer("trials", "trials per bar (paper: 200)", 200).min(1);
   def.run = run;
   return def;
 }

@@ -87,8 +87,7 @@ study::StudyDefinition make() {
   def.options.default_seed = 20170530;
   def.options.csv = true;
   def.options.obs = study::StudyOptionsSpec::Obs::kNoTrace;
-  def.params = {{"patterns", "arrival patterns per combo (paper: 50)",
-                 study::ParamSpec::Type::kInt, "50", 1, {}}};
+  def.params.integer("patterns", "arrival patterns per combo (paper: 50)", 50).min(1);
   def.run = run;
   return def;
 }

@@ -22,25 +22,6 @@
 
 namespace xres {
 
-/// Deprecated serial entry points — thin forwarders kept so existing
-/// callers compile. New code uses `run_trial` / `TrialExecutor`.
-[[deprecated("use run_trial(SingleAppTrialConfig, seed)")]] [[nodiscard]] inline ExecutionResult
-run_single_app_trial(const SingleAppTrialConfig& config, std::uint64_t seed) {
-  return run_trial(config, seed);
-}
-
-[[deprecated("use run_trial(PlanTrialSpec, seed)")]] [[nodiscard]] inline ExecutionResult
-run_plan_trial(const ExecutionPlan& plan, const ResilienceConfig& resilience,
-               FailureDistribution failure_distribution, std::uint64_t seed) {
-  return run_trial(PlanTrialSpec{plan, resilience, failure_distribution}, seed);
-}
-
-[[deprecated("use run_trial(TraceTrialSpec, seed)")]] [[nodiscard]] inline ExecutionResult
-run_plan_trial_with_trace(const ExecutionPlan& plan, const ResilienceConfig& resilience,
-                          const FailureTrace& trace, std::uint64_t seed) {
-  return run_trial(TraceTrialSpec{plan, resilience, trace}, seed);
-}
-
 /// A full figure: sweep application size × technique.
 struct EfficiencyStudyConfig {
   MachineSpec machine{MachineSpec::exascale()};

@@ -44,6 +44,11 @@ const std::string& JsonValue::as_string() const {
   return scalar_;
 }
 
+const std::string& JsonValue::number_text() const {
+  if (kind_ != Kind::kNumber) throw JsonParseError{"JSON value is not a number"};
+  return scalar_;
+}
+
 const std::vector<JsonValue>& JsonValue::as_array() const {
   if (kind_ != Kind::kArray) throw JsonParseError{"JSON value is not an array"};
   return array_;

@@ -46,6 +46,8 @@ class JsonValue {
   [[nodiscard]] std::uint64_t as_u64() const;
   [[nodiscard]] std::int64_t as_i64() const;
   [[nodiscard]] const std::string& as_string() const;
+  /// Raw number token text, exactly as it appeared in the document.
+  [[nodiscard]] const std::string& number_text() const;
   [[nodiscard]] const std::vector<JsonValue>& as_array() const;
   [[nodiscard]] const std::vector<JsonMember>& as_object() const;
 

@@ -20,14 +20,14 @@ namespace xres::study {
 
 class StudyContext {
  public:
-  StudyContext(const StudyDefinition& def, StudyParams params, HarnessOptions options)
+  StudyContext(const StudyDefinition& def, ParamSet params, HarnessOptions options)
       : def_{&def}, params_{std::move(params)}, options_{std::move(options)} {}
 
   StudyContext(const StudyContext&) = delete;
   StudyContext& operator=(const StudyContext&) = delete;
 
   [[nodiscard]] const StudyDefinition& definition() const { return *def_; }
-  [[nodiscard]] const StudyParams& params() const { return params_; }
+  [[nodiscard]] const ParamSet& params() const { return params_; }
   [[nodiscard]] const HarnessOptions& options() const { return options_; }
 
   [[nodiscard]] std::uint64_t seed() const { return options_.seed; }
@@ -54,7 +54,7 @@ class StudyContext {
 
  private:
   const StudyDefinition* def_;
-  StudyParams params_;
+  ParamSet params_;
   HarnessOptions options_;
   std::optional<ObsCollector> collector_;
   std::optional<RecoveryCoordinator> recovery_;

@@ -102,23 +102,27 @@ void add_study_options(CliParser& cli, const StudyDefinition& def) {
   if (spec.recovery) add_recovery_options(cli);
 }
 
-StudyParams read_study_params(const CliParser& cli, const StudyDefinition& def) {
-  StudyParams params{def};
+ParamSet read_study_params(const CliParser& cli, const StudyDefinition& def) {
+  ParamSet params{def};
   for (const ParamSpec& p : def.params) {
     const std::string value = cli.str("--" + p.key);
     try {
       params.set(p.key, value);
     } catch (const CheckError& e) {
-      // CheckError prefixes the human-readable part with "check failed: ...
-      // — "; surface just the message, as parse_or_exit does.
-      std::string message = e.what();
-      if (const std::size_t sep = message.find(" — "); sep != std::string::npos) {
-        message = message.substr(sep + std::string{" — "}.size());
-      }
-      CliParser::usage_error(message);
+      usage_error_from(e);
     }
   }
   return params;
+}
+
+void usage_error_from(const CheckError& e) {
+  // CheckError prefixes the human-readable part with "check failed: ...
+  // — "; surface just the message, as parse_or_exit does.
+  std::string message = e.what();
+  if (const std::size_t sep = message.find(" — "); sep != std::string::npos) {
+    message = message.substr(sep + std::string{" — "}.size());
+  }
+  CliParser::usage_error(message);
 }
 
 HarnessOptions read_harness_options(const CliParser& cli, const StudyDefinition& def) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "study/registry.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 
 namespace xres::study {
@@ -92,8 +93,14 @@ void add_study_options(CliParser& cli, const StudyDefinition& def);
 
 /// Reads the schema parameters back after parse(); a value that fails the
 /// schema's type/range validation exits via CliParser::usage_error.
-[[nodiscard]] StudyParams read_study_params(const CliParser& cli,
-                                            const StudyDefinition& def);
+[[nodiscard]] ParamSet read_study_params(const CliParser& cli,
+                                         const StudyDefinition& def);
+
+/// Report a CheckError as a CLI usage error: strip the "check failed: ...
+/// — " prefix and exit(kExitUsage) with the human-readable part. The one
+/// conversion every study CLI (run/sweep/spec loading) shares, so bad
+/// input always produces one clear line and exit code 2.
+[[noreturn]] void usage_error_from(const CheckError& e);
 
 /// Reads the shared harness options back after parse() (applies
 /// --log-level, see read_obs_options). `--csv-path` implies `--csv`.

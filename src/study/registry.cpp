@@ -1,6 +1,7 @@
 #include "study/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/check.hpp"
@@ -27,32 +28,91 @@ const char* ParamSpec::type_name() const {
   return "?";
 }
 
-namespace {
+std::optional<ParamSpec::Type> ParamSpec::type_from_name(const std::string& name) {
+  if (name == "int") return Type::kInt;
+  if (name == "real") return Type::kReal;
+  if (name == "string") return Type::kString;
+  return std::nullopt;
+}
 
-/// Trim a %g rendering for range bounds (they are documentation, not data).
-std::string bound_text(double v) {
+std::string format_real(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%g", v);
   return buf;
 }
 
-}  // namespace
-
 std::string ParamSpec::range_text() const {
   if (!min_value.has_value() && !max_value.has_value()) return "";
   std::string out = "[";
-  out += min_value.has_value() ? bound_text(*min_value) : "...";
+  out += min_value.has_value() ? format_real(*min_value) : "...";
   out += ", ";
-  out += max_value.has_value() ? bound_text(*max_value) : "...";
+  out += max_value.has_value() ? format_real(*max_value) : "...";
   out += "]";
   return out;
 }
 
-const ParamSpec* StudyDefinition::find_param(const std::string& key) const {
-  for (const ParamSpec& p : params) {
+ParamSpec& ParamSchema::integer(std::string key, std::string help,
+                                std::int64_t default_value) {
+  ParamSpec spec;
+  spec.key = std::move(key);
+  spec.help = std::move(help);
+  spec.type = ParamSpec::Type::kInt;
+  spec.default_value = std::to_string(default_value);
+  return add(std::move(spec));
+}
+
+ParamSpec& ParamSchema::real(std::string key, std::string help, double default_value) {
+  ParamSpec spec;
+  spec.key = std::move(key);
+  spec.help = std::move(help);
+  spec.type = ParamSpec::Type::kReal;
+  spec.default_value = format_real(default_value);
+  return add(std::move(spec));
+}
+
+ParamSpec& ParamSchema::text(std::string key, std::string help,
+                             std::string default_value) {
+  ParamSpec spec;
+  spec.key = std::move(key);
+  spec.help = std::move(help);
+  spec.type = ParamSpec::Type::kString;
+  spec.default_value = std::move(default_value);
+  return add(std::move(spec));
+}
+
+ParamSpec& ParamSchema::add(ParamSpec spec) {
+  XRES_CHECK(!spec.key.empty() && spec.key[0] != '-',
+             "parameter keys are bare names, got '" + spec.key + "'");
+  XRES_CHECK(spec.key.find('=') == std::string::npos &&
+                 spec.key.find(' ') == std::string::npos,
+             "parameter key '" + spec.key + "' must not contain '=' or spaces");
+  XRES_CHECK(find(spec.key) == nullptr, "duplicate parameter key: " + spec.key);
+  specs_.push_back(std::move(spec));
+  return specs_.back();
+}
+
+void ParamSchema::set_default(const std::string& key, const std::string& value) {
+  for (ParamSpec& p : specs_) {
+    if (p.key == key) {
+      validate_param_value(p, value);
+      p.default_value = value;
+      return;
+    }
+  }
+  XRES_CHECK(false, "unknown parameter '" + key + "'");
+}
+
+const ParamSpec* ParamSchema::find(const std::string& key) const {
+  for (const ParamSpec& p : specs_) {
     if (p.key == key) return &p;
   }
   return nullptr;
+}
+
+void ParamSchema::validate(const std::string& key, const std::string& value) const {
+  const ParamSpec* spec = find(key);
+  XRES_CHECK(spec != nullptr, "unknown parameter '" + key + "'");
+  validate_param_value(*spec, value);
 }
 
 std::string StudyDefinition::help_summary() const {
@@ -76,26 +136,29 @@ void validate_param_value(const ParamSpec& spec, const std::string& value) {
   }
   XRES_CHECK(!spec.min_value.has_value() || parsed >= *spec.min_value,
              "parameter '" + spec.key + "' = " + value + " is below its minimum " +
-                 bound_text(*spec.min_value));
+                 format_real(*spec.min_value));
   XRES_CHECK(!spec.max_value.has_value() || parsed <= *spec.max_value,
              "parameter '" + spec.key + "' = " + value + " is above its maximum " +
-                 bound_text(*spec.max_value));
+                 format_real(*spec.max_value));
 }
 
-StudyParams::StudyParams(const StudyDefinition& def) : def_{&def} {
-  for (const ParamSpec& p : def.params) values_[p.key] = p.default_value;
+ParamSet::ParamSet(const StudyDefinition& def) : ParamSet{def.params, def.name} {}
+
+ParamSet::ParamSet(const ParamSchema& schema, std::string owner)
+    : schema_{&schema}, owner_{std::move(owner)} {
+  for (const ParamSpec& p : schema) values_[p.key] = p.default_value;
 }
 
-void StudyParams::set(const std::string& key, const std::string& value) {
-  XRES_CHECK(def_ != nullptr, "StudyParams not bound to a study");
-  const ParamSpec* spec = def_->find_param(key);
+void ParamSet::set(const std::string& key, const std::string& value) {
+  XRES_CHECK(schema_ != nullptr, "ParamSet not bound to a schema");
+  const ParamSpec* spec = schema_->find(key);
   XRES_CHECK(spec != nullptr,
-             "unknown parameter '" + key + "' for study '" + def_->name + "'");
+             "unknown parameter '" + key + "' for study '" + owner_ + "'");
   validate_param_value(*spec, value);
   values_[key] = value;
 }
 
-std::int64_t StudyParams::integer(const std::string& key) const {
+std::int64_t ParamSet::integer(const std::string& key) const {
   const std::string v = str(key);
   char* end = nullptr;
   const long long parsed = std::strtoll(v.c_str(), &end, 10);
@@ -104,11 +167,11 @@ std::int64_t StudyParams::integer(const std::string& key) const {
   return parsed;
 }
 
-std::uint32_t StudyParams::u32(const std::string& key) const {
+std::uint32_t ParamSet::u32(const std::string& key) const {
   return static_cast<std::uint32_t>(integer(key));
 }
 
-double StudyParams::real(const std::string& key) const {
+double ParamSet::real(const std::string& key) const {
   const std::string v = str(key);
   char* end = nullptr;
   const double parsed = std::strtod(v.c_str(), &end);
@@ -117,7 +180,7 @@ double StudyParams::real(const std::string& key) const {
   return parsed;
 }
 
-std::string StudyParams::str(const std::string& key) const {
+std::string ParamSet::str(const std::string& key) const {
   const auto it = values_.find(key);
   XRES_CHECK(it != values_.end(), "undeclared parameter queried: " + key);
   return it->second;
@@ -144,8 +207,6 @@ void StudyRegistry::add(StudyDefinition def) {
   XRES_CHECK(def.run != nullptr, "study '" + def.name + "' needs a run function");
   XRES_CHECK(find(def.name) == nullptr, "duplicate study name: " + def.name);
   for (const ParamSpec& p : def.params) {
-    XRES_CHECK(!p.key.empty() && p.key[0] != '-',
-               "study '" + def.name + "': parameter keys are bare names");
     validate_param_value(p, p.default_value);
   }
   studies_.push_back(std::make_unique<StudyDefinition>(std::move(def)));

@@ -9,6 +9,13 @@
 /// binaries, `xres run <study>`, `xres list`, `xres describe` and
 /// `xres suite paper` all enumerate or execute the same definitions.
 ///
+/// Definitions are *data*, so they need not be compiled in: the spec loader
+/// (spec.hpp) constructs a StudyDefinition at runtime from a TOML/JSON spec
+/// file, and the sweep planner (sweep.hpp) fans one definition across a
+/// parameter grid. All three producers share the same typed value API:
+/// `ParamSchema` declares the parameters (key, type, help, default, range),
+/// `ParamSet` holds validated bindings for one run.
+///
 /// Registration is link-time: each study translation unit plants a
 /// `Registration` object whose constructor inserts the definition into the
 /// global registry. The study TUs are compiled into the `xres_studies`
@@ -40,9 +47,10 @@ enum class StudyGroup {
 
 [[nodiscard]] const char* to_string(StudyGroup group);
 
-/// One entry of a study's typed parameter schema. Parameters surface both
-/// as regular CLI options (`--trials 80`) on the per-study binaries and as
-/// `--set trials=80` bindings on `xres run`.
+/// One entry of a study's typed parameter schema. Parameters surface as
+/// regular CLI options (`--trials 80`) on the per-study binaries, as
+/// `--set trials=80` bindings on `xres run`, as `[params]` entries in a
+/// spec file, and as `--axis trials=20,40,80` sweep axes.
 struct ParamSpec {
   enum class Type { kInt, kReal, kString };
 
@@ -54,10 +62,72 @@ struct ParamSpec {
   std::optional<double> min_value;
   std::optional<double> max_value;
 
+  /// Range chaining for ParamSchema's builder methods:
+  ///   schema.integer("trials", "trials per bar", 200).min(1);
+  ParamSpec& min(double bound) {
+    min_value = bound;
+    return *this;
+  }
+  ParamSpec& max(double bound) {
+    max_value = bound;
+    return *this;
+  }
+
   /// Human-readable type name ("int", "real", "string").
   [[nodiscard]] const char* type_name() const;
+  /// nullopt when \p name is not a type name — the inverse of type_name().
+  [[nodiscard]] static std::optional<Type> type_from_name(const std::string& name);
   /// Render the range as "[min, max]" / "[min, ...]" / "" for describe.
   [[nodiscard]] std::string range_text() const;
+};
+
+/// Render \p v the way schema defaults and range bounds are documented
+/// ("%g": "2.5", "0.001", "10").
+[[nodiscard]] std::string format_real(double v);
+
+/// A study's ordered, typed parameter declarations. The one schema object
+/// serves every producer and consumer: compiled-in registrations build it
+/// with the typed methods below, the spec loader parses it back from the
+/// JSON `xres describe --json` emits, CLI parsers mint options from it,
+/// and sweep axes validate against it.
+class ParamSchema {
+ public:
+  ParamSchema() = default;
+
+  /// Declare a parameter; the returned reference allows range chaining
+  /// (`schema.integer("trials", "...", 200).min(1)`). Throws CheckError on
+  /// a duplicate or malformed key.
+  ParamSpec& integer(std::string key, std::string help, std::int64_t default_value);
+  ParamSpec& real(std::string key, std::string help, double default_value);
+  ParamSpec& text(std::string key, std::string help, std::string default_value);
+
+  /// Add a fully-formed spec (the spec-loader path). Same key validation.
+  ParamSpec& add(ParamSpec spec);
+
+  /// Re-bind a declared parameter's default — how a spec file's `[params]`
+  /// table turns into new schema defaults that `--set`/`--axis` can still
+  /// override. Throws CheckError on an unknown key or an invalid value.
+  void set_default(const std::string& key, const std::string& value);
+
+  /// nullptr when \p key is not declared.
+  [[nodiscard]] const ParamSpec* find(const std::string& key) const;
+
+  /// Throws CheckError when \p value is not a valid binding for \p key
+  /// (unknown key, type mismatch, out of range).
+  void validate(const std::string& key, const std::string& value) const;
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] const std::vector<ParamSpec>& specs() const { return specs_; }
+  [[nodiscard]] std::vector<ParamSpec>::const_iterator begin() const {
+    return specs_.begin();
+  }
+  [[nodiscard]] std::vector<ParamSpec>::const_iterator end() const {
+    return specs_.end();
+  }
+
+ private:
+  std::vector<ParamSpec> specs_;
 };
 
 /// Which pieces of the shared harness surface a study exposes. The flags
@@ -78,7 +148,8 @@ struct StudyOptionsSpec {
   bool recovery{true};  ///< --journal/--resume/--trial-timeout/--trial-retries
 };
 
-/// One registered scenario.
+/// One scenario — registered at link time or materialized at runtime from a
+/// spec file (spec.hpp); the harness treats both identically.
 struct StudyDefinition {
   std::string name;  ///< unique, the bench binary name ("fig1_efficiency_a32")
   StudyGroup group{StudyGroup::kAblation};
@@ -89,27 +160,33 @@ struct StudyDefinition {
   /// empty → name. Figure 1-3 keep their historical title strings.
   std::string journal_id;
   StudyOptionsSpec options;
-  std::vector<ParamSpec> params;
+  ParamSchema params;
   /// The experiment body. Receives parsed params + harness options +
   /// lazily-constructed obs/recovery plumbing; returns the process exit
   /// code (0, or recovery::kExitInterrupted after a drained shutdown).
   std::function<int(StudyContext&)> run;
 
-  [[nodiscard]] const ParamSpec* find_param(const std::string& key) const;
+  [[nodiscard]] const ParamSpec* find_param(const std::string& key) const {
+    return params.find(key);
+  }
   [[nodiscard]] std::string help_summary() const;
   [[nodiscard]] const std::string& journal_study() const {
     return journal_id.empty() ? name : journal_id;
   }
 };
 
-/// Validated key→value bindings for one run of a study, defaulted from the
+/// Validated key→value bindings for one run of a schema, defaulted from the
 /// schema. Accessors parse on read (like CliParser) — validate() has
 /// already guaranteed they succeed.
-class StudyParams {
+class ParamSet {
  public:
-  StudyParams() = default;
-  /// Schema defaults for \p def (kept alive by the registry).
-  explicit StudyParams(const StudyDefinition& def);
+  ParamSet() = default;
+  /// Schema defaults for \p def (kept alive by the registry or, for a
+  /// runtime definition, by the caller for this set's lifetime).
+  explicit ParamSet(const StudyDefinition& def);
+  /// Schema defaults for a bare schema; \p owner names the study in error
+  /// messages.
+  ParamSet(const ParamSchema& schema, std::string owner);
 
   /// Bind \p key to \p value. Throws CheckError on unknown key, a value
   /// that does not parse as the declared type, or one outside the range.
@@ -125,7 +202,8 @@ class StudyParams {
   }
 
  private:
-  const StudyDefinition* def_{nullptr};
+  const ParamSchema* schema_{nullptr};
+  std::string owner_;
   std::map<std::string, std::string> values_;
 };
 

@@ -1,0 +1,337 @@
+#include "study/spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "study/options.hpp"
+#include "util/check.hpp"
+#include "util/toml.hpp"
+
+namespace xres::study {
+
+namespace {
+
+/// The human-readable part of a CheckError ("check failed: <expr> at
+/// <file>:<line> — <msg>" → "<msg>"), for re-prefixing with the spec path.
+std::string check_message(const CheckError& e) {
+  std::string message = e.what();
+  const std::string sep = " — ";
+  if (const std::size_t pos = message.find(sep); pos != std::string::npos) {
+    message = message.substr(pos + sep.size());
+  }
+  return message;
+}
+
+[[noreturn]] void fail_spec(const std::string& path, const std::string& what) {
+  XRES_CHECK(false, path + ": " + what);
+}
+
+bool valid_study_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Scalar value text for a [params] binding or sweep-axis element. Strings
+/// contribute their decoded content, numbers/bools their raw token.
+std::string toml_scalar_text(const util::TomlValue& value, const std::string& key) {
+  XRES_CHECK(value.is_scalar(),
+             "parameter '" + key + "' must be a scalar (use [sweep] for value lists)");
+  return value.text;
+}
+
+std::string json_scalar_text(const recovery::JsonValue& value, const std::string& key) {
+  switch (value.kind()) {
+    case recovery::JsonValue::Kind::kString: return value.as_string();
+    case recovery::JsonValue::Kind::kNumber: return value.number_text();
+    case recovery::JsonValue::Kind::kBool: return value.as_bool() ? "true" : "false";
+    default:
+      XRES_CHECK(false, "parameter '" + key + "' must be a scalar");
+      return {};
+  }
+}
+
+std::uint64_t parse_seed_text(const std::string& text) {
+  XRES_CHECK(!text.empty() && text.find_first_not_of("0123456789") == std::string::npos,
+             "seed must be a non-negative integer, got '" + text + "'");
+  return std::stoull(text);
+}
+
+}  // namespace
+
+StudySpec parse_spec_toml(const std::string& text) {
+  const util::TomlDocument doc = util::TomlDocument::parse(text);
+  StudySpec spec;
+
+  for (const util::TomlTable& table : doc.tables()) {
+    if (table.name.empty()) {
+      XRES_CHECK(table.entries.empty(),
+                 "top-level key '" + table.entries.front().key +
+                     "' outside a section (expected [study], [params], [sweep])");
+      continue;
+    }
+    if (table.name == "study") {
+      for (const util::TomlEntry& entry : table.entries) {
+        if (entry.key == "name") {
+          spec.name = toml_scalar_text(entry.value, entry.key);
+        } else if (entry.key == "base") {
+          spec.base = toml_scalar_text(entry.value, entry.key);
+        } else if (entry.key == "description") {
+          spec.description = toml_scalar_text(entry.value, entry.key);
+        } else if (entry.key == "seed") {
+          spec.seed = parse_seed_text(toml_scalar_text(entry.value, entry.key));
+        } else {
+          XRES_CHECK(false, "unknown [study] key '" + entry.key + "'");
+        }
+      }
+    } else if (table.name == "params") {
+      for (const util::TomlEntry& entry : table.entries) {
+        spec.params.emplace_back(entry.key, toml_scalar_text(entry.value, entry.key));
+      }
+    } else if (table.name == "sweep") {
+      for (const util::TomlEntry& entry : table.entries) {
+        XRES_CHECK(entry.value.kind == util::TomlValue::Kind::kArray,
+                   "sweep axis '" + entry.key + "' must be an array of values");
+        SweepAxis axis;
+        axis.key = entry.key;
+        for (const util::TomlValue& item : entry.value.items) {
+          XRES_CHECK(item.is_scalar(),
+                     "sweep axis '" + entry.key + "' must hold scalar values");
+          axis.values.push_back(item.text);
+        }
+        XRES_CHECK(!axis.values.empty(), "sweep axis '" + entry.key + "' is empty");
+        spec.sweep.push_back(std::move(axis));
+      }
+    } else {
+      XRES_CHECK(false, "unknown section [" + table.name + "]");
+    }
+  }
+
+  XRES_CHECK(!spec.name.empty(), "[study] needs a 'name'");
+  XRES_CHECK(!spec.base.empty(), "[study] needs a 'base' (a registered study)");
+  return spec;
+}
+
+StudySpec parse_spec_json(const std::string& text) {
+  const recovery::JsonValue doc = recovery::parse_json(text);
+  StudySpec spec;
+
+  for (const recovery::JsonMember& section : doc.as_object()) {
+    if (section.first == "study") {
+      for (const recovery::JsonMember& m : section.second.as_object()) {
+        if (m.first == "name") {
+          spec.name = m.second.as_string();
+        } else if (m.first == "base") {
+          spec.base = m.second.as_string();
+        } else if (m.first == "description") {
+          spec.description = m.second.as_string();
+        } else if (m.first == "seed") {
+          spec.seed = parse_seed_text(m.second.number_text());
+        } else {
+          XRES_CHECK(false, "unknown \"study\" key '" + m.first + "'");
+        }
+      }
+    } else if (section.first == "params") {
+      for (const recovery::JsonMember& m : section.second.as_object()) {
+        spec.params.emplace_back(m.first, json_scalar_text(m.second, m.first));
+      }
+    } else if (section.first == "sweep") {
+      for (const recovery::JsonMember& m : section.second.as_object()) {
+        SweepAxis axis;
+        axis.key = m.first;
+        for (const recovery::JsonValue& item : m.second.as_array()) {
+          axis.values.push_back(json_scalar_text(item, m.first));
+        }
+        XRES_CHECK(!axis.values.empty(), "sweep axis '" + m.first + "' is empty");
+        spec.sweep.push_back(std::move(axis));
+      }
+    } else {
+      XRES_CHECK(false, "unknown top-level key '" + section.first +
+                            "' (expected \"study\", \"params\", \"sweep\")");
+    }
+  }
+
+  XRES_CHECK(!spec.name.empty(), "\"study\" needs a \"name\"");
+  XRES_CHECK(!spec.base.empty(), "\"study\" needs a \"base\" (a registered study)");
+  return spec;
+}
+
+StudySpec load_study_spec(const std::string& path) {
+  const bool is_toml = path.size() > 5 && path.rfind(".toml") == path.size() - 5;
+  const bool is_json = path.size() > 5 && path.rfind(".json") == path.size() - 5;
+  if (!is_toml && !is_json) {
+    fail_spec(path, "spec files must end in .toml or .json");
+  }
+  std::ifstream in{path, std::ios::binary};
+  if (!in) fail_spec(path, "cannot read spec file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  try {
+    return is_toml ? parse_spec_toml(text) : parse_spec_json(text);
+  } catch (const util::TomlParseError& e) {
+    fail_spec(path, e.what());
+  } catch (const recovery::JsonParseError& e) {
+    fail_spec(path, e.what());
+  } catch (const CheckError& e) {
+    fail_spec(path, check_message(e));
+  }
+}
+
+LoadedStudy materialize_spec(const StudySpec& spec) {
+  XRES_CHECK(valid_study_name(spec.name),
+             "study name '" + spec.name +
+                 "' must be non-empty [A-Za-z0-9._-] (it keys artifacts)");
+  const StudyDefinition* base = StudyRegistry::instance().find(spec.base);
+  XRES_CHECK(base != nullptr,
+             "unknown base study '" + spec.base + "' (see `xres list`)");
+
+  auto def = std::make_shared<StudyDefinition>();
+  def->name = spec.name;
+  def->group = base->group;
+  def->description = spec.description.empty() ? base->description : spec.description;
+  // summary left empty: help_summary() falls back to "<name> — <description>".
+  def->journal_id = spec.name;
+  def->options = base->options;
+  if (spec.seed.has_value()) def->options.default_seed = *spec.seed;
+  def->params = base->params;
+  def->run = base->run;
+
+  for (const auto& [key, value] : spec.params) {
+    XRES_CHECK(def->params.find(key) != nullptr,
+               "unknown parameter '" + key + "' for study '" + spec.base + "'");
+    def->params.set_default(key, value);
+  }
+  for (const SweepAxis& axis : spec.sweep) {
+    const ParamSpec* param = def->params.find(axis.key);
+    XRES_CHECK(param != nullptr,
+               "unknown sweep axis '" + axis.key + "' for study '" + spec.base + "'");
+    for (const std::string& value : axis.values) validate_param_value(*param, value);
+  }
+
+  LoadedStudy out;
+  out.def = std::move(def);
+  out.sweep = spec.sweep;
+  return out;
+}
+
+LoadedStudy load_study_from_file(const std::string& path) {
+  const StudySpec spec = load_study_spec(path);  // errors already path-prefixed
+  try {
+    return materialize_spec(spec);
+  } catch (const CheckError& e) {
+    fail_spec(path, check_message(e));
+  }
+}
+
+LoadedStudy load_study_from_file_or_exit(const std::string& path) {
+  try {
+    return load_study_from_file(path);
+  } catch (const CheckError& e) {
+    usage_error_from(e);
+  }
+}
+
+void write_schema_json(obs::JsonWriter& json, const ParamSchema& schema) {
+  json.begin_array();
+  for (const ParamSpec& p : schema) {
+    json.begin_object();
+    json.key("key").value(p.key);
+    json.key("type").value(p.type_name());
+    json.key("help").value(p.help);
+    json.key("default").value(p.default_value);
+    if (p.min_value.has_value()) json.key("min").value(*p.min_value);
+    if (p.max_value.has_value()) json.key("max").value(*p.max_value);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+ParamSchema schema_from_json(const recovery::JsonValue& json) {
+  ParamSchema schema;
+  for (const recovery::JsonValue& entry : json.as_array()) {
+    ParamSpec spec;
+    for (const recovery::JsonMember& m : entry.as_object()) {
+      if (m.first == "key") {
+        spec.key = m.second.as_string();
+      } else if (m.first == "type") {
+        const auto type = ParamSpec::type_from_name(m.second.as_string());
+        XRES_CHECK(type.has_value(),
+                   "unknown parameter type '" + m.second.as_string() + "'");
+        spec.type = *type;
+      } else if (m.first == "help") {
+        spec.help = m.second.as_string();
+      } else if (m.first == "default") {
+        spec.default_value = m.second.as_string();
+      } else if (m.first == "min") {
+        spec.min_value = m.second.as_double();
+      } else if (m.first == "max") {
+        spec.max_value = m.second.as_double();
+      } else {
+        XRES_CHECK(false, "unknown schema field '" + m.first + "'");
+      }
+    }
+    ParamSpec& added = schema.add(std::move(spec));
+    validate_param_value(added, added.default_value);
+  }
+  return schema;
+}
+
+namespace {
+
+const char* obs_name(StudyOptionsSpec::Obs obs) {
+  switch (obs) {
+    case StudyOptionsSpec::Obs::kNone: return "none";
+    case StudyOptionsSpec::Obs::kWithTrace: return "trace";
+    case StudyOptionsSpec::Obs::kNoTrace: return "no-trace";
+  }
+  return "?";
+}
+
+void write_describe_object(obs::JsonWriter& w, const StudyDefinition& def) {
+  w.begin_object();
+  w.key("study").value(def.name);
+  w.key("group").value(to_string(def.group));
+  w.key("description").value(def.description);
+  w.key("journal").value(def.journal_study());
+  w.key("options").begin_object();
+  w.key("seed").value(def.options.seed);
+  w.key("default_seed").value(static_cast<std::uint64_t>(def.options.default_seed));
+  w.key("threads").value(def.options.threads);
+  w.key("csv").value(def.options.csv);
+  w.key("chart").value(def.options.chart);
+  w.key("report").value(def.options.report);
+  w.key("obs").value(obs_name(def.options.obs));
+  w.key("recovery").value(def.options.recovery);
+  w.end_object();
+  w.key("params");
+  write_schema_json(w, def.params);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string describe_study_json(const StudyDefinition& def) {
+  obs::JsonWriter w;
+  write_describe_object(w, def);
+  return w.str();
+}
+
+std::string catalog_json() {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("studies").begin_array();
+  for (const StudyDefinition* def : StudyRegistry::instance().all()) {
+    write_describe_object(w, *def);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace xres::study

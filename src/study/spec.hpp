@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file spec.hpp
+/// Runtime-defined studies: construct a `StudyDefinition` from a TOML or
+/// JSON spec file instead of a compiled-in registration. A spec names a
+/// registered *base* study and derives a new definition from it — same run
+/// function and option surface, new name, optionally a new description,
+/// seed and parameter defaults — so `xres run --from my_study.toml` and
+/// `xres sweep --from my_study.toml` execute exactly the code path the
+/// compiled-in study would, with byte-identical artifacts for identical
+/// bindings.
+///
+/// TOML format (JSON mirrors it: {"study": {...}, "params": {...},
+/// "sweep": {...}}):
+///
+///     [study]
+///     name = "efficiency_c64_lowmtbf"   # new study name (artifact key)
+///     base = "efficiency"               # registered study to derive from
+///     description = "..."               # optional override
+///     seed = 7                          # optional default-seed override
+///
+///     [params]                          # optional: new schema defaults
+///     mtbf-years = 2.5                  # validated against the base schema
+///
+///     [sweep]                           # optional: axes for `xres sweep`
+///     trials = [10, 20, 40]
+///
+/// Every malformed input — unknown section or key, unknown parameter,
+/// out-of-range value, TOML/JSON syntax error — throws CheckError with a
+/// message naming the offending key; the `_or_exit` wrapper turns that
+/// into a one-line exit-2 usage error for the CLI.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "recovery/json_parse.hpp"
+#include "study/registry.hpp"
+#include "study/sweep.hpp"
+
+namespace xres::study {
+
+/// A parsed spec file, before base resolution.
+struct StudySpec {
+  std::string name;
+  std::string base;
+  std::string description;  ///< empty: inherit the base's
+  std::optional<std::uint64_t> seed;
+  /// `[params]` bindings in declaration order (raw value text).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// `[sweep]` axes in declaration order.
+  std::vector<SweepAxis> sweep;
+};
+
+/// Parse spec text; throws CheckError (or util::TomlParseError /
+/// recovery::JsonParseError for syntax errors).
+[[nodiscard]] StudySpec parse_spec_toml(const std::string& text);
+[[nodiscard]] StudySpec parse_spec_json(const std::string& text);
+
+/// Read + parse \p path, dispatching on its .toml/.json extension. All
+/// errors surface as CheckError prefixed with the path.
+[[nodiscard]] StudySpec load_study_spec(const std::string& path);
+
+/// A materialized runtime definition. The definition lives outside the
+/// registry; keep the shared_ptr alive while running it.
+struct LoadedStudy {
+  std::shared_ptr<StudyDefinition> def;
+  std::vector<SweepAxis> sweep;  ///< the spec's `[sweep]` axes, if any
+};
+
+/// Resolve `spec.base` in the registry and derive the runtime definition:
+/// base run function and options, spec name (also the journal identity),
+/// `[params]` bindings re-validated and installed as schema defaults.
+/// Throws CheckError on an unknown base, a bad name, or a bad binding.
+[[nodiscard]] LoadedStudy materialize_spec(const StudySpec& spec);
+
+/// load_study_spec + materialize_spec, errors prefixed with \p path.
+[[nodiscard]] LoadedStudy load_study_from_file(const std::string& path);
+
+/// CLI wrapper: any CheckError becomes a one-line exit-2 usage error.
+[[nodiscard]] LoadedStudy load_study_from_file_or_exit(const std::string& path);
+
+/// Emit \p schema as a JSON array — the serialization `xres describe
+/// --json` embeds and `schema_from_json` parses back:
+///     [{"key": "trials", "type": "int", "help": "...", "default": "200",
+///       "min": 1}, ...]
+void write_schema_json(obs::JsonWriter& json, const ParamSchema& schema);
+
+/// The inverse of write_schema_json; throws CheckError on unknown fields,
+/// an unknown type name, or a default that fails its own validation.
+[[nodiscard]] ParamSchema schema_from_json(const recovery::JsonValue& json);
+
+/// The `xres describe <study> --json` document (one object: study, group,
+/// description, journal, options, params).
+[[nodiscard]] std::string describe_study_json(const StudyDefinition& def);
+
+/// The `xres list --json` document: {"studies": [<describe objects>]}.
+[[nodiscard]] std::string catalog_json();
+
+}  // namespace xres::study

@@ -123,13 +123,10 @@ void register_builtin_studies(StudyRegistry& registry) {
     def.journal_id = "xres efficiency";  // historical journal identity
     def.options.default_seed = 20170529;
     def.options.chart = true;
-    def.params = {
-        {"type", "application type (Table I)", ParamSpec::Type::kString, "C64", {}, {}},
-        {"mtbf-years", "per-node MTBF", ParamSpec::Type::kReal, "10", 0.001, {}},
-        {"trials", "trials per cell", ParamSpec::Type::kInt, "50", 1, {}},
-        {"baseline-hours", "delay-free execution time", ParamSpec::Type::kReal, "24",
-         0.001, {}},
-    };
+    def.params.text("type", "application type (Table I)", "C64");
+    def.params.real("mtbf-years", "per-node MTBF", 10).min(0.001);
+    def.params.integer("trials", "trials per cell", 50).min(1);
+    def.params.real("baseline-hours", "delay-free execution time", 24).min(0.001);
     def.run = run_efficiency_adhoc;
     registry.add(std::move(def));
   }
@@ -142,16 +139,13 @@ void register_builtin_studies(StudyRegistry& registry) {
     def.journal_id = "xres workload";  // historical journal identity
     def.options.default_seed = 20170530;
     def.options.obs = StudyOptionsSpec::Obs::kNoTrace;
-    def.params = {
-        {"scheduler", "FCFS | Random | Slack | FirstFit | SJF",
-         ParamSpec::Type::kString, "Slack", {}, {}},
-        {"technique", "technique name, 'selection' or 'none'",
-         ParamSpec::Type::kString, "parallel-recovery", {}, {}},
-        {"patterns", "arrival patterns to average", ParamSpec::Type::kInt, "10", 1, {}},
-        {"mtbf-years", "per-node MTBF", ParamSpec::Type::kReal, "10", 0.001, {}},
-        {"bias", "unbiased | high-memory | high-communication | large-apps",
-         ParamSpec::Type::kString, "unbiased", {}, {}},
-    };
+    def.params.text("scheduler", "FCFS | Random | Slack | FirstFit | SJF", "Slack");
+    def.params.text("technique", "technique name, 'selection' or 'none'",
+                    "parallel-recovery");
+    def.params.integer("patterns", "arrival patterns to average", 10).min(1);
+    def.params.real("mtbf-years", "per-node MTBF", 10).min(0.001);
+    def.params.text("bias", "unbiased | high-memory | high-communication | large-apps",
+                    "unbiased");
     def.run = run_workload_adhoc;
     registry.add(std::move(def));
   }

@@ -3,7 +3,8 @@
 /// \file study.hpp
 /// Umbrella header for the study subsystem: the registry of every paper
 /// figure/table/ablation/extension scenario, the shared harness plumbing,
-/// the generic driver main and the paper suite runner.
+/// the generic driver main, the suite runner, runtime spec files and the
+/// grid-sweep planner.
 
 #include "study/capture.hpp"    // IWYU pragma: export
 #include "study/context.hpp"    // IWYU pragma: export
@@ -11,5 +12,7 @@
 #include "study/harness.hpp"    // IWYU pragma: export
 #include "study/options.hpp"    // IWYU pragma: export
 #include "study/registry.hpp"   // IWYU pragma: export
+#include "study/spec.hpp"       // IWYU pragma: export
 #include "study/study_main.hpp" // IWYU pragma: export
 #include "study/suite.hpp"      // IWYU pragma: export
+#include "study/sweep.hpp"      // IWYU pragma: export

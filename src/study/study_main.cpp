@@ -13,15 +13,19 @@ int study_main(const std::string& name, int argc, const char* const* argv) {
                  name.c_str());
     return 1;
   }
-  CliParser cli{def->help_summary()};
-  add_study_options(cli, *def);
-  if (!cli.parse_or_exit(argc, argv)) return 0;
-  StudyParams params = read_study_params(cli, *def);
-  HarnessOptions options = read_harness_options(cli, *def);
-  return run_study(*def, std::move(params), std::move(options));
+  return study_main(*def, argc, argv);
 }
 
-int run_study(const StudyDefinition& def, StudyParams params, HarnessOptions options) {
+int study_main(const StudyDefinition& def, int argc, const char* const* argv) {
+  CliParser cli{def.help_summary()};
+  add_study_options(cli, def);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  ParamSet params = read_study_params(cli, def);
+  HarnessOptions options = read_harness_options(cli, def);
+  return run_study(def, std::move(params), std::move(options));
+}
+
+int run_study(const StudyDefinition& def, ParamSet params, HarnessOptions options) {
   StudyContext ctx{def, std::move(params), std::move(options)};
   return def.run(ctx);
 }

@@ -9,7 +9,8 @@
 ///     return xres::study::study_main("fig1_efficiency_a32", argc, argv);
 ///   }
 ///
-/// and `xres run <study>` forwards here too.
+/// `xres run <study>` forwards here too, and `xres run --from spec.toml`
+/// uses the definition overload with a runtime-materialized study.
 
 #include <string>
 
@@ -24,8 +25,12 @@ namespace xres::study {
 /// \p name prints the catalog hint to stderr and returns 1.
 int study_main(const std::string& name, int argc, const char* const* argv);
 
-/// Programmatic entry (suite runner, tests): run \p def with explicit
-/// parameter bindings and harness options, no CLI involved.
-int run_study(const StudyDefinition& def, StudyParams params, HarnessOptions options);
+/// Same, for a definition the caller owns (a spec-file study materialized
+/// at runtime — see spec.hpp).
+int study_main(const StudyDefinition& def, int argc, const char* const* argv);
+
+/// Programmatic entry (suite runner, sweep cells, tests): run \p def with
+/// explicit parameter bindings and harness options, no CLI involved.
+int run_study(const StudyDefinition& def, ParamSet params, HarnessOptions options);
 
 }  // namespace xres::study

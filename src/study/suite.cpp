@@ -9,7 +9,6 @@
 #include <sstream>
 #include <vector>
 
-#include "obs/json.hpp"
 #include "recovery/json_parse.hpp"
 #include "study/capture.hpp"
 #include "study/options.hpp"
@@ -72,9 +71,8 @@ struct ArtifactEntry {
   std::uint64_t bytes{0};
 };
 
-struct StudyEntry {
-  const StudyDefinition* def{nullptr};
-  StudyParams params;
+struct CellResult {
+  const SuiteCell* cell{nullptr};
   std::uint64_t seed{0};
   std::vector<ArtifactEntry> artifacts;
 };
@@ -91,24 +89,28 @@ bool checksum_artifact(const std::string& out_dir, const std::string& rel,
   return true;
 }
 
-void write_manifest(const std::string& out_dir, const SuiteOptions& options,
-                    const std::vector<StudyEntry>& entries) {
+void write_manifest(const std::string& tag, const std::string& out_dir,
+                    const std::function<void(obs::JsonWriter&)>& manifest_extras,
+                    const std::vector<CellResult>& results) {
   obs::JsonWriter w;
   w.begin_object();
-  w.key("suite").value("paper");
+  w.key("suite").value(tag);
   w.key("git").value(git_describe());
-  w.key("trials_override").value(static_cast<std::uint64_t>(options.trials));
+  if (manifest_extras) manifest_extras(w);
   w.key("studies").begin_array();
-  for (const StudyEntry& e : entries) {
+  for (const CellResult& r : results) {
     w.begin_object();
-    w.key("study").value(e.def->name);
-    w.key("group").value(to_string(e.def->group));
-    w.key("seed").value(e.seed);
+    w.key("study").value(r.cell->def->name);
+    // The paper suite's cells *are* its studies; only grid cells carry a
+    // distinct label (keeps the historical paper manifest byte-stable).
+    if (r.cell->name != r.cell->def->name) w.key("cell").value(r.cell->name);
+    w.key("group").value(to_string(r.cell->def->group));
+    w.key("seed").value(r.seed);
     w.key("params").begin_object();
-    for (const auto& [key, value] : e.params.values()) w.key(key).value(value);
+    for (const auto& [key, value] : r.cell->params.values()) w.key(key).value(value);
     w.end_object();
     w.key("artifacts").begin_array();
-    for (const ArtifactEntry& a : e.artifacts) {
+    for (const ArtifactEntry& a : r.artifacts) {
       w.begin_object();
       w.key("path").value(a.path);
       w.key("crc32").value(crc32_hex(a.crc));
@@ -125,75 +127,68 @@ void write_manifest(const std::string& out_dir, const SuiteOptions& options,
 
 }  // namespace
 
-int run_suite_paper(const SuiteOptions& options) {
+int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
+                    const SuiteOptions& options,
+                    const std::function<void(obs::JsonWriter&)>& manifest_extras) {
   XRES_CHECK(!options.out_dir.empty(), "suite needs --out-dir");
+  XRES_CHECK(!cells.empty(), "no cells to run");
   make_dir(options.out_dir);
   make_dir(options.out_dir + "/journals");
   remove_stale_temporaries(options.out_dir);
-
-  const std::vector<const StudyDefinition*> studies =
-      StudyRegistry::instance().group_members(
-          {StudyGroup::kFigure, StudyGroup::kTable});
-  XRES_CHECK(!studies.empty(), "no figure/table studies registered");
 
   // Artifacts must stay deterministic: run status moves to stderr for the
   // whole suite so the captured stdout .txt files carry experiment output
   // only.
   set_status_stream(stderr);
-  std::vector<StudyEntry> entries;
+  std::vector<CellResult> results;
   int exit_code = 0;
 
-  for (std::size_t i = 0; i < studies.size(); ++i) {
-    const StudyDefinition& def = *studies[i];
-    std::fprintf(stderr, "[suite %zu/%zu] %s\n", i + 1, studies.size(),
-                 def.name.c_str());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SuiteCell& cell = cells[i];
+    const StudyDefinition& def = *cell.def;
+    std::fprintf(stderr, "[%s %zu/%zu] %s\n", tag.c_str(), i + 1, cells.size(),
+                 cell.name.c_str());
 
-    StudyEntry entry;
-    entry.def = &def;
-    entry.params = StudyParams{def};
-    if (options.trials != 0) {
-      for (const char* key : {"trials", "patterns", "traces"}) {
-        if (def.find_param(key) != nullptr) {
-          entry.params.set(key, std::to_string(options.trials));
-        }
-      }
-    }
+    CellResult result;
+    result.cell = &cell;
 
     HarnessOptions harness = default_harness_options(def);
-    entry.seed = harness.seed;
+    result.seed = harness.seed;
     if (def.options.threads) harness.threads = options.threads;
-    std::vector<std::string> expected{def.name + ".txt"};
+    std::vector<std::string> expected{cell.name + ".txt"};
     if (def.options.csv) {
       harness.csv = true;
-      harness.csv_path = options.out_dir + "/" + def.name + ".csv";
-      expected.push_back(def.name + ".csv");
+      harness.csv_path = options.out_dir + "/" + cell.name + ".csv";
+      expected.push_back(cell.name + ".csv");
     }
     if (def.options.report) {
-      harness.report_path = options.out_dir + "/" + def.name + ".md";
-      expected.push_back(def.name + ".md");
+      harness.report_path = options.out_dir + "/" + cell.name + ".md";
+      expected.push_back(cell.name + ".md");
     }
     if (def.options.obs != StudyOptionsSpec::Obs::kNone) {
-      harness.obs.metrics_path = options.out_dir + "/" + def.name + ".metrics.json";
-      expected.push_back(def.name + ".metrics.json");
+      harness.obs.metrics_path = options.out_dir + "/" + cell.name + ".metrics.json";
+      expected.push_back(cell.name + ".metrics.json");
     }
     if (def.options.recovery) {
       harness.recovery.journal_path =
-          options.out_dir + "/journals/" + def.name + ".jsonl";
+          options.out_dir + "/journals/" + cell.name + ".jsonl";
       harness.recovery.resume = options.resume;
     }
 
     int rc = 0;
     try {
-      StdoutCapture capture{options.out_dir + "/" + def.name + ".txt"};
-      rc = run_study(def, entry.params, harness);
+      StdoutCapture capture{options.out_dir + "/" + cell.name + ".txt"};
+      rc = run_study(def, cell.params, harness);
       capture.finish();
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "suite: %s failed: %s\n", def.name.c_str(), e.what());
+      std::fprintf(stderr, "%s: %s failed: %s\n", tag.c_str(), cell.name.c_str(),
+                   e.what());
       exit_code = 1;
       break;
     }
     if (rc != 0) {
-      std::fprintf(stderr, "suite: %s exited with %d\n", def.name.c_str(), rc);
+      std::fprintf(stderr, "%s: %s exited with %d\n", tag.c_str(), cell.name.c_str(),
+                   rc);
       exit_code = rc;
       break;
     }
@@ -201,26 +196,55 @@ int run_suite_paper(const SuiteOptions& options) {
     for (const std::string& rel : expected) {
       ArtifactEntry artifact;
       if (checksum_artifact(options.out_dir, rel, artifact)) {
-        entry.artifacts.push_back(std::move(artifact));
+        result.artifacts.push_back(std::move(artifact));
       } else {
-        std::fprintf(stderr, "suite: %s did not produce %s\n", def.name.c_str(),
-                     rel.c_str());
+        std::fprintf(stderr, "%s: %s did not produce %s\n", tag.c_str(),
+                     cell.name.c_str(), rel.c_str());
         exit_code = 1;
       }
     }
-    entries.push_back(std::move(entry));
+    results.push_back(std::move(result));
     if (exit_code != 0) break;
   }
 
   set_status_stream(stdout);
   if (exit_code != 0) return exit_code;
 
-  write_manifest(options.out_dir, options, entries);
+  write_manifest(tag, options.out_dir, manifest_extras, results);
   std::size_t artifact_count = 0;
-  for (const StudyEntry& e : entries) artifact_count += e.artifacts.size();
-  std::fprintf(stderr, "suite: %zu studies, %zu artifacts, manifest written to %s/%s\n",
-               entries.size(), artifact_count, options.out_dir.c_str(), kManifestName);
+  for (const CellResult& r : results) artifact_count += r.artifacts.size();
+  std::fprintf(stderr, "%s: %zu studies, %zu artifacts, manifest written to %s/%s\n",
+               tag.c_str(), results.size(), artifact_count, options.out_dir.c_str(),
+               kManifestName);
   return 0;
+}
+
+int run_suite_paper(const SuiteOptions& options) {
+  const std::vector<const StudyDefinition*> studies =
+      StudyRegistry::instance().group_members(
+          {StudyGroup::kFigure, StudyGroup::kTable});
+  XRES_CHECK(!studies.empty(), "no figure/table studies registered");
+
+  std::vector<SuiteCell> cells;
+  cells.reserve(studies.size());
+  for (const StudyDefinition* def : studies) {
+    SuiteCell cell;
+    cell.def = def;
+    cell.name = def->name;
+    cell.params = ParamSet{*def};
+    if (options.trials != 0) {
+      for (const char* key : {"trials", "patterns", "traces"}) {
+        if (def->find_param(key) != nullptr) {
+          cell.params.set(key, std::to_string(options.trials));
+        }
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  return run_suite_cells("paper", cells, options, [&](obs::JsonWriter& w) {
+    w.key("trials_override").value(static_cast<std::uint64_t>(options.trials));
+  });
 }
 
 int verify_suite(const std::string& out_dir) {

@@ -1,13 +1,18 @@
 #pragma once
 
 /// \file suite.hpp
-/// `xres suite paper`: regenerate every paper figure/table artifact in one
-/// deterministic, resumable invocation. Each figure/table study runs with
-/// its artifact paths pointed into --out-dir, its stdout captured to
-/// `<study>.txt`, and its trial journal under `journals/`; a final
-/// `manifest.json` records what was produced (study, params, seed,
-/// git-describe, relative artifact paths + CRC32s). `xres suite verify`
-/// re-checksums an output directory against its manifest.
+/// The suite runner: execute a list of (study, params) cells in one
+/// deterministic, resumable invocation. Each cell runs with its artifact
+/// paths pointed into --out-dir, its stdout captured to `<cell>.txt`, and
+/// its trial journal under `journals/`; a final `manifest.json` records
+/// what was produced (study, params, seed, git-describe, relative artifact
+/// paths + CRC32s). `xres suite verify` re-checksums an output directory
+/// against its manifest.
+///
+/// Two entry points build cell lists: `xres suite paper` (every figure and
+/// table study, catalog order) and `xres sweep` (one study fanned across a
+/// parameter grid, sweep.hpp). Both share this runner, so the capture,
+/// manifest, journal/--resume and threads-invariance behavior is identical.
 ///
 /// Determinism contract: two suite runs with the same options produce
 /// byte-identical artifacts and manifest, whatever --threads says and
@@ -15,7 +20,12 @@
 /// progress, wall-clock timings) goes to stderr, never into an artifact.
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "study/registry.hpp"
 
 namespace xres::study {
 
@@ -29,8 +39,27 @@ struct SuiteOptions {
   bool resume{false};   ///< resume from the journals of a killed run
 };
 
+/// One cell of a suite run: a study definition plus the exact parameter
+/// bindings to execute it with. `name` keys every per-cell artifact
+/// (`<name>.txt`, `<name>.metrics.json`, `journals/<name>.jsonl`); the
+/// paper suite uses the study name, a sweep uses the grid-point label.
+struct SuiteCell {
+  const StudyDefinition* def{nullptr};
+  ParamSet params;
+  std::string name;
+};
+
 /// The manifest file name inside --out-dir.
 inline constexpr const char* kManifestName = "manifest.json";
+
+/// Run \p cells under the shared artifact/manifest contract. \p tag is the
+/// manifest's "suite" field and the stderr progress prefix;
+/// \p manifest_extras, when set, emits extra top-level manifest members
+/// (keys+values) between "git" and "studies". Returns 0, or the first
+/// failing cell's exit code.
+int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
+                    const SuiteOptions& options,
+                    const std::function<void(obs::JsonWriter&)>& manifest_extras = {});
 
 /// Run the paper suite (figure + table studies, catalog order). Returns 0,
 /// or the first failing study's exit code.

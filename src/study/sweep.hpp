@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file sweep.hpp
+/// `xres sweep`: fan one study across the cross-product of parameter
+/// bindings. Each grid point is one suite cell (suite.hpp) — stdout
+/// captured, metrics/journal per cell, everything checksummed into the
+/// shared manifest — so a sweep inherits the suite's determinism and
+/// --resume contracts unchanged.
+///
+/// Grid order is deterministic: axes fan out in declaration order with the
+/// last axis varying fastest, so `--axis a=1,2 --axis b=x,y` yields
+/// a=1/b=x, a=1/b=y, a=2/b=x, a=2/b=y.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "study/registry.hpp"
+#include "study/suite.hpp"
+
+namespace xres::study {
+
+/// One sweep dimension: a schema parameter and the values to visit, in
+/// the order given.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parse an `--axis key=v1,v2,...` argument. Throws CheckError on
+/// malformed text (no '=', empty key/value, repeated value).
+[[nodiscard]] SweepAxis parse_axis(const std::string& text);
+
+/// One grid point: its artifact label and the full bindings (base `--set`
+/// bindings first, then one value per axis).
+struct SweepPoint {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> bindings;
+};
+
+/// A validated, fully-expanded sweep. `def` must outlive the plan.
+struct SweepPlan {
+  const StudyDefinition* def{nullptr};
+  std::vector<SweepAxis> axes;
+  std::vector<SweepPoint> points;
+};
+
+/// Validate \p axes and \p base_bindings against the study's schema and
+/// expand the cross-product. Throws CheckError on an unknown key, an
+/// out-of-range value, a duplicate axis, or an empty/oversized grid.
+[[nodiscard]] SweepPlan plan_sweep(
+    const StudyDefinition& def, std::vector<SweepAxis> axes,
+    const std::vector<std::pair<std::string, std::string>>& base_bindings = {});
+
+/// Run every grid point through the suite runner (manifest extras record
+/// the study and axes). Returns 0 or the first failing cell's exit code.
+[[nodiscard]] int run_sweep(const SweepPlan& plan, const SuiteOptions& options);
+
+/// The `xres sweep` subcommand: argv[0] is the subcommand name. Usage
+/// errors (unknown axis key, malformed axis, duplicate axis, out-of-range
+/// value, missing --out-dir) exit 2 before any cell runs; an unknown study
+/// name exits 1 like `xres run`.
+[[nodiscard]] int sweep_main(int argc, const char* const* argv);
+
+}  // namespace xres::study

@@ -1,0 +1,290 @@
+#include "util/toml.hpp"
+
+#include <cctype>
+
+namespace xres::util {
+namespace {
+
+bool is_bare_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-' ||
+         c == '.';
+}
+
+const TomlTable* find_table(const std::vector<TomlTable>& tables,
+                            std::string_view name) {
+  for (const TomlTable& t : tables) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+/// Character cursor with line tracking. Statements are newline-terminated
+/// except inside arrays, where newlines are plain whitespace.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  std::vector<TomlTable> parse_document() {
+    std::vector<TomlTable> tables;
+    tables.push_back(TomlTable{"", 1, {}});
+    for (;;) {
+      skip_ws_and_comments();
+      if (eof()) break;
+      if (peek() == '[') {
+        take();
+        skip_blanks();
+        const int line = line_;
+        std::string name = parse_key();
+        skip_blanks();
+        if (eof() || peek() != ']') fail("expected ']' after table name");
+        take();
+        expect_end_of_line("table header");
+        if (find_table(tables, name) != nullptr) {
+          fail_at(line, "duplicate table [" + name + "]");
+        }
+        tables.push_back(TomlTable{std::move(name), line, {}});
+        continue;
+      }
+      const int line = line_;
+      std::string key = parse_key();
+      if (key.find('.') != std::string::npos) {
+        fail("dotted keys are not supported: " + key);
+      }
+      skip_blanks();
+      if (eof() || peek() != '=') fail("expected '=' after key '" + key + "'");
+      take();
+      skip_blanks();
+      TomlValue value = parse_value();
+      expect_end_of_line("value");
+      TomlTable& current = tables.back();
+      if (current.find(key) != nullptr) {
+        fail_at(line, "duplicate key '" + key + "'" +
+                          (current.name.empty()
+                               ? std::string{}
+                               : " in table [" + current.name + "]"));
+      }
+      current.entries.push_back(TomlEntry{std::move(key), std::move(value), line});
+    }
+    return tables;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const { fail_at(line_, what); }
+
+  /// Duplicate-key/table errors surface after the statement's newline has
+  /// been consumed; report the line the statement started on.
+  [[noreturn]] static void fail_at(int line, const std::string& what) {
+    throw TomlParseError{"line " + std::to_string(line) + ": " + what};
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Skip spaces and tabs (not newlines).
+  void skip_blanks() {
+    while (!eof() && (peek() == ' ' || peek() == '\t')) ++pos_;
+  }
+
+  void skip_comment() {
+    if (!eof() && peek() == '#') {
+      while (!eof() && peek() != '\n') ++pos_;
+    }
+  }
+
+  /// Require that nothing but blanks/comment remains before the newline.
+  void expect_end_of_line(const char* after) {
+    skip_blanks();
+    skip_comment();
+    if (eof()) return;
+    if (peek() != '\n') fail(std::string{"unexpected text after "} + after);
+    take();
+  }
+
+  /// Skip whitespace (including newlines) and comments; used between
+  /// statements and inside arrays.
+  void skip_ws_and_comments() {
+    for (;;) {
+      skip_blanks();
+      skip_comment();
+      if (!eof() && peek() == '\n') {
+        take();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string parse_key() {
+    if (eof()) fail("expected a key");
+    if (peek() == '"' || peek() == '\'') {
+      const TomlValue v = parse_string();
+      if (v.text.empty()) fail("empty quoted key");
+      return v.text;
+    }
+    std::string key;
+    while (!eof() && is_bare_key_char(peek())) key += take();
+    if (key.empty()) fail(std::string{"expected a key, got '"} + peek() + "'");
+    return key;
+  }
+
+  TomlValue parse_string() {
+    TomlValue v;
+    v.kind = TomlValue::Kind::kString;
+    const char quote = take();
+    if (quote == '\'') {
+      // Literal string: no escapes, single line.
+      for (;;) {
+        if (eof() || peek() == '\n') fail("unterminated literal string");
+        const char c = take();
+        if (c == '\'') return v;
+        v.text += c;
+      }
+    }
+    // Basic string with escapes.
+    for (;;) {
+      if (eof() || peek() == '\n') fail("unterminated string");
+      const char c = take();
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.text += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char esc = take();
+      switch (esc) {
+        case '"': v.text += '"'; break;
+        case '\\': v.text += '\\'; break;
+        case 'b': v.text += '\b'; break;
+        case 'f': v.text += '\f'; break;
+        case 'n': v.text += '\n'; break;
+        case 'r': v.text += '\r'; break;
+        case 't': v.text += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("truncated \\u escape");
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (code < 0x80) {
+            v.text += static_cast<char>(code);
+          } else if (code < 0x800) {
+            v.text += static_cast<char>(0xC0 | (code >> 6));
+            v.text += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            v.text += static_cast<char>(0xE0 | (code >> 12));
+            v.text += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            v.text += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail(std::string{"unknown escape '\\"} + esc + "'");
+      }
+    }
+  }
+
+  TomlValue parse_scalar_token() {
+    std::string token;
+    while (!eof() && peek() != ' ' && peek() != '\t' && peek() != '\n' &&
+           peek() != '#' && peek() != ',' && peek() != ']') {
+      token += take();
+    }
+    if (token.empty()) fail("expected a value");
+    TomlValue v;
+    v.text = token;
+    if (token == "true" || token == "false") {
+      v.kind = TomlValue::Kind::kBool;
+      return v;
+    }
+    // Number: [+-]? digits [. digits] [(e|E) [+-]? digits]. Raw text is
+    // preserved; this only classifies integer vs float and rejects junk.
+    std::size_t i = 0;
+    if (token[i] == '+' || token[i] == '-') ++i;
+    const auto eat_digits = [&] {
+      const std::size_t start = i;
+      while (i < token.size() && std::isdigit(static_cast<unsigned char>(token[i]))) ++i;
+      return i > start;
+    };
+    bool is_float = false;
+    if (!eat_digits()) fail("bad value: " + token);
+    if (i < token.size() && token[i] == '.') {
+      ++i;
+      if (!eat_digits()) fail("bad number: " + token);
+      is_float = true;
+    }
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+      ++i;
+      if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+      if (!eat_digits()) fail("bad number: " + token);
+      is_float = true;
+    }
+    if (i != token.size()) fail("bad value: " + token);
+    v.kind = is_float ? TomlValue::Kind::kFloat : TomlValue::Kind::kInteger;
+    return v;
+  }
+
+  TomlValue parse_array() {
+    TomlValue v;
+    v.kind = TomlValue::Kind::kArray;
+    take();  // '['
+    for (;;) {
+      skip_ws_and_comments();
+      if (eof()) fail("unterminated array");
+      if (peek() == ']') {
+        take();
+        return v;
+      }
+      v.items.push_back(parse_value());
+      skip_ws_and_comments();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        take();
+        continue;
+      }
+      if (peek() != ']') fail("expected ',' or ']' in array");
+    }
+  }
+
+  TomlValue parse_value() {
+    if (eof()) fail("expected a value");
+    const char c = peek();
+    if (c == '"' || c == '\'') return parse_string();
+    if (c == '[') return parse_array();
+    return parse_scalar_token();
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  int line_{1};
+};
+
+}  // namespace
+
+const TomlEntry* TomlTable::find(std::string_view key) const {
+  for (const TomlEntry& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+const TomlTable* TomlDocument::find(std::string_view name) const {
+  return find_table(tables_, name);
+}
+
+TomlDocument TomlDocument::parse(std::string_view text) {
+  TomlDocument doc;
+  doc.tables_ = Parser{text}.parse_document();
+  return doc;
+}
+
+}  // namespace xres::util

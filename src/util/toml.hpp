@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file toml.hpp
+/// Minimal hand-rolled TOML reader for study spec files. Supports the
+/// subset specs actually use — `[table]` headers, bare/quoted keys, basic
+/// and literal strings, integers, floats, booleans, single-line and
+/// bracket-continued arrays, `#` comments — and rejects everything else
+/// with a line-numbered error. This is deliberately not a general TOML
+/// library: no dotted keys, no arrays-of-tables, no dates, no inline
+/// tables. Scalars keep their raw source text so the study parameter
+/// machinery can validate and store values exactly as written.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xres::util {
+
+/// Thrown on malformed input; messages start with "line N: ".
+class TomlParseError final : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed TOML value. Scalar kinds keep the raw token text (`text`);
+/// strings store their decoded content there instead.
+class TomlValue {
+ public:
+  enum class Kind { kString, kInteger, kFloat, kBool, kArray };
+
+  Kind kind{Kind::kString};
+  std::string text;                ///< decoded string, or raw scalar token
+  std::vector<TomlValue> items;    ///< elements when kind == kArray
+
+  [[nodiscard]] bool is_scalar() const { return kind != Kind::kArray; }
+};
+
+/// A `key = value` binding with the line it came from (for diagnostics).
+struct TomlEntry {
+  std::string key;
+  TomlValue value;
+  int line{0};
+};
+
+/// A `[name]` table (the implicit root table has an empty name).
+struct TomlTable {
+  std::string name;
+  int line{0};
+  std::vector<TomlEntry> entries;
+
+  [[nodiscard]] const TomlEntry* find(std::string_view key) const;
+};
+
+/// A parsed document: the root table followed by named tables in
+/// declaration order. Duplicate tables and duplicate keys within a table
+/// are rejected at parse time.
+class TomlDocument {
+ public:
+  /// Parse \p text; throws TomlParseError with "line N: ..." messages.
+  [[nodiscard]] static TomlDocument parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<TomlTable>& tables() const { return tables_; }
+  [[nodiscard]] const TomlTable* find(std::string_view name) const;
+
+ private:
+  std::vector<TomlTable> tables_;
+};
+
+}  // namespace xres::util

@@ -4,13 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "study/options.hpp"
 #include "study/registry.hpp"
+#include "study/spec.hpp"
 #include "study/study_main.hpp"
+#include "study/sweep.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -80,7 +83,7 @@ TEST(StudyRegistry, JournalIdsKeepHistoricalIdentities) {
 
 TEST(StudyRegistry, SchemaDefaultsParseThroughAccessors) {
   for (const StudyDefinition* def : StudyRegistry::instance().all()) {
-    const StudyParams params{*def};
+    const ParamSet params{*def};
     EXPECT_EQ(params.values().size(), def->params.size()) << def->name;
     for (const ParamSpec& spec : def->params) {
       EXPECT_FALSE(spec.help.empty()) << def->name << " --" << spec.key;
@@ -108,7 +111,7 @@ TEST(StudyRegistry, SchemaDefaultsParseThroughAccessors) {
 TEST(StudyRegistry, ParamBindingValidation) {
   const StudyDefinition* def = StudyRegistry::instance().find("fig1_efficiency_a32");
   ASSERT_NE(def, nullptr);
-  StudyParams params{*def};
+  ParamSet params{*def};
 
   EXPECT_NO_THROW(params.set("trials", "80"));
   EXPECT_EQ(params.u32("trials"), 80u);
@@ -156,6 +159,101 @@ TEST(StudyMainDeathTest, ResumeWithoutJournalExitsUsage) {
   const char* argv[] = {"prog", "--resume"};
   EXPECT_EXIT(study_main("fig1_efficiency_a32", 2, argv),
               ::testing::ExitedWithCode(CliParser::kExitUsage), "--resume");
+}
+
+// The exit-2 contract for `xres sweep`: every malformed invocation dies with
+// the usage exit code and a one-line diagnostic naming the offending key.
+using SweepMainDeathTest = ::testing::Test;
+
+int sweep_argv(std::vector<const char*> args) {
+  args.insert(args.begin(), "sweep");
+  return sweep_main(static_cast<int>(args.size()), args.data());
+}
+
+TEST(SweepMainDeathTest, UnknownAxisExitsUsage) {
+  EXPECT_EXIT(sweep_argv({"efficiency", "--axis", "bogus=1,2", "--out-dir", "/tmp/x"}),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "unknown sweep axis 'bogus'");
+}
+
+TEST(SweepMainDeathTest, MalformedAxisExitsUsage) {
+  EXPECT_EXIT(sweep_argv({"efficiency", "--axis", "noequals", "--out-dir", "/tmp/x"}),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "malformed --axis");
+}
+
+TEST(SweepMainDeathTest, DuplicateAxisExitsUsage) {
+  EXPECT_EXIT(sweep_argv({"efficiency", "--axis", "trials=1,2", "--axis",
+                          "trials=4,8", "--out-dir", "/tmp/x"}),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "duplicate axis 'trials'");
+}
+
+TEST(SweepMainDeathTest, OutOfRangeAxisValueExitsUsage) {
+  EXPECT_EXIT(sweep_argv({"efficiency", "--axis", "trials=0", "--out-dir", "/tmp/x"}),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "trials");
+}
+
+TEST(SweepMainDeathTest, MissingOutDirExitsUsage) {
+  EXPECT_EXIT(sweep_argv({"efficiency", "--axis", "trials=1,2"}),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "--out-dir");
+}
+
+TEST(SweepMainDeathTest, BadThreadsExitsUsage) {
+  EXPECT_EXIT(sweep_argv({"efficiency", "--axis", "trials=1,2", "--out-dir",
+                          "/tmp/x", "--threads", "zero"}),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "--threads");
+}
+
+TEST(SweepMainDeathTest, UnknownStudyReturnsOne) {
+  const char* argv[] = {"sweep", "no_such_study", "--axis", "trials=1",
+                        "--out-dir", "/tmp/x"};
+  EXPECT_EQ(sweep_main(6, argv), 1);
+}
+
+// The same contract for spec files: a bad spec dies with exit 2 and a
+// diagnostic prefixed by the spec path.
+using SpecLoadDeathTest = ::testing::Test;
+
+std::string write_spec(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream{path, std::ios::binary} << content;
+  return path;
+}
+
+TEST(SpecLoadDeathTest, MissingFileExitsUsage) {
+  EXPECT_EXIT((void)load_study_from_file_or_exit("/tmp/spec_no_such_file.toml"),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "cannot read");
+}
+
+TEST(SpecLoadDeathTest, MalformedTomlExitsUsageWithLine) {
+  const std::string path = write_spec("spec_death_bad.toml", "[study\nname=1\n");
+  EXPECT_EXIT((void)load_study_from_file_or_exit(path),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "line 1");
+}
+
+TEST(SpecLoadDeathTest, UnknownBaseExitsUsage) {
+  const std::string path = write_spec(
+      "spec_death_base.toml", "[study]\nname = \"x\"\nbase = \"no_such_study\"\n");
+  EXPECT_EXIT((void)load_study_from_file_or_exit(path),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "unknown base study 'no_such_study'");
+}
+
+TEST(SpecLoadDeathTest, UnknownParamExitsUsage) {
+  const std::string path = write_spec(
+      "spec_death_param.toml",
+      "[study]\nname = \"x\"\nbase = \"efficiency\"\n[params]\nbogus = 1\n");
+  EXPECT_EXIT((void)load_study_from_file_or_exit(path),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "unknown parameter 'bogus'");
+}
+
+TEST(SpecLoadDeathTest, OutOfRangeParamExitsUsage) {
+  const std::string path = write_spec(
+      "spec_death_range.toml",
+      "[study]\nname = \"x\"\nbase = \"efficiency\"\n[params]\ntrials = 0\n");
+  EXPECT_EXIT((void)load_study_from_file_or_exit(path),
+              ::testing::ExitedWithCode(CliParser::kExitUsage), "trials");
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ struct SmokeArtifacts {
 SmokeArtifacts run_smoke(const StudyDefinition& def, unsigned threads) {
   const std::string base = ::testing::TempDir() + "smoke_" + def.name + "_t" +
                            std::to_string(threads);
-  StudyParams params{def};
+  ParamSet params{def};
   for (const char* key : {"trials", "patterns", "traces"}) {
     if (def.find_param(key) != nullptr) params.set(key, "2");
   }
