@@ -17,6 +17,7 @@
 
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
+#include "core/workload_study.hpp"
 #include "failure/process.hpp"
 #include "obs/json.hpp"
 #include "obs/profile.hpp"
@@ -234,6 +235,59 @@ BENCHMARK(BM_TrialExecutorBatch)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullStudyFig1Efficiency(benchmark::State& state) {
+  // End-to-end throughput of the Figure 1 workload (A32, full 8-point size
+  // sweep, every technique) at a reduced trial count: what `xres run
+  // fig1_efficiency_a32` actually spends its time on, journal and figure
+  // rendering excluded. trials_per_second here is directly comparable to
+  // the ledger's number for the same study.
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("A32");
+  config.resilience.node_mtbf = Duration::years(10.0);
+  config.trials = 4;
+  config.threads = static_cast<unsigned>(state.range(0));
+  const auto trials_per_run = static_cast<std::int64_t>(
+      config.size_fractions.size() * config.techniques.size() * config.trials);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_efficiency_study(config));
+  }
+  state.SetItemsProcessed(state.iterations() * trials_per_run);
+  state.counters["trials_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * trials_per_run),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullStudyFig1Efficiency)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullStudyResilienceSelection(benchmark::State& state) {
+  // End-to-end throughput of one Figure 5 bias (unbiased arrivals, the
+  // full scheduler x policy combo set including per-application Resilience
+  // Selection) at a reduced pattern count. Pattern-runs are the executor's
+  // trial unit here, so trials_per_second matches the ledger's unit for
+  // `xres run fig5_resilience_selection`.
+  WorkloadStudyConfig config;
+  config.patterns = 2;
+  config.threads = static_cast<unsigned>(state.range(0));
+  const std::vector<WorkloadCombo> combos = figure5_combos();
+  const auto runs_per_iter =
+      static_cast<std::int64_t>(combos.size() * config.patterns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_workload_study(config, combos));
+  }
+  state.SetItemsProcessed(state.iterations() * runs_per_iter);
+  state.counters["trials_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * runs_per_iter),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullStudyResilienceSelection)
+    ->Arg(1)
+    ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

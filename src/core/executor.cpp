@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "recovery/json_parse.hpp"
 #include "recovery/shutdown.hpp"
 #include "recovery/trial_record.hpp"
+#include "obs/perf.hpp"
 #include "resilience/planner.hpp"
 #include "runtime/app_runtime.hpp"
 #include "sim/simulation.hpp"
@@ -52,6 +54,11 @@ void record_trial_metrics(obs::TrialObs* obs, const ExecutionResult& r,
   obs->observe(m.trial_events, static_cast<double>(sim_events));
   obs->observe(m.trial_wall_hours, r.wall_time.to_seconds() / 3600.0);
 }
+
+/// Attempt number of the trial currently executing on this thread; set by
+/// for_each_controlled's retry loop so run_batch's journal body can record
+/// how many tries an outcome took without widening the body signature.
+thread_local unsigned t_current_attempt = 1;
 
 }  // namespace
 
@@ -188,6 +195,7 @@ void TrialExecutor::for_each_controlled(std::size_t count,
     for (unsigned attempt = 1;; ++attempt) {
       try {
         const ScopedDeadline deadline{control.trial_timeout_seconds};
+        t_current_attempt = attempt;
         body(i);
         executed.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -271,6 +279,12 @@ void TrialExecutor::for_each_controlled(std::size_t count,
     report->interrupted =
         report->interrupted || interrupted.load(std::memory_order_relaxed);
   }
+  // One flush per batch into the process-global telemetry (obs/perf.hpp):
+  // the per-unit accounting above already paid for these atomics.
+  obs::perf_add_trials(executed.load(std::memory_order_relaxed),
+                       resumed.load(std::memory_order_relaxed),
+                       retried.load(std::memory_order_relaxed),
+                       quarantined.load(std::memory_order_relaxed));
   if (error) std::rethrow_exception(error);
 }
 
@@ -371,11 +385,16 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
       reset_observer(i);
       obs = &observers[i];
     }
+    const auto start = std::chrono::steady_clock::now();
     results[i] = run_trial(specs[i], root_seed, obs);
     if (rec.journal != nullptr) {
       recovery::TrialOutcome outcome;
       outcome.result = results[i];
       if (obs != nullptr && obs->metrics() != nullptr) outcome.metrics = *obs->metrics();
+      outcome.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      outcome.attempts = t_current_attempt;
       journal_outcome(i, std::move(outcome));
     }
   };
@@ -394,6 +413,7 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
         outcome.result = placeholder;
         outcome.quarantined = true;
         outcome.quarantine_reason = reason;
+        outcome.attempts = std::max(1U, rec.trial_attempts);
         if (observed && observers[i].metrics() != nullptr) {
           outcome.metrics.emplace();  // clean zero set, matching the reset
         }

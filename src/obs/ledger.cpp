@@ -1,0 +1,140 @@
+#include "obs/ledger.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <optional>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "util/crc32.hpp"
+#include "util/framed_line.hpp"
+
+namespace xres::obs {
+
+namespace {
+
+constexpr std::string_view kLedgerKind = "xres-run-v1";
+
+std::mutex g_last_mutex;
+std::optional<RunRecord> g_last_record;
+
+/// mkdir -p for the directory part of \p path; best-effort.
+void ensure_parent_dirs(const std::string& path) {
+  std::size_t pos = 0;
+  while ((pos = path.find('/', pos + 1)) != std::string::npos) {
+    const std::string dir = path.substr(0, pos);
+    if (dir.empty()) continue;
+    ::mkdir(dir.c_str(), 0755);  // EEXIST is the common, fine case
+  }
+}
+
+}  // namespace
+
+std::string to_ledger_json(const RunRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ledger").value(std::string{kLedgerKind});
+  w.key("id").value(record.id);
+  w.key("study").value(record.study);
+  if (!record.cell.empty()) w.key("cell").value(record.cell);
+  if (!record.suite.empty()) w.key("suite").value(record.suite);
+  w.key("seed").value(static_cast<std::uint64_t>(record.seed));
+  w.key("threads").value(static_cast<std::uint64_t>(record.threads));
+  w.key("build").value(record.build);
+  w.key("status").value(static_cast<std::int64_t>(record.status));
+  w.key("params_digest").value(record.params_digest);
+  w.key("params").begin_object();
+  for (const auto& [key, value] : record.params) w.key(key).value(value);
+  w.end_object();
+  w.key("counters").begin_object();
+  for (const auto& [key, value] : record.counters) w.key(key).value(value);
+  w.end_object();
+  w.key("wall_s").value(record.wall_seconds);
+  w.key("trials_per_s").value(record.trials_per_second);
+  w.key("events_per_s").value(record.events_per_second);
+  w.key("peak_rss_bytes").value(record.peak_rss);
+  if (!record.metrics_crc.empty()) w.key("metrics_crc").value(record.metrics_crc);
+  if (!record.manifest_crc.empty()) {
+    w.key("manifest_crc").value(record.manifest_crc);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string mint_run_id() {
+  static std::atomic<unsigned> g_sequence{0};
+  const unsigned seq = g_sequence.fetch_add(1, std::memory_order_relaxed);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%08llx-%05lx-%u",
+                static_cast<unsigned long long>(std::time(nullptr)),
+                static_cast<unsigned long>(::getpid()), seq);
+  return buf;
+}
+
+std::string params_digest(
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  std::uint32_t crc = 0;
+  for (const auto& [key, value] : params) {
+    crc = crc32(key, crc);
+    crc = crc32("=", crc);
+    crc = crc32(value, crc);
+    crc = crc32("\n", crc);
+  }
+  return crc32_hex(crc);
+}
+
+bool append_run_record(const std::string& path, const RunRecord& record) {
+  if (path.empty()) return false;
+  std::string line = frame_crc_line(to_ledger_json(record));
+  ensure_parent_dirs(path);
+  // O_RDWR, not O_WRONLY: the torn-tail probe below pread()s the last byte.
+  const int fd = ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  // A SIGKILLed writer can leave a torn final line with no newline; start
+  // on a fresh line so this record does not merge into the torn one (the
+  // scanner skips the resulting blank/corrupt line, never this record).
+  struct ::stat st {};
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      line.insert(line.begin(), '\n');
+    }
+  }
+  // One write() of one whole line: POSIX O_APPEND makes this atomic with
+  // respect to other appenders, so concurrent runs never interleave bytes.
+  const char* data = line.data();
+  std::size_t left = line.size();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return ok;
+}
+
+void set_last_run_record(const RunRecord& record) {
+  const std::lock_guard<std::mutex> lock{g_last_mutex};
+  g_last_record = record;
+}
+
+bool last_run_record(RunRecord& out) {
+  const std::lock_guard<std::mutex> lock{g_last_mutex};
+  if (!g_last_record.has_value()) return false;
+  out = *g_last_record;
+  return true;
+}
+
+}  // namespace xres::obs

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file ledger.hpp
+/// The run ledger: one CRC-framed JSONL record per `xres` invocation,
+/// appended to a persistent file (default `results/ledger.jsonl`) so every
+/// run leaves a queryable, comparable trace — study, params digest, seed,
+/// engine counters, wall-clock throughput.
+///
+/// Records reuse the trial journal's framing (util/framed_line.hpp):
+/// `{"c":"<crc32>","r":<record>}` per line. Appends are a single O_APPEND
+/// write of one whole line, so concurrent appenders interleave at line
+/// granularity and a SIGKILL mid-append leaves at worst one torn tail that
+/// readers drop by CRC. This write side lives in obs (util-only deps); the
+/// scan/query side is src/study/runlog.hpp.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xres::obs {
+
+/// Everything the ledger remembers about one run. Deterministic identity
+/// fields (study, params_digest, seed, counters, metrics/manifest CRCs)
+/// are comparable across machines; wall-clock fields are informational.
+struct RunRecord {
+  std::string id;           ///< mint_run_id(): unique per process+time
+  std::string study;        ///< registry study name
+  std::string cell;         ///< suite/sweep cell name ("" for direct runs)
+  std::string suite;        ///< suite tag ("" for direct runs)
+  std::uint64_t seed{0};
+  unsigned threads{1};
+  std::string build;        ///< git-describe-style build id
+  int status{0};            ///< 0 ok; nonzero exit code; -1 exception
+  std::string params_digest;  ///< params_digest() of `params`
+  std::vector<std::pair<std::string, std::string>> params;  ///< sorted by key
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< perf_counter_items order
+  double wall_seconds{0};
+  double trials_per_second{0};
+  double events_per_second{0};
+  std::uint64_t peak_rss{0};      ///< bytes
+  std::string metrics_crc;   ///< crc32 hex of the --metrics file ("" if none)
+  std::string manifest_crc;  ///< crc32 hex of the suite manifest ("" if none)
+};
+
+/// Record JSON (unframed) for \p record — `{"ledger":"xres-run-v1",...}`.
+[[nodiscard]] std::string to_ledger_json(const RunRecord& record);
+
+/// Fresh run id: epoch-seconds hex + pid hex + per-process sequence.
+[[nodiscard]] std::string mint_run_id();
+
+/// CRC-32 hex over the canonical `key=value\n` rendering of \p params
+/// (callers pass them already key-sorted) — the (study, params) identity
+/// two runs are compared by.
+[[nodiscard]] std::string params_digest(
+    const std::vector<std::pair<std::string, std::string>>& params);
+
+/// Append \p record as one framed line to \p path (parent directories are
+/// created as needed). Returns false instead of throwing on I/O failure —
+/// the ledger must never take down the run it is recording.
+bool append_run_record(const std::string& path, const RunRecord& record);
+
+/// Stash/fetch the most recent record built by this process, so a suite can
+/// collect per-cell telemetry after each `run_study` without re-plumbing
+/// every study signature. Returns false when no record was stashed yet.
+void set_last_run_record(const RunRecord& record);
+[[nodiscard]] bool last_run_record(RunRecord& out);
+
+}  // namespace xres::obs

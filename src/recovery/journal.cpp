@@ -4,59 +4,29 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/perf.hpp"
 #include "recovery/json_parse.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
-#include "util/crc32.hpp"
+#include "util/framed_line.hpp"
 #include "util/log.hpp"
 
 namespace xres::recovery {
 
 namespace {
 
-constexpr std::string_view kFramePrefix = "{\"c\":\"";   // then 8 hex chars
-constexpr std::string_view kFrameMiddle = "\",\"r\":";   // then record JSON
-constexpr char kFrameSuffix = '}';
 constexpr std::string_view kJournalKind = "xres-trial-journal";
-
-bool is_hex8(std::string_view s) {
-  if (s.size() != 8) return false;
-  for (char c : s) {
-    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
-    if (!ok) return false;
-  }
-  return true;
-}
 
 }  // namespace
 
+// Framing now lives in util/framed_line.hpp so the run ledger (obs/ledger)
+// shares the exact same line format; these wrappers keep the journal API.
 std::string frame_journal_line(const std::string& record_json) {
-  std::string line;
-  line.reserve(record_json.size() + 24);
-  line += kFramePrefix;
-  line += crc32_hex(crc32(record_json));
-  line += kFrameMiddle;
-  line += record_json;
-  line += kFrameSuffix;
-  line += '\n';
-  return line;
+  return frame_crc_line(record_json);
 }
 
 bool unframe_journal_line(std::string_view line, std::string& record_json) {
-  // Layout: {"c":"xxxxxxxx","r":<record>}
-  const std::size_t head = kFramePrefix.size() + 8 + kFrameMiddle.size();
-  if (line.size() < head + 1) return false;
-  if (line.substr(0, kFramePrefix.size()) != kFramePrefix) return false;
-  const std::string_view crc_hex = line.substr(kFramePrefix.size(), 8);
-  if (!is_hex8(crc_hex)) return false;
-  if (line.substr(kFramePrefix.size() + 8, kFrameMiddle.size()) != kFrameMiddle) {
-    return false;
-  }
-  if (line.back() != kFrameSuffix) return false;
-  const std::string_view record = line.substr(head, line.size() - head - 1);
-  if (crc32_hex(crc32(record)) != crc_hex) return false;
-  record_json.assign(record);
-  return true;
+  return unframe_crc_line(line, record_json);
 }
 
 std::string to_record_json(const JournalRecord& record) {
@@ -102,6 +72,7 @@ TrialJournal::TrialJournal(std::string path, JournalMeta meta, std::size_t flush
     const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
     XRES_CHECK(n == line.size() && flush_to_disk(file_),
                "failed writing journal meta record to " + path_);
+    obs::perf_add_journal_fsync();
   }
 }
 
@@ -109,7 +80,7 @@ TrialJournal::~TrialJournal() {
   if (file_ == nullptr) return;
   // Destructors must not throw; a failed final flush only costs re-running
   // the lost tail on resume.
-  (void)flush_to_disk(file_);
+  if (flush_to_disk(file_) && unflushed_ != 0) obs::perf_add_journal_fsync();
   std::fclose(file_);
 }
 
@@ -123,6 +94,7 @@ void TrialJournal::append(const JournalRecord& record) {
   if (++unflushed_ >= flush_every_) {
     XRES_CHECK(flush_to_disk(file_), "fsync failed on journal " + path_);
     unflushed_ = 0;
+    obs::perf_add_journal_fsync();
   }
 }
 
@@ -131,6 +103,7 @@ void TrialJournal::flush() {
   if (file_ == nullptr || unflushed_ == 0) return;
   XRES_CHECK(flush_to_disk(file_), "fsync failed on journal " + path_);
   unflushed_ = 0;
+  obs::perf_add_journal_fsync();
 }
 
 std::size_t TrialJournal::appended() const {

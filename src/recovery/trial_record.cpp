@@ -149,6 +149,10 @@ std::string serialize_trial_outcome(const TrialOutcome& outcome) {
     w.key("metrics");
     write_metric_set(w, *outcome.metrics);
   }
+  if (outcome.wall_seconds > 0) w.key("w").value(outcome.wall_seconds);
+  if (outcome.attempts > 1) {
+    w.key("a").value(static_cast<std::uint64_t>(outcome.attempts));
+  }
   w.end_object();
   return w.str();
 }
@@ -163,6 +167,12 @@ TrialOutcome parse_trial_outcome(const std::string& payload) {
   }
   if (const JsonValue* m = v.find("metrics"); m != nullptr) {
     out.metrics = read_metric_set(*m);
+  }
+  if (const JsonValue* wall = v.find("w"); wall != nullptr) {
+    out.wall_seconds = wall->as_double();
+  }
+  if (const JsonValue* a = v.find("a"); a != nullptr) {
+    out.attempts = static_cast<unsigned>(a->as_u64());
   }
   return out;
 }

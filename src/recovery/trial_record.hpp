@@ -33,6 +33,11 @@ struct TrialOutcome {
   /// The trial's metrics when the run collected them (resume restores the
   /// observer from this instead of re-simulating).
   std::optional<obs::MetricSet> metrics;
+  /// Wall-clock telemetry (nondeterministic, for the `xres journal`
+  /// inspector only — journals are never byte-compared). Serialized as the
+  /// optional "w"/"a" keys; old journals without them parse fine.
+  double wall_seconds{0};
+  unsigned attempts{1};  ///< tries this outcome took (retries = attempts-1)
 };
 
 /// Serialize \p outcome as one JSON object (the journal record's "p" field).

@@ -6,6 +6,7 @@
 #include <new>
 #include <utility>
 
+#include "obs/perf.hpp"
 #include "util/check.hpp"
 
 namespace xres {
@@ -27,6 +28,11 @@ std::uint64_t next_salt() {
 }  // namespace
 
 EventQueue::EventQueue() : salt_{next_salt()} {}
+
+EventQueue::~EventQueue() {
+  obs::perf_add_engine(stat_scheduled_, stat_popped_, stat_cancelled_,
+                       stat_compactions_);
+}
 
 bool EventQueue::decode(EventId id, std::uint32_t& slot,
                         std::uint32_t& generation) const noexcept {
@@ -203,6 +209,7 @@ EventId EventQueue::schedule(TimePoint when, EventCallback callback) {
   heap_push(HeapEntry{time_to_bits(when.to_seconds()),
                       ((next_seq_++ & 0xFFFFFFFFULL) << 32) | idx});
   ++live_count_;
+  ++stat_scheduled_;
   return encode(idx, generation);
 }
 
@@ -215,11 +222,13 @@ bool EventQueue::cancel(EventId id) noexcept {
   ++tags_[idx];  // odd (pending) -> even (dead); invalidates all handles
   callbacks_[idx].callback.reset();
   --live_count_;
+  ++stat_cancelled_;
   if (heap_size_ >= 64 && (heap_size_ - live_count_) * 2 >= heap_size_) compact_heap();
   return true;
 }
 
 void EventQueue::compact_heap() {
+  ++stat_compactions_;
   std::size_t out = 0;
   for (std::size_t l = 0; l < heap_size_; ++l) {
     const HeapEntry e = at(l);
@@ -280,6 +289,7 @@ std::optional<FiredEvent> EventQueue::pop() {
                 std::move(callbacks_[slot].callback));
   free_slots_.push_back(slot);
   --live_count_;
+  ++stat_popped_;
   return fired;
 }
 

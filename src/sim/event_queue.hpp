@@ -72,6 +72,9 @@ struct FiredEvent {
 class EventQueue {
  public:
   EventQueue();
+  /// Flushes this queue's lifetime tallies (schedules/pops/cancels/
+  /// compactions) into the process-global perf counters (obs/perf.hpp).
+  ~EventQueue();
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -228,6 +231,13 @@ class EventQueue {
   std::size_t live_count_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t salt_;  ///< per-queue id tag; see decode()
+
+  // Lifetime telemetry: plain members bumped on the hot paths (one integer
+  // add each, no atomics, no branches) and flushed once by the destructor.
+  std::uint64_t stat_scheduled_{0};
+  std::uint64_t stat_popped_{0};
+  std::uint64_t stat_cancelled_{0};
+  std::uint64_t stat_compactions_{0};
 };
 
 }  // namespace xres

@@ -1,9 +1,12 @@
 #include "sim/simulation.hpp"
 
+#include "obs/perf.hpp"
 #include "util/check.hpp"
 #include "util/deadline.hpp"
 
 namespace xres {
+
+Simulation::~Simulation() { obs::perf_add_watchdog_polls(watchdog_polls_); }
 
 EventId Simulation::schedule_at(TimePoint when, EventCallback callback) {
   XRES_CHECK(when >= now_, "cannot schedule an event in the past (t=" +
@@ -34,7 +37,10 @@ void Simulation::run(std::uint64_t max_events) {
     // Watchdog poll (util/deadline.hpp): cheap thread-local check; throws
     // TrialTimeoutError past the executor-armed per-trial deadline. Every
     // 4096 events keeps the clock_gettime cost out of the hot loop.
-    if ((executed & 0xFFFU) == 0) deadline_poll();
+    if ((executed & 0xFFFU) == 0) {
+      ++watchdog_polls_;
+      deadline_poll();
+    }
     if (!step()) break;
     ++executed;
   }

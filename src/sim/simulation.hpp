@@ -19,6 +19,8 @@ namespace xres {
 class Simulation {
  public:
   Simulation() = default;
+  /// Flushes the watchdog-poll tally into the process-global perf counters.
+  ~Simulation();
 
   // The engine hands out raw pointers/references to itself; moving it would
   // invalidate model components' back-references.
@@ -66,6 +68,7 @@ class Simulation {
   EventQueue queue_;
   TimePoint now_{TimePoint::origin()};
   std::uint64_t events_processed_{0};
+  std::uint64_t watchdog_polls_{0};  ///< flushed by the destructor
   bool stop_requested_{false};
 };
 

@@ -100,6 +100,11 @@ void add_study_options(CliParser& cli, const StudyDefinition& def) {
     add_obs_options(cli, spec.obs == StudyOptionsSpec::Obs::kWithTrace);
   }
   if (spec.recovery) add_recovery_options(cli);
+  // The run ledger applies to every study (docs/OBSERVABILITY.md).
+  cli.add_option("--ledger", "append this run's record (params digest, counters, "
+                 "throughput) to this CRC-framed JSONL ledger",
+                 "results/ledger.jsonl");
+  cli.add_flag("--no-ledger", "do not record this run in the ledger");
 }
 
 ParamSet read_study_params(const CliParser& cli, const StudyDefinition& def) {
@@ -142,6 +147,10 @@ HarnessOptions read_harness_options(const CliParser& cli, const StudyDefinition&
   if (spec.report) options.report_path = cli.str("--report");
   if (spec.obs != StudyOptionsSpec::Obs::kNone) options.obs = read_obs_options(cli);
   if (spec.recovery) options.recovery = read_recovery_options(cli);
+  options.ledger_path = cli.str("--ledger");
+  if (cli.flag("--no-ledger") || options.ledger_path.empty()) {
+    options.ledger = false;
+  }
   return options;
 }
 

@@ -52,6 +52,12 @@ struct HarnessOptions {
   std::string report_path;  ///< non-empty: write a markdown StudyReport here
   ObsOptions obs;  ///< --metrics/--trace/--log-level
   RecoveryCliOptions recovery;  ///< --journal/--resume/--trial-timeout/--trial-retries
+  bool ledger{true};  ///< --no-ledger disables the run record
+  std::string ledger_path{"results/ledger.jsonl"};  ///< --ledger PATH
+  /// Set programmatically by the suite/sweep runner so per-cell ledger
+  /// records carry their cell name and suite tag (empty for direct runs).
+  std::string run_label;
+  std::string run_suite;
 };
 
 /// The stream carrying run *status* — journal/resume banners, recovery

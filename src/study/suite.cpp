@@ -3,15 +3,19 @@
 #include <dirent.h>
 #include <sys/stat.h>
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "obs/ledger.hpp"
+#include "obs/perf.hpp"
 #include "recovery/json_parse.hpp"
 #include "study/capture.hpp"
 #include "study/options.hpp"
+#include "study/runlog.hpp"
 #include "study/study_main.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
@@ -51,20 +55,6 @@ void remove_stale_temporaries(const std::string& dir) {
   return in.good() || in.eof();
 }
 
-/// `git describe --always --dirty` of the working tree, "unknown" when git
-/// (or the repo) is unavailable. Identifies the code that produced a
-/// manifest; identical across reruns of the same checkout.
-std::string git_describe() {
-  std::FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
-  if (pipe == nullptr) return "unknown";
-  char buffer[256];
-  std::string out;
-  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
-  ::pclose(pipe);
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
-  return out.empty() ? "unknown" : out;
-}
-
 struct ArtifactEntry {
   std::string path;  ///< relative to --out-dir
   std::uint32_t crc{0};
@@ -95,7 +85,7 @@ void write_manifest(const std::string& tag, const std::string& out_dir,
   obs::JsonWriter w;
   w.begin_object();
   w.key("suite").value(tag);
-  w.key("git").value(git_describe());
+  w.key("git").value(build_describe());
   if (manifest_extras) manifest_extras(w);
   w.key("studies").begin_array();
   for (const CellResult& r : results) {
@@ -125,6 +115,39 @@ void write_manifest(const std::string& tag, const std::string& out_dir,
   write_file_atomic(out_dir + "/" + kManifestName, w.str() + "\n");
 }
 
+/// The wall-clock telemetry sidecar. Deliberately *not* a manifest artifact
+/// and never CRC-checked: its contents are nondeterministic by design (the
+/// byte-identity contract covers deterministic experiment output only), so
+/// byte-compares of suite directories must exclude it.
+void write_perf_sidecar(const std::string& tag, const std::string& out_dir,
+                        double wall_seconds,
+                        const std::vector<obs::RunRecord>& cells) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("xres-perf-v1");
+  w.key("suite").value(tag);
+  w.key("build").value(build_describe());
+  w.key("wall_s").value(wall_seconds);
+  w.key("cells").begin_array();
+  for (const obs::RunRecord& r : cells) {
+    w.begin_object();
+    w.key("cell").value(r.cell.empty() ? r.study : r.cell);
+    w.key("study").value(r.study);
+    w.key("run_id").value(r.id);
+    w.key("wall_s").value(r.wall_seconds);
+    w.key("trials_per_s").value(r.trials_per_second);
+    w.key("events_per_s").value(r.events_per_second);
+    w.key("peak_rss_bytes").value(r.peak_rss);
+    w.key("counters").begin_object();
+    for (const auto& [key, value] : r.counters) w.key(key).value(value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_file_atomic(out_dir + "/perf.json", w.str() + "\n");
+}
+
 }  // namespace
 
 int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
@@ -141,6 +164,9 @@ int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
   // only.
   set_status_stream(stderr);
   std::vector<CellResult> results;
+  std::vector<obs::RunRecord> cell_perf;
+  const obs::PerfCounters perf_before = obs::perf_snapshot();
+  const auto suite_start = std::chrono::steady_clock::now();
   int exit_code = 0;
 
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -154,6 +180,8 @@ int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
 
     HarnessOptions harness = default_harness_options(def);
     result.seed = harness.seed;
+    harness.run_label = cell.name;
+    harness.run_suite = tag;
     if (def.options.threads) harness.threads = options.threads;
     std::vector<std::string> expected{cell.name + ".txt"};
     if (def.options.csv) {
@@ -192,6 +220,9 @@ int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
       exit_code = rc;
       break;
     }
+    if (obs::RunRecord perf; obs::last_run_record(perf)) {
+      cell_perf.push_back(std::move(perf));
+    }
 
     for (const std::string& rel : expected) {
       ArtifactEntry artifact;
@@ -211,6 +242,39 @@ int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
   if (exit_code != 0) return exit_code;
 
   write_manifest(tag, options.out_dir, manifest_extras, results);
+
+  // Wall-clock sidecar + one suite-level ledger record carrying the
+  // manifest's CRC — the (suite, manifest) identity `xres compare` diffs.
+  const double suite_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_start)
+          .count();
+  write_perf_sidecar(tag, options.out_dir, suite_wall, cell_perf);
+  obs::RunRecord suite_record;
+  suite_record.id = obs::mint_run_id();
+  suite_record.study = "suite";
+  suite_record.cell = tag;
+  suite_record.suite = tag;
+  suite_record.threads = options.threads;
+  suite_record.build = build_describe();
+  suite_record.params_digest = obs::params_digest(suite_record.params);
+  const obs::PerfCounters suite_delta = obs::perf_delta(perf_before);
+  suite_record.counters = obs::perf_counter_items(suite_delta);
+  suite_record.wall_seconds = suite_wall;
+  if (suite_wall > 0) {
+    suite_record.trials_per_second =
+        static_cast<double>(suite_delta.trials_executed) / suite_wall;
+    suite_record.events_per_second =
+        static_cast<double>(suite_delta.events_popped) / suite_wall;
+  }
+  suite_record.peak_rss = obs::peak_rss_bytes();
+  if (std::string manifest_text;
+      read_file(options.out_dir + "/" + kManifestName, manifest_text)) {
+    suite_record.manifest_crc = crc32_hex(crc32(manifest_text));
+  }
+  if (obs::append_run_record("results/ledger.jsonl", suite_record)) {
+    statusf("run recorded in ledger %s\n", "results/ledger.jsonl");
+  }
+
   std::size_t artifact_count = 0;
   for (const CellResult& r : results) artifact_count += r.artifacts.size();
   std::fprintf(stderr, "%s: %zu studies, %zu artifacts, manifest written to %s/%s\n",

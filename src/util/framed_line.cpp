@@ -1,0 +1,53 @@
+#include "util/framed_line.hpp"
+
+#include "util/crc32.hpp"
+
+namespace xres {
+
+namespace {
+
+constexpr std::string_view kFramePrefix = "{\"c\":\"";   // then 8 hex chars
+constexpr std::string_view kFrameMiddle = "\",\"r\":";   // then record JSON
+constexpr char kFrameSuffix = '}';
+
+bool is_hex8(std::string_view s) {
+  if (s.size() != 8) return false;
+  for (char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string frame_crc_line(std::string_view record_json) {
+  std::string line;
+  line.reserve(record_json.size() + 24);
+  line += kFramePrefix;
+  line += crc32_hex(crc32(record_json));
+  line += kFrameMiddle;
+  line += record_json;
+  line += kFrameSuffix;
+  line += '\n';
+  return line;
+}
+
+bool unframe_crc_line(std::string_view line, std::string& record_json) {
+  // Layout: {"c":"xxxxxxxx","r":<record>}
+  const std::size_t head = kFramePrefix.size() + 8 + kFrameMiddle.size();
+  if (line.size() < head + 1) return false;
+  if (line.substr(0, kFramePrefix.size()) != kFramePrefix) return false;
+  const std::string_view crc_hex = line.substr(kFramePrefix.size(), 8);
+  if (!is_hex8(crc_hex)) return false;
+  if (line.substr(kFramePrefix.size() + 8, kFrameMiddle.size()) != kFrameMiddle) {
+    return false;
+  }
+  if (line.back() != kFrameSuffix) return false;
+  const std::string_view record = line.substr(head, line.size() - head - 1);
+  if (crc32_hex(crc32(record)) != crc_hex) return false;
+  record_json.assign(record);
+  return true;
+}
+
+}  // namespace xres

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file framed_line.hpp
+/// Self-checking JSONL framing shared by the append-only logs (the trial
+/// journal, recovery/journal.hpp, and the run ledger, obs/ledger.hpp):
+///
+///     {"c":"<crc32 hex>","r":<record JSON>}\n
+///
+/// The CRC-32 (util/crc32.hpp) covers exactly the `<record JSON>` bytes, so
+/// a torn final line (the usual SIGKILL artifact) or a corrupted record
+/// fails its checksum and can be dropped by a tolerant reader instead of
+/// poisoning the whole file.
+
+#include <string>
+#include <string_view>
+
+namespace xres {
+
+/// Frame \p record_json as one framed line (CRC prefix + trailing '\n').
+[[nodiscard]] std::string frame_crc_line(std::string_view record_json);
+
+/// Inverse of frame_crc_line for one line (no trailing '\n'): returns true
+/// and fills \p record_json only when the frame parses and the CRC matches.
+[[nodiscard]] bool unframe_crc_line(std::string_view line, std::string& record_json);
+
+}  // namespace xres

@@ -4,13 +4,21 @@
 Usage:
     tools/perf_gate.py BENCH_engine.json [--baseline bench/BENCH_engine.baseline.json]
                        [--threshold 0.15]
+    tools/perf_gate.py --ledger results/ledger.jsonl [--study NAME]
+                       [--threshold 0.15]
 
-Compares cpu_s_per_iter per benchmark and fails (exit 1) when any benchmark
-regresses by more than the threshold (default 15%, chosen to sit above
-shared-runner noise — see docs/PERFORMANCE.md for the gate policy and the
-baseline update procedure). Benchmarks present in the baseline but missing
-from the run also fail; new benchmarks are reported but pass (commit a
-refreshed baseline to start tracking them).
+Benchmark mode compares cpu_s_per_iter per benchmark and fails (exit 1) when
+any benchmark regresses by more than the threshold (default 15%, chosen to
+sit above shared-runner noise — see docs/PERFORMANCE.md for the gate policy
+and the baseline update procedure). Benchmarks present in the baseline but
+missing from the run also fail; new benchmarks are reported but pass (commit
+a refreshed baseline to start tracking them).
+
+Ledger mode reads the CRC-framed run ledger `xres` appends to (see
+docs/OBSERVABILITY.md), groups records by (study, params digest, seed,
+threads), and fails when the newest run's trials/s regressed beyond the
+threshold against the best run of the same group. Corrupt or torn lines are
+skipped, matching `xres log`.
 
 Stdlib only; no third-party dependencies.
 """
@@ -20,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import zlib
 
 
 def load_rows(path: str) -> dict[str, float]:
@@ -45,13 +54,97 @@ def load_rows(path: str) -> dict[str, float]:
     return rows
 
 
+def load_ledger(path: str) -> list[dict]:
+    """Parse CRC-framed run-ledger lines; skip torn/corrupt ones silently."""
+    records: list[dict] = []
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            # Frame: {"c":"<crc32 hex>","r":<record>}
+            if not line.startswith('{"c":"') or len(line) < 22 or not line.endswith("}"):
+                continue
+            crc_hex, body = line[6:14], line[20:-1]
+            if line[14:20] != '","r":':
+                continue
+            if f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x}" != crc_hex:
+                continue
+            try:
+                record = json.loads(body)
+            except json.JSONDecodeError:
+                continue
+            if record.get("ledger") == "xres-run-v1":
+                records.append(record)
+    return records
+
+
+def ledger_gate(path: str, study: str | None, threshold: float) -> int:
+    records = [
+        r
+        for r in load_ledger(path)
+        if r.get("status") == 0 and r.get("trials_per_s", 0) > 0
+    ]
+    if study:
+        records = [r for r in records if r.get("study") == study]
+    if not records:
+        raise SystemExit(f"{path}: no completed runs with throughput recorded")
+
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:  # file order == append order; last entry is newest
+        key = (
+            record.get("study"),
+            record.get("params_digest"),
+            record.get("seed"),
+            record.get("threads"),
+        )
+        groups.setdefault(key, []).append(record)
+
+    failures: list[str] = []
+    print(f"{'study':<28} {'params':>8} {'thr':>3} {'runs':>4} "
+          f"{'best t/s':>10} {'latest t/s':>10}  {'delta':>8}")
+    for key in sorted(groups, key=lambda k: (str(k[0]), str(k[1]))):
+        rows = groups[key]
+        best = max(r["trials_per_s"] for r in rows)
+        latest = rows[-1]["trials_per_s"]
+        delta = latest / best - 1.0
+        marker = ""
+        if -delta > threshold:
+            marker = "  REGRESSION"
+            failures.append(
+                f"{key[0]} (params {key[1]}, threads {key[3]}): "
+                f"{latest:.1f} trials/s vs best {best:.1f} "
+                f"({delta:.1%} < -{threshold:.0%})"
+            )
+        print(f"{str(key[0]):<28} {str(key[1]):>8} {str(key[3]):>3} {len(rows):>4} "
+              f"{best:>10.1f} {latest:>10.1f}  {delta:>+7.1%}{marker}")
+
+    if failures:
+        print(f"\nledger gate FAILED ({len(failures)} regression(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nledger gate passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("run", help="BENCH_engine.json produced by bench/perf_engine")
+    parser.add_argument(
+        "run",
+        nargs="?",
+        help="BENCH_engine.json produced by bench/perf_engine",
+    )
     parser.add_argument(
         "--baseline",
         default="bench/BENCH_engine.baseline.json",
         help="committed baseline summary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ledger",
+        help="read throughput from this xres run ledger instead of a benchmark summary",
+    )
+    parser.add_argument(
+        "--study",
+        help="ledger mode: only gate runs of this study",
     )
     parser.add_argument(
         "--threshold",
@@ -60,6 +153,13 @@ def main() -> int:
         help="max tolerated slowdown fraction, e.g. 0.15 = 15%% (default: %(default)s)",
     )
     args = parser.parse_args()
+
+    if args.ledger:
+        if args.run:
+            parser.error("pass either a benchmark summary or --ledger, not both")
+        return ledger_gate(args.ledger, args.study, args.threshold)
+    if not args.run:
+        parser.error("need a benchmark summary (or --ledger)")
 
     baseline = load_rows(args.baseline)
     run = load_rows(args.run)

@@ -147,9 +147,10 @@ suite_check() {
   "$BUILD"/tools/xres suite paper --out-dir "$dir/crash" --trials 2 --resume \
     > /dev/null
   "$BUILD"/tools/xres suite verify --out-dir "$dir/crash"
-  # Journals hold the crashed run's partial progress and differ by design;
-  # every artifact and the manifest itself must match byte for byte.
-  diff -r --exclude=journals "$dir/ref" "$dir/crash"
+  # Journals hold the crashed run's partial progress and perf.json holds
+  # wall-clock telemetry; both differ by design. Every artifact and the
+  # manifest itself must match byte for byte.
+  diff -r --exclude=journals --exclude=perf.json "$dir/ref" "$dir/crash"
   echo "suite: OK (manifest CRCs valid, SIGKILL + --resume byte-identical)"
 }
 suite_check
@@ -182,7 +183,7 @@ EOF
   "$BUILD"/tools/xres suite verify --out-dir "$dir/ref"
   "$BUILD"/tools/xres sweep efficiency "${axes[@]}" --threads 1 \
     --out-dir "$dir/t1" > /dev/null
-  diff -r --exclude=journals "$dir/ref" "$dir/t1"
+  diff -r --exclude=journals --exclude=perf.json "$dir/ref" "$dir/t1"
 
   # Hard kill mid-grid. If the race is lost and the sweep finishes first,
   # the resume below degenerates to a full journal replay — still valid.
@@ -196,10 +197,64 @@ EOF
   "$BUILD"/tools/xres sweep efficiency "${axes[@]}" --threads 4 \
     --out-dir "$dir/crash" --resume > /dev/null
   "$BUILD"/tools/xres suite verify --out-dir "$dir/crash"
-  diff -r --exclude=journals "$dir/ref" "$dir/crash"
+  diff -r --exclude=journals --exclude=perf.json "$dir/ref" "$dir/crash"
   echo "sweep: OK (spec == compiled-in, 2x2 grid threads-invariant + resumable)"
 }
 sweep_check
+
+# Ledger stage (docs/OBSERVABILITY.md): wall-clock telemetry must stay
+# outside the determinism boundary — perf.json is not manifest-CRC'd, two
+# identical-seed runs show zero deterministic drift in `xres compare`, and
+# the run ledger stays readable after a SIGKILL mid-run leaves a torn tail.
+ledger_check() {
+  local dir="$OBS_TMP/ledger"
+  mkdir -p "$dir"
+  local ledger="$dir/ledger.jsonl"
+
+  # perf.json is telemetry, not an artifact: it must exist next to the
+  # manifest, never be listed in it, and corrupting it must not trip
+  # `suite verify`.
+  "$BUILD"/tools/xres sweep efficiency --axis type=A32,C64 --set trials=2 \
+    --out-dir "$dir/grid" > /dev/null
+  test -s "$dir/grid/perf.json"
+  if grep -q 'perf\.json' "$dir/grid/manifest.json"; then
+    echo "ledger: perf.json leaked into the manifest" >&2
+    return 1
+  fi
+  echo corrupted >> "$dir/grid/perf.json"
+  "$BUILD"/tools/xres suite verify --out-dir "$dir/grid"
+
+  # Two identical-seed runs (different thread counts on purpose): compare
+  # must exit 0 with zero deterministic drift.
+  "$BUILD"/tools/xres run efficiency --set type=A32 --set trials=3 \
+    --threads 4 --ledger "$ledger" > /dev/null
+  "$BUILD"/tools/xres run efficiency --set type=A32 --set trials=3 \
+    --threads 1 --ledger "$ledger" > /dev/null
+  local a b
+  a=$("$BUILD"/tools/xres log --ledger "$ledger" | awk 'NR==2 {print $1}')
+  b=$("$BUILD"/tools/xres log --ledger "$ledger" | awk 'NR==3 {print $1}')
+  "$BUILD"/tools/xres compare "$a" "$b" --ledger "$ledger"
+
+  # SIGKILL mid-run: previously appended records must survive, a torn tail
+  # must be skipped (not fatal), and the next run must still land readable.
+  "$BUILD"/tools/xres run efficiency --set type=C64 --set trials=500 \
+    --threads 4 --ledger "$ledger" > /dev/null 2>&1 &
+  local pid=$!
+  sleep 0.2
+  kill -9 "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+  printf '{"c":"deadbeef","r":{"tr' >> "$ledger"  # simulated torn tail
+  "$BUILD"/tools/xres run efficiency --set type=A32 --set trials=3 \
+    --threads 1 --ledger "$ledger" > /dev/null
+  local shown
+  shown=$("$BUILD"/tools/xres log --ledger "$ledger" | awk 'END {print $1}')
+  if [[ "$shown" -lt 3 ]]; then
+    echo "ledger: expected >=3 surviving records after SIGKILL, got $shown" >&2
+    return 1
+  fi
+  echo "ledger: OK (perf.json outside CRCs, zero-drift compare, SIGKILL-safe)"
+}
+ledger_check
 
 # Opt-in full-catalog smoke: every registered study at tiny trial counts,
 # --threads 1 vs 2, artifacts byte-compared (tier-1 ctest covers a fast
