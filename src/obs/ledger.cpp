@@ -11,9 +11,13 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
+
 #include "obs/json.hpp"
 #include "util/crc32.hpp"
 #include "util/framed_line.hpp"
+#include "util/io.hpp"
 
 namespace xres::obs {
 
@@ -93,10 +97,18 @@ bool append_run_record(const std::string& path, const RunRecord& record) {
   if (path.empty()) return false;
   std::string line = frame_crc_line(to_ledger_json(record));
   ensure_parent_dirs(path);
+  // The ledger is best-effort by contract (docs/ROBUSTNESS.md policy
+  // table): any failure — including an injected EIO — degrades to a
+  // warn-once and a false return; it never throws, retries, or changes the
+  // exit code of the run it is recording.
   // O_RDWR, not O_WRONLY: the torn-tail probe below pread()s the last byte.
-  const int fd = ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC,
-                        0644);
-  if (fd < 0) return false;
+  const int fd = io::open_fd(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC,
+                             0644);
+  if (fd < 0) {
+    io::warn_once_degraded("run ledger",
+                           "cannot open " + path + ": " + std::strerror(errno));
+    return false;
+  }
   // A SIGKILLed writer can leave a torn final line with no newline; start
   // on a fresh line so this record does not merge into the torn one (the
   // scanner skips the resulting blank/corrupt line, never this record).
@@ -109,19 +121,16 @@ bool append_run_record(const std::string& path, const RunRecord& record) {
   }
   // One write() of one whole line: POSIX O_APPEND makes this atomic with
   // respect to other appenders, so concurrent runs never interleave bytes.
-  const char* data = line.data();
-  std::size_t left = line.size();
-  bool ok = true;
-  while (left > 0) {
-    const ssize_t n = ::write(fd, data, left);
-    if (n <= 0) {
-      ok = false;
-      break;
-    }
-    data += n;
-    left -= static_cast<std::size_t>(n);
+  // A short write (injected or real) leaves a torn line; terminate it so
+  // the scanner drops exactly that line and future appends stay readable.
+  const ssize_t n = io::write_fd(fd, line.data(), line.size(), path.c_str());
+  const bool ok = n == static_cast<ssize_t>(line.size());
+  if (!ok) {
+    io::warn_once_degraded("run ledger",
+                           "append to " + path + " failed: " + std::strerror(errno));
+    if (n > 0) (void)!::write(fd, "\n", 1);
   }
-  ::close(fd);
+  io::close_fd(fd, path.c_str());
   return ok;
 }
 

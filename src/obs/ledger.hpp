@@ -56,8 +56,10 @@ struct RunRecord {
     const std::vector<std::pair<std::string, std::string>>& params);
 
 /// Append \p record as one framed line to \p path (parent directories are
-/// created as needed). Returns false instead of throwing on I/O failure —
-/// the ledger must never take down the run it is recording.
+/// created as needed). Best-effort by policy (docs/ROBUSTNESS.md): on any
+/// I/O failure — including injected faults (util/io.hpp) — it warns once,
+/// returns false, and never throws; the ledger must never take down or
+/// change the exit code of the run it is recording.
 bool append_run_record(const std::string& path, const RunRecord& record);
 
 /// Stash/fetch the most recent record built by this process, so a suite can

@@ -1,5 +1,7 @@
 #include "recovery/journal.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +11,7 @@
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/framed_line.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 
 namespace xres::recovery {
@@ -16,6 +19,11 @@ namespace xres::recovery {
 namespace {
 
 constexpr std::string_view kJournalKind = "xres-trial-journal";
+
+[[noreturn]] void throw_journal_io(const std::string& what, const std::string& path) {
+  const int err = errno != 0 ? errno : EIO;
+  throw io::IoError{what + " " + path + ": " + std::strerror(err), err};
+}
 
 }  // namespace
 
@@ -59,20 +67,23 @@ TrialJournal::TrialJournal(std::string path, JournalMeta meta, std::size_t flush
     : path_{std::move(path)}, meta_{std::move(meta)},
       flush_every_{flush_every == 0 ? 1 : flush_every} {
   XRES_CHECK(!path_.empty(), "journal needs a path");
-  // "a+" so an existing journal is extended, never truncated: the write-
-  // ahead property depends on old records surviving the reopen.
-  file_ = std::fopen(path_.c_str(), "ab");
-  XRES_CHECK(file_ != nullptr, "cannot open journal for append: " + path_);
+  // "a" so an existing journal is extended, never truncated: the write-
+  // ahead property depends on old records surviving the reopen. Opening is
+  // a critical-path op: transient errors retry, persistent ones throw
+  // IoError (ENOSPC maps to the resumable exit upstream).
+  if (!io::retry_io(path_.c_str(), [&] {
+        file_ = io::fopen(path_.c_str(), "ab");
+        return file_ != nullptr;
+      })) {
+    throw_journal_io("cannot open journal for append:", path_);
+  }
   // In append mode the initial position is implementation-defined; seek so
   // ftell reliably reports whether the file already has content.
   std::fseek(file_, 0, SEEK_END);
   if (std::ftell(file_) == 0) {
     // Fresh journal: the meta record makes it self-identifying.
-    const std::string line = frame_journal_line(to_meta_json(meta_));
-    const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
-    XRES_CHECK(n == line.size() && flush_to_disk(file_),
-               "failed writing journal meta record to " + path_);
-    obs::perf_add_journal_fsync();
+    append_line_locked(frame_journal_line(to_meta_json(meta_)));
+    fsync_locked();
   }
 }
 
@@ -80,30 +91,52 @@ TrialJournal::~TrialJournal() {
   if (file_ == nullptr) return;
   // Destructors must not throw; a failed final flush only costs re-running
   // the lost tail on resume.
-  if (flush_to_disk(file_) && unflushed_ != 0) obs::perf_add_journal_fsync();
-  std::fclose(file_);
+  if (io::fsync_stream(file_, path_.c_str()) && unflushed_ != 0) {
+    obs::perf_add_journal_fsync();
+  }
+  io::fclose(file_, path_.c_str());
+}
+
+// Append one framed line, retrying transient failures. A failed attempt may
+// leave a partial line in the file (that is exactly what an injected short
+// write simulates), so every retry first emits a bare '\n': the partial
+// bytes become one isolated CRC-failing line the tolerant loader skips,
+// instead of merging with — and poisoning — the retried record.
+void TrialJournal::append_line_locked(const std::string& line) {
+  bool clean = true;
+  const bool ok = io::retry_io(path_.c_str(), [&] {
+    std::clearerr(file_);
+    if (!clean) std::fputc('\n', file_);
+    clean = false;
+    return io::fwrite(line.data(), line.size(), file_, path_.c_str()) == line.size();
+  });
+  if (!ok) throw_journal_io("cannot append to journal", path_);
+}
+
+// fsync with retry; persistent failure throws IoError — a journal whose
+// records may not survive a crash is worse than a loudly failed run.
+void TrialJournal::fsync_locked() {
+  if (!io::retry_io(path_.c_str(),
+                    [&] { return io::fsync_stream(file_, path_.c_str()); })) {
+    throw_journal_io("fsync failed on journal", path_);
+  }
+  unflushed_ = 0;
+  obs::perf_add_journal_fsync();
 }
 
 void TrialJournal::append(const JournalRecord& record) {
   const std::string line = frame_journal_line(to_record_json(record));
   const std::lock_guard<std::mutex> lock{mutex_};
   XRES_CHECK(file_ != nullptr, "journal already closed");
-  const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
-  XRES_CHECK(n == line.size(), "short write to journal " + path_);
+  append_line_locked(line);
   ++appended_;
-  if (++unflushed_ >= flush_every_) {
-    XRES_CHECK(flush_to_disk(file_), "fsync failed on journal " + path_);
-    unflushed_ = 0;
-    obs::perf_add_journal_fsync();
-  }
+  if (++unflushed_ >= flush_every_) fsync_locked();
 }
 
 void TrialJournal::flush() {
   const std::lock_guard<std::mutex> lock{mutex_};
   if (file_ == nullptr || unflushed_ == 0) return;
-  XRES_CHECK(flush_to_disk(file_), "fsync failed on journal " + path_);
-  unflushed_ = 0;
-  obs::perf_add_journal_fsync();
+  fsync_locked();
 }
 
 std::size_t TrialJournal::appended() const {

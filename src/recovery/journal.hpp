@@ -34,6 +34,13 @@
 /// dropped with a warning; a corrupt record mid-file is skipped the same
 /// way. Neither is ever undefined behavior or a crash: the worst outcome is
 /// re-simulating the lost trials.
+///
+/// All writes go through the fault-injectable wrappers in util/io.hpp with
+/// the critical-artifact policy (docs/ROBUSTNESS.md): transient EIO / short
+/// writes / failed fsyncs retry with backoff (a retried append first
+/// isolates any partial line behind a '\n' so the loader drops it alone);
+/// persistent failures throw io::IoError, which drivers map to exit 75 for
+/// ENOSPC (journal intact, resume later) and exit 1 otherwise.
 
 #include <cstdint>
 #include <cstdio>
@@ -102,6 +109,12 @@ class TrialJournal {
   [[nodiscard]] std::size_t appended() const;
 
  private:
+  /// Write one framed line / fsync, both with the critical-artifact retry
+  /// policy (util/io.hpp); throw io::IoError on persistent failure. Callers
+  /// hold mutex_.
+  void append_line_locked(const std::string& line);
+  void fsync_locked();
+
   std::string path_;
   JournalMeta meta_;
   std::size_t flush_every_;

@@ -18,15 +18,25 @@ static_assert(std::atomic<int>::is_always_lock_free,
               "shutdown flag must be async-signal-safe");
 
 extern "C" void on_shutdown_signal(int sig) {
-  if (g_shutdown_signal.exchange(sig, std::memory_order_relaxed) != 0) {
-    // Second signal: the user is done waiting for the drain. _Exit is
-    // async-signal-safe; 128+sig matches shell convention for fatal
-    // signals.
-    std::_Exit(128 + sig);
+  const int exit_code = note_shutdown_signal(sig);
+  if (exit_code != 0) {
+    // _Exit is async-signal-safe; the escalation code matches shell
+    // convention for fatal signals.
+    std::_Exit(exit_code);
   }
 }
 
 }  // namespace
+
+int note_shutdown_signal(int sig) {
+  if (g_shutdown_signal.exchange(sig, std::memory_order_relaxed) != 0) {
+    // Repeat signal: the user is done waiting for the drain. Every signal
+    // of a storm after the first escalates — there is no state in which a
+    // third or tenth signal is quietly absorbed.
+    return 128 + sig;
+  }
+  return 0;
+}
 
 void install_shutdown_handlers() {
   std::signal(SIGINT, on_shutdown_signal);

@@ -24,6 +24,12 @@ void install_shutdown_handlers();
 /// True once a shutdown signal has been received.
 [[nodiscard]] bool shutdown_requested();
 
+/// The handler's decision logic, factored out so signal-storm escalation is
+/// testable without raising real signals: records \p sig and returns 0 for
+/// the first signal (start draining) or the `128 + sig` exit code the
+/// handler must `_Exit` with for every repeat. Async-signal-safe.
+int note_shutdown_signal(int sig);
+
 /// The signal number that requested shutdown (0 when none yet).
 [[nodiscard]] int shutdown_signal();
 

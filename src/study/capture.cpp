@@ -3,9 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 namespace xres::study {
 
@@ -14,11 +17,20 @@ StdoutCapture::StdoutCapture(std::string path)
   std::fflush(stdout);
   saved_fd_ = ::dup(STDOUT_FILENO);
   XRES_CHECK(saved_fd_ >= 0, "cannot save stdout for capture");
-  const int fd = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
+  // Critical path with the standard retry policy: a transient EIO on the
+  // capture open must not fail the whole suite cell.
+  int fd = -1;
+  const bool opened = io::retry_io(tmp_path_.c_str(), [&] {
+    fd = io::open_fd(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    return fd >= 0;
+  });
+  if (!opened) {
+    const int err = errno;
     ::close(saved_fd_);
     saved_fd_ = -1;
-    XRES_CHECK(false, "cannot open capture file: " + tmp_path_);
+    throw io::IoError{"cannot open capture file " + tmp_path_ + ": " +
+                          std::strerror(err),
+                      err};
   }
   ::dup2(fd, STDOUT_FILENO);
   ::close(fd);
@@ -40,8 +52,15 @@ void StdoutCapture::restore() noexcept {
 
 void StdoutCapture::finish() {
   restore();
-  XRES_CHECK(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
-             "cannot publish capture: " + path_);
+  // Publish temp -> final atomically; rename retries transient errors and a
+  // persistent failure throws IoError (the cell's artifact is missing, so
+  // the suite must fail loudly / exit 75 on ENOSPC).
+  if (!io::retry_io(path_.c_str(),
+                    [&] { return io::rename(tmp_path_.c_str(), path_.c_str()) == 0; })) {
+    const int err = errno;
+    throw io::IoError{"cannot publish capture " + path_ + ": " + std::strerror(err),
+                      err};
+  }
 }
 
 }  // namespace xres::study

@@ -46,6 +46,25 @@ const obs::RunRecord& find_run(const std::vector<obs::RunRecord>& records,
                          "characters or the full id from `xres log`");
 }
 
+/// Shared entry guard for `xres show` / `xres compare`: load \p path or
+/// exit 2 with one clean line naming it — a missing, unreadable or wholly
+/// corrupt ledger is an input problem, not a crash (docs/ROBUSTNESS.md).
+std::vector<obs::RunRecord> load_ledger_or_usage_error(const std::string& path) {
+  LedgerScanStats stats;
+  std::vector<obs::RunRecord> records = load_ledger(path, &stats);
+  if (!stats.found) {
+    CliParser::usage_error("cannot read ledger " + path +
+                           " (runs record themselves there by default; see "
+                           "docs/OBSERVABILITY.md)");
+  }
+  if (stats.valid_records == 0) {
+    CliParser::usage_error(
+        "ledger " + path + " holds no readable records (" +
+        std::to_string(stats.corrupt_records) + " corrupt line(s) skipped)");
+  }
+  return records;
+}
+
 std::map<std::string, std::uint64_t> counter_map(const obs::RunRecord& r) {
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, value] : r.counters) out[name] = value;
@@ -307,7 +326,8 @@ int cmd_show(int argc, const char* const* argv) {
     CliParser::usage_error("usage: xres show <run-id> [--ledger PATH] — ids are "
                            "listed by `xres log`");
   }
-  const std::vector<obs::RunRecord> records = load_ledger(cli.str("--ledger"));
+  const std::vector<obs::RunRecord> records =
+      load_ledger_or_usage_error(cli.str("--ledger"));
   print_record(find_run(records, id));
   return 0;
 }
@@ -336,7 +356,8 @@ int cmd_compare(int argc, const char* const* argv) {
   const double threshold = cli.real("--threshold");
   if (threshold < 0) CliParser::usage_error("--threshold must be >= 0");
 
-  const std::vector<obs::RunRecord> records = load_ledger(cli.str("--ledger"));
+  const std::vector<obs::RunRecord> records =
+      load_ledger_or_usage_error(cli.str("--ledger"));
   const obs::RunRecord& a = find_run(records, ids[0]);
   const obs::RunRecord& b = find_run(records, ids[1]);
   const RunComparison cmp = compare_runs(a, b, threshold);

@@ -9,9 +9,11 @@
 
 #include "obs/ledger.hpp"
 #include "obs/perf.hpp"
+#include "recovery/shutdown.hpp"
 #include "study/options.hpp"
 #include "study/runlog.hpp"
 #include "util/crc32.hpp"
+#include "util/io.hpp"
 
 namespace xres::study {
 
@@ -108,6 +110,24 @@ int run_study(const StudyDefinition& def, ParamSet params, HarnessOptions option
   StudyContext ctx{def, std::move(params), std::move(options)};
   try {
     record.status = def.run(ctx);
+  } catch (const io::IoError& e) {
+    if (e.disk_full()) {
+      // ENOSPC on a critical artifact (journal, CSV, metrics): the journal
+      // is fsync'd up to the failure, so this is a *resumable* interruption
+      // — exit 75, not 1, and tell the user how to finish the run.
+      record.status = recovery::kExitInterrupted;
+      finish_run_record(record, before, start, metrics_path, ledger_enabled,
+                        ledger_path);
+      std::fprintf(stderr,
+                   "disk full: %s\nre-run with --journal <path> --resume once "
+                   "space is available to complete the study (exit %d)\n",
+                   e.what(), recovery::kExitInterrupted);
+      return recovery::kExitInterrupted;
+    }
+    record.status = -1;
+    finish_run_record(record, before, start, metrics_path, ledger_enabled,
+                      ledger_path);
+    throw;
   } catch (...) {
     // Record the failed run too (status -1): a crash that leaves no trace
     // is exactly what the ledger exists to prevent.

@@ -13,6 +13,7 @@
 #include "obs/ledger.hpp"
 #include "obs/perf.hpp"
 #include "recovery/json_parse.hpp"
+#include "recovery/shutdown.hpp"
 #include "study/capture.hpp"
 #include "study/options.hpp"
 #include "study/runlog.hpp"
@@ -20,6 +21,7 @@
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
+#include "util/io.hpp"
 
 namespace xres::study {
 
@@ -43,7 +45,9 @@ void remove_stale_temporaries(const std::string& dir) {
     if (name.find(".tmp") != std::string::npos) stale.push_back(dir + "/" + name);
   }
   ::closedir(d);
-  for (const std::string& path : stale) std::remove(path.c_str());
+  // Best-effort by policy: a failed unlink here only risks a stray .tmp
+  // diff, never a wrong artifact.
+  for (const std::string& path : stale) io::remove(path.c_str());
 }
 
 [[nodiscard]] bool read_file(const std::string& path, std::string& out) {
@@ -118,7 +122,8 @@ void write_manifest(const std::string& tag, const std::string& out_dir,
 /// The wall-clock telemetry sidecar. Deliberately *not* a manifest artifact
 /// and never CRC-checked: its contents are nondeterministic by design (the
 /// byte-identity contract covers deterministic experiment output only), so
-/// byte-compares of suite directories must exclude it.
+/// byte-compares of suite directories must exclude it. Best-effort by
+/// policy: a failed write warns once and the suite still succeeds.
 void write_perf_sidecar(const std::string& tag, const std::string& out_dir,
                         double wall_seconds,
                         const std::vector<obs::RunRecord>& cells) {
@@ -145,7 +150,10 @@ void write_perf_sidecar(const std::string& tag, const std::string& out_dir,
   }
   w.end_array();
   w.end_object();
-  write_file_atomic(out_dir + "/perf.json", w.str() + "\n");
+  const std::string path = out_dir + "/perf.json";
+  if (!try_write_file_atomic(path, w.str() + "\n")) {
+    io::warn_once_degraded("perf sidecar", "cannot write " + path);
+  }
 }
 
 }  // namespace
@@ -208,6 +216,23 @@ int run_suite_cells(const std::string& tag, const std::vector<SuiteCell>& cells,
       StdoutCapture capture{options.out_dir + "/" + cell.name + ".txt"};
       rc = run_study(def, cell.params, harness);
       capture.finish();
+    } catch (const io::IoError& e) {
+      // ENOSPC mid-suite: the cell's journal is fsync'd up to the failure,
+      // so exit 75 (resumable) — free disk space, re-run with --resume, and
+      // the suite completes byte-identically. Other persistent I/O errors
+      // stay ordinary failures.
+      if (e.disk_full()) {
+        std::fprintf(stderr,
+                     "%s: %s stopped: %s\n%s: disk full — journals intact; free "
+                     "space and re-run with --resume to complete the suite\n",
+                     tag.c_str(), cell.name.c_str(), e.what(), tag.c_str());
+        exit_code = recovery::kExitInterrupted;
+      } else {
+        std::fprintf(stderr, "%s: %s failed: %s\n", tag.c_str(), cell.name.c_str(),
+                     e.what());
+        exit_code = 1;
+      }
+      break;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: %s failed: %s\n", tag.c_str(), cell.name.c_str(),
                    e.what());

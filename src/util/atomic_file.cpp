@@ -1,8 +1,11 @@
 #include "util/atomic_file.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 #if defined(_WIN32)
 #include <io.h>
@@ -12,40 +15,71 @@
 
 namespace xres {
 
-bool flush_to_disk(std::FILE* file) {
-  if (file == nullptr) return false;
-  if (std::fflush(file) != 0) return false;
+namespace {
+
+/// One full attempt: write + fsync + close the temp, then rename it over
+/// the target. Returns false with errno set on any failure (the temp is
+/// removed first, so a retry always starts from scratch and a torn temp
+/// never reaches the rename).
+bool write_attempt(const std::string& path, const std::string& tmp,
+                   std::string_view content) {
+  std::FILE* f = io::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = io::fwrite(content.data(), content.size(), f,
+                                         tmp.c_str());
+  const bool flushed = written == content.size() && io::fsync_stream(f, tmp.c_str());
+  int err = errno;
+  const bool closed = io::fclose(f, tmp.c_str()) == 0;
+  if (written != content.size() || !flushed || !closed) {
+    if (flushed && !closed) err = errno;
+    io::remove(tmp.c_str());
+    errno = err != 0 ? err : EIO;
+    return false;
+  }
 #if defined(_WIN32)
-  return _commit(_fileno(file)) == 0;
-#else
-  return ::fsync(fileno(file)) == 0;
+  // rename() does not replace on Windows; remove the target first.
+  io::remove(path.c_str());
 #endif
+  if (io::rename(tmp.c_str(), path.c_str()) != 0) {
+    err = errno;
+    io::remove(tmp.c_str());
+    errno = err;
+    return false;
+  }
+  return true;
 }
 
-void write_file_atomic(const std::string& path, std::string_view content) {
+bool write_file_atomic_impl(const std::string& path, std::string_view content) {
   XRES_CHECK(!path.empty(), "atomic write needs a non-empty path");
 #if defined(_WIN32)
   const std::string tmp = path + ".tmp";
 #else
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
 #endif
+  return io::retry_io(path.c_str(),
+                      [&] { return write_attempt(path, tmp, content); });
+}
 
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  XRES_CHECK(f != nullptr, "cannot open " + tmp + " for writing");
-  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const bool flushed = flush_to_disk(f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != content.size() || !flushed || !closed) {
-    std::remove(tmp.c_str());
-    XRES_CHECK(false, "short write to " + tmp);
+}  // namespace
+
+bool flush_to_disk(std::FILE* file) {
+  if (file == nullptr) return false;
+  return io::fsync_stream(file, "<stream>");
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  if (!write_file_atomic_impl(path, content)) {
+    const int err = errno;
+    throw io::IoError{"cannot write " + path + ": " + std::strerror(err), err};
   }
-#if defined(_WIN32)
-  // rename() does not replace on Windows; remove the target first.
-  std::remove(path.c_str());
-#endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    XRES_CHECK(false, "cannot rename " + tmp + " over " + path);
+}
+
+bool try_write_file_atomic(const std::string& path,
+                           std::string_view content) noexcept {
+  try {
+    return write_file_atomic_impl(path, content);
+  } catch (...) {
+    return false;
   }
 }
 

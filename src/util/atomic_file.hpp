@@ -8,6 +8,13 @@
 /// \p path in one atomic step (POSIX rename semantics). Readers therefore
 /// see either the old file or the complete new file, never a partial one.
 ///
+/// All I/O goes through the fault-injectable wrappers in util/io.hpp and is
+/// hardened per the policy table in docs/ROBUSTNESS.md: transient errors
+/// (EIO, short writes, failed fsync) are retried with backoff — the whole
+/// temp file is rewritten from scratch each attempt, so a half-written temp
+/// never survives into the rename. ENOSPC is not retried and surfaces as
+/// io::IoError so drivers can exit 75 (resumable) instead of 1.
+///
 /// The trial journal (recovery/journal.hpp) deliberately does NOT use this:
 /// it is append-only by design and protects individual records with CRCs
 /// instead.
@@ -18,14 +25,22 @@
 namespace xres {
 
 /// Atomically replace \p path with \p content (plus nothing else — callers
-/// append their own trailing newline if they want one). Throws CheckError
-/// on any I/O failure; on failure the temporary file is removed and \p path
-/// is left untouched.
+/// append their own trailing newline if they want one). Retries transient
+/// I/O errors; throws io::IoError when the write still fails (ENOSPC
+/// immediately), with the temporary removed and \p path untouched.
 void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Best-effort variant for artifacts that must never fail a run (the
+/// perf.json sidecar, telemetry): same write path, but persistent failure
+/// returns false instead of throwing. Callers pair it with
+/// io::warn_once_degraded.
+[[nodiscard]] bool try_write_file_atomic(const std::string& path,
+                                         std::string_view content) noexcept;
 
 /// Flush \p file's user-space and kernel buffers to stable storage.
 /// Returns false when any step fails (callers decide whether that is
-/// fatal). \p file must be an open, writable stdio stream.
+/// fatal). \p file must be an open, writable stdio stream. Fault-injectable
+/// (util/io.hpp); errno is set on failure.
 [[nodiscard]] bool flush_to_disk(std::FILE* file);
 
 }  // namespace xres

@@ -1,0 +1,356 @@
+#include "util/io.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace xres::io {
+
+namespace {
+
+// The installed plan. `g_active` is the only thing the disabled fast path
+// touches (one relaxed load per wrapped op); the config itself is written
+// before the flag flips and never mutated while active.
+std::atomic<bool> g_active{false};
+FaultConfig g_config;
+std::atomic<std::uint64_t> g_ops{0};
+std::atomic<std::uint64_t> g_injected{0};
+std::atomic<bool> g_atexit_registered{false};
+
+std::mutex g_degraded_mutex;
+std::unordered_set<std::string> g_degraded_warned;
+
+/// SplitMix64 — the per-op decision hash. Pure in (seed, op index) so every
+/// injection is replayable from the trace line alone.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char* kind_name(unsigned kind) {
+  switch (kind) {
+    case kFaultEio: return "eio";
+    case kFaultEnospc: return "enospc";
+    case kFaultShort: return "short";
+    case kFaultFsync: return "fsync";
+  }
+  return "?";
+}
+
+void print_stats_at_exit() {
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "io-faults: ops=%llu injected=%llu seed=%llu\n",
+               static_cast<unsigned long long>(g_ops.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   g_injected.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(g_config.seed));
+}
+
+/// The per-op gate every wrapper calls: claims the next op index, handles
+/// the crash-point, and returns the FaultKind to inject (0 = none).
+/// \p op_name / \p path feed the trace.
+unsigned next_op(const char* op_name, const char* path) {
+  if (!g_active.load(std::memory_order_relaxed)) return 0;
+  const std::uint64_t idx = g_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (g_config.crash_at != 0 && idx == g_config.crash_at) {
+    // Simulate sudden process death (power loss, OOM-kill): no flushes, no
+    // destructors, no atexit. Buffered stdio bytes die with the process —
+    // exactly what the journal's CRC framing must tolerate.
+    std::fprintf(stderr, "io-fault: op #%llu crash on %s %s (seed %llu)\n",
+                 static_cast<unsigned long long>(idx), op_name, path,
+                 static_cast<unsigned long long>(g_config.seed));
+    ::_exit(kCrashExitCode);
+  }
+  const unsigned kind = planned_fault(g_config, idx);
+  if (kind != 0) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "io-fault: op #%llu inject %s on %s %s (seed %llu)\n",
+                 static_cast<unsigned long long>(idx), kind_name(kind), op_name,
+                 path, static_cast<unsigned long long>(g_config.seed));
+  } else if (g_config.trace) {
+    std::fprintf(stderr, "io-trace: op #%llu %s %s\n",
+                 static_cast<unsigned long long>(idx), op_name, path);
+  }
+  return kind;
+}
+
+/// Map an injected kind to the errno a non-write op reports (kShort and
+/// kFsync degrade to plain EIO where "short" has no meaning).
+int kind_errno(unsigned kind) { return kind == kFaultEnospc ? ENOSPC : EIO; }
+
+bool is_transient(int err) { return err == EIO || err == EINTR || err == EAGAIN; }
+
+std::uint64_t parse_u64_or_throw(const std::string& text, const char* what) {
+  XRES_CHECK(!text.empty(), std::string{"io-faults: empty "} + what);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  XRES_CHECK(errno == 0 && end != nullptr && *end == '\0',
+             "io-faults: bad " + std::string{what} + " '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+bool IoError::disk_full() const {
+#ifdef EDQUOT
+  if (error_code_ == EDQUOT) return true;
+#endif
+  return error_code_ == ENOSPC;
+}
+
+unsigned planned_fault(const FaultConfig& config, std::uint64_t op_index) {
+  for (const FaultPoint& shot : config.one_shots) {
+    if (shot.op == op_index) return shot.kind;
+  }
+  if (config.rate <= 0.0 || config.kinds == 0) return 0;
+  const std::uint64_t h = mix64(config.seed ^ mix64(op_index));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= config.rate) return 0;
+  // Pick uniformly among the enabled kinds with an independent hash.
+  unsigned enabled[4];
+  unsigned count = 0;
+  for (const unsigned kind : {kFaultEio, kFaultEnospc, kFaultShort, kFaultFsync}) {
+    if ((config.kinds & kind) != 0) enabled[count++] = kind;
+  }
+  const std::uint64_t pick = mix64(config.seed ^ mix64(op_index ^ 0x5bd1e995ULL));
+  return enabled[pick % count];
+}
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig config;
+  // seed : rate [: kinds]
+  const std::size_t colon1 = spec.find(':');
+  XRES_CHECK(colon1 != std::string::npos,
+             "io-faults: expected seed:rate[:kinds], got '" + spec + "'");
+  const std::size_t colon2 = spec.find(':', colon1 + 1);
+  config.seed = parse_u64_or_throw(spec.substr(0, colon1), "seed");
+  const std::string rate_text =
+      spec.substr(colon1 + 1, colon2 == std::string::npos ? std::string::npos
+                                                          : colon2 - colon1 - 1);
+  XRES_CHECK(!rate_text.empty(), "io-faults: empty rate in '" + spec + "'");
+  char* end = nullptr;
+  errno = 0;
+  config.rate = std::strtod(rate_text.c_str(), &end);
+  XRES_CHECK(errno == 0 && end != nullptr && *end == '\0' && config.rate >= 0.0 &&
+                 config.rate <= 1.0,
+             "io-faults: rate must be in [0, 1], got '" + rate_text + "'");
+
+  if (colon2 == std::string::npos) return config;  // kinds default to all
+  config.kinds = 0;
+  std::string kinds_text = spec.substr(colon2 + 1);
+  XRES_CHECK(!kinds_text.empty(), "io-faults: empty kinds list in '" + spec + "'");
+  std::size_t start = 0;
+  while (start <= kinds_text.size()) {
+    std::size_t comma = kinds_text.find(',', start);
+    if (comma == std::string::npos) comma = kinds_text.size();
+    const std::string token = kinds_text.substr(start, comma - start);
+    start = comma + 1;
+    XRES_CHECK(!token.empty(), "io-faults: empty kind token in '" + spec + "'");
+    const std::size_t at = token.find('@');
+    if (at != std::string::npos) {
+      const std::string name = token.substr(0, at);
+      const std::uint64_t op = parse_u64_or_throw(token.substr(at + 1), "op index");
+      XRES_CHECK(op >= 1, "io-faults: op indices are 1-based, got '" + token + "'");
+      if (name == "crash") {
+        config.crash_at = op;
+      } else if (name == "eio") {
+        config.one_shots.push_back({op, kFaultEio});
+      } else if (name == "enospc") {
+        config.one_shots.push_back({op, kFaultEnospc});
+      } else if (name == "short") {
+        config.one_shots.push_back({op, kFaultShort});
+      } else if (name == "fsync") {
+        config.one_shots.push_back({op, kFaultFsync});
+      } else {
+        XRES_CHECK(false, "io-faults: unknown one-shot kind '" + name + "'");
+      }
+    } else if (token == "eio") {
+      config.kinds |= kFaultEio;
+    } else if (token == "enospc") {
+      config.kinds |= kFaultEnospc;
+    } else if (token == "short") {
+      config.kinds |= kFaultShort;
+    } else if (token == "fsync") {
+      config.kinds |= kFaultFsync;
+    } else if (token == "all") {
+      config.kinds |= kFaultAll;
+    } else if (token == "trace") {
+      config.trace = true;
+    } else {
+      XRES_CHECK(false, "io-faults: unknown kind '" + token +
+                            "' (want eio, enospc, short, fsync, all, trace, "
+                            "kind@N, crash@N)");
+    }
+  }
+  XRES_CHECK(config.rate == 0.0 || config.kinds != 0,
+             "io-faults: a nonzero rate needs at least one rate-based kind");
+  return config;
+}
+
+void install_faults(const FaultConfig& config) {
+  g_config = config;
+  g_ops.store(0, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+  if (!g_atexit_registered.exchange(true, std::memory_order_relaxed)) {
+    std::atexit(print_stats_at_exit);
+  }
+}
+
+void clear_faults() { g_active.store(false, std::memory_order_release); }
+
+bool faults_active() { return g_active.load(std::memory_order_relaxed); }
+
+std::uint64_t ops_performed() { return g_ops.load(std::memory_order_relaxed); }
+
+std::uint64_t faults_injected() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+std::FILE* fopen(const char* path, const char* mode) {
+  if (const unsigned kind = next_op("fopen", path); kind != 0) {
+    errno = kind_errno(kind);
+    return nullptr;
+  }
+  return std::fopen(path, mode);
+}
+
+std::size_t fwrite(const void* data, std::size_t size, std::FILE* stream,
+                   const char* path) {
+  if (const unsigned kind = next_op("fwrite", path); kind != 0) {
+    if (kind == kFaultShort && size > 1) {
+      // Write the first half for real: the on-disk state is the torn
+      // artifact a crashed writer leaves, not a clean no-op.
+      const std::size_t half = size / 2;
+      const std::size_t wrote = std::fwrite(data, 1, half, stream);
+      errno = EIO;
+      return wrote;
+    }
+    errno = kind_errno(kind);
+    return 0;
+  }
+  return std::fwrite(data, 1, size, stream);
+}
+
+bool fsync_stream(std::FILE* stream, const char* path) {
+  if (stream == nullptr) return false;
+  if (const unsigned kind = next_op("fsync", path); kind != 0) {
+    errno = kind_errno(kind);
+    return false;
+  }
+  if (std::fflush(stream) != 0) return false;
+#if defined(_WIN32)
+  return _commit(_fileno(stream)) == 0;
+#else
+  return ::fsync(fileno(stream)) == 0;
+#endif
+}
+
+int fclose(std::FILE* stream, const char* path) {
+  if (const unsigned kind = next_op("fclose", path); kind != 0) {
+    std::fclose(stream);  // the fd is gone either way, as POSIX allows
+    errno = kind_errno(kind);
+    return EOF;
+  }
+  return std::fclose(stream);
+}
+
+int rename(const char* from, const char* to) {
+  if (const unsigned kind = next_op("rename", to); kind != 0) {
+    errno = kind_errno(kind);
+    return -1;
+  }
+  return std::rename(from, to);
+}
+
+int remove(const char* path) {
+  if (const unsigned kind = next_op("unlink", path); kind != 0) {
+    errno = kind_errno(kind);
+    return -1;
+  }
+  return std::remove(path);
+}
+
+int open_fd(const char* path, int flags, ::mode_t mode) {
+  if (const unsigned kind = next_op("open", path); kind != 0) {
+    errno = kind_errno(kind);
+    return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+::ssize_t write_fd(int fd, const void* data, std::size_t size, const char* path) {
+  if (const unsigned kind = next_op("write", path); kind != 0) {
+    if (kind == kFaultShort && size > 1) {
+      const ::ssize_t wrote = ::write(fd, data, size / 2);
+      errno = EIO;
+      return wrote;
+    }
+    errno = kind_errno(kind);
+    return -1;
+  }
+  return ::write(fd, data, size);
+}
+
+int close_fd(int fd, const char* path) {
+  if (const unsigned kind = next_op("close", path); kind != 0) {
+    ::close(fd);
+    errno = kind_errno(kind);
+    return -1;
+  }
+  return ::close(fd);
+}
+
+bool retry_io(const char* what, const std::function<bool()>& op,
+              const RetryPolicy& policy) {
+  int backoff_ms = policy.base_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    errno = 0;
+    if (op()) return true;
+    const int err = errno;
+    if (attempt >= policy.attempts || !is_transient(err)) {
+      errno = err;
+      return false;
+    }
+    XRES_LOG_WARN(std::string{"transient I/O error on "} + what + " (" +
+                  std::strerror(err) + ") — retry " + std::to_string(attempt) +
+                  "/" + std::to_string(policy.attempts - 1));
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 4;
+    }
+    errno = 0;
+  }
+}
+
+void warn_once_degraded(const std::string& artifact, const std::string& detail) {
+  {
+    const std::lock_guard<std::mutex> lock{g_degraded_mutex};
+    if (!g_degraded_warned.insert(artifact).second) return;
+  }
+  XRES_LOG_WARN(artifact + " degraded: " + detail +
+                " — continuing without it (best-effort artifact; run result "
+                "and exit code are unaffected)");
+}
+
+void reset_degraded_warnings_for_tests() {
+  const std::lock_guard<std::mutex> lock{g_degraded_mutex};
+  g_degraded_warned.clear();
+}
+
+}  // namespace xres::io

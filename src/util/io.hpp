@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file io.hpp
+/// Deterministic I/O fault injection + per-path failure policy — the
+/// harness's own failure model applied to itself (docs/ROBUSTNESS.md,
+/// "Fault injection & I/O policy"). Every filesystem primitive the harness
+/// uses (open/write/fsync/rename/close/unlink) is wrapped here so a seeded
+/// fault plan can inject EIO, ENOSPC, short writes, fsync failures and hard
+/// crash-points (immediate `_exit` at the Nth I/O op) into any run:
+///
+///     XRES_IO_FAULTS=seed:rate[:kinds]     # or: xres --io-faults ...
+///
+/// where `kinds` is a comma list of `eio`, `enospc`, `short`, `fsync`,
+/// `all` (rate-based, decided per op from hash(seed, op index)), one-shots
+/// `eio@N` / `enospc@N` / `short@N` / `fsync@N` (fire exactly once at op N),
+/// `crash@N` (`_exit(kCrashExitCode)` at op N), and `trace` (log every op
+/// to stderr). Decisions are pure functions of (seed, op index), so any
+/// observed failure is replayable from the seed and the op index printed in
+/// the injection trace.
+///
+/// Injection is off by default: each wrapper costs one relaxed atomic load
+/// before delegating to the raw primitive, which keeps the hot loop
+/// overhead unmeasurable (the perf gate runs with faults off).
+///
+/// The policy half of this header is what call sites build on:
+///  * `retry_io` — bounded retry with exponential backoff for transient
+///    errors (EIO, EINTR, EAGAIN) on critical artifacts. ENOSPC is never
+///    retried: a full disk does not heal on a 2 ms backoff.
+///  * `IoError` — carries errno so drivers can turn ENOSPC into the clean
+///    resumable exit 75 (journal state intact) instead of a generic error.
+///  * `warn_once_degraded` — best-effort paths (run ledger, perf.json
+///    sidecar) warn once and carry on; run exit codes never change.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace xres::io {
+
+/// Exit code used by an injected crash-point (`crash@N`). Distinct from the
+/// real exit-code contract (0/1/2/75) so a crash-matrix driver can tell an
+/// injected crash from an ordinary failure.
+inline constexpr int kCrashExitCode = 86;
+
+/// Rate-based fault kinds (bitmask values for FaultConfig::kinds).
+enum FaultKind : unsigned {
+  kFaultEio = 1U << 0,     ///< fail the op with EIO
+  kFaultEnospc = 1U << 1,  ///< fail the op with ENOSPC
+  kFaultShort = 1U << 2,   ///< write only half the bytes (writes; else EIO)
+  kFaultFsync = 1U << 3,   ///< fail fsync with EIO (fsyncs; else EIO)
+  kFaultAll = kFaultEio | kFaultEnospc | kFaultShort | kFaultFsync,
+};
+
+/// One scheduled single-shot fault: fire \p kind at op \p op exactly once.
+struct FaultPoint {
+  std::uint64_t op{0};  ///< 1-based op index
+  unsigned kind{0};     ///< one FaultKind bit
+};
+
+/// A parsed fault plan. Default-constructed = nothing injected (but ops are
+/// still counted while installed, which is how scripts size a crash-point
+/// matrix: run once with `seed:0` and read the atexit stats line).
+struct FaultConfig {
+  std::uint64_t seed{0};
+  double rate{0.0};               ///< per-op injection probability [0, 1]
+  unsigned kinds{kFaultAll};      ///< FaultKind mask for rate-based faults
+  std::uint64_t crash_at{0};      ///< `_exit(kCrashExitCode)` at this op (0 = off)
+  std::vector<FaultPoint> one_shots;
+  bool trace{false};              ///< log every wrapped op to stderr
+};
+
+/// Parse `seed:rate[:kinds]` (see file comment for the kinds grammar).
+/// Throws CheckError with a one-line message on malformed specs.
+[[nodiscard]] FaultConfig parse_fault_spec(const std::string& spec);
+
+/// Install \p config process-wide and start counting ops. Not async-safe
+/// versus in-flight wrapped ops: install before worker threads start (the
+/// CLI does it first thing in main). Also registers an atexit hook that
+/// prints `io-faults: ops=<N> injected=<M> seed=<S>` to stderr.
+void install_faults(const FaultConfig& config);
+
+/// Disarm injection (wrappers revert to raw passthrough).
+void clear_faults();
+
+/// True when a fault plan is installed (even a count-only `seed:0` one).
+[[nodiscard]] bool faults_active();
+
+/// Ops performed / faults injected since install_faults (0 when inactive).
+[[nodiscard]] std::uint64_t ops_performed();
+[[nodiscard]] std::uint64_t faults_injected();
+
+/// The fault (a FaultKind bit, or 0) that \p config plans for op
+/// \p op_index. Pure — this is the replay function behind the trace, and
+/// what the determinism tests pin. `crash_at` is handled separately.
+[[nodiscard]] unsigned planned_fault(const FaultConfig& config, std::uint64_t op_index);
+
+/// Thrown by the hardened write paths when an I/O failure survives its
+/// retry policy. Carries errno so drivers can special-case ENOSPC (clean
+/// resumable exit 75) without string-matching messages.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, int error_code)
+      : std::runtime_error{what}, error_code_{error_code} {}
+  [[nodiscard]] int error_code() const { return error_code_; }
+  [[nodiscard]] bool disk_full() const;  ///< ENOSPC (or EDQUOT)
+ private:
+  int error_code_;
+};
+
+// ---------------------------------------------------------------------------
+// Wrapped primitives. Each counts one op while a plan is installed, consults
+// the plan, and otherwise delegates to the raw call. All set errno on
+// injected failures exactly as the real primitive would.
+
+/// fopen(3). Injected failure: returns nullptr with errno EIO/ENOSPC.
+[[nodiscard]] std::FILE* fopen(const char* path, const char* mode);
+
+/// fwrite(3), flattened to (bytes, count 1). Injected short write: writes
+/// the first half of \p size for real and returns that count (errno EIO) —
+/// exactly the torn state a crashed writer leaves behind.
+std::size_t fwrite(const void* data, std::size_t size, std::FILE* stream,
+                   const char* path);
+
+/// fflush(3) + fsync(2) (fdatasync semantics are not needed; artifacts are
+/// small). Injected failure: returns false with errno EIO/ENOSPC *without*
+/// syncing. Returns true on success.
+[[nodiscard]] bool fsync_stream(std::FILE* stream, const char* path);
+
+/// fclose(3). Injected failure: the stream is still closed (as POSIX
+/// allows), but EOF is returned with errno EIO.
+int fclose(std::FILE* stream, const char* path);
+
+/// rename(2). Injected failure: returns -1 with errno EIO/ENOSPC, target
+/// untouched.
+int rename(const char* from, const char* to);
+
+/// remove(3). Best-effort at every call site; injected failure returns -1
+/// with errno EIO (callers ignore it by policy).
+int remove(const char* path);
+
+/// open(2). Injected failure: returns -1 with errno EIO/ENOSPC.
+[[nodiscard]] int open_fd(const char* path, int flags, ::mode_t mode);
+
+/// write(2). Injected short write: writes half for real, returns that.
+::ssize_t write_fd(int fd, const void* data, std::size_t size, const char* path);
+
+/// close(2). Injected failure: fd is closed, -1/EIO returned.
+int close_fd(int fd, const char* path);
+
+// ---------------------------------------------------------------------------
+// Policy helpers.
+
+/// Bounded retry with exponential backoff for critical-artifact writes.
+/// Calls \p op up to \p attempts times; \p op returns true on success and
+/// leaves errno set on failure. Transient errors (EIO, EINTR, EAGAIN) back
+/// off (base_backoff_ms, doubling) and retry; ENOSPC/EDQUOT and any other
+/// errno abort immediately. Returns true on success; on false, errno holds
+/// the final error. \p what names the artifact in trace/debug logs.
+struct RetryPolicy {
+  int attempts{4};
+  int base_backoff_ms{1};
+};
+bool retry_io(const char* what, const std::function<bool()>& op,
+              const RetryPolicy& policy = {});
+
+/// Warn-once degradation for best-effort artifacts: the first failure per
+/// \p artifact key logs one warning (stderr via the logger); later failures
+/// are silent. Never throws, never changes exit codes.
+void warn_once_degraded(const std::string& artifact, const std::string& detail);
+
+/// Test hook: forget which artifacts already warned.
+void reset_degraded_warnings_for_tests();
+
+}  // namespace xres::io

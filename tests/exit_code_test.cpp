@@ -1,0 +1,80 @@
+// Pins the process exit-code contract (docs/ROBUSTNESS.md): 0 success,
+// 1 runtime failure, 2 CLI usage error, 75 clean resumable interruption,
+// 86 injected crash-point. Each code is asserted against its authoritative
+// constant plus a death test for the paths that exit directly, so a silent
+// renumbering cannot ship — resume scripts and the tier-1 fault stage
+// branch on these exact values.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "recovery/shutdown.hpp"
+#include "util/cli.hpp"
+#include "util/io.hpp"
+
+namespace xres {
+namespace {
+
+TEST(ExitCodeContract, ConstantsArePinnedAndDistinct) {
+  // The contract values scripts depend on. Changing any of these is an
+  // interface break, not a refactor.
+  EXPECT_EQ(CliParser::kExitUsage, 2);
+  EXPECT_EQ(recovery::kExitInterrupted, 75);
+  EXPECT_EQ(io::kCrashExitCode, 86);
+
+  static_assert(CliParser::kExitUsage != 0 && CliParser::kExitUsage != 1,
+                "usage errors must be distinct from success and failure");
+  static_assert(recovery::kExitInterrupted != CliParser::kExitUsage,
+                "resumable interruption must be distinct from usage errors");
+  static_assert(io::kCrashExitCode != recovery::kExitInterrupted &&
+                    io::kCrashExitCode != CliParser::kExitUsage,
+                "injected crashes must be distinguishable from real exits");
+  // Signal escalation codes (128+sig) must not collide with the contract.
+  static_assert(recovery::kExitInterrupted < 128 && io::kCrashExitCode < 128,
+                "contract codes must stay below the 128+signal range");
+}
+
+TEST(ExitCodeContract, SignalEscalationUsesShellConvention) {
+  recovery::clear_shutdown_for_tests();
+  EXPECT_EQ(recovery::note_shutdown_signal(SIGINT), 0);
+  EXPECT_EQ(recovery::note_shutdown_signal(SIGINT), 128 + SIGINT);
+  EXPECT_EQ(recovery::note_shutdown_signal(SIGTERM), 128 + SIGTERM);
+  recovery::clear_shutdown_for_tests();
+}
+
+TEST(ExitCodeContract, UsageErrorExitsTwoWithOneLineDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(CliParser::usage_error("bad --widget value"),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "bad --widget value");
+}
+
+void parse_unknown_flag() {
+  CliParser cli{"exit-code test"};
+  cli.add_option("--trials", "trial count", "1");
+  const char* argv[] = {"prog", "--no-such-flag"};
+  (void)cli.parse_or_exit(2, argv);
+}
+
+TEST(ExitCodeContract, UnknownOptionExitsTwo) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(parse_unknown_flag(),
+              ::testing::ExitedWithCode(CliParser::kExitUsage),
+              "no-such-flag");
+}
+
+TEST(ExitCodeContract, MalformedFaultSpecIsAUsageErrorAtTheCli) {
+  // The CLI maps parse_fault_spec failures onto usage_error (exit 2); the
+  // underlying parse failure itself is a CheckError carrying the message
+  // the user sees.
+  try {
+    (void)io::parse_fault_spec("7:nope");
+    FAIL() << "malformed spec must throw";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string{e.what()}.find("io-faults"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xres

@@ -21,6 +21,7 @@
 #include "study/runlog.hpp"
 #include "study/study_main.hpp"
 #include "util/framed_line.hpp"
+#include "util/io.hpp"
 
 namespace xres {
 namespace {
@@ -120,6 +121,37 @@ TEST(ObsLedger, BadCrcSkippedNeverFatal) {
   EXPECT_EQ(stats.corrupt_records, 1U);
   ASSERT_EQ(records.size(), 1U);
   EXPECT_EQ(records[0].id, "run-b");
+}
+
+TEST(ObsLedger, InjectedFaultsDegradeToWarningNeverThrow) {
+  // The ledger is best-effort by policy (docs/ROBUSTNESS.md): an append
+  // that hits I/O faults returns false with one warning and must never
+  // throw — it cannot take down or change the exit code of the run it is
+  // recording.
+  const std::string path = temp_path("ledger_injected.jsonl");
+  std::remove(path.c_str());
+  io::reset_degraded_warnings_for_tests();
+  io::install_faults(io::parse_fault_spec("5:1:eio"));
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(obs::append_run_record(path, sample_record("run-a", 1)));
+  EXPECT_FALSE(obs::append_run_record(path, sample_record("run-b", 2)));
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  io::clear_faults();
+  EXPECT_GE(io::faults_injected(), 1U);
+  // Exactly one degradation warning for any number of failed appends.
+  const std::size_t first = log.find("run ledger degraded");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(log.find("run ledger degraded", first + 1), std::string::npos);
+
+  // With injection disarmed the same path works again, and whatever the
+  // faulted attempts left behind must not poison the scan.
+  ASSERT_TRUE(obs::append_run_record(path, sample_record("run-c", 3)));
+  study::LedgerScanStats stats;
+  const auto records = study::load_ledger(path, &stats);
+  EXPECT_EQ(stats.valid_records, 1U);
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].id, "run-c");
+  io::reset_degraded_warnings_for_tests();
 }
 
 TEST(ObsLedger, ConcurrentAppendersNeverInterleave) {

@@ -11,6 +11,7 @@
 #include "core/workload_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "util/check.hpp"
+#include "util/io.hpp"
 #include "util/rng.hpp"
 
 namespace xres {
@@ -60,7 +61,9 @@ TEST(StudyReport, WriteRoundTrips) {
   std::fclose(f);
   EXPECT_EQ(std::string(buf).substr(0, 4), "# t\n");
   std::remove(path.c_str());
-  EXPECT_THROW(report.write("/nonexistent/dir/report.md"), CheckError);
+  // Unwritable targets surface as io::IoError (errno preserved) since the
+  // atomic-write path moved onto the hardened util/io layer.
+  EXPECT_THROW(report.write("/nonexistent/dir/report.md"), xres::io::IoError);
 }
 
 TEST(StudyReport, RejectsEmptyInputs) {

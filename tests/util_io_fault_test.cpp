@@ -1,0 +1,303 @@
+// Tests for the deterministic I/O fault-injection layer (util/io.hpp): the
+// spec grammar, the pure per-op fault plan (replayability), the retry /
+// fail-fast policy split, and the hardened atomic-write path surviving
+// every single injected fault while persistent failures surface as
+// io::IoError (ENOSPC immediately, flagged disk_full for the resumable
+// exit). Crash-points are pinned with a death test: the process must die
+// with kCrashExitCode and leave no complete artifact behind.
+
+#include "util/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in{path};
+  return in.good();
+}
+
+/// Every test arms process-wide injection; teardown must disarm it so
+/// failures here cannot cascade into unrelated tests of the same binary.
+class IoFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    io::clear_faults();
+    io::reset_degraded_warnings_for_tests();
+  }
+};
+
+TEST_F(IoFaultTest, ParseFaultSpecGrammar) {
+  const io::FaultConfig basic = io::parse_fault_spec("7:0.25");
+  EXPECT_EQ(basic.seed, 7U);
+  EXPECT_DOUBLE_EQ(basic.rate, 0.25);
+  EXPECT_EQ(basic.kinds, io::kFaultAll);  // kinds default to all
+  EXPECT_EQ(basic.crash_at, 0U);
+  EXPECT_FALSE(basic.trace);
+
+  const io::FaultConfig kinds = io::parse_fault_spec("1:0.5:eio,short");
+  EXPECT_EQ(kinds.kinds, io::kFaultEio | io::kFaultShort);
+
+  const io::FaultConfig shots =
+      io::parse_fault_spec("9:0:enospc@4,fsync@2,crash@11,trace");
+  EXPECT_EQ(shots.seed, 9U);
+  EXPECT_DOUBLE_EQ(shots.rate, 0.0);
+  EXPECT_EQ(shots.crash_at, 11U);
+  EXPECT_TRUE(shots.trace);
+  ASSERT_EQ(shots.one_shots.size(), 2U);
+  EXPECT_EQ(shots.one_shots[0].op, 4U);
+  EXPECT_EQ(shots.one_shots[0].kind, io::kFaultEnospc);
+  EXPECT_EQ(shots.one_shots[1].op, 2U);
+  EXPECT_EQ(shots.one_shots[1].kind, io::kFaultFsync);
+
+  EXPECT_EQ(io::parse_fault_spec("3:1:all").kinds, io::kFaultAll);
+}
+
+TEST_F(IoFaultTest, ParseFaultSpecRejectsMalformed) {
+  EXPECT_THROW(io::parse_fault_spec(""), CheckError);
+  EXPECT_THROW(io::parse_fault_spec("7"), CheckError);          // no rate
+  EXPECT_THROW(io::parse_fault_spec("x:0.5"), CheckError);      // bad seed
+  EXPECT_THROW(io::parse_fault_spec("7:"), CheckError);         // empty rate
+  EXPECT_THROW(io::parse_fault_spec("7:1.5"), CheckError);      // rate > 1
+  EXPECT_THROW(io::parse_fault_spec("7:-0.1"), CheckError);     // rate < 0
+  EXPECT_THROW(io::parse_fault_spec("7:0.5:bogus"), CheckError);
+  EXPECT_THROW(io::parse_fault_spec("7:0.5:eio,,short"), CheckError);
+  EXPECT_THROW(io::parse_fault_spec("7:0:crash@0"), CheckError);  // 1-based
+  EXPECT_THROW(io::parse_fault_spec("7:0:eio@"), CheckError);
+  EXPECT_THROW(io::parse_fault_spec("7:0:wat@3"), CheckError);
+  // A nonzero rate with only non-rate tokens has nothing to inject.
+  EXPECT_THROW(io::parse_fault_spec("7:0.5:trace"), CheckError);
+}
+
+TEST_F(IoFaultTest, PlannedFaultIsPureAndSeedSensitive) {
+  io::FaultConfig config;
+  config.seed = 42;
+  config.rate = 0.3;
+  // Replayability: the same (config, op) always plans the same fault.
+  for (std::uint64_t op = 1; op <= 200; ++op) {
+    EXPECT_EQ(io::planned_fault(config, op), io::planned_fault(config, op));
+  }
+  // Different seeds plan different faults somewhere in a short window.
+  io::FaultConfig other = config;
+  other.seed = 43;
+  bool differs = false;
+  for (std::uint64_t op = 1; op <= 200 && !differs; ++op) {
+    differs = io::planned_fault(config, op) != io::planned_fault(other, op);
+  }
+  EXPECT_TRUE(differs);
+
+  // rate 0 plans nothing; rate 1 plans a fault (within the mask) every op.
+  config.rate = 0.0;
+  EXPECT_EQ(io::planned_fault(config, 1), 0U);
+  config.rate = 1.0;
+  config.kinds = io::kFaultEio | io::kFaultFsync;
+  for (std::uint64_t op = 1; op <= 50; ++op) {
+    const unsigned kind = io::planned_fault(config, op);
+    EXPECT_TRUE(kind == io::kFaultEio || kind == io::kFaultFsync);
+  }
+}
+
+TEST_F(IoFaultTest, PlannedFaultRateIsCalibrated) {
+  io::FaultConfig config;
+  config.seed = 1234;
+  config.rate = 0.2;
+  std::uint64_t injected = 0;
+  constexpr std::uint64_t kOps = 20000;
+  for (std::uint64_t op = 1; op <= kOps; ++op) {
+    if (io::planned_fault(config, op) != 0) ++injected;
+  }
+  const double fraction = static_cast<double>(injected) / kOps;
+  EXPECT_NEAR(fraction, 0.2, 0.02);
+}
+
+TEST_F(IoFaultTest, OneShotFiresExactlyAtItsOp) {
+  io::FaultConfig config;
+  config.one_shots.push_back({5, io::kFaultEnospc});
+  EXPECT_EQ(io::planned_fault(config, 4), 0U);
+  EXPECT_EQ(io::planned_fault(config, 5), io::kFaultEnospc);
+  EXPECT_EQ(io::planned_fault(config, 6), 0U);
+}
+
+/// Ops one write_file_atomic costs with nothing injected — the count-only
+/// probe scripts use to size crash matrices (seed:0, read the stats line).
+std::uint64_t ops_per_atomic_write(const std::string& path) {
+  io::install_faults(io::FaultConfig{});
+  write_file_atomic(path, "probe\n");
+  const std::uint64_t ops = io::ops_performed();
+  io::clear_faults();
+  return ops;
+}
+
+TEST_F(IoFaultTest, AtomicWriteSurvivesEverySingleTransientFault) {
+  const std::string path = temp_path("io_fault_single.txt");
+  std::remove(path.c_str());
+  const std::uint64_t total = ops_per_atomic_write(path);
+  ASSERT_GE(total, 5U);  // open, write, fsync, close, rename
+
+  // One transient fault of each kind at each op of the sequence: the retry
+  // policy must absorb all of them and land byte-identical content.
+  for (const unsigned kind : {io::kFaultEio, io::kFaultShort, io::kFaultFsync}) {
+    for (std::uint64_t op = 1; op <= total; ++op) {
+      std::remove(path.c_str());
+      io::FaultConfig config;
+      config.one_shots.push_back({op, kind});
+      io::install_faults(config);
+      write_file_atomic(path, "payload\n");
+      io::clear_faults();
+      EXPECT_EQ(read_file(path), "payload\n")
+          << "kind " << kind << " at op " << op;
+    }
+  }
+}
+
+TEST_F(IoFaultTest, AtomicWritePersistentEioThrowsAndLeavesNoArtifact) {
+  const std::string path = temp_path("io_fault_persistent.txt");
+  std::remove(path.c_str());
+  io::install_faults(io::parse_fault_spec("3:1:eio"));
+  try {
+    write_file_atomic(path, "doomed\n");
+    FAIL() << "persistent EIO must throw io::IoError";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.error_code(), EIO);
+    EXPECT_FALSE(e.disk_full());
+    EXPECT_NE(std::string{e.what()}.find(path), std::string::npos);
+  }
+  io::clear_faults();
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST_F(IoFaultTest, EnospcFailsFastAsDiskFull) {
+  const std::string path = temp_path("io_fault_enospc.txt");
+  std::remove(path.c_str());
+  io::install_faults(io::parse_fault_spec("3:0:enospc@1"));
+  try {
+    write_file_atomic(path, "doomed\n");
+    FAIL() << "injected ENOSPC must throw io::IoError";
+  } catch (const io::IoError& e) {
+    EXPECT_TRUE(e.disk_full());
+  }
+  // A full disk is never retried: the failing open plus at most the
+  // best-effort temp cleanup — no backoff loop re-attempting the write.
+  EXPECT_LE(io::ops_performed(), 2U);
+  EXPECT_EQ(io::faults_injected(), 1U);
+}
+
+TEST_F(IoFaultTest, TryWriteDegradesToFalseWithoutThrowing) {
+  const std::string path = temp_path("io_fault_try.txt");
+  std::remove(path.c_str());
+  io::install_faults(io::parse_fault_spec("3:1:eio"));
+  EXPECT_FALSE(try_write_file_atomic(path, "best-effort\n"));
+  io::clear_faults();
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_TRUE(try_write_file_atomic(path, "best-effort\n"));
+  EXPECT_EQ(read_file(path), "best-effort\n");
+}
+
+TEST_F(IoFaultTest, CrashPointDiesWithInjectedExitCode) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = temp_path("io_fault_crash.txt");
+  std::remove(path.c_str());
+  // Op 2 is the temp file's fwrite: the child dies mid-write, before the
+  // rename, so no complete artifact may appear at the target path.
+  EXPECT_EXIT(
+      {
+        io::install_faults(io::parse_fault_spec("3:0:crash@2"));
+        write_file_atomic(path, "never lands\n");
+      },
+      ::testing::ExitedWithCode(io::kCrashExitCode), "crash");
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST_F(IoFaultTest, DisarmedWrappersPassThrough) {
+  io::clear_faults();
+  EXPECT_FALSE(io::faults_active());
+  const std::string path = temp_path("io_fault_off.txt");
+  write_file_atomic(path, "plain\n");
+  EXPECT_EQ(read_file(path), "plain\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFaultTest, RetryPolicyRetriesTransientAbortsPermanent) {
+  // Transient EIO: fails twice, then succeeds — retried to success.
+  int attempts = 0;
+  EXPECT_TRUE(io::retry_io(
+      "transient", [&] {
+        ++attempts;
+        if (attempts < 3) {
+          errno = EIO;
+          return false;
+        }
+        return true;
+      },
+      io::RetryPolicy{4, 0}));
+  EXPECT_EQ(attempts, 3);
+
+  // ENOSPC aborts on the first attempt, errno preserved for the caller.
+  attempts = 0;
+  EXPECT_FALSE(io::retry_io(
+      "disk-full", [&] {
+        ++attempts;
+        errno = ENOSPC;
+        return false;
+      },
+      io::RetryPolicy{4, 0}));
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(errno, ENOSPC);
+
+  // Non-transient errors (EACCES) likewise never burn the retry budget.
+  attempts = 0;
+  EXPECT_FALSE(io::retry_io(
+      "denied", [&] {
+        ++attempts;
+        errno = EACCES;
+        return false;
+      },
+      io::RetryPolicy{4, 0}));
+  EXPECT_EQ(attempts, 1);
+
+  // Exhausted retries report the last errno.
+  EXPECT_FALSE(io::retry_io(
+      "hopeless", [] {
+        errno = EIO;
+        return false;
+      },
+      io::RetryPolicy{2, 0}));
+  EXPECT_EQ(errno, EIO);
+}
+
+TEST_F(IoFaultTest, WarnOnceDegradedWarnsOncePerArtifact) {
+  io::reset_degraded_warnings_for_tests();
+  ::testing::internal::CaptureStderr();
+  io::warn_once_degraded("test artifact", "first failure");
+  io::warn_once_degraded("test artifact", "second failure");
+  io::warn_once_degraded("other artifact", "first failure");
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("test artifact degraded"), std::string::npos);
+  EXPECT_EQ(log.find("second failure"), std::string::npos);
+  EXPECT_NE(log.find("other artifact degraded"), std::string::npos);
+  EXPECT_NE(log.find("exit code are unaffected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xres
