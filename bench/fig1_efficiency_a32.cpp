@@ -34,6 +34,10 @@ study::StudyDefinition make() {
   def.options.chart = true;
   def.options.report = true;
   def.params.integer("trials", "trials per bar (paper: 200)", 200).min(1);
+  def.params.text("surrogate",
+                  "sim | analytic | auto — answer cells from the analytic "
+                  "surrogate with a per-cell error bound (docs/STUDIES.md)",
+                  "sim");
   def.run = run;
   return def;
 }

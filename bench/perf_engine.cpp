@@ -215,6 +215,34 @@ void BM_SingleAppTrialFailureHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleAppTrialFailureHeavy)->Unit(benchmark::kMillisecond);
 
+void BM_TrialBatchFailureHeavy(benchmark::State& state) {
+  // The batched successor of BM_SingleAppTrialFailureHeavy: the same
+  // failure-heavy cell executed as one TrialExecutor batch, the shape every
+  // study cell actually runs as. Pre-derived seeds, the parked worker pool
+  // and the per-worker caches all engage here; trials_per_second is the
+  // acceptance number the perf gate tracks against the committed baseline.
+  SingleAppTrialConfig config;
+  config.app = AppSpec{app_type_by_name("C64"), 30000, 1440};
+  config.technique = TechniqueKind::kMultilevel;
+  config.resilience.node_mtbf = Duration::years(1.0);
+  std::vector<TrialSpec> specs;
+  specs.reserve(64);
+  for (std::uint64_t t = 0; t < 64; ++t) specs.push_back(TrialSpec{config, {t}});
+  const TrialExecutor executor{static_cast<unsigned>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run_batch(20170529, specs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.counters["trials_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 64.0,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrialBatchFailureHeavy)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TrialExecutorBatch(benchmark::State& state) {
   // Parallel scaling of a fixed 64-trial batch; compare Arg(1) against
   // Arg(N) to read the executor's speedup on this machine.

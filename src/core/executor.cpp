@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/trial_engine.hpp"
 #include "failure/process.hpp"
 #include "failure/replay.hpp"
 #include "failure/severity.hpp"
@@ -39,26 +41,96 @@ ExecutionResult infeasible_result(const ExecutionPlan& plan, obs::TrialObs* obs)
   return result;
 }
 
-/// Fold one finished trial into its observer: counters/gauges from the
-/// ExecutionResult (exact, no per-event cost) plus the trial-shape
-/// histograms. Runtime-side observation covers only what the result does
-/// not retain (per-event severities, checkpoint levels/costs, rework
-/// sizes), so nothing is double-counted.
-void record_trial_metrics(obs::TrialObs* obs, const ExecutionResult& r,
-                          std::uint64_t sim_events) {
-  if (obs == nullptr || obs->metrics() == nullptr) return;
-  record_result_metrics(obs, r);
-  const obs::BuiltinMetrics& m = obs::builtin_metrics();
-  obs->count(m.trials_run);
-  obs->count(m.sim_events, sim_events);
-  obs->observe(m.trial_events, static_cast<double>(sim_events));
-  obs->observe(m.trial_wall_hours, r.wall_time.to_seconds() / 3600.0);
-}
-
 /// Attempt number of the trial currently executing on this thread; set by
 /// for_each_controlled's retry loop so run_batch's journal body can record
 /// how many tries an outcome took without widening the body signature.
 thread_local unsigned t_current_attempt = 1;
+
+/// Process-wide persistent worker pool shared by every TrialExecutor batch.
+/// Workers are spawned on demand, parked on a condition variable between
+/// batches and reused, so a study that calls run_batch per cell pays the
+/// thread spawn/join cost once per process instead of once per cell — and
+/// per-worker thread_local caches (plans, severity models) survive across
+/// batches. Determinism is unaffected: the pool changes only which OS
+/// threads run the same atomic-handout loop, and result slots are indexed.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  /// Invoke `fn` once on each of \p workers pool threads and block until
+  /// every invocation returns. `fn` must be a drain-until-empty loop over
+  /// shared state; a nested call from inside a pool worker (a trial body
+  /// that itself fans out) degrades to one serial pass on the calling
+  /// thread, which such a loop completes by construction.
+  void run(std::size_t workers, const std::function<void()>& fn) {
+    if (workers == 0) return;
+    if (t_pool_worker) {
+      fn();
+      return;
+    }
+    std::unique_lock<std::mutex> lock{mutex_};
+    while (threads_.size() < workers) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+    job_ = &fn;
+    starts_left_ = workers;
+    finishes_left_ = workers;
+    ++epoch_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return finishes_left_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void worker_loop() {
+    t_pool_worker = true;
+    std::unique_lock<std::mutex> lock{mutex_};
+    std::uint64_t seen = 0;
+    for (;;) {
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (epoch_ != seen && starts_left_ > 0); });
+      if (stop_) return;
+      seen = epoch_;
+      --starts_left_;
+      const std::function<void()>* job = job_;
+      lock.unlock();
+      (*job)();
+      lock.lock();
+      if (--finishes_left_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  static thread_local bool t_pool_worker;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  /// Batch state under mutex_: the current job, how many workers still need
+  /// to pick it up, and how many have yet to finish it. run() returns only
+  /// when finishes_left_ hits zero, so batches never overlap.
+  const std::function<void()>* job_{nullptr};
+  std::size_t starts_left_{0};
+  std::size_t finishes_left_{0};
+  std::uint64_t epoch_{0};
+  bool stop_{false};
+};
+
+thread_local bool WorkerPool::t_pool_worker = false;
 
 }  // namespace
 
@@ -75,9 +147,14 @@ ExecutionResult run_trial(const PlanTrialSpec& spec, std::uint64_t seed,
                           obs::TrialObs* obs) {
   if (!spec.plan.feasible) return infeasible_result(spec.plan, obs);
 
-  Simulation sim;
-  const SeverityModel severity{spec.resilience.severity_weights};
+  const SeverityModel& severity =
+      cached_severity_model(spec.resilience.severity_weights);
+  if (trial_engine() == TrialEngine::kDirect) {
+    return run_plan_trial_direct(spec.plan, severity, spec.failure_distribution,
+                                 seed, obs);
+  }
 
+  Simulation sim;
   ExecutionResult final_result;
   bool finished = false;
 
@@ -112,6 +189,10 @@ ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed,
   // API symmetry and future runtime knobs.
   if (!spec.plan.feasible) return infeasible_result(spec.plan, obs);
 
+  if (trial_engine() == TrialEngine::kDirect) {
+    return run_trace_trial_direct(spec.plan, spec.trace, seed, obs);
+  }
+
   Simulation sim;
   ExecutionResult final_result;
   bool finished = false;
@@ -137,8 +218,20 @@ ExecutionResult run_trial(const TraceTrialSpec& spec, std::uint64_t seed,
 
 ExecutionResult run_trial(const SingleAppTrialConfig& config, std::uint64_t seed,
                           obs::TrialObs* obs) {
+  // The plan cache makes the planner (the multilevel optimizer especially)
+  // a once-per-worker-per-cell cost instead of a per-trial one.
+  const ExecutionPlan& plan = cached_plan(config);
+  if (!plan.feasible) return infeasible_result(plan, obs);
+
+  const SeverityModel& severity =
+      cached_severity_model(config.resilience.severity_weights);
+  if (trial_engine() == TrialEngine::kDirect) {
+    return run_plan_trial_direct(plan, severity, config.failure_distribution,
+                                 seed, obs);
+  }
+
   PlanTrialSpec spec;
-  spec.plan = make_plan(config.technique, config.app, config.machine, config.resilience);
+  spec.plan = plan;
   spec.resilience = config.resilience;
   spec.failure_distribution = config.failure_distribution;
   return run_trial(spec, seed, obs);
@@ -150,6 +243,28 @@ ExecutionResult run_trial(const TrialSpec& spec, std::uint64_t root_seed,
   return std::visit([seed, obs](const auto& work) { return run_trial(work, seed, obs); },
                     spec.work);
 }
+
+namespace {
+
+/// Seeds for a whole batch, derived once up front: derived_seed allocates a
+/// key vector per call, which the batched loops should not repay per trial
+/// (the journal path reads each seed up to three times).
+std::vector<std::uint64_t> derive_batch_seeds(std::uint64_t root,
+                                              std::span<const TrialSpec> specs) {
+  std::vector<std::uint64_t> seeds(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    seeds[i] = specs[i].derived_seed(root);
+  }
+  return seeds;
+}
+
+ExecutionResult run_trial_work(const TrialWork& work, std::uint64_t seed,
+                               obs::TrialObs* obs) {
+  return std::visit([seed, obs](const auto& w) { return run_trial(w, seed, obs); },
+                    work);
+}
+
+}  // namespace
 
 TrialExecutor::TrialExecutor(unsigned threads) : threads_{threads} {
   if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
@@ -265,10 +380,7 @@ void TrialExecutor::for_each_controlled(std::size_t count,
       }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    WorkerPool::instance().run(workers, worker);
   }
 
   if (report != nullptr) {
@@ -291,10 +403,11 @@ void TrialExecutor::for_each_controlled(std::size_t count,
 std::vector<ExecutionResult> TrialExecutor::run_batch(
     std::uint64_t root_seed, std::span<const TrialSpec> specs,
     const TrialProgress& progress) const {
+  const std::vector<std::uint64_t> seeds = derive_batch_seeds(root_seed, specs);
   std::vector<ExecutionResult> results(specs.size());
   for_each(
       specs.size(),
-      [&](std::size_t i) { results[i] = run_trial(specs[i], root_seed); },
+      [&](std::size_t i) { results[i] = run_trial_work(specs[i].work, seeds[i], nullptr); },
       progress);
   return results;
 }
@@ -304,10 +417,13 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
     std::span<obs::TrialObs> observers, const TrialProgress& progress) const {
   XRES_CHECK(observers.size() == specs.size(),
              "one observer per spec (enable channels before the batch)");
+  const std::vector<std::uint64_t> seeds = derive_batch_seeds(root_seed, specs);
   std::vector<ExecutionResult> results(specs.size());
   for_each(
       specs.size(),
-      [&](std::size_t i) { results[i] = run_trial(specs[i], root_seed, &observers[i]); },
+      [&](std::size_t i) {
+        results[i] = run_trial_work(specs[i].work, seeds[i], &observers[i]);
+      },
       progress);
   return results;
 }
@@ -321,6 +437,7 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
   XRES_CHECK(!observed || observers.size() == specs.size(),
              "one observer per spec, or no observers at all");
 
+  const std::vector<std::uint64_t> seeds = derive_batch_seeds(root_seed, specs);
   std::vector<ExecutionResult> results(specs.size());
   std::atomic<std::size_t> stale{0};
 
@@ -334,7 +451,7 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
     control.already_done = [&](std::size_t i) {
       const recovery::JournalRecord* record = rec.resume->find(batch_label, i);
       if (record == nullptr) return false;
-      if (record->seed != specs[i].derived_seed(root_seed)) {
+      if (record->seed != seeds[i]) {
         // The sweep changed under the journal; re-running is the only safe
         // answer.
         stale.fetch_add(1, std::memory_order_relaxed);
@@ -366,7 +483,7 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
     recovery::JournalRecord record;
     record.batch = batch_label;
     record.index = i;
-    record.seed = specs[i].derived_seed(root_seed);
+    record.seed = seeds[i];
     record.payload = recovery::serialize_trial_outcome(outcome);
     rec.journal->append(record);
   };
@@ -386,7 +503,7 @@ std::vector<ExecutionResult> TrialExecutor::run_batch(
       obs = &observers[i];
     }
     const auto start = std::chrono::steady_clock::now();
-    results[i] = run_trial(specs[i], root_seed, obs);
+    results[i] = run_trial_work(specs[i].work, seeds[i], obs);
     if (rec.journal != nullptr) {
       recovery::TrialOutcome outcome;
       outcome.result = results[i];

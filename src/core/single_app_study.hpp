@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/surrogate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
@@ -51,6 +52,12 @@ struct EfficiencyStudyConfig {
   /// exactly. Batches are labeled "s<si>.t<ti>", so a journal written by
   /// one sweep only resumes the same sweep.
   recovery::TrialRecoveryOptions recovery{};
+  /// How cells are answered (core/surrogate.hpp): kSim simulates every
+  /// cell (the historical path, byte-identical); kAnalytic/kAuto simulate
+  /// only anchor sizes and answer the rest from the analytic surrogate
+  /// with a per-cell error bound. Simulated cells (anchors, auto
+  /// fallbacks) use exactly the kSim per-trial seeds.
+  SurrogateMode surrogate{SurrogateMode::kSim};
 };
 
 struct EfficiencyStudyResult {
@@ -77,9 +84,19 @@ struct EfficiencyStudyResult {
   /// artifacts.
   recovery::BatchReport recovery_report{};
 
+  /// Per-cell provenance when config.surrogate != kSim, indexed like
+  /// `efficiency`; empty for pure-simulation runs. Surrogate-answered
+  /// cells carry count == 0 summaries in `efficiency` (mean = predicted,
+  /// stddev = 0) — `trials` in the CSV tells them apart.
+  std::vector<std::vector<SurrogateCell>> surrogate_cells;
+
   /// The figure's series as an aligned table (rows: size; columns:
   /// technique "mean ± σ").
   [[nodiscard]] Table to_table() const;
+  /// Surrogate provenance: per cell source (sim/anchor/fallback/surrogate),
+  /// analytic prediction, surrogate prediction and error bound. Empty
+  /// table when the study simulated every cell.
+  [[nodiscard]] Table to_surrogate_table() const;
   /// Raw CSV: size_fraction, technique, mean, stddev, trials.
   [[nodiscard]] Table to_csv_table() const;
   /// Instrumented breakdown (rows: non-zero metrics; columns: one per

@@ -1,0 +1,100 @@
+#include "core/surrogate.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace xres {
+
+const char* to_string(SurrogateMode mode) {
+  switch (mode) {
+    case SurrogateMode::kSim: return "sim";
+    case SurrogateMode::kAnalytic: return "analytic";
+    case SurrogateMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+SurrogateMode surrogate_mode_from_string(const std::string& name) {
+  if (name == "sim") return SurrogateMode::kSim;
+  if (name == "analytic") return SurrogateMode::kAnalytic;
+  if (name == "auto") return SurrogateMode::kAuto;
+  XRES_CHECK(false, "unknown surrogate mode '" + name + "' (expected sim, analytic or auto)");
+  return SurrogateMode::kSim;
+}
+
+bool surrogate_anchor_index(std::size_t index, std::size_t count) {
+  return index == 0 || index + 1 == count || index % 2 == 0;
+}
+
+SurrogateEstimate surrogate_estimate(const SurrogateAnchor& a, const SurrogateAnchor& b,
+                                     double fraction, double analytic) {
+  XRES_CHECK(a.fraction < b.fraction, "surrogate anchors must bracket the cell");
+  const double t = (fraction - a.fraction) / (b.fraction - a.fraction);
+  const double residual_a = a.mean - a.analytic;
+  const double residual_b = b.mean - b.analytic;
+  const double residual = (1.0 - t) * residual_a + t * residual_b;
+
+  SurrogateEstimate est;
+  est.predicted = std::clamp(analytic + residual, 0.0, 1.0);
+  est.bound = std::abs(residual_a - residual_b) + 2.0 * (a.sem + b.sem) +
+              kBoundMargin +
+              kBoundSpanMargin * (b.fraction - a.fraction) * (b.fraction - a.fraction);
+  est.mean_failures = (1.0 - t) * a.mean_failures + t * b.mean_failures;
+  return est;
+}
+
+std::string surrogate_cell_key(const SingleAppTrialConfig& trial, std::uint64_t seed,
+                               std::size_t si, std::size_t ti, std::uint32_t trials) {
+  std::ostringstream key;
+  key.precision(17);
+  const ResilienceConfig& r = trial.resilience;
+  const FailureDistribution& d = trial.failure_distribution;
+  // Every plan- or trial-relevant field: any two configs that differ in a
+  // way a trial can observe must fingerprint differently (the memo is a
+  // correctness-critical cache, not a heuristic one).
+  key << trial.machine.describe() << '|' << trial.app.type.name << '|'
+      << to_string(trial.technique) << '|' << trial.app.nodes << '|'
+      << trial.app.time_steps << '|' << r.node_mtbf.to_seconds() << '|';
+  for (double w : r.severity_weights) key << w << ',';
+  key << '|' << r.comm_slowdown_per_tc << '|' << r.recovery_parallelism << '|'
+      << r.partial_redundancy << '|' << r.full_redundancy << '|' << r.max_slowdown
+      << '|' << r.max_nesting << '|' << r.adaptive_interval << '|'
+      << r.semi_blocking_work_rate << '|' << r.checkpoint_compression << '|'
+      << static_cast<int>(d.kind()) << '|' << d.shape() << '|' << seed << '|' << si
+      << '|' << ti << '|' << trials;
+  return key.str();
+}
+
+namespace {
+
+struct AnchorMemo {
+  std::mutex mutex;
+  std::unordered_map<std::string, SurrogateAnchor> entries;
+};
+
+AnchorMemo& anchor_memo() {
+  static AnchorMemo memo;
+  return memo;
+}
+
+}  // namespace
+
+std::optional<SurrogateAnchor> surrogate_memo_find(const std::string& key) {
+  AnchorMemo& memo = anchor_memo();
+  const std::lock_guard<std::mutex> lock{memo.mutex};
+  const auto it = memo.entries.find(key);
+  if (it == memo.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+void surrogate_memo_store(const std::string& key, const SurrogateAnchor& anchor) {
+  AnchorMemo& memo = anchor_memo();
+  const std::lock_guard<std::mutex> lock{memo.mutex};
+  memo.entries.emplace(key, anchor);
+}
+
+}  // namespace xres

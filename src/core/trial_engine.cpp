@@ -1,0 +1,308 @@
+#include "core/trial_engine.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "failure/replay.hpp"
+#include "failure/trace.hpp"
+#include "obs/perf.hpp"
+#include "resilience/planner.hpp"
+#include "runtime/app_runtime.hpp"
+#include "sim/simulation.hpp"
+#include "util/check.hpp"
+#include "util/deadline.hpp"
+#include "util/log.hpp"
+
+namespace xres {
+
+namespace {
+
+/// -1: no override (use the environment); otherwise a TrialEngine value.
+std::atomic<int> g_engine_override{-1};
+
+TrialEngine engine_from_env() {
+  const char* value = std::getenv("XRES_TRIAL_ENGINE");
+  if (value == nullptr) return TrialEngine::kDirect;  // auto
+  const std::string_view v{value};
+  if (v == "event") return TrialEngine::kEvent;
+  if (v == "direct" || v == "auto" || v.empty()) return TrialEngine::kDirect;
+  XRES_LOG_WARN("unknown XRES_TRIAL_ENGINE '" + std::string{v} +
+                "' (expected event|direct|auto); using auto");
+  return TrialEngine::kDirect;
+}
+
+/// The three direct event sources, in the tag order used for tie-breaking
+/// bookkeeping only (ordering is always by (time, seq)).
+enum class DirectEvent { kNone, kFailure, kTimeout, kPhase };
+
+}  // namespace
+
+TrialEngine trial_engine() {
+  const int override = g_engine_override.load(std::memory_order_relaxed);
+  if (override >= 0) return static_cast<TrialEngine>(override);
+  static const TrialEngine from_env = engine_from_env();
+  return from_env;
+}
+
+ScopedTrialEngine::ScopedTrialEngine(TrialEngine engine)
+    : previous_{g_engine_override.exchange(static_cast<int>(engine),
+                                           std::memory_order_relaxed)} {}
+
+ScopedTrialEngine::~ScopedTrialEngine() {
+  g_engine_override.store(previous_, std::memory_order_relaxed);
+}
+
+void record_trial_metrics(obs::TrialObs* obs, const ExecutionResult& r,
+                          std::uint64_t sim_events) {
+  if (obs == nullptr || obs->metrics() == nullptr) return;
+  record_result_metrics(obs, r);
+  const obs::BuiltinMetrics& m = obs::builtin_metrics();
+  obs->count(m.trials_run);
+  obs->count(m.sim_events, sim_events);
+  obs->observe(m.trial_events, static_cast<double>(sim_events));
+  obs->observe(m.trial_wall_hours, r.wall_time.to_seconds() / 3600.0);
+}
+
+const SeverityModel& cached_severity_model(const std::vector<double>& weights) {
+  struct Cache {
+    std::vector<double> weights;
+    std::optional<SeverityModel> model;
+  };
+  thread_local Cache cache;
+  if (!cache.model.has_value() || cache.weights != weights) {
+    cache.model.emplace(weights);
+    cache.weights = weights;
+  }
+  return *cache.model;
+}
+
+namespace {
+
+bool same_config(const SingleAppTrialConfig& a, const SingleAppTrialConfig& b) {
+  // The plan-relevant fields only: failure_distribution is not a make_plan
+  // input, so it deliberately does not participate in the cache key.
+  const AppType& at = a.app.type;
+  const AppType& bt = b.app.type;
+  return a.technique == b.technique && at.name == bt.name &&
+         at.comm_fraction == bt.comm_fraction &&
+         at.memory_per_node == bt.memory_per_node && a.app.nodes == b.app.nodes &&
+         a.app.time_steps == b.app.time_steps &&
+         a.machine.node.tflops == b.machine.node.tflops &&
+         a.machine.node.cores == b.machine.node.cores &&
+         a.machine.node.memory == b.machine.node.memory &&
+         a.machine.node.memory_bandwidth == b.machine.node.memory_bandwidth &&
+         a.machine.network.latency == b.machine.network.latency &&
+         a.machine.network.bandwidth == b.machine.network.bandwidth &&
+         a.machine.network.switch_connections == b.machine.network.switch_connections &&
+         a.machine.node_count == b.machine.node_count &&
+         a.resilience.node_mtbf == b.resilience.node_mtbf &&
+         a.resilience.severity_weights == b.resilience.severity_weights &&
+         a.resilience.comm_slowdown_per_tc == b.resilience.comm_slowdown_per_tc &&
+         a.resilience.recovery_parallelism == b.resilience.recovery_parallelism &&
+         a.resilience.partial_redundancy == b.resilience.partial_redundancy &&
+         a.resilience.full_redundancy == b.resilience.full_redundancy &&
+         a.resilience.max_slowdown == b.resilience.max_slowdown &&
+         a.resilience.max_nesting == b.resilience.max_nesting &&
+         a.resilience.adaptive_interval == b.resilience.adaptive_interval &&
+         a.resilience.semi_blocking_work_rate == b.resilience.semi_blocking_work_rate &&
+         a.resilience.checkpoint_compression == b.resilience.checkpoint_compression;
+}
+
+}  // namespace
+
+const ExecutionPlan& cached_plan(const SingleAppTrialConfig& config) {
+  struct Cache {
+    bool valid{false};
+    SingleAppTrialConfig key;
+    ExecutionPlan plan;
+  };
+  thread_local Cache cache;
+  if (!cache.valid || !same_config(cache.key, config)) {
+    cache.plan =
+        make_plan(config.technique, config.app, config.machine, config.resilience);
+    cache.key = config;
+    cache.valid = true;
+  }
+  return cache.plan;
+}
+
+namespace {
+
+/// The shared virtual pop + dispatch loop. \p next_failure_time/seq/pending
+/// describe the driver's failure stream slot; \p fire_failure dispatches it
+/// (and re-arms it for the lazy generated stream). Mirrors Simulation::run:
+/// watchdog poll every 4096 events *before* the pop, clock advanced to the
+/// popped event's time, loop exit on request_stop or a drained "queue".
+template <typename FailureSlot, typename FireFailure>
+void run_direct_loop(Simulation& sim, ResilientAppRuntime& runtime, DirectHost& host,
+                     FailureSlot&& failure_slot, FireFailure&& fire_failure) {
+  std::uint64_t executed = 0;
+  while (!sim.stop_requested()) {
+    // Merge the failure and timeout slots into the earliest "interrupt".
+    // Neither changes while phase events dispatch (a failure slot is only
+    // re-armed by fire_failure; the timeout is cancelled only on paths that
+    // also request_stop), so the steady-state work/checkpoint alternation
+    // below re-checks just one (time, seq) bound per event.
+    DirectEvent interrupt = DirectEvent::kNone;
+    // +inf sentinel: phase events (always finite) sort before an absent
+    // interrupt without a separate emptiness test in the drain condition.
+    TimePoint int_time = TimePoint::origin() + Duration::infinity();
+    std::uint64_t int_seq = 0;
+    TimePoint fail_time{};
+    std::uint64_t fail_seq = 0;
+    if (failure_slot(fail_time, fail_seq)) {
+      interrupt = DirectEvent::kFailure;
+      int_time = fail_time;
+      int_seq = fail_seq;
+    }
+    if (host.timeout_pending &&
+        (interrupt == DirectEvent::kNone || host.timeout_time < int_time ||
+         (host.timeout_time == int_time && host.timeout_seq < int_seq))) {
+      interrupt = DirectEvent::kTimeout;
+      int_time = host.timeout_time;
+      int_seq = host.timeout_seq;
+    }
+
+    while (host.phase_pending &&
+           (host.phase_time < int_time ||
+            (host.phase_time == int_time && host.phase_seq < int_seq))) {
+      if ((executed & 0xFFFU) == 0) {
+        sim.count_watchdog_poll();
+        deadline_poll();
+      }
+      sim.advance_direct(host.phase_time);
+      runtime.dispatch_phase_direct();
+      ++executed;
+      if (sim.stop_requested()) return;
+    }
+
+    if (interrupt == DirectEvent::kNone) break;
+    if ((executed & 0xFFFU) == 0) {
+      sim.count_watchdog_poll();
+      deadline_poll();
+    }
+    sim.advance_direct(int_time);
+    if (interrupt == DirectEvent::kFailure) {
+      fire_failure();
+    } else {
+      runtime.dispatch_timeout_direct();
+    }
+    ++executed;
+  }
+}
+
+}  // namespace
+
+ExecutionResult run_plan_trial_direct(const ExecutionPlan& plan,
+                                      const SeverityModel& severity,
+                                      const FailureDistribution& dist,
+                                      std::uint64_t seed, obs::TrialObs* obs) {
+  Simulation sim;
+  ExecutionResult final_result;
+  bool finished = false;
+  DirectHost host;
+
+  ResilientAppRuntime runtime{
+      sim, plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
+        final_result = r;
+        finished = true;
+        sim.request_stop();
+      }};
+  runtime.set_observer(obs);
+  runtime.attach_direct_host(&host);
+
+  // The failure stream, drawn lazily in AppFailureProcess's exact RNG
+  // order: the first gap before the runtime starts, then per delivery a
+  // severity sample followed by the next gap.
+  Pcg32 rng{derive_seed(seed, 0x6661696c7321ULL)};
+  bool fail_pending = false;
+  TimePoint fail_time{};
+  std::uint64_t fail_seq = 0;
+  const auto schedule_next_failure = [&] {
+    const Duration gap = dist.draw(rng, plan.failure_rate);
+    if (!gap.is_finite()) return;  // zero rate: no failures ever
+    fail_time = sim.now() + gap;
+    fail_seq = host.next_seq++;
+    fail_pending = true;
+  };
+
+  schedule_next_failure();  // AppFailureProcess::start()
+  runtime.start();
+
+  run_direct_loop(
+      sim, runtime, host,
+      [&](TimePoint& when, std::uint64_t& seq) {
+        if (!fail_pending) return false;
+        when = fail_time;
+        seq = fail_seq;
+        return true;
+      },
+      [&] {
+        fail_pending = false;
+        const Failure failure{sim.now(), severity.sample(rng)};
+        schedule_next_failure();
+        runtime.on_failure(failure);
+      });
+
+  XRES_CHECK(finished, "plan trial ended without a completion callback");
+  obs::perf_add_batched_trials(1);
+  record_trial_metrics(obs, final_result, sim.events_processed());
+  return final_result;
+}
+
+ExecutionResult run_trace_trial_direct(const ExecutionPlan& plan,
+                                       const FailureTrace& trace, std::uint64_t seed,
+                                       obs::TrialObs* obs) {
+  Simulation sim;
+  ExecutionResult final_result;
+  bool finished = false;
+  DirectHost host;
+
+  ResilientAppRuntime runtime{
+      sim, plan, derive_seed(seed, 0x72756e74696dULL), [&](const ExecutionResult& r) {
+        final_result = r;
+        finished = true;
+        sim.request_stop();
+      }};
+  runtime.set_observer(obs);
+  runtime.attach_direct_host(&host);
+
+  // TraceFailureProcess::start() schedules every replayed failure up front
+  // in trace order, consuming insertion seqs 0..n-1 before the runtime's
+  // timeout/phase events; past-time failures are skipped and consume none.
+  const std::vector<Failure>& failures = trace.failures();
+  std::size_t next = 0;
+  while (next < failures.size() && failures[next].time < sim.now()) ++next;
+  const std::size_t skipped = next;
+  if (skipped > 0) {
+    XRES_LOG_WARN("trace replay skipped " + std::to_string(skipped) +
+                  " failures that predate the current simulation time");
+  }
+  host.next_seq = failures.size() - skipped;
+
+  runtime.start();
+
+  run_direct_loop(
+      sim, runtime, host,
+      [&](TimePoint& when, std::uint64_t& seq) {
+        if (next >= failures.size()) return false;
+        when = failures[next].time;
+        seq = next - skipped;
+        return true;
+      },
+      [&] {
+        const Failure& failure = failures[next];
+        ++next;
+        runtime.on_failure(failure);
+      });
+
+  XRES_CHECK(finished, "trace trial ended without a completion callback");
+  obs::perf_add_batched_trials(1);
+  record_trial_metrics(obs, final_result, sim.events_processed());
+  return final_result;
+}
+
+}  // namespace xres

@@ -21,6 +21,9 @@ struct GlobalCounters {
   std::atomic<std::uint64_t> trials_resumed{0};
   std::atomic<std::uint64_t> trials_retried{0};
   std::atomic<std::uint64_t> trials_quarantined{0};
+  std::atomic<std::uint64_t> batched_trials{0};
+  std::atomic<std::uint64_t> surrogate_hits{0};
+  std::atomic<std::uint64_t> surrogate_fallbacks{0};
 };
 
 GlobalCounters g_counters;
@@ -55,6 +58,15 @@ void perf_add_trials(std::uint64_t executed, std::uint64_t resumed,
   }
 }
 
+void perf_add_batched_trials(std::uint64_t count) {
+  if (count != 0) g_counters.batched_trials.fetch_add(count, kRelaxed);
+}
+
+void perf_add_surrogate(std::uint64_t hits, std::uint64_t fallbacks) {
+  if (hits != 0) g_counters.surrogate_hits.fetch_add(hits, kRelaxed);
+  if (fallbacks != 0) g_counters.surrogate_fallbacks.fetch_add(fallbacks, kRelaxed);
+}
+
 PerfCounters perf_snapshot() {
   PerfCounters out;
   out.events_scheduled = g_counters.events_scheduled.load(kRelaxed);
@@ -67,6 +79,9 @@ PerfCounters perf_snapshot() {
   out.trials_resumed = g_counters.trials_resumed.load(kRelaxed);
   out.trials_retried = g_counters.trials_retried.load(kRelaxed);
   out.trials_quarantined = g_counters.trials_quarantined.load(kRelaxed);
+  out.batched_trials = g_counters.batched_trials.load(kRelaxed);
+  out.surrogate_hits = g_counters.surrogate_hits.load(kRelaxed);
+  out.surrogate_fallbacks = g_counters.surrogate_fallbacks.load(kRelaxed);
   return out;
 }
 
@@ -84,6 +99,9 @@ PerfCounters perf_delta(const PerfCounters& since) {
   out.trials_resumed = now.trials_resumed - since.trials_resumed;
   out.trials_retried = now.trials_retried - since.trials_retried;
   out.trials_quarantined = now.trials_quarantined - since.trials_quarantined;
+  out.batched_trials = now.batched_trials - since.batched_trials;
+  out.surrogate_hits = now.surrogate_hits - since.surrogate_hits;
+  out.surrogate_fallbacks = now.surrogate_fallbacks - since.surrogate_fallbacks;
   return out;
 }
 
@@ -100,6 +118,9 @@ std::vector<std::pair<std::string, std::uint64_t>> perf_counter_items(
       {"trials_resumed", counters.trials_resumed},
       {"trials_retried", counters.trials_retried},
       {"trials_quarantined", counters.trials_quarantined},
+      {"batched_trials", counters.batched_trials},
+      {"surrogate_hits", counters.surrogate_hits},
+      {"surrogate_fallbacks", counters.surrogate_fallbacks},
   };
 }
 

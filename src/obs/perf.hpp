@@ -32,6 +32,14 @@ struct PerfCounters {
   std::uint64_t trials_resumed{0};
   std::uint64_t trials_retried{0};
   std::uint64_t trials_quarantined{0};
+  /// Trials executed on the direct (batched) engine — a subset of
+  /// trials_executed (core/trial_engine.hpp).
+  std::uint64_t batched_trials{0};
+  /// Study cells answered by the analytic surrogate without simulating
+  /// (resilience/surrogate.hpp) / cells where the error bound forced a
+  /// fall back to full simulation.
+  std::uint64_t surrogate_hits{0};
+  std::uint64_t surrogate_fallbacks{0};
 };
 
 /// Flush one event-queue's lifetime tallies (called from ~EventQueue).
@@ -47,6 +55,12 @@ void perf_add_journal_fsync();
 /// Flush one executor batch's trial accounting.
 void perf_add_trials(std::uint64_t executed, std::uint64_t resumed,
                      std::uint64_t retried, std::uint64_t quarantined);
+
+/// Flush trials executed on the direct (batched) engine.
+void perf_add_batched_trials(std::uint64_t count);
+
+/// Count surrogate-answered cells and bound-exceeded fallbacks.
+void perf_add_surrogate(std::uint64_t hits, std::uint64_t fallbacks);
 
 /// Current totals since process start.
 [[nodiscard]] PerfCounters perf_snapshot();

@@ -20,6 +20,9 @@ ResilientAppRuntime::ResilientAppRuntime(Simulation& sim, ExecutionPlan plan,
       on_complete_{std::move(on_complete)} {
   plan_.validate();
   XRES_CHECK(static_cast<bool>(on_complete_), "completion callback must be non-empty");
+  active_normal_nodes_ = static_cast<double>(plan_.physical_nodes);
+  active_recovery_nodes_ = std::min(1.0 + plan_.recovery_parallelism,
+                                    static_cast<double>(plan_.app.nodes));
 }
 
 ResilientAppRuntime::~ResilientAppRuntime() { cancel_pending(); }
@@ -48,6 +51,36 @@ void ResilientAppRuntime::start() {
   quantum_ = plan_.checkpoint_quantum;
   next_checkpoint_at_ = plan_.levels.empty() ? Duration::infinity() : quantum_;
 
+  // Tabulate the checkpoint-level odometer: with L levels the pattern of
+  // level_index_for_checkpoint(k) repeats with the product of the nesting
+  // counts as its period, so one small table replaces a divide-per-level
+  // scan on every checkpoint (the hottest plan query in a trial).
+  level_cycle_.clear();
+  level_cycle_pos_ = 0;
+  if (!plan_.levels.empty()) {
+    std::uint64_t cycle = 1;
+    for (std::size_t i = 0; i + 1 < plan_.levels.size(); ++i) {
+      cycle *= static_cast<std::uint64_t>(plan_.nesting[i]);
+      if (cycle > 4096) break;
+    }
+    if (cycle <= 4096) {
+      // Walk the odometer incrementally (digit i counts to nesting[i] and
+      // carries) instead of dividing per entry; the carried-into digit is
+      // exactly level_index_for_checkpoint's answer.
+      level_cycle_.resize(cycle);
+      std::vector<std::uint32_t> digits(plan_.levels.size() - 1, 0);
+      for (std::uint64_t r = 0; r < cycle; ++r) {
+        std::size_t carried = 0;
+        while (carried < digits.size() &&
+               ++digits[carried] == static_cast<std::uint32_t>(plan_.nesting[carried])) {
+          digits[carried] = 0;
+          ++carried;
+        }
+        level_cycle_[r] = static_cast<std::uint32_t>(carried);
+      }
+    }
+  }
+
   if (plan_.replication_degree > 1.0) {
     const std::uint32_t duplicated = plan_.physical_nodes - plan_.app.nodes;
     XRES_CHECK(duplicated <= plan_.app.nodes,
@@ -58,9 +91,15 @@ void ResilientAppRuntime::start() {
   }
 
   if (plan_.max_wall_time.is_finite()) {
-    timeout_event_ =
-        sim_.schedule_after(plan_.max_wall_time, [this] { abort_on_timeout(); });
-    has_timeout_ = true;
+    if (direct_ != nullptr) {
+      direct_->timeout_time = sim_.now() + plan_.max_wall_time;
+      direct_->timeout_seq = direct_->next_seq++;
+      direct_->timeout_pending = true;
+    } else {
+      timeout_event_ =
+          sim_.schedule_after(plan_.max_wall_time, [this] { abort_on_timeout(); });
+      has_timeout_ = true;
+    }
   }
   enter_working();
 }
@@ -75,7 +114,54 @@ void ResilientAppRuntime::set_observer(obs::TrialObs* obs) {
   obs_ = obs;
 }
 
+void ResilientAppRuntime::attach_direct_host(DirectHost* host) {
+  XRES_CHECK(phase_ == Phase::kIdle, "direct host must be attached before start");
+  XRES_CHECK(pfs_service_ == nullptr,
+             "direct execution does not support a shared PFS transfer service");
+  XRES_CHECK(host != nullptr, "direct host must be non-null");
+  direct_ = host;
+}
+
+void ResilientAppRuntime::schedule_phase_direct(Duration nominal) {
+  // No pending-phase check: every schedule_phase_direct call is reached
+  // from a dispatch (or start) that just cleared the slot, and the event
+  // path's schedule_phase keeps the guarded equivalent.
+  // Same arithmetic as schedule_after: the completion time is bit-identical
+  // to what the event queue would have stored and popped.
+  direct_->phase_time = sim_.now() + nominal;
+  direct_->phase_seq = direct_->next_seq++;
+  direct_->phase_pending = true;
+}
+
+void ResilientAppRuntime::dispatch_phase_direct() {
+  direct_->phase_pending = false;
+  // The Duration arguments exist for the event path's lambdas; every
+  // handler ignores them (elapsed time is re-derived from phase_start_),
+  // so the direct dispatch passes zero instead of reloading plan data.
+  switch (phase_) {
+    case Phase::kWorking: on_segment_done(phase_arg_); break;
+    case Phase::kCheckpointing:
+      on_checkpoint_done(phase_level_, Duration::zero());
+      break;
+    case Phase::kRestarting: on_restart_done(Duration::zero()); break;
+    case Phase::kRecovering: on_recovery_done(Duration::zero()); break;
+    case Phase::kIdle:
+    case Phase::kDone:
+    case Phase::kAborted:
+      XRES_CHECK(false, "direct phase dispatch outside an executing phase");
+  }
+}
+
+void ResilientAppRuntime::dispatch_timeout_direct() {
+  direct_->timeout_pending = false;
+  abort_on_timeout();
+}
+
 void ResilientAppRuntime::cancel_pending() {
+  if (direct_ != nullptr) {
+    direct_->phase_pending = false;
+    return;
+  }
   if (!has_pending_) return;
   if (pending_is_transfer_) {
     pfs_service_->cancel(pending_transfer_);
@@ -108,13 +194,11 @@ void ResilientAppRuntime::schedule_phase(Duration nominal, bool shared_pfs,
 }
 
 double ResilientAppRuntime::active_nodes() const {
-  if (phase_ == Phase::kRecovering) {
-    // Only the restarted node plus its recovery helpers compute; the rest
-    // of the allocation idles (Section IV-D).
-    return std::min(1.0 + plan_.recovery_parallelism,
-                    static_cast<double>(plan_.app.nodes));
-  }
-  return static_cast<double>(plan_.physical_nodes);
+  // During recovery only the restarted node plus its recovery helpers
+  // compute; the rest of the allocation idles (Section IV-D). Both values
+  // are precomputed at start().
+  if (phase_ == Phase::kRecovering) return active_recovery_nodes_;
+  return active_normal_nodes_;
 }
 
 void ResilientAppRuntime::enable_timeline() {
@@ -123,56 +207,66 @@ void ResilientAppRuntime::enable_timeline() {
 }
 
 void ResilientAppRuntime::accrue(Duration elapsed) {
-  XRES_CHECK(elapsed >= Duration::zero(), "negative phase time");
-  std::optional<SpanKind> span;
   switch (phase_) {
     case Phase::kWorking:
-      result_.time_working += elapsed;
-      span = SpanKind::kWork;
-      break;
+      accrue_known(elapsed, result_.time_working, SpanKind::kWork,
+                   active_normal_nodes_);
+      return;
     case Phase::kCheckpointing:
-      result_.time_checkpointing += elapsed;
-      span = SpanKind::kCheckpoint;
-      break;
+      accrue_known(elapsed, result_.time_checkpointing, SpanKind::kCheckpoint,
+                   active_normal_nodes_);
+      return;
     case Phase::kRestarting:
-      result_.time_restarting += elapsed;
-      span = SpanKind::kRestart;
-      break;
+      accrue_known(elapsed, result_.time_restarting, SpanKind::kRestart,
+                   active_normal_nodes_);
+      return;
     case Phase::kRecovering:
-      result_.time_recovering += elapsed;
-      span = SpanKind::kRecovery;
-      break;
+      accrue_known(elapsed, result_.time_recovering, SpanKind::kRecovery,
+                   active_recovery_nodes_);
+      return;
     case Phase::kIdle:
     case Phase::kDone:
     case Phase::kAborted:
+      XRES_CHECK(elapsed >= Duration::zero(), "negative phase time");
+      result_.node_seconds += active_normal_nodes_ * elapsed.to_seconds();
+      return;
+  }
+}
+
+void ResilientAppRuntime::accrue_known(Duration elapsed, Duration& bucket,
+                                       SpanKind span, double nodes) {
+  XRES_CHECK(elapsed >= Duration::zero(), "negative phase time");
+  bucket += elapsed;
+  result_.node_seconds += nodes * elapsed.to_seconds();
+  if (timeline_.has_value()) {
+    timeline_->add(span, phase_start_, elapsed);
+  }
+  if (obs_ != nullptr && obs_->trace() != nullptr) {
+    accrue_trace_span(span, elapsed);
+  }
+}
+
+void ResilientAppRuntime::accrue_trace_span(SpanKind span, Duration elapsed) {
+  obs::TraceBuffer& trace = *obs_->trace();
+  switch (span) {
+    case SpanKind::kWork:
+      trace.span("work", "phase", phase_start_, elapsed);
       break;
-  }
-  result_.node_seconds += active_nodes() * elapsed.to_seconds();
-  if (timeline_.has_value() && span.has_value()) {
-    timeline_->add(*span, phase_start_, elapsed);
-  }
-  if (obs_ != nullptr && obs_->trace() != nullptr && span.has_value()) {
-    obs::TraceBuffer& trace = *obs_->trace();
-    switch (*span) {
-      case SpanKind::kWork:
-        trace.span("work", "phase", phase_start_, elapsed);
-        break;
-      case SpanKind::kCheckpoint:
-        trace.span("checkpoint L" + std::to_string(phase_level_), "phase", phase_start_,
-                   elapsed,
-                   {obs::trace_arg("level", static_cast<int>(phase_level_)),
-                    obs::trace_arg("pfs", phase_pfs_)});
-        break;
-      case SpanKind::kRestart:
-        trace.span("restart", "phase", phase_start_, elapsed,
-                   {obs::trace_arg("level", static_cast<int>(phase_level_)),
-                    obs::trace_arg("pfs", phase_pfs_)});
-        break;
-      case SpanKind::kRecovery:
-        trace.span("recovery", "phase", phase_start_, elapsed,
-                   {obs::trace_arg("lost_work_s", recovery_lost_.to_seconds())});
-        break;
-    }
+    case SpanKind::kCheckpoint:
+      trace.span("checkpoint L" + std::to_string(phase_level_), "phase", phase_start_,
+                 elapsed,
+                 {obs::trace_arg("level", static_cast<int>(phase_level_)),
+                  obs::trace_arg("pfs", phase_pfs_)});
+      break;
+    case SpanKind::kRestart:
+      trace.span("restart", "phase", phase_start_, elapsed,
+                 {obs::trace_arg("level", static_cast<int>(phase_level_)),
+                  obs::trace_arg("pfs", phase_pfs_)});
+      break;
+    case SpanKind::kRecovery:
+      trace.span("recovery", "phase", phase_start_, elapsed,
+                 {obs::trace_arg("lost_work_s", recovery_lost_.to_seconds())});
+      break;
   }
 }
 
@@ -187,12 +281,18 @@ void ResilientAppRuntime::enter_working() {
   const Duration target = std::min(next_checkpoint_at_, plan_.work_target);
   const Duration length = target - progress_;
   XRES_CHECK(length > Duration::zero(), "empty work segment");
+  if (direct_ != nullptr) {
+    phase_arg_ = target;
+    schedule_phase_direct(length);
+    return;
+  }
   schedule_phase(length, /*shared_pfs=*/false,
                  [this, target] { on_segment_done(target); });
 }
 
 void ResilientAppRuntime::on_segment_done(Duration target) {
-  accrue(sim_.now() - phase_start_);
+  accrue_known(sim_.now() - phase_start_, result_.time_working, SpanKind::kWork,
+               active_normal_nodes_);
   progress_ = target;
   if (progress_ >= plan_.work_target) {
     complete();
@@ -207,18 +307,29 @@ void ResilientAppRuntime::enter_checkpointing() {
   // Semi-blocking checkpoints snapshot the state at phase entry; work done
   // concurrently is not covered by the in-flight image.
   checkpoint_snapshot_ = progress_;
-  const std::size_t idx = plan_.level_index_for_checkpoint(checkpoint_counter_ + 1);
+  const std::size_t idx =
+      level_cycle_.empty()
+          ? plan_.level_index_for_checkpoint(checkpoint_counter_ + 1)
+          : level_cycle_[level_cycle_pos_];
   const CheckpointLevelSpec& level = plan_.levels[idx];
   phase_level_ = idx;
   phase_pfs_ = level.uses_shared_pfs;
+  if (direct_ != nullptr) {
+    schedule_phase_direct(level.save_cost);
+    return;
+  }
   schedule_phase(level.save_cost, level.uses_shared_pfs,
                  [this, idx] { on_checkpoint_done(idx, plan_.levels[idx].save_cost); });
 }
 
 void ResilientAppRuntime::on_checkpoint_done(std::size_t level_index, Duration) {
   const Duration elapsed = sim_.now() - phase_start_;
-  accrue(elapsed);
+  accrue_known(elapsed, result_.time_checkpointing, SpanKind::kCheckpoint,
+               active_normal_nodes_);
   ++checkpoint_counter_;
+  if (!level_cycle_.empty() && ++level_cycle_pos_ == level_cycle_.size()) {
+    level_cycle_pos_ = 0;
+  }
   ++result_.checkpoints_completed;
   if (obs_ != nullptr) {
     obs_->observe(obs::builtin_metrics().checkpoint_level,
@@ -270,12 +381,17 @@ void ResilientAppRuntime::enter_restarting(std::size_t level_index, Duration res
   phase_level_ = level_index;
   phase_pfs_ = shared_pfs;
   if (obs_ != nullptr) obs_->count(obs::builtin_metrics().restarts);
+  if (direct_ != nullptr) {
+    schedule_phase_direct(restore_cost);
+    return;
+  }
   schedule_phase(restore_cost, shared_pfs,
                  [this, restore_cost] { on_restart_done(restore_cost); });
 }
 
 void ResilientAppRuntime::on_restart_done(Duration) {
-  accrue(sim_.now() - phase_start_);
+  accrue_known(sim_.now() - phase_start_, result_.time_restarting,
+               SpanKind::kRestart, active_normal_nodes_);
   enter_working();
 }
 
@@ -289,12 +405,17 @@ void ResilientAppRuntime::enter_recovering(Duration lost_work) {
                             lost_work / plan_.recovery_parallelism;
   // Parallel recovery restores from in-memory partner copies, never the
   // shared PFS.
+  if (direct_ != nullptr) {
+    schedule_phase_direct(duration);
+    return;
+  }
   schedule_phase(duration, /*shared_pfs=*/false,
                  [this, duration] { on_recovery_done(duration); });
 }
 
 void ResilientAppRuntime::on_recovery_done(Duration) {
-  accrue(sim_.now() - phase_start_);
+  accrue_known(sim_.now() - phase_start_, result_.time_recovering,
+               SpanKind::kRecovery, active_recovery_nodes_);
   recovery_lost_ = Duration::zero();
   if (progress_ >= next_checkpoint_at_ && progress_ < plan_.work_target) {
     // The failure interrupted a checkpoint at this boundary: retake it.
@@ -304,12 +425,19 @@ void ResilientAppRuntime::on_recovery_done(Duration) {
   }
 }
 
+void ResilientAppRuntime::cancel_timeout() {
+  if (direct_ != nullptr) {
+    direct_->timeout_pending = false;
+    return;
+  }
+  if (!has_timeout_) return;
+  sim_.cancel(timeout_event_);
+  has_timeout_ = false;
+}
+
 void ResilientAppRuntime::complete() {
   cancel_pending();
-  if (has_timeout_) {
-    sim_.cancel(timeout_event_);
-    has_timeout_ = false;
-  }
+  cancel_timeout();
   phase_ = Phase::kDone;
   result_.completed = true;
   result_.wall_time = sim_.now() - start_time_;
@@ -345,10 +473,7 @@ void ResilientAppRuntime::abort() {
   if (finished() || phase_ == Phase::kIdle) return;
   accrue(sim_.now() - phase_start_);
   cancel_pending();
-  if (has_timeout_) {
-    sim_.cancel(timeout_event_);
-    has_timeout_ = false;
-  }
+  cancel_timeout();
   phase_ = Phase::kAborted;
   result_.completed = false;
   result_.wall_time = sim_.now() - start_time_;

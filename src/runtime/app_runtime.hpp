@@ -40,6 +40,25 @@ namespace obs {
 class TrialObs;
 }
 
+/// Direct-execution hand-off between a ResilientAppRuntime and the direct
+/// trial engine (core/trial_engine.cpp). Instead of scheduling its phase
+/// and timeout events into the Simulation's queue, a direct-attached
+/// runtime publishes them into these slots; the engine's dispatch loop
+/// merges them with its own failure stream by (time, seq) — the exact total
+/// order the event queue would have produced. `next_seq` is the shared
+/// virtual insertion counter: every schedule action (failure gap, timeout,
+/// phase) consumes one in the same call order as the event path, so ties in
+/// time break identically.
+struct DirectHost {
+  TimePoint phase_time{};
+  std::uint64_t phase_seq{0};
+  bool phase_pending{false};
+  TimePoint timeout_time{};
+  std::uint64_t timeout_seq{0};
+  bool timeout_pending{false};
+  std::uint64_t next_seq{0};
+};
+
 class ResilientAppRuntime {
  public:
   enum class Phase { kIdle, kWorking, kCheckpointing, kRestarting, kRecovering, kDone, kAborted };
@@ -111,6 +130,21 @@ class ResilientAppRuntime {
   /// instrumentation site reduces to a pointer test.
   void set_observer(obs::TrialObs* obs);
 
+  /// Direct execution: publish phase/timeout events into \p host instead of
+  /// the Simulation queue (see DirectHost). Must be called before start();
+  /// incompatible with a PFS transfer service. \p host must outlive the
+  /// runtime.
+  void attach_direct_host(DirectHost* host);
+
+  /// Fire the pending phase-completion published in the direct host: clears
+  /// the pending flag and invokes the phase's completion handler, exactly
+  /// as the queued event's callback would. Only valid direct-attached with
+  /// a pending phase, at sim.now() == host->phase_time.
+  void dispatch_phase_direct();
+
+  /// Fire the pending wall-time-cap timeout published in the direct host.
+  void dispatch_timeout_direct();
+
  private:
   void enter_working();
   void enter_checkpointing();
@@ -122,6 +156,15 @@ class ResilientAppRuntime {
   /// service is attached. \p done is parked in phase_done_ so the scheduled
   /// closure captures only `this` (stays inline in SmallCallback's buffer).
   void schedule_phase(Duration nominal, bool shared_pfs, EventCallback done);
+
+  /// Direct-mode counterpart of schedule_phase: publishes the completion
+  /// time into the host (no callback — dispatch_phase_direct() re-derives
+  /// the handler from phase_ and phase_arg_, so the hot loop never builds a
+  /// closure).
+  void schedule_phase_direct(Duration nominal);
+
+  /// Cancel the pending timeout if any (queue or direct).
+  void cancel_timeout();
   void complete();
   void abort_on_timeout();
 
@@ -132,6 +175,18 @@ class ResilientAppRuntime {
 
   /// Book elapsed phase time into the result buckets + energy integral.
   void accrue(Duration elapsed);
+
+  /// accrue() body for callers that know the current phase statically
+  /// (the per-event completion handlers): identical operations in the
+  /// identical order, minus the phase dispatch. \p bucket is the
+  /// result_ time bucket for the phase and \p nodes its active-node
+  /// count.
+  void accrue_known(Duration elapsed, Duration& bucket, SpanKind span,
+                    double nodes);
+
+  /// The cold tail of accrue_known: trace-span emission (only reached
+  /// when the trial collects a trace).
+  void accrue_trace_span(SpanKind span, Duration elapsed);
 
   /// Active node count in the current phase (energy model).
   [[nodiscard]] double active_nodes() const;
@@ -183,9 +238,27 @@ class ResilientAppRuntime {
   std::uint32_t dup_degraded_{0};
   std::uint32_t singles_{0};
 
+  /// Checkpoint-level odometer pattern, precomputed at start(): entry
+  /// (k-1) % size is level_index_for_checkpoint(k). Empty when the cycle
+  /// (the product of the nesting counts) is too long to tabulate.
+  /// level_cycle_pos_ tracks checkpoint_counter_ % size incrementally so
+  /// the per-checkpoint lookup never divides.
+  std::vector<std::uint32_t> level_cycle_;
+  std::uint64_t level_cycle_pos_{0};
+
+  /// active_nodes() for the non-recovering / recovering phases,
+  /// precomputed at start() — accrue() runs once per simulated phase.
+  double active_normal_nodes_{0.0};
+  double active_recovery_nodes_{0.0};
+
   std::optional<Timeline> timeline_;
   TransferService* pfs_service_{nullptr};
   obs::TrialObs* obs_{nullptr};
+  DirectHost* direct_{nullptr};
+
+  /// kWorking's on_segment_done target in direct mode (the only handler
+  /// argument dispatch_phase_direct cannot re-derive from other state).
+  Duration phase_arg_{Duration::zero()};
 
   /// Checkpoint level driving the current Checkpointing/Restarting phase
   /// and whether it moves data through the shared PFS (trace span args).

@@ -54,6 +54,22 @@ class Simulation {
   /// \p until (even if no event fired exactly there).
   void run_until(TimePoint until);
 
+  /// Direct-execution support (core/trial_engine.hpp): advance the clock to
+  /// \p when (>= now()) and credit one executed event, exactly as step()
+  /// would for a queued event firing at \p when. The direct trial engine
+  /// dispatches its events itself and uses this so events_processed() — and
+  /// every metric derived from it — stays byte-identical to the event path.
+  /// Inline: this runs once per simulated event on the hot path.
+  void advance_direct(TimePoint when) {
+    now_ = when;
+    ++events_processed_;
+  }
+
+  /// Direct-execution support: credit one watchdog poll (telemetry parity
+  /// with run()'s every-4096-events poll; the caller invokes deadline_poll()
+  /// itself).
+  void count_watchdog_poll() { ++watchdog_polls_; }
+
   /// Ask run()/run_until() to return after the current event completes.
   void request_stop() { stop_requested_ = true; }
   [[nodiscard]] bool stop_requested() const { return stop_requested_; }

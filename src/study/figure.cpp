@@ -15,6 +15,11 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
   obs::PhaseProfiler profiler;
   profiler.begin("setup");
   config.trials = ctx.params().u32("trials");
+  try {
+    config.surrogate = surrogate_mode_from_string(ctx.params().str("surrogate"));
+  } catch (const CheckError& e) {
+    usage_error_from(e);
+  }
   config.seed = options.seed;
   config.threads = options.threads;
   config.collect_metrics = options.obs.metrics();
@@ -52,6 +57,10 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
 
   profiler.begin("reduce");
   std::printf("%s", result.to_table().to_text().c_str());
+  if (!result.surrogate_cells.empty()) {
+    std::printf("\nSurrogate provenance (bound = max |predicted - simulated mean|):\n%s",
+                result.to_surrogate_table().to_text().c_str());
+  }
 
   if (options.chart) {
     std::vector<std::string> series;
@@ -94,6 +103,9 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
         "(mean ± sample standard deviation across trials).");
     report.add_table("Efficiency by system share", result.to_table());
     report.add_table("Raw data", result.to_csv_table());
+    if (!result.surrogate_cells.empty()) {
+      report.add_table("Surrogate provenance", result.to_surrogate_table());
+    }
     if (result.metrics.has_value()) {
       report.add_table("Instrumented breakdown", result.to_metrics_table());
     }

@@ -23,6 +23,11 @@ int run_efficiency_adhoc(StudyContext& ctx) {
   config.resilience.node_mtbf = Duration::years(ctx.params().real("mtbf-years"));
   config.baseline = Duration::hours(ctx.params().real("baseline-hours"));
   config.trials = ctx.params().u32("trials");
+  try {
+    config.surrogate = surrogate_mode_from_string(ctx.params().str("surrogate"));
+  } catch (const CheckError& e) {
+    usage_error_from(e);
+  }
   config.seed = ctx.seed();
   config.threads = ctx.threads();
   const ObsOptions& obs = ctx.options().obs;
@@ -36,6 +41,10 @@ int run_efficiency_adhoc(StudyContext& ctx) {
   rec.absorb(result.recovery_report);
   if (rec.interrupted()) return rec.finish();  // withhold partial output
   std::printf("%s", result.to_table().to_text().c_str());
+  if (!result.surrogate_cells.empty()) {
+    std::printf("\nSurrogate provenance (bound = max |predicted - simulated mean|):\n%s",
+                result.to_surrogate_table().to_text().c_str());
+  }
   if (obs.metrics()) {
     std::printf("\nInstrumented breakdown (per technique, whole study):\n%s",
                 result.to_metrics_table().to_text().c_str());
@@ -127,6 +136,10 @@ void register_builtin_studies(StudyRegistry& registry) {
     def.params.real("mtbf-years", "per-node MTBF", 10).min(0.001);
     def.params.integer("trials", "trials per cell", 50).min(1);
     def.params.real("baseline-hours", "delay-free execution time", 24).min(0.001);
+    def.params.text("surrogate",
+                    "sim | analytic | auto — answer cells from the analytic "
+                    "surrogate with a per-cell error bound (docs/STUDIES.md)",
+                    "sim");
     def.run = run_efficiency_adhoc;
     registry.add(std::move(def));
   }

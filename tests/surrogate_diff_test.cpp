@@ -1,0 +1,313 @@
+// Differential harness for the batched trial engine and the analytic
+// surrogate (core/surrogate.hpp). Sweeps (study, params, seed) cells
+// through:
+//
+//  * batched (direct-execution) vs. unbatched (event-queue) trial engines,
+//    at 1 and 4 worker threads — every ExecutionResult field and the merged
+//    metrics must match exactly (byte drift fails);
+//  * surrogate-answered vs. fully-simulated efficiency studies — anchor and
+//    fallback cells must be bit-identical to the simulated study, and every
+//    surrogate-answered cell must sit within its reported error bound.
+//
+// A fast subset runs in tier-1 (and under TSAN via the Surrogate filter);
+// the full matrix is guarded by XRES_SMOKE_ALL=1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app_type.hpp"
+#include "core/single_app_study.hpp"
+#include "core/surrogate.hpp"
+#include "core/trial_engine.hpp"
+#include "obs/trial_obs.hpp"
+#include "resilience/technique.hpp"
+#include "util/rng.hpp"
+
+namespace xres {
+namespace {
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define XRES_TEST_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define XRES_TEST_TSAN 1
+#endif
+
+constexpr bool tsan_build() {
+#ifdef XRES_TEST_TSAN
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool full_matrix() { return std::getenv("XRES_SMOKE_ALL") != nullptr; }
+
+/// Field-exact ExecutionResult comparison: the engines promise identical
+/// arithmetic, so even the accumulated doubles must match bit for bit.
+void expect_identical(const ExecutionResult& a, const ExecutionResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.wall_time, b.wall_time) << label;
+  EXPECT_EQ(a.baseline, b.baseline) << label;
+  EXPECT_EQ(a.efficiency, b.efficiency) << label;
+  EXPECT_EQ(a.failures_seen, b.failures_seen) << label;
+  EXPECT_EQ(a.failures_masked, b.failures_masked) << label;
+  EXPECT_EQ(a.rollbacks, b.rollbacks) << label;
+  EXPECT_EQ(a.checkpoints_completed, b.checkpoints_completed) << label;
+  EXPECT_EQ(a.time_working, b.time_working) << label;
+  EXPECT_EQ(a.time_checkpointing, b.time_checkpointing) << label;
+  EXPECT_EQ(a.time_restarting, b.time_restarting) << label;
+  EXPECT_EQ(a.time_recovering, b.time_recovering) << label;
+  EXPECT_EQ(a.rework, b.rework) << label;
+  EXPECT_EQ(a.node_seconds, b.node_seconds) << label;
+}
+
+struct BatchRun {
+  std::vector<ExecutionResult> results;
+  std::string metrics_text;
+};
+
+/// Run one batch under \p engine at \p threads, with per-trial metrics
+/// merged in spec order (the study reduction).
+BatchRun run_engine_batch(TrialEngine engine, unsigned threads,
+                          const SingleAppTrialConfig& config, std::uint64_t seed,
+                          std::uint32_t trials) {
+  const ScopedTrialEngine scoped{engine};
+  std::vector<TrialSpec> specs;
+  specs.reserve(trials);
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    specs.push_back(TrialSpec{config, {t}});
+  }
+  std::vector<obs::TrialObs> observers(specs.size());
+  for (obs::TrialObs& o : observers) o.enable_metrics();
+
+  const TrialExecutor executor{threads};
+  BatchRun run;
+  run.results = executor.run_batch(seed, specs, observers);
+  obs::MetricSet merged;
+  for (const obs::TrialObs& o : observers) merged.merge(*o.metrics());
+  run.metrics_text = merged.to_table().to_text();
+  return run;
+}
+
+SingleAppTrialConfig diff_cell(const std::string& app, TechniqueKind technique,
+                               double mtbf_years, std::uint32_t nodes) {
+  SingleAppTrialConfig config;
+  config.app = AppSpec::from_baseline(app_type_by_name(app), nodes,
+                                      Duration::hours(2.0));
+  config.technique = technique;
+  config.machine = MachineSpec::exascale();
+  config.resilience.node_mtbf = Duration::years(mtbf_years);
+  return config;
+}
+
+/// Batched (direct) vs unbatched (event) engines across worker counts:
+/// the differential core of the harness. The event engine at 1 thread is
+/// the reference; every other (engine × threads) combination must
+/// reproduce it exactly, metrics included.
+void expect_engine_invariant(const SingleAppTrialConfig& config,
+                             const std::string& label, std::uint64_t seed,
+                             std::uint32_t trials) {
+  const BatchRun reference = run_engine_batch(TrialEngine::kEvent, 1, config, seed, trials);
+  ASSERT_EQ(reference.results.size(), trials) << label;
+  for (const TrialEngine engine : {TrialEngine::kEvent, TrialEngine::kDirect}) {
+    for (const unsigned threads : {1U, 4U}) {
+      if (engine == TrialEngine::kEvent && threads == 1) continue;
+      const BatchRun run = run_engine_batch(engine, threads, config, seed, trials);
+      const std::string tag = label + "/" + (engine == TrialEngine::kEvent ? "event" : "direct") +
+                              "/t" + std::to_string(threads);
+      ASSERT_EQ(run.results.size(), reference.results.size()) << tag;
+      for (std::size_t i = 0; i < run.results.size(); ++i) {
+        expect_identical(reference.results[i], run.results[i],
+                         tag + "/trial" + std::to_string(i));
+      }
+      // Queue-shape counters legitimately differ between engines; the
+      // study-facing metrics (sim_events, outcome counters, phase gauges)
+      // must not. MetricSet::to_table covers exactly those.
+      EXPECT_EQ(reference.metrics_text, run.metrics_text) << tag;
+    }
+  }
+}
+
+TEST(SurrogateDiff, EnginesAgreeFast) {
+  expect_engine_invariant(diff_cell("C64", TechniqueKind::kMultilevel, 1.0, 4000),
+                          "C64/ml/failure-heavy", 20260808, tsan_build() ? 4 : 12);
+  expect_engine_invariant(
+      diff_cell("A32", TechniqueKind::kParallelRecovery, 10.0, 1200),
+      "A32/pr", 7, tsan_build() ? 4 : 12);
+}
+
+TEST(SurrogateDiff, EnginesAgreeFullMatrix) {
+  if (!full_matrix()) GTEST_SKIP() << "set XRES_SMOKE_ALL=1 for the full matrix";
+  std::uint64_t seed = 1;
+  for (const char* app : {"A32", "C64", "D64"}) {
+    for (const TechniqueKind technique : evaluated_techniques()) {
+      for (const double mtbf : {0.5, 10.0}) {
+        expect_engine_invariant(
+            diff_cell(app, technique, mtbf, 3000),
+            std::string{app} + "/" + to_string(technique) + "/" + std::to_string(mtbf),
+            ++seed, 8);
+      }
+    }
+  }
+}
+
+EfficiencyStudyConfig small_study(std::uint64_t seed) {
+  EfficiencyStudyConfig config;
+  config.app_type = app_type_by_name("C64");
+  config.baseline = Duration::hours(3.0);
+  config.size_fractions = {0.02, 0.05, 0.10, 0.25, 0.50};
+  config.trials = tsan_build() ? 3 : 6;
+  config.seed = seed;
+  config.threads = 2;
+  return config;
+}
+
+/// Surrogate-vs-simulated differential: anchors bit-identical, surrogate
+/// cells within their reported bound.
+TEST(SurrogateDiff, AnalyticWithinBoundOfSimulation) {
+  const EfficiencyStudyConfig config = small_study(20260808);
+
+  EfficiencyStudyConfig sim = config;
+  sim.surrogate = SurrogateMode::kSim;
+  const EfficiencyStudyResult simulated = run_efficiency_study(sim);
+
+  EfficiencyStudyConfig sur = config;
+  sur.surrogate = SurrogateMode::kAnalytic;
+  const EfficiencyStudyResult answered = run_efficiency_study(sur);
+
+  ASSERT_EQ(answered.surrogate_cells.size(), config.size_fractions.size());
+  EXPECT_TRUE(simulated.surrogate_cells.empty());
+  for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+    for (std::size_t ti = 0; ti < config.techniques.size(); ++ti) {
+      const std::string label = "cell s" + std::to_string(si) + ".t" + std::to_string(ti);
+      const SurrogateCell& cell = answered.surrogate_cells[si][ti];
+      const Summary& sim_cell = simulated.efficiency[si][ti];
+      const Summary& sur_cell = answered.efficiency[si][ti];
+      if (cell.anchor) {
+        // Anchors re-use the simulated path's exact seeds: bit-identical.
+        EXPECT_EQ(sim_cell.mean, sur_cell.mean) << label;
+        EXPECT_EQ(sim_cell.stddev, sur_cell.stddev) << label;
+        EXPECT_EQ(sim_cell.count, sur_cell.count) << label;
+        EXPECT_EQ(simulated.mean_failures[si][ti], answered.mean_failures[si][ti])
+            << label;
+      } else {
+        EXPECT_FALSE(cell.simulated) << label;
+        EXPECT_EQ(sur_cell.count, 0U) << label;
+        EXPECT_LE(std::abs(cell.predicted - sim_cell.mean), cell.bound) << label
+            << " predicted=" << cell.predicted << " sim=" << sim_cell.mean
+            << " bound=" << cell.bound;
+      }
+    }
+  }
+}
+
+/// Auto mode: every cell is either simulated (anchor or bound-exceeded
+/// fallback, bit-identical to the simulated study) or within bound.
+TEST(SurrogateDiff, AutoFallsBackToSimulationWhenBoundExceeded) {
+  // A fresh seed so the in-process anchor memo from other tests cannot
+  // serve these cells.
+  const EfficiencyStudyConfig config = small_study(977);
+
+  EfficiencyStudyConfig sim = config;
+  sim.surrogate = SurrogateMode::kSim;
+  const EfficiencyStudyResult simulated = run_efficiency_study(sim);
+
+  EfficiencyStudyConfig automatic = config;
+  automatic.surrogate = SurrogateMode::kAuto;
+  const EfficiencyStudyResult answered = run_efficiency_study(automatic);
+
+  ASSERT_EQ(answered.surrogate_cells.size(), config.size_fractions.size());
+  for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+    for (std::size_t ti = 0; ti < config.techniques.size(); ++ti) {
+      const std::string label = "cell s" + std::to_string(si) + ".t" + std::to_string(ti);
+      const SurrogateCell& cell = answered.surrogate_cells[si][ti];
+      const Summary& sim_cell = simulated.efficiency[si][ti];
+      const Summary& ans_cell = answered.efficiency[si][ti];
+      if (cell.simulated) {
+        EXPECT_EQ(sim_cell.mean, ans_cell.mean) << label;
+        EXPECT_EQ(sim_cell.stddev, ans_cell.stddev) << label;
+      } else {
+        EXPECT_LE(cell.bound, kAutoBoundThreshold) << label;
+        EXPECT_LE(std::abs(cell.predicted - sim_cell.mean), cell.bound) << label;
+      }
+    }
+  }
+}
+
+/// Anchor memoization: re-running the same surrogate study in-process
+/// answers anchors from the memo (count 0 — not re-simulated) with the
+/// identical means.
+TEST(SurrogateDiff, AnchorsAreMemoized) {
+  EfficiencyStudyConfig config = small_study(31337);
+  config.surrogate = SurrogateMode::kAnalytic;
+  const EfficiencyStudyResult first = run_efficiency_study(config);
+  const EfficiencyStudyResult second = run_efficiency_study(config);
+  for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+    for (std::size_t ti = 0; ti < config.techniques.size(); ++ti) {
+      EXPECT_EQ(first.efficiency[si][ti].mean, second.efficiency[si][ti].mean);
+      if (first.surrogate_cells[si][ti].anchor) {
+        EXPECT_EQ(first.efficiency[si][ti].count, config.trials);
+        EXPECT_EQ(second.efficiency[si][ti].count, 0U);  // memo hit
+      }
+    }
+  }
+}
+
+/// Property test (paper Eqs. 1–8): across randomized configurations the
+/// surrogate's prediction for the interior size must sit within its
+/// reported bound of the simulated mean efficiency for the same seeds.
+TEST(SurrogateProperty, PredictionWithinReportedBound) {
+  const int configurations = tsan_build() ? 25 : (full_matrix() ? 200 : 60);
+  Pcg32 rng{0x5052455354ULL};
+  int surrogate_cells_checked = 0;
+  for (int i = 0; i < configurations; ++i) {
+    EfficiencyStudyConfig config;
+    config.app_type = all_app_types()[rng.next_below(8)];
+    config.resilience.node_mtbf = Duration::years(rng.uniform(2.0, 30.0));
+    // Whole minutes: baselines must be an integral number of time steps.
+    config.baseline = Duration::minutes(static_cast<double>(60 + rng.next_below(121)));
+    config.trials = 6;
+    config.seed = 1000 + static_cast<std::uint64_t>(i);
+    config.threads = 2;
+    config.techniques = {evaluated_techniques()[rng.next_below(5)]};
+    const double lo = rng.uniform(0.01, 0.25);
+    const double mid = rng.uniform(0.26, 0.55);
+    const double hi = rng.uniform(0.56, 1.0);
+    config.size_fractions = {lo, mid, hi};
+
+    EfficiencyStudyConfig sim = config;
+    sim.surrogate = SurrogateMode::kSim;
+    const EfficiencyStudyResult simulated = run_efficiency_study(sim);
+
+    EfficiencyStudyConfig sur = config;
+    sur.surrogate = SurrogateMode::kAnalytic;
+    const EfficiencyStudyResult answered = run_efficiency_study(sur);
+
+    const std::string label = "config " + std::to_string(i) + " (" +
+                              config.app_type.name + ", " +
+                              to_string(config.techniques[0]) + ")";
+    for (std::size_t si = 0; si < config.size_fractions.size(); ++si) {
+      const SurrogateCell& cell = answered.surrogate_cells[si][0];
+      if (cell.simulated) {
+        EXPECT_EQ(simulated.efficiency[si][0].mean, answered.efficiency[si][0].mean)
+            << label;
+        continue;
+      }
+      ++surrogate_cells_checked;
+      EXPECT_LE(std::abs(cell.predicted - simulated.efficiency[si][0].mean), cell.bound)
+          << label << " si=" << si << " predicted=" << cell.predicted
+          << " sim=" << simulated.efficiency[si][0].mean << " bound=" << cell.bound;
+    }
+  }
+  EXPECT_GT(surrogate_cells_checked, 0);
+}
+
+}  // namespace
+}  // namespace xres

@@ -14,6 +14,13 @@ and the baseline update procedure). Benchmarks present in the baseline but
 missing from the run also fail; new benchmarks are reported but pass (commit
 a refreshed baseline to start tracking them).
 
+Benchmark mode also gates batch scaling: for the thread-parameterised batch
+benchmarks (BM_TrialExecutorBatch/<N>/real_time and
+BM_TrialBatchFailureHeavy/<N>/real_time) the wall-clock throughput at every
+thread count must stay monotone-ish — at least --scaling-floor (default 0.75)
+of the single-thread throughput. This catches the "more threads, fewer
+trials/s" contention regressions that per-benchmark deltas cannot see.
+
 Ledger mode reads the CRC-framed run ledger `xres` appends to (see
 docs/OBSERVABILITY.md), groups records by (study, params digest, seed,
 threads), and fails when the newest run's trials/s regressed beyond the
@@ -52,6 +59,56 @@ def load_rows(path: str) -> dict[str, float]:
     if not rows:
         raise SystemExit(f"{path}: no benchmarks recorded")
     return rows
+
+
+def load_real_rows(path: str) -> dict[str, float]:
+    """Like load_rows but min real_s_per_iter — the scaling gate's estimator."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rows: dict[str, float] = {}
+    for row in doc.get("benchmarks", []):
+        name = row["name"]
+        real = row.get("real_s_per_iter", 0.0)
+        if real <= 0.0:
+            continue
+        rows[name] = min(real, rows.get(name, real))
+    return rows
+
+
+# Thread-parameterised batch benchmarks whose wall-clock throughput must not
+# collapse as the thread count grows. Each runs a fixed batch per iteration,
+# so relative throughput is just the inverse of real_s_per_iter.
+SCALING_FAMILIES = ("BM_TrialExecutorBatch", "BM_TrialBatchFailureHeavy")
+
+
+def batch_scaling_gate(real_rows: dict[str, float], floor: float) -> list[str]:
+    """Return failure strings for families whose tp(N) < floor * tp(1)."""
+    failures: list[str] = []
+    for family in SCALING_FAMILIES:
+        prefix = family + "/"
+        points: dict[int, float] = {}
+        for name, real in real_rows.items():
+            if not name.startswith(prefix):
+                continue
+            arg = name[len(prefix):].split("/")[0]
+            if arg.isdigit():
+                points[int(arg)] = 1.0 / real
+        if 1 not in points or len(points) < 2:
+            # Old summaries predate the batch benchmarks; nothing to gate.
+            continue
+        base = points[1]
+        print(f"\n{family} scaling (relative wall-clock throughput, floor {floor:.2f}):")
+        for threads in sorted(points):
+            ratio = points[threads] / base
+            marker = ""
+            if threads > 1 and ratio < floor:
+                marker = "  REGRESSION"
+                failures.append(
+                    f"{family}: throughput at {threads} threads is "
+                    f"{ratio:.2f}x the 1-thread run (< {floor:.2f}x floor)"
+                )
+            print(f"  threads {threads:>2}: {ratio:>5.2f}x{marker}")
+    return failures
 
 
 def load_ledger(path: str) -> list[dict]:
@@ -152,6 +209,13 @@ def main() -> int:
         default=0.15,
         help="max tolerated slowdown fraction, e.g. 0.15 = 15%% (default: %(default)s)",
     )
+    parser.add_argument(
+        "--scaling-floor",
+        type=float,
+        default=0.75,
+        help="benchmark mode: minimum multi-thread/1-thread throughput ratio "
+        "for the batch benchmarks (default: %(default)s)",
+    )
     args = parser.parse_args()
 
     if args.ledger:
@@ -185,6 +249,8 @@ def main() -> int:
         print(f"{name:<{width}}  {base_cpu:>12.3e}  {cpu:>12.3e}  {delta:>+7.1%}{marker}")
     for name in sorted(run.keys() - baseline.keys()):
         print(f"{name:<{width}}  {'(new)':>12}  {run[name]:>12.3e}  {'':>8}")
+
+    failures += batch_scaling_gate(load_real_rows(args.run), args.scaling_floor)
 
     if failures:
         print(f"\nperf gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)

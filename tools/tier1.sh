@@ -9,20 +9,32 @@
 #   tools/tier1.sh [build-dir] [tsan-build-dir]
 #
 # Set XRES_PERF_GATE=1 to additionally run the engine microbenchmarks and
-# diff them against bench/BENCH_engine.baseline.json (>15% regression
-# fails; see docs/PERFORMANCE.md for the policy and baseline procedure).
-# Set XRES_SMOKE_ALL=1 to additionally byte-compare every registered
-# study's artifacts across --threads 1 vs 2 (tier-1 ctest runs a fast
-# subset; see tests/study_smoke_test.cpp).
+# diff them against bench/BENCH_engine.baseline.json (>15% regression or a
+# batch-scaling collapse fails; see docs/PERFORMANCE.md for the policy and
+# baseline procedure). Set XRES_SMOKE_ALL=1 to additionally byte-compare
+# every registered study's artifacts across --threads 1 vs 2 and across
+# trial engines, and to run the full surrogate differential matrix (tier-1
+# ctest runs fast subsets; see tests/study_smoke_test.cpp and
+# tests/surrogate_diff_test.cpp). Each stage prints its wall time.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 TSAN_BUILD="${2:-build-tsan}"
 
+# Per-stage wall time: call `stage_done <name>` at the end of each stage so
+# a slow tier-1 run says where the minutes went.
+STAGE_T0=$SECONDS
+stage_done() {
+  echo "stage ${1}: $((SECONDS - STAGE_T0))s"
+  STAGE_T0=$SECONDS
+}
+
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j "$(nproc)"
+stage_done build
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+stage_done ctest
 
 # TSAN pass: library + tests + the xres CLI (benches/examples just re-link
 # the same library code and would double the build time for no extra
@@ -31,7 +43,10 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 cmake -B "$TSAN_BUILD" -S . -DXRES_TSAN=ON \
   -DXRES_BUILD_BENCH=OFF -DXRES_BUILD_EXAMPLES=OFF -DXRES_BUILD_TOOLS=ON
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
-ctest --test-dir "$TSAN_BUILD" --output-on-failure -R "TrialExecutor|Integration|Obs|SimOracle"
+stage_done tsan-build
+ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+  -R "TrialExecutor|Integration|Obs|SimOracle|Surrogate"
+stage_done tsan-ctest
 
 # Observability smoke under TSAN: a threaded study with per-trial metrics
 # and tracing enabled exercises the observer hand-off between workers.
@@ -41,6 +56,7 @@ trap 'rm -rf "$OBS_TMP"' EXIT
   --metrics "$OBS_TMP/m.json" --trace "$OBS_TMP/t.json" --log-level info \
   > /dev/null
 test -s "$OBS_TMP/m.json" && test -s "$OBS_TMP/t.json"
+stage_done tsan-obs-smoke
 
 # Crash-safety (docs/ROBUSTNESS.md): SIGKILL a threaded, journaled study
 # mid-run, resume it, and require the report and --metrics JSON to be
@@ -88,13 +104,16 @@ crash_resume_check() {
     echo "crash+resume ($tag): expected exit 75 (interrupted) or 0, got $rc" >&2
     return 1
   fi
-  "$xres_bin" "${args[@]}" --journal "$dir/j2.jsonl" --resume \
-    --metrics "$dir/resumed2.json" > /dev/null
+  # Resume under the event-queue engine: the journal was written by the
+  # default (direct) engine, so this pins cross-engine resume identity too.
+  XRES_TRIAL_ENGINE=event "$xres_bin" "${args[@]}" --journal "$dir/j2.jsonl" \
+    --resume --metrics "$dir/resumed2.json" > /dev/null
   cmp "$dir/golden.json" "$dir/resumed2.json"
   echo "crash+resume ($tag): OK (SIGTERM exit $rc)"
 }
 crash_resume_check "$BUILD"/tools/xres normal 1500 1
 crash_resume_check "$TSAN_BUILD"/tools/xres tsan 200 2
+stage_done crash-resume
 
 # Determinism golden check: the same seeded study must produce byte-for-byte
 # identical report, metrics and trace on a repeat run, and the report +
@@ -110,6 +129,12 @@ determinism_check() {
     --metrics "$dir/m1b.json" --trace "$dir/t1b.json" > "$dir/r1b.txt"
   "$BUILD"/tools/xres "${args[@]}" --threads 4 \
     --metrics "$dir/m4.json" > "$dir/r4.txt"
+  # Engine matrix: the unbatched event-queue engine must reproduce the
+  # default (direct) engine's bytes at both thread counts.
+  XRES_TRIAL_ENGINE=event "$BUILD"/tools/xres "${args[@]}" --threads 1 \
+    --metrics "$dir/me1.json" --trace "$dir/te1.json" > "$dir/re1.txt"
+  XRES_TRIAL_ENGINE=event "$BUILD"/tools/xres "${args[@]}" --threads 4 \
+    --metrics "$dir/me4.json" > "$dir/re4.txt"
   # The reports differ only in the artifact-path lines (the file names are
   # different by construction); the artifact bytes themselves are compared
   # with cmp below.
@@ -117,14 +142,22 @@ determinism_check() {
   "${filter[@]}" "$dir/r1a.txt" > "$dir/r1a-clean.txt"
   "${filter[@]}" "$dir/r1b.txt" > "$dir/r1b-clean.txt"
   "${filter[@]}" "$dir/r4.txt" > "$dir/r4-clean.txt"
+  "${filter[@]}" "$dir/re1.txt" > "$dir/re1-clean.txt"
+  "${filter[@]}" "$dir/re4.txt" > "$dir/re4-clean.txt"
   cmp "$dir/r1a-clean.txt" "$dir/r1b-clean.txt"
   cmp "$dir/m1a.json" "$dir/m1b.json"
   cmp "$dir/t1a.json" "$dir/t1b.json"
   cmp "$dir/r1a-clean.txt" "$dir/r4-clean.txt"
   cmp "$dir/m1a.json" "$dir/m4.json"
-  echo "determinism: OK (repeat + threads 1 vs 4 byte-identical)"
+  cmp "$dir/r1a-clean.txt" "$dir/re1-clean.txt"
+  cmp "$dir/m1a.json" "$dir/me1.json"
+  cmp "$dir/t1a.json" "$dir/te1.json"
+  cmp "$dir/r1a-clean.txt" "$dir/re4-clean.txt"
+  cmp "$dir/m1a.json" "$dir/me4.json"
+  echo "determinism: OK (repeat + threads 1 vs 4 + event engine byte-identical)"
 }
 determinism_check
+stage_done determinism
 
 # Suite stage (docs/STUDIES.md): `xres suite paper` must regenerate every
 # figure/table artifact deterministically, validate its manifest CRCs, and
@@ -154,6 +187,7 @@ suite_check() {
   echo "suite: OK (manifest CRCs valid, SIGKILL + --resume byte-identical)"
 }
 suite_check
+stage_done suite
 
 # Sweep stage (docs/SPECS.md): a spec-file-defined study must produce the
 # same bytes as the equivalent compiled-in invocation, and `xres sweep`
@@ -201,6 +235,7 @@ EOF
   echo "sweep: OK (spec == compiled-in, 2x2 grid threads-invariant + resumable)"
 }
 sweep_check
+stage_done sweep
 
 # Ledger stage (docs/OBSERVABILITY.md): wall-clock telemetry must stay
 # outside the determinism boundary — perf.json is not manifest-CRC'd, two
@@ -255,6 +290,7 @@ ledger_check() {
   echo "ledger: OK (perf.json outside CRCs, zero-drift compare, SIGKILL-safe)"
 }
 ledger_check
+stage_done ledger
 
 # Fault-injection stage (docs/ROBUSTNESS.md, "Fault injection & I/O
 # policy"): the harness must survive its own failure model. A seeded
@@ -285,8 +321,10 @@ fault_injection_check() {
 
   # Deterministic EIO/short-write/fsync sweep: every injected fault is
   # transient, so the retry policy must absorb all of them — exit 0 and
-  # byte-identical artifacts.
-  "$BUILD"/tools/xres "${args[@]}" --out-dir "$dir/eio" \
+  # byte-identical artifacts. Runs under the event-queue engine so the
+  # injected-fault sweep doubles as an engine cross-check against the
+  # direct-engine golden run.
+  XRES_TRIAL_ENGINE=event "$BUILD"/tools/xres "${args[@]}" --out-dir "$dir/eio" \
     --io-faults 7:0.05:eio,short,fsync > /dev/null 2> "$dir/eio.err"
   "$BUILD"/tools/xres suite verify --out-dir "$dir/eio"
   diff -r --exclude=journals --exclude=perf.json "$dir/ref" "$dir/eio"
@@ -374,13 +412,42 @@ fault_injection_check() {
     "exit codes pinned)"
 }
 fault_injection_check
+stage_done fault-injection
+
+# Surrogate stage (docs/STUDIES.md): the analytic surrogate must be wired
+# end to end at the CLI boundary — `--surrogate analytic|auto` runs, prints
+# the per-cell provenance table with its error bounds, and rejects unknown
+# modes as a usage error. The numerical contract (anchors bit-identical to
+# the simulator, interior cells within the reported bound) is enforced by
+# surrogate_diff_test.cpp: a fast subset in the tier-1 ctest pass above,
+# the full differential matrix under XRES_SMOKE_ALL=1 below.
+surrogate_check() {
+  local dir="$OBS_TMP/surrogate"
+  mkdir -p "$dir"
+  local args=(run efficiency --set type=A32 --set trials=6 --seed 11 --threads 2)
+  "$BUILD"/tools/xres "${args[@]}" --set surrogate=analytic > "$dir/analytic.txt"
+  grep -q 'Surrogate provenance' "$dir/analytic.txt"
+  "$BUILD"/tools/xres "${args[@]}" --set surrogate=auto > "$dir/auto.txt"
+  grep -q 'Surrogate provenance' "$dir/auto.txt"
+  local rc=0
+  "$BUILD"/tools/xres "${args[@]}" --set surrogate=bogus > /dev/null 2>&1 || rc=$?
+  if [[ "$rc" != 2 ]]; then
+    echo "surrogate: expected usage exit 2 for surrogate=bogus, got $rc" >&2
+    return 1
+  fi
+  echo "surrogate: OK (analytic + auto provenance printed, bad mode exit 2)"
+}
+surrogate_check
+stage_done surrogate
 
 # Opt-in full-catalog smoke: every registered study at tiny trial counts,
-# --threads 1 vs 2, artifacts byte-compared (tier-1 ctest covers a fast
-# one-per-group subset unconditionally).
+# --threads 1 vs 2 and direct vs event engine, artifacts byte-compared,
+# plus the full surrogate differential matrix and the 200-config property
+# test (tier-1 ctest covers fast subsets of all three unconditionally).
 if [[ "${XRES_SMOKE_ALL:-0}" == "1" ]]; then
   XRES_SMOKE_ALL=1 "$BUILD"/tests/xres_tests \
-    --gtest_filter='StudySmoke.FullCatalogThreadsInvariant'
+    --gtest_filter='StudySmoke.FullCatalog*:SurrogateDiff.*:SurrogateProperty.*'
+  stage_done smoke-all
 fi
 
 # Opt-in perf gate: compare engine microbenchmarks against the committed
@@ -389,7 +456,7 @@ fi
 if [[ "${XRES_PERF_GATE:-0}" == "1" ]]; then
   cmake --build "$BUILD" -j "$(nproc)" --target perf_engine
   "$BUILD"/bench/perf_engine --benchmark_min_time=0.2 --benchmark_repetitions=5 \
-    --benchmark_filter='BM_EventQueue|BM_Simulation|BM_SingleAppTrialFailureHeavy' \
+    --benchmark_filter='BM_EventQueue|BM_Simulation|BM_SingleAppTrialFailureHeavy|BM_TrialBatchFailureHeavy|BM_TrialExecutorBatch' \
     --out "$OBS_TMP/BENCH_engine.json"
   python3 tools/perf_gate.py "$OBS_TMP/BENCH_engine.json" \
     --baseline bench/BENCH_engine.baseline.json

@@ -115,6 +115,31 @@ void list_markdown() {
               "at runtime from TOML/JSON spec files (`xres run --from spec.toml`)\n"
               "and fanned across parameter grids (`xres sweep <study> --axis\n"
               "key=v1,v2,...`) — see docs/SPECS.md.\n\n");
+  std::printf(
+      "Efficiency studies take a `surrogate` parameter (`--set\n"
+      "surrogate=sim|analytic|auto`, sweepable like any other axis):\n\n"
+      "- `sim` (default) — every sweep cell is fully simulated.\n"
+      "- `analytic` — only anchor cells (every other sweep size, plus the\n"
+      "  endpoints) are simulated, with the exact per-trial seeds the `sim`\n"
+      "  path would use, so anchor rows are bit-identical to a full run.\n"
+      "  Interior cells are answered from the closed-form analytic model\n"
+      "  (paper Eqs. 1-8, src/resilience/analytic) corrected by linear\n"
+      "  interpolation of the anchor residuals, and each carries an error\n"
+      "  bound: |residual spread between its anchors| + 2x both anchors'\n"
+      "  standard error + a curvature margin (0.02 flat + 0.30x the\n"
+      "  anchors' machine-share span squared). The run prints a \"Surrogate\n"
+      "  provenance\" table naming each cell's source (anchor / surrogate /\n"
+      "  fallback / sim) with its analytic value, prediction and bound.\n"
+      "- `auto` — like `analytic`, but any interior cell whose bound\n"
+      "  exceeds 0.05 falls back to full simulation (counted in the\n"
+      "  `surrogate_fallbacks` perf counter; answered cells count as\n"
+      "  `surrogate_hits`, and both land in the run ledger).\n\n"
+      "Surrogate-answered cells carry zero-count summaries (no fake\n"
+      "spread); anchors are memoized per process, keyed by the full cell\n"
+      "configuration, and the memo is bypassed whenever per-trial side\n"
+      "effects matter (--metrics, --trace, --journal). The contract —\n"
+      "anchors bit-identical, predictions within the reported bound — is\n"
+      "enforced by tests/surrogate_diff_test.cpp.\n\n");
   std::printf("Generated by `xres list --markdown` — do not edit by hand.\n");
   const auto all = study::StudyRegistry::instance().all();
   for (study::StudyGroup group : kGroupOrder) {
