@@ -13,6 +13,7 @@
 #include "core/single_app_study.hpp"
 #include "resilience/planner.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -25,7 +26,8 @@ int run(study::StudyContext& ctx) {
   study::ObsCollector& collector = ctx.collector();
   study::RecoveryCoordinator& coordinator = ctx.recovery();
 
-  const MachineSpec machine = MachineSpec::exascale();
+  MachineSpec machine = MachineSpec::exascale();
+  study::apply_platform_params(machine, ctx.params());
   const AppSpec app{app_type_by_name("B32"), 60000, 1440};
   ResilienceConfig assumed;  // the planner always assumes a 10-year MTBF
 

@@ -8,6 +8,7 @@
 
 #include "core/workload_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -33,6 +34,7 @@ int run(study::StudyContext& ctx) {
       WorkloadStudyConfig study_config;
       study_config.patterns = patterns;
       study_config.seed = seed;
+      study::apply_platform_params(study_config.machine, ctx.params());
       RunningStats dropped;
       study::run_patterns_controlled(
           coordinator, executor,

@@ -11,6 +11,7 @@
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -35,6 +36,7 @@ int run(study::StudyContext& ctx) {
     int column = 0;
     for (TechniqueKind kind : workload_techniques()) {
       SingleAppTrialConfig config;
+      study::apply_platform_params(config.machine, ctx.params());
       config.app = AppSpec{app_type_by_name("D64"), 120000, 1440};
       config.technique = kind;
       config.resilience.node_mtbf = Duration::years(mtbf_years);

@@ -9,6 +9,7 @@
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -41,6 +42,7 @@ int run(study::StudyContext& ctx) {
          {TechniqueKind::kCheckpointRestart, TechniqueKind::kMultilevel,
           TechniqueKind::kParallelRecovery}) {
       SingleAppTrialConfig config;
+      study::apply_platform_params(config.machine, ctx.params());
       config.app = AppSpec{app_type_by_name("C32"), 30000, 1440};
       config.technique = kind;
       config.failure_distribution = dist;

@@ -10,6 +10,7 @@
 
 #include "core/workload_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -43,6 +44,7 @@ int run(study::StudyContext& ctx) {
       WorkloadStudyConfig study_config;
       study_config.patterns = patterns;
       study_config.seed = seed;
+      study::apply_platform_params(study_config.machine, ctx.params());
 
       // Run the combos manually so the engine flag can be set; the crash-safe
       // pattern loop journals each run under a per-cell batch label.

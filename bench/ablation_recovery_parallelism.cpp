@@ -9,6 +9,7 @@
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -28,6 +29,7 @@ int run(study::StudyContext& ctx) {
   Table table{{"P", "efficiency", "time recovering (mean)", "energy (node-s, mean)"}};
   for (double p : {1.0, 2.0, 4.0, 8.0, 16.0}) {
     SingleAppTrialConfig config;
+    study::apply_platform_params(config.machine, ctx.params());
     config.app = AppSpec{app_type_by_name("D64"), 120000, 1440};
     config.technique = TechniqueKind::kParallelRecovery;
     config.resilience.recovery_parallelism = p;

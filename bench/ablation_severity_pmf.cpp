@@ -11,6 +11,7 @@
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -38,6 +39,7 @@ int run(study::StudyContext& ctx) {
   Table table{{"severity PMF", "multilevel eff", "checkpoint-restart eff", "ML advantage"}};
   for (const auto& [name, weights] : pmfs) {
     SingleAppTrialConfig config;
+    study::apply_platform_params(config.machine, ctx.params());
     config.app = AppSpec{app_type_by_name("D64"), 30000, 1440};
     config.resilience.severity_weights = weights;
 

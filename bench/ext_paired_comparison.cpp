@@ -12,6 +12,7 @@
 #include "failure/severity.hpp"
 #include "resilience/planner.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -24,7 +25,8 @@ int run(study::StudyContext& ctx) {
   study::ObsCollector& collector = ctx.collector();
   study::RecoveryCoordinator& coordinator = ctx.recovery();
 
-  const MachineSpec machine = MachineSpec::exascale();
+  MachineSpec machine = MachineSpec::exascale();
+  study::apply_platform_params(machine, ctx.params());
   const auto nodes = static_cast<std::uint32_t>(ctx.params().real("system-share") *
                                                 machine.node_count);
   const AppSpec app{app_type_by_name(ctx.params().str("type")), nodes, 1440};

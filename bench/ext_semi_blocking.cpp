@@ -9,6 +9,7 @@
 #include "apps/app_type.hpp"
 #include "core/single_app_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -38,6 +39,7 @@ int run(study::StudyContext& ctx) {
                             Cell{TechniqueKind::kSemiBlockingCheckpoint, 0.5},
                             Cell{TechniqueKind::kSemiBlockingCheckpoint, 0.9}}) {
       SingleAppTrialConfig config;
+      study::apply_platform_params(config.machine, ctx.params());
       config.app = AppSpec{type, nodes, 1440};
       config.technique = cell.kind;
       config.resilience.semi_blocking_work_rate = cell.rate;

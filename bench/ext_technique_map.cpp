@@ -10,6 +10,7 @@
 #include "core/single_app_study.hpp"
 #include "resilience/selector.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -25,7 +26,8 @@ int run(study::StudyContext& ctx) {
 
   ResilienceConfig resilience;
   resilience.node_mtbf = Duration::years(mtbf_years);
-  const MachineSpec machine = MachineSpec::exascale();
+  MachineSpec machine = MachineSpec::exascale();
+  study::apply_platform_params(machine, ctx.params());
   const ResilienceSelector selector{machine, resilience};
 
   const std::vector<double> shares{0.01, 0.05, 0.10, 0.25, 0.50, 1.00};

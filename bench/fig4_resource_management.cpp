@@ -8,6 +8,7 @@
 #include "core/workload_study.hpp"
 #include "obs/profile.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -23,6 +24,7 @@ int run(study::StudyContext& ctx) {
   config.seed = ctx.seed();
   config.threads = ctx.threads();
   config.collect_metrics = obs.metrics();
+  study::apply_platform_params(config.machine, ctx.params());
 
   study::RecoveryCoordinator& coordinator = ctx.recovery();
   config.recovery = coordinator.options();

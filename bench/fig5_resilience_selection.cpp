@@ -8,6 +8,7 @@
 #include "core/workload_study.hpp"
 #include "obs/profile.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 
 namespace {
@@ -36,6 +37,7 @@ int run(study::StudyContext& ctx) {
     config.threads = threads;
     config.workload.bias = bias;
     config.collect_metrics = obs.metrics();
+    study::apply_platform_params(config.machine, ctx.params());
     config.recovery = coordinator.options();
     // One journal batch per bias: the four studies share index space.
     config.recovery_batch = std::string{"bias:"} + to_string(bias);

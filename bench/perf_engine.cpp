@@ -319,6 +319,33 @@ BENCHMARK(BM_FullStudyResilienceSelection)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_WorkloadFattreeStorm(benchmark::State& state) {
+  // Topology benchmark: one oversubscribed arrival pattern on the fat-tree
+  // platform, checkpoint/restart everywhere — the initial fill's first
+  // coordinated checkpoints all land on the queued PFS device at once (an
+  // 8-application checkpoint storm), exercising admission, fair-share rate
+  // recomputation and exact completion rescheduling under contention.
+  WorkloadStudyConfig study_config;
+  WorkloadEngineConfig engine;
+  engine.machine = study_config.machine;
+  engine.machine.platform.model = PlatformModelKind::kFattree;
+  engine.resilience = study_config.resilience;
+  engine.policy = TechniquePolicy::fixed_technique(TechniqueKind::kCheckpointRestart);
+  engine.scheduler = SchedulerKind::kSlack;
+  engine.seed = derive_seed(20170530, 0x656e67696eULL, 0);
+  const ArrivalPattern pattern = generate_pattern(study_config.workload, 20170530, 0);
+  std::uint64_t transfers = 0;
+  for (auto _ : state) {
+    const WorkloadRunResult result = run_workload(engine, pattern);
+    transfers += result.pfs_transfers;
+    benchmark::DoNotOptimize(result.dropped_fraction);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(transfers));
+  state.counters["pfs_transfers_per_second"] = benchmark::Counter(
+      static_cast<double>(transfers), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WorkloadFattreeStorm)->Unit(benchmark::kMillisecond);
+
 /// Prints the normal console table while also collecting every finished
 /// run for the JSON summary.
 class CapturingReporter : public benchmark::ConsoleReporter {

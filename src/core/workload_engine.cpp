@@ -10,7 +10,9 @@
 #include "failure/severity.hpp"
 #include "obs/trial_obs.hpp"
 #include "platform/machine.hpp"
+#include "platform/platform_model.hpp"
 #include "resilience/planner.hpp"
+#include "sim/pfs_device.hpp"
 #include "resilience/selector.hpp"
 #include "runtime/app_runtime.hpp"
 #include "runtime/transfer_service.hpp"
@@ -48,7 +50,19 @@ class WorkloadEngine final : public SchedulerContext {
           [this](const Failure& f, const Machine::Victim& v) { deliver_failure(f, v); },
           bursts);
     }
-    if (config_.model_pfs_contention) {
+    if (config_.machine.platform.model != PlatformModelKind::kFlat) {
+      XRES_CHECK(!config_.model_pfs_contention,
+                 "model_pfs_contention is the flat-model contention ablation; "
+                 "a non-flat platform model routes transfers through its own "
+                 "queued PFS device");
+      platform_model_ = make_platform_model(config_.machine);
+      pfs_device_.emplace(sim_, platform_model_->pfs_service_channels(),
+                          platform_model_->pfs_channel_bandwidth());
+      const Bandwidth aggregate =
+          platform_model_->pfs_channel_bandwidth() *
+          static_cast<double>(platform_model_->pfs_service_channels());
+      device_service_.emplace(*pfs_device_, aggregate);
+    } else if (config_.model_pfs_contention) {
       XRES_CHECK(config_.pfs_gateways > 0, "PFS gateway count must be positive");
       const Bandwidth per_stream =
           config_.machine.network.bandwidth *
@@ -56,6 +70,11 @@ class WorkloadEngine final : public SchedulerContext {
       pfs_channel_.emplace(sim_, per_stream * static_cast<double>(config_.pfs_gateways),
                            per_stream);
       pfs_service_.emplace(*pfs_channel_, per_stream);
+    }
+    if (config_.scheduler == SchedulerKind::kTopoPack) {
+      // Pack allocations under common leaf switches; inert for timing
+      // under the flat model but minimizes spanned uplinks under fattree.
+      machine_.set_placement_group(config_.machine.platform.fattree.leaf_radix);
     }
   }
 
@@ -103,6 +122,11 @@ class WorkloadEngine final : public SchedulerContext {
             : 0.0;
     result.selection_counts = selection_counts_;
     result.occupancy = std::move(occupancy_);
+    if (pfs_device_.has_value()) {
+      result.pfs_transfers = pfs_device_->completed_transfers();
+      result.pfs_measured_s = pfs_device_->measured_seconds();
+      result.pfs_nominal_s = pfs_device_->nominal_seconds();
+    }
     return result;
   }
 
@@ -129,11 +153,24 @@ class WorkloadEngine final : public SchedulerContext {
     }
 
     queue_wait_.add((sim_.now() - job.arrival).to_hours());
+    if (platform_model_ != nullptr) {
+      // Placement is now known: tighten each PFS level's rate cap to what
+      // the fat tree grants the actual allocated range (a fragmented or
+      // unaligned placement spans more switches and may inject less).
+      for (CheckpointLevelSpec& level : plan.levels) {
+        if (level.uses_shared_pfs && level.pfs_bytes > DataSize::zero()) {
+          level.pfs_rate_cap =
+              platform_model_->pfs_rate_cap_for_range(range->first, range->count);
+        }
+      }
+    }
     auto runtime = std::make_unique<ResilientAppRuntime>(
         sim_, std::move(plan),
         derive_seed(config_.seed, static_cast<std::uint64_t>(job.id), 0x61707021ULL),
         [this, id = job.id](const ExecutionResult& r) { on_runtime_finished(id, r); });
-    if (pfs_service_.has_value()) {
+    if (device_service_.has_value()) {
+      runtime->set_pfs_transfer_service(&*device_service_);
+    } else if (pfs_service_.has_value()) {
       runtime->set_pfs_transfer_service(&*pfs_service_);
     }
     runtime->set_observer(config_.obs);
@@ -284,6 +321,9 @@ class WorkloadEngine final : public SchedulerContext {
   std::optional<SystemFailureProcess> failures_;
   std::optional<SharedChannel> pfs_channel_;
   std::optional<SharedChannelTransferService> pfs_service_;
+  std::unique_ptr<PlatformModel> platform_model_;
+  std::optional<PfsDevice> pfs_device_;
+  std::optional<PfsDeviceTransferService> device_service_;
 
   std::vector<JobId> unmapped_;  // arrival order
   std::unordered_map<JobId, std::unique_ptr<ResilientAppRuntime>> running_;

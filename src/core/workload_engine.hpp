@@ -49,6 +49,8 @@ struct WorkloadEngineConfig {
   /// PFS-backed checkpoints/restarts from concurrent applications share a
   /// processor-sharing channel of capacity pfs_gateways × B_N × N_S (each
   /// application individually capped at its Eq.-3 rate B_N × N_S).
+  /// Mutually exclusive with a non-flat machine.platform.model, which
+  /// routes the same transfers through the queued PfsDevice instead.
   bool model_pfs_contention{false};
   std::uint32_t pfs_gateways{4};
 
@@ -83,6 +85,15 @@ struct WorkloadRunResult {
   std::map<TechniqueKind, std::uint32_t> selection_counts;
   /// Job tenancies (populated when record_occupancy is set).
   OccupancyLog occupancy;
+
+  /// Queued-PFS-device accounting (non-flat platform models only):
+  /// completed device transfers, their summed wall time (submit →
+  /// completion, including queueing and link caps) and their summed
+  /// closed-form Eq.-3 nominal time. measured / nominal is the run's
+  /// emergent divergence from the analytic contention model.
+  std::uint64_t pfs_transfers{0};
+  double pfs_measured_s{0.0};
+  double pfs_nominal_s{0.0};
 };
 
 /// Execute one pattern to completion.

@@ -65,6 +65,15 @@ void write_run(JsonWriter& w, const WorkloadRunResult& r) {
     w.end_array();
   }
   w.end_array();
+  // Queued-PFS-device accounting, emitted only when a device ran (non-flat
+  // platforms): flat-platform payloads stay byte-identical to older builds.
+  if (r.pfs_transfers > 0) {
+    w.key("pfs").begin_array();
+    w.value(r.pfs_transfers);
+    w.value(r.pfs_measured_s);
+    w.value(r.pfs_nominal_s);
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -90,6 +99,13 @@ WorkloadRunResult read_run(const JsonValue& v) {
     }
     r.selection_counts[static_cast<TechniqueKind>(kind)] =
         static_cast<std::uint32_t>(kc[1].as_u64());
+  }
+  if (const JsonValue* pfs = v.find("pfs"); pfs != nullptr) {
+    const std::vector<JsonValue>& a = pfs->as_array();
+    if (a.size() != 3) throw JsonParseError{"pfs array must have 3 entries"};
+    r.pfs_transfers = a[0].as_u64();
+    r.pfs_measured_s = a[1].as_double();
+    r.pfs_nominal_s = a[2].as_double();
   }
   return r;
 }

@@ -67,6 +67,9 @@ std::string to_ledger_json(const RunRecord& record) {
   if (!record.manifest_crc.empty()) {
     w.key("manifest_crc").value(record.manifest_crc);
   }
+  if (!record.platform_crc.empty()) {
+    w.key("platform_crc").value(record.platform_crc);
+  }
   w.end_object();
   return w.str();
 }

@@ -41,6 +41,11 @@ struct RunRecord {
   std::uint64_t peak_rss{0};      ///< bytes
   std::string metrics_crc;   ///< crc32 hex of the --metrics file ("" if none)
   std::string manifest_crc;  ///< crc32 hex of the suite manifest ("" if none)
+  /// CRC-32 hex over the `platform.*` params (key=value\n, key-sorted):
+  /// the topology identity of the run. Two runs with differing digests
+  /// executed on different modeled platforms, so `xres compare` warns
+  /// (but does not fail) before diffing their artifacts.
+  std::string platform_crc;
 };
 
 /// Record JSON (unframed) for \p record — `{"ledger":"xres-run-v1",...}`.

@@ -29,6 +29,56 @@ std::optional<NodeRange> NodeAllocator::allocate(std::uint32_t count) {
   return std::nullopt;
 }
 
+std::optional<NodeRange> NodeAllocator::allocate_grouped(std::uint32_t count,
+                                                         std::uint32_t group_size) {
+  XRES_CHECK(count > 0, "cannot allocate zero nodes");
+  if (group_size <= 1) return allocate(count);
+
+  const auto spanned = [group_size, count](std::uint32_t start) {
+    return (start + count - 1) / group_size - start / group_size + 1;
+  };
+
+  bool found = false;
+  std::uint32_t best_start = 0;
+  std::uint32_t best_spanned = 0;
+  for (const auto& [first, len] : free_blocks_) {
+    if (len < count) continue;
+    // Candidate 1: block start.
+    if (!found || spanned(first) < best_spanned) {
+      found = true;
+      best_start = first;
+      best_spanned = spanned(first);
+    }
+    // Candidate 2: first group boundary inside the block, if the range
+    // still fits behind it.
+    const std::uint32_t aligned = ((first + group_size - 1) / group_size) * group_size;
+    if (aligned > first && aligned + count <= first + len &&
+        spanned(aligned) < best_spanned) {
+      best_start = aligned;
+      best_spanned = spanned(aligned);
+    }
+  }
+  if (!found) return std::nullopt;
+
+  // Carve [best_start, best_start + count) out of its free block.
+  auto it = free_blocks_.upper_bound(best_start);
+  XRES_CHECK(it != free_blocks_.begin(), "grouped placement lost its free block");
+  --it;
+  const std::uint32_t block_first = it->first;
+  const std::uint32_t block_len = it->second;
+  XRES_CHECK(best_start >= block_first && best_start + count <= block_first + block_len,
+             "grouped placement outside its free block");
+  free_blocks_.erase(it);
+  if (best_start > block_first) {
+    free_blocks_.emplace(block_first, best_start - block_first);
+  }
+  const std::uint32_t tail_first = best_start + count;
+  const std::uint32_t tail_len = block_first + block_len - tail_first;
+  if (tail_len > 0) free_blocks_.emplace(tail_first, tail_len);
+  free_total_ -= count;
+  return NodeRange{best_start, count};
+}
+
 void NodeAllocator::release(NodeRange range) {
   XRES_CHECK(range.count > 0, "cannot release an empty range");
   XRES_CHECK(range.end() <= capacity_, "release beyond machine capacity");

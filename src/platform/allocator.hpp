@@ -37,6 +37,16 @@ class NodeAllocator {
   /// address). Returns nullopt when no free block is large enough.
   std::optional<NodeRange> allocate(std::uint32_t count);
 
+  /// Topology-aware variant: among feasible placements, pick one touching
+  /// the fewest distinct \p group_size-aligned node groups (leaf switches
+  /// of the fat tree), tie-broken by lowest address. Considered placements
+  /// per free block: the block start and the first group boundary inside
+  /// it — aligning to a boundary can only reduce the spanned-group count
+  /// further, so this covers the optimum. group_size <= 1 degrades to
+  /// plain first fit.
+  std::optional<NodeRange> allocate_grouped(std::uint32_t count,
+                                            std::uint32_t group_size);
+
   /// Return a previously allocated range. Throws CheckError if the range
   /// was not allocated (double free / overlap detection).
   void release(NodeRange range);

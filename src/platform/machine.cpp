@@ -8,7 +8,8 @@ Machine::Machine(MachineSpec spec) : spec_{spec}, allocator_{spec.node_count} {
 
 std::optional<NodeRange> Machine::allocate(std::uint32_t count, OwnerId owner) {
   XRES_CHECK(!by_owner_.contains(owner), "owner already holds an allocation");
-  auto range = allocator_.allocate(count);
+  auto range = placement_group_ > 1 ? allocator_.allocate_grouped(count, placement_group_)
+                                    : allocator_.allocate(count);
   if (!range.has_value()) return std::nullopt;
   by_first_node_.emplace(range->first, std::make_pair(range->count, owner));
   by_owner_.emplace(owner, *range);

@@ -36,6 +36,13 @@ class Machine {
   /// Release \p owner's allocation. Throws if the owner holds none.
   void release(OwnerId owner);
 
+  /// Topology-aware placement: subsequent allocations minimize the number
+  /// of distinct \p group_size-aligned node groups (fat-tree leaf
+  /// switches) they span instead of plain first fit. 0 or 1 restores the
+  /// default policy.
+  void set_placement_group(std::uint32_t group_size) { placement_group_ = group_size; }
+  [[nodiscard]] std::uint32_t placement_group() const { return placement_group_; }
+
   /// The allocation currently held by \p owner, if any.
   [[nodiscard]] std::optional<NodeRange> allocation_of(OwnerId owner) const;
 
@@ -72,6 +79,7 @@ class Machine {
  private:
   MachineSpec spec_;
   NodeAllocator allocator_;
+  std::uint32_t placement_group_{0};
   /// Allocation index, ordered by first node (for victim lookup).
   std::map<std::uint32_t, std::pair<std::uint32_t, OwnerId>> by_first_node_;
   std::map<OwnerId, NodeRange> by_owner_;

@@ -1,0 +1,54 @@
+#include "platform/platform_model.hpp"
+
+#include "platform/fattree.hpp"
+#include "platform/transfer.hpp"
+#include "util/check.hpp"
+
+namespace xres {
+
+Duration FlatPlatformModel::pfs_transfer_time(DataSize memory_per_node,
+                                              std::uint32_t app_nodes) const {
+  return pfs_checkpoint_time(memory_per_node, app_nodes, machine_.network);
+}
+
+Bandwidth FlatPlatformModel::pfs_effective_bandwidth(std::uint32_t app_nodes) const {
+  XRES_CHECK(app_nodes > 0, "application must use at least one node");
+  // Eq. 3 rearranged: total bytes N_a·N_m over T = (N_m/B_N)(N_a/N_S)
+  // gives B_N · N_S regardless of application size.
+  return machine_.network.bandwidth *
+         static_cast<double>(machine_.network.switch_connections);
+}
+
+Bandwidth FlatPlatformModel::pfs_rate_cap_for_range(std::uint32_t /*first_node*/,
+                                                    std::uint32_t count) const {
+  return pfs_effective_bandwidth(count);
+}
+
+Duration FlatPlatformModel::local_memory_time(DataSize memory_per_node) const {
+  return local_memory_checkpoint_time(memory_per_node, machine_.node);
+}
+
+Duration FlatPlatformModel::partner_copy_time(DataSize memory_per_node) const {
+  return partner_copy_checkpoint_time(memory_per_node, machine_.node,
+                                      machine_.network);
+}
+
+std::uint32_t FlatPlatformModel::pfs_service_channels() const {
+  return machine_.network.switch_connections;
+}
+
+Bandwidth FlatPlatformModel::pfs_channel_bandwidth() const {
+  return machine_.network.bandwidth;
+}
+
+std::unique_ptr<PlatformModel> make_platform_model(const MachineSpec& machine) {
+  switch (machine.platform.model) {
+    case PlatformModelKind::kFlat:
+      return std::make_unique<FlatPlatformModel>(machine);
+    case PlatformModelKind::kFattree:
+      return std::make_unique<FatTreePlatformModel>(machine);
+  }
+  XRES_CHECK(false, "unhandled platform model kind");
+}
+
+}  // namespace xres

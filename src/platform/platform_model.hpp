@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file platform_model.hpp
+/// Pluggable platform data-movement model (docs/PLATFORM.md).
+///
+/// Historically the planner called the Eq. 3/5/6 free functions in
+/// transfer.hpp directly, so the machine was three constants (L, B_N, N_S)
+/// and PFS contention was an analytic assumption. A PlatformModel answers
+/// the same questions behind an interface so a topology-aware
+/// implementation (fattree.hpp) can report *effective* bandwidths derived
+/// from link capacities and placement instead:
+///
+///  * `flat` (FlatPlatformModel, the default) delegates bit-identically to
+///    the transfer.hpp free functions — every pre-topology artifact is
+///    unchanged.
+///  * `fattree` (FatTreePlatformModel) computes an application's injection
+///    bandwidth from the k-ary fat-tree it spans and caps it by the queued
+///    PFS device's aggregate service bandwidth (sim/pfs_device.hpp).
+///
+/// The planner consumes `pfs_transfer_time` / `*_time` when building
+/// plans; the workload engine additionally consumes
+/// `pfs_rate_cap_for_range` to account for the actual allocated node range
+/// once placement is known.
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/spec.hpp"
+#include "util/units.hpp"
+
+namespace xres {
+
+class PlatformModel {
+ public:
+  virtual ~PlatformModel() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Time for an N_a-node application to write (or read) a coordinated
+  /// checkpoint of \p memory_per_node per node to the PFS, with the
+  /// machine otherwise idle (Eq. 3 for the flat model).
+  [[nodiscard]] virtual Duration pfs_transfer_time(DataSize memory_per_node,
+                                                   std::uint32_t app_nodes) const = 0;
+
+  /// Aggregate application→PFS bandwidth behind `pfs_transfer_time`
+  /// (total bytes / time). Flat: B_N · N_S independent of app size.
+  [[nodiscard]] virtual Bandwidth pfs_effective_bandwidth(std::uint32_t app_nodes) const = 0;
+
+  /// Placement-aware cap on the aggregate PFS rate for an application
+  /// allocated nodes [first, first + count): the minimum over fat-tree
+  /// levels of spanned-subtree uplink capacity. The flat model has no
+  /// topology, so this equals `pfs_effective_bandwidth(count)`.
+  [[nodiscard]] virtual Bandwidth pfs_rate_cap_for_range(std::uint32_t first_node,
+                                                         std::uint32_t count) const = 0;
+
+  /// Eq. 5: level-1 checkpoint to node-local RAM.
+  [[nodiscard]] virtual Duration local_memory_time(DataSize memory_per_node) const = 0;
+
+  /// Eq. 6: level-2 checkpoint to a contiguous partner node.
+  [[nodiscard]] virtual Duration partner_copy_time(DataSize memory_per_node) const = 0;
+
+  /// Service channels of the shared PFS device (N_S for both models unless
+  /// overridden via platform.pfs.channels).
+  [[nodiscard]] virtual std::uint32_t pfs_service_channels() const = 0;
+
+  /// Bandwidth of one PFS service channel (aggregate device bandwidth =
+  /// channels × this).
+  [[nodiscard]] virtual Bandwidth pfs_channel_bandwidth() const = 0;
+};
+
+/// The paper's closed-form model: Eq. 3/5/6 verbatim.
+class FlatPlatformModel final : public PlatformModel {
+ public:
+  explicit FlatPlatformModel(const MachineSpec& machine) : machine_{machine} {}
+
+  [[nodiscard]] const char* name() const override { return "flat"; }
+  [[nodiscard]] Duration pfs_transfer_time(DataSize memory_per_node,
+                                           std::uint32_t app_nodes) const override;
+  [[nodiscard]] Bandwidth pfs_effective_bandwidth(std::uint32_t app_nodes) const override;
+  [[nodiscard]] Bandwidth pfs_rate_cap_for_range(std::uint32_t first_node,
+                                                 std::uint32_t count) const override;
+  [[nodiscard]] Duration local_memory_time(DataSize memory_per_node) const override;
+  [[nodiscard]] Duration partner_copy_time(DataSize memory_per_node) const override;
+  [[nodiscard]] std::uint32_t pfs_service_channels() const override;
+  [[nodiscard]] Bandwidth pfs_channel_bandwidth() const override;
+
+ private:
+  MachineSpec machine_;
+};
+
+/// Builds the model selected by \p machine.platform.model.
+[[nodiscard]] std::unique_ptr<PlatformModel> make_platform_model(const MachineSpec& machine);
+
+}  // namespace xres

@@ -33,11 +33,49 @@ struct NetworkSpec {
   std::uint32_t switch_connections{12};  ///< N_S: simultaneous connections per switch
 };
 
+/// Which platform model answers data-movement questions
+/// (platform/platform_model.hpp).
+enum class PlatformModelKind {
+  kFlat,     ///< the paper's closed-form constants (Eq. 3/5/6), the default
+  kFattree,  ///< k-ary fat-tree zone + queued PFS device
+};
+
+[[nodiscard]] const char* to_string(PlatformModelKind kind);
+/// Parses "flat" / "fattree"; throws CheckError naming the value otherwise.
+[[nodiscard]] PlatformModelKind platform_model_from_string(const std::string& name);
+
+/// Parameters of the fat-tree interconnect zone (used when
+/// `PlatformSpec::model == kFattree`).
+struct FatTreeParams {
+  /// Nodes per leaf switch (the tree's arity k). The exascale default
+  /// mirrors N_S so a full leaf exactly saturates its uplink.
+  std::uint32_t leaf_radix{12};
+  /// Per-level uplink taper: a level-l subtree's uplink carries
+  /// N_S · B_N · taper^(l-1). 1.0 = full bisection (non-blocking).
+  double taper{1.0};
+  /// PFS service channels (spindles/gateway streams); 0 = use N_S.
+  std::uint32_t pfs_channels{0};
+};
+
+/// Platform-model selection, carried by MachineSpec. The default (`flat`)
+/// leaves every artifact byte-identical to the pre-topology code.
+struct PlatformSpec {
+  PlatformModelKind model{PlatformModelKind::kFlat};
+  FatTreeParams fattree{};
+
+  /// Validates topology parameters; throws CheckError otherwise.
+  void validate() const;
+
+  /// Short parenthesized summary, e.g. "fattree(radix=12,taper=1.00,pfs=12)".
+  [[nodiscard]] std::string describe() const;
+};
+
 /// The whole machine.
 struct MachineSpec {
   NodeSpec node{};
   NetworkSpec network{};
   std::uint32_t node_count{120000};
+  PlatformSpec platform{};
 
   /// The paper's exascale system (defaults above).
   [[nodiscard]] static MachineSpec exascale();

@@ -30,6 +30,13 @@ struct CheckpointLevelSpec {
   /// system: under a contention-modeling engine these transfers share PFS
   /// bandwidth with other applications (RAM/partner levels never do).
   bool uses_shared_pfs{false};
+  /// Topology-aware transfer description (platform/platform_model.hpp),
+  /// filled by the planner for PFS-backed levels: total checkpoint bytes
+  /// across the application and the aggregate rate the interconnect grants
+  /// it. Zero under the flat model — the nominal costs above are taken
+  /// literally (byte-identical legacy behavior).
+  DataSize pfs_bytes{DataSize::zero()};
+  Bandwidth pfs_rate_cap{Bandwidth::bytes_per_second(0.0)};
 };
 
 struct ExecutionPlan {

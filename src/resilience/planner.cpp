@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "platform/transfer.hpp"
+#include "platform/platform_model.hpp"
 #include "resilience/interval.hpp"
 #include "resilience/multilevel.hpp"
 #include "util/check.hpp"
@@ -31,6 +31,18 @@ SeverityLevel max_severity(const ResilienceConfig& config) {
   return static_cast<SeverityLevel>(config.severity_weights.size());
 }
 
+/// Attach the topology-aware transfer description to a PFS-backed level.
+/// Intentionally a no-op under the flat model: legacy engines convert the
+/// nominal duration themselves and must stay byte-identical.
+void fill_pfs_transfer(CheckpointLevelSpec& level, const AppSpec& app,
+                       const MachineSpec& machine, const PlatformModel& model,
+                       const ResilienceConfig& config) {
+  if (machine.platform.model == PlatformModelKind::kFlat) return;
+  level.pfs_bytes =
+      checkpoint_image(app, config) * static_cast<double>(app.nodes);
+  level.pfs_rate_cap = model.pfs_effective_bandwidth(app.nodes);
+}
+
 ExecutionPlan base_plan(TechniqueKind kind, const AppSpec& app,
                         const ResilienceConfig& config) {
   ExecutionPlan plan;
@@ -53,12 +65,14 @@ ExecutionPlan plan_none(const AppSpec& app, const ResilienceConfig& config) {
 }
 
 ExecutionPlan plan_checkpoint_restart(const AppSpec& app, const MachineSpec& machine,
+                                      const PlatformModel& model,
                                       const ResilienceConfig& config) {
   ExecutionPlan plan = base_plan(TechniqueKind::kCheckpointRestart, app, config);
   const Duration cost =
-      pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+      model.pfs_transfer_time(checkpoint_image(app, config), app.nodes);
   plan.levels = {
       CheckpointLevelSpec{cost, cost, max_severity(config), /*uses_shared_pfs=*/true}};
+  fill_pfs_transfer(plan.levels.back(), app, machine, model, config);
   plan.nesting = {1};
   plan.checkpoint_quantum = daly_interval(cost, plan.failure_rate);
   plan.adaptive_interval = config.adaptive_interval;
@@ -66,15 +80,17 @@ ExecutionPlan plan_checkpoint_restart(const AppSpec& app, const MachineSpec& mac
 }
 
 ExecutionPlan plan_semi_blocking(const AppSpec& app, const MachineSpec& machine,
+                                 const PlatformModel& model,
                                  const ResilienceConfig& config) {
   // Like checkpoint/restart, but execution continues at rate σ while the
   // checkpoint drains: the effective blocked time per checkpoint is
   // C·(1 − σ), which is what Eq. 4 should optimize against.
   ExecutionPlan plan = base_plan(TechniqueKind::kSemiBlockingCheckpoint, app, config);
   const Duration cost =
-      pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+      model.pfs_transfer_time(checkpoint_image(app, config), app.nodes);
   plan.levels = {
       CheckpointLevelSpec{cost, cost, max_severity(config), /*uses_shared_pfs=*/true}};
+  fill_pfs_transfer(plan.levels.back(), app, machine, model, config);
   plan.nesting = {1};
   plan.checkpoint_work_rate = config.semi_blocking_work_rate;
   const Duration effective_cost = cost * (1.0 - plan.checkpoint_work_rate);
@@ -84,16 +100,16 @@ ExecutionPlan plan_semi_blocking(const AppSpec& app, const MachineSpec& machine,
 }
 
 ExecutionPlan plan_multilevel(const AppSpec& app, const MachineSpec& machine,
+                              const PlatformModel& model,
                               const ResilienceConfig& config) {
   ExecutionPlan plan = base_plan(TechniqueKind::kMultilevel, app, config);
 
   // Level costs: RAM (Eq. 5), partner copy (Eq. 6), PFS (Eq. 3), matched to
   // however many severity levels are configured (highest levels first when
   // fewer than three are in play).
-  const Duration l1 = local_memory_checkpoint_time(checkpoint_image(app, config), machine.node);
-  const Duration l2 =
-      partner_copy_checkpoint_time(checkpoint_image(app, config), machine.node, machine.network);
-  const Duration l3 = pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+  const Duration l1 = model.local_memory_time(checkpoint_image(app, config));
+  const Duration l2 = model.partner_copy_time(checkpoint_image(app, config));
+  const Duration l3 = model.pfs_transfer_time(checkpoint_image(app, config), app.nodes);
   const int severity_levels = max_severity(config);
   XRES_CHECK(severity_levels <= 3, "multilevel planner supports at most 3 severity levels");
   std::vector<Duration> costs;
@@ -117,6 +133,9 @@ ExecutionPlan plan_multilevel(const AppSpec& app, const MachineSpec& machine,
         CheckpointLevelSpec{costs[static_cast<std::size_t>(i)],
                             costs[static_cast<std::size_t>(i)],
                             static_cast<SeverityLevel>(i + 1), is_pfs_level});
+    if (is_pfs_level) {
+      fill_pfs_transfer(plan.levels.back(), app, machine, model, config);
+    }
     level_rates.push_back(plan.failure_rate * pmf);
   }
 
@@ -128,7 +147,9 @@ ExecutionPlan plan_multilevel(const AppSpec& app, const MachineSpec& machine,
 }
 
 ExecutionPlan plan_parallel_recovery(const AppSpec& app, const MachineSpec& machine,
+                                     const PlatformModel& model,
                                      const ResilienceConfig& config) {
+  (void)machine;
   ExecutionPlan plan = base_plan(TechniqueKind::kParallelRecovery, app, config);
   // Eq. 7: message logging stretches the baseline by µ.
   const double mu = message_logging_slowdown(app.type, config);
@@ -137,8 +158,7 @@ ExecutionPlan plan_parallel_recovery(const AppSpec& app, const MachineSpec& mach
 
   // In-memory double checkpoint (Zheng et al. [33]) behaves like the
   // level-2 partner copy (Section IV-D).
-  const Duration cost =
-      partner_copy_checkpoint_time(checkpoint_image(app, config), machine.node, machine.network);
+  const Duration cost = model.partner_copy_time(checkpoint_image(app, config));
   plan.levels = {CheckpointLevelSpec{cost, cost, max_severity(config)}};
   plan.nesting = {1};
   plan.checkpoint_quantum = daly_interval(cost, plan.failure_rate);
@@ -149,7 +169,8 @@ ExecutionPlan plan_parallel_recovery(const AppSpec& app, const MachineSpec& mach
 }
 
 ExecutionPlan plan_redundancy(TechniqueKind kind, const AppSpec& app,
-                              const MachineSpec& machine, const ResilienceConfig& config) {
+                              const MachineSpec& machine, const PlatformModel& model,
+                              const ResilienceConfig& config) {
   const double degree = kind == TechniqueKind::kRedundancyFull
                             ? config.full_redundancy
                             : config.partial_redundancy;
@@ -169,9 +190,10 @@ ExecutionPlan plan_redundancy(TechniqueKind kind, const AppSpec& app,
       Rate::one_per(config.node_mtbf) * static_cast<double>(plan.physical_nodes);
 
   const Duration cost =
-      pfs_checkpoint_time(checkpoint_image(app, config), app.nodes, machine.network);
+      model.pfs_transfer_time(checkpoint_image(app, config), app.nodes);
   plan.levels = {
       CheckpointLevelSpec{cost, cost, max_severity(config), /*uses_shared_pfs=*/true}};
+  fill_pfs_transfer(plan.levels.back(), app, machine, model, config);
   plan.nesting = {1};
 
   // Only replica-exhausting failures force a rollback, so the optimal
@@ -203,26 +225,30 @@ ExecutionPlan make_plan(TechniqueKind kind, const AppSpec& app, const MachineSpe
                  kind == TechniqueKind::kRedundancyFull,
              "application larger than machine");
 
+  // All data-movement costs go through the machine's platform model; the
+  // flat model delegates to the Eq. 3/5/6 free functions bit-identically.
+  const std::unique_ptr<PlatformModel> model = make_platform_model(machine);
+
   ExecutionPlan plan;
   switch (kind) {
     case TechniqueKind::kNone:
       plan = plan_none(app, config);
       break;
     case TechniqueKind::kCheckpointRestart:
-      plan = plan_checkpoint_restart(app, machine, config);
+      plan = plan_checkpoint_restart(app, machine, *model, config);
       break;
     case TechniqueKind::kSemiBlockingCheckpoint:
-      plan = plan_semi_blocking(app, machine, config);
+      plan = plan_semi_blocking(app, machine, *model, config);
       break;
     case TechniqueKind::kMultilevel:
-      plan = plan_multilevel(app, machine, config);
+      plan = plan_multilevel(app, machine, *model, config);
       break;
     case TechniqueKind::kParallelRecovery:
-      plan = plan_parallel_recovery(app, machine, config);
+      plan = plan_parallel_recovery(app, machine, *model, config);
       break;
     case TechniqueKind::kRedundancyPartial:
     case TechniqueKind::kRedundancyFull:
-      plan = plan_redundancy(kind, app, machine, config);
+      plan = plan_redundancy(kind, app, machine, *model, config);
       break;
   }
   if (app.nodes > machine.node_count) plan.feasible = false;

@@ -11,6 +11,7 @@ const char* to_string(SchedulerKind kind) {
     case SchedulerKind::kSlack: return "Slack";
     case SchedulerKind::kFirstFit: return "FirstFit";
     case SchedulerKind::kSjf: return "SJF";
+    case SchedulerKind::kTopoPack: return "TopoPack";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
     case SchedulerKind::kSlack: return std::make_unique<SlackScheduler>();
     case SchedulerKind::kFirstFit: return std::make_unique<FirstFitScheduler>();
     case SchedulerKind::kSjf: return std::make_unique<SjfScheduler>();
+    case SchedulerKind::kTopoPack: return std::make_unique<TopoPackScheduler>();
   }
   XRES_CHECK(false, "unhandled scheduler kind");
 }
@@ -42,7 +44,7 @@ const std::vector<SchedulerKind>& all_schedulers() {
 const std::vector<SchedulerKind>& extended_schedulers() {
   static const std::vector<SchedulerKind> kinds{
       SchedulerKind::kFcfs, SchedulerKind::kRandom, SchedulerKind::kSlack,
-      SchedulerKind::kFirstFit, SchedulerKind::kSjf};
+      SchedulerKind::kFirstFit, SchedulerKind::kSjf, SchedulerKind::kTopoPack};
   return kinds;
 }
 

@@ -107,7 +107,22 @@ class SjfScheduler final : public Scheduler {
            Pcg32& rng) override;
 };
 
-enum class SchedulerKind { kFcfs, kRandom, kSlack, kFirstFit, kSjf };
+/// Extension beyond the paper: topology-aware packing. Jobs are attempted
+/// largest-first (ties broken by arrival order) so big applications claim
+/// aligned contiguous regions before fragmentation sets in; the engine
+/// additionally switches the machine to grouped placement
+/// (Machine::set_placement_group with the fat-tree leaf radix) so every
+/// allocation spans as few leaf switches as possible. Under the flat model
+/// the placement is inert and TopoPack behaves like a largest-first
+/// backfilling FirstFit.
+class TopoPackScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "TopoPack"; }
+  void map(const std::vector<const Job*>& pending, SchedulerContext& ctx,
+           Pcg32& rng) override;
+};
+
+enum class SchedulerKind { kFcfs, kRandom, kSlack, kFirstFit, kSjf, kTopoPack };
 
 [[nodiscard]] const char* to_string(SchedulerKind kind);
 [[nodiscard]] SchedulerKind scheduler_from_string(const std::string& name);

@@ -1,0 +1,21 @@
+#include <algorithm>
+
+#include "rm/scheduler.hpp"
+
+namespace xres {
+
+void TopoPackScheduler::map(const std::vector<const Job*>& pending,
+                            SchedulerContext& ctx, Pcg32& /*rng*/) {
+  // Largest applications first: they need the big aligned regions, and
+  // placing them before smaller jobs fragment the machine keeps their
+  // spanned-switch count (and hence their fat-tree injection cap) minimal.
+  std::vector<const Job*> order = pending;
+  std::stable_sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    return a->spec.nodes > b->spec.nodes;
+  });
+  for (const Job* job : order) {
+    ctx.try_start(*job);
+  }
+}
+
+}  // namespace xres

@@ -184,7 +184,13 @@ void ResilientAppRuntime::schedule_phase(Duration nominal, bool shared_pfs,
   };
   if (shared_pfs && pfs_service_ != nullptr) {
     if (obs_ != nullptr) obs_->count(obs::builtin_metrics().pfs_phases);
-    pending_transfer_ = pfs_service_->begin(nominal, std::move(wrapped));
+    // phase_level_ is always current here: shared_pfs phases are entered
+    // only from enter_checkpointing / enter_restarting, which set it.
+    TransferRequest request;
+    request.nominal = nominal;
+    request.bytes = plan_.levels[phase_level_].pfs_bytes;
+    request.rate_cap = plan_.levels[phase_level_].pfs_rate_cap;
+    pending_transfer_ = pfs_service_->begin(request, std::move(wrapped));
     pending_is_transfer_ = true;
   } else {
     pending_ = sim_.schedule_after(nominal, std::move(wrapped));

@@ -32,4 +32,36 @@ void SharedChannelTransferService::cancel(TransferHandle handle) {
   channel_.cancel(handle);
 }
 
+PfsDeviceTransferService::PfsDeviceTransferService(PfsDevice& device,
+                                                   Bandwidth aggregate)
+    : device_{device}, aggregate_bps_{aggregate.to_bytes_per_second()} {
+  XRES_CHECK(aggregate_bps_ > 0.0, "aggregate device bandwidth must be positive");
+}
+
+TransferService::TransferHandle PfsDeviceTransferService::begin(
+    Duration nominal, CompletionCallback on_complete) {
+  TransferRequest request;
+  request.nominal = nominal;
+  return begin(request, std::move(on_complete));
+}
+
+TransferService::TransferHandle PfsDeviceTransferService::begin(
+    const TransferRequest& request, CompletionCallback on_complete) {
+  XRES_CHECK(request.nominal >= Duration::zero(),
+             "transfer duration must be non-negative");
+  DataSize bytes = request.bytes;
+  Bandwidth cap = request.rate_cap;
+  if (!request.has_topology_info()) {
+    // Legacy plan: reconstruct bytes so a lone transfer at the aggregate
+    // rate takes exactly its nominal time.
+    bytes = DataSize::bytes(request.nominal.to_seconds() * aggregate_bps_);
+    cap = Bandwidth::bytes_per_second(aggregate_bps_);
+  }
+  return device_.begin_transfer(bytes, cap, request.nominal, std::move(on_complete));
+}
+
+void PfsDeviceTransferService::cancel(TransferHandle handle) {
+  device_.cancel(handle);
+}
+
 }  // namespace xres

@@ -14,11 +14,27 @@
 
 #include <cstdint>
 
+#include "sim/pfs_device.hpp"
 #include "sim/shared_channel.hpp"
 #include "sim/simulation.hpp"
 #include "util/units.hpp"
 
 namespace xres {
+
+/// Everything the platform model knows about one checkpoint transfer.
+/// `nominal` is always set (the plan's closed-form duration); `bytes` and
+/// `rate_cap` are set when the plan was built by a topology-aware model
+/// (resilience/plan.hpp) so a queued device can serve actual data at the
+/// application's injection bandwidth.
+struct TransferRequest {
+  Duration nominal{Duration::zero()};
+  DataSize bytes{DataSize::zero()};
+  Bandwidth rate_cap{Bandwidth::bytes_per_second(0.0)};
+
+  [[nodiscard]] bool has_topology_info() const {
+    return bytes > DataSize::zero() && rate_cap > Bandwidth::bytes_per_second(0.0);
+  }
+};
 
 class TransferService {
  public:
@@ -30,6 +46,15 @@ class TransferService {
   /// Start a transfer whose uncontended duration is \p nominal; the
   /// callback fires when it completes (possibly later under load).
   virtual TransferHandle begin(Duration nominal, CompletionCallback on_complete) = 0;
+
+  /// Start a transfer described by \p request. The default implementation
+  /// ignores topology info and delegates to the nominal-duration overload;
+  /// topology-aware services (PfsDeviceTransferService) serve the actual
+  /// bytes at the request's rate cap instead.
+  virtual TransferHandle begin(const TransferRequest& request,
+                               CompletionCallback on_complete) {
+    return begin(request.nominal, std::move(on_complete));
+  }
 
   /// Abort an in-flight transfer (no-op if already complete).
   virtual void cancel(TransferHandle handle) = 0;
@@ -61,6 +86,28 @@ class SharedChannelTransferService final : public TransferService {
  private:
   SharedChannel& channel_;
   double per_stream_cap_bps_;
+};
+
+/// Routes transfers through a queued PfsDevice (sim/pfs_device.hpp): FIFO
+/// admission to N_S service channels, fair-shared aggregate bandwidth,
+/// per-transfer rate caps from the interconnect model. Requests without
+/// topology info (bytes/rate_cap unset) fall back to converting the
+/// nominal duration to bytes at the device's aggregate rate.
+class PfsDeviceTransferService final : public TransferService {
+ public:
+  /// \p device must outlive the service. \p aggregate is the device's
+  /// total service bandwidth (channels × channel bandwidth), used both as
+  /// the fallback byte conversion rate and the fallback rate cap.
+  PfsDeviceTransferService(PfsDevice& device, Bandwidth aggregate);
+
+  TransferHandle begin(Duration nominal, CompletionCallback on_complete) override;
+  TransferHandle begin(const TransferRequest& request,
+                       CompletionCallback on_complete) override;
+  void cancel(TransferHandle handle) override;
+
+ private:
+  PfsDevice& device_;
+  double aggregate_bps_;
 };
 
 }  // namespace xres

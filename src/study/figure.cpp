@@ -5,6 +5,7 @@
 
 #include "core/report.hpp"
 #include "obs/profile.hpp"
+#include "study/platform_params.hpp"
 #include "util/barchart.hpp"
 
 namespace xres::study {
@@ -24,6 +25,7 @@ int run_efficiency_figure(const std::string& title, EfficiencyStudyConfig config
   config.threads = options.threads;
   config.collect_metrics = options.obs.metrics();
   config.collect_trace = options.obs.trace();
+  apply_platform_params(config.machine, ctx.params());
 
   std::printf("%s\n", title.c_str());
   std::printf("machine: %s\n", config.machine.describe().c_str());

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "study/platform_params.hpp"
 #include "util/check.hpp"
 
 namespace xres::study {
@@ -206,6 +207,9 @@ void StudyRegistry::add(StudyDefinition def) {
   XRES_CHECK(!def.description.empty(), "study '" + def.name + "' needs a description");
   XRES_CHECK(def.run != nullptr, "study '" + def.name + "' needs a run function");
   XRES_CHECK(find(def.name) == nullptr, "duplicate study name: " + def.name);
+  // Every study answers `--platform.*` (platform_params.hpp); studies that
+  // pre-declared one of the keys keep their own spec.
+  add_platform_params(def.params);
   for (const ParamSpec& p : def.params) {
     validate_param_value(p, p.default_value);
   }

@@ -201,6 +201,9 @@ class ParamSet {
     return values_;
   }
 
+  /// The bound schema (null for a default-constructed set).
+  [[nodiscard]] const ParamSchema* schema() const { return schema_; }
+
  private:
   const ParamSchema* schema_{nullptr};
   std::string owner_;

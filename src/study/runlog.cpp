@@ -100,6 +100,9 @@ void print_record(const obs::RunRecord& r) {
   if (!r.manifest_crc.empty()) {
     std::printf("  manifest crc   %s\n", r.manifest_crc.c_str());
   }
+  if (!r.platform_crc.empty()) {
+    std::printf("  platform crc   %s\n", r.platform_crc.c_str());
+  }
 }
 
 }  // namespace
@@ -141,6 +144,9 @@ obs::RunRecord parse_run_record(const std::string& record_json) {
   }
   if (const JsonValue* crc = v.find("manifest_crc"); crc != nullptr) {
     r.manifest_crc = crc->as_string();
+  }
+  if (const JsonValue* crc = v.find("platform_crc"); crc != nullptr) {
+    r.platform_crc = crc->as_string();
   }
   return r;
 }
@@ -201,6 +207,28 @@ RunComparison compare_runs(const obs::RunRecord& a, const obs::RunRecord& b,
   RunComparison out;
   auto drift = [&out](const std::string& line) { out.drift.push_back(line); };
 
+  // A platform-digest mismatch is a warning, not drift: the runs modeled
+  // different interconnect/PFS topologies, so their results are *expected*
+  // to differ. Identity mismatches (study/params/seed/status) stay hard
+  // drift, but result differences (counters, artifact CRCs) are demoted to
+  // warnings — the comparison is apples-to-oranges, not broken determinism.
+  const bool platform_differs = !a.platform_crc.empty() &&
+                                !b.platform_crc.empty() &&
+                                a.platform_crc != b.platform_crc;
+  auto result_drift = [&out, &drift, platform_differs](const std::string& line) {
+    if (platform_differs) {
+      out.warnings.push_back(line + " (expected: different platforms)");
+    } else {
+      drift(line);
+    }
+  };
+  if (platform_differs) {
+    out.warnings.push_back("platform digest differs (" + a.platform_crc + " vs " +
+                           b.platform_crc +
+                           "): runs modeled different platforms, artifact "
+                           "differences are expected");
+  }
+
   if (a.study != b.study) drift("study: " + a.study + " vs " + b.study);
   if (a.params_digest != b.params_digest) {
     drift("params digest: " + a.params_digest + " vs " + b.params_digest);
@@ -224,17 +252,17 @@ RunComparison compare_runs(const obs::RunRecord& a, const obs::RunRecord& b,
     const std::uint64_t va = it_a == counters_a.end() ? 0 : it_a->second;
     const std::uint64_t vb = it_b == counters_b.end() ? 0 : it_b->second;
     if (va != vb) {
-      drift("counter " + name + ": " + std::to_string(va) + " vs " +
+      result_drift("counter " + name + ": " + std::to_string(va) + " vs " +
             std::to_string(vb));
     }
   }
   if (!a.metrics_crc.empty() && !b.metrics_crc.empty() &&
       a.metrics_crc != b.metrics_crc) {
-    drift("metrics crc: " + a.metrics_crc + " vs " + b.metrics_crc);
+    result_drift("metrics crc: " + a.metrics_crc + " vs " + b.metrics_crc);
   }
   if (!a.manifest_crc.empty() && !b.manifest_crc.empty() &&
       a.manifest_crc != b.manifest_crc) {
-    drift("manifest crc: " + a.manifest_crc + " vs " + b.manifest_crc);
+    result_drift("manifest crc: " + a.manifest_crc + " vs " + b.manifest_crc);
   }
 
   char buf[160];

@@ -11,6 +11,7 @@
 #include "core/single_app_study.hpp"
 #include "core/workload_study.hpp"
 #include "study/context.hpp"
+#include "study/platform_params.hpp"
 #include "study/registry.hpp"
 #include "util/barchart.hpp"
 
@@ -30,6 +31,7 @@ int run_efficiency_adhoc(StudyContext& ctx) {
   }
   config.seed = ctx.seed();
   config.threads = ctx.threads();
+  apply_platform_params(config.machine, ctx.params());
   const ObsOptions& obs = ctx.options().obs;
   config.collect_metrics = obs.metrics();
   config.collect_trace = obs.trace();
@@ -76,6 +78,7 @@ int run_workload_adhoc(StudyContext& ctx) {
   config.patterns = ctx.params().u32("patterns");
   config.seed = ctx.seed();
   config.threads = ctx.threads();
+  apply_platform_params(config.machine, ctx.params());
   const ObsOptions& obs = ctx.options().obs;
   config.collect_metrics = obs.metrics();
   config.resilience.node_mtbf = Duration::years(ctx.params().real("mtbf-years"));
@@ -152,7 +155,8 @@ void register_builtin_studies(StudyRegistry& registry) {
     def.journal_id = "xres workload";  // historical journal identity
     def.options.default_seed = 20170530;
     def.options.obs = StudyOptionsSpec::Obs::kNoTrace;
-    def.params.text("scheduler", "FCFS | Random | Slack | FirstFit | SJF", "Slack");
+    def.params.text("scheduler", "FCFS | Random | Slack | FirstFit | SJF | TopoPack",
+                    "Slack");
     def.params.text("technique", "technique name, 'selection' or 'none'",
                     "parallel-recovery");
     def.params.integer("patterns", "arrival patterns to average", 10).min(1);

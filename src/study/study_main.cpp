@@ -99,7 +99,26 @@ int run_study(const StudyDefinition& def, ParamSet params, HarnessOptions option
   for (const auto& [key, value] : params.values()) {
     record.params.emplace_back(key, value);
   }
-  record.params_digest = obs::params_digest(record.params);
+  {
+    // The params digest excludes the registry-injected platform.* params so
+    // it stays comparable with pre-topology ledger records; the platform
+    // params get their own digest (platform_crc), which `xres compare`
+    // reports as a warning, not drift — two runs on different platforms are
+    // expected to produce different artifacts.
+    std::vector<std::pair<std::string, std::string>> study_params;
+    std::vector<std::pair<std::string, std::string>> platform_params;
+    for (const auto& kv : record.params) {
+      if (kv.first.rfind("platform.", 0) == 0) {
+        platform_params.push_back(kv);
+      } else {
+        study_params.push_back(kv);
+      }
+    }
+    record.params_digest = obs::params_digest(study_params);
+    if (!platform_params.empty()) {
+      record.platform_crc = obs::params_digest(platform_params);
+    }
+  }
 
   const bool ledger_enabled = options.ledger;
   const std::string ledger_path = options.ledger_path;

@@ -101,7 +101,15 @@ void write_manifest(const std::string& tag, const std::string& out_dir,
     w.key("group").value(to_string(r.cell->def->group));
     w.key("seed").value(r.seed);
     w.key("params").begin_object();
-    for (const auto& [key, value] : r.cell->params.values()) w.key(key).value(value);
+    for (const auto& [key, value] : r.cell->params.values()) {
+      // Registry-injected platform.* params are echoed only when overridden
+      // so historical (pre-topology) manifests stay byte-stable.
+      if (key.rfind("platform.", 0) == 0 && r.cell->params.schema() != nullptr) {
+        const ParamSpec* spec = r.cell->params.schema()->find(key);
+        if (spec != nullptr && spec->default_value == value) continue;
+      }
+      w.key(key).value(value);
+    }
     w.end_object();
     w.key("artifacts").begin_array();
     for (const ArtifactEntry& a : r.artifacts) {

@@ -222,6 +222,30 @@ TEST(ObsLedger, CompareRunsDriftAndWarnings) {
   EXPECT_FALSE(study::compare_runs(a, b, 0.25).identical());
 }
 
+TEST(ObsLedger, CompareRunsPlatformDigestWarnsNotFails) {
+  obs::RunRecord a = sample_record("run-a", 7);
+  obs::RunRecord b = sample_record("run-b", 7);
+  a.platform_crc = "2793af5e";
+  b.platform_crc = "cb8a35fc";
+  // Different platforms are expected to produce different results: counter
+  // and artifact-CRC mismatches are demoted to warnings, never drift.
+  b.counters[0].second += 1;
+  b.metrics_crc = "deadbeef";
+  a.metrics_crc = "0badf00d";
+  const study::RunComparison cmp = study::compare_runs(a, b, 0.25);
+  EXPECT_TRUE(cmp.identical());
+  EXPECT_GE(cmp.warnings.size(), 3U);  // platform notice + counter + metrics
+
+  // Same platform digest: the counter mismatch is hard drift again.
+  b.platform_crc = a.platform_crc;
+  EXPECT_FALSE(study::compare_runs(a, b, 0.25).identical());
+
+  // Identity mismatches stay hard drift even across platforms.
+  obs::RunRecord c = sample_record("run-c", 9);
+  c.platform_crc = "cb8a35fc";
+  EXPECT_FALSE(study::compare_runs(a, c, 0.25).identical());
+}
+
 TEST(ObsLedger, ParamsDigestIsOrderAndValueSensitive) {
   const std::vector<std::pair<std::string, std::string>> p1 = {
       {"trials", "5"}, {"type", "A32"}};

@@ -186,7 +186,7 @@ TEST(SchedulerFactory, KindsRoundTrip) {
   }
   EXPECT_THROW((void)scheduler_from_string("LIFO"), CheckError);
   EXPECT_EQ(all_schedulers().size(), 3U);
-  EXPECT_EQ(extended_schedulers().size(), 5U);
+  EXPECT_EQ(extended_schedulers().size(), 6U);
 }
 
 }  // namespace

@@ -23,7 +23,8 @@ trials/s" contention regressions that per-benchmark deltas cannot see.
 
 Ledger mode reads the CRC-framed run ledger `xres` appends to (see
 docs/OBSERVABILITY.md), groups records by (study, params digest, seed,
-threads), and fails when the newest run's trials/s regressed beyond the
+threads, platform digest), and fails when the newest run's trials/s
+regressed beyond the
 threshold against the best run of the same group. Corrupt or torn lines are
 skipped, matching `xres log`.
 
@@ -152,6 +153,9 @@ def ledger_gate(path: str, study: str | None, threshold: float) -> int:
             record.get("params_digest"),
             record.get("seed"),
             record.get("threads"),
+            # Different platform models run at different speeds by design;
+            # never compare their throughput against each other.
+            record.get("platform_crc", ""),
         )
         groups.setdefault(key, []).append(record)
 

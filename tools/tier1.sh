@@ -159,6 +159,57 @@ determinism_check() {
 determinism_check
 stage_done determinism
 
+# Topology stage (docs/PLATFORM.md): the fat-tree platform must honor the
+# same contracts as flat — artifacts invariant to --threads, an explicit
+# `--platform.model flat` byte-identical to the default, and a SIGKILLed
+# fattree run resuming to the golden bytes.
+topology_check() {
+  local dir="$OBS_TMP/topology"
+  mkdir -p "$dir"
+  # checkpoint-restart is the PFS-heavy technique: the storm actually hits
+  # the queued device (the default parallel-recovery never touches the PFS).
+  local args=(workload --patterns 3 --seed 11 --platform.model fattree
+    --technique checkpoint-restart)
+  "$BUILD"/tools/xres "${args[@]}" --threads 1 > "$dir/r1.txt"
+  "$BUILD"/tools/xres "${args[@]}" --threads 4 > "$dir/r4.txt"
+  cmp "$dir/r1.txt" "$dir/r4.txt"
+
+  # The flat default is the pre-topology model: spelling it out must not
+  # perturb a single byte.
+  "$BUILD"/tools/xres workload --patterns 2 --seed 11 > "$dir/flat-default.txt"
+  "$BUILD"/tools/xres workload --patterns 2 --seed 11 --platform.model flat \
+    > "$dir/flat-explicit.txt"
+  cmp "$dir/flat-default.txt" "$dir/flat-explicit.txt"
+
+  # Unknown models must be a usage error (exit 2), not a crash.
+  local rc=0
+  "$BUILD"/tools/xres workload --patterns 1 --platform.model hypercube \
+    > /dev/null 2>&1 || rc=$?
+  if [[ "$rc" != 2 ]]; then
+    echo "topology: expected exit 2 for bad --platform.model, got $rc" >&2
+    return 1
+  fi
+
+  # SIGKILL a journaled fattree run mid-flight; --resume must reproduce the
+  # golden bytes (if the race is lost the resume is a full replay — still a
+  # valid check).
+  "$BUILD"/tools/xres "${args[@]}" --threads 4 --journal "$dir/j.jsonl" \
+    > /dev/null 2>&1 &
+  local pid=$!
+  sleep 1
+  kill -9 "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+  "$BUILD"/tools/xres "${args[@]}" --threads 4 --journal "$dir/j.jsonl" --resume \
+    > "$dir/resumed.txt"
+  local filter=(grep -v -e '^journal ' -e '^recovery: ')
+  "${filter[@]}" "$dir/r4.txt" > "$dir/r4-clean.txt"
+  "${filter[@]}" "$dir/resumed.txt" > "$dir/resumed-clean.txt"
+  cmp "$dir/r4-clean.txt" "$dir/resumed-clean.txt"
+  echo "topology: OK (fattree threads 1 vs 4 + flat default + resume byte-identical)"
+}
+topology_check
+stage_done topology
+
 # Suite stage (docs/STUDIES.md): `xres suite paper` must regenerate every
 # figure/table artifact deterministically, validate its manifest CRCs, and
 # after a SIGKILL mid-suite complete byte-identically under --resume.
@@ -456,7 +507,7 @@ fi
 if [[ "${XRES_PERF_GATE:-0}" == "1" ]]; then
   cmake --build "$BUILD" -j "$(nproc)" --target perf_engine
   "$BUILD"/bench/perf_engine --benchmark_min_time=0.2 --benchmark_repetitions=5 \
-    --benchmark_filter='BM_EventQueue|BM_Simulation|BM_SingleAppTrialFailureHeavy|BM_TrialBatchFailureHeavy|BM_TrialExecutorBatch' \
+    --benchmark_filter='BM_EventQueue|BM_Simulation|BM_SingleAppTrialFailureHeavy|BM_TrialBatchFailureHeavy|BM_TrialExecutorBatch|BM_WorkloadFattreeStorm' \
     --out "$OBS_TMP/BENCH_engine.json"
   python3 tools/perf_gate.py "$OBS_TMP/BENCH_engine.json" \
     --baseline bench/BENCH_engine.baseline.json
